@@ -1,0 +1,43 @@
+//! A1 — Appendix A: the failure-detector baselines vs the HO model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ho_core::adversary::FullDelivery;
+use ho_core::algorithms::OneThirdRule;
+use ho_core::executor::RoundExecutor;
+use ho_fd::harness::{run_aguilera, run_chandra_toueg, FdScenario};
+
+fn bench_fd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd_comparison");
+    g.sample_size(10);
+    g.bench_function("chandra_toueg_failure_free", |b| {
+        b.iter(|| {
+            let out = run_chandra_toueg(&FdScenario::failure_free(3, 1));
+            assert_eq!(out.decided_count(), 3);
+            out.messages_sent
+        });
+    });
+    g.bench_function("aguilera_failure_free", |b| {
+        b.iter(|| {
+            let out = run_aguilera(&FdScenario::failure_free(3, 1));
+            assert_eq!(out.decided_count(), 3);
+            out.messages_sent
+        });
+    });
+    g.bench_function("aguilera_crash_recovery", |b| {
+        b.iter(|| {
+            let out = run_aguilera(&FdScenario::crash_recovery(3, 1, 0.4, 30.0, 1));
+            assert_eq!(out.decided_count(), 3);
+            out.messages_sent
+        });
+    });
+    g.bench_function("ho_otr_failure_free", |b| {
+        b.iter(|| {
+            let mut exec = RoundExecutor::new(OneThirdRule::new(3), vec![10, 11, 12]);
+            exec.run_until_all_decided(&mut FullDelivery, 10).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fd);
+criterion_main!(benches);

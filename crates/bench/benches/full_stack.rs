@@ -1,0 +1,29 @@
+//! E8 — §4.2.2(c): the full stack (Algorithm 3 + macro-rounds + OTR)
+//! reaching consensus in a π0-arbitrary good period, for growing f.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_predicates::bounds::BoundParams;
+use ho_predicates::measure::{measure_full_stack, Scenario};
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_stack");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        g.bench_with_input(
+            BenchmarkId::new("consensus", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                let params = BoundParams::new(n, 1.0, 2.0);
+                b.iter(|| {
+                    let out = measure_full_stack(params, f, Scenario::rough(40.0), 11);
+                    assert!(out.measurement.achieved_at.is_some());
+                    out.send_steps
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

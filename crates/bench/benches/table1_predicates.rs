@@ -1,0 +1,36 @@
+//! T1 — Table 1: predicate evaluation and ⟨OTR, P_otr⟩ runs.
+//!
+//! Benchmarks the cost of (a) running OneThirdRule to decision under an
+//! eventually-good adversary and (b) evaluating the Table 1 predicates over
+//! the resulting trace, for growing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_core::adversary::EventuallyGood;
+use ho_core::algorithms::OneThirdRule;
+use ho_core::executor::RoundExecutor;
+use ho_core::predicate::{Potr, PotrRestricted, Predicate};
+use ho_core::process::ProcessSet;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    for n in [4usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("otr_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = EventuallyGood::new(6, ProcessSet::full(n), 0.7, 42);
+                let mut exec = RoundExecutor::new(OneThirdRule::new(n), (0..n as u64).collect());
+                exec.run(&mut adv, 12).unwrap();
+                exec.decisions()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("potr_eval", n), &n, |b, &n| {
+            let mut adv = EventuallyGood::new(6, ProcessSet::full(n), 0.7, 42);
+            let mut exec = RoundExecutor::new(OneThirdRule::new(n), (0..n as u64).collect());
+            exec.run(&mut adv, 12).unwrap();
+            b.iter(|| (Potr.holds(exec.trace()), PotrRestricted.holds(exec.trace())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — Theorem 3: Algorithm 2's good-period measurement in the system
+//! simulator (π0-down, non-initial good period), for growing n and x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_core::process::ProcessSet;
+use ho_predicates::bounds::BoundParams;
+use ho_predicates::measure::{measure_alg2_space_uniform, Scenario};
+
+fn bench_thm3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm3_alg2");
+    g.sample_size(10);
+    for n in [4usize, 7, 10] {
+        g.bench_with_input(BenchmarkId::new("measure_x2", n), &n, |b, &n| {
+            let params = BoundParams::new(n, 1.0, 2.0);
+            b.iter(|| {
+                let m = measure_alg2_space_uniform(
+                    params,
+                    ProcessSet::full(n),
+                    2,
+                    Scenario::rough(50.0),
+                    7,
+                );
+                assert!(m.achieved_at.is_some());
+                m
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thm3);
+criterion_main!(benches);

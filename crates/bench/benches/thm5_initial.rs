@@ -1,0 +1,31 @@
+//! E5 — Theorem 5: Algorithm 2 in an *initial* good period ("nice" runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_core::process::ProcessSet;
+use ho_predicates::bounds::BoundParams;
+use ho_predicates::measure::{measure_alg2_space_uniform, Scenario};
+
+fn bench_thm5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm5_initial");
+    g.sample_size(10);
+    for n in [4usize, 7, 10] {
+        g.bench_with_input(BenchmarkId::new("measure_x2", n), &n, |b, &n| {
+            let params = BoundParams::new(n, 1.0, 2.0);
+            b.iter(|| {
+                let m = measure_alg2_space_uniform(
+                    params,
+                    ProcessSet::full(n),
+                    2,
+                    Scenario::Initial,
+                    7,
+                );
+                assert!(m.achieved_at.is_some());
+                m
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thm5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E6 — Theorem 6: Algorithm 3's good-period measurement (π0-arbitrary,
+//! non-initial), for growing (n, f).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_predicates::bounds::BoundParams;
+use ho_predicates::measure::{measure_alg3_kernel, Scenario};
+
+fn bench_thm6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm6_alg3");
+    g.sample_size(10);
+    for (n, f) in [(4usize, 1usize), (5, 2), (9, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("measure_x2", format!("n{n}f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                let params = BoundParams::new(n, 1.0, 2.0);
+                b.iter(|| {
+                    let m = measure_alg3_kernel(params, f, 2, Scenario::rough(50.0), 7);
+                    assert!(m.achieved_at.is_some());
+                    m
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thm6);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Experiment binary `ablation` — design-choice ablations of the predicate
+//! implementation layer (timeout constant, INIT re-announcement, reception
+//! policy).
+
+use ho_predicates::bounds::BoundParams;
+
+fn main() {
+    let params = BoundParams::new(4, 1.0, 2.0);
+    bench::ablation::ablation_alg2_timeout(params, 10).print();
+    bench::ablation::ablation_init_resend(params, 1, 10).print();
+    bench::ablation::ablation_policy(params, 1, 10).print();
+}

@@ -1,0 +1,5 @@
+//! Experiment binary `cor4` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::corollary4_table(1.0, 2.0, 10).print();
+}

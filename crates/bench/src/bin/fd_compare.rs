@@ -1,0 +1,5 @@
+//! Experiment binary `fd_compare` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::fd_comparison_table(10).print();
+}

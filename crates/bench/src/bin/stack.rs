@@ -1,0 +1,5 @@
+//! Experiment binary `stack` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::full_stack_table(1.0, 2.0, 10).print();
+}

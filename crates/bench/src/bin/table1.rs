@@ -1,0 +1,5 @@
+//! Experiment binary `table1` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::table1_predicates(4, 2000).print();
+}

@@ -1,0 +1,5 @@
+//! Experiment binary `thm6` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::thm6_table(1.0, 2.0, 10).print();
+}

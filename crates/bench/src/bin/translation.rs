@@ -1,0 +1,5 @@
+//! Experiment binary `translation` — prints the corresponding EXPERIMENTS.md table.
+
+fn main() {
+    bench::experiments::translation_table(200).print();
+}

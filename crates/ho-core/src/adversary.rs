@@ -1,0 +1,439 @@
+//! Adversaries: generators of heard-of sets.
+//!
+//! In the HO model all benign faults — crashes, crash-recovery, send/receive
+//! omission, link loss — manifest as *transmission faults*: `q ∉ HO(p, r)`.
+//! An [`Adversary`] decides, round by round, which transmissions fail. The
+//! [`RoundExecutor`](crate::executor::RoundExecutor) asks the adversary for
+//! the HO assignment of each round, which makes fault classes SP, ST, DP and
+//! DT (§2.2) all expressible with the same machinery.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+
+/// A generator of heard-of assignments.
+pub trait Adversary {
+    /// The HO sets for round `r`: element `p` of the returned vector is
+    /// `HO(p, r)` — the set of processes whose round-`r` message reaches `p`.
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet>;
+}
+
+impl<A: Adversary + ?Sized> Adversary for &mut A {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        (**self).ho_sets(r, n)
+    }
+}
+
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        (**self).ho_sets(r, n)
+    }
+}
+
+/// No transmission faults: `HO(p, r) = Π` for every `p` and `r`
+/// (the fault-free "nice run").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullDelivery;
+
+impl Adversary for FullDelivery {
+    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
+        vec![ProcessSet::full(n); n]
+    }
+}
+
+/// Replays an explicit script of HO assignments; after the script is
+/// exhausted, delivers everything.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: Vec<Vec<ProcessSet>>,
+}
+
+impl Scripted {
+    /// Round `r` uses `script[r - 1]`; rounds past the end use full delivery.
+    #[must_use]
+    pub fn new(script: Vec<Vec<ProcessSet>>) -> Self {
+        Scripted { script }
+    }
+}
+
+impl Adversary for Scripted {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        self.script
+            .get((r.get() - 1) as usize)
+            .cloned()
+            .unwrap_or_else(|| vec![ProcessSet::full(n); n])
+    }
+}
+
+/// Independent per-transmission loss: each `(q → p)` transmission with
+/// `q ≠ p` fails with probability `loss`; processes always hear themselves.
+///
+/// This is the DT (dynamic/transient) fault class in its purest form.
+#[derive(Clone, Debug)]
+pub struct RandomLoss {
+    loss: f64,
+    rng: SmallRng,
+}
+
+impl RandomLoss {
+    /// Loss probability `loss ∈ [0, 1]`, deterministic under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    #[must_use]
+    pub fn new(loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        RandomLoss {
+            loss,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomLoss {
+    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
+        (0..n)
+            .map(|p| {
+                let mut ho = ProcessSet::singleton(ProcessId::new(p));
+                for q in 0..n {
+                    if q != p && !self.rng.gen_bool(self.loss) {
+                        ho.insert(ProcessId::new(q));
+                    }
+                }
+                ho
+            })
+            .collect()
+    }
+}
+
+/// Permanent crashes (the SP fault class / crash-stop model): once process
+/// `q`'s crash round is reached, `q` sends no more messages, so `q` drops out
+/// of every HO set.
+///
+/// A crashed process still "receives": in the HO model a crashed process is
+/// indistinguishable from one that receives all messages but sends none
+/// (§3.2), so `HO(crashed, r)` is kept equal to the live set.
+#[derive(Clone, Debug)]
+pub struct CrashStop {
+    /// `crash_round[q] = Some(r)` — `q` sends nothing from round `r` on.
+    crash_round: Vec<Option<Round>>,
+}
+
+impl CrashStop {
+    /// Builds the schedule; `crashes` maps process index to its crash round.
+    #[must_use]
+    pub fn new(n: usize, crashes: &[(usize, Round)]) -> Self {
+        let mut crash_round = vec![None; n];
+        for &(q, r) in crashes {
+            crash_round[q] = Some(r);
+        }
+        CrashStop { crash_round }
+    }
+
+    /// Processes still sending in round `r`.
+    #[must_use]
+    pub fn alive(&self, r: Round) -> ProcessSet {
+        self.crash_round
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.map_or(true, |cr| r < cr))
+            .map(|(q, _)| ProcessId::new(q))
+            .collect()
+    }
+}
+
+impl Adversary for CrashStop {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        debug_assert_eq!(n, self.crash_round.len());
+        let alive = self.alive(r);
+        vec![alive; n]
+    }
+}
+
+/// Crash–recovery (the DT fault class): processes are *down* during
+/// scheduled round intervals. A down process sends nothing and receives
+/// nothing (`HO = ∅`); everyone else simply does not hear it. After the
+/// interval it resumes — with its state intact at this layer, since the HO
+/// abstraction pushes recovery handling into the implementation layer (§3.3).
+#[derive(Clone, Debug)]
+pub struct CrashRecovery {
+    /// `down[q]` = list of inclusive round intervals during which `q` is down.
+    down: Vec<Vec<(Round, Round)>>,
+}
+
+impl CrashRecovery {
+    /// Builds the schedule; `outages` maps process index to `(from, to)`
+    /// inclusive round intervals.
+    #[must_use]
+    pub fn new(n: usize, outages: &[(usize, Round, Round)]) -> Self {
+        let mut down = vec![Vec::new(); n];
+        for &(q, a, b) in outages {
+            assert!(a <= b, "outage interval must be ordered");
+            down[q].push((a, b));
+        }
+        CrashRecovery { down }
+    }
+
+    /// Whether `q` is down in round `r`.
+    #[must_use]
+    pub fn is_down(&self, q: ProcessId, r: Round) -> bool {
+        self.down[q.index()].iter().any(|&(a, b)| a <= r && r <= b)
+    }
+}
+
+impl Adversary for CrashRecovery {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        let up: ProcessSet = (0..n)
+            .map(ProcessId::new)
+            .filter(|&q| !self.is_down(q, r))
+            .collect();
+        (0..n)
+            .map(|p| {
+                if self.is_down(ProcessId::new(p), r) {
+                    ProcessSet::empty()
+                } else {
+                    up
+                }
+            })
+            .collect()
+    }
+}
+
+/// A static network partition: processes only hear members of their own
+/// block. Consensus-breaking if two blocks both exceed the algorithm's
+/// quorum; used by the safety tests to show OTR never violates agreement
+/// even then.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    blocks: Vec<ProcessSet>,
+}
+
+impl Partition {
+    /// Builds a partition from blocks; blocks must be disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two blocks overlap.
+    #[must_use]
+    pub fn new(blocks: Vec<ProcessSet>) -> Self {
+        let mut seen = ProcessSet::empty();
+        for b in &blocks {
+            assert!(seen.intersection(*b).is_empty(), "blocks must be disjoint");
+            seen = seen.union(*b);
+        }
+        Partition { blocks }
+    }
+
+    fn block_of(&self, p: ProcessId) -> ProcessSet {
+        self.blocks
+            .iter()
+            .copied()
+            .find(|b| b.contains(p))
+            .unwrap_or_else(|| ProcessSet::singleton(p))
+    }
+}
+
+impl Adversary for Partition {
+    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
+        (0..n).map(|p| self.block_of(ProcessId::new(p))).collect()
+    }
+}
+
+/// The system alternating between *bad* and *good* periods at the HO level:
+/// rounds `1..=bad_rounds` have adversarial (random-loss) HO sets, from round
+/// `bad_rounds + 1` on every process hears exactly `good_set`.
+///
+/// After the switch the trace satisfies `P_su(good_set, bad_rounds+1, ∞)`,
+/// hence `P2_otr(good_set)` and (for `|good_set| > 2n/3`) `P_otr^restr`.
+#[derive(Clone, Debug)]
+pub struct EventuallyGood {
+    bad_rounds: u64,
+    good_set: ProcessSet,
+    chaos: RandomLoss,
+}
+
+impl EventuallyGood {
+    /// `bad_rounds` rounds of chaos with the given loss rate, then uniform
+    /// delivery over `good_set` forever.
+    #[must_use]
+    pub fn new(bad_rounds: u64, good_set: ProcessSet, loss: f64, seed: u64) -> Self {
+        EventuallyGood {
+            bad_rounds,
+            good_set,
+            chaos: RandomLoss::new(loss, seed),
+        }
+    }
+}
+
+impl Adversary for EventuallyGood {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        if r.get() <= self.bad_rounds {
+            self.chaos.ho_sets(r, n)
+        } else {
+            (0..n)
+                .map(|p| {
+                    if self.good_set.contains(ProcessId::new(p)) {
+                        self.good_set
+                    } else {
+                        // Processes outside Π0 get whatever; give them Π0 too
+                        // so the unrestricted P_otr also eventually holds.
+                        self.good_set
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Guarantees a non-empty kernel every round while dropping as much as
+/// possible: one pivot process (rotating each round) is heard by everybody;
+/// every other transmission fails independently with probability `loss`.
+///
+/// This is the weakest environment in which `UniformVoting` is live
+/// (`P_nek`), and a stress test for OTR's safety.
+#[derive(Clone, Debug)]
+pub struct KernelOnly {
+    loss: f64,
+    rng: SmallRng,
+}
+
+impl KernelOnly {
+    /// Loss probability for non-pivot transmissions.
+    #[must_use]
+    pub fn new(loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        KernelOnly {
+            loss,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for KernelOnly {
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        let pivot = ProcessId::new(((r.get() - 1) % n as u64) as usize);
+        (0..n)
+            .map(|p| {
+                let mut ho = ProcessSet::singleton(pivot);
+                ho.insert(ProcessId::new(p));
+                for q in 0..n {
+                    let q = ProcessId::new(q);
+                    if q != pivot && q.index() != p && !self.rng.gen_bool(self.loss) {
+                        ho.insert(q);
+                    }
+                }
+                ho
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn record(adv: &mut impl Adversary, n: usize, rounds: u64) -> Trace {
+        let mut t = Trace::new(n);
+        for r in 1..=rounds {
+            t.push_round(adv.ho_sets(Round(r), n));
+        }
+        t
+    }
+
+    #[test]
+    fn full_delivery_hears_everyone() {
+        let t = record(&mut FullDelivery, 4, 3);
+        for (r, hos) in t.iter() {
+            for &ho in hos {
+                assert_eq!(ho, ProcessSet::full(4), "round {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_loss_keeps_self() {
+        let mut adv = RandomLoss::new(0.9, 42);
+        let t = record(&mut adv, 8, 20);
+        for (r, hos) in t.iter() {
+            for (p, &ho) in hos.iter().enumerate() {
+                assert!(ho.contains(ProcessId::new(p)), "round {r} process {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_loss_deterministic_under_seed() {
+        let a = record(&mut RandomLoss::new(0.5, 7), 5, 10);
+        let b = record(&mut RandomLoss::new(0.5, 7), 5, 10);
+        for r in 1..=10 {
+            assert_eq!(a.round(Round(r)), b.round(Round(r)));
+        }
+    }
+
+    #[test]
+    fn crash_stop_removes_sender_permanently() {
+        let mut adv = CrashStop::new(4, &[(2, Round(3))]);
+        let t = record(&mut adv, 4, 5);
+        // Before round 3: everyone heard.
+        assert_eq!(t.ho(ProcessId::new(0), Round(2)), ProcessSet::full(4));
+        // From round 3 on: p2 gone from every HO set.
+        for r in 3..=5 {
+            for p in 0..4 {
+                assert!(!t.ho(ProcessId::new(p), Round(r)).contains(ProcessId::new(2)));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_recovery_outage_is_transient() {
+        let mut adv = CrashRecovery::new(3, &[(1, Round(2), Round(3))]);
+        let t = record(&mut adv, 3, 5);
+        // During the outage p1 hears nothing and is heard by nobody.
+        assert!(t.ho(ProcessId::new(1), Round(2)).is_empty());
+        assert!(!t.ho(ProcessId::new(0), Round(3)).contains(ProcessId::new(1)));
+        // After recovery p1 is back.
+        assert!(t.ho(ProcessId::new(0), Round(4)).contains(ProcessId::new(1)));
+        assert_eq!(t.ho(ProcessId::new(1), Round(4)), ProcessSet::full(3));
+    }
+
+    #[test]
+    fn partition_isolates_blocks() {
+        let a = ProcessSet::from_indices([0, 1]);
+        let b = ProcessSet::from_indices([2, 3]);
+        let mut adv = Partition::new(vec![a, b]);
+        let t = record(&mut adv, 4, 2);
+        assert_eq!(t.ho(ProcessId::new(0), Round(1)), a);
+        assert_eq!(t.ho(ProcessId::new(3), Round(1)), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_blocks_rejected() {
+        let _ = Partition::new(vec![
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([1, 2]),
+        ]);
+    }
+
+    #[test]
+    fn eventually_good_becomes_uniform() {
+        use crate::predicate::{P2Otr, Potr, Predicate};
+        let pi0 = ProcessSet::from_indices([0, 1, 2]);
+        let mut adv = EventuallyGood::new(5, pi0, 0.8, 3);
+        let t = record(&mut adv, 4, 8);
+        assert!(P2Otr::new(pi0).holds(&t));
+        assert!(Potr.holds(&t));
+    }
+
+    #[test]
+    fn kernel_only_has_nonempty_kernel() {
+        use crate::predicate::{NonEmptyKernel, Predicate};
+        let mut adv = KernelOnly::new(0.95, 11);
+        let t = record(&mut adv, 6, 30);
+        assert!(NonEmptyKernel.holds(&t));
+    }
+}

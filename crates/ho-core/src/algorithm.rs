@@ -1,0 +1,196 @@
+//! The Heard-Of algorithm abstraction.
+//!
+//! An HO algorithm (paper, §3.1) comprises for each round `r` and process `p`
+//! a *sending function* `S_p^r` and a *transition function* `T_p^r`. At the
+//! beginning of a round every process sends messages according to `S_p^r`;
+//! at the end of the round it makes a state transition according to
+//! `T_p^r(μ⃗, s_p)` where `μ⃗` is the partial vector of received messages.
+//!
+//! The same trait drives three different "machines":
+//!
+//! * the round-synchronous [`RoundExecutor`](crate::executor::RoundExecutor),
+//!   where an [`Adversary`](crate::adversary::Adversary) picks the HO sets;
+//! * the [`P_k → P_su` translation](crate::translation), which wraps one
+//!   `HoAlgorithm` into another;
+//! * the system-level predicate implementations (Algorithms 2 and 3 of the
+//!   paper, in the `ho-predicates` crate), which call `S_p^r`/`T_p^r` from
+//!   inside a partially synchronous message-passing simulation.
+
+use std::fmt;
+
+use crate::mailbox::Mailbox;
+use crate::process::ProcessId;
+use crate::round::Round;
+
+/// A Heard-Of algorithm: per-round sending and transition functions.
+///
+/// Implementations are *stateless* descriptions of the algorithm; per-process
+/// state lives in `Self::State` and is owned by whichever machine executes
+/// the algorithm. This mirrors the paper's separation between the algorithm
+/// `A = ⟨S_p^r, T_p^r⟩` and its runs.
+pub trait HoAlgorithm {
+    /// Per-process state `s_p`.
+    type State: Clone + fmt::Debug;
+    /// Round messages.
+    type Message: Clone + fmt::Debug;
+    /// The consensus value domain (initial values and decisions).
+    type Value: Clone + fmt::Debug + Ord;
+
+    /// Number of processes `n = |Π|` this instance is configured for.
+    fn n(&self) -> usize;
+
+    /// Initial state of process `p` with initial value `v_p`.
+    fn init(&self, p: ProcessId, initial_value: Self::Value) -> Self::State;
+
+    /// The sending function `S_p^r`: the message `p` sends to `q` in round
+    /// `r`, or `None` if `p` sends nothing to `q` in this round.
+    ///
+    /// Broadcast algorithms (such as OneThirdRule) return the same message
+    /// for every destination; coordinator-based algorithms (such as
+    /// LastVoting) return `None` for most destinations in some rounds.
+    fn message(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &Self::State,
+        q: ProcessId,
+    ) -> Option<Self::Message>;
+
+    /// The transition function `T_p^r`: updates `state` given the partial
+    /// vector of messages received in round `r`.
+    fn transition(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &mut Self::State,
+        mailbox: &Mailbox<Self::Message>,
+    );
+
+    /// The decision of `p`, if it has decided.
+    ///
+    /// Decisions are irrevocable: once `Some(v)`, this must return `Some(v)`
+    /// forever. The executors assert this.
+    fn decision(&self, state: &Self::State) -> Option<Self::Value>;
+
+    /// Convenience: whether `p` broadcasts the *same* message to everybody in
+    /// round `r`. The system-level simulators use this to model a broadcast
+    /// send step (one step for all destinations, as provided by e.g.
+    /// UDP-multicast — see §4.1 of the paper).
+    fn broadcast_message(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &Self::State,
+    ) -> Option<Self::Message> {
+        self.message(r, p, state, p)
+    }
+}
+
+/// Blanket helper methods available on every [`HoAlgorithm`].
+pub trait HoAlgorithmExt: HoAlgorithm {
+    /// Runs the "skipped rounds" rule of Algorithms 2 and 3: applies
+    /// `T_p^{r'}(∅, s_p)` for every round `r'` in `[from, to)`.
+    ///
+    /// When the system-level layer jumps from round `r_p` to `next_r_p`, the
+    /// transition function is executed with an empty message set for every
+    /// intermediate round (line 21 of Algorithm 2).
+    fn apply_empty_rounds(&self, p: ProcessId, state: &mut Self::State, from: Round, to: Round) {
+        let mut r = from;
+        while r < to {
+            self.transition(r, p, state, &Mailbox::empty());
+            r = r.next();
+        }
+    }
+}
+
+impl<A: HoAlgorithm + ?Sized> HoAlgorithmExt for A {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessSet;
+
+    /// A toy algorithm that counts how many rounds it has executed and
+    /// decides its own initial value after three rounds.
+    struct CountThree;
+
+    #[derive(Clone, Debug)]
+    struct CountState {
+        v: u64,
+        rounds: u64,
+        heard: Vec<ProcessSet>,
+    }
+
+    impl HoAlgorithm for CountThree {
+        type State = CountState;
+        type Message = u64;
+        type Value = u64;
+
+        fn n(&self) -> usize {
+            3
+        }
+
+        fn init(&self, _p: ProcessId, v: u64) -> CountState {
+            CountState {
+                v,
+                rounds: 0,
+                heard: Vec::new(),
+            }
+        }
+
+        fn message(
+            &self,
+            _r: Round,
+            _p: ProcessId,
+            state: &CountState,
+            _q: ProcessId,
+        ) -> Option<u64> {
+            Some(state.v)
+        }
+
+        fn transition(
+            &self,
+            _r: Round,
+            _p: ProcessId,
+            state: &mut CountState,
+            mailbox: &Mailbox<u64>,
+        ) {
+            state.rounds += 1;
+            state.heard.push(mailbox.senders());
+        }
+
+        fn decision(&self, state: &CountState) -> Option<u64> {
+            (state.rounds >= 3).then_some(state.v)
+        }
+    }
+
+    #[test]
+    fn apply_empty_rounds_runs_each_intermediate_round() {
+        let alg = CountThree;
+        let p = ProcessId::new(0);
+        let mut s = alg.init(p, 42);
+        // Jump from round 2 to round 5: rounds 2, 3, 4 run with ∅.
+        alg.apply_empty_rounds(p, &mut s, Round(2), Round(5));
+        assert_eq!(s.rounds, 3);
+        assert!(s.heard.iter().all(|h| h.is_empty()));
+        assert_eq!(alg.decision(&s), Some(42));
+    }
+
+    #[test]
+    fn apply_empty_rounds_noop_when_range_empty() {
+        let alg = CountThree;
+        let p = ProcessId::new(0);
+        let mut s = alg.init(p, 7);
+        alg.apply_empty_rounds(p, &mut s, Round(5), Round(5));
+        assert_eq!(s.rounds, 0);
+        assert_eq!(alg.decision(&s), None);
+    }
+
+    #[test]
+    fn broadcast_message_defaults_to_message() {
+        let alg = CountThree;
+        let p = ProcessId::new(1);
+        let s = alg.init(p, 9);
+        assert_eq!(alg.broadcast_message(Round(1), p, &s), Some(9));
+    }
+}

@@ -1,0 +1,297 @@
+//! The *LastVoting* algorithm from \[CBS06\] — Paxos in the HO model.
+//!
+//! The paper (§1, §5) points out that Paxos's tolerance of message loss
+//! cannot be expressed naturally with failure detectors, while in the HO
+//! model its liveness condition is a clean communication predicate.
+//! LastVoting is the HO rendition of Paxos: phases of four rounds with a
+//! rotating coordinator.
+//!
+//! ```text
+//! Initialization: x_p ← v_p ; ts_p ← 0
+//! Round r = 4φ−3:                     (estimates to the coordinator)
+//!   S: send ⟨x_p, ts_p⟩ to coord(φ)
+//!   T (coord, > n/2 received): vote ← x̄ with the largest ts; commit ← true
+//! Round r = 4φ−2:                     (the coordinator's vote)
+//!   S (coord, if commit): send ⟨vote⟩ to all
+//!   T: if vote v received from coord(φ): x_p ← v ; ts_p ← φ
+//! Round r = 4φ−1:                     (acknowledgements)
+//!   S (if ts_p = φ): send ⟨ack⟩ to coord(φ)
+//!   T (coord, > n/2 acks): ready ← true
+//! Round r = 4φ:                       (the decision)
+//!   S (coord, if ready): send ⟨vote⟩ to all
+//!   T: if vote v received from coord(φ): DECIDE(v)
+//!      commit ← false ; ready ← false
+//! ```
+//!
+//! Liveness needs one phase `φ0` in which the coordinator hears a majority
+//! in rounds `4φ0−3` and `4φ0−1` and is heard by everyone (to be decided) in
+//! rounds `4φ0−2` and `4φ0`; safety needs nothing.
+
+use std::marker::PhantomData;
+
+use crate::algorithm::HoAlgorithm;
+use crate::mailbox::Mailbox;
+use crate::process::ProcessId;
+use crate::round::Round;
+
+/// LastVoting (HO Paxos) over `n` processes.
+#[derive(Clone, Copy, Debug)]
+pub struct LastVoting<V = u64> {
+    n: usize,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V> LastVoting<V> {
+    /// LastVoting over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        LastVoting { n, _values: PhantomData }
+    }
+
+    /// The coordinator of phase `φ` (rotating, as the paper's rotating
+    /// coordinator pattern).
+    #[must_use]
+    pub fn coord(&self, phase: u64) -> ProcessId {
+        ProcessId::new(((phase - 1) % self.n as u64) as usize)
+    }
+
+    fn majority(&self, k: usize) -> bool {
+        2 * k > self.n
+    }
+}
+
+/// Messages of LastVoting rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LastVotingMessage<V> {
+    /// `⟨x_p, ts_p⟩`, sent to the coordinator in round `4φ−3`.
+    Estimate(V, u64),
+    /// The coordinator's vote, rounds `4φ−2` and `4φ`.
+    Vote(V),
+    /// Acknowledgement that `ts_p = φ`, round `4φ−1`.
+    Ack,
+}
+
+/// Per-process state of LastVoting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LastVotingState<V> {
+    /// Current estimate `x_p`.
+    pub x: V,
+    /// Timestamp of the last coordinator adoption (`0` = initial value).
+    pub ts: u64,
+    /// Coordinator: the vote of the current phase.
+    pub vote: Option<V>,
+    /// Coordinator: whether the vote is committed.
+    pub commit: bool,
+    /// Coordinator: whether a majority acknowledged the vote.
+    pub ready: bool,
+    /// The decision, once taken.
+    pub decision: Option<V>,
+}
+
+impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for LastVoting<V> {
+    type State = LastVotingState<V>;
+    type Message = LastVotingMessage<V>;
+    type Value = V;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn init(&self, _p: ProcessId, initial_value: V) -> LastVotingState<V> {
+        LastVotingState {
+            x: initial_value,
+            ts: 0,
+            vote: None,
+            commit: false,
+            ready: false,
+            decision: None,
+        }
+    }
+
+    fn message(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &LastVotingState<V>,
+        q: ProcessId,
+    ) -> Option<LastVotingMessage<V>> {
+        let (phase, offset) = r.phase(4);
+        let coord = self.coord(phase);
+        match offset {
+            0 => (q == coord).then(|| LastVotingMessage::Estimate(state.x.clone(), state.ts)),
+            1 => (p == coord && state.commit)
+                .then(|| LastVotingMessage::Vote(state.vote.clone().expect("committed"))),
+            2 => (state.ts == phase && q == coord).then_some(LastVotingMessage::Ack),
+            3 => (p == coord && state.ready)
+                .then(|| LastVotingMessage::Vote(state.vote.clone().expect("ready"))),
+            _ => unreachable!("offset < 4"),
+        }
+    }
+
+    fn transition(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &mut LastVotingState<V>,
+        mb: &Mailbox<LastVotingMessage<V>>,
+    ) {
+        let (phase, offset) = r.phase(4);
+        let coord = self.coord(phase);
+        match offset {
+            0 => {
+                if p == coord {
+                    let estimates: Vec<(&V, u64)> = mb
+                        .messages()
+                        .filter_map(|m| match m {
+                            LastVotingMessage::Estimate(v, ts) => Some((v, *ts)),
+                            _ => None,
+                        })
+                        .collect();
+                    if self.majority(estimates.len()) {
+                        // The estimate with the largest timestamp; ties break
+                        // to the smallest value for determinism.
+                        let best = estimates
+                            .iter()
+                            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+                            .expect("majority implies non-empty");
+                        state.vote = Some(best.0.clone());
+                        state.commit = true;
+                    }
+                }
+            }
+            1 => {
+                if let Some(LastVotingMessage::Vote(v)) = mb.from(coord) {
+                    state.x = v.clone();
+                    state.ts = phase;
+                }
+            }
+            2 => {
+                if p == coord {
+                    let acks = mb
+                        .messages()
+                        .filter(|m| matches!(m, LastVotingMessage::Ack))
+                        .count();
+                    if self.majority(acks) {
+                        state.ready = true;
+                    }
+                }
+            }
+            3 => {
+                if let Some(LastVotingMessage::Vote(v)) = mb.from(coord) {
+                    if state.decision.is_none() {
+                        state.decision = Some(v.clone());
+                    }
+                }
+                state.commit = false;
+                state.ready = false;
+            }
+            _ => unreachable!("offset < 4"),
+        }
+    }
+
+    fn decision(&self, state: &LastVotingState<V>) -> Option<V> {
+        state.decision.clone()
+    }
+
+    fn broadcast_message(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &LastVotingState<V>,
+    ) -> Option<LastVotingMessage<V>> {
+        // LastVoting is not a broadcast algorithm in rounds 4φ−3 and 4φ−1;
+        // the broadcast view is only meaningful for the coordinator rounds.
+        let (_, offset) = r.phase(4);
+        match offset {
+            1 | 3 => self.message(r, p, state, p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashStop, FullDelivery, RandomLoss, Scripted};
+    use crate::executor::RoundExecutor;
+    use crate::process::ProcessSet;
+
+    #[test]
+    fn nice_run_decides_in_one_phase() {
+        let mut exec = RoundExecutor::new(LastVoting::new(3), vec![30u64, 10, 20]);
+        let r = exec.run_until_all_decided(&mut FullDelivery, 20).unwrap();
+        assert_eq!(r, Round(4));
+        // Phase-1 coordinator is p0; all timestamps are 0, ties break to the
+        // smallest value.
+        assert!(exec.decisions().iter().all(|d| *d == Some(10)));
+    }
+
+    #[test]
+    fn coordinator_rotates() {
+        let alg = LastVoting::<u64>::new(3);
+        assert_eq!(alg.coord(1), ProcessId::new(0));
+        assert_eq!(alg.coord(2), ProcessId::new(1));
+        assert_eq!(alg.coord(3), ProcessId::new(2));
+        assert_eq!(alg.coord(4), ProcessId::new(0));
+    }
+
+    #[test]
+    fn tolerates_coordinator_crash() {
+        // p0 (phase-1 coordinator) crashes immediately; phase 2 has
+        // coordinator p1 and a live majority of 2 out of 3... n = 3 needs
+        // majority 2: p1, p2 survive. Decision in phase 2.
+        let mut adv = CrashStop::new(3, &[(0, Round(1))]);
+        let mut exec = RoundExecutor::new(LastVoting::new(3), vec![5u64, 7, 9]);
+        let scope = ProcessSet::from_indices([1, 2]);
+        let r = exec.run_until_decided_in(scope, &mut adv, 40).unwrap();
+        assert_eq!(r, Round(8), "phase 2 ends at round 8");
+        assert_eq!(exec.decisions()[1], Some(7));
+    }
+
+    #[test]
+    fn message_loss_delays_but_never_endangers() {
+        let mut adv = RandomLoss::new(0.3, 5);
+        let mut exec = RoundExecutor::new(LastVoting::new(5), vec![4u64, 8, 1, 9, 2]);
+        // Paxos under loss: decision may be postponed for many phases but
+        // safety holds throughout (executor checks every round).
+        exec.run(&mut adv, 400).expect("no safety violation");
+    }
+
+    #[test]
+    fn locked_value_wins_later_phases() {
+        // Phase 1: coordinator p0 commits vote and p0+p1 adopt ts=1, but the
+        // decision round is cut for everyone. Phase 2 (coord p1) must then
+        // re-propose the ts=1 value, not its own.
+        let all = ProcessSet::full(3);
+        let none = ProcessSet::empty();
+        let mut script = vec![
+            vec![all, all, all],    // 4φ−3: estimates reach p0
+            vec![all, all, all],    // 4φ−2: vote reaches all (ts := 1)
+            vec![all, all, all],    // 4φ−1: acks reach p0 (ready)
+            vec![none, none, none], // 4φ: decision messages all lost
+        ];
+        // Phase 2 runs nicely.
+        script.extend(vec![vec![all, all, all]; 4]);
+        let mut adv = Scripted::new(script);
+        let mut exec = RoundExecutor::new(LastVoting::new(3), vec![30u64, 10, 20]);
+        let r = exec.run_until_all_decided(&mut adv, 8).unwrap();
+        assert_eq!(r, Round(8));
+        // Value locked in phase 1 is the smallest estimate, 10.
+        assert!(exec.decisions().iter().all(|d| *d == Some(10)));
+    }
+
+    #[test]
+    fn no_majority_no_progress_but_safe() {
+        // Coordinator only ever hears itself: no commit, no decision.
+        let solo: Vec<ProcessSet> = (0..3).map(|p| ProcessSet::from_indices([p])).collect();
+        let mut adv = Scripted::new(vec![solo; 12]);
+        let mut exec = RoundExecutor::new(LastVoting::new(3), vec![1u64, 2, 3]);
+        exec.run(&mut adv, 12).unwrap();
+        assert!(exec.decisions().iter().all(Option::is_none));
+    }
+}

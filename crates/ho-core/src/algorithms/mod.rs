@@ -1,0 +1,22 @@
+//! Consensus algorithms expressed in the HO model.
+//!
+//! * [`OneThirdRule`] — Algorithm 1 of the paper; solves consensus with
+//!   `P_otr` (Theorem 1) and, restricted to `Π0`, with `P_otr^restr`
+//!   (Theorem 2).
+//! * [`UniformVoting`] — from the companion HO-model paper \[CBS06\]; safe
+//!   under any HO assignment, live when every round has a non-empty kernel
+//!   and some round is space-uniform.
+//! * [`LastVoting`] — the Paxos-like coordinated algorithm of \[CBS06\],
+//!   included because the paper repeatedly contrasts communication
+//!   predicates with Paxos's implicit liveness conditions (§1, §5).
+//!
+//! All three satisfy consensus *safety* under **every** HO assignment — the
+//! property-based tests in `tests/` hammer exactly that invariant.
+
+mod last_voting;
+mod one_third_rule;
+mod uniform_voting;
+
+pub use last_voting::{LastVoting, LastVotingMessage, LastVotingState};
+pub use one_third_rule::{OneThirdRule, OtrState};
+pub use uniform_voting::{UniformVoting, UvMessage, UvState};

@@ -1,0 +1,257 @@
+//! The *UniformVoting* algorithm from the companion HO-model paper \[CBS06\].
+//!
+//! UniformVoting is the HO rendition of a two-phase voting scheme: phases of
+//! two rounds, where the first round levels estimates and casts votes and
+//! the second round confirms them. Its correctness predicate is
+//!
+//! ```text
+//! P_uv :: (∀r : K(r) ≠ ∅)  ∧  (∃φ : both rounds of phase φ are space uniform)
+//! ```
+//!
+//! Unlike OneThirdRule, the non-empty-kernel conjunct is needed for
+//! **safety**, not only liveness: with an empty kernel, two disjoint groups
+//! can each see unanimous (but different) values, cast conflicting votes,
+//! and decide differently — see the `agreement_needs_nonempty_kernels`
+//! test. Under `P_nek` any two voters of a round share a witness, so all
+//! votes of a phase agree. The non-empty-kernel class is exactly the class
+//! within which \[CBS06\] identifies the weakest predicate for consensus; we
+//! include the algorithm to exercise predicates other than `P_otr`.
+//!
+//! ```text
+//! Initialization: x_p ← v_p ; vote_p ← ?
+//! Round r = 2φ − 1:
+//!   S: send ⟨x_p⟩ to all
+//!   T: x_p ← smallest x̄ received
+//!      if all values received are equal to x̄ then vote_p ← x̄
+//! Round r = 2φ:
+//!   S: send ⟨x_p, vote_p⟩ to all
+//!   T: if some vote v ≠ ? received then x_p ← v (smallest such)
+//!      if all received votes equal v ≠ ? then DECIDE(v)
+//!      vote_p ← ?
+//! ```
+
+use std::marker::PhantomData;
+
+use crate::algorithm::HoAlgorithm;
+use crate::mailbox::Mailbox;
+use crate::process::ProcessId;
+use crate::round::Round;
+
+/// UniformVoting over `n` processes.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformVoting<V = u64> {
+    n: usize,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V> UniformVoting<V> {
+    /// UniformVoting over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        UniformVoting { n, _values: PhantomData }
+    }
+}
+
+/// Message of a UniformVoting round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UvMessage<V> {
+    /// First round of a phase: the current estimate.
+    Estimate(V),
+    /// Second round of a phase: estimate and optional vote.
+    Vote(V, Option<V>),
+}
+
+/// Per-process state of UniformVoting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UvState<V> {
+    /// Current estimate `x_p`.
+    pub x: V,
+    /// Current vote (`?` = `None`).
+    pub vote: Option<V>,
+    /// The decision, once taken.
+    pub decision: Option<V>,
+}
+
+impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for UniformVoting<V> {
+    type State = UvState<V>;
+    type Message = UvMessage<V>;
+    type Value = V;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn init(&self, _p: ProcessId, initial_value: V) -> UvState<V> {
+        UvState {
+            x: initial_value,
+            vote: None,
+            decision: None,
+        }
+    }
+
+    fn message(
+        &self,
+        r: Round,
+        _p: ProcessId,
+        state: &UvState<V>,
+        _q: ProcessId,
+    ) -> Option<UvMessage<V>> {
+        if r.get() % 2 == 1 {
+            Some(UvMessage::Estimate(state.x.clone()))
+        } else {
+            Some(UvMessage::Vote(state.x.clone(), state.vote.clone()))
+        }
+    }
+
+    fn transition(
+        &self,
+        r: Round,
+        _p: ProcessId,
+        state: &mut UvState<V>,
+        mb: &Mailbox<UvMessage<V>>,
+    ) {
+        if r.get() % 2 == 1 {
+            // Levelling round: adopt the smallest estimate heard; vote if
+            // unanimous.
+            let estimates: Vec<&V> = mb
+                .messages()
+                .map(|m| match m {
+                    UvMessage::Estimate(v) => v,
+                    UvMessage::Vote(..) => unreachable!("odd rounds carry estimates"),
+                })
+                .collect();
+            if let Some(min) = estimates.iter().min() {
+                state.x = (*min).clone();
+                if estimates.iter().all(|v| *v == *min) {
+                    state.vote = Some((*min).clone());
+                }
+            }
+        } else {
+            // Confirmation round.
+            let mut votes: Vec<&V> = Vec::new();
+            let mut all_voted = !mb.is_empty();
+            for m in mb.messages() {
+                match m {
+                    UvMessage::Vote(_, Some(v)) => votes.push(v),
+                    UvMessage::Vote(_, None) => all_voted = false,
+                    UvMessage::Estimate(_) => unreachable!("even rounds carry votes"),
+                }
+            }
+            if let Some(min_vote) = votes.iter().min() {
+                state.x = (*min_vote).clone();
+                if all_voted && votes.iter().all(|v| *v == *min_vote) && state.decision.is_none() {
+                    state.decision = Some((*min_vote).clone());
+                }
+            }
+            state.vote = None;
+        }
+    }
+
+    fn decision(&self, state: &UvState<V>) -> Option<V> {
+        state.decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FullDelivery, KernelOnly, Scripted};
+    use crate::executor::RoundExecutor;
+    use crate::process::ProcessSet;
+
+    #[test]
+    fn unanimous_inputs_decide_in_one_phase() {
+        let mut exec = RoundExecutor::new(UniformVoting::new(4), vec![1u64, 1, 1, 1]);
+        let r = exec.run_until_all_decided(&mut FullDelivery, 10).unwrap();
+        assert_eq!(r, Round(2), "phase 1 = rounds 1 and 2");
+        assert!(exec.decisions().iter().all(|d| *d == Some(1)));
+    }
+
+    #[test]
+    fn mixed_inputs_decide_in_two_phases() {
+        // Phase 1 levels every estimate to the minimum (no unanimous round-1
+        // values → no votes); phase 2 votes unanimously and decides.
+        let mut exec = RoundExecutor::new(UniformVoting::new(4), vec![3u64, 1, 4, 1]);
+        let r = exec.run_until_all_decided(&mut FullDelivery, 10).unwrap();
+        assert_eq!(r, Round(4), "phase 2 = rounds 3 and 4");
+        assert!(exec.decisions().iter().all(|d| *d == Some(1)));
+    }
+
+    #[test]
+    fn safety_under_kernel_preserving_loss() {
+        // Safety requires P_nek: KernelOnly guarantees a pivot heard by
+        // everyone each round while dropping aggressively otherwise.
+        let mut adv = KernelOnly::new(0.9, 17);
+        let mut exec = RoundExecutor::new(UniformVoting::new(5), vec![5u64, 3, 9, 0, 7]);
+        exec.run(&mut adv, 300).expect("no safety violation");
+    }
+
+    #[test]
+    fn agreement_needs_nonempty_kernels() {
+        // The counterexample (found by the property tests) that shows why
+        // P_nek is part of UniformVoting's *safety* predicate: two disjoint
+        // groups see unanimous-but-different values, vote differently, and
+        // decide differently.
+        use crate::executor::RunError;
+        let a = ProcessSet::from_indices([0, 1]);
+        let b = ProcessSet::from_indices([2, 3]);
+        let mut adv = Scripted::new(vec![
+            vec![a, a, b, b], // round 1: empty kernel → conflicting votes
+            vec![a, a, b, b], // round 2: each group confirms its own vote
+        ]);
+        let mut exec = RoundExecutor::new(UniformVoting::new(4), vec![1u64, 1, 2, 2]);
+        let err = exec.run(&mut adv, 2).unwrap_err();
+        assert!(matches!(err, RunError::Violation(_)), "got {err}");
+    }
+
+    #[test]
+    fn live_under_kernel_then_uniform() {
+        // Kernel-only chaos, then full delivery: decision follows.
+        let mut chaos = KernelOnly::new(0.7, 23);
+        let mut exec = RoundExecutor::new(UniformVoting::new(4), vec![8u64, 2, 6, 4]);
+        exec.run(&mut chaos, 9).unwrap();
+        let r = exec.run_until_all_decided(&mut FullDelivery, 30).unwrap();
+        assert!(r <= Round(9 + 4), "two uniform phases at most");
+    }
+
+    #[test]
+    fn no_decision_without_unanimous_votes() {
+        // Split the first (odd) round so votes differ / are missing; the
+        // even round then must not decide.
+        let a = ProcessSet::from_indices([0, 1]);
+        let b = ProcessSet::from_indices([2, 3]);
+        let mut adv = Scripted::new(vec![
+            vec![a, a, b, b], // round 1: two cliques, different minima
+            vec![
+                ProcessSet::full(4),
+                ProcessSet::full(4),
+                ProcessSet::full(4),
+                ProcessSet::full(4),
+            ], // round 2: votes conflict → no decision
+        ]);
+        let mut exec = RoundExecutor::new(UniformVoting::new(4), vec![1u64, 1, 2, 2]);
+        exec.run(&mut adv, 2).unwrap();
+        assert!(exec.decisions().iter().all(Option::is_none));
+        // But estimates converged to the smallest vote (1) — next uniform
+        // phase decides 1.
+        let r = exec.run_until_all_decided(&mut FullDelivery, 10).unwrap();
+        assert_eq!(r, Round(4));
+        assert!(exec.decisions().iter().all(|d| *d == Some(1)));
+    }
+
+    #[test]
+    fn empty_mailbox_keeps_state() {
+        let alg = UniformVoting::new(3);
+        let mut st = alg.init(ProcessId::new(0), 5u64);
+        alg.transition(Round(1), ProcessId::new(0), &mut st, &Mailbox::empty());
+        assert_eq!(st.x, 5);
+        assert_eq!(st.vote, None);
+        alg.transition(Round(2), ProcessId::new(0), &mut st, &Mailbox::empty());
+        assert_eq!(st.decision, None);
+    }
+}

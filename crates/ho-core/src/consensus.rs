@@ -1,0 +1,295 @@
+//! The consensus specification and its runtime checker.
+//!
+//! Consensus (§3.1) over initial values `v_i`:
+//!
+//! * **Integrity** — any decision value is the initial value of some process.
+//! * **Agreement** — no two processes decide differently.
+//! * **Termination** — all processes (or, with restricted-scope predicates,
+//!   all processes in `Π0`) eventually decide.
+//!
+//! The checker observes decisions as they happen and reports the first
+//! safety violation; termination is checked at the end of a run against a
+//! scope.
+
+use std::fmt;
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+
+/// A violation of the consensus safety specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsensusViolation<V> {
+    /// A decision value was not any process's initial value.
+    Integrity {
+        /// The offending process.
+        process: ProcessId,
+        /// The round in which it decided.
+        round: Round,
+        /// The decided value.
+        value: V,
+    },
+    /// Two processes decided different values.
+    Agreement {
+        /// The first decider observed.
+        first: (ProcessId, V),
+        /// The conflicting decider.
+        second: (ProcessId, V),
+        /// The round of the conflicting decision.
+        round: Round,
+    },
+    /// A process changed or withdrew a previous decision.
+    Revoked {
+        /// The offending process.
+        process: ProcessId,
+        /// What it had decided.
+        was: V,
+        /// What it reports now (`None` = withdrawn).
+        now: Option<V>,
+        /// The round of the revocation.
+        round: Round,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsensusViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusViolation::Integrity {
+                process,
+                round,
+                value,
+            } => write!(
+                f,
+                "integrity violated: {process} decided {value:?} at {round:?}, \
+                 which is no process's initial value"
+            ),
+            ConsensusViolation::Agreement {
+                first,
+                second,
+                round,
+            } => write!(
+                f,
+                "agreement violated at {round:?}: {} decided {:?} but {} decided {:?}",
+                first.0, first.1, second.0, second.1
+            ),
+            ConsensusViolation::Revoked {
+                process,
+                was,
+                now,
+                round,
+            } => write!(
+                f,
+                "decision revoked at {round:?}: {process} had decided {was:?}, now {now:?}"
+            ),
+        }
+    }
+}
+
+impl<V: fmt::Debug> std::error::Error for ConsensusViolation<V> {}
+
+/// Observes decisions round by round and checks integrity, agreement and
+/// irrevocability online.
+#[derive(Clone, Debug)]
+pub struct ConsensusChecker<V> {
+    initial: Vec<V>,
+    decisions: Vec<Option<(V, Round)>>,
+}
+
+impl<V: Clone + PartialEq + fmt::Debug> ConsensusChecker<V> {
+    /// A checker for a run starting from the given initial values.
+    #[must_use]
+    pub fn new(initial: Vec<V>) -> Self {
+        let n = initial.len();
+        ConsensusChecker {
+            initial,
+            decisions: vec![None; n],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Records the decision state of `p` after round `r`.
+    ///
+    /// Call with `p`'s current decision (possibly `None`) after every round;
+    /// the checker detects revocation as well as fresh violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if integrity, agreement or irrevocability is
+    /// broken by this observation.
+    pub fn observe(
+        &mut self,
+        p: ProcessId,
+        r: Round,
+        decision: Option<&V>,
+    ) -> Result<(), ConsensusViolation<V>> {
+        let prior = self.decisions[p.index()].clone();
+        match (prior, decision) {
+            (None, None) => Ok(()),
+            (Some((was, _)), None) => Err(ConsensusViolation::Revoked {
+                process: p,
+                was,
+                now: None,
+                round: r,
+            }),
+            (Some((was, _)), Some(now)) if was != *now => Err(ConsensusViolation::Revoked {
+                process: p,
+                was,
+                now: Some(now.clone()),
+                round: r,
+            }),
+            (Some(_), Some(_)) => Ok(()),
+            (None, Some(v)) => {
+                if !self.initial.contains(v) {
+                    return Err(ConsensusViolation::Integrity {
+                        process: p,
+                        round: r,
+                        value: v.clone(),
+                    });
+                }
+                if let Some((q, (w, _))) = self
+                    .decisions
+                    .iter()
+                    .enumerate()
+                    .find_map(|(q, d)| d.as_ref().map(|d| (q, d.clone())))
+                {
+                    if w != *v {
+                        return Err(ConsensusViolation::Agreement {
+                            first: (ProcessId::new(q), w),
+                            second: (p, v.clone()),
+                            round: r,
+                        });
+                    }
+                }
+                self.decisions[p.index()] = Some((v.clone(), r));
+                Ok(())
+            }
+        }
+    }
+
+    /// The set of processes that have decided.
+    #[must_use]
+    pub fn decided(&self) -> ProcessSet {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(p, _)| ProcessId::new(p))
+            .collect()
+    }
+
+    /// Whether every process in `scope` has decided (the termination
+    /// condition, restricted to `scope` as in Theorem 2).
+    #[must_use]
+    pub fn terminated(&self, scope: ProcessSet) -> bool {
+        scope.is_subset(self.decided())
+    }
+
+    /// The common decision value, if at least one process decided.
+    #[must_use]
+    pub fn decision_value(&self) -> Option<&V> {
+        self.decisions
+            .iter()
+            .find_map(|d| d.as_ref().map(|(v, _)| v))
+    }
+
+    /// The round at which `p` decided, if it has.
+    #[must_use]
+    pub fn decision_round(&self, p: ProcessId) -> Option<Round> {
+        self.decisions[p.index()].as_ref().map(|(_, r)| *r)
+    }
+
+    /// The latest decision round among processes in `scope`, if all decided.
+    #[must_use]
+    pub fn last_decision_round(&self, scope: ProcessSet) -> Option<Round> {
+        scope
+            .iter()
+            .map(|p| self.decision_round(p))
+            .collect::<Option<Vec<_>>>()
+            .map(|rs| rs.into_iter().max().unwrap_or(Round(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn accepts_valid_run() {
+        let mut c = ConsensusChecker::new(vec![10, 20, 30]);
+        assert!(c.observe(p(0), Round(2), Some(&20)).is_ok());
+        assert!(c.observe(p(1), Round(3), Some(&20)).is_ok());
+        assert!(c.observe(p(2), Round(3), None).is_ok());
+        assert!(!c.terminated(ProcessSet::full(3)));
+        assert!(c.terminated(ProcessSet::from_indices([0, 1])));
+        assert_eq!(c.decision_value(), Some(&20));
+        assert_eq!(c.decision_round(p(1)), Some(Round(3)));
+        assert_eq!(
+            c.last_decision_round(ProcessSet::from_indices([0, 1])),
+            Some(Round(3))
+        );
+    }
+
+    #[test]
+    fn integrity_violation_detected() {
+        let mut c = ConsensusChecker::new(vec![1, 2]);
+        let err = c.observe(p(0), Round(1), Some(&99)).unwrap_err();
+        assert!(matches!(err, ConsensusViolation::Integrity { value: 99, .. }));
+    }
+
+    #[test]
+    fn agreement_violation_detected() {
+        let mut c = ConsensusChecker::new(vec![1, 2]);
+        c.observe(p(0), Round(1), Some(&1)).unwrap();
+        let err = c.observe(p(1), Round(2), Some(&2)).unwrap_err();
+        assert!(matches!(err, ConsensusViolation::Agreement { .. }));
+    }
+
+    #[test]
+    fn revocation_detected() {
+        let mut c = ConsensusChecker::new(vec![1, 2]);
+        c.observe(p(0), Round(1), Some(&1)).unwrap();
+        let err = c.observe(p(0), Round(2), None).unwrap_err();
+        assert!(matches!(err, ConsensusViolation::Revoked { now: None, .. }));
+        // Changing the value is also a revocation (not agreement) for the
+        // same process.
+        let mut c = ConsensusChecker::new(vec![1, 2]);
+        c.observe(p(0), Round(1), Some(&1)).unwrap();
+        let err = c.observe(p(0), Round(2), Some(&2)).unwrap_err();
+        assert!(matches!(err, ConsensusViolation::Revoked { .. }));
+    }
+
+    #[test]
+    fn repeated_same_decision_ok() {
+        let mut c = ConsensusChecker::new(vec![5]);
+        c.observe(p(0), Round(1), Some(&5)).unwrap();
+        assert!(c.observe(p(0), Round(2), Some(&5)).is_ok());
+    }
+
+    #[test]
+    fn last_decision_round_none_until_all_decide() {
+        let mut c = ConsensusChecker::new(vec![1, 1]);
+        c.observe(p(0), Round(4), Some(&1)).unwrap();
+        assert_eq!(c.last_decision_round(ProcessSet::full(2)), None);
+        c.observe(p(1), Round(6), Some(&1)).unwrap();
+        assert_eq!(c.last_decision_round(ProcessSet::full(2)), Some(Round(6)));
+    }
+
+    #[test]
+    fn violation_display_messages() {
+        let v: ConsensusViolation<u32> = ConsensusViolation::Agreement {
+            first: (p(0), 1),
+            second: (p(1), 2),
+            round: Round(3),
+        };
+        let s = v.to_string();
+        assert!(s.contains("agreement violated"));
+    }
+}

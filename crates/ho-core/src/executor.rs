@@ -1,0 +1,374 @@
+//! The round-synchronous HO machine.
+//!
+//! [`RoundExecutor`] runs an [`HoAlgorithm`] round by round against an
+//! [`Adversary`] that chooses the heard-of sets, records the resulting
+//! [`Trace`], and checks the consensus safety properties after every round.
+//!
+//! This is the *model-level* executor: rounds are a global synchronous loop
+//! and transmission faults are exactly the adversary's choices. The
+//! *system-level* execution — where rounds have to be built out of timed
+//! send/receive steps in good periods — lives in the `ho-predicates` crate.
+
+use crate::adversary::Adversary;
+use crate::algorithm::HoAlgorithm;
+use crate::consensus::{ConsensusChecker, ConsensusViolation};
+use crate::mailbox::Mailbox;
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+use crate::trace::Trace;
+
+/// Why a run stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError<V> {
+    /// A consensus safety property was violated (this indicates a bug in the
+    /// algorithm under test — the executor never masks it).
+    Violation(ConsensusViolation<V>),
+    /// The round budget was exhausted before the goal was reached.
+    MaxRoundsExceeded {
+        /// The budget that was exhausted.
+        max_rounds: u64,
+        /// How many processes had decided when we gave up.
+        decided: usize,
+    },
+}
+
+impl<V: std::fmt::Debug> std::fmt::Display for RunError<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Violation(v) => write!(f, "{v}"),
+            RunError::MaxRoundsExceeded {
+                max_rounds,
+                decided,
+            } => write!(
+                f,
+                "goal not reached within {max_rounds} rounds ({decided} processes decided)"
+            ),
+        }
+    }
+}
+
+impl<V: std::fmt::Debug> std::error::Error for RunError<V> {}
+
+impl<V> From<ConsensusViolation<V>> for RunError<V> {
+    fn from(v: ConsensusViolation<V>) -> Self {
+        RunError::Violation(v)
+    }
+}
+
+/// Runs an HO algorithm round by round under an adversary.
+pub struct RoundExecutor<A: HoAlgorithm> {
+    alg: A,
+    states: Vec<A::State>,
+    trace: Trace,
+    checker: ConsensusChecker<A::Value>,
+    round: Round,
+}
+
+impl<A: HoAlgorithm> RoundExecutor<A> {
+    /// Creates an executor with one process per initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_values.len() != alg.n()`.
+    #[must_use]
+    pub fn new(alg: A, initial_values: Vec<A::Value>) -> Self {
+        assert_eq!(
+            initial_values.len(),
+            alg.n(),
+            "need one initial value per process"
+        );
+        let states = initial_values
+            .iter()
+            .enumerate()
+            .map(|(p, v)| alg.init(ProcessId::new(p), v.clone()))
+            .collect();
+        let n = initial_values.len();
+        RoundExecutor {
+            alg,
+            states,
+            trace: Trace::new(n),
+            checker: ConsensusChecker::new(initial_values),
+            round: Round(0),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.alg.n()
+    }
+
+    /// The algorithm under execution.
+    #[must_use]
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// The last completed round (`Round(0)` before the first).
+    #[must_use]
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// The recorded heard-of trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The per-process states (read-only).
+    #[must_use]
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// The consensus checker (decisions observed so far).
+    #[must_use]
+    pub fn checker(&self) -> &ConsensusChecker<A::Value> {
+        &self.checker
+    }
+
+    /// Current decisions, indexed by process.
+    #[must_use]
+    pub fn decisions(&self) -> Vec<Option<A::Value>> {
+        self.states.iter().map(|s| self.alg.decision(s)).collect()
+    }
+
+    /// Executes one round with the HO sets chosen by `adversary`.
+    ///
+    /// The effective `HO(p, r)` recorded in the trace is the *support of the
+    /// mailbox*: the adversary authorises a transmission `q → p`, but if
+    /// `S_q^r` produces no message for `p`, then `q ∉ HO(p, r)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError::Violation`] if the round broke a consensus
+    /// safety property.
+    pub fn step(&mut self, adversary: &mut impl Adversary) -> Result<Round, RunError<A::Value>> {
+        let n = self.n();
+        let r = self.round.next();
+        let assignment = adversary.ho_sets(r, n);
+        assert_eq!(assignment.len(), n, "adversary must cover all processes");
+
+        // Sending phase: S_q^r applied to the *pre-round* states.
+        let mut mailboxes: Vec<Mailbox<A::Message>> = (0..n).map(|_| Mailbox::empty()).collect();
+        for (p, allowed) in assignment.iter().enumerate() {
+            let dest = ProcessId::new(p);
+            for q in allowed.iter() {
+                if let Some(m) = self.alg.message(r, q, &self.states[q.index()], dest) {
+                    mailboxes[p].push(q, m);
+                }
+            }
+        }
+
+        // Record the effective HO sets.
+        let ho: Vec<ProcessSet> = mailboxes.iter().map(Mailbox::senders).collect();
+        self.trace.push_round(ho);
+
+        // Transition phase: T_p^r.
+        for (p, mailbox) in mailboxes.iter().enumerate() {
+            let pid = ProcessId::new(p);
+            self.alg
+                .transition(r, pid, &mut self.states[p], mailbox);
+            let decision = self.alg.decision(&self.states[p]);
+            self.checker.observe(pid, r, decision.as_ref())?;
+        }
+
+        self.round = r;
+        Ok(r)
+    }
+
+    /// Runs exactly `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates safety violations.
+    pub fn run(
+        &mut self,
+        adversary: &mut impl Adversary,
+        rounds: u64,
+    ) -> Result<(), RunError<A::Value>> {
+        for _ in 0..rounds {
+            self.step(adversary)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until every process in `scope` has decided, or the budget runs
+    /// out. Returns the round by which all of `scope` had decided.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::MaxRoundsExceeded`] if termination is not reached within
+    /// `max_rounds`; [`RunError::Violation`] on safety violations.
+    pub fn run_until_decided_in(
+        &mut self,
+        scope: ProcessSet,
+        adversary: &mut impl Adversary,
+        max_rounds: u64,
+    ) -> Result<Round, RunError<A::Value>> {
+        while !self.checker.terminated(scope) {
+            if self.round.get() >= max_rounds {
+                return Err(RunError::MaxRoundsExceeded {
+                    max_rounds,
+                    decided: self.checker.decided().len(),
+                });
+            }
+            self.step(adversary)?;
+        }
+        Ok(self
+            .checker
+            .last_decision_round(scope)
+            .expect("scope terminated"))
+    }
+
+    /// Runs until *all* processes decide ([`RoundExecutor::run_until_decided_in`] with
+    /// `scope = Π`).
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_until_decided_in`].
+    pub fn run_until_all_decided(
+        &mut self,
+        adversary: &mut impl Adversary,
+        max_rounds: u64,
+    ) -> Result<Round, RunError<A::Value>> {
+        self.run_until_decided_in(ProcessSet::full(self.n()), adversary, max_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FullDelivery, Scripted};
+
+    /// Decide your own value after `k` rounds — enough to exercise the
+    /// executor plumbing without algorithmic complexity.
+    struct DecideOwnAfter {
+        n: usize,
+        k: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct St {
+        v: u64,
+        rounds: u64,
+        heard_total: usize,
+    }
+
+    impl HoAlgorithm for DecideOwnAfter {
+        type State = St;
+        type Message = u64;
+        type Value = u64;
+
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn init(&self, _p: ProcessId, v: u64) -> St {
+            St {
+                v,
+                rounds: 0,
+                heard_total: 0,
+            }
+        }
+        fn message(&self, _r: Round, _p: ProcessId, s: &St, _q: ProcessId) -> Option<u64> {
+            Some(s.v)
+        }
+        fn transition(&self, _r: Round, _p: ProcessId, s: &mut St, mb: &Mailbox<u64>) {
+            s.rounds += 1;
+            s.heard_total += mb.len();
+        }
+        fn decision(&self, s: &St) -> Option<u64> {
+            // All processes share initial value in these tests, so this is
+            // agreement-safe.
+            (s.rounds >= self.k).then_some(s.v)
+        }
+    }
+
+    #[test]
+    fn runs_and_records_trace() {
+        let alg = DecideOwnAfter { n: 3, k: 2 };
+        let mut exec = RoundExecutor::new(alg, vec![7, 7, 7]);
+        let r = exec
+            .run_until_all_decided(&mut FullDelivery, 10)
+            .expect("decides");
+        assert_eq!(r, Round(2));
+        assert_eq!(exec.trace().rounds(), 2);
+        assert_eq!(exec.decisions(), vec![Some(7), Some(7), Some(7)]);
+    }
+
+    #[test]
+    fn max_rounds_enforced() {
+        let alg = DecideOwnAfter { n: 2, k: 100 };
+        let mut exec = RoundExecutor::new(alg, vec![1, 1]);
+        let err = exec
+            .run_until_all_decided(&mut FullDelivery, 5)
+            .unwrap_err();
+        assert!(matches!(err, RunError::MaxRoundsExceeded { max_rounds: 5, .. }));
+    }
+
+    #[test]
+    fn trace_reflects_adversary() {
+        let alg = DecideOwnAfter { n: 2, k: 10 };
+        let mut exec = RoundExecutor::new(alg, vec![1, 1]);
+        let script = vec![vec![
+            ProcessSet::from_indices([0]),
+            ProcessSet::from_indices([0, 1]),
+        ]];
+        let mut adv = Scripted::new(script);
+        exec.step(&mut adv).unwrap();
+        assert_eq!(
+            exec.trace().ho(ProcessId::new(0), Round(1)),
+            ProcessSet::from_indices([0])
+        );
+        assert_eq!(
+            exec.trace().ho(ProcessId::new(1), Round(1)),
+            ProcessSet::from_indices([0, 1])
+        );
+    }
+
+    #[test]
+    fn ho_is_mailbox_support_not_adversary_grant() {
+        /// Sends only to destination 0.
+        struct OnlyToZero;
+        impl HoAlgorithm for OnlyToZero {
+            type State = u64;
+            type Message = u64;
+            type Value = u64;
+            fn n(&self) -> usize {
+                2
+            }
+            fn init(&self, _p: ProcessId, v: u64) -> u64 {
+                v
+            }
+            fn message(&self, _r: Round, _p: ProcessId, s: &u64, q: ProcessId) -> Option<u64> {
+                (q.index() == 0).then_some(*s)
+            }
+            fn transition(&self, _r: Round, _p: ProcessId, _s: &mut u64, _mb: &Mailbox<u64>) {}
+            fn decision(&self, _s: &u64) -> Option<u64> {
+                None
+            }
+        }
+        let mut exec = RoundExecutor::new(OnlyToZero, vec![1, 2]);
+        exec.step(&mut FullDelivery).unwrap();
+        // p1 received nothing even though the adversary allowed everything.
+        assert_eq!(
+            exec.trace().ho(ProcessId::new(1), Round(1)),
+            ProcessSet::empty()
+        );
+        assert_eq!(
+            exec.trace().ho(ProcessId::new(0), Round(1)),
+            ProcessSet::full(2)
+        );
+    }
+
+    #[test]
+    fn state_access() {
+        let alg = DecideOwnAfter { n: 2, k: 1 };
+        let mut exec = RoundExecutor::new(alg, vec![3, 3]);
+        exec.run(&mut FullDelivery, 1).unwrap();
+        assert_eq!(exec.states()[0].heard_total, 2);
+        assert_eq!(exec.current_round(), Round(1));
+        assert_eq!(exec.n(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! The partial vector of messages received in a round.
+//!
+//! At the end of round `r`, process `p` makes a state transition according to
+//! `T_p^r(μ⃗, s_p)`, where `μ⃗` is the partial vector of messages received by
+//! `p` in round `r`. [`Mailbox`] is that vector; its *support* (the set of
+//! senders) is the heard-of set `HO(p, r)`.
+
+use crate::process::{ProcessId, ProcessSet};
+
+/// The messages received by one process in one round.
+///
+/// The mailbox preserves sender identity; `HO(p, r)` is [`Mailbox::senders`].
+/// Every accessor that the paper's transition functions need — counting
+/// occurrences of a value, finding the smallest received value, quorum tests
+/// — is provided here so that algorithm code reads like the pseudo-code.
+#[derive(Clone, Debug)]
+pub struct Mailbox<M> {
+    entries: Vec<(ProcessId, M)>,
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Mailbox {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<M> Mailbox<M> {
+    /// An empty mailbox (a round in which `p` heard of nobody; the predicate
+    /// `P_otr` explicitly allows such rounds).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a mailbox from `(sender, message)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same sender appears twice: rounds are communication
+    /// closed, so a process hears of each peer at most once per round.
+    #[must_use]
+    pub fn from_entries(entries: Vec<(ProcessId, M)>) -> Self {
+        let mut seen = ProcessSet::empty();
+        for (q, _) in &entries {
+            assert!(!seen.contains(*q), "duplicate sender {q} in mailbox");
+            seen.insert(*q);
+        }
+        Mailbox { entries }
+    }
+
+    /// Adds a message from `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message from `sender` is already present.
+    pub fn push(&mut self, sender: ProcessId, message: M) {
+        assert!(
+            !self.senders().contains(sender),
+            "duplicate sender {sender} in mailbox"
+        );
+        self.entries.push((sender, message));
+    }
+
+    /// The heard-of set: the support of the partial vector.
+    #[must_use]
+    pub fn senders(&self) -> ProcessSet {
+        self.entries.iter().map(|(q, _)| *q).collect()
+    }
+
+    /// Number of messages received, `|HO(p, r)|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no message was received.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The message received from `q`, if any.
+    #[must_use]
+    pub fn from(&self, q: ProcessId) -> Option<&M> {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == q)
+            .map(|(_, m)| m)
+    }
+
+    /// Iterates over `(sender, message)` pairs in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.entries.iter().map(|(q, m)| (*q, m))
+    }
+
+    /// Iterates over the received messages only.
+    pub fn messages(&self) -> impl Iterator<Item = &M> {
+        self.entries.iter().map(|(_, m)| m)
+    }
+
+    /// Maps every message, keeping senders.
+    #[must_use]
+    pub fn map<N>(&self, mut f: impl FnMut(&M) -> N) -> Mailbox<N> {
+        Mailbox {
+            entries: self.entries.iter().map(|(q, m)| (*q, f(m))).collect(),
+        }
+    }
+
+    /// Keeps only the messages whose *sender* satisfies the filter.
+    #[must_use]
+    pub fn filter_senders(&self, keep: ProcessSet) -> Mailbox<M>
+    where
+        M: Clone,
+    {
+        Mailbox {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(q, _)| keep.contains(*q))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<M: Ord> Mailbox<M> {
+    /// The smallest received message (used by OneThirdRule's
+    /// "smallest `x_q` received" rule).
+    #[must_use]
+    pub fn min_message(&self) -> Option<&M> {
+        self.messages().min()
+    }
+}
+
+impl<M: PartialEq> Mailbox<M> {
+    /// Number of received messages equal to `value`.
+    #[must_use]
+    pub fn count_equal(&self, value: &M) -> usize {
+        self.messages().filter(|m| *m == value).count()
+    }
+
+    /// Whether strictly more than `threshold` received messages equal
+    /// `value` (the paper's "more than 2n/3 values received are equal to x").
+    #[must_use]
+    pub fn has_quorum_for(&self, value: &M, threshold: usize) -> bool {
+        self.count_equal(value) > threshold
+    }
+}
+
+impl<M: Ord + Clone> Mailbox<M> {
+    /// The most frequent received message; ties are broken towards the
+    /// smallest message so the result is deterministic.
+    #[must_use]
+    pub fn mode(&self) -> Option<M> {
+        let mut sorted: Vec<&M> = self.messages().collect();
+        sorted.sort();
+        let mut best: Option<(&M, usize)> = None;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j < sorted.len() && sorted[j] == sorted[i] {
+                j += 1;
+            }
+            let count = j - i;
+            let better = match best {
+                None => true,
+                Some((_, c)) => count > c,
+            };
+            if better {
+                best = Some((sorted[i], count));
+            }
+            i = j;
+        }
+        best.map(|(m, _)| m.clone())
+    }
+}
+
+impl<M> FromIterator<(ProcessId, M)> for Mailbox<M> {
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
+        Mailbox::from_entries(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn senders_is_support() {
+        let mb: Mailbox<u32> = [(p(0), 7), (p(2), 9)].into_iter().collect();
+        assert_eq!(mb.senders(), ProcessSet::from_indices([0, 2]));
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn from_returns_message() {
+        let mb: Mailbox<u32> = [(p(0), 7), (p(2), 9)].into_iter().collect();
+        assert_eq!(mb.from(p(2)), Some(&9));
+        assert_eq!(mb.from(p(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sender")]
+    fn duplicate_sender_rejected() {
+        let _ = Mailbox::from_entries(vec![(p(0), 1u32), (p(0), 2)]);
+    }
+
+    #[test]
+    fn count_and_quorum() {
+        let mb: Mailbox<u32> = [(p(0), 5), (p(1), 5), (p(2), 8)].into_iter().collect();
+        assert_eq!(mb.count_equal(&5), 2);
+        assert!(mb.has_quorum_for(&5, 1));
+        assert!(!mb.has_quorum_for(&5, 2));
+    }
+
+    #[test]
+    fn min_message() {
+        let mb: Mailbox<u32> = [(p(0), 5), (p(1), 3)].into_iter().collect();
+        assert_eq!(mb.min_message(), Some(&3));
+        assert_eq!(Mailbox::<u32>::empty().min_message(), None);
+    }
+
+    #[test]
+    fn mode_breaks_ties_to_smallest() {
+        let mb: Mailbox<u32> = [(p(0), 5), (p(1), 3), (p(2), 5), (p(3), 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(mb.mode(), Some(3));
+    }
+
+    #[test]
+    fn filter_senders_restricts() {
+        let mb: Mailbox<u32> = [(p(0), 1), (p(1), 2), (p(2), 3)].into_iter().collect();
+        let kept = mb.filter_senders(ProcessSet::from_indices([1, 2]));
+        assert_eq!(kept.senders(), ProcessSet::from_indices([1, 2]));
+        assert_eq!(kept.from(p(0)), None);
+    }
+
+    #[test]
+    fn map_preserves_senders() {
+        let mb: Mailbox<u32> = [(p(0), 1), (p(1), 2)].into_iter().collect();
+        let doubled = mb.map(|m| m * 2);
+        assert_eq!(doubled.from(p(1)), Some(&4));
+    }
+}

@@ -1,0 +1,209 @@
+//! Communication predicates as first-class values.
+//!
+//! A communication predicate `P` (paper, §3.1) is a predicate over the
+//! collection of heard-of sets `(HO(p, r))_{p∈Π, r>0}` of a run. A problem is
+//! solved by a *pair* `⟨A, P⟩` of an HO algorithm and a communication
+//! predicate: the predicate is the interface between the algorithmic layer
+//! and the predicate implementation layer (Figure 1).
+//!
+//! Predicates here evaluate against finite [`Trace`]s. Universally
+//! quantified predicates (e.g. "every round has a majority HO set") are
+//! checked on every recorded round; existentially quantified predicates
+//! (e.g. `P_otr`) are *witnessed* by the prefix — `false` means "no witness
+//! yet", which is the right reading for liveness properties.
+//!
+//! The module is organised as:
+//!
+//! * this file — the [`Predicate`] trait and logical combinators;
+//! * `paper` — the predicates of the paper: `P_otr`, `P_otr^restr`
+//!   (Table 1), `P_su`, `P_k`, `P2_otr`, `P1/1_otr` (§4.2) plus the
+//!   classics `P_majority` and `P_nek`;
+//! * `witness` — searches that return *where* a predicate holds, used by
+//!   the measurement harness to locate `r0` and `Π0`.
+
+mod paper;
+mod quantified;
+mod witness;
+
+pub use paper::{
+    Kernel, MajorityEachRound, NonEmptyKernel, P11Otr, P2Otr, Potr, PotrRestricted, SpaceUniform,
+};
+pub use quantified::{KernelWindow, SpaceUniformWindow};
+pub use witness::{
+    find_kernel_runs, find_otr_witness, find_p11otr_witness, find_p2otr_witness,
+    find_restricted_otr_witness, find_space_uniform_runs, uniform_candidates, RoundRun,
+};
+
+use crate::trace::Trace;
+
+/// A communication predicate over heard-of traces.
+pub trait Predicate {
+    /// Whether the (finite prefix) trace satisfies / witnesses the predicate.
+    fn holds(&self, trace: &Trace) -> bool;
+
+    /// A human-readable rendition, used by the experiment tables.
+    fn describe(&self) -> String;
+
+    /// `self ∧ other`.
+    fn and<Q: Predicate + Sized>(self, other: Q) -> And<Self, Q>
+    where
+        Self: Sized,
+    {
+        And(self, other)
+    }
+
+    /// `self ∨ other`.
+    fn or<Q: Predicate + Sized>(self, other: Q) -> Or<Self, Q>
+    where
+        Self: Sized,
+    {
+        Or(self, other)
+    }
+
+    /// `¬self`.
+    fn not(self) -> Not<Self>
+    where
+        Self: Sized,
+    {
+        Not(self)
+    }
+}
+
+impl<P: Predicate + ?Sized> Predicate for &P {
+    fn holds(&self, trace: &Trace) -> bool {
+        (**self).holds(trace)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<P: Predicate + ?Sized> Predicate for Box<P> {
+    fn holds(&self, trace: &Trace) -> bool {
+        (**self).holds(trace)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Conjunction of two predicates.
+#[derive(Clone, Debug)]
+pub struct And<P, Q>(pub P, pub Q);
+
+impl<P: Predicate, Q: Predicate> Predicate for And<P, Q> {
+    fn holds(&self, trace: &Trace) -> bool {
+        self.0.holds(trace) && self.1.holds(trace)
+    }
+    fn describe(&self) -> String {
+        format!("({}) ∧ ({})", self.0.describe(), self.1.describe())
+    }
+}
+
+/// Disjunction of two predicates.
+#[derive(Clone, Debug)]
+pub struct Or<P, Q>(pub P, pub Q);
+
+impl<P: Predicate, Q: Predicate> Predicate for Or<P, Q> {
+    fn holds(&self, trace: &Trace) -> bool {
+        self.0.holds(trace) || self.1.holds(trace)
+    }
+    fn describe(&self) -> String {
+        format!("({}) ∨ ({})", self.0.describe(), self.1.describe())
+    }
+}
+
+/// Negation of a predicate.
+#[derive(Clone, Debug)]
+pub struct Not<P>(pub P);
+
+impl<P: Predicate> Predicate for Not<P> {
+    fn holds(&self, trace: &Trace) -> bool {
+        !self.0.holds(trace)
+    }
+    fn describe(&self) -> String {
+        format!("¬({})", self.0.describe())
+    }
+}
+
+/// The always-true predicate (the asynchronous system: no guarantee at all).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct True;
+
+impl Predicate for True {
+    fn holds(&self, _trace: &Trace) -> bool {
+        true
+    }
+    fn describe(&self) -> String {
+        "true".to_owned()
+    }
+}
+
+/// A predicate from a closure, for ad-hoc experiment conditions.
+pub struct FnPredicate<F> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(&Trace) -> bool> FnPredicate<F> {
+    /// Wraps `f` with a display `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnPredicate {
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: Fn(&Trace) -> bool> Predicate for FnPredicate<F> {
+    fn holds(&self, trace: &Trace) -> bool {
+        (self.f)(trace)
+    }
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessSet;
+
+    fn empty_round_trace(n: usize, rounds: usize) -> Trace {
+        let mut t = Trace::new(n);
+        for _ in 0..rounds {
+            t.push_round(vec![ProcessSet::empty(); n]);
+        }
+        t
+    }
+
+    #[test]
+    fn combinators() {
+        let t = empty_round_trace(3, 1);
+        assert!(True.holds(&t));
+        assert!(!True.not().holds(&t));
+        assert!(True.and(True).holds(&t));
+        assert!(!True.and(True.not()).holds(&t));
+        assert!(True.not().or(True).holds(&t));
+    }
+
+    #[test]
+    fn fn_predicate() {
+        let p = FnPredicate::new("at least 2 rounds", |t: &Trace| t.rounds() >= 2);
+        assert!(!p.holds(&empty_round_trace(3, 1)));
+        assert!(p.holds(&empty_round_trace(3, 2)));
+        assert_eq!(p.describe(), "at least 2 rounds");
+    }
+
+    #[test]
+    fn describe_composes() {
+        let d = True.and(True.not()).describe();
+        assert_eq!(d, "(true) ∧ (¬(true))");
+    }
+
+    #[test]
+    fn boxed_predicate_object_safe() {
+        let p: Box<dyn Predicate> = Box::new(True);
+        assert!(p.holds(&empty_round_trace(2, 1)));
+    }
+}

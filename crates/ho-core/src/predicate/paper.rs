@@ -1,0 +1,367 @@
+//! The communication predicates of the paper.
+//!
+//! Table 1 defines the two predicates paired with the OneThirdRule
+//! algorithm:
+//!
+//! ```text
+//! P_otr       :: ∃r0 > 0, ∃Π0, |Π0| > 2n/3 :
+//!                  (∀p ∈ Π  : HO(p, r0) = Π0) ∧
+//!                  (∀p ∈ Π,  ∃rp > r0 : |HO(p, rp)| > 2n/3)
+//!
+//! P_otr^restr :: ∃r0 > 0, ∃Π0, |Π0| > 2n/3 :
+//!                  (∀p ∈ Π0 : HO(p, r0) = Π0) ∧
+//!                  (∀p ∈ Π0, ∃rp > r0 : HO(p, rp) ⊇ Π0)
+//! ```
+//!
+//! Section 4.2 defines the building blocks the implementation layer provides:
+//!
+//! ```text
+//! P_su(Π0, r1, r2)  :: ∀p ∈ Π0, ∀r ∈ [r1, r2] : HO(p, r) = Π0
+//! P_k (Π0, r1, r2)  :: ∀p ∈ Π0, ∀r ∈ [r1, r2] : HO(p, r) ⊇ Π0
+//! P2_otr(Π0)        :: ∃r0 > 0 : P_su(Π0, r0, r0) ∧ P_k(Π0, r0+1, r0+1)
+//! P1/1_otr(Π0)      :: ∃r0 > 0, ∃r1 > r0 : P_su(Π0, r0, r0) ∧ P_k(Π0, r1, r1)
+//! ```
+//!
+//! and the paper notes `(∃Π0, |Π0|>2n/3 : P2_otr(Π0)) ⇒ P_otr^restr`, same
+//! for `P1/1_otr` — property-tested in this crate's test suite.
+
+use super::witness;
+use super::Predicate;
+use crate::process::ProcessSet;
+use crate::round::Round;
+use crate::trace::Trace;
+
+/// `∀r > 0, ∀p ∈ Π : |HO(p, r)| > n/2` — the "majority every round"
+/// predicate used as an introductory example in §3.1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MajorityEachRound;
+
+impl Predicate for MajorityEachRound {
+    fn holds(&self, trace: &Trace) -> bool {
+        let n = trace.n();
+        trace
+            .iter()
+            .all(|(_, hos)| hos.iter().all(|ho| 2 * ho.len() > n))
+    }
+    fn describe(&self) -> String {
+        "∀r>0, ∀p∈Π : |HO(p,r)| > n/2".to_owned()
+    }
+}
+
+/// `∀r > 0 : K(r) ≠ ∅` — every round has a non-empty kernel; the class of
+/// predicates within which \[CBS06\] identifies the weakest one for consensus.
+/// `UniformVoting` is live under this predicate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NonEmptyKernel;
+
+impl Predicate for NonEmptyKernel {
+    fn holds(&self, trace: &Trace) -> bool {
+        let all = ProcessSet::full(trace.n());
+        trace
+            .iter()
+            .all(|(r, _)| !trace.kernel(r, all).is_empty())
+    }
+    fn describe(&self) -> String {
+        "∀r>0 : ∩_{p∈Π} HO(p,r) ≠ ∅".to_owned()
+    }
+}
+
+/// `P_su(Π0, r1, r2)`: rounds `r1..=r2` are *space uniform* over `Π0` — every
+/// process in `Π0` hears of exactly `Π0`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceUniform {
+    /// The subset `Π0` over which uniformity must hold.
+    pub scope: ProcessSet,
+    /// First round of the window.
+    pub from: Round,
+    /// Last round of the window (inclusive).
+    pub to: Round,
+}
+
+impl SpaceUniform {
+    /// `P_su(scope, from, to)`.
+    #[must_use]
+    pub fn new(scope: ProcessSet, from: Round, to: Round) -> Self {
+        SpaceUniform { scope, from, to }
+    }
+}
+
+impl Predicate for SpaceUniform {
+    fn holds(&self, trace: &Trace) -> bool {
+        if self.to.get() > trace.rounds() {
+            return false;
+        }
+        let mut r = self.from;
+        while r <= self.to {
+            if !self.scope.iter().all(|p| trace.ho(p, r) == self.scope) {
+                return false;
+            }
+            r = r.next();
+        }
+        true
+    }
+    fn describe(&self) -> String {
+        format!(
+            "P_su({:?}, {}, {}) :: ∀p∈Π0, ∀r∈[r1,r2] : HO(p,r) = Π0",
+            self.scope, self.from, self.to
+        )
+    }
+}
+
+/// `P_k(Π0, r1, r2)`: in rounds `r1..=r2`, every process in `Π0` hears of at
+/// least `Π0` (`Π0` is in the kernel of those rounds).
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    /// The subset `Π0` that must be heard by all of `Π0`.
+    pub scope: ProcessSet,
+    /// First round of the window.
+    pub from: Round,
+    /// Last round of the window (inclusive).
+    pub to: Round,
+}
+
+impl Kernel {
+    /// `P_k(scope, from, to)`.
+    #[must_use]
+    pub fn new(scope: ProcessSet, from: Round, to: Round) -> Self {
+        Kernel { scope, from, to }
+    }
+}
+
+impl Predicate for Kernel {
+    fn holds(&self, trace: &Trace) -> bool {
+        if self.to.get() > trace.rounds() {
+            return false;
+        }
+        let mut r = self.from;
+        while r <= self.to {
+            if !self
+                .scope
+                .iter()
+                .all(|p| trace.ho(p, r).is_superset(self.scope))
+            {
+                return false;
+            }
+            r = r.next();
+        }
+        true
+    }
+    fn describe(&self) -> String {
+        format!(
+            "P_k({:?}, {}, {}) :: ∀p∈Π0, ∀r∈[r1,r2] : HO(p,r) ⊇ Π0",
+            self.scope, self.from, self.to
+        )
+    }
+}
+
+/// `P_otr` (Table 1, eq. 1): the predicate paired with OneThirdRule for the
+/// *unrestricted* termination condition (all of `Π` decides).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Potr;
+
+impl Predicate for Potr {
+    fn holds(&self, trace: &Trace) -> bool {
+        witness::find_otr_witness(trace).is_some()
+    }
+    fn describe(&self) -> String {
+        "P_otr :: ∃r0,∃Π0,|Π0|>2n/3 : (∀p∈Π: HO(p,r0)=Π0) ∧ (∀p∈Π,∃rp>r0: |HO(p,rp)|>2n/3)"
+            .to_owned()
+    }
+}
+
+/// `P_otr^restr` (Table 1, eq. 2): the scope-restricted variant — only
+/// processes in `Π0` are required to hear uniformly and to later hear of a
+/// superset of `Π0`; only they are guaranteed to decide (Theorem 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PotrRestricted;
+
+impl Predicate for PotrRestricted {
+    fn holds(&self, trace: &Trace) -> bool {
+        witness::find_restricted_otr_witness(trace).is_some()
+    }
+    fn describe(&self) -> String {
+        "P_otr^restr :: ∃r0,∃Π0,|Π0|>2n/3 : (∀p∈Π0: HO(p,r0)=Π0) ∧ (∀p∈Π0,∃rp>r0: HO(p,rp)⊇Π0)"
+            .to_owned()
+    }
+}
+
+/// `P2_otr(Π0)`: one space-uniform round immediately followed by a kernel
+/// round. This is what one sufficiently long good period provides (§4.2).
+#[derive(Clone, Copy, Debug)]
+pub struct P2Otr {
+    /// The synchronous subset `Π0 = π0`.
+    pub scope: ProcessSet,
+}
+
+impl P2Otr {
+    /// `P2_otr(scope)`.
+    #[must_use]
+    pub fn new(scope: ProcessSet) -> Self {
+        P2Otr { scope }
+    }
+}
+
+impl Predicate for P2Otr {
+    fn holds(&self, trace: &Trace) -> bool {
+        witness::find_p2otr_witness(trace, self.scope).is_some()
+    }
+    fn describe(&self) -> String {
+        format!(
+            "P2_otr({:?}) :: ∃r0 : P_su(Π0,r0,r0) ∧ P_k(Π0,r0+1,r0+1)",
+            self.scope
+        )
+    }
+}
+
+/// `P1/1_otr(Π0)`: one space-uniform round and one later (not necessarily
+/// adjacent) kernel round. Two shorter good periods suffice (Corollary 4).
+#[derive(Clone, Copy, Debug)]
+pub struct P11Otr {
+    /// The synchronous subset `Π0 = π0`.
+    pub scope: ProcessSet,
+}
+
+impl P11Otr {
+    /// `P1/1_otr(scope)`.
+    #[must_use]
+    pub fn new(scope: ProcessSet) -> Self {
+        P11Otr { scope }
+    }
+}
+
+impl Predicate for P11Otr {
+    fn holds(&self, trace: &Trace) -> bool {
+        witness::find_p11otr_witness(trace, self.scope).is_some()
+    }
+    fn describe(&self) -> String {
+        format!(
+            "P1/1_otr({:?}) :: ∃r0, ∃r1>r0 : P_su(Π0,r0,r0) ∧ P_k(Π0,r1,r1)",
+            self.scope
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(idx: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(idx.iter().copied())
+    }
+
+    /// n = 4; Π0 = {0,1,2} (|Π0| = 3 > 8/3).
+    fn uniform_then_kernel_trace() -> Trace {
+        let pi0 = set(&[0, 1, 2]);
+        let mut t = Trace::new(4);
+        // Round 1: garbage.
+        t.push_round(vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])]);
+        // Round 2: space uniform over Π0 for all of Π.
+        t.push_round(vec![pi0, pi0, pi0, pi0]);
+        // Round 3: kernel round (supersets of Π0), also |HO| > 2n/3.
+        t.push_round(vec![set(&[0, 1, 2, 3]), pi0, pi0, pi0]);
+        t
+    }
+
+    #[test]
+    fn majority_each_round() {
+        let mut t = Trace::new(3);
+        t.push_round(vec![set(&[0, 1]), set(&[1, 2]), set(&[0, 2])]);
+        assert!(MajorityEachRound.holds(&t));
+        t.push_round(vec![set(&[0]), set(&[1, 2]), set(&[0, 2])]);
+        assert!(!MajorityEachRound.holds(&t));
+    }
+
+    #[test]
+    fn non_empty_kernel() {
+        let mut t = Trace::new(3);
+        t.push_round(vec![set(&[0, 1]), set(&[1, 2]), set(&[1])]);
+        assert!(NonEmptyKernel.holds(&t)); // kernel = {1}
+        t.push_round(vec![set(&[0]), set(&[1]), set(&[2])]);
+        assert!(!NonEmptyKernel.holds(&t));
+    }
+
+    #[test]
+    fn space_uniform_window() {
+        let t = uniform_then_kernel_trace();
+        let pi0 = set(&[0, 1, 2]);
+        assert!(SpaceUniform::new(pi0, Round(2), Round(2)).holds(&t));
+        assert!(!SpaceUniform::new(pi0, Round(1), Round(2)).holds(&t));
+        // Round 3 is a kernel round but NOT space uniform (p0 hears of p3).
+        assert!(!SpaceUniform::new(pi0, Round(3), Round(3)).holds(&t));
+        // Window beyond the trace is not witnessed.
+        assert!(!SpaceUniform::new(pi0, Round(4), Round(4)).holds(&t));
+    }
+
+    #[test]
+    fn kernel_window() {
+        let t = uniform_then_kernel_trace();
+        let pi0 = set(&[0, 1, 2]);
+        assert!(Kernel::new(pi0, Round(2), Round(3)).holds(&t));
+        assert!(!Kernel::new(pi0, Round(1), Round(3)).holds(&t));
+    }
+
+    #[test]
+    fn space_uniform_implies_kernel() {
+        // P_su ⇒ P_k (noted right after the definitions in §4.2).
+        let t = uniform_then_kernel_trace();
+        let pi0 = set(&[0, 1, 2]);
+        for r in 1..=t.rounds() {
+            let su = SpaceUniform::new(pi0, Round(r), Round(r)).holds(&t);
+            let k = Kernel::new(pi0, Round(r), Round(r)).holds(&t);
+            assert!(!su || k, "P_su must imply P_k at round {r}");
+        }
+    }
+
+    #[test]
+    fn p2otr_and_p11otr_witnessed() {
+        let t = uniform_then_kernel_trace();
+        let pi0 = set(&[0, 1, 2]);
+        assert!(P2Otr::new(pi0).holds(&t));
+        assert!(P11Otr::new(pi0).holds(&t));
+    }
+
+    #[test]
+    fn p2otr_requires_adjacency() {
+        let pi0 = set(&[0, 1, 2]);
+        let mut t = Trace::new(4);
+        t.push_round(vec![pi0, pi0, pi0, pi0]); // uniform
+        t.push_round(vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])]); // bad
+        t.push_round(vec![pi0, pi0, pi0, set(&[3])]); // kernel for Π0
+        assert!(!P2Otr::new(pi0).holds(&t));
+        assert!(P11Otr::new(pi0).holds(&t), "non-adjacent rounds suffice for P1/1");
+    }
+
+    #[test]
+    fn potr_full_requires_all_of_pi() {
+        // Round 2 is uniform for all of Π and |HO| > 2n/3 later for all.
+        let pi0 = set(&[0, 1, 2]);
+        let t = uniform_then_kernel_trace();
+        assert!(Potr.holds(&t));
+        // If process 3 never gets uniform round, restricted still holds.
+        let mut t2 = Trace::new(4);
+        t2.push_round(vec![pi0, pi0, pi0, set(&[3])]);
+        t2.push_round(vec![pi0, pi0, pi0, set(&[3])]);
+        assert!(!Potr.holds(&t2), "p3's HO differs at every round");
+        assert!(PotrRestricted.holds(&t2));
+    }
+
+    #[test]
+    fn p2otr_implies_restricted_otr() {
+        // (∃Π0, |Π0|>2n/3 : P2_otr(Π0)) ⇒ P_otr^restr.
+        let t = uniform_then_kernel_trace();
+        let pi0 = set(&[0, 1, 2]);
+        assert!(P2Otr::new(pi0).holds(&t));
+        assert!(PotrRestricted.holds(&t));
+    }
+
+    #[test]
+    fn small_pi0_rejected() {
+        // |Π0| = 2 is not > 2n/3 for n = 4.
+        let pi0 = set(&[0, 1]);
+        let mut t = Trace::new(4);
+        t.push_round(vec![pi0, pi0, pi0, pi0]);
+        t.push_round(vec![pi0, pi0, pi0, pi0]);
+        assert!(!Potr.holds(&t));
+        assert!(!PotrRestricted.holds(&t));
+    }
+}

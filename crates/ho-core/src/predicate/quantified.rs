@@ -1,0 +1,150 @@
+//! Existentially quantified window predicates.
+//!
+//! The §4.2 predicates `P_su(Π0, r1, r2)` / `P_k(Π0, r1, r2)` pin concrete
+//! rounds; what the implementation layer actually *delivers* is their
+//! existential closure — "some `x`-round window satisfying the property
+//! exists". These predicates close the gap, making statements like
+//! "`Algorithm 2 implements ∃ρ0: P_su(π0, ρ0, ρ0+1)`" expressible as
+//! first-class values (they are the trace-level counterpart of the
+//! measurement harness's `find_*_window` searches).
+
+use super::witness::{find_kernel_runs, find_space_uniform_runs};
+use super::Predicate;
+use crate::process::ProcessSet;
+use crate::trace::Trace;
+
+/// `∃ρ0 : P_su(Π0, ρ0, ρ0+x−1)` — some `x` consecutive rounds are space
+/// uniform over `scope`.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceUniformWindow {
+    /// The subset `Π0`.
+    pub scope: ProcessSet,
+    /// Window width `x ≥ 1`.
+    pub width: u64,
+}
+
+impl SpaceUniformWindow {
+    /// `∃ρ0: P_su(scope, ρ0, ρ0+width−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(scope: ProcessSet, width: u64) -> Self {
+        assert!(width >= 1, "window width must be positive");
+        SpaceUniformWindow { scope, width }
+    }
+}
+
+impl Predicate for SpaceUniformWindow {
+    fn holds(&self, trace: &Trace) -> bool {
+        find_space_uniform_runs(trace, self.scope)
+            .iter()
+            .any(|run| run.len() >= self.width)
+    }
+    fn describe(&self) -> String {
+        format!(
+            "∃ρ0 : P_su({:?}, ρ0, ρ0+{}−1)",
+            self.scope, self.width
+        )
+    }
+}
+
+/// `∃ρ0 : P_k(Π0, ρ0, ρ0+x−1)` — some `x` consecutive kernel rounds exist
+/// for `scope`.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelWindow {
+    /// The subset `Π0`.
+    pub scope: ProcessSet,
+    /// Window width `x ≥ 1`.
+    pub width: u64,
+}
+
+impl KernelWindow {
+    /// `∃ρ0: P_k(scope, ρ0, ρ0+width−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(scope: ProcessSet, width: u64) -> Self {
+        assert!(width >= 1, "window width must be positive");
+        KernelWindow { scope, width }
+    }
+}
+
+impl Predicate for KernelWindow {
+    fn holds(&self, trace: &Trace) -> bool {
+        find_kernel_runs(trace, self.scope)
+            .iter()
+            .any(|run| run.len() >= self.width)
+    }
+    fn describe(&self) -> String {
+        format!("∃ρ0 : P_k({:?}, ρ0, ρ0+{}−1)", self.scope, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(idx: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(idx.iter().copied())
+    }
+
+    fn trace_with(rows: Vec<Vec<ProcessSet>>) -> Trace {
+        let n = rows[0].len();
+        let mut t = Trace::new(n);
+        for row in rows {
+            t.push_round(row);
+        }
+        t
+    }
+
+    #[test]
+    fn window_found_when_wide_enough() {
+        let pi0 = set(&[0, 1]);
+        let junk = vec![set(&[0]), set(&[1]), set(&[2])];
+        let uni = vec![pi0, pi0, set(&[2])];
+        let t = trace_with(vec![junk.clone(), uni.clone(), uni, junk]);
+        assert!(SpaceUniformWindow::new(pi0, 1).holds(&t));
+        assert!(SpaceUniformWindow::new(pi0, 2).holds(&t));
+        assert!(!SpaceUniformWindow::new(pi0, 3).holds(&t));
+    }
+
+    #[test]
+    fn kernel_window_accepts_supersets() {
+        let pi0 = set(&[0, 1]);
+        let all = set(&[0, 1, 2]);
+        let t = trace_with(vec![vec![all, pi0, set(&[2])], vec![pi0, all, pi0]]);
+        assert!(KernelWindow::new(pi0, 2).holds(&t));
+        assert!(!SpaceUniformWindow::new(pi0, 2).holds(&t));
+    }
+
+    #[test]
+    fn uniform_window_implies_kernel_window() {
+        // P_su ⇒ P_k lifts through the existential closure.
+        let pi0 = set(&[0, 1, 2]);
+        let t = trace_with(vec![vec![pi0, pi0, pi0], vec![pi0, pi0, pi0]]);
+        for w in 1..=2 {
+            if SpaceUniformWindow::new(pi0, w).holds(&t) {
+                assert!(KernelWindow::new(pi0, w).holds(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_must_be_consecutive() {
+        let pi0 = set(&[0, 1]);
+        let junk = vec![set(&[0]), set(&[1])];
+        let uni = vec![pi0, pi0];
+        let t = trace_with(vec![uni.clone(), junk, uni]);
+        assert!(!SpaceUniformWindow::new(pi0, 2).holds(&t), "non-adjacent");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = SpaceUniformWindow::new(set(&[0]), 0);
+    }
+}

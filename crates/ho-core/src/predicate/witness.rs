@@ -1,0 +1,310 @@
+//! Witness search: *where* does a predicate hold in a trace?
+//!
+//! The measurement harness (experiments E3–E8) does not only need a yes/no
+//! answer; it needs the witnessing round `r0` and set `Π0` to compute, e.g.,
+//! how long after the start of a good period the first space-uniform round
+//! appears. These functions return those witnesses.
+
+use crate::process::ProcessSet;
+use crate::round::Round;
+use crate::trace::Trace;
+
+/// A maximal run of consecutive rounds `[from, to]` satisfying some
+/// per-round property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundRun {
+    /// First round of the run.
+    pub from: Round,
+    /// Last round of the run (inclusive).
+    pub to: Round,
+}
+
+impl RoundRun {
+    /// Number of rounds in the run.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.to.get() - self.from.get() + 1
+    }
+
+    /// Runs are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Collects maximal runs of consecutive rounds where `round_holds` is true.
+fn runs_where(trace: &Trace, mut round_holds: impl FnMut(Round) -> bool) -> Vec<RoundRun> {
+    let mut out = Vec::new();
+    let mut start: Option<Round> = None;
+    for r in 1..=trace.rounds() {
+        let r = Round(r);
+        if round_holds(r) {
+            start.get_or_insert(r);
+        } else if let Some(s) = start.take() {
+            out.push(RoundRun {
+                from: s,
+                to: Round(r.get() - 1),
+            });
+        }
+    }
+    if let Some(s) = start {
+        out.push(RoundRun {
+            from: s,
+            to: Round(trace.rounds()),
+        });
+    }
+    out
+}
+
+/// Maximal runs of rounds that are space uniform over `scope` with
+/// `HO(p, r) = scope` (i.e. rounds satisfying `P_su(scope, r, r)`).
+#[must_use]
+pub fn find_space_uniform_runs(trace: &Trace, scope: ProcessSet) -> Vec<RoundRun> {
+    runs_where(trace, |r| {
+        scope.iter().all(|p| trace.ho(p, r) == scope)
+    })
+}
+
+/// Maximal runs of rounds satisfying `P_k(scope, r, r)`
+/// (every `p ∈ scope` hears of at least `scope`).
+#[must_use]
+pub fn find_kernel_runs(trace: &Trace, scope: ProcessSet) -> Vec<RoundRun> {
+    runs_where(trace, |r| {
+        scope.iter().all(|p| trace.ho(p, r).is_superset(scope))
+    })
+}
+
+/// The candidate sets `Π0` for a restricted space-uniform round `r`:
+/// sets `S = HO(p, r)` such that every `q ∈ S` has `HO(q, r) = S`.
+///
+/// Any `Π0` witnessing `∀p ∈ Π0 : HO(p, r) = Π0` must be the HO set of one
+/// of its own members, so scanning `{HO(p, r) : p ∈ Π}` is exhaustive.
+#[must_use]
+pub fn uniform_candidates(trace: &Trace, r: Round) -> Vec<ProcessSet> {
+    let mut cands: Vec<ProcessSet> = Vec::new();
+    for (_, hos) in trace.iter().filter(|(rr, _)| *rr == r) {
+        for &s in hos {
+            if s.is_empty() || cands.contains(&s) {
+                continue;
+            }
+            if s.iter().all(|q| trace.ho(q, r) == s) {
+                cands.push(s);
+            }
+        }
+    }
+    cands
+}
+
+/// A witness `(r0, Π0)` for `P_otr` (Table 1, eq. 1), if the trace contains
+/// one.
+#[must_use]
+pub fn find_otr_witness(trace: &Trace) -> Option<(Round, ProcessSet)> {
+    let n = trace.n();
+    'rounds: for (r0, hos) in trace.iter() {
+        let pi0 = hos[0];
+        if 3 * pi0.len() <= 2 * n {
+            continue;
+        }
+        if !hos.iter().all(|&h| h == pi0) {
+            continue;
+        }
+        // Second conjunct: ∀p ∈ Π, ∃rp > r0 : |HO(p, rp)| > 2n/3.
+        for p in ProcessSet::full(n).iter() {
+            let mut found = false;
+            for rp in (r0.get() + 1)..=trace.rounds() {
+                if 3 * trace.ho(p, Round(rp)).len() > 2 * n {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                continue 'rounds;
+            }
+        }
+        return Some((r0, pi0));
+    }
+    None
+}
+
+/// A witness `(r0, Π0)` for `P_otr^restr` (Table 1, eq. 2), if any.
+#[must_use]
+pub fn find_restricted_otr_witness(trace: &Trace) -> Option<(Round, ProcessSet)> {
+    let n = trace.n();
+    for r0 in 1..=trace.rounds() {
+        let r0 = Round(r0);
+        'cands: for pi0 in uniform_candidates(trace, r0) {
+            if 3 * pi0.len() <= 2 * n {
+                continue;
+            }
+            // ∀p ∈ Π0, ∃rp > r0 : HO(p, rp) ⊇ Π0.
+            for p in pi0.iter() {
+                let mut found = false;
+                for rp in (r0.get() + 1)..=trace.rounds() {
+                    if trace.ho(p, Round(rp)).is_superset(pi0) {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    continue 'cands;
+                }
+            }
+            return Some((r0, pi0));
+        }
+    }
+    None
+}
+
+/// The witnessing round `r0` of `P2_otr(scope)`: a round satisfying
+/// `P_su(scope, r0, r0)` immediately followed by a round satisfying
+/// `P_k(scope, r0+1, r0+1)`.
+#[must_use]
+pub fn find_p2otr_witness(trace: &Trace, scope: ProcessSet) -> Option<Round> {
+    if scope.is_empty() {
+        return None;
+    }
+    for r0 in 1..trace.rounds() {
+        let r0 = Round(r0);
+        let su = scope.iter().all(|p| trace.ho(p, r0) == scope);
+        if !su {
+            continue;
+        }
+        let k = scope
+            .iter()
+            .all(|p| trace.ho(p, r0.next()).is_superset(scope));
+        if k {
+            return Some(r0);
+        }
+    }
+    None
+}
+
+/// The witnessing rounds `(r0, r1)` of `P1/1_otr(scope)`: a space-uniform
+/// round `r0` and a *later* kernel round `r1 > r0`.
+#[must_use]
+pub fn find_p11otr_witness(trace: &Trace, scope: ProcessSet) -> Option<(Round, Round)> {
+    if scope.is_empty() {
+        return None;
+    }
+    for r0 in 1..trace.rounds() {
+        let r0 = Round(r0);
+        let su = scope.iter().all(|p| trace.ho(p, r0) == scope);
+        if !su {
+            continue;
+        }
+        for r1 in (r0.get() + 1)..=trace.rounds() {
+            let r1 = Round(r1);
+            if scope.iter().all(|p| trace.ho(p, r1).is_superset(scope)) {
+                return Some((r0, r1));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(idx: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(idx.iter().copied())
+    }
+
+    fn trace_with(rows: Vec<Vec<ProcessSet>>) -> Trace {
+        let n = rows[0].len();
+        let mut t = Trace::new(n);
+        for row in rows {
+            t.push_round(row);
+        }
+        t
+    }
+
+    #[test]
+    fn space_uniform_runs_found() {
+        let pi0 = set(&[0, 1, 2]);
+        let junk = vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])];
+        let uni = vec![pi0, pi0, pi0, set(&[3])];
+        let t = trace_with(vec![junk.clone(), uni.clone(), uni, junk]);
+        let runs = find_space_uniform_runs(&t, pi0);
+        assert_eq!(
+            runs,
+            vec![RoundRun {
+                from: Round(2),
+                to: Round(3)
+            }]
+        );
+        assert_eq!(runs[0].len(), 2);
+    }
+
+    #[test]
+    fn kernel_runs_include_supersets() {
+        let pi0 = set(&[0, 1]);
+        let all = set(&[0, 1, 2]);
+        let t = trace_with(vec![
+            vec![all, pi0, set(&[2])],
+            vec![set(&[0]), pi0, all],
+        ]);
+        let runs = find_kernel_runs(&t, pi0);
+        assert_eq!(
+            runs,
+            vec![RoundRun {
+                from: Round(1),
+                to: Round(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn uniform_candidates_exhaustive() {
+        // Two disjoint uniform cliques in the same round.
+        let a = set(&[0, 1]);
+        let b = set(&[2, 3]);
+        let t = trace_with(vec![vec![a, a, b, b]]);
+        let cands = uniform_candidates(&t, Round(1));
+        assert!(cands.contains(&a));
+        assert!(cands.contains(&b));
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn otr_witness_location() {
+        let pi0 = set(&[0, 1, 2]);
+        let t = trace_with(vec![
+            vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])],
+            vec![pi0, pi0, pi0, pi0],
+            vec![pi0, pi0, pi0, pi0],
+        ]);
+        let (r0, w) = find_otr_witness(&t).expect("witness");
+        assert_eq!(r0, Round(2));
+        assert_eq!(w, pi0);
+    }
+
+    #[test]
+    fn otr_witness_needs_followup_round() {
+        // Uniform round exists but nobody hears > 2n/3 afterwards.
+        let pi0 = set(&[0, 1, 2]);
+        let t = trace_with(vec![
+            vec![pi0, pi0, pi0, pi0],
+            vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])],
+        ]);
+        assert!(find_otr_witness(&t).is_none());
+    }
+
+    #[test]
+    fn p2otr_witness_needs_adjacent_kernel() {
+        let pi0 = set(&[0, 1, 2]);
+        let junk = vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])];
+        let uni = vec![pi0, pi0, pi0, set(&[3])];
+        let t = trace_with(vec![uni.clone(), junk, uni.clone(), uni]);
+        assert_eq!(find_p2otr_witness(&t, pi0), Some(Round(3)));
+        assert_eq!(find_p11otr_witness(&t, pi0), Some((Round(1), Round(3))));
+    }
+
+    #[test]
+    fn empty_scope_has_no_witness() {
+        let t = trace_with(vec![vec![set(&[0]), set(&[1])]]);
+        assert_eq!(find_p2otr_witness(&t, ProcessSet::empty()), None);
+        assert_eq!(find_p11otr_witness(&t, ProcessSet::empty()), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Round numbers.
+//!
+//! The Heard-Of model is a *communication-closed* round model: a message sent
+//! in round `r` is either received in round `r` or never. Rounds are numbered
+//! from 1, as in the paper (`r > 0`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A round number (`r ≥ 1`; `Round(0)` is used as the "before the first
+/// round" sentinel by executors).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round of an execution.
+    pub const FIRST: Round = Round(1);
+
+    /// Returns the next round, `r + 1`.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The raw round number.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The phase this round belongs to when rounds are grouped into phases of
+    /// `per_phase` rounds (1-based), together with the 0-based offset within
+    /// the phase.
+    ///
+    /// Used by multi-round-per-phase algorithms such as `LastVoting` and by
+    /// the `P_k → P_su` translation, where a macro-round spans `f + 1` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_phase == 0` or `self` is the round-0 sentinel.
+    #[must_use]
+    pub fn phase(self, per_phase: u64) -> (u64, u64) {
+        assert!(per_phase > 0, "phase length must be positive");
+        assert!(self.0 > 0, "round 0 has no phase");
+        ((self.0 - 1) / per_phase + 1, (self.0 - 1) % per_phase)
+    }
+
+    /// Whether this round is the last round of its phase, i.e.
+    /// `r ≡ 0 (mod per_phase)` in the paper's notation.
+    #[must_use]
+    pub fn is_phase_end(self, per_phase: u64) -> bool {
+        self.0 > 0 && self.0 % per_phase == 0
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(r: u64) -> Self {
+        Round(r)
+    }
+}
+
+impl Add<u64> for Round {
+    type Output = Round;
+    fn add(self, rhs: u64) -> Round {
+        Round(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Round {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Round> for Round {
+    type Output = u64;
+    fn sub(self, rhs: Round) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Round::FIRST.next(), Round(2));
+    }
+
+    #[test]
+    fn phase_grouping() {
+        // Phases of 3 rounds: r1,r2,r3 -> phase 1; r4,r5,r6 -> phase 2.
+        assert_eq!(Round(1).phase(3), (1, 0));
+        assert_eq!(Round(3).phase(3), (1, 2));
+        assert_eq!(Round(4).phase(3), (2, 0));
+        assert_eq!(Round(6).phase(3), (2, 2));
+    }
+
+    #[test]
+    fn phase_end_matches_mod() {
+        // r ≡ 0 (mod f+1) marks the last round of a macro-round.
+        let f = 2;
+        assert!(!Round(1).is_phase_end(f + 1));
+        assert!(!Round(2).is_phase_end(f + 1));
+        assert!(Round(3).is_phase_end(f + 1));
+        assert!(Round(6).is_phase_end(f + 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Round(5) + 2, Round(7));
+        assert_eq!(Round(7) - Round(5), 2);
+        let mut r = Round(1);
+        r += 3;
+        assert_eq!(r, Round(4));
+    }
+}

@@ -1,0 +1,272 @@
+//! Heard-of traces: the collection `(HO(p, r))_{p∈Π, r>0}` of a run.
+//!
+//! Communication predicates (§3.1) are expressed over these collections.
+//! A [`Trace`] records one HO set per process per executed round; the
+//! [`predicate`](crate::predicate) module evaluates predicates against it.
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+
+/// The heard-of sets of a (finite prefix of a) run.
+///
+/// `Trace` indexes rounds from 1 as the paper does. A finite trace can only
+/// ever *witness* an existential predicate (such as `P_otr`) — predicates
+/// quantify over infinite runs, so "false on this prefix" means "not yet".
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    n: usize,
+    /// `rounds[r - 1][p]` = `HO(p, r)`.
+    rounds: Vec<Vec<ProcessSet>>,
+}
+
+impl Trace {
+    /// An empty trace over `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Trace {
+            n,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded rounds; rounds `1..=len` are available.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Whether no round has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Records the HO sets of the next round; `ho[p]` is `HO(p, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ho.len() != n`.
+    pub fn push_round(&mut self, ho: Vec<ProcessSet>) {
+        assert_eq!(ho.len(), self.n, "one HO set per process required");
+        self.rounds.push(ho);
+    }
+
+    /// `HO(p, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if round `r` has not been recorded.
+    #[must_use]
+    pub fn ho(&self, p: ProcessId, r: Round) -> ProcessSet {
+        self.round(r)[p.index()]
+    }
+
+    /// All HO sets of round `r`, indexed by process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if round `r` has not been recorded (`r` is 1-based).
+    #[must_use]
+    pub fn round(&self, r: Round) -> &[ProcessSet] {
+        assert!(r.get() >= 1 && r.get() <= self.rounds(), "round {r} not recorded");
+        &self.rounds[(r.get() - 1) as usize]
+    }
+
+    /// Iterates over recorded rounds as `(round, ho_sets)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Round, &[ProcessSet])> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .map(|(i, ho)| (Round(i as u64 + 1), ho.as_slice()))
+    }
+
+    /// The *kernel* of round `r` restricted to `scope`:
+    /// `K_scope(r) = ∩_{p ∈ scope} HO(p, r)` — the set of processes heard by
+    /// every process in `scope` at round `r`.
+    ///
+    /// With `scope = Π` this is the kernel `K(r)` of \[CBS06\]. The restricted
+    /// form is what Lemma C.1 of the paper uses.
+    #[must_use]
+    pub fn kernel(&self, r: Round, scope: ProcessSet) -> ProcessSet {
+        let mut k = ProcessSet::full(self.n);
+        for p in scope.iter() {
+            k = k.intersection(self.ho(p, r));
+        }
+        k
+    }
+
+    /// The kernel of a round range `[r1, r2]` restricted to `scope`
+    /// (`K_Π0(R)` in Appendix C).
+    #[must_use]
+    pub fn kernel_range(&self, r1: Round, r2: Round, scope: ProcessSet) -> ProcessSet {
+        let mut k = ProcessSet::full(self.n);
+        let mut r = r1;
+        while r <= r2 {
+            k = k.intersection(self.kernel(r, scope));
+            r = r.next();
+        }
+        k
+    }
+
+    /// Whether round `r` is *space uniform* over `scope`: all processes in
+    /// `scope` have the same HO set.
+    #[must_use]
+    pub fn is_space_uniform(&self, r: Round, scope: ProcessSet) -> bool {
+        let mut members = scope.iter();
+        let Some(first) = members.next() else {
+            return true;
+        };
+        let ho0 = self.ho(first, r);
+        members.all(|p| self.ho(p, r) == ho0)
+    }
+
+    /// Total number of *transmission faults* in the trace: over all rounds
+    /// and processes, the transmissions that did not arrive
+    /// (`Σ_{r,p} (n − |HO(p, r)|)` — the §2.3 fault count).
+    #[must_use]
+    pub fn transmission_faults(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flat_map(|row| row.iter().map(|ho| (self.n - ho.len()) as u64))
+            .sum()
+    }
+
+    /// The fraction of transmissions that arrived, in `[0, 1]`
+    /// (1.0 for an empty trace).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = (self.rounds.len() * self.n * self.n) as u64;
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.transmission_faults() as f64 / total as f64
+    }
+
+    /// A sub-trace containing rounds `from..=to` (renumbered from 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ from ≤ to ≤ rounds()`.
+    #[must_use]
+    pub fn restrict(&self, from: Round, to: Round) -> Trace {
+        assert!(
+            from.get() >= 1 && from <= to && to.get() <= self.rounds(),
+            "invalid round range"
+        );
+        Trace {
+            n: self.n,
+            rounds: self.rounds[(from.get() - 1) as usize..=(to.get() - 1) as usize].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3() -> Trace {
+        // 3 processes, 2 rounds.
+        let mut t = Trace::new(3);
+        t.push_round(vec![
+            ProcessSet::from_indices([0, 1, 2]),
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([1, 2]),
+        ]);
+        t.push_round(vec![
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([0, 1]),
+            ProcessSet::from_indices([0, 1]),
+        ]);
+        t
+    }
+
+    #[test]
+    fn records_and_reads_ho_sets() {
+        let t = t3();
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(
+            t.ho(ProcessId::new(1), Round(1)),
+            ProcessSet::from_indices([0, 1])
+        );
+    }
+
+    #[test]
+    fn kernel_is_intersection() {
+        let t = t3();
+        // Round 1 kernel over all three processes: {1}.
+        assert_eq!(
+            t.kernel(Round(1), ProcessSet::full(3)),
+            ProcessSet::from_indices([1])
+        );
+        // Restricted to {0, 1}: {0, 1}.
+        assert_eq!(
+            t.kernel(Round(1), ProcessSet::from_indices([0, 1])),
+            ProcessSet::from_indices([0, 1])
+        );
+    }
+
+    #[test]
+    fn kernel_range_intersects_rounds() {
+        let t = t3();
+        assert_eq!(
+            t.kernel_range(Round(1), Round(2), ProcessSet::full(3)),
+            ProcessSet::from_indices([1])
+        );
+    }
+
+    #[test]
+    fn space_uniformity() {
+        let t = t3();
+        assert!(!t.is_space_uniform(Round(1), ProcessSet::full(3)));
+        assert!(t.is_space_uniform(Round(2), ProcessSet::full(3)));
+        // Trivially uniform over the empty scope.
+        assert!(t.is_space_uniform(Round(1), ProcessSet::empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not recorded")]
+    fn unrecorded_round_panics() {
+        let t = t3();
+        let _ = t.round(Round(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one HO set per process")]
+    fn wrong_width_rejected() {
+        let mut t = Trace::new(3);
+        t.push_round(vec![ProcessSet::empty()]);
+    }
+
+    #[test]
+    fn transmission_fault_accounting() {
+        let t = t3();
+        // Round 1: 0 + 1 + 1 = 2 faults; round 2: 1 + 1 + 1 = 3 faults.
+        assert_eq!(t.transmission_faults(), 5);
+        let total = 2.0 * 9.0;
+        assert!((t.delivery_ratio() - (total - 5.0) / total).abs() < 1e-12);
+        assert_eq!(Trace::new(3).delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn restrict_renumbers_rounds() {
+        let t = t3();
+        let sub = t.restrict(Round(2), Round(2));
+        assert_eq!(sub.rounds(), 1);
+        assert_eq!(
+            sub.ho(ProcessId::new(0), Round(1)),
+            t.ho(ProcessId::new(0), Round(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid round range")]
+    fn restrict_checks_bounds() {
+        let _ = t3().restrict(Round(2), Round(9));
+    }
+}

@@ -1,0 +1,571 @@
+//! The Aguilera–Chen–Toueg ◇Su consensus algorithm (Appendix A.2,
+//! crash-recovery with stable storage).
+//!
+//! This is the algorithm the paper holds up as evidence of the
+//! crash-stop/crash-recovery *gap* in the failure-detector model: compared
+//! with Chandra–Toueg it needs
+//!
+//! * a new failure detector class (◇Su: a trustlist plus per-process
+//!   *epoch numbers* that grow with each recovery),
+//! * explicit **stable storage** writes (`store{…}`) at every state change
+//!   that must survive a crash,
+//! * a **retransmission task** (`s-send`) because links are lossy and a
+//!   recovered process must be re-sent everything,
+//! * a **skip_round task** that aborts rounds whose coordinator crashed,
+//!   recovered (epoch bump), or fell behind.
+//!
+//! The HO model needs none of this: Algorithm 1 runs unchanged in the
+//! crash-recovery model (§3.3). The contrast is the A1 experiment.
+//!
+//! Event-driven rendition: the `wait until`s become message handlers, the
+//! `repeat … until` FD loops become a periodic poll, and each task's
+//! bookkeeping is a buffer keyed by round.
+
+use ho_core::process::ProcessId;
+
+use crate::net::{Ctx, FdProcess};
+
+/// Wire messages of the Aguilera et al. algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AgMsg {
+    /// Phase NEWROUND: the coordinator opens round `round`.
+    NewRound {
+        /// Round.
+        round: u64,
+    },
+    /// Phase ESTIMATE: `(round, estimate, ts)` to the coordinator.
+    Estimate {
+        /// Round.
+        round: u64,
+        /// Sender's estimate.
+        estimate: u64,
+        /// Sender's timestamp.
+        ts: u64,
+    },
+    /// Phase NEWESTIMATE: the coordinator's choice.
+    NewEstimate {
+        /// Round.
+        round: u64,
+        /// The coordinator's estimate.
+        estimate: u64,
+    },
+    /// Phase ACK.
+    Ack {
+        /// Round.
+        round: u64,
+    },
+    /// The decision (also sent in reply to stragglers after deciding).
+    Decide {
+        /// The decided value.
+        estimate: u64,
+    },
+}
+
+impl AgMsg {
+    fn round(&self) -> Option<u64> {
+        match self {
+            AgMsg::NewRound { round }
+            | AgMsg::Estimate { round, .. }
+            | AgMsg::NewEstimate { round, .. }
+            | AgMsg::Ack { round } => Some(*round),
+            AgMsg::Decide { .. } => None,
+        }
+    }
+}
+
+/// The stable-storage image (`store{…}` targets in Algorithm 6).
+#[derive(Clone, Debug, Default)]
+struct Stable {
+    proposed: bool,
+    round: u64,
+    estimate: Option<u64>,
+    ts: u64,
+    decided: Option<u64>,
+}
+
+/// One Aguilera et al. process.
+#[derive(Clone, Debug)]
+pub struct Aguilera {
+    n: usize,
+    me: ProcessId,
+    initial: u64,
+    tick: f64,
+    // ---- stable storage (survives crashes) ----
+    stable: Stable,
+    // ---- volatile state ----
+    round: u64,
+    estimate: u64,
+    ts: u64,
+    decided: Option<u64>,
+    /// `xmitmsg[q]`: last s-sent message per destination, retransmitted
+    /// until replaced (the `retransmit` task).
+    xmit: Vec<Option<AgMsg>>,
+    est_buf: Vec<(ProcessId, u64, u64, u64)>,
+    ack_buf: Vec<(ProcessId, u64)>,
+    sent_newestimate: Vec<(u64, u64)>, // (round, value) committed by me as coord
+    max_round_seen: u64,
+    /// skip_round's snapshot `d` of the ◇Su output at round start.
+    watch_epochs: Option<Vec<u64>>,
+    // ---- metrics ----
+    recoveries: u64,
+    stable_writes: u64,
+}
+
+impl Aguilera {
+    /// Creates process `me` of `n` proposing `v`.
+    #[must_use]
+    pub fn new(n: usize, me: ProcessId, v: u64) -> Self {
+        Aguilera {
+            n,
+            me,
+            initial: v,
+            tick: 0.5,
+            stable: Stable::default(),
+            round: 0,
+            estimate: v,
+            ts: 0,
+            decided: None,
+            xmit: vec![None; n],
+            est_buf: Vec::new(),
+            ack_buf: Vec::new(),
+            sent_newestimate: Vec::new(),
+            max_round_seen: 0,
+            watch_epochs: None,
+            recoveries: 0,
+            stable_writes: 0,
+        }
+    }
+
+    /// The coordinator of round `r`.
+    #[must_use]
+    pub fn coordinator(&self, r: u64) -> ProcessId {
+        ProcessId::new(((r - 1) % self.n as u64) as usize)
+    }
+
+    /// Number of stable-storage writes performed — one of the costs the
+    /// paper's comparison highlights.
+    #[must_use]
+    pub fn stable_writes(&self) -> u64 {
+        self.stable_writes
+    }
+
+    /// Number of recoveries survived.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Current round.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn store_round(&mut self) {
+        self.stable.proposed = true;
+        self.stable.round = self.round;
+        self.stable_writes += 1;
+    }
+
+    fn store_estimate(&mut self) {
+        self.stable.estimate = Some(self.estimate);
+        self.stable.ts = self.ts;
+        self.stable_writes += 1;
+    }
+
+    fn store_decided(&mut self) {
+        self.stable.decided = self.decided;
+        self.stable_writes += 1;
+    }
+
+    /// `s-send m to q`: remember for retransmission, then send.
+    fn s_send(&mut self, q: ProcessId, m: AgMsg, ctx: &mut Ctx<'_, AgMsg>) {
+        self.xmit[q.index()] = Some(m.clone());
+        ctx.send(q, m);
+    }
+
+    fn s_send_all(&mut self, m: AgMsg, ctx: &mut Ctx<'_, AgMsg>) {
+        for q in 0..self.n {
+            self.s_send(ProcessId::new(q), m.clone(), ctx);
+        }
+    }
+
+    /// Task `4phases` for the current round.
+    fn start_round_tasks(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        self.store_round();
+        let c = self.coordinator(self.round);
+        self.watch_epochs = None; // refreshed at the next poll
+        if self.me == c && self.ts != self.round {
+            // Coordinator phase NEWROUND.
+            self.s_send_all(AgMsg::NewRound { round: self.round }, ctx);
+        }
+        if self.me == c && self.ts == self.round {
+            // Already committed to this round's estimate (recovery path):
+            // go straight to NEWESTIMATE.
+            let est = self.estimate;
+            self.sent_newestimate.push((self.round, est));
+            self.s_send_all(
+                AgMsg::NewEstimate {
+                    round: self.round,
+                    estimate: est,
+                },
+                ctx,
+            );
+        }
+        // Participant phase ESTIMATE (runs at the coordinator too).
+        if self.ts != self.round {
+            let m = AgMsg::Estimate {
+                round: self.round,
+                estimate: self.estimate,
+                ts: self.ts,
+            };
+            self.s_send(c, m, ctx);
+        } else {
+            // ts == round: already adopted this round's estimate; re-ack.
+            self.s_send(c, AgMsg::Ack { round: self.round }, ctx);
+        }
+        // A buffered majority may already be there (coordinator).
+        self.try_newestimate(ctx);
+        self.try_decide(ctx);
+    }
+
+    /// Coordinator: enough estimates for the current round → NEWESTIMATE.
+    fn try_newestimate(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        let r = self.round;
+        if self.coordinator(r) != self.me
+            || self.sent_newestimate.iter().any(|(rr, _)| *rr == r)
+        {
+            return;
+        }
+        let received: Vec<(u64, u64)> = self
+            .est_buf
+            .iter()
+            .filter(|(_, rr, _, _)| *rr == r)
+            .map(|(_, _, e, t)| (*e, *t))
+            .collect();
+        if received.len() < self.majority() {
+            return;
+        }
+        let (est, _) = received
+            .iter()
+            .copied()
+            .max_by_key(|(e, t)| (*t, u64::MAX - *e))
+            .expect("majority non-empty");
+        self.estimate = est;
+        self.ts = r;
+        self.store_estimate();
+        self.sent_newestimate.push((r, est));
+        self.s_send_all(
+            AgMsg::NewEstimate {
+                round: r,
+                estimate: est,
+            },
+            ctx,
+        );
+    }
+
+    /// Coordinator: majority of acks for the current round → DECIDE.
+    fn try_decide(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        let r = self.round;
+        if self.coordinator(r) != self.me {
+            return;
+        }
+        let Some(&(_, committed)) = self
+            .sent_newestimate
+            .iter()
+            .find(|(rr, _)| *rr == r)
+        else {
+            return;
+        };
+        let acks = self
+            .ack_buf
+            .iter()
+            .filter(|(_, rr)| *rr == r)
+            .count();
+        if acks >= self.majority() && self.decided.is_none() {
+            self.s_send_all(AgMsg::Decide { estimate: committed }, ctx);
+        }
+    }
+
+    fn deliver_decide(&mut self, est: u64) {
+        if self.decided.is_none() {
+            self.decided = Some(est);
+            self.store_decided();
+        }
+    }
+
+    /// Task `skip_round`: abort the round if the coordinator is no longer
+    /// trusted, recovered (epoch bump), or we saw a higher round.
+    fn poll_skip_round(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        if self.decided.is_some() || self.round == 0 {
+            return;
+        }
+        let (trust, epochs) = ctx.trustlist();
+        let c = self.coordinator(self.round);
+        let baseline = self
+            .watch_epochs
+            .get_or_insert_with(|| epochs.clone());
+        let epoch_bumped = epochs[c.index()] > baseline[c.index()];
+        let abort = !trust.contains(c) || epoch_bumped || self.max_round_seen > self.round;
+        if !abort {
+            return;
+        }
+        if trust.is_empty() {
+            return; // "repeat until trustlist ≠ ∅" — try again next poll
+        }
+        // Smallest r > rp with a trusted coordinator and
+        // r ≥ max{r′ | p received (r′, …)}.
+        let mut r = (self.round + 1).max(self.max_round_seen);
+        while !trust.contains(self.coordinator(r)) {
+            r += 1;
+        }
+        self.round = r;
+        self.watch_epochs = Some(epochs);
+        self.start_round_tasks(ctx);
+    }
+
+    fn note_round(&mut self, m: &AgMsg) {
+        if let Some(r) = m.round() {
+            self.max_round_seen = self.max_round_seen.max(r);
+        }
+    }
+}
+
+impl FdProcess for Aguilera {
+    type Msg = AgMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        // upon propose(v): (rp, estimate, ts) ← (1, v, 0).
+        self.round = 1;
+        self.estimate = self.initial;
+        self.ts = 0;
+        self.start_round_tasks(ctx);
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: AgMsg, ctx: &mut Ctx<'_, AgMsg>) {
+        // After deciding: answer anything but DECIDE with the decision.
+        if let Some(d) = self.decided {
+            if !matches!(msg, AgMsg::Decide { .. }) {
+                ctx.send(from, AgMsg::Decide { estimate: d });
+            }
+            return;
+        }
+        self.note_round(&msg);
+        match msg {
+            AgMsg::NewRound { round } => {
+                // Informational: a higher round triggers skip_round at the
+                // next poll (max_round_seen already updated).
+                let _ = round;
+            }
+            AgMsg::Estimate {
+                round,
+                estimate,
+                ts,
+            } => {
+                if !self
+                    .est_buf
+                    .iter()
+                    .any(|(q, r, _, _)| *q == from && *r == round)
+                {
+                    self.est_buf.push((from, round, estimate, ts));
+                }
+                if round == self.round {
+                    self.try_newestimate(ctx);
+                }
+            }
+            AgMsg::NewEstimate { round, estimate } => {
+                if round == self.round {
+                    // Participants adopt; the coordinator already holds the
+                    // value (ts = round). Both ACK (phase ACK runs at every
+                    // process, including the coordinator).
+                    if self.me != self.coordinator(round) && self.ts != round {
+                        self.estimate = estimate;
+                        self.ts = round;
+                        self.store_estimate();
+                    }
+                    let c = self.coordinator(round);
+                    self.s_send(c, AgMsg::Ack { round }, ctx);
+                }
+            }
+            AgMsg::Ack { round } => {
+                if !self
+                    .ack_buf
+                    .iter()
+                    .any(|(q, r)| *q == from && *r == round)
+                {
+                    self.ack_buf.push((from, round));
+                }
+                if round == self.round {
+                    self.try_decide(ctx);
+                }
+            }
+            AgMsg::Decide { estimate } => {
+                self.deliver_decide(estimate);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        if self.decided.is_some() {
+            return; // terminate all tasks, including retransmit
+        }
+        // Task retransmit.
+        for q in 0..self.n {
+            if let Some(m) = self.xmit[q].clone() {
+                ctx.send(ProcessId::new(q), m);
+            }
+        }
+        // Task skip_round.
+        self.poll_skip_round(ctx);
+        ctx.set_timer(self.tick);
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile state is lost; only `self.stable` survives. We model the
+        // loss explicitly on recovery (nothing to do at crash time).
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
+        self.recoveries += 1;
+        // upon recovery: reset xmitmsg; if proposed ∧ ¬decided: retrieve
+        // {rp, estimate, ts} and refork the tasks.
+        self.xmit = vec![None; self.n];
+        self.est_buf.clear();
+        self.ack_buf.clear();
+        self.sent_newestimate.clear();
+        self.watch_epochs = None;
+        self.max_round_seen = 0;
+        self.decided = self.stable.decided;
+        if !self.stable.proposed || self.decided.is_some() {
+            return;
+        }
+        self.round = self.stable.round.max(1);
+        self.estimate = self.stable.estimate.unwrap_or(self.initial);
+        self.ts = self.stable.ts;
+        self.start_round_tasks(ctx);
+        ctx.set_timer(self.tick);
+    }
+
+    fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{FdNet, NetConfig, Outage};
+
+    fn run_ag(
+        n: usize,
+        gst: f64,
+        loss: f64,
+        seed: u64,
+        outages: &[Outage],
+        deadline: f64,
+    ) -> FdNet<Aguilera> {
+        let cfg = NetConfig::new(n, gst).with_loss(loss).with_seed(seed);
+        let procs = (0..n)
+            .map(|p| Aguilera::new(n, ProcessId::new(p), 10 + p as u64))
+            .collect();
+        let mut net = FdNet::new(cfg, procs, outages);
+        let permanent: Vec<bool> = (0..n)
+            .map(|p| {
+                outages
+                    .iter()
+                    .any(|o| o.process == ProcessId::new(p) && o.up_at.is_none())
+            })
+            .collect();
+        net.run_until(deadline, |net| {
+            net.processes()
+                .iter()
+                .enumerate()
+                .all(|(p, proc_)| permanent[p] || proc_.decision().is_some())
+        });
+        net
+    }
+
+    fn assert_agreement(net: &FdNet<Aguilera>) {
+        let vals: Vec<u64> = net
+            .processes()
+            .iter()
+            .filter_map(|p| p.decision())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] == w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn failure_free_run_decides() {
+        let net = run_ag(3, 0.0, 0.0, 1, &[], 500.0);
+        assert!(net.processes().iter().all(|p| p.decision().is_some()));
+        assert_agreement(&net);
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        // Unlike Chandra–Toueg, the retransmission task masks lossy links:
+        // this is why the crash-recovery algorithm works where CT blocks.
+        let net = run_ag(3, 1.0, 0.35, 7, &[], 5000.0);
+        assert!(
+            net.processes().iter().all(|p| p.decision().is_some()),
+            "s-send retransmission defeats loss"
+        );
+        assert_agreement(&net);
+    }
+
+    #[test]
+    fn survives_crash_recovery_of_a_process() {
+        let outages = [Outage {
+            process: ProcessId::new(1),
+            down_at: 0.4,
+            up_at: Some(30.0),
+        }];
+        let net = run_ag(3, 5.0, 0.0, 3, &outages, 5000.0);
+        assert!(net.processes().iter().all(|p| p.decision().is_some()));
+        assert_agreement(&net);
+        assert_eq!(net.processes()[1].recoveries(), 1);
+    }
+
+    #[test]
+    fn survives_coordinator_crash_stop() {
+        let outages = [Outage {
+            process: ProcessId::new(0),
+            down_at: 0.05,
+            up_at: None,
+        }];
+        let net = run_ag(3, 5.0, 0.0, 5, &outages, 5000.0);
+        for p in 1..3 {
+            assert!(net.processes()[p].decision().is_some(), "p{p} decides");
+        }
+        assert_agreement(&net);
+    }
+
+    #[test]
+    fn stable_storage_is_actually_used() {
+        let outages = [Outage {
+            process: ProcessId::new(2),
+            down_at: 0.6,
+            up_at: Some(20.0),
+        }];
+        let net = run_ag(3, 5.0, 0.1, 9, &outages, 5000.0);
+        assert!(net.processes().iter().all(|p| p.decision().is_some()));
+        assert_agreement(&net);
+        // Every process wrote stable storage several times — the cost the
+        // paper contrasts with the storage-free HO solution.
+        for p in net.processes() {
+            assert!(p.stable_writes() >= 2, "writes: {}", p.stable_writes());
+        }
+    }
+
+    #[test]
+    fn decision_value_is_an_initial_value() {
+        let net = run_ag(5, 0.0, 0.0, 13, &[], 1000.0);
+        let d = net.processes()[0].decision().expect("decided");
+        assert!((10..15).contains(&d), "integrity: {d}");
+    }
+}

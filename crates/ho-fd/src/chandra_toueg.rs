@@ -1,0 +1,418 @@
+//! The Chandra–Toueg ◇S consensus algorithm (Appendix A.1, crash-stop).
+//!
+//! The rotating-coordinator algorithm, phase by phase (per round `r`,
+//! coordinator `c = (r mod n) + 1`):
+//!
+//! 1. everybody sends `(p, r, estimate_p, ts_p)` to `c`;
+//! 2. `c` waits for `⌈(n+1)/2⌉` estimates, adopts one with the largest
+//!    timestamp, and sends `(c, r, estimate_c)` to all;
+//! 3. everybody waits for `c`'s estimate **or** suspects `c` (the ◇S
+//!    query): adopt-and-ack, or nack;
+//! 4. `c` waits for `⌈(n+1)/2⌉` acks/nacks; on a majority of *acks* it
+//!    reliably broadcasts `decide`.
+//!
+//! The implementation is the paper's pseudo-code turned into an event-driven
+//! state machine: the `wait until` of phase 3 becomes a state plus a
+//! periodic failure-detector poll, and out-of-order messages are buffered
+//! per round. Reliable broadcast is relay-on-first-delivery.
+//!
+//! **The point of this baseline** (§1 of the paper): the algorithm assumes
+//! quasi-reliable links. If the network loses the coordinator's phase-2
+//! message while the coordinator is correct (hence, after GST, never
+//! suspected), the waiting process blocks *forever* — there is no round
+//! timeout. The harness demonstrates exactly that under injected loss.
+
+use ho_core::process::ProcessId;
+
+use crate::net::{Ctx, FdProcess};
+
+/// Wire messages of the Chandra–Toueg algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtMsg {
+    /// Phase 1: `(r, estimate, ts)` to the coordinator.
+    Estimate {
+        /// Round.
+        round: u64,
+        /// Sender's estimate.
+        estimate: u64,
+        /// Sender's timestamp.
+        ts: u64,
+    },
+    /// Phase 2: the coordinator's choice, to all.
+    NewEstimate {
+        /// Round.
+        round: u64,
+        /// The coordinator's estimate.
+        estimate: u64,
+    },
+    /// Phase 3 positive reply.
+    Ack {
+        /// Round.
+        round: u64,
+    },
+    /// Phase 3 negative reply (coordinator suspected).
+    Nack {
+        /// Round.
+        round: u64,
+    },
+    /// Reliable broadcast of the decision.
+    Decide {
+        /// The decided value.
+        estimate: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the coordinator's NewEstimate (phase 3).
+    WaitNewEstimate,
+    /// Decided (terminated).
+    Done,
+}
+
+/// One Chandra–Toueg process.
+#[derive(Clone, Debug)]
+pub struct ChandraToueg {
+    n: usize,
+    me: ProcessId,
+    poll_interval: f64,
+    // Consensus state.
+    estimate: u64,
+    ts: u64,
+    round: u64,
+    decided: Option<u64>,
+    decided_at_round: Option<u64>,
+    phase: Phase,
+    relayed_decide: bool,
+    // Coordinator-side buffers (kept across rounds; keyed by round).
+    estimates: Vec<(ProcessId, u64, u64, u64)>, // (from, round, estimate, ts)
+    est_done: Vec<(u64, u64)>,                  // (round, committed value)
+    acks: Vec<(ProcessId, u64, bool)>,          // (from, round, is_ack)
+    decide_sent: bool,
+    // Participant-side buffer for early NewEstimates.
+    new_estimates: Vec<(u64, u64)>, // (round, estimate)
+}
+
+impl ChandraToueg {
+    /// Creates process `me` of `n` with initial value `v`.
+    #[must_use]
+    pub fn new(n: usize, me: ProcessId, v: u64) -> Self {
+        ChandraToueg {
+            n,
+            me,
+            poll_interval: 0.5,
+            estimate: v,
+            ts: 0,
+            round: 0,
+            decided: None,
+            decided_at_round: None,
+            phase: Phase::Done, // replaced on start
+            relayed_decide: false,
+            estimates: Vec::new(),
+            est_done: Vec::new(),
+            acks: Vec::new(),
+            decide_sent: false,
+            new_estimates: Vec::new(),
+        }
+    }
+
+    /// The coordinator of round `r` (`(r mod n) + 1` in the paper's 1-based
+    /// numbering; 0-based here).
+    #[must_use]
+    pub fn coordinator(&self, r: u64) -> ProcessId {
+        ProcessId::new(((r - 1) % self.n as u64) as usize)
+    }
+
+    /// The round in which this process decided, if it has.
+    #[must_use]
+    pub fn decided_at_round(&self) -> Option<u64> {
+        self.decided_at_round
+    }
+
+    /// Current round.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn start_round(&mut self, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.round += 1;
+        let c = self.coordinator(self.round);
+        // Phase 1: estimate to the coordinator.
+        ctx.send(
+            c,
+            CtMsg::Estimate {
+                round: self.round,
+                estimate: self.estimate,
+                ts: self.ts,
+            },
+        );
+        self.phase = Phase::WaitNewEstimate;
+        // A buffered NewEstimate may already satisfy phase 3.
+        if let Some(&(_, est)) = self
+            .new_estimates
+            .iter()
+            .find(|(r, _)| *r == self.round)
+        {
+            self.accept_new_estimate(est, ctx);
+        }
+    }
+
+    /// Coordinator phase 2: run when an estimate for a round we coordinate
+    /// arrives.
+    fn try_phase2(&mut self, round: u64, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.coordinator(round) != self.me
+            || self.est_done.iter().any(|(r, _)| *r == round)
+        {
+            return;
+        }
+        let received: Vec<(u64, u64)> = self
+            .estimates
+            .iter()
+            .filter(|(_, r, _, _)| *r == round)
+            .map(|(_, _, e, t)| (*e, *t))
+            .collect();
+        if received.len() < self.majority() {
+            return;
+        }
+        let (estimate, _) = received
+            .iter()
+            .copied()
+            .max_by_key(|(e, t)| (*t, u64::MAX - *e))
+            .expect("majority is non-empty");
+        self.est_done.push((round, estimate));
+        ctx.send_all(CtMsg::NewEstimate { round, estimate });
+    }
+
+    fn accept_new_estimate(&mut self, est: u64, ctx: &mut Ctx<'_, CtMsg>) {
+        debug_assert_eq!(self.phase, Phase::WaitNewEstimate);
+        self.estimate = est;
+        self.ts = self.round;
+        let c = self.coordinator(self.round);
+        ctx.send(c, CtMsg::Ack { round: self.round });
+        self.start_round(ctx);
+    }
+
+    /// Coordinator phase 4: decision on a majority of acks.
+    fn try_phase4(&mut self, round: u64, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.coordinator(round) != self.me || self.decide_sent {
+            return;
+        }
+        let acks = self
+            .acks
+            .iter()
+            .filter(|(_, r, ok)| *r == round && *ok)
+            .count();
+        if acks >= self.majority() {
+            // The decide value is exactly the value committed (and sent to
+            // all) in phase 2 of this round — never recomputed, since the
+            // estimate buffer may have grown in the meantime.
+            let committed = self
+                .est_done
+                .iter()
+                .find(|(r, _)| *r == round)
+                .map(|(_, v)| *v)
+                .expect("acks imply phase 2 completed");
+            self.decide_sent = true;
+            ctx.send_all(CtMsg::Decide { estimate: committed });
+        }
+    }
+
+    fn deliver_decide(&mut self, est: u64, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.decided.is_none() {
+            self.decided = Some(est);
+            self.decided_at_round = Some(self.round);
+            self.phase = Phase::Done;
+            if !self.relayed_decide {
+                self.relayed_decide = true;
+                // R-broadcast relay so every correct process delivers.
+                ctx.send_all(CtMsg::Decide { estimate: est });
+            }
+        }
+    }
+}
+
+impl FdProcess for ChandraToueg {
+    type Msg = CtMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CtMsg>) {
+        ctx.set_timer(self.poll_interval);
+        self.start_round(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: CtMsg, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.phase == Phase::Done && !matches!(msg, CtMsg::Decide { .. }) {
+            return;
+        }
+        match msg {
+            CtMsg::Estimate {
+                round,
+                estimate,
+                ts,
+            } => {
+                if !self
+                    .estimates
+                    .iter()
+                    .any(|(q, r, _, _)| *q == from && *r == round)
+                {
+                    self.estimates.push((from, round, estimate, ts));
+                }
+                self.try_phase2(round, ctx);
+            }
+            CtMsg::NewEstimate { round, estimate } => {
+                if round == self.round && self.phase == Phase::WaitNewEstimate {
+                    self.accept_new_estimate(estimate, ctx);
+                } else if round > self.round {
+                    self.new_estimates.push((round, estimate));
+                }
+            }
+            CtMsg::Ack { round } => {
+                self.acks.push((from, round, true));
+                self.try_phase4(round, ctx);
+            }
+            CtMsg::Nack { round } => {
+                self.acks.push((from, round, false));
+            }
+            CtMsg::Decide { estimate } => {
+                self.deliver_decide(estimate, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CtMsg>) {
+        if self.phase == Phase::WaitNewEstimate {
+            // Phase 3 alternative: suspect the coordinator and nack.
+            let c = self.coordinator(self.round);
+            if ctx.suspects().contains(c) {
+                ctx.send(c, CtMsg::Nack { round: self.round });
+                self.start_round(ctx);
+            }
+        }
+        if self.phase != Phase::Done {
+            ctx.set_timer(self.poll_interval);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Crash-stop: no state to save; the process never comes back
+        // meaningfully (on_recover restarts nothing).
+    }
+
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, CtMsg>) {
+        // The crash-stop algorithm has no recovery protocol: a recovered
+        // process stays silent. This is precisely the gap the paper
+        // discusses — contrast with `Aguilera` (Appendix A.2).
+    }
+
+    fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{FdNet, NetConfig, Outage};
+
+    fn run_ct(
+        n: usize,
+        gst: f64,
+        loss: f64,
+        seed: u64,
+        outages: &[Outage],
+        deadline: f64,
+    ) -> FdNet<ChandraToueg> {
+        let cfg = NetConfig::new(n, gst).with_loss(loss).with_seed(seed);
+        let procs = (0..n)
+            .map(|p| ChandraToueg::new(n, ProcessId::new(p), 10 + p as u64))
+            .collect();
+        let mut net = FdNet::new(cfg, procs, outages);
+        net.run_until(deadline, |net| {
+            net.processes()
+                .iter()
+                .enumerate()
+                .all(|(p, proc_)| net.is_down(ProcessId::new(p)) || proc_.decision().is_some())
+        });
+        net
+    }
+
+    #[test]
+    fn failure_free_run_decides() {
+        let net = run_ct(3, 0.0, 0.0, 1, &[], 500.0);
+        let decisions: Vec<_> = net.processes().iter().map(|p| p.decision()).collect();
+        assert!(decisions.iter().all(Option::is_some), "{decisions:?}");
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+    }
+
+    #[test]
+    fn tolerates_minority_crash() {
+        // p0 (the round-1 coordinator) crashes; with accurate FD after GST,
+        // survivors suspect it, nack, and round 2's coordinator decides.
+        let outages = [Outage {
+            process: ProcessId::new(0),
+            down_at: 0.05,
+            up_at: None,
+        }];
+        let net = run_ct(3, 5.0, 0.0, 2, &outages, 500.0);
+        for p in 1..3 {
+            assert!(
+                net.processes()[p].decision().is_some(),
+                "survivor p{p} decides"
+            );
+        }
+        let d1 = net.processes()[1].decision();
+        let d2 = net.processes()[2].decision();
+        assert_eq!(d1, d2, "agreement among survivors");
+    }
+
+    #[test]
+    fn blocks_under_message_loss() {
+        // With loss and a *correct* coordinator (never suspected after GST),
+        // a lost phase-2 message blocks the waiting processes forever —
+        // the paper's first criticism of the FD model made concrete.
+        let net = run_ct(3, 1.0, 0.35, 7, &[], 2000.0);
+        let undecided = net
+            .processes()
+            .iter()
+            .filter(|p| p.decision().is_none())
+            .count();
+        assert!(
+            undecided > 0,
+            "expected at least one blocked process under loss"
+        );
+    }
+
+    #[test]
+    fn coordinator_rotation_matches_paper() {
+        let ct = ChandraToueg::new(3, ProcessId::new(0), 0);
+        assert_eq!(ct.coordinator(1), ProcessId::new(0));
+        assert_eq!(ct.coordinator(2), ProcessId::new(1));
+        assert_eq!(ct.coordinator(3), ProcessId::new(2));
+        assert_eq!(ct.coordinator(4), ProcessId::new(0));
+    }
+
+    #[test]
+    fn decision_value_is_an_initial_value() {
+        let net = run_ct(5, 0.0, 0.0, 3, &[], 500.0);
+        let d = net.processes()[0].decision().expect("decided");
+        assert!((10..15).contains(&d), "integrity: {d}");
+    }
+
+    #[test]
+    fn noisy_fd_before_gst_only_delays() {
+        // Wrong suspicions before GST cause nacks and extra rounds, but
+        // after GST a correct coordinator gets through.
+        let net = run_ct(4, 50.0, 0.0, 11, &[], 2000.0);
+        assert!(net
+            .processes()
+            .iter()
+            .all(|p| p.decision().is_some()));
+    }
+}

@@ -1,0 +1,240 @@
+//! Scenario runners for the failure-detector baselines (experiment A1).
+//!
+//! Produces comparable outcomes — decision latency, message counts,
+//! stable-storage writes — for Chandra–Toueg (crash-stop, ◇S) and
+//! Aguilera et al. (crash-recovery, ◇Su) under the three fault scenarios
+//! the paper's discussion revolves around: failure-free, crash, and
+//! crash-recovery, with or without message loss.
+
+use ho_core::process::ProcessId;
+
+use crate::aguilera::Aguilera;
+use crate::chandra_toueg::ChandraToueg;
+use crate::net::{FdNet, FdProcess, NetConfig, Outage};
+
+/// A fault scenario for the comparison.
+#[derive(Clone, Debug)]
+pub struct FdScenario {
+    /// Number of processes.
+    pub n: usize,
+    /// Initial values (defaults to `10 + p`).
+    pub values: Option<Vec<u64>>,
+    /// Global stabilization time of the failure detector.
+    pub gst: f64,
+    /// Message-loss probability.
+    pub loss: f64,
+    /// Crash/recovery schedule.
+    pub outages: Vec<Outage>,
+    /// Give up after this much simulated time.
+    pub deadline: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FdScenario {
+    /// A failure-free scenario.
+    #[must_use]
+    pub fn failure_free(n: usize, seed: u64) -> Self {
+        FdScenario {
+            n,
+            values: None,
+            gst: 0.0,
+            loss: 0.0,
+            outages: Vec::new(),
+            deadline: 2000.0,
+            seed,
+        }
+    }
+
+    /// One process crashes permanently shortly after the start.
+    #[must_use]
+    pub fn one_crash(n: usize, victim: usize, seed: u64) -> Self {
+        FdScenario {
+            outages: vec![Outage {
+                process: ProcessId::new(victim),
+                down_at: 0.05,
+                up_at: None,
+            }],
+            gst: 5.0,
+            ..FdScenario::failure_free(n, seed)
+        }
+    }
+
+    /// One process crashes and recovers.
+    #[must_use]
+    pub fn crash_recovery(n: usize, victim: usize, down_at: f64, up_at: f64, seed: u64) -> Self {
+        FdScenario {
+            outages: vec![Outage {
+                process: ProcessId::new(victim),
+                down_at,
+                up_at: Some(up_at),
+            }],
+            gst: 5.0,
+            ..FdScenario::failure_free(n, seed)
+        }
+    }
+
+    /// Message loss at the given rate, no crashes.
+    #[must_use]
+    pub fn lossy(n: usize, loss: f64, seed: u64) -> Self {
+        FdScenario {
+            loss,
+            gst: 1.0,
+            deadline: 5000.0,
+            ..FdScenario::failure_free(n, seed)
+        }
+    }
+
+    fn value(&self, p: usize) -> u64 {
+        self.values
+            .as_ref()
+            .map_or(10 + p as u64, |v| v[p])
+    }
+
+    fn net_config(&self) -> NetConfig {
+        NetConfig::new(self.n, self.gst)
+            .with_loss(self.loss)
+            .with_seed(self.seed)
+    }
+}
+
+/// What happened in one run.
+#[derive(Clone, Debug)]
+pub struct FdRunOutcome {
+    /// Per-process decisions.
+    pub decisions: Vec<Option<u64>>,
+    /// Time by which every *relevant* (up at the end) process had decided;
+    /// `None` if some never did within the deadline.
+    pub all_decided_at: Option<f64>,
+    /// Total messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Total stable-storage writes (0 for the storage-free CT).
+    pub stable_writes: u64,
+}
+
+impl FdRunOutcome {
+    /// Whether all deciders agreed (vacuously true with no decisions).
+    #[must_use]
+    pub fn agreement(&self) -> bool {
+        let vals: Vec<u64> = self.decisions.iter().flatten().copied().collect();
+        vals.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// How many processes decided.
+    #[must_use]
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().flatten().count()
+    }
+}
+
+fn run_generic<P: FdProcess>(
+    scenario: &FdScenario,
+    procs: Vec<P>,
+    stable_writes: impl Fn(&P) -> u64,
+) -> FdRunOutcome {
+    // Every process that is not *permanently* crashed is expected to decide;
+    // a process merely down right now may still recover and decide later.
+    let permanently_down: Vec<bool> = (0..scenario.n)
+        .map(|p| {
+            scenario
+                .outages
+                .iter()
+                .any(|o| o.process == ProcessId::new(p) && o.up_at.is_none())
+        })
+        .collect();
+    let mut net = FdNet::new(scenario.net_config(), procs, &scenario.outages);
+    let mut all_decided_at = None;
+    net.run_until(scenario.deadline, |net| {
+        let done = net.processes().iter().enumerate().all(|(p, proc_)| {
+            permanently_down[p] || proc_.decision().is_some()
+        });
+        if done && all_decided_at.is_none() {
+            all_decided_at = Some(net.now());
+        }
+        done
+    });
+    let (sent, delivered, _) = net.message_counts();
+    FdRunOutcome {
+        decisions: net.processes().iter().map(|p| p.decision()).collect(),
+        all_decided_at,
+        messages_sent: sent,
+        messages_delivered: delivered,
+        stable_writes: net.processes().iter().map(stable_writes).sum(),
+    }
+}
+
+/// Runs Chandra–Toueg (crash-stop, ◇S) on the scenario.
+#[must_use]
+pub fn run_chandra_toueg(scenario: &FdScenario) -> FdRunOutcome {
+    let procs = (0..scenario.n)
+        .map(|p| ChandraToueg::new(scenario.n, ProcessId::new(p), scenario.value(p)))
+        .collect();
+    run_generic(scenario, procs, |_| 0)
+}
+
+/// Runs Aguilera et al. (crash-recovery, ◇Su) on the scenario.
+#[must_use]
+pub fn run_aguilera(scenario: &FdScenario) -> FdRunOutcome {
+    let procs = (0..scenario.n)
+        .map(|p| Aguilera::new(scenario.n, ProcessId::new(p), scenario.value(p)))
+        .collect();
+    run_generic(scenario, procs, Aguilera::stable_writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_decide_failure_free() {
+        let sc = FdScenario::failure_free(3, 2);
+        let ct = run_chandra_toueg(&sc);
+        let ag = run_aguilera(&sc);
+        assert_eq!(ct.decided_count(), 3, "{ct:?}");
+        assert_eq!(ag.decided_count(), 3, "{ag:?}");
+        assert!(ct.agreement() && ag.agreement());
+        assert!(ct.all_decided_at.is_some() && ag.all_decided_at.is_some());
+    }
+
+    #[test]
+    fn loss_blocks_ct_but_not_aguilera() {
+        // The paper's §1 criticism, quantified: under loss the crash-stop FD
+        // algorithm (no retransmission) tends to block, while the
+        // crash-recovery algorithm's s-send keeps it live.
+        let mut ct_blocked = 0;
+        let mut ag_blocked = 0;
+        for seed in 0..5 {
+            let sc = FdScenario::lossy(3, 0.35, seed);
+            if run_chandra_toueg(&sc).decided_count() < 3 {
+                ct_blocked += 1;
+            }
+            if run_aguilera(&sc).decided_count() < 3 {
+                ag_blocked += 1;
+            }
+        }
+        assert!(ct_blocked > 0, "CT should block in at least one run");
+        assert_eq!(ag_blocked, 0, "Aguilera must always decide");
+    }
+
+    #[test]
+    fn aguilera_pays_stable_storage_ct_does_not() {
+        let sc = FdScenario::failure_free(3, 4);
+        let ct = run_chandra_toueg(&sc);
+        let ag = run_aguilera(&sc);
+        assert_eq!(ct.stable_writes, 0);
+        assert!(ag.stable_writes > 0);
+    }
+
+    #[test]
+    fn crash_recovery_scenario_only_aguilera_fully_recovers() {
+        let sc = FdScenario::crash_recovery(3, 1, 0.4, 30.0, 6);
+        let ag = run_aguilera(&sc);
+        assert_eq!(ag.decided_count(), 3, "{ag:?}");
+        // CT has no recovery protocol: the recovered process stays silent
+        // forever. Survivors can still decide (majority of 2), but p1 won't.
+        let ct = run_chandra_toueg(&sc);
+        assert!(ct.decisions[1].is_none(), "CT's recovered process is lost");
+    }
+}

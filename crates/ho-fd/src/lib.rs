@@ -1,0 +1,29 @@
+//! # ho-fd — the failure-detector baselines (Appendix A)
+//!
+//! The two consensus algorithms the paper contrasts with the HO approach:
+//!
+//! * [`chandra_toueg`] — the ◇S rotating-coordinator algorithm for the
+//!   **crash-stop** model (Chandra & Toueg; the paper's Algorithm 5);
+//! * [`aguilera`] — the ◇Su algorithm for the **crash-recovery** model
+//!   with stable storage (Aguilera, Chen & Toueg; Algorithm 6).
+//!
+//! Both run over [`net::FdNet`], an asynchronous message-passing simulator
+//! with quasi-reliable (optionally lossy) links, a crash/recovery schedule,
+//! and a failure-detector oracle that stabilizes at GST.
+//!
+//! The point of the crate is the *contrast* the paper draws (§1, §2.1):
+//! moving from crash-stop to crash-recovery forces a new failure-detector
+//! class, stable storage, retransmission and round-skipping machinery onto
+//! the FD algorithm — while the HO-model OneThirdRule runs unchanged in
+//! both models. The [`harness`] quantifies this (experiment A1), including
+//! the blocking of Chandra–Toueg under message loss.
+
+pub mod aguilera;
+pub mod chandra_toueg;
+pub mod harness;
+pub mod net;
+
+pub use aguilera::{AgMsg, Aguilera};
+pub use chandra_toueg::{ChandraToueg, CtMsg};
+pub use harness::{run_aguilera, run_chandra_toueg, FdRunOutcome, FdScenario};
+pub use net::{Ctx, FdNet, FdProcess, NetConfig, Outage};

@@ -1,0 +1,598 @@
+//! An asynchronous message-passing simulator for failure-detector
+//! algorithms.
+//!
+//! The failure-detector model (Chandra & Toueg) is an *asynchronous* system
+//! augmented with failure detectors. Algorithms are event-driven — they
+//! react to message deliveries and timers, and may query the failure
+//! detector at any time. This simulator provides:
+//!
+//! * quasi-reliable links with random bounded delay, plus an optional
+//!   *loss rate* — injecting loss deliberately violates the FD model's
+//!   reliable-link assumption, which is precisely the paper's first
+//!   criticism (§1): FD-based algorithms block under message loss;
+//! * a crash/recovery schedule (crash-stop = no recovery entry);
+//! * a failure-detector oracle that becomes accurate after a global
+//!   stabilization time (GST), yielding ◇S / ◇Su behaviour.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ho_core::process::{ProcessId, ProcessSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Network and oracle parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Minimum message delay.
+    pub delay_min: f64,
+    /// Maximum message delay.
+    pub delay_max: f64,
+    /// Message loss probability (0.0 = the quasi-reliable links the FD
+    /// model assumes).
+    pub loss: f64,
+    /// Global stabilization time: after `gst` the failure detector is
+    /// accurate and complete.
+    pub gst: f64,
+    /// Before GST, probability that an FD query wrongly suspects an up
+    /// process / trusts a down one.
+    pub fd_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// A sensible default: delays in `[0.1, 1.0]`, no loss, GST at `gst`.
+    #[must_use]
+    pub fn new(n: usize, gst: f64) -> Self {
+        NetConfig {
+            n,
+            delay_min: 0.1,
+            delay_max: 1.0,
+            loss: 0.0,
+            gst,
+            fd_noise: 0.3,
+            seed: 0,
+        }
+    }
+
+    /// Sets the message-loss probability.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A crash (and optional recovery) of one process.
+#[derive(Clone, Copy, Debug)]
+pub struct Outage {
+    /// The affected process.
+    pub process: ProcessId,
+    /// Crash time.
+    pub down_at: f64,
+    /// Recovery time (`None` = crash-stop).
+    pub up_at: Option<f64>,
+}
+
+/// What a process can observe and do during a callback.
+///
+/// Handed to every [`FdProcess`] hook; sends, timers and failure-detector
+/// queries go through it.
+pub struct Ctx<'a, M> {
+    pub(crate) me: ProcessId,
+    pub(crate) now: f64,
+    pub(crate) n: usize,
+    pub(crate) outbox: &'a mut Vec<(ProcessId, M)>,
+    pub(crate) timers: &'a mut Vec<f64>,
+    pub(crate) fd: FdView<'a>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This process's id.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current time (FD algorithms are asynchronous; exposing the clock is
+    /// a simulator convenience for timer bookkeeping only).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Sends `msg` to `to` (also allowed to self; delivered like any other
+    /// message).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Broadcasts to every process including self.
+    pub fn send_all(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for q in 0..self.n {
+            self.outbox.push((ProcessId::new(q), msg.clone()));
+        }
+    }
+
+    /// Schedules a timer to fire after `delay`; timers are delivered to
+    /// [`FdProcess::on_timer`] in FIFO order of expiry.
+    pub fn set_timer(&mut self, delay: f64) {
+        assert!(delay > 0.0, "timer delay must be positive");
+        self.timers.push(delay);
+    }
+
+    /// Queries the ◇S view: the current suspect set `D_p`.
+    #[must_use]
+    pub fn suspects(&mut self) -> ProcessSet {
+        self.fd.suspects()
+    }
+
+    /// Queries the ◇Su view: `(trustlist, epoch vector)`.
+    #[must_use]
+    pub fn trustlist(&mut self) -> (ProcessSet, Vec<u64>) {
+        self.fd.trustlist()
+    }
+}
+
+/// The oracle state the `Ctx` exposes.
+pub(crate) struct FdView<'a> {
+    pub(crate) now: f64,
+    pub(crate) cfg: &'a NetConfig,
+    pub(crate) down: &'a [bool],
+    pub(crate) epochs: &'a [u64],
+    pub(crate) rng: &'a mut SmallRng,
+}
+
+impl FdView<'_> {
+    fn accurate(&self) -> bool {
+        self.now >= self.cfg.gst
+    }
+
+    fn suspects(&mut self) -> ProcessSet {
+        let mut s = ProcessSet::empty();
+        for q in 0..self.cfg.n {
+            let down = self.down[q];
+            let wrong = !self.accurate() && self.rng.gen_bool(self.cfg.fd_noise);
+            if down != wrong {
+                s.insert(ProcessId::new(q));
+            }
+        }
+        s
+    }
+
+    fn trustlist(&mut self) -> (ProcessSet, Vec<u64>) {
+        let suspects = self.suspects();
+        (
+            suspects.complement(self.cfg.n),
+            self.epochs.to_vec(),
+        )
+    }
+}
+
+/// An event-driven process in the failure-detector model.
+pub trait FdProcess {
+    /// Wire message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once at time 0 (and *not* again on recovery).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A message arrived.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A timer set via [`Ctx::set_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The process crashed: volatile state is lost. Anything the algorithm
+    /// keeps in stable storage must survive this call.
+    fn on_crash(&mut self);
+
+    /// The process recovered.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The decision, if reached (read by the harness).
+    fn decision(&self) -> Option<u64>;
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { to: ProcessId, from: ProcessId, msg: M },
+    Timer { p: ProcessId, gen: u64 },
+    Crash(ProcessId),
+    Recover(ProcessId),
+}
+
+struct Queued<M> {
+    at: f64,
+    seq: u64,
+    ev: Event<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .partial_cmp(&other.at)
+            .expect("no NaN times")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The asynchronous-network simulator.
+pub struct FdNet<P: FdProcess> {
+    cfg: NetConfig,
+    processes: Vec<P>,
+    down: Vec<bool>,
+    epochs: Vec<u64>,
+    timer_gen: Vec<u64>,
+    queue: BinaryHeap<Reverse<Queued<P::Msg>>>,
+    now: f64,
+    seq: u64,
+    rng: SmallRng,
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_lost: u64,
+}
+
+impl<P: FdProcess> FdNet<P> {
+    /// Builds the network; `outages` is the crash/recovery schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes.len() != cfg.n`.
+    #[must_use]
+    pub fn new(cfg: NetConfig, processes: Vec<P>, outages: &[Outage]) -> Self {
+        assert_eq!(processes.len(), cfg.n, "one process per slot");
+        let mut net = FdNet {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            down: vec![false; cfg.n],
+            epochs: vec![0; cfg.n],
+            timer_gen: vec![0; cfg.n],
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_lost: 0,
+            cfg,
+            processes,
+        };
+        for o in outages {
+            net.push(o.down_at, Event::Crash(o.process));
+            if let Some(up) = o.up_at {
+                assert!(up > o.down_at, "recovery must follow the crash");
+                net.push(up, Event::Recover(o.process));
+            }
+        }
+        // Start everyone.
+        for p in 0..net.cfg.n {
+            net.with_ctx(ProcessId::new(p), |proc_, ctx| proc_.on_start(ctx));
+        }
+        net
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The processes.
+    #[must_use]
+    pub fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    /// Whether `p` is currently down.
+    #[must_use]
+    pub fn is_down(&self, p: ProcessId) -> bool {
+        self.down[p.index()]
+    }
+
+    /// `(sent, delivered, lost)` counters.
+    #[must_use]
+    pub fn message_counts(&self) -> (u64, u64, u64) {
+        (
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_lost,
+        )
+    }
+
+    /// Runs until `stop` fires or `deadline` passes; returns whether `stop`
+    /// fired.
+    pub fn run_until(&mut self, deadline: f64, mut stop: impl FnMut(&Self) -> bool) -> bool {
+        if stop(self) {
+            return true;
+        }
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.at > deadline {
+                return false;
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked");
+            self.now = q.at;
+            self.dispatch(q.ev);
+            if stop(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn push(&mut self, at: f64, ev: Event<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, ev }));
+    }
+
+    /// Runs `f` on process `p` with a fresh context, then flushes the
+    /// outbox and timers it produced.
+    fn with_ctx(&mut self, p: ProcessId, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        {
+            let mut ctx = Ctx {
+                me: p,
+                now: self.now,
+                n: self.cfg.n,
+                outbox: &mut outbox,
+                timers: &mut timers,
+                fd: FdView {
+                    now: self.now,
+                    cfg: &self.cfg,
+                    down: &self.down,
+                    epochs: &self.epochs,
+                    rng: &mut self.rng,
+                },
+            };
+            f(&mut self.processes[p.index()], &mut ctx);
+        }
+        for (to, msg) in outbox {
+            self.messages_sent += 1;
+            if self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss) {
+                self.messages_lost += 1;
+                continue;
+            }
+            let delay = self
+                .rng
+                .gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+            self.push(self.now + delay, Event::Deliver { to, from: p, msg });
+        }
+        let gen = self.timer_gen[p.index()];
+        for delay in timers {
+            self.push(self.now + delay, Event::Timer { p, gen });
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<P::Msg>) {
+        match ev {
+            Event::Deliver { to, from, msg } => {
+                if self.down[to.index()] {
+                    self.messages_lost += 1;
+                    return;
+                }
+                self.messages_delivered += 1;
+                self.with_ctx(to, |proc_, ctx| proc_.on_message(from, msg, ctx));
+            }
+            Event::Timer { p, gen } => {
+                if self.down[p.index()] || self.timer_gen[p.index()] != gen {
+                    return;
+                }
+                self.with_ctx(p, |proc_, ctx| proc_.on_timer(ctx));
+            }
+            Event::Crash(p) => {
+                if !self.down[p.index()] {
+                    self.down[p.index()] = true;
+                    self.timer_gen[p.index()] += 1; // cancel pending timers
+                    self.processes[p.index()].on_crash();
+                }
+            }
+            Event::Recover(p) => {
+                if self.down[p.index()] {
+                    self.down[p.index()] = false;
+                    self.epochs[p.index()] += 1;
+                    self.timer_gen[p.index()] += 1;
+                    self.with_ctx(p, |proc_, ctx| proc_.on_recover(ctx));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pings everyone on start, counts pongs, echoes pings.
+    #[derive(Clone, Debug, Default)]
+    struct PingPong {
+        pongs: u64,
+        timer_fired: bool,
+        crashed: u64,
+        recovered: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Pp {
+        Ping,
+        Pong,
+    }
+
+    impl FdProcess for PingPong {
+        type Msg = Pp;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Pp>) {
+            ctx.send_all(Pp::Ping);
+            ctx.set_timer(5.0);
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: Pp, ctx: &mut Ctx<'_, Pp>) {
+            match msg {
+                Pp::Ping => ctx.send(from, Pp::Pong),
+                Pp::Pong => self.pongs += 1,
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Pp>) {
+            self.timer_fired = true;
+        }
+
+        fn on_crash(&mut self) {
+            self.crashed += 1;
+        }
+
+        fn on_recover(&mut self, _ctx: &mut Ctx<'_, Pp>) {
+            self.recovered += 1;
+        }
+
+        fn decision(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let cfg = NetConfig::new(3, 100.0).with_seed(1);
+        let mut net = FdNet::new(cfg, vec![PingPong::default(); 3], &[]);
+        net.run_until(50.0, |_| false);
+        for p in net.processes() {
+            assert_eq!(p.pongs, 3, "a pong from everyone incl. self");
+            assert!(p.timer_fired);
+        }
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let cfg = NetConfig::new(4, 100.0).with_loss(1.0).with_seed(2);
+        let mut net = FdNet::new(cfg, vec![PingPong::default(); 4], &[]);
+        net.run_until(50.0, |_| false);
+        let (sent, delivered, lost) = net.message_counts();
+        assert!(sent > 0);
+        assert_eq!(delivered, 0);
+        assert_eq!(lost, sent);
+    }
+
+    #[test]
+    fn outage_schedule_fires_hooks() {
+        let cfg = NetConfig::new(2, 100.0).with_seed(3);
+        let outages = [Outage {
+            process: ProcessId::new(1),
+            down_at: 1.0,
+            up_at: Some(10.0),
+        }];
+        let mut net = FdNet::new(cfg, vec![PingPong::default(); 2], &outages);
+        net.run_until(5.0, |_| false);
+        assert!(net.is_down(ProcessId::new(1)));
+        net.run_until(50.0, |_| false);
+        assert!(!net.is_down(ProcessId::new(1)));
+        assert_eq!(net.processes()[1].crashed, 1);
+        assert_eq!(net.processes()[1].recovered, 1);
+    }
+
+    #[test]
+    fn fd_becomes_accurate_after_gst() {
+        // A probe process that records its suspect set on each timer tick.
+        #[derive(Clone, Debug, Default)]
+        struct Probe {
+            last: Option<ProcessSet>,
+        }
+        impl FdProcess for Probe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(1.0);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.last = Some(ctx.suspects());
+                ctx.set_timer(1.0);
+            }
+            fn on_crash(&mut self) {}
+            fn on_recover(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn decision(&self) -> Option<u64> {
+                None
+            }
+        }
+
+        let cfg = NetConfig::new(3, 10.0).with_seed(4);
+        let outages = [Outage {
+            process: ProcessId::new(2),
+            down_at: 0.5,
+            up_at: None,
+        }];
+        let mut net = FdNet::new(cfg, vec![Probe::default(); 3], &outages);
+        net.run_until(30.0, |_| false);
+        // After GST the suspect set is exactly the crashed set.
+        assert_eq!(
+            net.processes()[0].last,
+            Some(ProcessSet::singleton(ProcessId::new(2)))
+        );
+    }
+
+    #[test]
+    fn epochs_count_recoveries() {
+        let cfg = NetConfig::new(2, 0.0).with_seed(5);
+        let outages = [
+            Outage {
+                process: ProcessId::new(1),
+                down_at: 1.0,
+                up_at: Some(2.0),
+            },
+            Outage {
+                process: ProcessId::new(1),
+                down_at: 3.0,
+                up_at: Some(4.0),
+            },
+        ];
+        #[derive(Clone, Debug, Default)]
+        struct EpochProbe {
+            epochs: Vec<u64>,
+        }
+        impl FdProcess for EpochProbe {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(10.0);
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.epochs = ctx.trustlist().1;
+            }
+            fn on_crash(&mut self) {}
+            fn on_recover(&mut self, _ctx: &mut Ctx<'_, ()>) {}
+            fn decision(&self) -> Option<u64> {
+                None
+            }
+        }
+        let mut net = FdNet::new(cfg, vec![EpochProbe::default(); 2], &outages);
+        net.run_until(20.0, |_| false);
+        assert_eq!(net.processes()[0].epochs, vec![0, 2]);
+    }
+}

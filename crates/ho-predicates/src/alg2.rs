@@ -1,0 +1,416 @@
+//! **Algorithm 2**: ensuring `P_su(π0, ·, ·)` in a *π0-down* good period.
+//!
+//! ```text
+//! Reception policy: highest round number first
+//! rp ← 1 ; next_rp ← 1 ; sp ← init_p            (rp, sp on stable storage)
+//! while true:
+//!   msg ← S_p^rp(sp) ; send ⟨msg, rp⟩ to all     (1 send step)
+//!   ip ← 0
+//!   while next_rp = rp:
+//!     ip ← ip + 1
+//!     if ip ≥ 2δ + (n+2)φ: next_rp ← rp + 1      (timeout)
+//!     receive a message                          (1 receive step)
+//!     if ⟨msg, r′⟩ from q: store; if r′ > rp: next_rp ← r′
+//!   R ← messages stored for round rp
+//!   sp ← T_p^rp(R, sp)
+//!   forall r′ ∈ [rp+1, next_rp−1]: sp ← T_p^{r′}(∅, sp)
+//!   rp ← next_rp
+//! ```
+//!
+//! The algorithm sends **no messages of its own** — it only wraps the upper
+//! layer's round messages with a round number. Recovery restarts the outer
+//! loop with `rp`, `sp` read back from stable storage and `msgsRcv`,
+//! `next_rp` reinitialized.
+
+use ho_core::algorithm::{HoAlgorithm, HoAlgorithmExt};
+use ho_core::process::ProcessId;
+use ho_core::round::Round;
+use ho_core::Mailbox;
+use ho_sim::program::{policy, Program, StepKind};
+
+use crate::record::{RoundLog, RoundRecord};
+
+/// The wire format of Algorithm 2: the upper layer's round-`round` message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alg2Msg<M> {
+    /// The round this message belongs to.
+    pub round: u64,
+    /// The payload produced by the upper layer's sending function
+    /// (`None` if `S_p^r` produced no broadcast message).
+    pub payload: Option<M>,
+}
+
+/// The stable-storage image of Algorithm 2 (`rp` and `sp`; §4.2.1 notes the
+/// in-memory-copy optimisation — equivalent, so we model the logical
+/// content).
+#[derive(Clone, Debug)]
+struct StableImage<S> {
+    round: u64,
+    state: S,
+}
+
+/// Algorithm 2 as a step [`Program`], wrapping any broadcast [`HoAlgorithm`].
+#[derive(Clone, Debug)]
+pub struct Alg2Program<A: HoAlgorithm> {
+    alg: A,
+    p: ProcessId,
+    /// Receive-step budget per round, `⌈2δ + (n+2)φ⌉`.
+    timeout: u64,
+    // ---- volatile state ----
+    state: A::State,
+    round: u64,
+    next_round: u64,
+    msgs: Vec<(ProcessId, u64, Option<A::Message>)>,
+    i: u64,
+    sending: bool,
+    // ---- stable storage ----
+    stable: StableImage<A::State>,
+    // ---- observability ----
+    records: Vec<RoundRecord>,
+    crashes: u64,
+}
+
+impl<A: HoAlgorithm> Alg2Program<A> {
+    /// Creates the program for process `p` with the given receive-step
+    /// `timeout` (use [`BoundParams::alg2_timeout`](crate::bounds::BoundParams::alg2_timeout)).
+    #[must_use]
+    pub fn new(alg: A, p: ProcessId, initial_value: A::Value, timeout: u64) -> Self {
+        assert!(timeout >= 1, "timeout must be at least one receive step");
+        let state = alg.init(p, initial_value);
+        Alg2Program {
+            stable: StableImage {
+                round: 1,
+                state: state.clone(),
+            },
+            alg,
+            p,
+            timeout,
+            state,
+            round: 1,
+            next_round: 1,
+            msgs: Vec::new(),
+            i: 0,
+            sending: true,
+            records: Vec::new(),
+            crashes: 0,
+        }
+    }
+
+    /// The upper-layer algorithm.
+    #[must_use]
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// Current upper-layer state `s_p`.
+    #[must_use]
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// Current round `r_p`.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The upper layer's decision, if reached.
+    #[must_use]
+    pub fn decision(&self) -> Option<A::Value> {
+        self.alg.decision(&self.state)
+    }
+
+    /// Number of crashes survived.
+    #[must_use]
+    pub fn crash_count(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Ends round `rp`: runs `T_p^{rp}` on the stored round-`rp` messages,
+    /// applies `∅`-transitions for skipped rounds, advances to `next_rp` and
+    /// persists to stable storage.
+    fn finish_round(&mut self) {
+        debug_assert!(self.next_round > self.round);
+        let r = self.round;
+        let mut mailbox = Mailbox::empty();
+        let mut seen = ho_core::ProcessSet::empty();
+        for (q, mr, payload) in &self.msgs {
+            if *mr == r && !seen.contains(*q) {
+                seen.insert(*q);
+                if let Some(m) = payload {
+                    mailbox.push(*q, m.clone());
+                }
+            }
+        }
+        self.alg
+            .transition(Round(r), self.p, &mut self.state, &mailbox);
+        self.records.push(RoundRecord {
+            round: r,
+            ho: mailbox.senders(),
+        });
+        // Skipped rounds run with ∅ (line 21).
+        for r_skip in (r + 1)..self.next_round {
+            self.alg
+                .apply_empty_rounds(self.p, &mut self.state, Round(r_skip), Round(r_skip + 1));
+            self.records.push(RoundRecord {
+                round: r_skip,
+                ho: ho_core::ProcessSet::empty(),
+            });
+        }
+        self.round = self.next_round;
+        // Space optimisation sanctioned by §4.2.1: drop messages for rounds
+        // already completed.
+        self.msgs.retain(|(_, mr, _)| *mr >= self.round);
+        self.stable = StableImage {
+            round: self.round,
+            state: self.state.clone(),
+        };
+        self.sending = true;
+        self.i = 0;
+    }
+}
+
+impl<A: HoAlgorithm> Program for Alg2Program<A> {
+    type Msg = Alg2Msg<A::Message>;
+
+    fn next_step(&mut self) -> StepKind<Self::Msg> {
+        if self.sending {
+            self.sending = false;
+            self.i = 0;
+            let payload = self
+                .alg
+                .broadcast_message(Round(self.round), self.p, &self.state);
+            StepKind::SendAll(Alg2Msg {
+                round: self.round,
+                payload,
+            })
+        } else {
+            // Lines 11–13: count the receive step; on timeout, move on after
+            // this (still executed) receive.
+            self.i += 1;
+            if self.i >= self.timeout {
+                self.next_round = self.next_round.max(self.round + 1);
+            }
+            StepKind::Receive
+        }
+    }
+
+    fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize> {
+        policy::highest_round_first(buffer, |m| m.round)
+    }
+
+    fn on_receive(&mut self, message: Option<(ProcessId, Self::Msg)>) {
+        if let Some((q, m)) = message {
+            if m.round >= self.round {
+                self.msgs.push((q, m.round, m.payload));
+            }
+            if m.round > self.round {
+                self.next_round = self.next_round.max(m.round);
+            }
+        }
+        if self.next_round > self.round {
+            self.finish_round();
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.crashes += 1;
+    }
+
+    fn on_recover(&mut self) {
+        // Restart at line 6 with rp, sp from stable storage; msgsRcv and
+        // next_rp reinitialized.
+        self.round = self.stable.round;
+        self.state = self.stable.state.clone();
+        self.next_round = self.round;
+        self.msgs.clear();
+        self.i = 0;
+        self.sending = true;
+    }
+}
+
+impl<A: HoAlgorithm> RoundLog for Alg2Program<A> {
+    fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ho_core::algorithms::OneThirdRule;
+    use ho_core::process::ProcessSet;
+    use ho_sim::{GoodKind, Schedule, SimConfig, Simulator, TimePoint};
+
+    use crate::bounds::BoundParams;
+    use crate::record::SystemTrace;
+
+    fn make_programs(
+        n: usize,
+        timeout: u64,
+        values: &[u64],
+    ) -> Vec<Alg2Program<OneThirdRule>> {
+        (0..n)
+            .map(|p| {
+                Alg2Program::new(
+                    OneThirdRule::new(n),
+                    ProcessId::new(p),
+                    values[p],
+                    timeout,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_period_produces_uniform_rounds_and_decision() {
+        let n = 4;
+        let params = BoundParams::new(n, 1.0, 2.0);
+        let cfg = SimConfig::normalized(n, 1.0, 2.0);
+        let pi0 = ProcessSet::full(n);
+        let schedule = Schedule::always_good(pi0, GoodKind::PiDown);
+        let programs = make_programs(n, params.alg2_timeout(), &[3, 1, 4, 1]);
+        let mut sim = Simulator::new(cfg, schedule, programs);
+
+        let mut st = SystemTrace::new(n);
+        let decided = sim.run_until(TimePoint::new(1000.0), |s| {
+            s.programs().iter().all(|p| p.decision().is_some())
+        });
+        st.observe(sim.programs(), sim.now().get());
+        assert!(decided, "OTR over Algorithm 2 decides in a Π-good period");
+        assert!(sim
+            .programs()
+            .iter()
+            .all(|p| p.decision() == Some(1)), "smallest value wins");
+
+        // Every executed round is space uniform over Π (Lemma B.6).
+        let (rho0, _) = st
+            .find_space_uniform_window(pi0, 2, 0.0)
+            .expect("uniform window");
+        assert!(rho0 >= 1);
+    }
+
+    #[test]
+    fn initial_good_period_meets_theorem5_bound() {
+        // Theorem 5: an initial good period of x(2δ+(n+2)φ+1)φ achieves
+        // P_su(π0, 1, x). Check the window completes within the bound
+        // (plus delivery slack δ+φ for the final transition to be observed).
+        let n = 4;
+        let (phi, delta) = (1.0, 2.0);
+        let params = BoundParams::new(n, phi, delta);
+        let cfg = SimConfig::normalized(n, phi, delta);
+        let pi0 = ProcessSet::full(n);
+        let schedule = Schedule::always_good(pi0, GoodKind::PiDown);
+        let programs = make_programs(n, params.alg2_timeout(), &[3, 1, 4, 1]);
+        let mut sim = Simulator::new(cfg, schedule, programs);
+
+        let x = 2;
+        let bound = params.theorem5(x);
+        let mut st = SystemTrace::new(n);
+        let achieved = sim.run_until(TimePoint::new(bound * 3.0), |s| {
+            let mut probe = SystemTrace::new(n);
+            probe.observe(s.programs(), s.now().get());
+            probe.find_space_uniform_window(pi0, x, 0.0).is_some()
+        });
+        st.observe(sim.programs(), sim.now().get());
+        assert!(achieved, "P_su(Π, 1..x) achieved");
+        assert!(
+            sim.now().get() <= bound + delta + phi + 1e-9,
+            "achieved at {} > bound {}",
+            sim.now().get(),
+            bound
+        );
+    }
+
+    #[test]
+    fn crash_recovery_resumes_from_stable_storage() {
+        let n = 3;
+        let alg = OneThirdRule::new(n);
+        let mut prog = Alg2Program::new(alg, ProcessId::new(0), 5u64, 4);
+        // Drive manually: send, then 4 receives (empty) → timeout, round 2.
+        assert!(matches!(prog.next_step(), StepKind::SendAll(_)));
+        for _ in 0..4 {
+            assert_eq!(prog.next_step(), StepKind::Receive);
+            prog.on_receive(None);
+        }
+        assert_eq!(prog.round(), 2);
+        // Crash: round and state must come back from stable storage.
+        prog.on_crash();
+        prog.on_recover();
+        assert_eq!(prog.round(), 2, "stable storage preserved rp");
+        assert_eq!(prog.crash_count(), 1);
+        assert!(matches!(prog.next_step(), StepKind::SendAll(_)), "restarts at line 6");
+    }
+
+    #[test]
+    fn higher_round_message_fast_forwards() {
+        let n = 3;
+        let alg = OneThirdRule::new(n);
+        let mut prog = Alg2Program::new(alg, ProcessId::new(0), 5u64, 100);
+        let _ = prog.next_step(); // send round 1
+        assert_eq!(prog.next_step(), StepKind::Receive);
+        // A round-7 message arrives: jump to round 7 immediately (lines
+        // 17–18), executing rounds 1..6 (round 1 with the stored payload
+        // absent — only the round-7 message is stored).
+        prog.on_receive(Some((
+            ProcessId::new(1),
+            Alg2Msg {
+                round: 7,
+                payload: Some(9u64),
+            },
+        )));
+        assert_eq!(prog.round(), 7);
+        // Records: rounds 1..=6 executed (1 real + 5 empty).
+        assert_eq!(prog.records().len(), 6);
+        assert!(prog.records().iter().all(|r| r.ho.is_empty() || r.round == 1));
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let n = 3;
+        let alg = OneThirdRule::new(n);
+        let mut prog = Alg2Program::new(alg, ProcessId::new(0), 5u64, 100);
+        let _ = prog.next_step();
+        // Jump to round 3.
+        let _ = prog.next_step();
+        prog.on_receive(Some((
+            ProcessId::new(1),
+            Alg2Msg {
+                round: 3,
+                payload: Some(1u64),
+            },
+        )));
+        assert_eq!(prog.round(), 3);
+        // A late round-1 message must not be stored.
+        let before = prog.msgs.len();
+        let _ = prog.next_step();
+        prog.on_receive(Some((
+            ProcessId::new(2),
+            Alg2Msg {
+                round: 1,
+                payload: Some(2u64),
+            },
+        )));
+        assert_eq!(prog.msgs.len(), before);
+    }
+
+    #[test]
+    fn sends_no_extra_messages() {
+        // Algorithm 2 relies exclusively on the upper layer's messages: one
+        // broadcast per round, nothing else.
+        let n = 3;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0);
+        let schedule = Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown);
+        let programs = make_programs(n, 8, &[1, 2, 3]);
+        let mut sim = Simulator::new(cfg, schedule, programs);
+        sim.run_for(TimePoint::new(200.0));
+        let max_round: u64 = sim
+            .programs()
+            .iter()
+            .map(|p| p.round())
+            .max()
+            .unwrap();
+        // Each process sends at most one broadcast per round it entered.
+        assert!(sim.stats().send_steps <= n as u64 * max_round);
+    }
+}

@@ -1,0 +1,246 @@
+//! The closed-form good-period bounds of the paper.
+//!
+//! All formulas are in *normalized* units (`Φ− = 1`, so `φ = Φ+` and
+//! `δ = Δ`); multiply by `Φ−` for real-time values. `x` counts rounds of the
+//! target predicate window.
+//!
+//! | Result      | What it bounds |
+//! |-------------|----------------|
+//! | Theorem 3   | π0-down good period for `P_su(π0, ρ0, ρ0+x−1)` via Alg. 2 |
+//! | Corollary 4 | π0-down good period(s) for `P2_otr` / `P1/1_otr` via Alg. 2 |
+//! | Theorem 5   | *initial* good period for `P_su(π0, 1, x)` via Alg. 2 |
+//! | Theorem 6   | π0-arbitrary good period for `P_k(π0, ρ0+1, ρ0+x)` via Alg. 3 |
+//! | Theorem 7   | *initial* good period for `P_k(π0, 1, x)` via Alg. 3 |
+//! | §4.2.2(c)   | π0-arbitrary good period for consensus via the full stack |
+
+/// Parameters of the bounds: `n`, normalized `φ = Φ+/Φ−` and `δ = Δ/Φ−`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundParams {
+    /// Number of processes.
+    pub n: usize,
+    /// Normalized process-speed bound `φ ≥ 1`.
+    pub phi: f64,
+    /// Normalized transmission delay `δ > 0`.
+    pub delta: f64,
+}
+
+impl BoundParams {
+    /// Creates bound parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n ≥ 1`, `φ ≥ 1`, `δ > 0`.
+    #[must_use]
+    pub fn new(n: usize, phi: f64, delta: f64) -> Self {
+        assert!(n >= 1 && phi >= 1.0 && delta > 0.0, "invalid bound parameters");
+        BoundParams { n, phi, delta }
+    }
+
+    fn nf(&self) -> f64 {
+        self.n as f64
+    }
+
+    /// Algorithm 2's receive-step budget per round: `⌈2δ + (n+2)φ⌉`
+    /// (line 12 of Algorithm 2).
+    #[must_use]
+    pub fn alg2_timeout(&self) -> u64 {
+        (2.0 * self.delta + (self.nf() + 2.0) * self.phi).ceil() as u64
+    }
+
+    /// Algorithm 3's timeout `τ0 = 2δ + (2n+1)φ` (line 19 of Algorithm 3),
+    /// in receive steps: `⌈τ0⌉`.
+    #[must_use]
+    pub fn alg3_timeout(&self) -> u64 {
+        self.tau0().ceil() as u64
+    }
+
+    /// `τ0 = 2δ + (2n+1)φ` as a real value.
+    #[must_use]
+    pub fn tau0(&self) -> f64 {
+        2.0 * self.delta + (2.0 * self.nf() + 1.0) * self.phi
+    }
+
+    /// **Theorem 3**: minimal length of a (non-initial) π0-down good period
+    /// for `P_su(π0, ρ0, ρ0+x−1)` with Algorithm 2:
+    /// `(x+1)(2δ+(n+2)φ+1)φ + δ + φ`.
+    #[must_use]
+    pub fn theorem3(&self, x: u64) -> f64 {
+        let round = 2.0 * self.delta + (self.nf() + 2.0) * self.phi + 1.0;
+        (x as f64 + 1.0) * round * self.phi + self.delta + self.phi
+    }
+
+    /// **Corollary 4**, first part: one π0-down good period implementing
+    /// `P2_otr(π0)` — Theorem 3 with `x = 2`:
+    /// `(6δ + 3nφ + 6φ + 3)φ + δ + φ`.
+    #[must_use]
+    pub fn corollary4_p2otr(&self) -> f64 {
+        self.theorem3(2)
+    }
+
+    /// **Corollary 4**, second part: each of the *two* π0-down good periods
+    /// implementing `P1/1_otr(π0)` — Theorem 3 with `x = 1`:
+    /// `(4δ + 2nφ + 4φ + 2)φ + δ + φ`.
+    #[must_use]
+    pub fn corollary4_p11otr_each(&self) -> f64 {
+        self.theorem3(1)
+    }
+
+    /// Total good time needed by the `P1/1_otr` route (two periods).
+    #[must_use]
+    pub fn corollary4_p11otr_total(&self) -> f64 {
+        2.0 * self.corollary4_p11otr_each()
+    }
+
+    /// **Theorem 5**: minimal length of an *initial* π0-down good period
+    /// for `P_su(π0, 1, x)` with Algorithm 2: `x(2δ+(n+2)φ+1)φ`.
+    #[must_use]
+    pub fn theorem5(&self, x: u64) -> f64 {
+        let round = 2.0 * self.delta + (self.nf() + 2.0) * self.phi + 1.0;
+        x as f64 * round * self.phi
+    }
+
+    /// The per-round cost of Algorithm 3 in a good period:
+    /// `τ0·φ + δ + nφ + 2φ` (proof of Theorem 6).
+    #[must_use]
+    pub fn alg3_round_cost(&self) -> f64 {
+        self.tau0() * self.phi + self.delta + self.nf() * self.phi + 2.0 * self.phi
+    }
+
+    /// **Theorem 6**: minimal length of a (non-initial) π0-arbitrary good
+    /// period for `P_k(π0, ρ0+1, ρ0+x)` with Algorithm 3 (`f < n/2`):
+    /// `(x+2)[(2δ+2nφ+φ)φ + δ + nφ + 2φ] + (2δ+2nφ+φ)φ`.
+    #[must_use]
+    pub fn theorem6(&self, x: u64) -> f64 {
+        (x as f64 + 2.0) * self.alg3_round_cost() + self.tau0() * self.phi
+    }
+
+    /// **Theorem 7**: minimal length of an *initial* π0-arbitrary good
+    /// period for `P_k(π0, 1, x)` with Algorithm 3:
+    /// `(x−1)[τ0φ + δ + nφ + 2φ] + τ0φ + φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    #[must_use]
+    pub fn theorem7(&self, x: u64) -> f64 {
+        assert!(x >= 1, "need at least one round");
+        (x as f64 - 1.0) * self.alg3_round_cost() + self.tau0() * self.phi + self.phi
+    }
+
+    /// **§4.2.2(c)**: minimal π0-arbitrary good period for consensus via
+    /// the full stack (Algorithm 3 + Algorithm 4 + OneThirdRule): `2f + 3`
+    /// kernel rounds, i.e. `(2f+5)[τ0φ + δ + nφ + 2φ] + τ0φ`.
+    #[must_use]
+    pub fn full_stack(&self, f: usize) -> f64 {
+        (2.0 * f as f64 + 5.0) * self.alg3_round_cost() + self.tau0() * self.phi
+    }
+
+    /// The "nice vs not-nice" ratio the paper highlights: Theorem 3 over
+    /// Theorem 5 at the same `x` (≈ 3/2 for the relevant `x = 2`).
+    #[must_use]
+    pub fn nice_ratio(&self, x: u64) -> f64 {
+        self.theorem3(x) / self.theorem5(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BoundParams {
+        BoundParams::new(4, 1.0, 2.0)
+    }
+
+    #[test]
+    fn theorem3_matches_expanded_form() {
+        // (x+1)(2δ+(n+2)φ+1)φ + δ + φ with n=4, φ=1, δ=2, x=2:
+        // 3·(4 + 6 + 1)·1 + 2 + 1 = 36.
+        assert!((params().theorem3(2) - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary4_expansions_agree() {
+        // Corollary 4 states (6δ+3nφ+6φ+3)φ+δ+φ for P2_otr; check it equals
+        // Theorem 3 at x = 2 for several parameter sets.
+        for n in [3usize, 4, 7, 10] {
+            for phi in [1.0, 1.5, 2.0] {
+                for delta in [0.5, 2.0, 10.0] {
+                    let p = BoundParams::new(n, phi, delta);
+                    let lit = (6.0 * delta + 3.0 * n as f64 * phi + 6.0 * phi + 3.0) * phi
+                        + delta
+                        + phi;
+                    assert!((p.corollary4_p2otr() - lit).abs() < 1e-9);
+                    let lit11 = (4.0 * delta + 2.0 * n as f64 * phi + 4.0 * phi + 2.0) * phi
+                        + delta
+                        + phi;
+                    assert!((p.corollary4_p11otr_each() - lit11).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem5_is_x_rounds() {
+        // x(2δ+(n+2)φ+1)φ = 2·11·1 = 22 for x=2.
+        assert!((params().theorem5(2) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nice_ratio_is_about_three_halves() {
+        // The paper: "a factor of approximately 3/2 between the two cases
+        // for the relevant value x = 2".
+        for n in [4usize, 7, 16] {
+            let p = BoundParams::new(n, 1.0, 5.0);
+            let r = p.nice_ratio(2);
+            assert!(r > 1.4 && r < 1.7, "ratio {r} not ≈ 3/2");
+        }
+    }
+
+    #[test]
+    fn tau0_and_timeouts() {
+        let p = params();
+        assert!((p.tau0() - (4.0 + 9.0)).abs() < 1e-12);
+        assert_eq!(p.alg3_timeout(), 13);
+        assert_eq!(p.alg2_timeout(), 10); // 2·2 + 6·1 = 10
+    }
+
+    #[test]
+    fn theorem6_grows_linearly_in_x() {
+        let p = params();
+        let d1 = p.theorem6(2) - p.theorem6(1);
+        let d2 = p.theorem6(3) - p.theorem6(2);
+        assert!((d1 - d2).abs() < 1e-9, "linear in x");
+        assert!((d1 - p.alg3_round_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem7_below_theorem6() {
+        // Initial good periods are cheaper than mid-run ones.
+        let p = params();
+        for x in 1..6 {
+            assert!(p.theorem7(x) < p.theorem6(x));
+        }
+    }
+
+    #[test]
+    fn full_stack_grows_linearly_in_f() {
+        let p = BoundParams::new(9, 1.0, 2.0);
+        let d = p.full_stack(2) - p.full_stack(1);
+        assert!((d - 2.0 * p.alg3_round_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2otr_total_vs_p11otr_total_tradeoff() {
+        // One long period (P2_otr) needs more *contiguous* good time than
+        // either of the two shorter P1/1_otr periods, but less total.
+        let p = params();
+        assert!(p.corollary4_p2otr() > p.corollary4_p11otr_each());
+        assert!(p.corollary4_p2otr() < p.corollary4_p11otr_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bound parameters")]
+    fn rejects_bad_params() {
+        let _ = BoundParams::new(0, 1.0, 1.0);
+    }
+}

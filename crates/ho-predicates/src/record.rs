@@ -1,0 +1,320 @@
+//! Observability: what the predicate layer actually delivered.
+//!
+//! The implementation programs (Algorithms 2 and 3) log a [`RoundRecord`]
+//! every time they execute the transition function of a round — with the
+//! support of the message set they handed to `T_p^r`, i.e. the *effective*
+//! `HO(p, r)`. The [`SystemTrace`] assembles these per-process logs into an
+//! `ho_core::Trace` so the model-level predicates (`P_su`, `P_k`, `P2_otr`,
+//! …) can be evaluated against a system-level run, and stamps each record
+//! with simulation time so the measurement harness can locate *when* a
+//! predicate window was achieved.
+
+use ho_core::process::{ProcessId, ProcessSet};
+use ho_core::trace::Trace;
+
+/// One executed round at one process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundRecord {
+    /// The round whose transition function ran.
+    pub round: u64,
+    /// The support of the message set passed to `T_p^r` (empty for skipped
+    /// rounds, which run with `∅`).
+    pub ho: ProcessSet,
+}
+
+/// A program whose executed rounds can be observed.
+pub trait RoundLog {
+    /// All rounds executed so far, in execution order.
+    fn records(&self) -> &[RoundRecord];
+}
+
+/// Timestamped per-process round logs of a whole run.
+#[derive(Clone, Debug)]
+pub struct SystemTrace {
+    n: usize,
+    /// `completed[p]` = `(record, completion_time)`, in execution order.
+    completed: Vec<Vec<(RoundRecord, f64)>>,
+}
+
+impl SystemTrace {
+    /// An empty system trace over `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        SystemTrace {
+            n,
+            completed: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ingests any rounds newly logged by the programs, stamping them with
+    /// `now`. Call after every simulation event (or batch of events):
+    /// timestamps are accurate to the polling granularity.
+    pub fn observe<L: RoundLog>(&mut self, programs: &[L], now: f64) {
+        for (p, prog) in programs.iter().enumerate() {
+            let seen = self.completed[p].len();
+            for rec in &prog.records()[seen..] {
+                self.completed[p].push((*rec, now));
+            }
+        }
+    }
+
+    /// The records of process `p`.
+    #[must_use]
+    pub fn of(&self, p: ProcessId) -> &[(RoundRecord, f64)] {
+        &self.completed[p.index()]
+    }
+
+    /// The largest round executed by any process (0 if none).
+    #[must_use]
+    pub fn max_round(&self) -> u64 {
+        self.completed
+            .iter()
+            .flat_map(|rs| rs.iter().map(|(r, _)| r.round))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The effective `HO(p, r)` with its completion time; if `p` executed
+    /// round `r` several times (re-execution after recovery), the *last*
+    /// execution wins.
+    #[must_use]
+    pub fn ho(&self, p: ProcessId, r: u64) -> Option<(ProcessSet, f64)> {
+        self.completed[p.index()]
+            .iter()
+            .rev()
+            .find(|(rec, _)| rec.round == r)
+            .map(|(rec, t)| (rec.ho, *t))
+    }
+
+    /// Converts to a model-level [`Trace`]: rounds `1..=max_round`, with
+    /// `HO(p, r) = ∅` for rounds `p` never executed.
+    #[must_use]
+    pub fn to_core_trace(&self) -> Trace {
+        let max = self.max_round();
+        let mut t = Trace::new(self.n);
+        for r in 1..=max {
+            let row: Vec<ProcessSet> = (0..self.n)
+                .map(|p| {
+                    self.ho(ProcessId::new(p), r)
+                        .map_or(ProcessSet::empty(), |(ho, _)| ho)
+                })
+                .collect();
+            t.push_round(row);
+        }
+        t
+    }
+
+    /// Searches for a window of `x` consecutive rounds `ρ0..ρ0+x−1` such
+    /// that every process in `pi0` executed each round with an HO set
+    /// accepted by `accept`, *completing every transition at or after*
+    /// `not_before`. Returns `(ρ0, completion_time_of_the_window)` for the
+    /// earliest-completing such window.
+    ///
+    /// With `accept = |ho| ho == pi0` this finds `P_su(π0, ρ0, ρ0+x−1)`
+    /// windows; with `accept = |ho| ho ⊇ π0` it finds `P_k` windows.
+    #[must_use]
+    pub fn find_window(
+        &self,
+        pi0: ProcessSet,
+        x: u64,
+        not_before: f64,
+        mut accept: impl FnMut(ProcessSet, ProcessSet) -> bool,
+    ) -> Option<(u64, f64)> {
+        assert!(x >= 1, "window must span at least one round");
+        let max = self.max_round();
+        let mut best: Option<(u64, f64)> = None;
+        for rho0 in 1..=max.saturating_sub(x - 1) {
+            let mut completed_at = f64::NEG_INFINITY;
+            let mut ok = true;
+            'outer: for r in rho0..rho0 + x {
+                for p in pi0.iter() {
+                    match self.ho(p, r) {
+                        Some((ho, t)) if accept(ho, pi0) && t >= not_before => {
+                            completed_at = completed_at.max(t);
+                        }
+                        _ => {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if ok && best.map_or(true, |(_, t)| completed_at < t) {
+                best = Some((rho0, completed_at));
+            }
+        }
+        best
+    }
+
+    /// Earliest-completing `P_su(π0, ρ0, ρ0+x−1)` window fully after
+    /// `not_before`.
+    #[must_use]
+    pub fn find_space_uniform_window(
+        &self,
+        pi0: ProcessSet,
+        x: u64,
+        not_before: f64,
+    ) -> Option<(u64, f64)> {
+        self.find_window(pi0, x, not_before, |ho, pi0| ho == pi0)
+    }
+
+    /// Earliest-completing `P_k(π0, ρ0, ρ0+x−1)` window fully after
+    /// `not_before`.
+    #[must_use]
+    pub fn find_kernel_window(
+        &self,
+        pi0: ProcessSet,
+        x: u64,
+        not_before: f64,
+    ) -> Option<(u64, f64)> {
+        self.find_window(pi0, x, not_before, |ho, pi0| ho.is_superset(pi0))
+    }
+
+    /// Earliest completion of `P2_otr(π0)` after `not_before`: a
+    /// space-uniform round immediately followed by a kernel round.
+    #[must_use]
+    pub fn find_p2otr(&self, pi0: ProcessSet, not_before: f64) -> Option<(u64, f64)> {
+        let max = self.max_round();
+        let mut best: Option<(u64, f64)> = None;
+        for rho0 in 1..max {
+            let mut done = f64::NEG_INFINITY;
+            let su = pi0.iter().all(|p| match self.ho(p, rho0) {
+                Some((ho, t)) if ho == pi0 && t >= not_before => {
+                    done = done.max(t);
+                    true
+                }
+                _ => false,
+            });
+            if !su {
+                continue;
+            }
+            let k = pi0.iter().all(|p| match self.ho(p, rho0 + 1) {
+                Some((ho, t)) if ho.is_superset(pi0) && t >= not_before => {
+                    done = done.max(t);
+                    true
+                }
+                _ => false,
+            });
+            if k && best.map_or(true, |(_, t)| done < t) {
+                best = Some((rho0, done));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ho_core::round::Round;
+
+    struct FakeLog(Vec<RoundRecord>);
+    impl RoundLog for FakeLog {
+        fn records(&self) -> &[RoundRecord] {
+            &self.0
+        }
+    }
+
+    fn rec(round: u64, idx: &[usize]) -> RoundRecord {
+        RoundRecord {
+            round,
+            ho: ProcessSet::from_indices(idx.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn observe_stamps_incrementally() {
+        let mut st = SystemTrace::new(2);
+        let mut logs = vec![FakeLog(vec![rec(1, &[0, 1])]), FakeLog(vec![])];
+        st.observe(&logs, 1.0);
+        logs[0].0.push(rec(2, &[0]));
+        logs[1].0.push(rec(1, &[0, 1]));
+        st.observe(&logs, 5.0);
+        assert_eq!(st.ho(ProcessId::new(0), 1), Some((ProcessSet::from_indices([0, 1]), 1.0)));
+        assert_eq!(st.ho(ProcessId::new(0), 2).unwrap().1, 5.0);
+        assert_eq!(st.ho(ProcessId::new(1), 1).unwrap().1, 5.0);
+    }
+
+    #[test]
+    fn last_execution_wins_after_recovery() {
+        let mut st = SystemTrace::new(1);
+        let logs = vec![FakeLog(vec![rec(3, &[0]), rec(3, &[])])];
+        st.observe(&logs, 2.0);
+        assert_eq!(st.ho(ProcessId::new(0), 3).unwrap().0, ProcessSet::empty());
+    }
+
+    #[test]
+    fn to_core_trace_fills_gaps_with_empty() {
+        let mut st = SystemTrace::new(2);
+        let logs = vec![
+            FakeLog(vec![rec(1, &[0, 1]), rec(2, &[0, 1])]),
+            FakeLog(vec![rec(2, &[0, 1])]),
+        ];
+        st.observe(&logs, 1.0);
+        let t = st.to_core_trace();
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.ho(ProcessId::new(1), Round(1)), ProcessSet::empty());
+        assert_eq!(
+            t.ho(ProcessId::new(1), Round(2)),
+            ProcessSet::from_indices([0, 1])
+        );
+    }
+
+    #[test]
+    fn window_search_finds_uniform_run() {
+        let pi0 = ProcessSet::from_indices([0, 1]);
+        let mut st = SystemTrace::new(2);
+        let logs = vec![
+            FakeLog(vec![rec(1, &[0]), rec(2, &[0, 1]), rec(3, &[0, 1])]),
+            FakeLog(vec![rec(1, &[1]), rec(2, &[0, 1]), rec(3, &[0, 1])]),
+        ];
+        st.observe(&logs, 10.0);
+        let (rho0, t) = st.find_space_uniform_window(pi0, 2, 0.0).expect("window");
+        assert_eq!(rho0, 2);
+        assert_eq!(t, 10.0);
+        assert!(st.find_space_uniform_window(pi0, 3, 0.0).is_none());
+    }
+
+    #[test]
+    fn window_respects_not_before() {
+        let pi0 = ProcessSet::from_indices([0]);
+        let mut st = SystemTrace::new(1);
+        let logs = vec![FakeLog(vec![rec(1, &[0])])];
+        st.observe(&logs, 3.0);
+        assert!(st.find_space_uniform_window(pi0, 1, 5.0).is_none());
+        assert!(st.find_space_uniform_window(pi0, 1, 2.0).is_some());
+    }
+
+    #[test]
+    fn kernel_window_accepts_supersets() {
+        let pi0 = ProcessSet::from_indices([0, 1]);
+        let mut st = SystemTrace::new(3);
+        let logs = vec![
+            FakeLog(vec![rec(1, &[0, 1, 2])]),
+            FakeLog(vec![rec(1, &[0, 1])]),
+            FakeLog(vec![]),
+        ];
+        st.observe(&logs, 1.0);
+        assert!(st.find_kernel_window(pi0, 1, 0.0).is_some());
+        assert!(st.find_space_uniform_window(pi0, 1, 0.0).is_none());
+    }
+
+    #[test]
+    fn p2otr_needs_adjacent_kernel_round() {
+        let pi0 = ProcessSet::from_indices([0, 1]);
+        let mut st = SystemTrace::new(2);
+        let logs = vec![
+            FakeLog(vec![rec(1, &[0, 1]), rec(2, &[0, 1]), rec(3, &[0])]),
+            FakeLog(vec![rec(1, &[0, 1]), rec(2, &[0, 1]), rec(3, &[0, 1])]),
+        ];
+        st.observe(&logs, 4.0);
+        let (rho0, _) = st.find_p2otr(pi0, 0.0).expect("p2otr");
+        assert_eq!(rho0, 1);
+    }
+}

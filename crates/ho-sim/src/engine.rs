@@ -1,0 +1,762 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the processes' [`Program`]s, the per-process message
+//! buffers, the event queue and the global real-valued clock. It enforces
+//! the §4.1 semantics:
+//!
+//! * **steps are atomic** and take no time; time elapses *between* steps;
+//! * in a good period, every `π0` process takes at least one step per `Φ+`
+//!   and at most one per `Φ−`;
+//! * a message sent between `π0` processes at `t` inside a good period is in
+//!   the destination buffer by `t + Δ` (send → make-ready collapsed into a
+//!   single delivery event with delay ≤ Δ);
+//! * at the start of a *π0-down* good period, `π̄0` processes are forced
+//!   down and their in-flight messages are purged ("no messages from `π̄0`
+//!   in transit");
+//! * in bad periods (and for `π̄0` in *π0-arbitrary* good periods):
+//!   messages may be lost or arbitrarily delayed, processes may crash
+//!   (volatile state lost — [`Program::on_crash`]), recover, or run slow.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ho_core::process::ProcessId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{DelayTiming, SimConfig, StepTiming};
+use crate::program::{Program, StepKind};
+use crate::schedule::{GoodKind, PeriodKind, Schedule};
+use crate::stats::SimStats;
+use crate::time::TimePoint;
+
+#[derive(Clone, Debug)]
+enum Event<M> {
+    /// Process `p` takes its next atomic step; stale if `gen` mismatches.
+    Step { p: ProcessId, gen: u64 },
+    /// A message becomes ready for reception at `dest`.
+    MakeReady {
+        dest: ProcessId,
+        from: ProcessId,
+        sent_at: TimePoint,
+        msg: M,
+    },
+    /// A schedule period begins.
+    PeriodStart(usize),
+    /// Process `p` recovers from a bad-period crash.
+    Recover { p: ProcessId, gen: u64 },
+}
+
+/// Queue entry ordered by time, then sequence number (FIFO at equal times).
+struct QueuedEvent<M> {
+    at: TimePoint,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct ProcessSlot<M> {
+    down: bool,
+    /// Whether the engine forced this process down (π0-down period) rather
+    /// than a random bad-period crash.
+    forced_down: bool,
+    step_gen: u64,
+    buffer: Vec<(ProcessId, M)>,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<P: Program> {
+    cfg: SimConfig,
+    schedule: Schedule,
+    programs: Vec<P>,
+    slots: Vec<ProcessSlot<P::Msg>>,
+    queue: BinaryHeap<Reverse<QueuedEvent<P::Msg>>>,
+    now: TimePoint,
+    seq: u64,
+    rng: SmallRng,
+    stats: SimStats,
+}
+
+impl<P: Program> Simulator<P> {
+    /// Builds a simulator over `programs` (one per process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != cfg.n` or the config is inconsistent.
+    #[must_use]
+    pub fn new(cfg: SimConfig, schedule: Schedule, programs: Vec<P>) -> Self {
+        cfg.validate();
+        assert_eq!(programs.len(), cfg.n, "one program per process");
+        let slots = (0..cfg.n)
+            .map(|_| ProcessSlot {
+                down: false,
+                forced_down: false,
+                step_gen: 0,
+                buffer: Vec::new(),
+            })
+            .collect();
+        let mut sim = Simulator {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            schedule,
+            programs,
+            slots,
+            queue: BinaryHeap::new(),
+            now: TimePoint::ZERO,
+            seq: 0,
+            stats: SimStats::default(),
+        };
+        // Period-start events (skip index 0; it is in force at t = 0).
+        let starts: Vec<(usize, TimePoint)> = sim
+            .schedule
+            .periods()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, period)| (i, period.start))
+            .collect();
+        for (i, start) in starts {
+            sim.push(start, Event::PeriodStart(i));
+        }
+        // Apply the initial period's forced-down rule, then schedule first
+        // steps for every up process. (apply_period_entry is not used here:
+        // it would also schedule steps for pi0, double-scheduling them.)
+        if let PeriodKind::Good {
+            pi0,
+            kind: GoodKind::PiDown,
+        } = sim.schedule.periods()[0].kind
+        {
+            for p in pi0.complement(sim.cfg.n).iter() {
+                sim.crash(p, true);
+            }
+        }
+        for p in 0..sim.cfg.n {
+            let pid = ProcessId::new(p);
+            if !sim.slots[p].down {
+                let first = sim.first_step_offset(pid);
+                sim.schedule_step(pid, first);
+            }
+        }
+        sim
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> TimePoint {
+        self.now
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Read access to the programs.
+    #[must_use]
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Read access to one program.
+    #[must_use]
+    pub fn program(&self, p: ProcessId) -> &P {
+        &self.programs[p.index()]
+    }
+
+    /// Whether `p` is currently down.
+    #[must_use]
+    pub fn is_down(&self, p: ProcessId) -> bool {
+        self.slots[p.index()].down
+    }
+
+    /// The schedule driving this run.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Runs until `stop` returns true (checked after every event) or the
+    /// clock passes `deadline`. Returns `true` iff `stop` fired.
+    pub fn run_until(
+        &mut self,
+        deadline: TimePoint,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> bool {
+        if stop(self) {
+            return true;
+        }
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.at > deadline {
+                return false;
+            }
+            let Reverse(q) = self.queue.pop().expect("peeked");
+            self.now = q.at;
+            self.dispatch(q.event);
+            if stop(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs until `deadline` unconditionally.
+    pub fn run_for(&mut self, deadline: TimePoint) {
+        self.run_until(deadline, |_| false);
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing.
+
+    fn push(&mut self, at: TimePoint, event: Event<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, event }));
+    }
+
+    fn schedule_step(&mut self, p: ProcessId, dt: f64) {
+        let gen = self.slots[p.index()].step_gen;
+        self.push(self.now.after(dt), Event::Step { p, gen });
+    }
+
+    fn dispatch(&mut self, event: Event<P::Msg>) {
+        match event {
+            Event::Step { p, gen } => self.on_step(p, gen),
+            Event::MakeReady {
+                dest,
+                from,
+                sent_at,
+                msg,
+            } => self.on_make_ready(dest, from, sent_at, msg),
+            Event::PeriodStart(idx) => self.on_period_start(idx),
+            Event::Recover { p, gen } => self.on_recover_event(p, gen),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timing rules.
+
+    fn in_good_sync(&self, p: ProcessId, t: TimePoint) -> bool {
+        self.schedule.is_synchronous_at(t, p)
+    }
+
+    /// Offset of the first step after (re-)entering synchrony or starting.
+    fn first_step_offset(&mut self, p: ProcessId) -> f64 {
+        if self.in_good_sync(p, self.now) {
+            match self.cfg.step_timing {
+                StepTiming::WorstCase => self.cfg.phi_plus,
+                StepTiming::Fastest => self.cfg.phi_minus,
+                StepTiming::Jittered => self.rng.gen_range(0.0..=self.cfg.phi_plus),
+            }
+        } else {
+            let (fast, slow) = self.bad_speed_band();
+            self.rng
+                .gen_range(self.cfg.phi_minus / fast..=self.cfg.phi_plus * slow)
+        }
+    }
+
+    /// Gap to the next step for an up process at the current time.
+    fn step_gap(&mut self, p: ProcessId) -> f64 {
+        if self.in_good_sync(p, self.now) {
+            match self.cfg.step_timing {
+                StepTiming::WorstCase => self.cfg.phi_plus,
+                StepTiming::Fastest => self.cfg.phi_minus,
+                StepTiming::Jittered => {
+                    self.rng.gen_range(self.cfg.phi_minus..=self.cfg.phi_plus)
+                }
+            }
+        } else {
+            let (fast, slow) = self.bad_speed_band();
+            self.rng
+                .gen_range(self.cfg.phi_minus / fast..=self.cfg.phi_plus * slow)
+        }
+    }
+
+    fn bad_config_now(&self) -> Option<crate::config::BadPeriodConfig> {
+        match self.schedule.kind_at(self.now) {
+            PeriodKind::Bad(cfg) => Some(*cfg),
+            PeriodKind::Good { .. } => None,
+        }
+    }
+
+    /// `(fast, slow)` speed-band multipliers under the current bad rules.
+    fn bad_speed_band(&self) -> (f64, f64) {
+        let rules = self.arbitrary_rules();
+        (rules.fast_factor.max(1.0), rules.slow_factor.max(1.0))
+    }
+
+    /// The bad rules applying to non-synchronous behaviour right now: the
+    /// bad period's own config, or (inside a π0-arbitrary good period) the
+    /// most recent bad period's config.
+    fn arbitrary_rules(&self) -> crate::config::BadPeriodConfig {
+        if let Some(cfg) = self.bad_config_now() {
+            return cfg;
+        }
+        // Inside a good period: reuse the last bad period's config, or the
+        // default if the schedule has none before now.
+        self.schedule
+            .periods()
+            .iter()
+            .filter(|p| p.start <= self.now)
+            .filter_map(|p| match p.kind {
+                PeriodKind::Bad(cfg) => Some(cfg),
+                PeriodKind::Good { .. } => None,
+            })
+            .last()
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Step execution.
+
+    fn on_step(&mut self, p: ProcessId, gen: u64) {
+        let idx = p.index();
+        if self.slots[idx].down || self.slots[idx].step_gen != gen {
+            return;
+        }
+
+        // Bad-rules crash roulette (never inside a good period for π0).
+        if !self.in_good_sync(p, self.now) {
+            let rules = self.arbitrary_rules();
+            if rules.crash_prob > 0.0 && self.rng.gen_bool(rules.crash_prob) {
+                self.crash(p, false);
+                let down_for = self.rng.gen_range(rules.min_down..=rules.max_down.max(rules.min_down));
+                let gen = self.slots[idx].step_gen;
+                self.push(self.now.after(down_for), Event::Recover { p, gen });
+                return;
+            }
+        }
+
+        match self.programs[idx].next_step() {
+            StepKind::SendAll(m) => {
+                self.stats.send_steps += 1;
+                for q in 0..self.cfg.n {
+                    self.transmit(p, ProcessId::new(q), m.clone());
+                }
+            }
+            StepKind::SendTo(q, m) => {
+                self.stats.send_steps += 1;
+                self.transmit(p, q, m);
+            }
+            StepKind::Receive => {
+                self.stats.receive_steps += 1;
+                let received = if self.slots[idx].buffer.is_empty() {
+                    None
+                } else {
+                    let choice = self.programs[idx].select_message(&self.slots[idx].buffer);
+                    choice.map(|i| self.slots[idx].buffer.remove(i))
+                };
+                if received.is_none() {
+                    self.stats.empty_receives += 1;
+                }
+                self.programs[idx].on_receive(received);
+            }
+        }
+
+        let gap = self.step_gap(p);
+        self.schedule_step(p, gap);
+    }
+
+    // ------------------------------------------------------------------
+    // Network.
+
+    fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        self.stats.transmissions += 1;
+        let (lost, delay) = self.route(from, to);
+        if lost {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.push(
+            self.now.after(delay),
+            Event::MakeReady {
+                dest: to,
+                from,
+                sent_at: self.now,
+                msg,
+            },
+        );
+    }
+
+    /// Loss and delay for a transmission starting now.
+    fn route(&mut self, from: ProcessId, to: ProcessId) -> (bool, f64) {
+        match *self.schedule.kind_at(self.now) {
+            PeriodKind::Good { pi0, .. } if pi0.contains(from) && pi0.contains(to) => {
+                let delay = match self.cfg.delay_timing {
+                    DelayTiming::WorstCase => self.cfg.delta,
+                    DelayTiming::Jittered => self.rng.gen_range(0.0..=self.cfg.delta),
+                };
+                (false, delay)
+            }
+            _ => {
+                // Bad period, or a transmission touching π̄0 in a good
+                // period: arbitrary rules. Send-omission, link loss and
+                // receive-omission all end in non-reception (§2.3); they
+                // are sampled separately only for the statistics.
+                let rules = self.arbitrary_rules();
+                let dropped = (rules.send_omission > 0.0
+                    && self.rng.gen_bool(rules.send_omission))
+                    || (rules.loss > 0.0 && self.rng.gen_bool(rules.loss))
+                    || (rules.receive_omission > 0.0
+                        && self.rng.gen_bool(rules.receive_omission));
+                if dropped {
+                    (true, 0.0)
+                } else {
+                    let max = self.cfg.delta * (1.0 + rules.extra_delay_factor.max(0.0));
+                    (false, self.rng.gen_range(0.0..=max))
+                }
+            }
+        }
+    }
+
+    fn on_make_ready(&mut self, dest: ProcessId, from: ProcessId, sent_at: TimePoint, msg: P::Msg) {
+        // π0-down purge: no messages from π̄0 processes are in transit
+        // during the good period.
+        if let PeriodKind::Good {
+            pi0,
+            kind: GoodKind::PiDown,
+        } = *self.schedule.kind_at(self.now)
+        {
+            if !pi0.contains(from) && sent_at < self.schedule.at(self.now).start {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+        if self.slots[dest.index()].down {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.stats.delivered += 1;
+        self.slots[dest.index()].buffer.push((from, msg));
+    }
+
+    // ------------------------------------------------------------------
+    // Crashes, recoveries, period transitions.
+
+    fn crash(&mut self, p: ProcessId, forced: bool) {
+        let idx = p.index();
+        if self.slots[idx].down {
+            self.slots[idx].forced_down |= forced;
+            return;
+        }
+        self.stats.crashes += 1;
+        self.slots[idx].down = true;
+        self.slots[idx].forced_down = forced;
+        self.slots[idx].step_gen += 1; // invalidate pending steps
+        self.slots[idx].buffer.clear(); // volatile buffer lost
+        self.programs[idx].on_crash();
+    }
+
+    fn recover(&mut self, p: ProcessId) {
+        let idx = p.index();
+        if !self.slots[idx].down {
+            return;
+        }
+        self.stats.recoveries += 1;
+        self.slots[idx].down = false;
+        self.slots[idx].forced_down = false;
+        self.slots[idx].step_gen += 1;
+        self.programs[idx].on_recover();
+        let first = self.first_step_offset(p);
+        self.schedule_step(p, first);
+    }
+
+    fn on_recover_event(&mut self, p: ProcessId, gen: u64) {
+        // Only recover if the crash that scheduled this is still current.
+        if self.slots[p.index()].down && self.slots[p.index()].step_gen == gen {
+            self.recover(p);
+        }
+    }
+
+    fn on_period_start(&mut self, idx: usize) {
+        self.apply_period_entry(idx);
+    }
+
+    /// Applies entry rules of period `idx` (assumed in force at `self.now`).
+    fn apply_period_entry(&mut self, idx: usize) {
+        let kind = self.schedule.periods()[idx].kind;
+        match kind {
+            PeriodKind::Good { pi0, kind } => {
+                // π0 members must be up and meeting the Φ+ bound from the
+                // very start of the period.
+                for p in pi0.iter() {
+                    if self.slots[p.index()].down {
+                        self.recover(p);
+                    } else {
+                        self.slots[p.index()].step_gen += 1;
+                        let first = self.first_step_offset(p);
+                        self.schedule_step(p, first);
+                    }
+                }
+                if kind == GoodKind::PiDown {
+                    for p in pi0.complement(self.cfg.n).iter() {
+                        self.crash(p, true);
+                    }
+                }
+            }
+            PeriodKind::Bad(_) => {
+                // Forced-down processes come back up when the π0-down good
+                // period ends.
+                let forced: Vec<ProcessId> = (0..self.cfg.n)
+                    .map(ProcessId::new)
+                    .filter(|p| self.slots[p.index()].forced_down)
+                    .collect();
+                for p in forced {
+                    self.recover(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ho_core::process::ProcessSet;
+    use crate::config::BadPeriodConfig;
+    use crate::schedule::Period;
+
+    /// Broadcasts a counter, then receives forever; records everything.
+    #[derive(Clone, Debug, Default)]
+    struct Chatter {
+        sent: u64,
+        received: Vec<(ProcessId, u64)>,
+        crashes: u64,
+        recoveries: u64,
+        want_send: bool,
+    }
+
+    impl Program for Chatter {
+        type Msg = u64;
+
+        fn next_step(&mut self) -> StepKind<u64> {
+            self.want_send = !self.want_send;
+            if self.want_send {
+                self.sent += 1;
+                StepKind::SendAll(self.sent)
+            } else {
+                StepKind::Receive
+            }
+        }
+
+        fn select_message(&mut self, _buffer: &[(ProcessId, u64)]) -> Option<usize> {
+            Some(0)
+        }
+
+        fn on_receive(&mut self, message: Option<(ProcessId, u64)>) {
+            if let Some(m) = message {
+                self.received.push(m);
+            }
+        }
+
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+        }
+
+        fn on_recover(&mut self) {
+            self.recoveries += 1;
+        }
+    }
+
+    fn all_good_sim(n: usize, phi: f64, delta: f64) -> Simulator<Chatter> {
+        let cfg = SimConfig::normalized(n, phi, delta);
+        let schedule = Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown);
+        Simulator::new(cfg, schedule, vec![Chatter::default(); n])
+    }
+
+    #[test]
+    fn messages_flow_in_good_period() {
+        let mut sim = all_good_sim(3, 1.0, 2.0);
+        sim.run_for(TimePoint::new(50.0));
+        for p in sim.programs() {
+            assert!(p.sent > 10, "everyone keeps sending");
+            assert!(!p.received.is_empty(), "everyone receives");
+        }
+        assert_eq!(sim.stats().dropped, 0, "no loss in an all-good run");
+    }
+
+    #[test]
+    fn good_period_step_rate_is_bounded() {
+        // Worst-case timing: steps every Φ+ exactly. In 100 time units with
+        // Φ+ = 2, a process takes about 50 steps.
+        let mut sim = all_good_sim(2, 2.0, 1.0);
+        sim.run_for(TimePoint::new(100.0));
+        let steps = sim.stats().total_steps();
+        assert!(steps >= 2 * 45 && steps <= 2 * 51, "got {steps}");
+    }
+
+    #[test]
+    fn good_period_delivery_within_delta() {
+        // With worst-case delay = Δ every delivery is exactly Δ after the
+        // send; the first receive at time ≥ Φ+ + Δ can see a message.
+        let mut sim = all_good_sim(2, 1.0, 3.0);
+        sim.run_for(TimePoint::new(30.0));
+        assert!(sim.stats().delivered > 0);
+        // In-flight messages at the deadline are neither delivered nor
+        // dropped yet.
+        assert!(sim.stats().delivered + sim.stats().dropped <= sim.stats().transmissions);
+    }
+
+    #[test]
+    fn pi_down_forces_outsiders_down() {
+        let n = 3;
+        let pi0 = ProcessSet::from_indices([0, 1]);
+        let cfg = SimConfig::normalized(n, 1.0, 1.0);
+        let schedule = Schedule::always_good(pi0, GoodKind::PiDown);
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(20.0));
+        assert!(sim.is_down(ProcessId::new(2)));
+        assert_eq!(sim.program(ProcessId::new(2)).sent, 0, "down from t=0");
+        assert!(sim.program(ProcessId::new(0)).sent > 0);
+    }
+
+    #[test]
+    fn bad_period_loses_messages() {
+        let n = 2;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(7);
+        let bad = BadPeriodConfig {
+            loss: 1.0,
+            crash_prob: 0.0,
+            ..BadPeriodConfig::default()
+        };
+        let schedule = Schedule::new(vec![Period {
+            start: TimePoint::ZERO,
+            kind: PeriodKind::Bad(bad),
+        }]);
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(50.0));
+        assert_eq!(sim.stats().delivered, 0, "loss = 1.0 drops everything");
+        assert!(sim.stats().dropped > 0);
+    }
+
+    #[test]
+    fn bad_then_good_transition_recovers_flow() {
+        let n = 3;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(3);
+        let bad = BadPeriodConfig {
+            loss: 1.0,
+            crash_prob: 0.0,
+            ..BadPeriodConfig::default()
+        };
+        let schedule = Schedule::bad_then_good(
+            bad,
+            TimePoint::new(30.0),
+            ProcessSet::full(n),
+            GoodKind::PiDown,
+        );
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(29.0));
+        assert_eq!(sim.stats().delivered, 0);
+        sim.run_for(TimePoint::new(60.0));
+        assert!(sim.stats().delivered > 0, "good period delivers");
+    }
+
+    #[test]
+    fn crashes_and_recoveries_fire_hooks() {
+        let n = 2;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(11);
+        let bad = BadPeriodConfig {
+            crash_prob: 0.2,
+            min_down: 1.0,
+            max_down: 3.0,
+            slow_factor: 1.0,
+            extra_delay_factor: 0.0,
+            ..BadPeriodConfig::calm()
+        };
+        let schedule = Schedule::new(vec![Period {
+            start: TimePoint::ZERO,
+            kind: PeriodKind::Bad(bad),
+        }]);
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(200.0));
+        assert!(sim.stats().crashes > 0, "crash roulette fires");
+        assert!(sim.stats().recoveries > 0, "recoveries follow");
+        let total_hooks: u64 = sim.programs().iter().map(|p| p.crashes).sum();
+        assert_eq!(total_hooks, sim.stats().crashes);
+    }
+
+    #[test]
+    fn run_until_stop_condition() {
+        let mut sim = all_good_sim(2, 1.0, 1.0);
+        let fired = sim.run_until(TimePoint::new(1000.0), |s| {
+            s.programs().iter().any(|p| p.sent >= 5)
+        });
+        assert!(fired);
+        assert!(sim.now().get() < 1000.0);
+    }
+
+    #[test]
+    fn omissive_bad_period_drops_transmissions() {
+        let n = 3;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(13);
+        let bad = BadPeriodConfig::omissive(0.5, 0.5);
+        let schedule = Schedule::new(vec![Period {
+            start: TimePoint::ZERO,
+            kind: PeriodKind::Bad(bad),
+        }]);
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(100.0));
+        let s = sim.stats();
+        // fault prob = 1 − 0.5·0.5 = 0.75; allow wide tolerance.
+        let ratio = s.dropped as f64 / s.transmissions as f64;
+        assert!(ratio > 0.6 && ratio < 0.9, "drop ratio {ratio}");
+    }
+
+    #[test]
+    fn fast_outsiders_step_faster_than_phi_minus() {
+        // A speedy bad period lets processes step well below the Φ− gap —
+        // the arbitrarily-fast regime of the real-valued-clock remark.
+        let n = 1;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(2);
+        let schedule = Schedule::new(vec![Period {
+            start: TimePoint::ZERO,
+            kind: PeriodKind::Bad(BadPeriodConfig::speedy(10.0)),
+        }]);
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.run_for(TimePoint::new(100.0));
+        // With gaps in [0.1, 1.0], expect far more than 100 steps.
+        assert!(
+            sim.stats().total_steps() > 150,
+            "steps {}",
+            sim.stats().total_steps()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let n = 3;
+            let cfg = SimConfig::normalized(n, 1.5, 2.0)
+                .with_seed(seed)
+                .with_step_timing(StepTiming::Jittered)
+                .with_delay_timing(DelayTiming::Jittered);
+            let schedule = Schedule::bad_then_good(
+                BadPeriodConfig::lossy(0.5),
+                TimePoint::new(20.0),
+                ProcessSet::full(n),
+                GoodKind::PiDown,
+            );
+            let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+            sim.run_for(TimePoint::new(100.0));
+            (sim.stats().clone(), sim.programs()[0].received.clone())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+}

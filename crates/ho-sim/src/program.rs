@@ -1,0 +1,154 @@
+//! The step-machine interface between processes and the simulator.
+//!
+//! Processes in the system model execute a sequence of *atomic steps*:
+//! **send steps** (send a message to one or all processes, plus local
+//! computation) and **receive steps** (receive at most one message from the
+//! local buffer, plus local computation). The engine drives a [`Program`]
+//! through these steps; the program never sees the clock directly — only
+//! its own steps, exactly as in the paper's model.
+
+use ho_core::process::ProcessId;
+
+/// What a process does in its next atomic step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepKind<M> {
+    /// A send step: broadcast `m` to all processes (including the sender —
+    /// `send_p(m) to all` puts `m` into `network_s` for all `s ∈ Π`).
+    SendAll(M),
+    /// A send step addressed to a single process.
+    SendTo(ProcessId, M),
+    /// A receive step: the engine pops one buffered message chosen by
+    /// [`Program::select_message`] and hands it to
+    /// [`Program::on_receive`]; if the buffer is empty, the empty message
+    /// `λ` (`None`) is received.
+    Receive,
+}
+
+/// A process program driven by atomic steps.
+///
+/// Lifecycle: the engine repeatedly calls [`Program::next_step`]; for
+/// receive steps it then calls [`Program::select_message`] on the buffered
+/// messages followed by [`Program::on_receive`]. Crashes call
+/// [`Program::on_crash`] (volatile state should be dropped; stable storage
+/// — anything the implementation chose to persist — survives); recoveries
+/// call [`Program::on_recover`].
+pub trait Program {
+    /// Message type on the wire.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// The next atomic step this process wants to take.
+    fn next_step(&mut self) -> StepKind<Self::Msg>;
+
+    /// The *reception policy*: which buffered message to receive.
+    ///
+    /// Returns an index into `buffer`, or `None` to receive the empty
+    /// message λ even though the buffer is non-empty (no standard policy
+    /// does this, but the model allows any policy). Called only for
+    /// `Receive` steps with a non-empty buffer.
+    fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize>;
+
+    /// Outcome of a receive step: `Some((q, m))` or the empty message λ.
+    fn on_receive(&mut self, message: Option<(ProcessId, Self::Msg)>);
+
+    /// The process crashed: volatile state is lost. Implementations should
+    /// reset anything not explicitly persisted to their stable storage.
+    fn on_crash(&mut self);
+
+    /// The process recovered and will start taking steps again.
+    fn on_recover(&mut self);
+}
+
+/// Reception policy helpers shared by the predicate-implementation
+/// algorithms.
+pub mod policy {
+    use ho_core::process::ProcessId;
+
+    /// "Highest round number first" (Algorithm 2, line 1): the index of a
+    /// message with the maximal round among `buffer`, where `round_of`
+    /// extracts a message's round. Ties break towards the *newest* arrival:
+    /// re-announcements (Algorithm 3's INIT resends) leave stale duplicates
+    /// in the buffer, and an oldest-first tie-break would let them starve a
+    /// fresh ROUND message of the same round.
+    pub fn highest_round_first<M>(
+        buffer: &[(ProcessId, M)],
+        mut round_of: impl FnMut(&M) -> u64,
+    ) -> Option<usize> {
+        buffer
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, (_, m))| (round_of(m), *i))
+            .map(|(i, _)| i)
+    }
+
+    /// "The highest round message from each process in a round-robin
+    /// fashion" (Algorithm 3, line 1): at the `i`-th receive step, the
+    /// message with the highest round number *from process `p_(i mod n)`*;
+    /// if there is none, an arbitrary message (we pick the globally highest
+    /// round, which the proofs permit).
+    pub fn round_robin_highest<M>(
+        buffer: &[(ProcessId, M)],
+        receive_step: u64,
+        n: usize,
+        mut round_of: impl FnMut(&M) -> u64,
+    ) -> Option<usize> {
+        let wanted = ProcessId::new((receive_step % n as u64) as usize);
+        let from_wanted = buffer
+            .iter()
+            .enumerate()
+            .filter(|(_, (q, _))| *q == wanted)
+            .max_by_key(|(i, (_, m))| (round_of(m), *i))
+            .map(|(i, _)| i);
+        from_wanted.or_else(|| highest_round_first(buffer, round_of))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::policy::*;
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn highest_round_first_picks_max() {
+        let buf = vec![(p(0), 3u64), (p(1), 7), (p(2), 5)];
+        assert_eq!(highest_round_first(&buf, |m| *m), Some(1));
+    }
+
+    #[test]
+    fn highest_round_first_prefers_newest_on_tie() {
+        let buf = vec![(p(0), 7u64), (p(1), 7)];
+        assert_eq!(highest_round_first(&buf, |m| *m), Some(1));
+    }
+
+    #[test]
+    fn empty_buffer_yields_none() {
+        let buf: Vec<(ProcessId, u64)> = vec![];
+        assert_eq!(highest_round_first(&buf, |m| *m), None);
+        assert_eq!(round_robin_highest(&buf, 0, 4, |m| *m), None);
+    }
+
+    #[test]
+    fn round_robin_targets_i_mod_n() {
+        let buf = vec![(p(0), 3u64), (p(1), 9), (p(2), 1), (p(2), 4)];
+        // Step 2 targets p2: its highest-round message is index 3.
+        assert_eq!(round_robin_highest(&buf, 2, 3, |m| *m), Some(3));
+        // Step 1 targets p1.
+        assert_eq!(round_robin_highest(&buf, 1, 3, |m| *m), Some(1));
+    }
+
+    #[test]
+    fn round_robin_falls_back_to_global_max() {
+        let buf = vec![(p(0), 3u64), (p(1), 9)];
+        // Step 2 targets p2, which has no message → highest overall (p1).
+        assert_eq!(round_robin_highest(&buf, 2, 3, |m| *m), Some(1));
+    }
+
+    #[test]
+    fn step_kind_equality() {
+        assert_eq!(StepKind::<u64>::Receive, StepKind::Receive);
+        assert_ne!(StepKind::SendAll(1u64), StepKind::Receive);
+    }
+}

@@ -1,0 +1,66 @@
+//! Run statistics: step, message and fault counters.
+
+/// Counters accumulated over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Send steps executed (each may fan out to `n` transmissions).
+    pub send_steps: u64,
+    /// Receive steps executed (including receptions of the empty message λ).
+    pub receive_steps: u64,
+    /// Receive steps that returned the empty message λ.
+    pub empty_receives: u64,
+    /// Point-to-point transmissions handed to the network.
+    pub transmissions: u64,
+    /// Transmissions that reached a buffer.
+    pub delivered: u64,
+    /// Transmissions dropped (bad-period loss, π0-down purge, or
+    /// destination down).
+    pub dropped: u64,
+    /// Crash events (including forced downs at π0-down period starts).
+    pub crashes: u64,
+    /// Recovery events.
+    pub recoveries: u64,
+}
+
+impl SimStats {
+    /// Total steps taken by all processes.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.send_steps + self.receive_steps
+    }
+
+    /// Fraction of transmissions that were delivered, in `[0, 1]`
+    /// (1.0 when nothing was sent).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.transmissions == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.transmissions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratio() {
+        let s = SimStats {
+            send_steps: 4,
+            receive_steps: 10,
+            transmissions: 8,
+            delivered: 6,
+            dropped: 2,
+            ..SimStats::default()
+        };
+        assert_eq!(s.total_steps(), 14);
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_ratio_is_one() {
+        assert_eq!(SimStats::default().delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Real-valued simulation time.
+//!
+//! The paper deliberately uses clocks with values from ℝ rather than the
+//! integers of DLS (see the remark in §4.1): with integer clocks, processes
+//! outside `π0` could not be arbitrarily fast relative to `π0`, which would
+//! smuggle a synchrony assumption into the "π0-arbitrary" good period. We
+//! follow suit with `f64` time.
+
+use std::cmp::Ordering;
+
+/// A point in simulated time (finite, non-negative `f64`).
+///
+/// `TimePoint` provides the total order that `f64` lacks so it can key the
+/// event queue; construction rejects NaN.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimePoint(f64);
+
+impl TimePoint {
+    /// The start of time.
+    pub const ZERO: TimePoint = TimePoint(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN or negative.
+    #[must_use]
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "time cannot be NaN");
+        assert!(t >= 0.0, "time cannot be negative");
+        TimePoint(t)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// This point shifted `dt` into the future.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be NaN or negative.
+    #[must_use]
+    pub fn after(self, dt: f64) -> TimePoint {
+        TimePoint::new(self.0 + dt)
+    }
+}
+
+impl Eq for TimePoint {}
+
+impl PartialOrd for TimePoint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimePoint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("no NaN time")
+    }
+}
+
+impl From<f64> for TimePoint {
+    fn from(t: f64) -> Self {
+        TimePoint::new(t)
+    }
+}
+
+impl std::fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = TimePoint::new(1.0);
+        let b = TimePoint::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn after_advances() {
+        assert_eq!(TimePoint::ZERO.after(2.5), TimePoint::new(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = TimePoint::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = TimePoint::new(-1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Good periods, bad periods, and the paper's timing theorems.
+//!
+//! The system alternates between bad periods (loss, crashes, asynchrony)
+//! and good periods where a subset π0 is synchronous. The paper computes
+//! the *minimal good-period length* for the predicate layer to deliver its
+//! guarantee; this example measures it empirically for both implementations:
+//!
+//! * Algorithm 2 in a π0-down good period vs Theorems 3 and 5;
+//! * Algorithm 3 in a π0-arbitrary good period vs Theorems 6 and 7;
+//! * the full stack (Alg. 3 + macro-rounds + OneThirdRule) vs §4.2.2(c).
+//!
+//! ```sh
+//! cargo run --example good_periods
+//! ```
+
+use heardof::core::process::ProcessSet;
+use heardof::predicates::bounds::BoundParams;
+use heardof::predicates::measure::{
+    measure_alg2_space_uniform, measure_alg3_kernel, measure_full_stack, Scenario,
+};
+
+fn main() {
+    let params = BoundParams::new(4, 1.0, 2.0);
+    println!("n = {}, φ = {}, δ = {} (normalized: Φ− = 1)\n", params.n, params.phi, params.delta);
+
+    // --- Algorithm 2, π0-down good periods. ----------------------------
+    println!("Algorithm 2 → P_su(π0, ρ0, ρ0+1)   [two uniform rounds]");
+    let m = measure_alg2_space_uniform(params, ProcessSet::full(4), 2, Scenario::Initial, 1);
+    println!(
+        "  initial good period:    measured {:>6.1}   Theorem 5 bound {:>6.1}",
+        m.empirical_length().unwrap(),
+        m.bound
+    );
+    let m = measure_alg2_space_uniform(params, ProcessSet::full(4), 2, Scenario::rough(60.0), 1);
+    println!(
+        "  mid-run good period:    measured {:>6.1}   Theorem 3 bound {:>6.1}",
+        m.empirical_length().unwrap(),
+        m.bound
+    );
+    println!(
+        "  nice-vs-not-nice bound ratio at x = 2: {:.2}  (the paper's ≈ 3/2)\n",
+        params.nice_ratio(2)
+    );
+
+    // --- Algorithm 3, π0-arbitrary good periods. ------------------------
+    println!("Algorithm 3 → P_k(π0, ρ0, ρ0+1)    [two kernel rounds, f = 1]");
+    let m = measure_alg3_kernel(params, 1, 2, Scenario::Initial, 1);
+    println!(
+        "  initial good period:    measured {:>6.1}   Theorem 7 bound {:>6.1}",
+        m.empirical_length().unwrap(),
+        m.bound
+    );
+    let m = measure_alg3_kernel(params, 1, 2, Scenario::rough(60.0), 1);
+    println!(
+        "  mid-run good period:    measured {:>6.1}   Theorem 6 bound {:>6.1}\n",
+        m.empirical_length().unwrap(),
+        m.bound
+    );
+
+    // --- The full stack. ------------------------------------------------
+    println!("Full stack (Alg. 3 + Alg. 4 + OneThirdRule), f = 1");
+    let out = measure_full_stack(params, 1, Scenario::rough(60.0), 1);
+    println!(
+        "  consensus in a π0-arbitrary good period: measured {:>6.1}   §4.2.2(c) bound {:>6.1}",
+        out.measurement.empirical_length().unwrap(),
+        out.measurement.bound
+    );
+    let decided: Vec<_> = out.decisions.iter().flatten().collect();
+    println!(
+        "  decisions: {decided:?} ({} send steps)",
+        out.send_steps
+    );
+    println!("\nAll measured lengths sit below the worst-case bounds, as the theorems promise.");
+}

@@ -1,0 +1,88 @@
+//! Predicate playground: communication predicates as first-class values.
+//!
+//! Builds heard-of traces by hand and with adversaries, then evaluates the
+//! paper's predicates (Table 1 and §4.2) against them — including the
+//! implications `P_su ⇒ P_k` and `P2_otr ⇒ P_otr^restr`.
+//!
+//! ```sh
+//! cargo run --example predicate_playground
+//! ```
+
+use heardof::core::adversary::{Adversary, CrashRecovery, KernelOnly, RandomLoss};
+use heardof::core::predicate::{
+    find_p2otr_witness, find_restricted_otr_witness, Kernel, MajorityEachRound, NonEmptyKernel,
+    P2Otr, Potr, PotrRestricted, Predicate, SpaceUniform,
+};
+use heardof::core::process::ProcessSet;
+use heardof::core::round::Round;
+use heardof::core::trace::Trace;
+
+fn record(adv: &mut impl Adversary, n: usize, rounds: u64) -> Trace {
+    let mut t = Trace::new(n);
+    for r in 1..=rounds {
+        t.push_round(adv.ho_sets(Round(r), n));
+    }
+    t
+}
+
+fn check(name: &str, p: &dyn Predicate, t: &Trace) {
+    println!("{:>28}  {}", name, if p.holds(t) { "✓ holds" } else { "✗ fails" });
+}
+
+fn main() {
+    let n = 4;
+    let pi0 = ProcessSet::from_indices(0..3);
+
+    // --- A handcrafted trace: junk, then a uniform round, then a kernel
+    //     round (exactly the P2_otr pattern a good period produces). ------
+    let mut t = Trace::new(n);
+    t.push_round(vec![
+        ProcessSet::from_indices([0]),
+        ProcessSet::from_indices([1]),
+        ProcessSet::from_indices([2]),
+        ProcessSet::from_indices([3]),
+    ]);
+    t.push_round(vec![pi0, pi0, pi0, pi0]); // space uniform over Π0
+    t.push_round(vec![ProcessSet::full(n), pi0, pi0, pi0]); // kernel round
+
+    println!("handcrafted trace ({} rounds):", t.rounds());
+    check("P_su(Π0, 2, 2)", &SpaceUniform::new(pi0, Round(2), Round(2)), &t);
+    check("P_k(Π0, 2, 3)", &Kernel::new(pi0, Round(2), Round(3)), &t);
+    check("P2_otr(Π0)", &P2Otr::new(pi0), &t);
+    check("P_otr", &Potr, &t);
+    check("P_otr^restr", &PotrRestricted, &t);
+    check("majority each round", &MajorityEachRound, &t);
+    if let Some(r0) = find_p2otr_witness(&t, pi0) {
+        println!("{:>28}  r0 = {r0:?}", "P2_otr witness");
+    }
+    if let Some((r0, set)) = find_restricted_otr_witness(&t) {
+        println!("{:>28}  r0 = {r0:?}, Π0 = {set:?}", "P_otr^restr witness");
+    }
+
+    // --- Adversary-generated traces. -----------------------------------
+    println!("\nrandom loss 40%, 30 rounds:");
+    let t = record(&mut RandomLoss::new(0.4, 7), n, 30);
+    check("P_otr", &Potr, &t);
+    check("non-empty kernel ∀r", &NonEmptyKernel, &t);
+    check("majority each round", &MajorityEachRound, &t);
+
+    println!("\nkernel-guaranteed chaos, 30 rounds:");
+    let t = record(&mut KernelOnly::new(0.8, 9), n, 30);
+    check("non-empty kernel ∀r", &NonEmptyKernel, &t);
+    check("P_otr", &Potr, &t);
+
+    println!("\ncrash-recovery (p3 down rounds 2..=4), 8 rounds:");
+    let t = record(
+        &mut CrashRecovery::new(n, &[(3, Round(2), Round(4))]),
+        n,
+        8,
+    );
+    check("P_otr", &Potr, &t);
+    check("P_otr^restr", &PotrRestricted, &t);
+
+    // Combinators compose predicates like values.
+    println!("\ncombinators:");
+    let both = MajorityEachRound.and(NonEmptyKernel);
+    println!("  {}", both.describe());
+    check("majority ∧ kernel", &both, &t);
+}

@@ -1,0 +1,137 @@
+//! Property-based safety tests: no HO assignment whatsoever can make any of
+//! the consensus algorithms violate integrity or agreement.
+//!
+//! This is the HO model's central safety claim (Theorem 1 "never violates
+//! the safety properties", and likewise for the [CBS06] algorithms): safety
+//! holds under *every* collection of heard-of sets, i.e. under every benign
+//! fault pattern — static or dynamic, transient or permanent.
+
+use heardof::core::adversary::Scripted;
+use heardof::core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use heardof::core::executor::{RoundExecutor, RunError};
+use heardof::core::process::ProcessSet;
+use heardof::core::translation::Translated;
+use heardof::core::HoAlgorithm;
+use proptest::prelude::*;
+
+/// An arbitrary HO assignment: `rounds × n` process sets.
+fn arb_script(n: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<ProcessSet>>> {
+    let mask = (1u128 << n) - 1;
+    proptest::collection::vec(
+        proptest::collection::vec(0u128..=mask, n),
+        rounds,
+    )
+    .prop_map(move |rows| {
+        rows.into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|bits| {
+                        ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0))
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn arb_values(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..5, n)
+}
+
+/// Runs `alg` under the scripted adversary; the executor returns
+/// `RunError::Violation` on any safety breach, which fails the property.
+fn assert_safe<A: HoAlgorithm<Value = u64>>(
+    alg: A,
+    values: Vec<u64>,
+    script: Vec<Vec<ProcessSet>>,
+) -> Result<(), TestCaseError> {
+    let rounds = script.len() as u64;
+    let mut exec = RoundExecutor::new(alg, values);
+    let mut adv = Scripted::new(script);
+    match exec.run(&mut adv, rounds) {
+        Ok(()) => Ok(()),
+        Err(RunError::Violation(v)) => Err(TestCaseError::fail(format!("safety violated: {v}"))),
+        Err(other) => Err(TestCaseError::fail(format!("unexpected: {other}"))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn one_third_rule_is_always_safe(
+        values in arb_values(4),
+        script in arb_script(4, 12),
+    ) {
+        assert_safe(OneThirdRule::new(4), values, script)?;
+    }
+
+    #[test]
+    fn one_third_rule_safe_at_larger_n(
+        values in arb_values(7),
+        script in arb_script(7, 10),
+    ) {
+        assert_safe(OneThirdRule::new(7), values, script)?;
+    }
+
+    /// UniformVoting's safety predicate is `P_nek` (non-empty kernels) —
+    /// see the module docs. The script is made kernel-respecting by adding
+    /// a rotating pivot that everyone hears.
+    #[test]
+    fn uniform_voting_is_safe_under_nonempty_kernels(
+        values in arb_values(4),
+        raw in arb_script(4, 12),
+    ) {
+        let script: Vec<Vec<ProcessSet>> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(r, row)| {
+                let pivot = heardof::core::process::ProcessId::new(r % 4);
+                row.into_iter()
+                    .map(|ho| ho.union(ProcessSet::singleton(pivot)))
+                    .collect()
+            })
+            .collect();
+        assert_safe(UniformVoting::new(4), values, script)?;
+    }
+
+    #[test]
+    fn last_voting_is_always_safe(
+        values in arb_values(4),
+        script in arb_script(4, 16),
+    ) {
+        assert_safe(LastVoting::new(4), values, script)?;
+    }
+
+    #[test]
+    fn translated_otr_is_always_safe(
+        values in arb_values(5),
+        script in arb_script(5, 12),
+    ) {
+        assert_safe(Translated::new(OneThirdRule::new(5), 2), values, script)?;
+    }
+
+    #[test]
+    fn corrected_translation_is_always_safe(
+        values in arb_values(5),
+        script in arb_script(5, 12),
+    ) {
+        assert_safe(Translated::corrected(OneThirdRule::new(5), 2), values, script)?;
+    }
+
+    /// Decisions, once taken, survive any further chaos (irrevocability is
+    /// checked by the executor each round).
+    #[test]
+    fn decisions_are_irrevocable_under_chaos(
+        script in arb_script(4, 20),
+    ) {
+        use heardof::core::adversary::FullDelivery;
+        let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![1u64, 1, 1, 1]);
+        exec.run_until_all_decided(&mut FullDelivery, 5).unwrap();
+        let decided = exec.decisions();
+        let rounds = script.len() as u64;
+        let mut adv = Scripted::new(script);
+        exec.run(&mut adv, rounds).expect("no violation");
+        prop_assert_eq!(exec.decisions(), decided);
+    }
+}

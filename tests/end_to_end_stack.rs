@@ -1,0 +1,162 @@
+//! End-to-end runs of the complete two-layer architecture (Figure 1):
+//! OneThirdRule on top, the predicate implementation layer below, the
+//! partially synchronous system at the bottom — across alternating good and
+//! bad periods, crashes, recoveries and loss.
+
+use heardof::core::algorithms::OneThirdRule;
+use heardof::core::process::{ProcessId, ProcessSet};
+use heardof::core::translation::Translated;
+use heardof::predicates::alg2::Alg2Program;
+use heardof::predicates::alg3::Alg3Program;
+use heardof::predicates::bounds::BoundParams;
+use heardof::predicates::record::SystemTrace;
+use heardof::sim::{
+    BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, TimePoint,
+};
+
+#[test]
+fn alg2_stack_decides_across_alternating_periods() {
+    // bad(30) → good(60) cycles; the first sufficiently long good period
+    // produces the decision.
+    let n = 4;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let pi0 = ProcessSet::full(n);
+    let schedule = Schedule::alternating(
+        BadPeriodConfig::lossy(0.6),
+        30.0,
+        60.0,
+        2,
+        pi0,
+        GoodKind::PiDown,
+    );
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(8);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                ProcessId::new(p),
+                10 + p as u64,
+                params.alg2_timeout(),
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    let decided = sim.run_until(TimePoint::new(500.0), |s| {
+        s.programs().iter().all(|p| p.decision().is_some())
+    });
+    assert!(decided, "alternating schedule still reaches consensus");
+    let d: Vec<u64> = sim.programs().iter().filter_map(|p| p.decision()).collect();
+    assert!(d.windows(2).all(|w| w[0] == w[1]), "agreement: {d:?}");
+    assert!(d[0] >= 10 && d[0] < 10 + n as u64, "integrity: {d:?}");
+}
+
+#[test]
+fn alg2_stack_survives_crashes_with_stable_storage() {
+    let n = 4;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let pi0 = ProcessSet::full(n);
+    let bad = BadPeriodConfig {
+        loss: 0.3,
+        crash_prob: 0.08,
+        min_down: 2.0,
+        max_down: 10.0,
+        ..BadPeriodConfig::default()
+    };
+    let schedule = Schedule::bad_then_good(bad, TimePoint::new(100.0), pi0, GoodKind::PiDown);
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(21);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                ProcessId::new(p),
+                p as u64,
+                params.alg2_timeout(),
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    let decided = sim.run_until(TimePoint::new(400.0), |s| {
+        s.programs().iter().all(|p| p.decision().is_some())
+    });
+    assert!(decided);
+    assert!(
+        sim.stats().crashes > 0,
+        "the bad period should actually crash someone (seed-dependent)"
+    );
+    let d: Vec<u64> = sim.programs().iter().filter_map(|p| p.decision()).collect();
+    assert!(d.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn alg3_stack_with_corrected_translation_decides() {
+    // The full paper stack but with the corrected f+2-round translation:
+    // decisions still arrive in a π0-arbitrary good period.
+    let n = 5;
+    let f = 1;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let pi0 = ProcessSet::from_indices(0..n - f);
+    let schedule = Schedule::bad_then_good(
+        BadPeriodConfig::default(),
+        TimePoint::new(50.0),
+        pi0,
+        GoodKind::PiArbitrary,
+    );
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(5);
+    let programs: Vec<Alg3Program<Translated<OneThirdRule>>> = (0..n)
+        .map(|p| {
+            Alg3Program::new(
+                Translated::corrected(OneThirdRule::new(n), f),
+                ProcessId::new(p),
+                p as u64,
+                f,
+                params.alg3_timeout(),
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    let decided = sim.run_until(TimePoint::new(2000.0), |s| {
+        pi0.iter().all(|p| s.program(p).decision().is_some())
+    });
+    assert!(decided, "corrected stack decides");
+    let d: Vec<u64> = pi0
+        .iter()
+        .filter_map(|p| sim.program(p).decision())
+        .collect();
+    assert!(d.windows(2).all(|w| w[0] == w[1]), "agreement: {d:?}");
+}
+
+#[test]
+fn system_trace_satisfies_model_level_predicates() {
+    // Run the Alg-2 stack in an always-good system and check that the
+    // *model-level* P_otr^restr predicate holds on the system-level trace —
+    // the two layers meet exactly at the communication predicate.
+    use heardof::core::predicate::{PotrRestricted, Predicate};
+
+    let n = 4;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let pi0 = ProcessSet::full(n);
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(2);
+    let schedule = Schedule::always_good(pi0, GoodKind::PiDown);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                ProcessId::new(p),
+                p as u64,
+                params.alg2_timeout(),
+            )
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    let mut st = SystemTrace::new(n);
+    sim.run_until(TimePoint::new(300.0), |s| {
+        st.observe(s.programs(), s.now().get());
+        s.programs().iter().all(|p| p.decision().is_some())
+    });
+    st.observe(sim.programs(), sim.now().get());
+    let trace = st.to_core_trace();
+    assert!(
+        PotrRestricted.holds(&trace),
+        "the system layer delivered the predicate the HO layer needs"
+    );
+}

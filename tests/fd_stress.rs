@@ -1,0 +1,175 @@
+//! Stress tests for the failure-detector baselines: larger memberships,
+//! multiple faults, repeated recoveries, and noisy pre-GST detectors.
+
+use heardof::fd::harness::{run_aguilera, run_chandra_toueg, FdScenario};
+use heardof::fd::{FdNet, NetConfig, Outage};
+use ho_core::process::ProcessId;
+
+#[test]
+fn ct_survives_two_minority_crashes_in_five() {
+    let mut sc = FdScenario::failure_free(5, 3);
+    sc.gst = 5.0;
+    sc.outages = vec![
+        Outage {
+            process: ProcessId::new(0),
+            down_at: 0.05,
+            up_at: None,
+        },
+        Outage {
+            process: ProcessId::new(1),
+            down_at: 2.0,
+            up_at: None,
+        },
+    ];
+    let out = run_chandra_toueg(&sc);
+    for p in 2..5 {
+        assert!(out.decisions[p].is_some(), "survivor p{p} decides: {out:?}");
+    }
+    assert!(out.agreement());
+}
+
+#[test]
+fn aguilera_survives_repeated_recoveries_of_the_same_process() {
+    let mut sc = FdScenario::failure_free(3, 5);
+    sc.gst = 5.0;
+    sc.deadline = 10_000.0;
+    sc.outages = vec![
+        Outage {
+            process: ProcessId::new(2),
+            down_at: 0.3,
+            up_at: Some(10.0),
+        },
+        Outage {
+            process: ProcessId::new(2),
+            down_at: 12.0,
+            up_at: Some(25.0),
+        },
+        Outage {
+            process: ProcessId::new(2),
+            down_at: 27.0,
+            up_at: Some(40.0),
+        },
+    ];
+    let out = run_aguilera(&sc);
+    assert_eq!(out.decided_count(), 3, "{out:?}");
+    assert!(out.agreement());
+}
+
+#[test]
+fn aguilera_survives_overlapping_outages_of_different_processes() {
+    // At most a minority down at any instant, but every process except p0
+    // crashes at some point.
+    let mut sc = FdScenario::failure_free(5, 7);
+    sc.gst = 5.0;
+    sc.deadline = 10_000.0;
+    sc.outages = vec![
+        Outage {
+            process: ProcessId::new(1),
+            down_at: 0.5,
+            up_at: Some(20.0),
+        },
+        Outage {
+            process: ProcessId::new(2),
+            down_at: 5.0,
+            up_at: Some(30.0),
+        },
+        Outage {
+            process: ProcessId::new(3),
+            down_at: 25.0,
+            up_at: Some(45.0),
+        },
+        Outage {
+            process: ProcessId::new(4),
+            down_at: 40.0,
+            up_at: Some(60.0),
+        },
+    ];
+    let out = run_aguilera(&sc);
+    assert_eq!(out.decided_count(), 5, "{out:?}");
+    assert!(out.agreement());
+}
+
+#[test]
+fn late_gst_with_noisy_detector_only_delays_ct() {
+    // Heavy pre-GST noise: wrong suspicions force many nack'd rounds; after
+    // GST a correct coordinator finally gets a clean round.
+    let mut sc = FdScenario::failure_free(4, 9);
+    sc.gst = 100.0;
+    sc.deadline = 5_000.0;
+    let out = run_chandra_toueg(&sc);
+    assert_eq!(out.decided_count(), 4, "{out:?}");
+    assert!(out.agreement());
+}
+
+#[test]
+fn decisions_agree_across_seeds_and_scenarios() {
+    // Integrity + agreement across a seed sweep of mixed scenarios.
+    for seed in 0..8 {
+        for sc in [
+            FdScenario::failure_free(3, seed),
+            FdScenario::one_crash(3, (seed % 3) as usize, seed),
+            FdScenario::lossy(3, 0.15, seed),
+        ] {
+            let ag = run_aguilera(&sc);
+            assert!(ag.agreement(), "aguilera seed {seed}: {ag:?}");
+            for d in ag.decisions.iter().flatten() {
+                assert!((10..13).contains(d), "integrity: {d}");
+            }
+            let ct = run_chandra_toueg(&sc);
+            assert!(ct.agreement(), "ct seed {seed}: {ct:?}");
+            for d in ct.decisions.iter().flatten() {
+                assert!((10..13).contains(d), "integrity: {d}");
+            }
+        }
+    }
+}
+
+#[test]
+fn message_counts_scale_with_membership() {
+    // Sanity: the asynchronous layer's message accounting is consistent and
+    // grows with n in failure-free runs.
+    let small = run_aguilera(&FdScenario::failure_free(3, 2));
+    let large = run_aguilera(&FdScenario::failure_free(7, 2));
+    assert!(large.messages_sent > small.messages_sent);
+    assert!(small.messages_delivered <= small.messages_sent);
+    assert!(large.messages_delivered <= large.messages_sent);
+}
+
+#[test]
+fn fdnet_direct_usage_with_custom_processes() {
+    // The FdNet API is usable for custom protocols, not just the two
+    // baselines: a one-shot flooding counter.
+    use heardof::fd::{Ctx, FdProcess};
+
+    #[derive(Clone, Default)]
+    struct Flood {
+        seen: u64,
+    }
+    impl FdProcess for Flood {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.send_all(1);
+        }
+        fn on_message(&mut self, _f: ProcessId, m: u64, ctx: &mut Ctx<'_, u64>) {
+            self.seen += 1;
+            // Relay each value once, up to a small bound.
+            if m < 3 {
+                ctx.send_all(m + 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+        fn on_crash(&mut self) {}
+        fn on_recover(&mut self, _ctx: &mut Ctx<'_, u64>) {}
+        fn decision(&self) -> Option<u64> {
+            None
+        }
+    }
+
+    let cfg = NetConfig::new(3, 0.0).with_seed(4);
+    let mut net = FdNet::new(cfg, vec![Flood::default(); 3], &[]);
+    net.run_until(100.0, |_| false);
+    // Waves: 3 processes × 3 generations × 3 destinations = 27 receptions
+    // per process... bounded, and identical across processes.
+    let seen: Vec<u64> = net.processes().iter().map(|p| p.seen).collect();
+    assert!(seen.iter().all(|s| *s == seen[0] && *s > 0), "{seen:?}");
+}

@@ -1,0 +1,129 @@
+//! Integration: the failure-detector baselines against the HO approach —
+//! the paper's §1 criticisms as executable assertions.
+
+use heardof::core::adversary::{CrashRecovery, CrashStop, RandomLoss};
+use heardof::core::algorithms::OneThirdRule;
+use heardof::core::executor::RoundExecutor;
+use heardof::core::process::ProcessSet;
+use heardof::core::round::Round;
+use heardof::fd::harness::{run_aguilera, run_chandra_toueg, FdScenario};
+
+#[test]
+fn criticism_1_ct_blocks_under_loss_ho_does_not() {
+    // FD algorithms require reliable links; the HO algorithm treats loss as
+    // ordinary transmission faults.
+    let mut ct_blocked = false;
+    for seed in 0..5 {
+        let out = run_chandra_toueg(&FdScenario::lossy(3, 0.35, seed));
+        ct_blocked |= out.decided_count() < 3;
+    }
+    assert!(ct_blocked, "CT should block in at least one of 5 lossy runs");
+
+    for seed in 0..5 {
+        let mut adv = RandomLoss::new(0.35, seed);
+        let mut exec = RoundExecutor::new(OneThirdRule::new(3), vec![1, 2, 3]);
+        let r = exec
+            .run_until_all_decided(&mut adv, 500)
+            .expect("OTR decides under the same loss");
+        assert!(r.get() < 500);
+    }
+}
+
+#[test]
+fn criticism_2_crash_recovery_gap() {
+    // The same fault pattern: p1 crashes and recovers.
+    // CT (crash-stop) loses the recovered process forever; Aguilera needs
+    // stable storage + retransmission; OTR needs nothing.
+    let sc = FdScenario::crash_recovery(3, 1, 0.4, 30.0, 3);
+
+    let ct = run_chandra_toueg(&sc);
+    assert!(
+        ct.decisions[1].is_none(),
+        "CT has no recovery protocol; the recovered process stays lost"
+    );
+
+    let ag = run_aguilera(&sc);
+    assert_eq!(ag.decided_count(), 3, "Aguilera recovers p1: {ag:?}");
+    assert!(
+        ag.stable_writes > 0,
+        "…but only by paying for stable storage"
+    );
+
+    let mut adv = CrashRecovery::new(3, &[(1, Round(2), Round(6))]);
+    let mut exec = RoundExecutor::new(OneThirdRule::new(3), vec![10, 11, 12]);
+    let r = exec
+        .run_until_all_decided(&mut adv, 50)
+        .expect("OTR, unchanged, decides in the crash-recovery model");
+    assert!(r >= Round(7), "p1 decides after its outage ends");
+}
+
+#[test]
+fn both_models_handle_crash_stop() {
+    // Crash-stop (the SP class) is the one case the FD model was made for:
+    // both approaches cope.
+    let sc = FdScenario::one_crash(3, 0, 7);
+    let ct = run_chandra_toueg(&sc);
+    assert!(ct.decisions[1].is_some() && ct.decisions[2].is_some());
+    assert!(ct.agreement());
+
+    let mut adv = CrashStop::new(4, &[(3, Round(1))]);
+    let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![5, 6, 7, 8]);
+    let scope = ProcessSet::from_indices(0..3);
+    exec.run_until_decided_in(scope, &mut adv, 30)
+        .expect("survivors decide");
+}
+
+#[test]
+fn message_cost_comparison_failure_free() {
+    // Shape check: in a failure-free run, Aguilera's retransmission task
+    // sends strictly more messages than CT, and both terminate.
+    let sc = FdScenario::failure_free(3, 11);
+    let ct = run_chandra_toueg(&sc);
+    let ag = run_aguilera(&sc);
+    assert_eq!(ct.decided_count(), 3);
+    assert_eq!(ag.decided_count(), 3);
+    assert!(
+        ag.messages_sent > ct.messages_sent,
+        "retransmission overhead: ag={} ct={}",
+        ag.messages_sent,
+        ct.messages_sent
+    );
+    assert_eq!(ct.stable_writes, 0);
+    assert!(ag.stable_writes > 0);
+}
+
+#[test]
+fn ho_is_identical_code_across_fault_classes() {
+    // One binary decision procedure, four fault classes (SP, ST, DP→n/a
+    // benign, DT): the exact same OneThirdRule instance decides under all.
+    let runs: Vec<(&str, Box<dyn FnMut() -> Option<Round>>)> = vec![
+        (
+            "SP (crash-stop)",
+            Box::new(|| {
+                let mut adv = CrashStop::new(4, &[(3, Round(2))]);
+                let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![1, 2, 3, 4]);
+                exec.run_until_decided_in(ProcessSet::from_indices(0..3), &mut adv, 50)
+                    .ok()
+            }),
+        ),
+        (
+            "ST/DT (crash-recovery)",
+            Box::new(|| {
+                let mut adv = CrashRecovery::new(4, &[(0, Round(1), Round(3))]);
+                let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![1, 2, 3, 4]);
+                exec.run_until_all_decided(&mut adv, 50).ok()
+            }),
+        ),
+        (
+            "DT (loss)",
+            Box::new(|| {
+                let mut adv = RandomLoss::new(0.3, 5);
+                let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![1, 2, 3, 4]);
+                exec.run_until_all_decided(&mut adv, 200).ok()
+            }),
+        ),
+    ];
+    for (name, mut run) in runs {
+        assert!(run().is_some(), "{name}: OTR must decide");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based laws of the communication predicates.
+//!
+//! Checks the implications the paper states after Table 1 and in §4.2 —
+//! `P_su ⇒ P_k`, `P2_otr(Π0) ⇒ P_otr^restr` and
+//! `P1/1_otr(Π0) ⇒ P_otr^restr` for `|Π0| > 2n/3` — plus structural
+//! properties of kernels and witnesses, over arbitrary traces.
+
+use heardof::core::predicate::{
+    find_kernel_runs, find_otr_witness, find_p11otr_witness, find_p2otr_witness,
+    find_restricted_otr_witness, find_space_uniform_runs, Kernel, P11Otr, P2Otr, Potr,
+    PotrRestricted, Predicate, SpaceUniform,
+};
+use heardof::core::process::ProcessSet;
+use heardof::core::round::Round;
+use heardof::core::trace::Trace;
+use proptest::prelude::*;
+
+fn arb_trace(n: usize, rounds: usize) -> impl Strategy<Value = Trace> {
+    let mask = (1u128 << n) - 1;
+    proptest::collection::vec(proptest::collection::vec(0u128..=mask, n), 1..=rounds).prop_map(
+        move |rows| {
+            let mut t = Trace::new(n);
+            for row in rows {
+                t.push_round(
+                    row.into_iter()
+                        .map(|bits| {
+                            ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0))
+                        })
+                        .collect(),
+                );
+            }
+            t
+        },
+    )
+}
+
+fn arb_scope(n: usize) -> impl Strategy<Value = ProcessSet> {
+    let mask = (1u128 << n) - 1;
+    (1u128..=mask)
+        .prop_map(move |bits| ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `P_su(Π0, r, r) ⇒ P_k(Π0, r, r)` for every round of every trace.
+    #[test]
+    fn space_uniform_implies_kernel(t in arb_trace(5, 8), scope in arb_scope(5)) {
+        for r in 1..=t.rounds() {
+            let su = SpaceUniform::new(scope, Round(r), Round(r)).holds(&t);
+            let k = Kernel::new(scope, Round(r), Round(r)).holds(&t);
+            prop_assert!(!su || k, "round {r}: P_su without P_k");
+        }
+    }
+
+    /// `P2_otr(Π0) ⇒ P1/1_otr(Π0)`: adjacent rounds are a special case of
+    /// non-adjacent ones.
+    #[test]
+    fn p2otr_implies_p11otr(t in arb_trace(5, 8), scope in arb_scope(5)) {
+        if P2Otr::new(scope).holds(&t) {
+            prop_assert!(P11Otr::new(scope).holds(&t));
+        }
+    }
+
+    /// `(∃Π0, |Π0| > 2n/3 : P1/1_otr(Π0)) ⇒ P_otr^restr` — the implication
+    /// stated in §4.2.
+    #[test]
+    fn p11otr_implies_restricted_otr(t in arb_trace(4, 8), scope in arb_scope(4)) {
+        let n = 4;
+        if 3 * scope.len() > 2 * n && P11Otr::new(scope).holds(&t) {
+            prop_assert!(PotrRestricted.holds(&t));
+        }
+    }
+
+    /// `P_otr ⇒ P_otr^restr`: the unrestricted predicate is strictly
+    /// stronger.
+    #[test]
+    fn potr_implies_restricted(t in arb_trace(4, 8)) {
+        if Potr.holds(&t) {
+            prop_assert!(PotrRestricted.holds(&t));
+        }
+    }
+
+    /// Witness functions agree with their predicates.
+    #[test]
+    fn witnesses_match_predicates(t in arb_trace(4, 8), scope in arb_scope(4)) {
+        prop_assert_eq!(Potr.holds(&t), find_otr_witness(&t).is_some());
+        prop_assert_eq!(
+            PotrRestricted.holds(&t),
+            find_restricted_otr_witness(&t).is_some()
+        );
+        prop_assert_eq!(
+            P2Otr::new(scope).holds(&t),
+            find_p2otr_witness(&t, scope).is_some()
+        );
+        prop_assert_eq!(
+            P11Otr::new(scope).holds(&t),
+            find_p11otr_witness(&t, scope).is_some()
+        );
+    }
+
+    /// Every round inside a reported space-uniform run really satisfies
+    /// `P_su(scope, r, r)`, and runs are maximal (adjacent rounds fail).
+    #[test]
+    fn uniform_runs_are_sound_and_maximal(t in arb_trace(4, 10), scope in arb_scope(4)) {
+        let runs = find_space_uniform_runs(&t, scope);
+        for run in &runs {
+            for r in run.from.get()..=run.to.get() {
+                prop_assert!(SpaceUniform::new(scope, Round(r), Round(r)).holds(&t));
+            }
+            if run.from.get() > 1 {
+                let before = run.from.get() - 1;
+                prop_assert!(!SpaceUniform::new(scope, Round(before), Round(before)).holds(&t));
+            }
+            if run.to.get() < t.rounds() {
+                let after = run.to.get() + 1;
+                prop_assert!(!SpaceUniform::new(scope, Round(after), Round(after)).holds(&t));
+            }
+        }
+    }
+
+    /// Kernel runs contain the uniform runs (since `P_su ⇒ P_k`).
+    #[test]
+    fn kernel_runs_cover_uniform_runs(t in arb_trace(4, 10), scope in arb_scope(4)) {
+        let uni = find_space_uniform_runs(&t, scope);
+        let ker = find_kernel_runs(&t, scope);
+        for u in &uni {
+            prop_assert!(
+                ker.iter().any(|k| k.from <= u.from && u.to <= k.to),
+                "uniform run {:?} not covered by kernel runs {:?}", u, ker
+            );
+        }
+    }
+
+    /// The kernel of a round is contained in every member's HO set and is
+    /// antitone in the scope: intersecting over more processes can only
+    /// shrink it.
+    #[test]
+    fn kernel_structure(t in arb_trace(5, 6), scope in arb_scope(5)) {
+        for r in 1..=t.rounds() {
+            let k = t.kernel(Round(r), scope);
+            for p in scope.iter() {
+                prop_assert!(k.is_subset(t.ho(p, Round(r))));
+            }
+            let k_full = t.kernel(Round(r), ProcessSet::full(5));
+            prop_assert!(
+                k_full.is_subset(k),
+                "kernel over Π must be ⊆ kernel over any scope"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for `RepeatedConsensus`: the replicated-log invariants
+//! hold under arbitrary transmission-fault patterns.
+//!
+//! * **Prefix consistency** (no forks): any two replicas' decided logs
+//!   agree on their common prefix — the atomic-broadcast safety property.
+//! * **Slot integrity**: slot `k`'s decided value is one of the slot-`k`
+//!   proposals.
+//! * **Monotonicity**: a replica's log only grows.
+
+use heardof::core::adversary::{FullDelivery, Scripted};
+use heardof::core::algorithms::OneThirdRule;
+use heardof::core::executor::RoundExecutor;
+use heardof::core::process::{ProcessId, ProcessSet};
+use heardof::core::sequence::RepeatedConsensus;
+use proptest::prelude::*;
+
+type Log = Vec<u64>;
+
+fn proposals(p: ProcessId, slot: u64) -> u64 {
+    100 * slot + p.index() as u64
+}
+
+fn make(n: usize) -> RepeatedConsensus<OneThirdRule, fn(ProcessId, u64) -> u64> {
+    RepeatedConsensus::new(OneThirdRule::new(n), proposals as fn(ProcessId, u64) -> u64)
+}
+
+fn arb_script(n: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<ProcessSet>>> {
+    let mask = (1u128 << n) - 1;
+    proptest::collection::vec(proptest::collection::vec(0u128..=mask, n), rounds).prop_map(
+        move |rows| {
+            rows.into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|bits| {
+                            ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0))
+                        })
+                        .collect()
+                })
+                .collect()
+        },
+    )
+}
+
+fn prefix_consistent(logs: &[Log]) -> bool {
+    logs.iter().all(|a| {
+        logs.iter().all(|b| {
+            let c = a.len().min(b.len());
+            a[..c] == b[..c]
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No fault pattern can fork the log.
+    #[test]
+    fn logs_never_fork(script in arb_script(4, 24)) {
+        let n = 4;
+        let rounds = script.len() as u64;
+        let mut exec = RoundExecutor::new(make(n), (0..n as u64).collect());
+        let mut adv = Scripted::new(script);
+        exec.run(&mut adv, rounds).expect("no safety violation");
+        let logs: Vec<Log> = exec.states().iter().map(|s| s.log().to_vec()).collect();
+        prop_assert!(prefix_consistent(&logs), "fork: {logs:?}");
+    }
+
+    /// Slot k's decision is one of the slot-k proposals (integrity per slot).
+    #[test]
+    fn slot_integrity(script in arb_script(4, 24)) {
+        let n = 4;
+        let rounds = script.len() as u64;
+        let mut exec = RoundExecutor::new(make(n), (0..n as u64).collect());
+        let mut adv = Scripted::new(script);
+        exec.run(&mut adv, rounds).expect("no safety violation");
+        for s in exec.states() {
+            for (k, v) in s.log().iter().enumerate() {
+                let k = k as u64;
+                prop_assert!(
+                    (100 * k..100 * k + n as u64).contains(v),
+                    "slot {k} decided {v}"
+                );
+            }
+        }
+    }
+
+    /// Logs are monotone: chaos then healing only extends them.
+    #[test]
+    fn logs_grow_monotonically(script in arb_script(4, 16)) {
+        let n = 4;
+        let rounds = script.len() as u64;
+        let mut exec = RoundExecutor::new(make(n), (0..n as u64).collect());
+        let mut adv = Scripted::new(script);
+        exec.run(&mut adv, rounds).expect("no violation");
+        let before: Vec<Log> = exec.states().iter().map(|s| s.log().to_vec()).collect();
+        exec.run(&mut FullDelivery, 4).expect("no violation");
+        let after: Vec<Log> = exec.states().iter().map(|s| s.log().to_vec()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a.len() >= b.len());
+            prop_assert_eq!(&a[..b.len()], &b[..]);
+        }
+    }
+}
+
+#[test]
+fn healthy_network_sustains_one_slot_per_two_rounds() {
+    let n = 4;
+    let mut exec = RoundExecutor::new(make(n), (0..n as u64).collect());
+    exec.run(&mut FullDelivery, 40).unwrap();
+    for s in exec.states() {
+        assert_eq!(s.log().len(), 20, "OneThirdRule decides every 2 rounds");
+    }
+}

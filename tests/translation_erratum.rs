@@ -1,0 +1,166 @@
+//! The Theorem 8 erratum, as an executable record.
+//!
+//! Theorem 8 (Appendix C) claims Algorithm 7 translates `P_k(Π0, r1, r1+f)`
+//! into `P_su(Π0, R, R)` in `f + 1` rounds for `n > 2f`. Our reproduction
+//! found a counterexample family at `n = 2f + 1`: a co-kernel process `s`
+//! can reach the `Known` set of exactly one `Π0` member in the *last relay
+//! round* (breaking the all-or-nothing step of Lemma C.5), after which the
+//! `n − f` voucher threshold is met at `Π0` members that also listen to the
+//! co-kernel but missed at members that do not.
+//!
+//! This file (a) pins the concrete counterexample, (b) shows the corrected
+//! `f + 2`-round translation handles it, and (c) property-tests that the
+//! corrected translation is space-uniform under *arbitrary* kernel-
+//! respecting HO assignments.
+
+use heardof::core::adversary::Scripted;
+use heardof::core::algorithms::OneThirdRule;
+use heardof::core::executor::RoundExecutor;
+use heardof::core::process::{ProcessId, ProcessSet};
+use heardof::core::translation::Translated;
+use proptest::prelude::*;
+
+fn set(idx: &[usize]) -> ProcessSet {
+    ProcessSet::from_indices(idx.iter().copied())
+}
+
+/// The minimal counterexample: n = 3, f = 1, Π0 = {1, 2}.
+///
+/// Both rounds satisfy `P_k(Π0)`; yet under the paper's `f + 1 = 2`-round
+/// translation, `NewHO_1 = {0,1,2}` while `NewHO_2 = {1,2}`:
+/// `p1` hears `p0` directly (round 1) and counts `p0`'s self-vouch plus its
+/// own (2 = n − f vouchers); `p2` never listens to `p0` and sees only one
+/// voucher.
+fn counterexample_script() -> Vec<Vec<ProcessSet>> {
+    vec![
+        // round 1: p0 hears {0}; p1 hears all; p2 hears Π0 only.
+        vec![set(&[0]), set(&[0, 1, 2]), set(&[1, 2])],
+        // round 2: same pattern.
+        vec![set(&[0]), set(&[0, 1, 2]), set(&[1, 2])],
+    ]
+}
+
+#[test]
+fn paper_translation_has_a_counterexample_at_n_2f_plus_1() {
+    let pi0 = set(&[1, 2]);
+    let alg = Translated::new(OneThirdRule::<u64>::new(3), 1);
+    assert_eq!(alg.rounds_per_macro(), 2);
+    let mut exec = RoundExecutor::new(alg, vec![0, 1, 2]);
+    let mut adv = Scripted::new(counterexample_script());
+    exec.run(&mut adv, 2).unwrap();
+    let news: Vec<ProcessSet> = pi0
+        .iter()
+        .map(|p| exec.states()[p.index()].last_new_ho.unwrap())
+        .collect();
+    assert_eq!(news[0], set(&[0, 1, 2]), "p1 counts p0");
+    assert_eq!(news[1], set(&[1, 2]), "p2 does not");
+    assert_ne!(news[0], news[1], "macro-round is NOT space uniform");
+}
+
+#[test]
+fn corrected_translation_handles_the_counterexample() {
+    let pi0 = set(&[1, 2]);
+    let alg = Translated::corrected(OneThirdRule::<u64>::new(3), 1);
+    assert_eq!(alg.rounds_per_macro(), 3);
+    let mut exec = RoundExecutor::new(alg, vec![0, 1, 2]);
+    // Extend the adversarial pattern over the 3 rounds of the macro-round.
+    let round = vec![set(&[0]), set(&[0, 1, 2]), set(&[1, 2])];
+    let mut adv = Scripted::new(vec![round.clone(), round.clone(), round]);
+    exec.run(&mut adv, 3).unwrap();
+    let news: Vec<ProcessSet> = pi0
+        .iter()
+        .map(|p| exec.states()[p.index()].last_new_ho.unwrap())
+        .collect();
+    assert_eq!(news[0], news[1], "corrected macro-round is space uniform");
+    assert!(news[0].is_superset(pi0));
+}
+
+/// An arbitrary HO script in which every round satisfies `P_k(Π0)`:
+/// processes in Π0 hear at least Π0; everything else is adversarial.
+fn arb_kernel_script(
+    n: usize,
+    f: usize,
+    rounds: usize,
+) -> impl Strategy<Value = Vec<Vec<ProcessSet>>> {
+    let mask = (1u128 << n) - 1;
+    let pi0 = ProcessSet::from_indices(f..n);
+    proptest::collection::vec(proptest::collection::vec(0u128..=mask, n), rounds).prop_map(
+        move |rows| {
+            rows.into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .enumerate()
+                        .map(|(p, bits)| {
+                            let noisy = ProcessSet::from_indices(
+                                (0..n).filter(|i| bits & (1 << i) != 0),
+                            );
+                            if pi0.contains(ProcessId::new(p)) {
+                                pi0.union(noisy)
+                            } else {
+                                noisy
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 8, with the corrected round count: under arbitrary kernel-
+    /// respecting assignments, every completed macro-round is space uniform
+    /// over Π0 and contains Π0 — for the tight case n = 2f + 1.
+    #[test]
+    fn corrected_translation_is_space_uniform_n3(
+        script in arb_kernel_script(3, 1, 9),
+    ) {
+        check_uniform(3, 1, script)?;
+    }
+
+    #[test]
+    fn corrected_translation_is_space_uniform_n5(
+        script in arb_kernel_script(5, 2, 12),
+    ) {
+        check_uniform(5, 2, script)?;
+    }
+
+    #[test]
+    fn corrected_translation_is_space_uniform_n7(
+        script in arb_kernel_script(7, 3, 10),
+    ) {
+        check_uniform(7, 3, script)?;
+    }
+}
+
+fn check_uniform(n: usize, f: usize, script: Vec<Vec<ProcessSet>>) -> Result<(), TestCaseError> {
+    let pi0 = ProcessSet::from_indices(f..n);
+    let alg = Translated::corrected(OneThirdRule::<u64>::new(n), f);
+    let per = alg.rounds_per_macro();
+    let rounds = script.len() as u64;
+    let mut exec = RoundExecutor::new(alg, (0..n as u64).collect());
+    let mut adv = Scripted::new(script);
+    for m in 1..=rounds {
+        exec.step(&mut adv)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        if m % per != 0 {
+            continue;
+        }
+        let news: Vec<ProcessSet> = pi0
+            .iter()
+            .filter_map(|p| exec.states()[p.index()].last_new_ho)
+            .collect();
+        prop_assert_eq!(news.len(), pi0.len());
+        let first = news[0];
+        prop_assert!(
+            news.iter().all(|s| *s == first),
+            "macro-round at micro {} not uniform: {:?}",
+            m,
+            news
+        );
+        prop_assert!(first.is_superset(pi0), "NewHO must contain Π0");
+    }
+    Ok(())
+}
