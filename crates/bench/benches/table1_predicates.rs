@@ -1,15 +1,17 @@
 //! T1 — Table 1: predicate evaluation and ⟨OTR, P_otr⟩ runs.
 //!
 //! Benchmarks the cost of (a) running OneThirdRule to decision under an
-//! eventually-good adversary and (b) evaluating the Table 1 predicates over
-//! the resulting trace, for growing n.
+//! eventually-good adversary, (b) evaluating the Table 1 predicates over
+//! the resulting trace, for growing n, and (c) `Mailbox::from` lookups —
+//! the sorted-index binary search that replaced the linear sender scan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ho_core::adversary::EventuallyGood;
 use ho_core::algorithms::OneThirdRule;
 use ho_core::executor::RoundExecutor;
 use ho_core::predicate::{Potr, PotrRestricted, Predicate};
-use ho_core::process::ProcessSet;
+use ho_core::process::{ProcessId, ProcessSet};
+use ho_core::Mailbox;
 
 fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
@@ -27,6 +29,25 @@ fn bench_table1(c: &mut Criterion) {
             let mut exec = RoundExecutor::new(OneThirdRule::new(n), (0..n as u64).collect());
             exec.run(&mut adv, 12).unwrap();
             b.iter(|| (Potr.holds(exec.trace()), PotrRestricted.holds(exec.trace())));
+        });
+    }
+    for n in [16usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("mailbox_from", n), &n, |b, &n| {
+            // Reverse arrival order is the linear scan's worst case; the
+            // sorted index makes lookup order-independent.
+            let mb: Mailbox<u64> = (0..n)
+                .rev()
+                .map(|q| (ProcessId::new(q), q as u64))
+                .collect();
+            b.iter(|| {
+                let mut hits = 0u64;
+                for q in 0..n {
+                    if mb.from(black_box(ProcessId::new(q))).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
         });
     }
     g.finish();

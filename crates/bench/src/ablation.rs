@@ -25,9 +25,7 @@ use ho_predicates::alg2::Alg2Program;
 use ho_predicates::alg3::{Alg3Policy, Alg3Program, InitResend};
 use ho_predicates::bounds::BoundParams;
 use ho_predicates::record::SystemTrace;
-use ho_sim::{
-    BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, StepTiming, TimePoint,
-};
+use ho_sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, StepTiming, TimePoint};
 
 use crate::table::{f1, Table};
 
@@ -72,11 +70,7 @@ impl AblationCell {
 
 /// One Algorithm-2 run with a scaled timeout; returns the time (relative to
 /// the good-period start) at which `P_su(Π, ·, ·+1)` completed, if it did.
-fn alg2_run_with_timeout(
-    params: BoundParams,
-    timeout: u64,
-    seed: u64,
-) -> Option<f64> {
+fn alg2_run_with_timeout(params: BoundParams, timeout: u64, seed: u64) -> Option<f64> {
     let n = params.n;
     let pi0 = ProcessSet::full(n);
     let good_start = 40.0;
@@ -115,13 +109,17 @@ pub fn ablation_alg2_timeout(params: BoundParams, seeds: u64) -> Table {
             params.delta,
             params.alg2_timeout()
         ),
-        &["timeout-factor", "timeout", "P_su(x=2) achieved", "mean time"],
+        &[
+            "timeout-factor",
+            "timeout",
+            "P_su(x=2) achieved",
+            "mean time",
+        ],
     );
     for factor in [0.5, 0.7, 0.9, 1.0, 1.5] {
         let timeout = ((params.alg2_timeout() as f64) * factor).round().max(1.0) as u64;
-        let cell = AblationCell::gather(
-            (0..seeds).map(|s| alg2_run_with_timeout(params, timeout, s)),
-        );
+        let cell =
+            AblationCell::gather((0..seeds).map(|s| alg2_run_with_timeout(params, timeout, s)));
         let [ach, time] = cell.cells();
         t.row(vec![format!("{factor:.1}"), timeout.to_string(), ach, time]);
     }
@@ -142,12 +140,8 @@ fn alg3_run(
     let pi0 = ProcessSet::from_indices(0..n - f);
     let good_start = 60.0;
     let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
-    let schedule = Schedule::bad_then_good(
-        bad,
-        TimePoint::new(good_start),
-        pi0,
-        GoodKind::PiArbitrary,
-    );
+    let schedule =
+        Schedule::bad_then_good(bad, TimePoint::new(good_start), pi0, GoodKind::PiArbitrary);
     let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
         .map(|p| {
             Alg3Program::new(
@@ -188,9 +182,9 @@ pub fn ablation_init_resend(params: BoundParams, f: usize, seeds: u64) -> Table 
         ("once per round", InitResend::Once),
     ] {
         let bad = BadPeriodConfig::lossy(0.7);
-        let cell = AblationCell::gather((0..seeds).map(|s| {
-            alg3_run(params, f, resend, Alg3Policy::RoundRobin, bad, s)
-        }));
+        let cell = AblationCell::gather(
+            (0..seeds).map(|s| alg3_run(params, f, resend, Alg3Policy::RoundRobin, bad, s)),
+        );
         let [ach, time] = cell.cells();
         t.row(vec![name.to_owned(), ach, time]);
     }
@@ -274,7 +268,14 @@ mod tests {
             ..BadPeriodConfig::calm()
         };
         let rr = AblationCell::gather((0..4).map(|s| {
-            alg3_run(params, 1, InitResend::EveryStep, Alg3Policy::RoundRobin, bad, s)
+            alg3_run(
+                params,
+                1,
+                InitResend::EveryStep,
+                Alg3Policy::RoundRobin,
+                bad,
+                s,
+            )
         }));
         assert_eq!(rr.achieved, 4, "round-robin must always achieve: {rr:?}");
     }

@@ -1,0 +1,10 @@
+//! SW — scenario sweep baseline: writes `BENCH_sweep.json`.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let doc = bench::sweep::run_baseline();
+    std::fs::write(&path, format!("{doc}\n")).expect("write sweep report");
+    println!("wrote {path}");
+}

@@ -129,7 +129,8 @@ pub fn table1_predicates(n: usize, trials: u64) -> Table {
     );
     let full = ProcessSet::full(n);
     let quorum = ProcessSet::from_indices(0..(2 * n / 3 + 1));
-    let cases: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn Adversary>>)> = vec![
+    type AdversaryFactory = Box<dyn Fn(u64) -> Box<dyn Adversary>>;
+    let cases: Vec<(&str, AdversaryFactory)> = vec![
         (
             "eventually-good(Π)",
             Box::new(move |seed| Box::new(EventuallyGood::new(6, full, 0.7, seed))),
@@ -150,8 +151,7 @@ pub fn table1_predicates(n: usize, trials: u64) -> Table {
         let mut violations = 0u64;
         for seed in 0..trials {
             let mut adv = mk(seed);
-            let mut exec =
-                RoundExecutor::new(OneThirdRule::new(n), (0..n as u64).collect());
+            let mut exec = RoundExecutor::new(OneThirdRule::new(n), (0..n as u64).collect());
             if exec.run(&mut adv, 14).is_err() {
                 violations += 1;
                 continue;
@@ -186,7 +186,15 @@ pub fn table1_predicates(n: usize, trials: u64) -> Table {
 pub fn thm3_table(phi: f64, delta: f64, seeds: u64) -> Table {
     let mut t = Table::new(
         format!("Theorem 3 — Alg. 2, non-initial good period (φ={phi}, δ={delta})"),
-        &["n", "x", "bound", "measured-max", "measured-mean", "max/bound", "achieved"],
+        &[
+            "n",
+            "x",
+            "bound",
+            "measured-max",
+            "measured-mean",
+            "max/bound",
+            "achieved",
+        ],
     );
     for n in [4usize, 7, 10] {
         for x in [1u64, 2, 4] {
@@ -311,7 +319,9 @@ fn p11otr_two_periods_achieved(params: BoundParams, good_len: f64, seed: u64) ->
         .find_space_uniform_window(pi0, 1, g1)
         .filter(|(_, t)| *t <= g1 + good_len);
     // Kernel round inside good period 2, at a later round.
-    let Some((su_round, _)) = su else { return false };
+    let Some((su_round, _)) = su else {
+        return false;
+    };
     st.find_kernel_window(pi0, 1, g2)
         .filter(|(r, t)| *r > su_round && *t <= g2 + good_len)
         .is_some()
@@ -358,7 +368,15 @@ pub fn corollary4_table(phi: f64, delta: f64, seeds: u64) -> Table {
 pub fn thm6_table(phi: f64, delta: f64, seeds: u64) -> Table {
     let mut t = Table::new(
         format!("Theorem 6 — Alg. 3, non-initial π0-arbitrary good period (φ={phi}, δ={delta})"),
-        &["n", "f", "x", "bound", "measured-max", "max/bound", "achieved"],
+        &[
+            "n",
+            "f",
+            "x",
+            "bound",
+            "measured-max",
+            "max/bound",
+            "achieved",
+        ],
     );
     for (n, f) in [(4usize, 1usize), (5, 2), (9, 4)] {
         for x in [1u64, 2, 4] {
@@ -384,7 +402,15 @@ pub fn thm6_table(phi: f64, delta: f64, seeds: u64) -> Table {
 pub fn thm7_table(phi: f64, delta: f64, seeds: u64) -> Table {
     let mut t = Table::new(
         format!("Theorem 7 — Alg. 3, initial good period (φ={phi}, δ={delta})"),
-        &["n", "f", "x", "bound(T7)", "measured-max", "bound(T6)", "T6/T7 bound"],
+        &[
+            "n",
+            "f",
+            "x",
+            "bound(T7)",
+            "measured-max",
+            "bound(T6)",
+            "T6/T7 bound",
+        ],
     );
     for (n, f) in [(4usize, 1usize), (5, 2), (9, 4)] {
         for x in [2u64, 4] {
@@ -429,7 +455,8 @@ pub fn full_stack_table(phi: f64, delta: f64, seeds: u64) -> Table {
         let mut bound = 0.0;
         let mut agreement = true;
         for seed in 0..seeds {
-            let out = measure_full_stack(params, f, Scenario::rough(40.0 + 5.0 * seed as f64), seed);
+            let out =
+                measure_full_stack(params, f, Scenario::rough(40.0 + 5.0 * seed as f64), seed);
             bound = out.measurement.bound;
             if let Some(len) = out.measurement.empirical_length() {
                 lengths.push(len);
@@ -464,7 +491,16 @@ pub fn full_stack_table(phi: f64, delta: f64, seeds: u64) -> Table {
 pub fn translation_table(trials: u64) -> Table {
     let mut t = Table::new(
         "Theorem 8 — kernel rounds ⇒ space-uniform macro-rounds",
-        &["n", "f", "variant", "runs", "macro-rounds", "uniform", "⊇Π0", "violations"],
+        &[
+            "n",
+            "f",
+            "variant",
+            "runs",
+            "macro-rounds",
+            "uniform",
+            "⊇Π0",
+            "violations",
+        ],
     );
     struct KernelAdv {
         pi0: ProcessSet,
@@ -532,7 +568,12 @@ pub fn translation_table(trials: u64) -> Table {
             t.row(vec![
                 n.to_string(),
                 f.to_string(),
-                if paper_variant { "paper f+1" } else { "corrected f+2" }.to_owned(),
+                if paper_variant {
+                    "paper f+1"
+                } else {
+                    "corrected f+2"
+                }
+                .to_owned(),
                 trials.to_string(),
                 macro_rounds.to_string(),
                 uniform.to_string(),
@@ -565,9 +606,16 @@ pub fn fd_comparison_table(seeds: u64) -> Table {
         ],
     );
     let n = 3;
-    let scenarios: Vec<(&str, Box<dyn Fn(u64) -> FdScenario>)> = vec![
-        ("failure-free", Box::new(move |s| FdScenario::failure_free(n, s))),
-        ("one crash", Box::new(move |s| FdScenario::one_crash(n, 0, s))),
+    type ScenarioFactory = Box<dyn Fn(u64) -> FdScenario>;
+    let scenarios: Vec<(&str, ScenarioFactory)> = vec![
+        (
+            "failure-free",
+            Box::new(move |s| FdScenario::failure_free(n, s)),
+        ),
+        (
+            "one crash",
+            Box::new(move |s| FdScenario::one_crash(n, 0, s)),
+        ),
         (
             "crash-recovery",
             Box::new(move |s| FdScenario::crash_recovery(n, 1, 0.4, 30.0, s)),
@@ -618,8 +666,7 @@ pub fn fd_comparison_table(seeds: u64) -> Table {
         for seed in 0..seeds {
             let mut adv = mk(seed);
             let mut exec = RoundExecutor::new(OneThirdRule::new(n), vec![10, 11, 12]);
-            if let Ok(r) =
-                exec.run_until_decided_in(ProcessSet::from_indices(0..n), &mut adv, 200)
+            if let Ok(r) = exec.run_until_decided_in(ProcessSet::from_indices(0..n), &mut adv, 200)
             {
                 rounds.push(r.get() as f64);
             }
@@ -640,7 +687,9 @@ pub fn fd_comparison_table(seeds: u64) -> Table {
             "0".to_owned(),
         ]);
     };
-    ho_row("failure-free", &|_| Box::new(ho_core::adversary::FullDelivery));
+    ho_row("failure-free", &|_| {
+        Box::new(ho_core::adversary::FullDelivery)
+    });
     ho_row("crash-recovery", &|_| {
         Box::new(ho_core::adversary::CrashRecovery::new(
             3,
@@ -698,12 +747,14 @@ mod tests {
                 continue;
             }
             // Layout: n f variant(2 words) runs macro uniform ⊇Π0 violations
-            let (macro_r, uniform, contains, viol) =
-                (cells[5], cells[6], cells[7], cells[8]);
+            let (macro_r, uniform, contains, viol) = (cells[5], cells[6], cells[7], cells[8]);
             assert_eq!(viol, "0", "violations: {line}");
             assert_eq!(macro_r, contains, "kernel containment: {line}");
             if line.contains("corrected") {
-                assert_eq!(macro_r, uniform, "corrected variant must be uniform: {line}");
+                assert_eq!(
+                    macro_r, uniform,
+                    "corrected variant must be uniform: {line}"
+                );
             }
         }
     }

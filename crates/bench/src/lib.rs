@@ -15,7 +15,9 @@
 //! | T8 | Theorem 8 | `translation` | — |
 //! | A1 | Appendix A | `fd_compare` | `fd_comparison` |
 //! | AB | design-choice ablations | `ablation` | — |
+//! | SW | scenario sweep baseline (`BENCH_sweep.json`) | `sweep` | — |
 
 pub mod ablation;
 pub mod experiments;
+pub mod sweep;
 pub mod table;

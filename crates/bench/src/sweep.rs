@@ -1,0 +1,185 @@
+//! SW — the scenario sweep: the harness baseline behind `BENCH_sweep.json`.
+//!
+//! Defines the canonical scenario grid (every algorithm, the full fault
+//! zoo, three system sizes, forty seeds) and the report document that
+//! tracks the SendPlan kernel's message economy: `clones_per_round_before`
+//! is what the per-destination `S_p^r` scheme deep-cloned, and
+//! `allocs_per_round_after` is what the plan kernel allocates. Future perf
+//! PRs regenerate the file with `cargo run --release -p bench --bin sweep`
+//! and diff the trajectory.
+
+use ho_harness::{AdversarySpec, AlgorithmSpec, Json, Sweep, SweepReport};
+
+/// The canonical *safe* baseline grid: every cell must finish with zero
+/// violations.
+///
+/// UniformVoting is swept only under environments that respect its safety
+/// predicate `P_nek` (a non-empty kernel every round — a single down
+/// process empties the kernel, so even crash-recovery is out of bounds);
+/// OneThirdRule and LastVoting are swept under everything, including
+/// partitions and empty-kernel chaos, because their safety needs no
+/// communication predicate at all.
+#[must_use]
+pub fn baseline_sweeps() -> Vec<Sweep> {
+    let unrestricted = [
+        AdversarySpec::FullDelivery,
+        AdversarySpec::RandomLoss { loss: 0.2 },
+        AdversarySpec::RandomLoss { loss: 0.4 },
+        AdversarySpec::Partition { blocks: 2 },
+        AdversarySpec::CrashRecovery,
+        AdversarySpec::KernelOnly { loss: 0.8 },
+        AdversarySpec::EventuallyGood {
+            bad_rounds: 6,
+            loss: 0.5,
+        },
+    ];
+    let kernel_preserving = [
+        AdversarySpec::FullDelivery,
+        AdversarySpec::KernelOnly { loss: 0.8 },
+    ];
+    vec![
+        Sweep::new()
+            .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+            .adversaries(unrestricted)
+            .sizes([4, 7, 10])
+            .seeds(0..40)
+            .max_rounds(120),
+        Sweep::new()
+            .algorithms([AlgorithmSpec::UniformVoting])
+            .adversaries(kernel_preserving)
+            .sizes([4, 7, 10])
+            .seeds(0..40)
+            .max_rounds(120),
+    ]
+}
+
+/// The `P_nek` counterexample sweep: UniformVoting outside its safety
+/// predicate. The harness is expected to *catch* agreement violations here
+/// (empty kernels let disjoint groups — in space or, with staggered
+/// outages, in time — confirm different votes); the report records how
+/// many were detected so the checker's sensitivity is itself tracked.
+#[must_use]
+pub fn pnek_counterexample_sweep() -> Sweep {
+    Sweep::new()
+        .algorithms([AlgorithmSpec::UniformVoting])
+        .adversaries([
+            AdversarySpec::RandomLoss { loss: 0.4 },
+            AdversarySpec::Partition { blocks: 2 },
+            AdversarySpec::CrashRecovery,
+        ])
+        .sizes([4, 7, 10])
+        .seeds(0..40)
+        .max_rounds(120)
+}
+
+/// Runs the baseline grid and merges the reports into the
+/// `BENCH_sweep.json` document.
+#[must_use]
+pub fn run_baseline() -> Json {
+    let reports: Vec<SweepReport> = baseline_sweeps().iter().map(Sweep::run).collect();
+    let counterexamples = pnek_counterexample_sweep().run();
+
+    let scenarios: u64 = reports.iter().map(|r| r.scenarios as u64).sum();
+    let decided: u64 = reports.iter().map(|r| r.decided as u64).sum();
+    let violations: u64 = reports.iter().map(|r| r.violations as u64).sum();
+    let wall: f64 = reports.iter().map(|r| r.wall_seconds).sum();
+    let rounds: u64 = reports.iter().map(|r| r.totals.rounds).sum();
+    let allocs: u64 = reports.iter().map(|r| r.totals.payload_allocs).sum();
+    let legacy: u64 = reports.iter().map(|r| r.totals.legacy_clones).sum();
+    let delivered: u64 = reports.iter().map(|r| r.totals.delivered).sum();
+
+    let cells: Vec<Json> = reports
+        .iter()
+        .flat_map(|r| match r.to_json(false) {
+            Json::Obj(mut map) => match map.remove("cells") {
+                Some(Json::Arr(cells)) => cells,
+                _ => Vec::new(),
+            },
+            _ => Vec::new(),
+        })
+        .collect();
+
+    Json::obj([
+        ("benchmark", Json::Str("sweep_baseline".into())),
+        ("scenarios", Json::UInt(scenarios)),
+        ("decided", Json::UInt(decided)),
+        ("violations", Json::UInt(violations)),
+        ("wall_seconds", Json::Float(wall)),
+        (
+            "scenarios_per_sec",
+            Json::Float(if wall > 0.0 {
+                scenarios as f64 / wall
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "threads",
+            Json::UInt(reports.first().map_or(1, |r| r.threads as u64)),
+        ),
+        (
+            "sendplan",
+            Json::obj([
+                ("rounds", Json::UInt(rounds)),
+                ("payload_allocs", Json::UInt(allocs)),
+                ("legacy_clones", Json::UInt(legacy)),
+                ("delivered", Json::UInt(delivered)),
+                ("allocs_per_round_after", Json::Float(ratio(allocs, rounds))),
+                (
+                    "clones_per_round_before",
+                    Json::Float(ratio(legacy, rounds)),
+                ),
+                ("reduction_factor", Json::Float(ratio(legacy, allocs))),
+            ]),
+        ),
+        ("cells", Json::Arr(cells)),
+        (
+            "pnek_counterexamples",
+            Json::obj([
+                ("scenarios", Json::UInt(counterexamples.scenarios as u64)),
+                (
+                    "violations_detected",
+                    Json::UInt(counterexamples.violations as u64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_grid_shape() {
+        let sweeps = baseline_sweeps();
+        assert_eq!(sweeps.len(), 2);
+        // 2 algs × 7 adversaries × 3 sizes × 40 seeds, plus
+        // 1 alg × 2 adversaries × 3 sizes × 40 seeds.
+        assert_eq!(sweeps[0].scenarios().len(), 2 * 7 * 3 * 40);
+        assert_eq!(sweeps[1].scenarios().len(), 2 * 3 * 40);
+    }
+
+    #[test]
+    fn safe_grid_is_safe_and_counterexamples_are_caught() {
+        // A thinned replica of the baseline grid (8 seeds instead of 40)
+        // so the invariants behind BENCH_sweep.json are enforced in CI.
+        for sweep in baseline_sweeps() {
+            let report = sweep.seeds(0..8).run();
+            assert_eq!(report.violations, 0, "safe grid must stay safe");
+        }
+        let report = pnek_counterexample_sweep().seeds(0..8).run();
+        assert!(
+            report.violations > 0,
+            "the checker must catch UV outside P_nek"
+        );
+    }
+}

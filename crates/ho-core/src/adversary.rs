@@ -139,7 +139,7 @@ impl CrashStop {
         self.crash_round
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.map_or(true, |cr| r < cr))
+            .filter(|(_, c)| c.is_none_or(|cr| r < cr))
             .map(|(q, _)| ProcessId::new(q))
             .collect()
     }
@@ -383,7 +383,9 @@ mod tests {
         // From round 3 on: p2 gone from every HO set.
         for r in 3..=5 {
             for p in 0..4 {
-                assert!(!t.ho(ProcessId::new(p), Round(r)).contains(ProcessId::new(2)));
+                assert!(!t
+                    .ho(ProcessId::new(p), Round(r))
+                    .contains(ProcessId::new(2)));
             }
         }
     }
@@ -394,9 +396,13 @@ mod tests {
         let t = record(&mut adv, 3, 5);
         // During the outage p1 hears nothing and is heard by nobody.
         assert!(t.ho(ProcessId::new(1), Round(2)).is_empty());
-        assert!(!t.ho(ProcessId::new(0), Round(3)).contains(ProcessId::new(1)));
+        assert!(!t
+            .ho(ProcessId::new(0), Round(3))
+            .contains(ProcessId::new(1)));
         // After recovery p1 is back.
-        assert!(t.ho(ProcessId::new(0), Round(4)).contains(ProcessId::new(1)));
+        assert!(t
+            .ho(ProcessId::new(0), Round(4))
+            .contains(ProcessId::new(1)));
         assert_eq!(t.ho(ProcessId::new(1), Round(4)), ProcessSet::full(3));
     }
 

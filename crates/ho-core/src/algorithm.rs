@@ -6,6 +6,13 @@
 //! at the end of the round it makes a state transition according to
 //! `T_p^r(μ⃗, s_p)` where `μ⃗` is the partial vector of received messages.
 //!
+//! The sending function is expressed as a per-round [`SendPlan`] — produced
+//! **once** per process per round — rather than one call per destination.
+//! The per-destination view ([`HoAlgorithm::message`]) and the broadcast
+//! view ([`HoAlgorithm::broadcast_message`]) are derived from the plan, so
+//! algorithms state *how their messages fan out* exactly once and every
+//! machine consumes that single statement.
+//!
 //! The same trait drives three different "machines":
 //!
 //! * the round-synchronous [`RoundExecutor`](crate::executor::RoundExecutor),
@@ -13,14 +20,16 @@
 //! * the [`P_k → P_su` translation](crate::translation), which wraps one
 //!   `HoAlgorithm` into another;
 //! * the system-level predicate implementations (Algorithms 2 and 3 of the
-//!   paper, in the `ho-predicates` crate), which call `S_p^r`/`T_p^r` from
-//!   inside a partially synchronous message-passing simulation.
+//!   paper, in the `ho-predicates` crate), which thread `S_p^r`'s plan
+//!   payload into their wire messages from inside a partially synchronous
+//!   message-passing simulation.
 
 use std::fmt;
 
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// A Heard-Of algorithm: per-round sending and transition functions.
 ///
@@ -42,19 +51,31 @@ pub trait HoAlgorithm {
     /// Initial state of process `p` with initial value `v_p`.
     fn init(&self, p: ProcessId, initial_value: Self::Value) -> Self::State;
 
-    /// The sending function `S_p^r`: the message `p` sends to `q` in round
-    /// `r`, or `None` if `p` sends nothing to `q` in this round.
+    /// The sending function `S_p^r` in closed form: how `p`'s round-`r`
+    /// messages fan out, evaluated once per round.
     ///
-    /// Broadcast algorithms (such as OneThirdRule) return the same message
-    /// for every destination; coordinator-based algorithms (such as
-    /// LastVoting) return `None` for most destinations in some rounds.
+    /// Broadcast algorithms (such as OneThirdRule) return
+    /// [`SendPlan::Broadcast`]; coordinator-based algorithms (such as
+    /// LastVoting) return [`SendPlan::Unicast`] or [`SendPlan::Silent`] in
+    /// the point-to-point rounds.
+    fn send(&self, r: Round, p: ProcessId, state: &Self::State) -> SendPlan<Self::Message>;
+
+    /// The per-destination view of `S_p^r`: the message `p` sends to `q` in
+    /// round `r`, or `None` if the round's plan addresses no message to `q`.
+    ///
+    /// Derived from [`HoAlgorithm::send`]; kept for tests and analysis
+    /// code. Execution machines consume the plan directly — calling this in
+    /// a loop over destinations re-introduces the `O(n²)` clone the plan
+    /// exists to avoid.
     fn message(
         &self,
         r: Round,
         p: ProcessId,
         state: &Self::State,
         q: ProcessId,
-    ) -> Option<Self::Message>;
+    ) -> Option<Self::Message> {
+        self.send(r, p, state).message_for(q).cloned()
+    }
 
     /// The transition function `T_p^r`: updates `state` given the partial
     /// vector of messages received in round `r`.
@@ -72,17 +93,21 @@ pub trait HoAlgorithm {
     /// forever. The executors assert this.
     fn decision(&self, state: &Self::State) -> Option<Self::Value>;
 
-    /// Convenience: whether `p` broadcasts the *same* message to everybody in
-    /// round `r`. The system-level simulators use this to model a broadcast
-    /// send step (one step for all destinations, as provided by e.g.
-    /// UDP-multicast — see §4.1 of the paper).
+    /// The broadcast view of `S_p^r`: the message `p` sends to *everybody*
+    /// in round `r`, if the round is a broadcast round. The system-level
+    /// simulators use this to model a broadcast send step (one step for all
+    /// destinations, as provided by e.g. UDP-multicast — see §4.1 of the
+    /// paper).
+    ///
+    /// Derived from [`HoAlgorithm::send`]: `Some` exactly when the plan is
+    /// a [`SendPlan::Broadcast`].
     fn broadcast_message(
         &self,
         r: Round,
         p: ProcessId,
         state: &Self::State,
     ) -> Option<Self::Message> {
-        self.message(r, p, state, p)
+        self.send(r, p, state).broadcast_payload().cloned()
     }
 }
 
@@ -138,14 +163,8 @@ mod tests {
             }
         }
 
-        fn message(
-            &self,
-            _r: Round,
-            _p: ProcessId,
-            state: &CountState,
-            _q: ProcessId,
-        ) -> Option<u64> {
-            Some(state.v)
+        fn send(&self, _r: Round, _p: ProcessId, state: &CountState) -> SendPlan<u64> {
+            SendPlan::broadcast(state.v)
         }
 
         fn transition(
@@ -187,10 +206,13 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_message_defaults_to_message() {
+    fn derived_views_follow_the_plan() {
         let alg = CountThree;
         let p = ProcessId::new(1);
         let s = alg.init(p, 9);
+        // Broadcast plan → both derived views see the payload.
         assert_eq!(alg.broadcast_message(Round(1), p, &s), Some(9));
+        assert_eq!(alg.message(Round(1), p, &s, ProcessId::new(0)), Some(9));
+        assert_eq!(alg.message(Round(1), p, &s, ProcessId::new(2)), Some(9));
     }
 }

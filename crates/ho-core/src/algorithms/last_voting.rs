@@ -33,6 +33,7 @@ use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// LastVoting (HO Paxos) over `n` processes.
 #[derive(Clone, Copy, Debug)]
@@ -50,7 +51,10 @@ impl<V> LastVoting<V> {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
-        LastVoting { n, _values: PhantomData }
+        LastVoting {
+            n,
+            _values: PhantomData,
+        }
     }
 
     /// The coordinator of phase `φ` (rotating, as the paper's rotating
@@ -113,23 +117,31 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for LastVoting<V> {
         }
     }
 
-    fn message(
+    fn send(
         &self,
         r: Round,
         p: ProcessId,
         state: &LastVotingState<V>,
-        q: ProcessId,
-    ) -> Option<LastVotingMessage<V>> {
+    ) -> SendPlan<LastVotingMessage<V>> {
         let (phase, offset) = r.phase(4);
         let coord = self.coord(phase);
         match offset {
-            0 => (q == coord).then(|| LastVotingMessage::Estimate(state.x.clone(), state.ts)),
-            1 => (p == coord && state.commit)
-                .then(|| LastVotingMessage::Vote(state.vote.clone().expect("committed"))),
-            2 => (state.ts == phase && q == coord).then_some(LastVotingMessage::Ack),
-            3 => (p == coord && state.ready)
-                .then(|| LastVotingMessage::Vote(state.vote.clone().expect("ready"))),
-            _ => unreachable!("offset < 4"),
+            // 4φ−3: everybody unicasts its estimate to the coordinator.
+            0 => SendPlan::to(
+                coord,
+                LastVotingMessage::Estimate(state.x.clone(), state.ts),
+            ),
+            // 4φ−2: the committed coordinator broadcasts its vote.
+            1 if p == coord && state.commit => SendPlan::broadcast(LastVotingMessage::Vote(
+                state.vote.clone().expect("committed"),
+            )),
+            // 4φ−1: processes that adopted this phase's vote ack it.
+            2 if state.ts == phase => SendPlan::to(coord, LastVotingMessage::Ack),
+            // 4φ: the ready coordinator broadcasts the decision vote.
+            3 if p == coord && state.ready => {
+                SendPlan::broadcast(LastVotingMessage::Vote(state.vote.clone().expect("ready")))
+            }
+            _ => SendPlan::silent(),
         }
     }
 
@@ -198,20 +210,9 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for LastVoting<V> {
         state.decision.clone()
     }
 
-    fn broadcast_message(
-        &self,
-        r: Round,
-        p: ProcessId,
-        state: &LastVotingState<V>,
-    ) -> Option<LastVotingMessage<V>> {
-        // LastVoting is not a broadcast algorithm in rounds 4φ−3 and 4φ−1;
-        // the broadcast view is only meaningful for the coordinator rounds.
-        let (_, offset) = r.phase(4);
-        match offset {
-            1 | 3 => self.message(r, p, state, p),
-            _ => None,
-        }
-    }
+    // The derived `broadcast_message` view is `Some` exactly in the
+    // coordinator rounds 4φ−2 and 4φ (the only broadcast plans above) —
+    // LastVoting is not a broadcast algorithm in rounds 4φ−3 and 4φ−1.
 }
 
 #[cfg(test)]

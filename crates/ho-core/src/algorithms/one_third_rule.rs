@@ -21,6 +21,7 @@ use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// The OneThirdRule consensus algorithm over values `V`.
 ///
@@ -41,7 +42,10 @@ impl<V> OneThirdRule<V> {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
-        OneThirdRule { n, _values: PhantomData }
+        OneThirdRule {
+            n,
+            _values: PhantomData,
+        }
     }
 
     /// The update threshold: `|HO| > 2n/3`, i.e. `3·|HO| > 2n`.
@@ -83,8 +87,9 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for OneThirdRule<V> {
         }
     }
 
-    fn message(&self, _r: Round, _p: ProcessId, state: &OtrState<V>, _q: ProcessId) -> Option<V> {
-        Some(state.x.clone())
+    fn send(&self, _r: Round, _p: ProcessId, state: &OtrState<V>) -> SendPlan<V> {
+        // `send ⟨x_p⟩ to all processes`: one shared payload per round.
+        SendPlan::broadcast(state.x.clone())
     }
 
     fn transition(&self, _r: Round, _p: ProcessId, state: &mut OtrState<V>, mb: &Mailbox<V>) {
@@ -116,7 +121,9 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for OneThirdRule<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{CrashRecovery, CrashStop, FullDelivery, Partition, RandomLoss, Scripted};
+    use crate::adversary::{
+        CrashRecovery, CrashStop, FullDelivery, Partition, RandomLoss, Scripted,
+    };
     use crate::executor::RoundExecutor;
     use crate::process::ProcessSet;
 

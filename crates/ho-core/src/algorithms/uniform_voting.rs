@@ -36,6 +36,7 @@ use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// UniformVoting over `n` processes.
 #[derive(Clone, Copy, Debug)]
@@ -53,7 +54,10 @@ impl<V> UniformVoting<V> {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one process");
-        UniformVoting { n, _values: PhantomData }
+        UniformVoting {
+            n,
+            _values: PhantomData,
+        }
     }
 }
 
@@ -94,17 +98,11 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for UniformVoting<V> {
         }
     }
 
-    fn message(
-        &self,
-        r: Round,
-        _p: ProcessId,
-        state: &UvState<V>,
-        _q: ProcessId,
-    ) -> Option<UvMessage<V>> {
+    fn send(&self, r: Round, _p: ProcessId, state: &UvState<V>) -> SendPlan<UvMessage<V>> {
         if r.get() % 2 == 1 {
-            Some(UvMessage::Estimate(state.x.clone()))
+            SendPlan::broadcast(UvMessage::Estimate(state.x.clone()))
         } else {
-            Some(UvMessage::Vote(state.x.clone(), state.vote.clone()))
+            SendPlan::broadcast(UvMessage::Vote(state.x.clone(), state.vote.clone()))
         }
     }
 

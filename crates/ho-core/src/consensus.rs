@@ -241,7 +241,10 @@ mod tests {
     fn integrity_violation_detected() {
         let mut c = ConsensusChecker::new(vec![1, 2]);
         let err = c.observe(p(0), Round(1), Some(&99)).unwrap_err();
-        assert!(matches!(err, ConsensusViolation::Integrity { value: 99, .. }));
+        assert!(matches!(
+            err,
+            ConsensusViolation::Integrity { value: 99, .. }
+        ));
     }
 
     #[test]

@@ -15,7 +15,35 @@ use crate::consensus::{ConsensusChecker, ConsensusViolation};
 use crate::mailbox::Mailbox;
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
+use crate::send_plan::Outbox;
 use crate::trace::Trace;
+
+/// Message-cost accounting for a run: what the send phase actually
+/// allocated, against what the pre-plan per-destination scheme would have
+/// cloned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Payload allocations performed under the plan kernel: plan
+    /// construction (one per broadcast, one per unicast pair) plus the
+    /// per-recipient deep clones of delivered unicast messages. Broadcast
+    /// deliveries share the constructed payload, which is what makes
+    /// broadcast rounds `O(n)` here versus `O(n²)` under the legacy
+    /// scheme; unicast rounds gain nothing from sharing and cost about
+    /// the same in both schemes.
+    pub payload_allocs: u64,
+    /// Messages delivered into mailboxes (shared or owned).
+    pub delivered: u64,
+}
+
+impl MessageStats {
+    /// What the legacy per-destination `message()` scheme would have deep-
+    /// cloned: one payload per delivered message — `O(n²)` per broadcast
+    /// round.
+    #[must_use]
+    pub fn legacy_clones(&self) -> u64 {
+        self.delivered
+    }
+}
 
 /// Why a run stopped early.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +90,7 @@ pub struct RoundExecutor<A: HoAlgorithm> {
     trace: Trace,
     checker: ConsensusChecker<A::Value>,
     round: Round,
+    msg_stats: MessageStats,
 }
 
 impl<A: HoAlgorithm> RoundExecutor<A> {
@@ -89,6 +118,7 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
             trace: Trace::new(n),
             checker: ConsensusChecker::new(initial_values),
             round: Round(0),
+            msg_stats: MessageStats::default(),
         }
     }
 
@@ -134,6 +164,12 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         self.states.iter().map(|s| self.alg.decision(s)).collect()
     }
 
+    /// Message-cost accounting across all rounds run so far.
+    #[must_use]
+    pub fn message_stats(&self) -> MessageStats {
+        self.msg_stats
+    }
+
     /// Executes one round with the HO sets chosen by `adversary`.
     ///
     /// The effective `HO(p, r)` recorded in the trace is the *support of the
@@ -150,16 +186,19 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         let assignment = adversary.ho_sets(r, n);
         assert_eq!(assignment.len(), n, "adversary must cover all processes");
 
-        // Sending phase: S_q^r applied to the *pre-round* states.
+        // Sending phase: S_q^r evaluated once per process on the
+        // *pre-round* states, then fanned out per the HO assignment.
+        // Broadcast payloads are shared, not cloned per destination.
+        let outbox = Outbox::collect(&self.alg, r, &self.states);
+        self.msg_stats.payload_allocs += outbox.payload_allocs();
         let mut mailboxes: Vec<Mailbox<A::Message>> = (0..n).map(|_| Mailbox::empty()).collect();
         for (p, allowed) in assignment.iter().enumerate() {
-            let dest = ProcessId::new(p);
-            for q in allowed.iter() {
-                if let Some(m) = self.alg.message(r, q, &self.states[q.index()], dest) {
-                    mailboxes[p].push(q, m);
-                }
-            }
+            // Unicast deliveries deep-clone per recipient; count them so
+            // payload_allocs is the kernel's true allocation cost.
+            self.msg_stats.payload_allocs +=
+                outbox.deliver_into(ProcessId::new(p), *allowed, &mut mailboxes[p]);
         }
+        self.msg_stats.delivered += mailboxes.iter().map(|mb| mb.len() as u64).sum::<u64>();
 
         // Record the effective HO sets.
         let ho: Vec<ProcessSet> = mailboxes.iter().map(Mailbox::senders).collect();
@@ -168,8 +207,7 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         // Transition phase: T_p^r.
         for (p, mailbox) in mailboxes.iter().enumerate() {
             let pid = ProcessId::new(p);
-            self.alg
-                .transition(r, pid, &mut self.states[p], mailbox);
+            self.alg.transition(r, pid, &mut self.states[p], mailbox);
             let decision = self.alg.decision(&self.states[p]);
             self.checker.observe(pid, r, decision.as_ref())?;
         }
@@ -271,8 +309,8 @@ mod tests {
                 heard_total: 0,
             }
         }
-        fn message(&self, _r: Round, _p: ProcessId, s: &St, _q: ProcessId) -> Option<u64> {
-            Some(s.v)
+        fn send(&self, _r: Round, _p: ProcessId, s: &St) -> crate::send_plan::SendPlan<u64> {
+            crate::send_plan::SendPlan::broadcast(s.v)
         }
         fn transition(&self, _r: Round, _p: ProcessId, s: &mut St, mb: &Mailbox<u64>) {
             s.rounds += 1;
@@ -304,7 +342,10 @@ mod tests {
         let err = exec
             .run_until_all_decided(&mut FullDelivery, 5)
             .unwrap_err();
-        assert!(matches!(err, RunError::MaxRoundsExceeded { max_rounds: 5, .. }));
+        assert!(matches!(
+            err,
+            RunError::MaxRoundsExceeded { max_rounds: 5, .. }
+        ));
     }
 
     #[test]
@@ -341,8 +382,8 @@ mod tests {
             fn init(&self, _p: ProcessId, v: u64) -> u64 {
                 v
             }
-            fn message(&self, _r: Round, _p: ProcessId, s: &u64, q: ProcessId) -> Option<u64> {
-                (q.index() == 0).then_some(*s)
+            fn send(&self, _r: Round, _p: ProcessId, s: &u64) -> crate::send_plan::SendPlan<u64> {
+                crate::send_plan::SendPlan::to(ProcessId::new(0), *s)
             }
             fn transition(&self, _r: Round, _p: ProcessId, _s: &mut u64, _mb: &Mailbox<u64>) {}
             fn decision(&self, _s: &u64) -> Option<u64> {
@@ -360,6 +401,20 @@ mod tests {
             exec.trace().ho(ProcessId::new(0), Round(1)),
             ProcessSet::full(2)
         );
+    }
+
+    #[test]
+    fn broadcast_rounds_allocate_o_n_payloads() {
+        let alg = DecideOwnAfter { n: 4, k: 100 };
+        let mut exec = RoundExecutor::new(alg, vec![1; 4]);
+        exec.run(&mut FullDelivery, 10).unwrap();
+        let stats = exec.message_stats();
+        // One payload per broadcaster per round — O(n), not O(n²).
+        assert_eq!(stats.payload_allocs, 4 * 10);
+        // All n² transmissions are still delivered…
+        assert_eq!(stats.delivered, 16 * 10);
+        // …which is exactly what the per-destination scheme would clone.
+        assert_eq!(stats.legacy_clones(), 160);
     }
 
     #[test]

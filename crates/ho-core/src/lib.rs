@@ -37,16 +37,18 @@ pub mod mailbox;
 pub mod predicate;
 pub mod process;
 pub mod round;
+pub mod send_plan;
 pub mod sequence;
 pub mod trace;
 pub mod translation;
 
 pub use algorithm::{HoAlgorithm, HoAlgorithmExt};
 pub use consensus::{ConsensusChecker, ConsensusViolation};
-pub use executor::{RoundExecutor, RunError};
+pub use executor::{MessageStats, RoundExecutor, RunError};
 pub use mailbox::Mailbox;
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
 pub use round::Round;
+pub use send_plan::{Outbox, SendPlan};
 pub use sequence::{ProposalSource, RepeatedConsensus};
 pub use trace::Trace;
 pub use translation::Translated;

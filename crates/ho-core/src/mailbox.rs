@@ -4,8 +4,47 @@
 //! `T_p^r(μ⃗, s_p)`, where `μ⃗` is the partial vector of messages received by
 //! `p` in round `r`. [`Mailbox`] is that vector; its *support* (the set of
 //! senders) is the heard-of set `HO(p, r)`.
+//!
+//! Two representation choices serve the hot paths:
+//!
+//! * **Shared payloads** — an entry holds either an owned message or a
+//!   reference-counted one ([`Mailbox::push_shared`]). Broadcast rounds
+//!   deliver one `Arc` per recipient instead of one deep clone per
+//!   recipient, which is what makes the [`SendPlan`](crate::send_plan)
+//!   kernel `O(n)` in payload allocations per round.
+//! * **Sorted sender index** — entries stay in arrival order (the paper's
+//!   reception-order semantics), but a side index sorted by sender makes
+//!   [`Mailbox::from`] and the duplicate-sender check `O(log n)` instead of
+//!   a linear scan. Predicate evaluation calls `from` millions of times in
+//!   the benches.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use crate::process::{ProcessId, ProcessSet};
+
+/// A message payload: owned (unicast) or shared (broadcast delivery).
+#[derive(Clone)]
+enum Payload<M> {
+    Owned(M),
+    Shared(Arc<M>),
+}
+
+impl<M> Deref for Payload<M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Payload<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 /// The messages received by one process in one round.
 ///
@@ -15,13 +54,17 @@ use crate::process::{ProcessId, ProcessSet};
 /// — is provided here so that algorithm code reads like the pseudo-code.
 #[derive(Clone, Debug)]
 pub struct Mailbox<M> {
-    entries: Vec<(ProcessId, M)>,
+    /// `(sender, message)` in arrival order.
+    entries: Vec<(ProcessId, Payload<M>)>,
+    /// Indices into `entries`, sorted by sender id (the lookup index).
+    sorted: Vec<u32>,
 }
 
 impl<M> Default for Mailbox<M> {
     fn default() -> Self {
         Mailbox {
             entries: Vec::new(),
+            sorted: Vec::new(),
         }
     }
 }
@@ -42,25 +85,48 @@ impl<M> Mailbox<M> {
     /// closed, so a process hears of each peer at most once per round.
     #[must_use]
     pub fn from_entries(entries: Vec<(ProcessId, M)>) -> Self {
-        let mut seen = ProcessSet::empty();
-        for (q, _) in &entries {
-            assert!(!seen.contains(*q), "duplicate sender {q} in mailbox");
-            seen.insert(*q);
+        let mut mb = Mailbox::empty();
+        for (q, m) in entries {
+            mb.push(q, m);
         }
-        Mailbox { entries }
+        mb
     }
 
-    /// Adds a message from `sender`.
+    /// Position of `sender` in the sorted index: `Ok(pos)` if present,
+    /// `Err(pos)` with the insertion point otherwise.
+    fn index_of(&self, sender: ProcessId) -> Result<usize, usize> {
+        self.sorted
+            .binary_search_by_key(&sender, |&i| self.entries[i as usize].0)
+    }
+
+    fn push_payload(&mut self, sender: ProcessId, payload: Payload<M>) {
+        match self.index_of(sender) {
+            Ok(_) => panic!("duplicate sender {sender} in mailbox"),
+            Err(pos) => {
+                self.entries.push((sender, payload));
+                self.sorted.insert(pos, (self.entries.len() - 1) as u32);
+            }
+        }
+    }
+
+    /// Adds an owned message from `sender`.
     ///
     /// # Panics
     ///
     /// Panics if a message from `sender` is already present.
     pub fn push(&mut self, sender: ProcessId, message: M) {
-        assert!(
-            !self.senders().contains(sender),
-            "duplicate sender {sender} in mailbox"
-        );
-        self.entries.push((sender, message));
+        self.push_payload(sender, Payload::Owned(message));
+    }
+
+    /// Adds a shared message from `sender` — how broadcast plans deliver:
+    /// every recipient's mailbox holds the same reference-counted payload,
+    /// so a broadcast costs one allocation regardless of fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message from `sender` is already present.
+    pub fn push_shared(&mut self, sender: ProcessId, message: Arc<M>) {
+        self.push_payload(sender, Payload::Shared(message));
     }
 
     /// The heard-of set: the support of the partial vector.
@@ -81,30 +147,37 @@ impl<M> Mailbox<M> {
         self.entries.is_empty()
     }
 
-    /// The message received from `q`, if any.
+    /// The message received from `q`, if any (binary search over the sorted
+    /// sender index).
     #[must_use]
     pub fn from(&self, q: ProcessId) -> Option<&M> {
-        self.entries
-            .iter()
-            .find(|(s, _)| *s == q)
-            .map(|(_, m)| m)
+        self.index_of(q)
+            .ok()
+            .map(|pos| &*self.entries[self.sorted[pos] as usize].1)
     }
 
     /// Iterates over `(sender, message)` pairs in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.entries.iter().map(|(q, m)| (*q, m))
+        self.entries.iter().map(|(q, m)| (*q, &**m))
     }
 
     /// Iterates over the received messages only.
     pub fn messages(&self) -> impl Iterator<Item = &M> {
-        self.entries.iter().map(|(_, m)| m)
+        self.entries.iter().map(|(_, m)| &**m)
     }
 
     /// Maps every message, keeping senders.
     #[must_use]
     pub fn map<N>(&self, mut f: impl FnMut(&M) -> N) -> Mailbox<N> {
         Mailbox {
-            entries: self.entries.iter().map(|(q, m)| (*q, f(m))).collect(),
+            entries: self
+                .entries
+                .iter()
+                .map(|(q, m)| (*q, Payload::Owned(f(m))))
+                .collect(),
+            // Senders and arrival order are unchanged, so the index carries
+            // over verbatim.
+            sorted: self.sorted.clone(),
         }
     }
 
@@ -114,14 +187,13 @@ impl<M> Mailbox<M> {
     where
         M: Clone,
     {
-        Mailbox {
-            entries: self
-                .entries
-                .iter()
-                .filter(|(q, _)| keep.contains(*q))
-                .cloned()
-                .collect(),
+        let mut mb = Mailbox::empty();
+        for (q, m) in &self.entries {
+            if keep.contains(*q) {
+                mb.push_payload(*q, m.clone());
+            }
         }
+        mb
     }
 }
 
@@ -206,9 +278,47 @@ mod tests {
     }
 
     #[test]
+    fn from_finds_out_of_order_senders() {
+        // Arrival order is not sender order; the sorted index must still
+        // resolve every sender.
+        let mb: Mailbox<u32> = [(p(5), 50), (p(1), 10), (p(3), 30), (p(0), 0)]
+            .into_iter()
+            .collect();
+        for (q, v) in [(0, 0), (1, 10), (3, 30), (5, 50)] {
+            assert_eq!(mb.from(p(q)), Some(&v));
+        }
+        assert_eq!(mb.from(p(2)), None);
+        assert_eq!(mb.from(p(6)), None);
+        // Arrival order preserved for iteration.
+        let order: Vec<usize> = mb.iter().map(|(q, _)| q.index()).collect();
+        assert_eq!(order, vec![5, 1, 3, 0]);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate sender")]
     fn duplicate_sender_rejected() {
         let _ = Mailbox::from_entries(vec![(p(0), 1u32), (p(0), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sender")]
+    fn duplicate_shared_sender_rejected() {
+        let mut mb = Mailbox::empty();
+        mb.push_shared(p(0), Arc::new(1u32));
+        mb.push_shared(p(0), Arc::new(2u32));
+    }
+
+    #[test]
+    fn shared_and_owned_entries_mix() {
+        let mut mb = Mailbox::empty();
+        let shared = Arc::new(7u32);
+        mb.push_shared(p(1), Arc::clone(&shared));
+        mb.push(p(0), 9);
+        assert_eq!(mb.from(p(1)), Some(&7));
+        assert_eq!(mb.from(p(0)), Some(&9));
+        assert_eq!(mb.count_equal(&7), 1);
+        // The shared entry aliases the original allocation.
+        assert!(std::ptr::eq(mb.from(p(1)).unwrap(), shared.as_ref()));
     }
 
     #[test]
@@ -240,6 +350,7 @@ mod tests {
         let kept = mb.filter_senders(ProcessSet::from_indices([1, 2]));
         assert_eq!(kept.senders(), ProcessSet::from_indices([1, 2]));
         assert_eq!(kept.from(p(0)), None);
+        assert_eq!(kept.from(p(2)), Some(&3));
     }
 
     #[test]

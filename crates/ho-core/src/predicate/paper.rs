@@ -57,9 +57,7 @@ pub struct NonEmptyKernel;
 impl Predicate for NonEmptyKernel {
     fn holds(&self, trace: &Trace) -> bool {
         let all = ProcessSet::full(trace.n());
-        trace
-            .iter()
-            .all(|(r, _)| !trace.kernel(r, all).is_empty())
+        trace.iter().all(|(r, _)| !trace.kernel(r, all).is_empty())
     }
     fn describe(&self) -> String {
         "∀r>0 : ∩_{p∈Π} HO(p,r) ≠ ∅".to_owned()
@@ -328,7 +326,10 @@ mod tests {
         t.push_round(vec![set(&[0]), set(&[1]), set(&[2]), set(&[3])]); // bad
         t.push_round(vec![pi0, pi0, pi0, set(&[3])]); // kernel for Π0
         assert!(!P2Otr::new(pi0).holds(&t));
-        assert!(P11Otr::new(pi0).holds(&t), "non-adjacent rounds suffice for P1/1");
+        assert!(
+            P11Otr::new(pi0).holds(&t),
+            "non-adjacent rounds suffice for P1/1"
+        );
     }
 
     #[test]

@@ -43,10 +43,7 @@ impl Predicate for SpaceUniformWindow {
             .any(|run| run.len() >= self.width)
     }
     fn describe(&self) -> String {
-        format!(
-            "∃ρ0 : P_su({:?}, ρ0, ρ0+{}−1)",
-            self.scope, self.width
-        )
+        format!("∃ρ0 : P_su({:?}, ρ0, ρ0+{}−1)", self.scope, self.width)
     }
 }
 

@@ -61,9 +61,7 @@ fn runs_where(trace: &Trace, mut round_holds: impl FnMut(Round) -> bool) -> Vec<
 /// `HO(p, r) = scope` (i.e. rounds satisfying `P_su(scope, r, r)`).
 #[must_use]
 pub fn find_space_uniform_runs(trace: &Trace, scope: ProcessSet) -> Vec<RoundRun> {
-    runs_where(trace, |r| {
-        scope.iter().all(|p| trace.ho(p, r) == scope)
-    })
+    runs_where(trace, |r| scope.iter().all(|p| trace.ho(p, r) == scope))
 }
 
 /// Maximal runs of rounds satisfying `P_k(scope, r, r)`
@@ -241,10 +239,7 @@ mod tests {
     fn kernel_runs_include_supersets() {
         let pi0 = set(&[0, 1]);
         let all = set(&[0, 1, 2]);
-        let t = trace_with(vec![
-            vec![all, pi0, set(&[2])],
-            vec![set(&[0]), pi0, all],
-        ]);
+        let t = trace_with(vec![vec![all, pi0, set(&[2])], vec![set(&[0]), pi0, all]]);
         let runs = find_kernel_runs(&t, pi0);
         assert_eq!(
             runs,

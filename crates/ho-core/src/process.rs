@@ -104,6 +104,9 @@ impl ProcessSet {
     }
 
     /// Builds a set from an iterator of process ids.
+    // Shadows the `FromIterator` impl below on purpose: call sites read
+    // `ProcessSet::from_iter(..)` without needing the trait in scope.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
         let mut s = ProcessSet::empty();

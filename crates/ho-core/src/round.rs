@@ -49,7 +49,7 @@ impl Round {
     /// `r ≡ 0 (mod per_phase)` in the paper's notation.
     #[must_use]
     pub fn is_phase_end(self, per_phase: u64) -> bool {
-        self.0 > 0 && self.0 % per_phase == 0
+        self.0 > 0 && self.0.is_multiple_of(per_phase)
     }
 }
 

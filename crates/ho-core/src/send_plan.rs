@@ -1,0 +1,362 @@
+//! The per-round send plan: `S_p^r` evaluated **once** per process.
+//!
+//! The paper's sending function `S_p^r` maps a destination to an optional
+//! message. Evaluating it per destination forces every execution machine to
+//! make `n` calls — and `n` message clones — per sender per round, `O(n²)`
+//! clones per round even for pure-broadcast algorithms like OneThirdRule
+//! whose round message does not depend on the destination at all.
+//!
+//! [`SendPlan`] is the closed form of `S_p^r`: produced once per process
+//! per round, it states *how* the round's messages fan out —
+//! [`SendPlan::Broadcast`] (one shared payload for every destination),
+//! [`SendPlan::Unicast`] (an explicit destination list, for
+//! coordinator-based algorithms like LastVoting) or [`SendPlan::Silent`].
+//! Broadcast payloads are reference-counted, so a broadcast round costs one
+//! payload allocation per sender (`O(n)` per round) no matter how many
+//! destinations hear it; recipients share the payload through their
+//! [`Mailbox`](crate::mailbox::Mailbox).
+//!
+//! [`Outbox`] is a whole round's worth of plans — one per process — with
+//! the delivery and accounting loops all four execution machines
+//! (round-synchronous executor, translation, Algorithms 2/3, simulator)
+//! share.
+
+use std::sync::Arc;
+
+use crate::algorithm::HoAlgorithm;
+use crate::mailbox::Mailbox;
+use crate::process::{ProcessId, ProcessSet};
+use crate::round::Round;
+
+/// How one process's round-`r` messages fan out: the closed form of the
+/// sending function `S_p^r`.
+#[derive(Debug)]
+pub enum SendPlan<M> {
+    /// The same message to every destination (`send ⟨m⟩ to all`). The
+    /// payload is shared — cloning the plan, or delivering it to any number
+    /// of destinations, never copies `M`.
+    Broadcast(Arc<M>),
+    /// Distinct messages to an explicit set of destinations (coordinator
+    /// rounds, point-to-point phases). Destinations must be distinct.
+    Unicast(Vec<(ProcessId, M)>),
+    /// No message this round.
+    Silent,
+}
+
+impl<M> SendPlan<M> {
+    /// A broadcast of `message` to all destinations.
+    #[must_use]
+    pub fn broadcast(message: M) -> Self {
+        SendPlan::Broadcast(Arc::new(message))
+    }
+
+    /// A unicast plan from explicit `(destination, message)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a destination appears twice: rounds are communication
+    /// closed, so `S_p^r` yields at most one message per destination.
+    #[must_use]
+    pub fn unicast(pairs: Vec<(ProcessId, M)>) -> Self {
+        let mut seen = ProcessSet::empty();
+        for (q, _) in &pairs {
+            assert!(!seen.contains(*q), "duplicate destination {q} in send plan");
+            seen.insert(*q);
+        }
+        SendPlan::Unicast(pairs)
+    }
+
+    /// A single message to a single destination.
+    #[must_use]
+    pub fn to(destination: ProcessId, message: M) -> Self {
+        SendPlan::Unicast(vec![(destination, message)])
+    }
+
+    /// The empty plan.
+    #[must_use]
+    pub const fn silent() -> Self {
+        SendPlan::Silent
+    }
+
+    /// The message this plan sends to destination `q`, if any — the
+    /// original per-destination view `S_p^r(s_p)(q)`.
+    #[must_use]
+    pub fn message_for(&self, q: ProcessId) -> Option<&M> {
+        match self {
+            SendPlan::Broadcast(m) => Some(m),
+            SendPlan::Unicast(pairs) => pairs.iter().find(|(d, _)| *d == q).map(|(_, m)| m),
+            SendPlan::Silent => None,
+        }
+    }
+
+    /// The shared payload of a broadcast plan (`None` for unicast/silent).
+    #[must_use]
+    pub fn broadcast_payload(&self) -> Option<&M> {
+        match self {
+            SendPlan::Broadcast(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Consumes the plan, returning the shared broadcast payload if the
+    /// plan is a broadcast. The step machines of Algorithms 2 and 3 thread
+    /// this `Arc` straight into their wire messages, so the payload is
+    /// allocated exactly once per (process, round).
+    #[must_use]
+    pub fn into_broadcast_payload(self) -> Option<Arc<M>> {
+        match self {
+            SendPlan::Broadcast(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this plan sends the same message to everybody.
+    #[must_use]
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, SendPlan::Broadcast(_))
+    }
+
+    /// Whether this plan sends nothing.
+    #[must_use]
+    pub fn is_silent(&self) -> bool {
+        match self {
+            SendPlan::Silent => true,
+            SendPlan::Unicast(pairs) => pairs.is_empty(),
+            SendPlan::Broadcast(_) => false,
+        }
+    }
+
+    /// How many destinations receive a message under full delivery in a
+    /// universe of `n` processes.
+    #[must_use]
+    pub fn dest_count(&self, n: usize) -> usize {
+        match self {
+            SendPlan::Broadcast(_) => n,
+            SendPlan::Unicast(pairs) => pairs.len(),
+            SendPlan::Silent => 0,
+        }
+    }
+
+    /// How many payload allocations *constructing* this plan cost: `1` for
+    /// a broadcast (shared by all destinations thereafter), one per pair
+    /// for unicast. Unicast deliveries additionally clone per recipient —
+    /// [`Outbox::deliver_into`] reports those — so the full new-scheme cost
+    /// is construction + delivery clones. Broadcasts are the quantity the
+    /// SendPlan refactor drives from `O(n²)` to `O(n)` per round; unicast
+    /// plans gain nothing from sharing (each destination's message is
+    /// distinct by definition).
+    #[must_use]
+    pub fn payload_allocs(&self) -> usize {
+        match self {
+            SendPlan::Broadcast(_) => 1,
+            SendPlan::Unicast(pairs) => pairs.len(),
+            SendPlan::Silent => 0,
+        }
+    }
+}
+
+impl<M: Clone> Clone for SendPlan<M> {
+    fn clone(&self) -> Self {
+        match self {
+            // Cloning a broadcast shares the payload.
+            SendPlan::Broadcast(m) => SendPlan::Broadcast(Arc::clone(m)),
+            SendPlan::Unicast(pairs) => SendPlan::Unicast(pairs.clone()),
+            SendPlan::Silent => SendPlan::Silent,
+        }
+    }
+}
+
+/// One round's send plans, one per process, plus delivery accounting.
+///
+/// This is the kernel every execution machine drives: collect the plans
+/// from the pre-round states, then deliver each destination's view under
+/// whatever HO assignment the machine's fault model produced.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    plans: Vec<SendPlan<M>>,
+}
+
+impl<M: Clone> Outbox<M> {
+    /// Evaluates `S_q^r` once per process over the pre-round states.
+    #[must_use]
+    pub fn collect<A>(alg: &A, r: Round, states: &[A::State]) -> Outbox<A::Message>
+    where
+        A: HoAlgorithm<Message = M>,
+    {
+        Outbox {
+            plans: states
+                .iter()
+                .enumerate()
+                .map(|(q, s)| alg.send(r, ProcessId::new(q), s))
+                .collect(),
+        }
+    }
+
+    /// Builds an outbox directly from plans (one per process).
+    #[must_use]
+    pub fn from_plans(plans: Vec<SendPlan<M>>) -> Self {
+        Outbox { plans }
+    }
+
+    /// Number of senders covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the outbox covers no senders.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The plan of sender `q`.
+    #[must_use]
+    pub fn plan(&self, q: ProcessId) -> &SendPlan<M> {
+        &self.plans[q.index()]
+    }
+
+    /// Delivers into `dest`'s mailbox every message the HO assignment
+    /// `allowed` lets through: for each authorised sender `q`, the message
+    /// (if any) that `q`'s plan addresses to `dest`. Broadcast payloads are
+    /// delivered by reference count, not by deep clone.
+    ///
+    /// Returns the number of deep payload clones performed — zero for
+    /// broadcast deliveries, one per delivered unicast message. Add this
+    /// to [`Outbox::payload_allocs`] for the round's total allocation
+    /// count under the plan kernel.
+    pub fn deliver_into(
+        &self,
+        dest: ProcessId,
+        allowed: ProcessSet,
+        mailbox: &mut Mailbox<M>,
+    ) -> u64 {
+        let mut deep_clones = 0;
+        for q in allowed.iter() {
+            match &self.plans[q.index()] {
+                SendPlan::Broadcast(m) => mailbox.push_shared(q, Arc::clone(m)),
+                SendPlan::Unicast(pairs) => {
+                    if let Some((_, m)) = pairs.iter().find(|(d, _)| *d == dest) {
+                        mailbox.push(q, m.clone());
+                        deep_clones += 1;
+                    }
+                }
+                SendPlan::Silent => {}
+            }
+        }
+        deep_clones
+    }
+
+    /// Total payload allocations this round's sending phase cost
+    /// (see [`SendPlan::payload_allocs`]).
+    #[must_use]
+    pub fn payload_allocs(&self) -> u64 {
+        self.plans.iter().map(|p| p.payload_allocs() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn broadcast_serves_every_destination() {
+        let plan = SendPlan::broadcast(7u64);
+        assert!(plan.is_broadcast());
+        assert!(!plan.is_silent());
+        assert_eq!(plan.message_for(p(0)), Some(&7));
+        assert_eq!(plan.message_for(p(5)), Some(&7));
+        assert_eq!(plan.broadcast_payload(), Some(&7));
+        assert_eq!(plan.dest_count(4), 4);
+        assert_eq!(plan.payload_allocs(), 1);
+    }
+
+    #[test]
+    fn unicast_serves_only_listed_destinations() {
+        let plan = SendPlan::unicast(vec![(p(1), 10u64), (p(3), 30)]);
+        assert_eq!(plan.message_for(p(1)), Some(&10));
+        assert_eq!(plan.message_for(p(3)), Some(&30));
+        assert_eq!(plan.message_for(p(0)), None);
+        assert_eq!(plan.broadcast_payload(), None);
+        assert_eq!(plan.dest_count(4), 2);
+        assert_eq!(plan.payload_allocs(), 2);
+    }
+
+    #[test]
+    fn silent_serves_nobody() {
+        let plan: SendPlan<u64> = SendPlan::silent();
+        assert!(plan.is_silent());
+        assert_eq!(plan.message_for(p(0)), None);
+        assert_eq!(plan.dest_count(9), 0);
+        assert_eq!(plan.payload_allocs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate destination")]
+    fn duplicate_unicast_destination_rejected() {
+        let _ = SendPlan::unicast(vec![(p(1), 1u64), (p(1), 2)]);
+    }
+
+    #[test]
+    fn cloning_a_broadcast_shares_the_payload() {
+        let plan = SendPlan::broadcast(vec![1u64, 2, 3]);
+        let copy = plan.clone();
+        let (a, b) = match (&plan, &copy) {
+            (SendPlan::Broadcast(a), SendPlan::Broadcast(b)) => (a, b),
+            _ => unreachable!(),
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must not copy the payload");
+    }
+
+    #[test]
+    fn outbox_delivery_respects_ho_and_destinations() {
+        let plans = vec![
+            SendPlan::broadcast(100u64), // p0 broadcasts
+            SendPlan::to(p(0), 200),     // p1 unicasts to p0 only
+            SendPlan::silent(),          // p2 silent
+        ];
+        let outbox = Outbox::from_plans(plans);
+        assert_eq!(outbox.len(), 3);
+        assert_eq!(outbox.payload_allocs(), 2);
+
+        // p0 hears everyone: gets p0's broadcast and p1's unicast. The
+        // unicast delivery is the round's only deep clone.
+        let mut mb = Mailbox::empty();
+        assert_eq!(outbox.deliver_into(p(0), ProcessSet::full(3), &mut mb), 1);
+        assert_eq!(mb.senders(), ProcessSet::from_indices([0, 1]));
+        assert_eq!(mb.from(p(1)), Some(&200));
+
+        // p1 hears everyone but only the broadcast addresses it — shared,
+        // so zero deep clones.
+        let mut mb = Mailbox::empty();
+        assert_eq!(outbox.deliver_into(p(1), ProcessSet::full(3), &mut mb), 0);
+        assert_eq!(mb.senders(), ProcessSet::from_indices([0]));
+
+        // HO restriction masks the broadcast.
+        let mut mb = Mailbox::empty();
+        assert_eq!(
+            outbox.deliver_into(p(1), ProcessSet::from_indices([1, 2]), &mut mb),
+            0
+        );
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn broadcast_delivery_shares_one_payload_across_recipients() {
+        let outbox = Outbox::from_plans(vec![SendPlan::broadcast(vec![9u8; 64])]);
+        let mut boxes: Vec<Mailbox<Vec<u8>>> = (0..8).map(|_| Mailbox::empty()).collect();
+        for (i, mb) in boxes.iter_mut().enumerate() {
+            outbox.deliver_into(p(i), ProcessSet::full(1), mb);
+        }
+        // All eight mailboxes alias the same allocation.
+        let firsts: Vec<*const Vec<u8>> = boxes
+            .iter()
+            .map(|mb| mb.from(p(0)).unwrap() as *const _)
+            .collect();
+        assert!(firsts.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -20,6 +20,7 @@ use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// Supplies the proposal of process `p` for slot `slot` (the "client
 /// commands" being ordered).
@@ -141,11 +142,7 @@ where
     fn catch_up(&self, p: ProcessId, state: &mut RcState<A>, prefix: &[A::Value]) {
         if prefix.len() > state.log.len() {
             debug_assert!(
-                state
-                    .log
-                    .iter()
-                    .zip(prefix)
-                    .all(|(a, b)| a == b),
+                state.log.iter().zip(prefix).all(|(a, b)| a == b),
                 "divergent decided prefixes — inner agreement violated"
             );
             state.log = prefix.to_vec();
@@ -183,18 +180,43 @@ where
         state
     }
 
-    fn message(
+    fn send(
         &self,
         r: Round,
         p: ProcessId,
         state: &RcState<A>,
-        q: ProcessId,
-    ) -> Option<RcMessage<A::Message, A::Value>> {
-        Some(RcMessage {
-            slot: state.slot,
-            prefix: state.log.clone(),
-            payload: self.inner.message(self.slot_round(r, state), p, &state.inner, q),
-        })
+    ) -> SendPlan<RcMessage<A::Message, A::Value>> {
+        // The prefix piggybacks on *every* destination (laggards must be
+        // able to catch up), so the combinator always fans out to all of Π;
+        // the inner plan only decides the per-destination payload.
+        match self.inner.send(self.slot_round(r, state), p, &state.inner) {
+            SendPlan::Broadcast(m) => SendPlan::broadcast(RcMessage {
+                slot: state.slot,
+                prefix: state.log.clone(),
+                payload: Some((*m).clone()),
+            }),
+            SendPlan::Silent => SendPlan::broadcast(RcMessage {
+                slot: state.slot,
+                prefix: state.log.clone(),
+                payload: None,
+            }),
+            SendPlan::Unicast(pairs) => SendPlan::unicast(
+                (0..self.n())
+                    .map(ProcessId::new)
+                    .map(|q| {
+                        let payload = pairs.iter().find(|(d, _)| *d == q).map(|(_, m)| m.clone());
+                        (
+                            q,
+                            RcMessage {
+                                slot: state.slot,
+                                prefix: state.log.clone(),
+                                payload,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        }
     }
 
     fn transition(
@@ -205,9 +227,8 @@ where
         mb: &Mailbox<RcMessage<A::Message, A::Value>>,
     ) {
         // 1. Catch up on any longer prefix heard.
-        let best: Option<&RcMessage<A::Message, A::Value>> = mb
-            .messages()
-            .max_by_key(|m| m.prefix.len());
+        let best: Option<&RcMessage<A::Message, A::Value>> =
+            mb.messages().max_by_key(|m| m.prefix.len());
         if let Some(m) = best {
             let prefix = m.prefix.clone();
             self.catch_up(p, state, &prefix);
@@ -269,7 +290,9 @@ mod tests {
         RepeatedConsensus::new(OneThirdRule::new(n), proposals as fn(ProcessId, u64) -> u64)
     }
 
-    fn logs(exec: &RoundExecutor<RepeatedConsensus<OneThirdRule, fn(ProcessId, u64) -> u64>>) -> Vec<Vec<u64>> {
+    type Rc = RepeatedConsensus<OneThirdRule, fn(ProcessId, u64) -> u64>;
+
+    fn logs(exec: &RoundExecutor<Rc>) -> Vec<Vec<u64>> {
         exec.states().iter().map(|s| s.log().to_vec()).collect()
     }
 

@@ -74,7 +74,10 @@ impl Trace {
     /// Panics if round `r` has not been recorded (`r` is 1-based).
     #[must_use]
     pub fn round(&self, r: Round) -> &[ProcessSet] {
-        assert!(r.get() >= 1 && r.get() <= self.rounds(), "round {r} not recorded");
+        assert!(
+            r.get() >= 1 && r.get() <= self.rounds(),
+            "round {r} not recorded"
+        );
         &self.rounds[(r.get() - 1) as usize]
     }
 

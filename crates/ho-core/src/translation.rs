@@ -25,6 +25,7 @@ use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
+use crate::send_plan::SendPlan;
 
 /// The `P_k → P_su` translation of a broadcast HO algorithm.
 ///
@@ -184,14 +185,11 @@ impl<A: HoAlgorithm> HoAlgorithm for Translated<A> {
         }
     }
 
-    fn message(
-        &self,
-        _r: Round,
-        _p: ProcessId,
-        state: &Self::State,
-        _q: ProcessId,
-    ) -> Option<Self::Message> {
-        Some(state.known.clone())
+    fn send(&self, _r: Round, _p: ProcessId, state: &Self::State) -> SendPlan<Self::Message> {
+        // `send ⟨Known_p⟩ to all`: Known_p is O(n)-sized, so sharing one
+        // payload per round (instead of cloning it per destination) takes a
+        // relay round from O(n³) copied words down to O(n²).
+        SendPlan::broadcast(state.known.clone())
     }
 
     fn transition(
@@ -324,8 +322,7 @@ mod tests {
             // At each macro-round boundary, compare NewHO across Π0.
             let news: Vec<ProcessSet> = pi0
                 .iter()
-                .map(|p| exec.states()[p.index()].last_new_ho)
-                .flatten()
+                .filter_map(|p| exec.states()[p.index()].last_new_ho)
                 .collect();
             if news.len() == pi0.len() {
                 let first = news[0];

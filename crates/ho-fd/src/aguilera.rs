@@ -236,9 +236,7 @@ impl Aguilera {
     /// Coordinator: enough estimates for the current round → NEWESTIMATE.
     fn try_newestimate(&mut self, ctx: &mut Ctx<'_, AgMsg>) {
         let r = self.round;
-        if self.coordinator(r) != self.me
-            || self.sent_newestimate.iter().any(|(rr, _)| *rr == r)
-        {
+        if self.coordinator(r) != self.me || self.sent_newestimate.iter().any(|(rr, _)| *rr == r) {
             return;
         }
         let received: Vec<(u64, u64)> = self
@@ -274,20 +272,17 @@ impl Aguilera {
         if self.coordinator(r) != self.me {
             return;
         }
-        let Some(&(_, committed)) = self
-            .sent_newestimate
-            .iter()
-            .find(|(rr, _)| *rr == r)
-        else {
+        let Some(&(_, committed)) = self.sent_newestimate.iter().find(|(rr, _)| *rr == r) else {
             return;
         };
-        let acks = self
-            .ack_buf
-            .iter()
-            .filter(|(_, rr)| *rr == r)
-            .count();
+        let acks = self.ack_buf.iter().filter(|(_, rr)| *rr == r).count();
         if acks >= self.majority() && self.decided.is_none() {
-            self.s_send_all(AgMsg::Decide { estimate: committed }, ctx);
+            self.s_send_all(
+                AgMsg::Decide {
+                    estimate: committed,
+                },
+                ctx,
+            );
         }
     }
 
@@ -306,9 +301,7 @@ impl Aguilera {
         }
         let (trust, epochs) = ctx.trustlist();
         let c = self.coordinator(self.round);
-        let baseline = self
-            .watch_epochs
-            .get_or_insert_with(|| epochs.clone());
+        let baseline = self.watch_epochs.get_or_insert_with(|| epochs.clone());
         let epoch_bumped = epochs[c.index()] > baseline[c.index()];
         let abort = !trust.contains(c) || epoch_bumped || self.max_round_seen > self.round;
         if !abort {
@@ -393,11 +386,7 @@ impl FdProcess for Aguilera {
                 }
             }
             AgMsg::Ack { round } => {
-                if !self
-                    .ack_buf
-                    .iter()
-                    .any(|(q, r)| *q == from && *r == round)
-                {
+                if !self.ack_buf.iter().any(|(q, r)| *q == from && *r == round) {
                     self.ack_buf.push((from, round));
                 }
                 if round == self.round {

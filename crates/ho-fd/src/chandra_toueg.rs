@@ -156,11 +156,7 @@ impl ChandraToueg {
         );
         self.phase = Phase::WaitNewEstimate;
         // A buffered NewEstimate may already satisfy phase 3.
-        if let Some(&(_, est)) = self
-            .new_estimates
-            .iter()
-            .find(|(r, _)| *r == self.round)
-        {
+        if let Some(&(_, est)) = self.new_estimates.iter().find(|(r, _)| *r == self.round) {
             self.accept_new_estimate(est, ctx);
         }
     }
@@ -168,9 +164,7 @@ impl ChandraToueg {
     /// Coordinator phase 2: run when an estimate for a round we coordinate
     /// arrives.
     fn try_phase2(&mut self, round: u64, ctx: &mut Ctx<'_, CtMsg>) {
-        if self.coordinator(round) != self.me
-            || self.est_done.iter().any(|(r, _)| *r == round)
-        {
+        if self.coordinator(round) != self.me || self.est_done.iter().any(|(r, _)| *r == round) {
             return;
         }
         let received: Vec<(u64, u64)> = self
@@ -221,7 +215,9 @@ impl ChandraToueg {
                 .map(|(_, v)| *v)
                 .expect("acks imply phase 2 completed");
             self.decide_sent = true;
-            ctx.send_all(CtMsg::Decide { estimate: committed });
+            ctx.send_all(CtMsg::Decide {
+                estimate: committed,
+            });
         }
     }
 
@@ -410,9 +406,6 @@ mod tests {
         // Wrong suspicions before GST cause nacks and extra rounds, but
         // after GST a correct coordinator gets through.
         let net = run_ct(4, 50.0, 0.0, 11, &[], 2000.0);
-        assert!(net
-            .processes()
-            .iter()
-            .all(|p| p.decision().is_some()));
+        assert!(net.processes().iter().all(|p| p.decision().is_some()));
     }
 }

@@ -86,9 +86,7 @@ impl FdScenario {
     }
 
     fn value(&self, p: usize) -> u64 {
-        self.values
-            .as_ref()
-            .map_or(10 + p as u64, |v| v[p])
+        self.values.as_ref().map_or(10 + p as u64, |v| v[p])
     }
 
     fn net_config(&self) -> NetConfig {
@@ -147,9 +145,11 @@ fn run_generic<P: FdProcess>(
     let mut net = FdNet::new(scenario.net_config(), procs, &scenario.outages);
     let mut all_decided_at = None;
     net.run_until(scenario.deadline, |net| {
-        let done = net.processes().iter().enumerate().all(|(p, proc_)| {
-            permanently_down[p] || proc_.decision().is_some()
-        });
+        let done = net
+            .processes()
+            .iter()
+            .enumerate()
+            .all(|(p, proc_)| permanently_down[p] || proc_.decision().is_some());
         if done && all_decided_at.is_none() {
             all_decided_at = Some(net.now());
         }

@@ -181,10 +181,7 @@ impl FdView<'_> {
 
     fn trustlist(&mut self) -> (ProcessSet, Vec<u64>) {
         let suspects = self.suspects();
-        (
-            suspects.complement(self.cfg.n),
-            self.epochs.to_vec(),
-        )
+        (suspects.complement(self.cfg.n), self.epochs.to_vec())
     }
 }
 
@@ -215,8 +212,15 @@ pub trait FdProcess {
 
 #[derive(Debug)]
 enum Event<M> {
-    Deliver { to: ProcessId, from: ProcessId, msg: M },
-    Timer { p: ProcessId, gen: u64 },
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        msg: M,
+    },
+    Timer {
+        p: ProcessId,
+        gen: u64,
+    },
     Crash(ProcessId),
     Recover(ProcessId),
 }
@@ -382,9 +386,7 @@ impl<P: FdProcess> FdNet<P> {
                 self.messages_lost += 1;
                 continue;
             }
-            let delay = self
-                .rng
-                .gen_range(self.cfg.delay_min..=self.cfg.delay_max);
+            let delay = self.rng.gen_range(self.cfg.delay_min..=self.cfg.delay_max);
             self.push(self.now + delay, Event::Deliver { to, from: p, msg });
         }
         let gen = self.timer_gen[p.index()];

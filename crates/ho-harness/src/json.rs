@@ -1,0 +1,165 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The sweep report is consumed by `crates/bench` and committed as
+//! `BENCH_sweep.json`; this module provides just enough JSON to write it
+//! without an external serializer (the build environment vendors no
+//! crates). Integers are kept exact — no `f64` round-trip for counters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer (counters, seeds, rounds).
+    UInt(u64),
+    /// A floating-point number (rates, seconds).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key–value pairs.
+    #[must_use]
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Serializes with two-space indentation.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Keep a decimal point so the value reads as a float.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let doc = Json::obj([
+            ("count", Json::UInt(18446744073709551615)),
+            ("rate", Json::Float(2.5)),
+            ("name", Json::Str("sweep \"v1\"\n".into())),
+            (
+                "items",
+                Json::Arr(vec![Json::UInt(1), Json::Null, Json::Bool(true)]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.pretty();
+        // Exact u64 survives.
+        assert!(s.contains("18446744073709551615"));
+        // Escaping.
+        assert!(s.contains("sweep \\\"v1\\\"\\n"));
+        // Keys are sorted deterministically.
+        let ci = s.find("\"count\"").unwrap();
+        let ri = s.find("\"rate\"").unwrap();
+        assert!(ci < ri);
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(3.0).pretty(), "3.0");
+        assert_eq!(Json::UInt(3).pretty(), "3");
+    }
+}

@@ -1,0 +1,45 @@
+//! # ho-harness — the parallel scenario-sweep harness
+//!
+//! Executes thousands of (algorithm × adversary × size × seed) consensus
+//! scenarios concurrently on the round-synchronous machine, collecting
+//! per-scenario verdicts — decided round, safety violations, message-cost
+//! accounting — into an aggregated, JSON-serializable [`SweepReport`].
+//!
+//! The sweep rides on the [`SendPlan`](ho_core::SendPlan) kernel: every
+//! scenario's message costs are recorded both as the kernel's payload
+//! allocations (`O(n)` per broadcast round) and as the clone count the old
+//! per-destination scheme would have paid (`O(n²)`), so
+//! `BENCH_sweep.json` tracks the refactor's effect release over release.
+//!
+//! ```
+//! use ho_harness::{AdversarySpec, AlgorithmSpec, Sweep};
+//!
+//! // 300 scenarios across every core: three algorithms, fifty seeds of
+//! // chaos-then-good and fifty of clean delivery. (UniformVoting is kept
+//! // out of empty-kernel chaos — its safety predicate P_nek forbids it,
+//! // and the sweep *does* catch the violation if you try.)
+//! let report = Sweep::new()
+//!     .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+//!     .adversaries([
+//!         AdversarySpec::FullDelivery,
+//!         AdversarySpec::EventuallyGood { bad_rounds: 4, loss: 0.5 },
+//!     ])
+//!     .sizes([4])
+//!     .seeds(0..50)
+//!     .run();
+//! assert_eq!(report.scenarios, 200);
+//! assert_eq!(report.violations, 0);
+//! assert!(report.verdicts.iter().all(|v| v.all_decided()));
+//! ```
+
+pub mod json;
+pub mod par;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use json::Json;
+pub use par::{default_threads, par_map};
+pub use report::{MessageTotals, SweepReport};
+pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, Verdict};
+pub use sweep::Sweep;

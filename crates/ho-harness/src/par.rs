@@ -1,0 +1,104 @@
+//! Work-stealing parallel map over scoped threads.
+//!
+//! The sweep's unit of work is one scenario — embarrassingly parallel, no
+//! shared mutable state. Workers pull indices from one atomic counter, so
+//! long scenarios never leave a thread idle while short ones pile up
+//! elsewhere (the same dynamic scheduling `rayon`'s `par_iter` provides;
+//! implemented on `std::thread::scope` because the build environment
+//! vendors no external crates).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order.
+///
+/// `threads == 1` degenerates to a sequential map (no thread spawn), which
+/// the sweep uses to measure single-core baselines.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the whole map, as
+/// a panicking `rayon` task would).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut labelled: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(items.len()) {
+            handles.push(scope.spawn(|| {
+                let mut out = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    out.push((i, f(&items[i])));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            labelled.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    labelled.sort_by_key(|(i, _)| *i);
+    labelled.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The number of workers to use by default: all available cores.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<u64> = (0..64).collect();
+        assert_eq!(
+            par_map(&items, 1, |&x| x + 1),
+            par_map(&items, 4, |&x| x + 1)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u64> = Vec::new();
+        assert!(par_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u64> = (0..256).collect();
+        par_map(&items, 4, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Give other workers a chance to pull from the queue.
+            std::thread::yield_now();
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+}

@@ -1,0 +1,207 @@
+//! Aggregated sweep results and their JSON form.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::scenario::Verdict;
+
+/// Message-cost totals across a sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageTotals {
+    /// Payload allocations under the SendPlan kernel.
+    pub payload_allocs: u64,
+    /// Messages delivered into mailboxes.
+    pub delivered: u64,
+    /// What the per-destination scheme would have deep-cloned.
+    pub legacy_clones: u64,
+    /// Rounds executed across all scenarios.
+    pub rounds: u64,
+}
+
+/// The aggregated outcome of a [`Sweep`](crate::Sweep) run.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-scenario verdicts, in grid order.
+    pub verdicts: Vec<Verdict>,
+    /// Number of scenarios executed.
+    pub scenarios: usize,
+    /// Scenarios in which every process decided.
+    pub decided: usize,
+    /// Scenarios that hit a consensus safety violation.
+    pub violations: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Throughput.
+    pub scenarios_per_sec: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Message-cost totals.
+    pub totals: MessageTotals,
+}
+
+impl SweepReport {
+    /// Folds verdicts into a report.
+    #[must_use]
+    pub fn aggregate(verdicts: Vec<Verdict>, elapsed: Duration, threads: usize) -> Self {
+        let scenarios = verdicts.len();
+        let decided = verdicts.iter().filter(|v| v.all_decided()).count();
+        let violations = verdicts.iter().filter(|v| !v.is_safe()).count();
+        let totals = MessageTotals {
+            payload_allocs: verdicts.iter().map(|v| v.payload_allocs).sum(),
+            delivered: verdicts.iter().map(|v| v.delivered_messages).sum(),
+            legacy_clones: verdicts.iter().map(|v| v.legacy_clones).sum(),
+            rounds: verdicts.iter().map(|v| v.rounds_run).sum(),
+        };
+        let wall_seconds = elapsed.as_secs_f64();
+        SweepReport {
+            scenarios,
+            decided,
+            violations,
+            wall_seconds,
+            scenarios_per_sec: if wall_seconds > 0.0 {
+                scenarios as f64 / wall_seconds
+            } else {
+                f64::INFINITY
+            },
+            threads,
+            totals,
+            verdicts,
+        }
+    }
+
+    /// The verdicts that hit a safety violation.
+    #[must_use]
+    pub fn violating(&self) -> Vec<&Verdict> {
+        self.verdicts.iter().filter(|v| !v.is_safe()).collect()
+    }
+
+    /// Per-(algorithm, adversary) decided/violation counts — the table the
+    /// sweep exists to produce.
+    #[must_use]
+    pub fn by_cell(&self) -> BTreeMap<(String, String), (usize, usize, usize)> {
+        let mut cells: BTreeMap<(String, String), (usize, usize, usize)> = BTreeMap::new();
+        for v in &self.verdicts {
+            let cell = cells
+                .entry((v.algorithm.to_owned(), v.adversary.clone()))
+                .or_default();
+            cell.0 += 1;
+            if v.all_decided() {
+                cell.1 += 1;
+            }
+            if !v.is_safe() {
+                cell.2 += 1;
+            }
+        }
+        cells
+    }
+
+    /// The JSON document `crates/bench` writes as `BENCH_sweep.json`.
+    ///
+    /// `include_verdicts` controls whether the full per-scenario list is
+    /// embedded (large) or only the aggregates and the per-cell table.
+    #[must_use]
+    pub fn to_json(&self, include_verdicts: bool) -> Json {
+        let cells: Vec<Json> = self
+            .by_cell()
+            .into_iter()
+            .map(|((alg, adv), (total, decided, violations))| {
+                Json::obj([
+                    ("algorithm", Json::Str(alg)),
+                    ("adversary", Json::Str(adv)),
+                    ("scenarios", Json::UInt(total as u64)),
+                    ("decided", Json::UInt(decided as u64)),
+                    ("violations", Json::UInt(violations as u64)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("scenarios", Json::UInt(self.scenarios as u64)),
+            ("decided", Json::UInt(self.decided as u64)),
+            ("violations", Json::UInt(self.violations as u64)),
+            ("wall_seconds", Json::Float(self.wall_seconds)),
+            ("scenarios_per_sec", Json::Float(self.scenarios_per_sec)),
+            ("threads", Json::UInt(self.threads as u64)),
+            (
+                "messages",
+                Json::obj([
+                    ("payload_allocs", Json::UInt(self.totals.payload_allocs)),
+                    ("delivered", Json::UInt(self.totals.delivered)),
+                    ("legacy_clones", Json::UInt(self.totals.legacy_clones)),
+                    ("rounds", Json::UInt(self.totals.rounds)),
+                ]),
+            ),
+            ("cells", Json::Arr(cells)),
+        ];
+        if include_verdicts {
+            fields.push((
+                "verdicts",
+                Json::Arr(self.verdicts.iter().map(verdict_json).collect()),
+            ));
+        }
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+}
+
+fn verdict_json(v: &Verdict) -> Json {
+    Json::obj([
+        ("id", Json::Str(v.id.clone())),
+        (
+            "decided_round",
+            v.decided_round.map_or(Json::Null, Json::UInt),
+        ),
+        ("decision", v.decision_value.map_or(Json::Null, Json::UInt)),
+        (
+            "violation",
+            v.violation.clone().map_or(Json::Null, Json::Str),
+        ),
+        ("rounds", Json::UInt(v.rounds_run)),
+        ("payload_allocs", Json::UInt(v.payload_allocs)),
+        ("delivered", Json::UInt(v.delivered_messages)),
+        ("legacy_clones", Json::UInt(v.legacy_clones)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AdversarySpec, AlgorithmSpec, Scenario};
+
+    fn verdicts(k: usize) -> Vec<Verdict> {
+        (0..k)
+            .map(|i| {
+                Scenario {
+                    algorithm: AlgorithmSpec::OneThirdRule,
+                    adversary: AdversarySpec::FullDelivery,
+                    n: 4,
+                    seed: i as u64,
+                    max_rounds: 20,
+                    cooldown_rounds: 0,
+                }
+                .run()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_shape() {
+        let report = SweepReport::aggregate(verdicts(3), Duration::from_millis(5), 2);
+        let json = report.to_json(true).pretty();
+        assert!(json.contains("\"scenarios\": 3"));
+        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"verdicts\""));
+        assert!(json.contains("one_third_rule/full_delivery"));
+        let without = report.to_json(false).pretty();
+        assert!(!without.contains("\"verdicts\""));
+    }
+
+    #[test]
+    fn by_cell_counts() {
+        let report = SweepReport::aggregate(verdicts(4), Duration::from_millis(1), 1);
+        let cells = report.by_cell();
+        let cell = cells
+            .get(&("one_third_rule".to_owned(), "full_delivery".to_owned()))
+            .unwrap();
+        assert_eq!(*cell, (4, 4, 0));
+    }
+}

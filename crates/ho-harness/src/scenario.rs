@@ -1,0 +1,371 @@
+//! The scenario space: (algorithm × adversary × size × seed) descriptors
+//! and the execution of one scenario on the round-synchronous machine.
+
+use ho_core::adversary::{
+    Adversary, CrashRecovery, EventuallyGood, FullDelivery, KernelOnly, Partition, RandomLoss,
+};
+use ho_core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use ho_core::executor::{RoundExecutor, RunError};
+use ho_core::process::ProcessSet;
+use ho_core::round::Round;
+use ho_core::HoAlgorithm;
+
+/// Which consensus algorithm a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// Algorithm 1 of the paper (broadcast, `P_otr`).
+    OneThirdRule,
+    /// Two-round voting phases (broadcast, needs `P_nek` for safety).
+    UniformVoting,
+    /// HO Paxos: four-round coordinator phases (unicast-heavy).
+    LastVoting,
+}
+
+impl AlgorithmSpec {
+    /// All supported algorithms.
+    pub const ALL: [AlgorithmSpec; 3] = [
+        AlgorithmSpec::OneThirdRule,
+        AlgorithmSpec::UniformVoting,
+        AlgorithmSpec::LastVoting,
+    ];
+
+    /// Stable name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmSpec::OneThirdRule => "one_third_rule",
+            AlgorithmSpec::UniformVoting => "uniform_voting",
+            AlgorithmSpec::LastVoting => "last_voting",
+        }
+    }
+}
+
+/// Which fault environment a scenario runs under. Parameters that the
+/// underlying adversaries draw randomly are derived deterministically from
+/// the scenario seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdversarySpec {
+    /// No transmission faults.
+    FullDelivery,
+    /// Independent per-transmission loss (the DT class).
+    RandomLoss {
+        /// Loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// A static partition into `blocks` contiguous blocks.
+    Partition {
+        /// Number of blocks (≥ 1).
+        blocks: usize,
+    },
+    /// Transient outages: each process is down for a seed-derived interval.
+    CrashRecovery,
+    /// Aggressive loss that always preserves a non-empty kernel
+    /// (UniformVoting's safety environment).
+    KernelOnly {
+        /// Loss probability for non-pivot transmissions.
+        loss: f64,
+    },
+    /// Chaos, then uniform delivery over all of Π (the liveness
+    /// environment of Theorem 1).
+    EventuallyGood {
+        /// Rounds of chaos before the good period.
+        bad_rounds: u64,
+        /// Loss probability during the chaos.
+        loss: f64,
+    },
+}
+
+impl AdversarySpec {
+    /// Stable name used in reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            AdversarySpec::FullDelivery => "full_delivery".into(),
+            AdversarySpec::RandomLoss { loss } => format!("random_loss_{loss}"),
+            AdversarySpec::Partition { blocks } => format!("partition_{blocks}"),
+            AdversarySpec::CrashRecovery => "crash_recovery".into(),
+            AdversarySpec::KernelOnly { loss } => format!("kernel_only_{loss}"),
+            AdversarySpec::EventuallyGood { bad_rounds, loss } => {
+                format!("eventually_good_{bad_rounds}_{loss}")
+            }
+        }
+    }
+
+    /// Builds the concrete adversary for `n` processes under `seed`.
+    #[must_use]
+    pub fn build(&self, n: usize, seed: u64) -> Box<dyn Adversary + Send> {
+        match *self {
+            AdversarySpec::FullDelivery => Box::new(FullDelivery),
+            AdversarySpec::RandomLoss { loss } => Box::new(RandomLoss::new(loss, seed)),
+            AdversarySpec::Partition { blocks } => {
+                let blocks = blocks.clamp(1, n);
+                // Contiguous blocks of (roughly) equal size.
+                let per = n.div_ceil(blocks);
+                let sets: Vec<ProcessSet> = (0..blocks)
+                    .map(|b| ProcessSet::from_indices((b * per)..(((b + 1) * per).min(n))))
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                Box::new(Partition::new(sets))
+            }
+            AdversarySpec::CrashRecovery => {
+                // Seed-derived outages: each process is down once, for a
+                // window whose start and length depend on the seed.
+                let outages: Vec<(usize, Round, Round)> = (0..n)
+                    .map(|q| {
+                        let h = mix(seed, q as u64);
+                        let start = 1 + h % 8;
+                        let len = 1 + (h >> 8) % 4;
+                        (q, Round(start), Round(start + len))
+                    })
+                    .collect();
+                Box::new(CrashRecovery::new(n, &outages))
+            }
+            AdversarySpec::KernelOnly { loss } => Box::new(KernelOnly::new(loss, seed)),
+            AdversarySpec::EventuallyGood { bad_rounds, loss } => Box::new(EventuallyGood::new(
+                bad_rounds,
+                ProcessSet::full(n),
+                loss,
+                seed,
+            )),
+        }
+    }
+}
+
+/// SplitMix64-style mixing for seed-derived scenario parameters.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One cell of the sweep: a fully determined run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The algorithm under test.
+    pub algorithm: AlgorithmSpec,
+    /// The fault environment.
+    pub adversary: AdversarySpec,
+    /// Number of processes.
+    pub n: usize,
+    /// The seed deriving initial values and adversary randomness.
+    pub seed: u64,
+    /// Round budget before the run is declared undecided.
+    pub max_rounds: u64,
+    /// Extra rounds to keep executing *after* every process has decided,
+    /// with the safety checker still observing — this is what turns
+    /// "decided" into "decided irrevocably": a decision revoked or changed
+    /// in any cooldown round surfaces as a violation.
+    pub cooldown_rounds: u64,
+}
+
+impl Scenario {
+    /// Seed-derived initial values: a small value domain so that quorums
+    /// and ties are actually exercised.
+    #[must_use]
+    pub fn initial_values(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|p| mix(self.seed, 0x5eed ^ p as u64) % 5)
+            .collect()
+    }
+
+    /// A stable identifier for reports.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/n{}/s{}",
+            self.algorithm.name(),
+            self.adversary.name(),
+            self.n,
+            self.seed
+        )
+    }
+
+    /// Executes the scenario to completion and reports the verdict.
+    #[must_use]
+    pub fn run(&self) -> Verdict {
+        match self.algorithm {
+            AlgorithmSpec::OneThirdRule => self.run_with(OneThirdRule::new(self.n)),
+            AlgorithmSpec::UniformVoting => self.run_with(UniformVoting::new(self.n)),
+            AlgorithmSpec::LastVoting => self.run_with(LastVoting::new(self.n)),
+        }
+    }
+
+    fn run_with<A>(&self, alg: A) -> Verdict
+    where
+        A: HoAlgorithm<Value = u64>,
+    {
+        let start = std::time::Instant::now();
+        let mut adversary = self.adversary.build(self.n, self.seed);
+        let mut exec = RoundExecutor::new(alg, self.initial_values());
+        let (decided_round, mut violation) =
+            match exec.run_until_all_decided(&mut adversary, self.max_rounds) {
+                Ok(r) => (Some(r.get()), None),
+                Err(RunError::MaxRoundsExceeded { .. }) => (None, None),
+                Err(RunError::Violation(v)) => (None, Some(v.to_string())),
+            };
+        if violation.is_none() && self.cooldown_rounds > 0 {
+            // Keep the machine running past the decision (or the budget):
+            // the checker observes every round, so a revoked or changed
+            // decision here becomes the verdict's violation.
+            if let Err(RunError::Violation(v)) = exec.run(&mut adversary, self.cooldown_rounds) {
+                violation = Some(v.to_string());
+            }
+        }
+        let stats = exec.message_stats();
+        Verdict {
+            id: self.id(),
+            algorithm: self.algorithm.name(),
+            adversary: self.adversary.name(),
+            n: self.n,
+            seed: self.seed,
+            decided_round,
+            decided_processes: exec.checker().decided().len(),
+            decision_value: exec.checker().decision_value().copied(),
+            violation,
+            rounds_run: exec.current_round().get(),
+            payload_allocs: stats.payload_allocs,
+            delivered_messages: stats.delivered,
+            legacy_clones: stats.legacy_clones(),
+            wall_nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// The outcome of one scenario.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The scenario identifier ([`Scenario::id`]).
+    pub id: String,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Adversary name.
+    pub adversary: String,
+    /// Number of processes.
+    pub n: usize,
+    /// The scenario seed.
+    pub seed: u64,
+    /// The round by which *all* processes had decided, if they did.
+    pub decided_round: Option<u64>,
+    /// How many processes had decided when the run ended.
+    pub decided_processes: usize,
+    /// The common decision value, if anyone decided.
+    pub decision_value: Option<u64>,
+    /// A consensus safety violation (agreement, integrity/validity, or
+    /// irrevocability), if the checker caught one.
+    pub violation: Option<String>,
+    /// Rounds actually executed.
+    pub rounds_run: u64,
+    /// Payload allocations under the SendPlan kernel (O(n) per broadcast
+    /// round).
+    pub payload_allocs: u64,
+    /// Messages delivered into mailboxes.
+    pub delivered_messages: u64,
+    /// What the per-destination scheme would have deep-cloned (O(n²) per
+    /// broadcast round).
+    pub legacy_clones: u64,
+    /// Wall-clock nanoseconds for this scenario.
+    pub wall_nanos: u64,
+}
+
+impl Verdict {
+    /// Whether the run was safe (possibly undecided, but never wrong).
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Whether every process decided within the budget.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.decided_round.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(algorithm: AlgorithmSpec, adversary: AdversarySpec) -> Scenario {
+        Scenario {
+            algorithm,
+            adversary,
+            n: 4,
+            seed: 7,
+            max_rounds: 60,
+            cooldown_rounds: 0,
+        }
+    }
+
+    #[test]
+    fn cooldown_rounds_run_past_the_decision() {
+        let mut s = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery);
+        let before = s.run();
+        s.cooldown_rounds = 25;
+        let after = s.run();
+        assert_eq!(before.decided_round, after.decided_round);
+        assert!(after.is_safe(), "decisions must survive the cooldown");
+        assert_eq!(
+            after.rounds_run,
+            before.rounds_run + 25,
+            "cooldown rounds actually execute"
+        );
+    }
+
+    #[test]
+    fn full_delivery_decides_quickly() {
+        let v = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery).run();
+        assert!(v.is_safe());
+        assert!(v.all_decided());
+        assert!(v.decided_round.unwrap() <= 3);
+        // Validity: the decision is one of the proposals.
+        let s = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery);
+        assert!(s.initial_values().contains(&v.decision_value.unwrap()));
+    }
+
+    #[test]
+    fn partition_blocks_are_disjoint_and_cover() {
+        for n in 1..=9 {
+            for blocks in 1..=4 {
+                let _ = AdversarySpec::Partition { blocks }.build(n, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_counts_plan_allocs_below_legacy_clones() {
+        let v = scenario(
+            AlgorithmSpec::OneThirdRule,
+            AdversarySpec::EventuallyGood {
+                bad_rounds: 3,
+                loss: 0.5,
+            },
+        )
+        .run();
+        // Broadcast algorithm at n = 4: the plan kernel allocates n per
+        // round, the legacy scheme would clone up to n² per round.
+        assert!(v.payload_allocs < v.legacy_clones);
+        assert_eq!(v.payload_allocs, 4 * v.rounds_run);
+    }
+
+    #[test]
+    fn same_seed_same_verdict() {
+        let s = scenario(
+            AlgorithmSpec::LastVoting,
+            AdversarySpec::RandomLoss { loss: 0.3 },
+        );
+        let a = s.run();
+        let b = s.run();
+        assert_eq!(a.decided_round, b.decided_round);
+        assert_eq!(a.decision_value, b.decision_value);
+        assert_eq!(a.delivered_messages, b.delivered_messages);
+    }
+
+    #[test]
+    fn crash_recovery_outages_are_seed_deterministic() {
+        let s = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::CrashRecovery);
+        assert_eq!(s.run().decided_round, s.run().decided_round);
+    }
+}

@@ -22,6 +22,8 @@
 //! loop with `rp`, `sp` read back from stable storage and `msgsRcv`,
 //! `next_rp` reinitialized.
 
+use std::sync::Arc;
+
 use ho_core::algorithm::{HoAlgorithm, HoAlgorithmExt};
 use ho_core::process::ProcessId;
 use ho_core::round::Round;
@@ -29,15 +31,32 @@ use ho_core::Mailbox;
 use ho_sim::program::{policy, Program, StepKind};
 
 use crate::record::{RoundLog, RoundRecord};
+use crate::StoredMsgs;
 
 /// The wire format of Algorithm 2: the upper layer's round-`round` message.
+///
+/// The payload is the upper layer's [`SendPlan`](ho_core::SendPlan)
+/// broadcast payload, carried by reference count: the engine's `send to
+/// all` fans one `Arc` out to `n` destinations, so a round costs one
+/// payload allocation per sender instead of one per transmission.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Alg2Msg<M> {
     /// The round this message belongs to.
     pub round: u64,
     /// The payload produced by the upper layer's sending function
     /// (`None` if `S_p^r` produced no broadcast message).
-    pub payload: Option<M>,
+    pub payload: Option<Arc<M>>,
+}
+
+impl<M> Alg2Msg<M> {
+    /// Builds a wire message, wrapping the payload for shared fan-out.
+    #[must_use]
+    pub fn new(round: u64, payload: Option<M>) -> Self {
+        Alg2Msg {
+            round,
+            payload: payload.map(Arc::new),
+        }
+    }
 }
 
 /// The stable-storage image of Algorithm 2 (`rp` and `sp`; §4.2.1 notes the
@@ -60,7 +79,7 @@ pub struct Alg2Program<A: HoAlgorithm> {
     state: A::State,
     round: u64,
     next_round: u64,
-    msgs: Vec<(ProcessId, u64, Option<A::Message>)>,
+    msgs: StoredMsgs<A>,
     i: u64,
     sending: bool,
     // ---- stable storage ----
@@ -138,7 +157,8 @@ impl<A: HoAlgorithm> Alg2Program<A> {
             if *mr == r && !seen.contains(*q) {
                 seen.insert(*q);
                 if let Some(m) = payload {
-                    mailbox.push(*q, m.clone());
+                    // Share the payload with the mailbox — no deep clone.
+                    mailbox.push_shared(*q, Arc::clone(m));
                 }
             }
         }
@@ -177,9 +197,12 @@ impl<A: HoAlgorithm> Program for Alg2Program<A> {
         if self.sending {
             self.sending = false;
             self.i = 0;
+            // Consume S_p^r's plan directly: the broadcast payload's Arc is
+            // threaded straight onto the wire, allocated exactly once.
             let payload = self
                 .alg
-                .broadcast_message(Round(self.round), self.p, &self.state);
+                .send(Round(self.round), self.p, &self.state)
+                .into_broadcast_payload();
             StepKind::SendAll(Alg2Msg {
                 round: self.round,
                 payload,
@@ -245,20 +268,9 @@ mod tests {
     use crate::bounds::BoundParams;
     use crate::record::SystemTrace;
 
-    fn make_programs(
-        n: usize,
-        timeout: u64,
-        values: &[u64],
-    ) -> Vec<Alg2Program<OneThirdRule>> {
+    fn make_programs(n: usize, timeout: u64, values: &[u64]) -> Vec<Alg2Program<OneThirdRule>> {
         (0..n)
-            .map(|p| {
-                Alg2Program::new(
-                    OneThirdRule::new(n),
-                    ProcessId::new(p),
-                    values[p],
-                    timeout,
-                )
-            })
+            .map(|p| Alg2Program::new(OneThirdRule::new(n), ProcessId::new(p), values[p], timeout))
             .collect()
     }
 
@@ -278,10 +290,10 @@ mod tests {
         });
         st.observe(sim.programs(), sim.now().get());
         assert!(decided, "OTR over Algorithm 2 decides in a Π-good period");
-        assert!(sim
-            .programs()
-            .iter()
-            .all(|p| p.decision() == Some(1)), "smallest value wins");
+        assert!(
+            sim.programs().iter().all(|p| p.decision() == Some(1)),
+            "smallest value wins"
+        );
 
         // Every executed round is space uniform over Π (Lemma B.6).
         let (rho0, _) = st
@@ -339,7 +351,10 @@ mod tests {
         prog.on_recover();
         assert_eq!(prog.round(), 2, "stable storage preserved rp");
         assert_eq!(prog.crash_count(), 1);
-        assert!(matches!(prog.next_step(), StepKind::SendAll(_)), "restarts at line 6");
+        assert!(
+            matches!(prog.next_step(), StepKind::SendAll(_)),
+            "restarts at line 6"
+        );
     }
 
     #[test]
@@ -352,17 +367,14 @@ mod tests {
         // A round-7 message arrives: jump to round 7 immediately (lines
         // 17–18), executing rounds 1..6 (round 1 with the stored payload
         // absent — only the round-7 message is stored).
-        prog.on_receive(Some((
-            ProcessId::new(1),
-            Alg2Msg {
-                round: 7,
-                payload: Some(9u64),
-            },
-        )));
+        prog.on_receive(Some((ProcessId::new(1), Alg2Msg::new(7, Some(9u64)))));
         assert_eq!(prog.round(), 7);
         // Records: rounds 1..=6 executed (1 real + 5 empty).
         assert_eq!(prog.records().len(), 6);
-        assert!(prog.records().iter().all(|r| r.ho.is_empty() || r.round == 1));
+        assert!(prog
+            .records()
+            .iter()
+            .all(|r| r.ho.is_empty() || r.round == 1));
     }
 
     #[test]
@@ -373,24 +385,12 @@ mod tests {
         let _ = prog.next_step();
         // Jump to round 3.
         let _ = prog.next_step();
-        prog.on_receive(Some((
-            ProcessId::new(1),
-            Alg2Msg {
-                round: 3,
-                payload: Some(1u64),
-            },
-        )));
+        prog.on_receive(Some((ProcessId::new(1), Alg2Msg::new(3, Some(1u64)))));
         assert_eq!(prog.round(), 3);
         // A late round-1 message must not be stored.
         let before = prog.msgs.len();
         let _ = prog.next_step();
-        prog.on_receive(Some((
-            ProcessId::new(2),
-            Alg2Msg {
-                round: 1,
-                payload: Some(2u64),
-            },
-        )));
+        prog.on_receive(Some((ProcessId::new(2), Alg2Msg::new(1, Some(2u64)))));
         assert_eq!(prog.msgs.len(), before);
     }
 
@@ -404,12 +404,7 @@ mod tests {
         let programs = make_programs(n, 8, &[1, 2, 3]);
         let mut sim = Simulator::new(cfg, schedule, programs);
         sim.run_for(TimePoint::new(200.0));
-        let max_round: u64 = sim
-            .programs()
-            .iter()
-            .map(|p| p.round())
-            .max()
-            .unwrap();
+        let max_round: u64 = sim.programs().iter().map(|p| p.round()).max().unwrap();
         // Each process sends at most one broadcast per round it entered.
         assert!(sim.stats().send_steps <= n as u64 * max_round);
     }

@@ -27,6 +27,8 @@
 //! late process forward immediately, giving fast synchronization at the
 //! start of a good period.
 
+use std::sync::Arc;
+
 use ho_core::algorithm::{HoAlgorithm, HoAlgorithmExt};
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::round::Round;
@@ -34,8 +36,12 @@ use ho_core::Mailbox;
 use ho_sim::program::{policy, Program, StepKind};
 
 use crate::record::{RoundLog, RoundRecord};
+use crate::StoredMsgs;
 
 /// The wire format of Algorithm 3.
+///
+/// Payloads are the upper layer's [`SendPlan`](ho_core::SendPlan) broadcast
+/// payloads, carried by reference count (see [`Alg2Msg`](crate::Alg2Msg)).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Alg3Msg<M> {
     /// `⟨ROUND, r, msg⟩`: the sender is in round `r`; `msg` is the upper
@@ -44,7 +50,7 @@ pub enum Alg3Msg<M> {
         /// The sender's round.
         round: u64,
         /// Upper-layer payload for `round`.
-        payload: Option<M>,
+        payload: Option<Arc<M>>,
     },
     /// `⟨INIT, ρ, msg⟩`: the sender wants to enter round `ρ`; `msg` is its
     /// round-`ρ−1` message (so an INIT also counts as a round-`ρ−1`
@@ -53,11 +59,29 @@ pub enum Alg3Msg<M> {
         /// The round the sender wants to enter.
         round: u64,
         /// Upper-layer payload for `round − 1`.
-        payload: Option<M>,
+        payload: Option<Arc<M>>,
     },
 }
 
 impl<M> Alg3Msg<M> {
+    /// Builds a ROUND message, wrapping the payload for shared fan-out.
+    #[must_use]
+    pub fn round(round: u64, payload: Option<M>) -> Self {
+        Alg3Msg::Round {
+            round,
+            payload: payload.map(Arc::new),
+        }
+    }
+
+    /// Builds an INIT message, wrapping the payload for shared fan-out.
+    #[must_use]
+    pub fn init(round: u64, payload: Option<M>) -> Self {
+        Alg3Msg::Init {
+            round,
+            payload: payload.map(Arc::new),
+        }
+    }
+
     /// The round number used by the reception policy (the wire round).
     #[must_use]
     pub fn wire_round(&self) -> u64 {
@@ -133,7 +157,7 @@ pub struct Alg3Program<A: HoAlgorithm> {
     state: A::State,
     round: u64,
     next_round: u64,
-    msgs: Vec<(ProcessId, u64, Option<A::Message>)>,
+    msgs: StoredMsgs<A>,
     /// Distinct senders of `⟨INIT, ρ, −⟩` per target round `ρ > round`.
     init_senders: Vec<(u64, ProcessSet)>,
     i: u64,
@@ -289,7 +313,8 @@ impl<A: HoAlgorithm> Alg3Program<A> {
             if *mr == r && !seen.contains(*q) {
                 seen.insert(*q);
                 if let Some(m) = payload {
-                    mailbox.push(*q, m.clone());
+                    // Share the payload with the mailbox — no deep clone.
+                    mailbox.push_shared(*q, Arc::clone(m));
                 }
             }
         }
@@ -328,9 +353,12 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
             Mode::SendRound => {
                 self.mode = Mode::Recv;
                 self.i = 0;
+                // Consume S_p^r's plan directly: one payload allocation,
+                // shared across the broadcast's n destinations.
                 let payload = self
                     .alg
-                    .broadcast_message(Round(self.round), self.p, &self.state);
+                    .send(Round(self.round), self.p, &self.state)
+                    .into_broadcast_payload();
                 StepKind::SendAll(Alg3Msg::Round {
                     round: self.round,
                     payload,
@@ -342,7 +370,8 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
                 self.init_sent_this_round = true;
                 let payload = self
                     .alg
-                    .broadcast_message(Round(self.round), self.p, &self.state);
+                    .send(Round(self.round), self.p, &self.state)
+                    .into_broadcast_payload();
                 StepKind::SendAll(Alg3Msg::Init {
                     round: self.round + 1,
                     payload,
@@ -357,15 +386,12 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
 
     fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize> {
         match self.policy {
-            Alg3Policy::RoundRobin => policy::round_robin_highest(
-                buffer,
-                self.recv_steps,
-                self.alg.n(),
-                |m| m.wire_round(),
-            ),
-            Alg3Policy::HighestFirst => {
-                policy::highest_round_first(buffer, |m| m.wire_round())
+            Alg3Policy::RoundRobin => {
+                policy::round_robin_highest(buffer, self.recv_steps, self.alg.n(), |m| {
+                    m.wire_round()
+                })
             }
+            Alg3Policy::HighestFirst => policy::highest_round_first(buffer, |m| m.wire_round()),
         }
     }
 
@@ -379,11 +405,7 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
                     }
                 };
                 // Store at most one payload per (round, sender).
-                if !self
-                    .msgs
-                    .iter()
-                    .any(|(s, mr, _)| *s == q && *mr == content)
-                {
+                if !self.msgs.iter().any(|(s, mr, _)| *s == q && *mr == content) {
                     self.msgs.push((q, content, payload));
                 }
             }
@@ -526,23 +548,14 @@ mod tests {
         let alg = OneThirdRule::new(n);
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, f, 1000);
         let _ = prog.next_step(); // ROUND 1 broadcast
-        // f + 1 = 3 distinct INITs for round 2 advance us to round 2.
+                                  // f + 1 = 3 distinct INITs for round 2 advance us to round 2.
         for q in 1..=3 {
             assert_eq!(prog.next_step(), StepKind::Receive);
-            prog.on_receive(Some((
-                ProcessId::new(q),
-                Alg3Msg::Init {
-                    round: 2,
-                    payload: Some(7u64),
-                },
-            )));
+            prog.on_receive(Some((ProcessId::new(q), Alg3Msg::init(2, Some(7u64)))));
         }
         assert_eq!(prog.round(), 2);
         // The INITs also contributed round-1 payloads: HO(0, 1) = {1, 2, 3}.
-        assert_eq!(
-            prog.records()[0].ho,
-            ProcessSet::from_indices([1, 2, 3])
-        );
+        assert_eq!(prog.records()[0].ho, ProcessSet::from_indices([1, 2, 3]));
     }
 
     #[test]
@@ -582,13 +595,7 @@ mod tests {
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 2, 1000);
         let _ = prog.next_step();
         let _ = prog.next_step();
-        prog.on_receive(Some((
-            ProcessId::new(3),
-            Alg3Msg::Round {
-                round: 9,
-                payload: Some(1u64),
-            },
-        )));
+        prog.on_receive(Some((ProcessId::new(3), Alg3Msg::round(9, Some(1u64)))));
         assert_eq!(prog.round(), 9, "ROUND message for r′ > rp jumps to r′");
     }
 
@@ -598,8 +605,8 @@ mod tests {
         let alg = OneThirdRule::new(n);
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 1, 2);
         let _ = prog.next_step(); // ROUND
-        // Two empty receives reach the timeout → INIT; then the pattern
-        // re-arms every receive step.
+                                  // Two empty receives reach the timeout → INIT; then the pattern
+                                  // re-arms every receive step.
         let _ = prog.next_step();
         prog.on_receive(None);
         let _ = prog.next_step();
@@ -626,18 +633,15 @@ mod tests {
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 1, 1000);
         let _ = prog.next_step();
         let _ = prog.next_step();
-        prog.on_receive(Some((
-            ProcessId::new(1),
-            Alg3Msg::Round {
-                round: 4,
-                payload: Some(2u64),
-            },
-        )));
+        prog.on_receive(Some((ProcessId::new(1), Alg3Msg::round(4, Some(2u64)))));
         assert_eq!(prog.round(), 4);
         prog.on_crash();
         prog.on_recover();
         assert_eq!(prog.round(), 4, "rp restored from stable storage");
-        assert!(matches!(prog.next_step(), StepKind::SendAll(Alg3Msg::Round { round: 4, .. })));
+        assert!(matches!(
+            prog.next_step(),
+            StepKind::SendAll(Alg3Msg::Round { round: 4, .. })
+        ));
     }
 
     #[test]
@@ -646,8 +650,7 @@ mod tests {
         // variations §5 attributes to [20, 24]).
         let n = 5;
         let alg = OneThirdRule::new(n);
-        let mut prog =
-            Alg3Program::new(alg, ProcessId::new(0), 5u64, 2, 1000).with_init_quorum(1);
+        let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 2, 1000).with_init_quorum(1);
         assert_eq!(prog.init_quorum(), 1);
         assert_eq!(prog.resilience(), 2);
         let _ = prog.next_step();
@@ -697,8 +700,8 @@ mod tests {
         use crate::alg3::InitResend;
         let n = 3;
         let alg = OneThirdRule::new(n);
-        let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 1, 2)
-            .with_resend(InitResend::Once);
+        let mut prog =
+            Alg3Program::new(alg, ProcessId::new(0), 5u64, 1, 2).with_resend(InitResend::Once);
         let _ = prog.next_step(); // ROUND
         for _ in 0..10 {
             match prog.next_step() {

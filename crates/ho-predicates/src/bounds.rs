@@ -32,7 +32,10 @@ impl BoundParams {
     /// Panics unless `n ≥ 1`, `φ ≥ 1`, `δ > 0`.
     #[must_use]
     pub fn new(n: usize, phi: f64, delta: f64) -> Self {
-        assert!(n >= 1 && phi >= 1.0 && delta > 0.0, "invalid bound parameters");
+        assert!(
+            n >= 1 && phi >= 1.0 && delta > 0.0,
+            "invalid bound parameters"
+        );
         BoundParams { n, phi, delta }
     }
 
@@ -166,13 +169,11 @@ mod tests {
             for phi in [1.0, 1.5, 2.0] {
                 for delta in [0.5, 2.0, 10.0] {
                     let p = BoundParams::new(n, phi, delta);
-                    let lit = (6.0 * delta + 3.0 * n as f64 * phi + 6.0 * phi + 3.0) * phi
-                        + delta
-                        + phi;
+                    let lit =
+                        (6.0 * delta + 3.0 * n as f64 * phi + 6.0 * phi + 3.0) * phi + delta + phi;
                     assert!((p.corollary4_p2otr() - lit).abs() < 1e-9);
-                    let lit11 = (4.0 * delta + 2.0 * n as f64 * phi + 4.0 * phi + 2.0) * phi
-                        + delta
-                        + phi;
+                    let lit11 =
+                        (4.0 * delta + 2.0 * n as f64 * phi + 4.0 * phi + 2.0) * phi + delta + phi;
                     assert!((p.corollary4_p11otr_each() - lit11).abs() < 1e-9);
                 }
             }

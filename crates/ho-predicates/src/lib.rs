@@ -28,6 +28,15 @@
 //! assert!(m.within_bound(params.delta + params.phi + 1.0));
 //! ```
 
+use std::sync::Arc;
+
+use ho_core::algorithm::HoAlgorithm;
+use ho_core::process::ProcessId;
+
+/// Messages stored for pending rounds by Algorithms 2 and 3:
+/// `(sender, round, shared payload)`.
+pub(crate) type StoredMsgs<A> = Vec<(ProcessId, u64, Option<Arc<<A as HoAlgorithm>::Message>>)>;
+
 pub mod alg2;
 pub mod alg3;
 pub mod bounds;

@@ -259,9 +259,7 @@ pub fn measure_full_stack(
 
     let mut achieved_at = None;
     sim.run_until(deadline, |s| {
-        let done = pi0
-            .iter()
-            .all(|p| s.program(p).decision().is_some());
+        let done = pi0.iter().all(|p| s.program(p).decision().is_some());
         if done && achieved_at.is_none() {
             achieved_at = Some(s.now().get());
         }
@@ -356,8 +354,7 @@ mod tests {
         // The §4.2.2(c) bound counts rounds until P2_otr holds at the macro
         // level; the *decision* trails it by up to one macro-round of
         // micro-rounds, plus the usual observation slack.
-        let slack =
-            (f as f64 + 1.0) * params.alg3_round_cost() + alg3_slack(&params);
+        let slack = (f as f64 + 1.0) * params.alg3_round_cost() + alg3_slack(&params);
         assert!(m.within_bound(slack), "{m:?}");
         // Agreement among deciders.
         let decided: Vec<u64> = out.decisions.iter().flatten().copied().collect();

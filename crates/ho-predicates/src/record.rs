@@ -145,7 +145,7 @@ impl SystemTrace {
                     }
                 }
             }
-            if ok && best.map_or(true, |(_, t)| completed_at < t) {
+            if ok && best.is_none_or(|(_, t)| completed_at < t) {
                 best = Some((rho0, completed_at));
             }
         }
@@ -201,7 +201,7 @@ impl SystemTrace {
                 }
                 _ => false,
             });
-            if k && best.map_or(true, |(_, t)| done < t) {
+            if k && best.is_none_or(|(_, t)| done < t) {
                 best = Some((rho0, done));
             }
         }
@@ -236,7 +236,10 @@ mod tests {
         logs[0].0.push(rec(2, &[0]));
         logs[1].0.push(rec(1, &[0, 1]));
         st.observe(&logs, 5.0);
-        assert_eq!(st.ho(ProcessId::new(0), 1), Some((ProcessSet::from_indices([0, 1]), 1.0)));
+        assert_eq!(
+            st.ho(ProcessId::new(0), 1),
+            Some((ProcessSet::from_indices([0, 1]), 1.0))
+        );
         assert_eq!(st.ho(ProcessId::new(0), 2).unwrap().1, 5.0);
         assert_eq!(st.ho(ProcessId::new(1), 1).unwrap().1, 5.0);
     }

@@ -114,10 +114,7 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.n >= 1, "need at least one process");
         assert!(self.phi_minus > 0.0, "Φ− must be positive");
-        assert!(
-            self.phi_plus >= self.phi_minus,
-            "Φ+ must be at least Φ−"
-        );
+        assert!(self.phi_plus >= self.phi_minus, "Φ+ must be at least Φ−");
         assert!(self.delta > 0.0, "Δ must be positive");
     }
 }

@@ -194,11 +194,7 @@ impl<P: Program> Simulator<P> {
 
     /// Runs until `stop` returns true (checked after every event) or the
     /// clock passes `deadline`. Returns `true` iff `stop` fired.
-    pub fn run_until(
-        &mut self,
-        deadline: TimePoint,
-        mut stop: impl FnMut(&Self) -> bool,
-    ) -> bool {
+    pub fn run_until(&mut self, deadline: TimePoint, mut stop: impl FnMut(&Self) -> bool) -> bool {
         if stop(self) {
             return true;
         }
@@ -277,9 +273,7 @@ impl<P: Program> Simulator<P> {
             match self.cfg.step_timing {
                 StepTiming::WorstCase => self.cfg.phi_plus,
                 StepTiming::Fastest => self.cfg.phi_minus,
-                StepTiming::Jittered => {
-                    self.rng.gen_range(self.cfg.phi_minus..=self.cfg.phi_plus)
-                }
+                StepTiming::Jittered => self.rng.gen_range(self.cfg.phi_minus..=self.cfg.phi_plus),
             }
         } else {
             let (fast, slow) = self.bad_speed_band();
@@ -318,7 +312,7 @@ impl<P: Program> Simulator<P> {
                 PeriodKind::Bad(cfg) => Some(cfg),
                 PeriodKind::Good { .. } => None,
             })
-            .last()
+            .next_back()
             .unwrap_or_default()
     }
 
@@ -336,7 +330,9 @@ impl<P: Program> Simulator<P> {
             let rules = self.arbitrary_rules();
             if rules.crash_prob > 0.0 && self.rng.gen_bool(rules.crash_prob) {
                 self.crash(p, false);
-                let down_for = self.rng.gen_range(rules.min_down..=rules.max_down.max(rules.min_down));
+                let down_for = self
+                    .rng
+                    .gen_range(rules.min_down..=rules.max_down.max(rules.min_down));
                 let gen = self.slots[idx].step_gen;
                 self.push(self.now.after(down_for), Event::Recover { p, gen });
                 return;
@@ -346,9 +342,15 @@ impl<P: Program> Simulator<P> {
         match self.programs[idx].next_step() {
             StepKind::SendAll(m) => {
                 self.stats.send_steps += 1;
-                for q in 0..self.cfg.n {
+                self.stats.broadcast_sends += 1;
+                // Fan out one wire value to all n destinations. The clones
+                // here are shallow whenever the program threads its
+                // SendPlan payload through an `Arc` (as Algorithms 2 and 3
+                // do); the last destination takes the original by move.
+                for q in 0..self.cfg.n - 1 {
                     self.transmit(p, ProcessId::new(q), m.clone());
                 }
+                self.transmit(p, ProcessId::new(self.cfg.n - 1), m);
             }
             StepKind::SendTo(q, m) => {
                 self.stats.send_steps += 1;
@@ -410,11 +412,9 @@ impl<P: Program> Simulator<P> {
                 // receive-omission all end in non-reception (§2.3); they
                 // are sampled separately only for the statistics.
                 let rules = self.arbitrary_rules();
-                let dropped = (rules.send_omission > 0.0
-                    && self.rng.gen_bool(rules.send_omission))
+                let dropped = (rules.send_omission > 0.0 && self.rng.gen_bool(rules.send_omission))
                     || (rules.loss > 0.0 && self.rng.gen_bool(rules.loss))
-                    || (rules.receive_omission > 0.0
-                        && self.rng.gen_bool(rules.receive_omission));
+                    || (rules.receive_omission > 0.0 && self.rng.gen_bool(rules.receive_omission));
                 if dropped {
                     (true, 0.0)
                 } else {
@@ -528,9 +528,9 @@ impl<P: Program> Simulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ho_core::process::ProcessSet;
     use crate::config::BadPeriodConfig;
     use crate::schedule::Period;
+    use ho_core::process::ProcessSet;
 
     /// Broadcasts a counter, then receives forever; records everything.
     #[derive(Clone, Debug, Default)]
@@ -598,7 +598,7 @@ mod tests {
         let mut sim = all_good_sim(2, 2.0, 1.0);
         sim.run_for(TimePoint::new(100.0));
         let steps = sim.stats().total_steps();
-        assert!(steps >= 2 * 45 && steps <= 2 * 51, "got {steps}");
+        assert!((2 * 45..=2 * 51).contains(&steps), "got {steps}");
     }
 
     #[test]

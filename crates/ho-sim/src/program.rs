@@ -14,6 +14,11 @@ use ho_core::process::ProcessId;
 pub enum StepKind<M> {
     /// A send step: broadcast `m` to all processes (including the sender —
     /// `send_p(m) to all` puts `m` into `network_s` for all `s ∈ Π`).
+    ///
+    /// The engine clones `m` per destination; programs wrapping an
+    /// [`HoAlgorithm`](ho_core::HoAlgorithm) should thread the algorithm's
+    /// [`SendPlan`](ho_core::SendPlan) broadcast payload (an `Arc`) into
+    /// `m` so those clones stay shallow — see `ho-predicates`'s `Alg2Msg`.
     SendAll(M),
     /// A send step addressed to a single process.
     SendTo(ProcessId, M),

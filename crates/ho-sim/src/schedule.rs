@@ -120,7 +120,10 @@ impl Schedule {
         pi0: ProcessSet,
         kind: GoodKind,
     ) -> Self {
-        assert!(good_start > TimePoint::ZERO, "good period must start after 0");
+        assert!(
+            good_start > TimePoint::ZERO,
+            "good period must start after 0"
+        );
         Schedule::new(vec![
             Period {
                 start: TimePoint::ZERO,
@@ -144,7 +147,10 @@ impl Schedule {
         pi0: ProcessSet,
         kind: GoodKind,
     ) -> Self {
-        assert!(bad_len > 0.0 && good_len > 0.0, "period lengths must be positive");
+        assert!(
+            bad_len > 0.0 && good_len > 0.0,
+            "period lengths must be positive"
+        );
         let mut t = 0.0;
         let mut periods = Vec::new();
         for _ in 0..cycles {
@@ -255,7 +261,10 @@ mod tests {
         assert!(s.kind_at(TimePoint::new(5.0)).is_good());
         assert!(!s.kind_at(TimePoint::new(25.0)).is_good());
         assert!(s.kind_at(TimePoint::new(30.0)).is_good());
-        assert_eq!(s.next_good_start(TimePoint::new(26.0)), Some(TimePoint::new(30.0)));
+        assert_eq!(
+            s.next_good_start(TimePoint::new(26.0)),
+            Some(TimePoint::new(30.0))
+        );
     }
 
     #[test]

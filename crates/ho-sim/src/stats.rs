@@ -20,6 +20,10 @@ pub struct SimStats {
     pub crashes: u64,
     /// Recovery events.
     pub recoveries: u64,
+    /// Broadcast send steps (`SendAll`): one wire-message *value* fanned
+    /// out to `n` destinations. With `Arc`-shared payloads (the SendPlan
+    /// kernel), each such step costs one payload allocation, not `n`.
+    pub broadcast_sends: u64,
 }
 
 impl SimStats {

@@ -32,7 +32,11 @@ fn main() {
             "  seed {seed}: {}/{} decided{}",
             out.decided_count(),
             n,
-            if out.decided_count() < n { "   ← BLOCKED" } else { "" }
+            if out.decided_count() < n {
+                "   ← BLOCKED"
+            } else {
+                ""
+            }
         );
         blocked += usize::from(out.decided_count() < n);
     }

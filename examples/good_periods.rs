@@ -21,7 +21,10 @@ use heardof::predicates::measure::{
 
 fn main() {
     let params = BoundParams::new(4, 1.0, 2.0);
-    println!("n = {}, φ = {}, δ = {} (normalized: Φ− = 1)\n", params.n, params.phi, params.delta);
+    println!(
+        "n = {}, φ = {}, δ = {} (normalized: Φ− = 1)\n",
+        params.n, params.phi, params.delta
+    );
 
     // --- Algorithm 2, π0-down good periods. ----------------------------
     println!("Algorithm 2 → P_su(π0, ρ0, ρ0+1)   [two uniform rounds]");
@@ -66,9 +69,6 @@ fn main() {
         out.measurement.bound
     );
     let decided: Vec<_> = out.decisions.iter().flatten().collect();
-    println!(
-        "  decisions: {decided:?} ({} send steps)",
-        out.send_steps
-    );
+    println!("  decisions: {decided:?} ({} send steps)", out.send_steps);
     println!("\nAll measured lengths sit below the worst-case bounds, as the theorems promise.");
 }

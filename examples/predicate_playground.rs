@@ -26,7 +26,11 @@ fn record(adv: &mut impl Adversary, n: usize, rounds: u64) -> Trace {
 }
 
 fn check(name: &str, p: &dyn Predicate, t: &Trace) {
-    println!("{:>28}  {}", name, if p.holds(t) { "✓ holds" } else { "✗ fails" });
+    println!(
+        "{:>28}  {}",
+        name,
+        if p.holds(t) { "✓ holds" } else { "✗ fails" }
+    );
 }
 
 fn main() {
@@ -46,7 +50,11 @@ fn main() {
     t.push_round(vec![ProcessSet::full(n), pi0, pi0, pi0]); // kernel round
 
     println!("handcrafted trace ({} rounds):", t.rounds());
-    check("P_su(Π0, 2, 2)", &SpaceUniform::new(pi0, Round(2), Round(2)), &t);
+    check(
+        "P_su(Π0, 2, 2)",
+        &SpaceUniform::new(pi0, Round(2), Round(2)),
+        &t,
+    );
     check("P_k(Π0, 2, 3)", &Kernel::new(pi0, Round(2), Round(3)), &t);
     check("P2_otr(Π0)", &P2Otr::new(pi0), &t);
     check("P_otr", &Potr, &t);
@@ -72,11 +80,7 @@ fn main() {
     check("P_otr", &Potr, &t);
 
     println!("\ncrash-recovery (p3 down rounds 2..=4), 8 rounds:");
-    let t = record(
-        &mut CrashRecovery::new(n, &[(3, Round(2), Round(4))]),
-        n,
-        8,
-    );
+    let t = record(&mut CrashRecovery::new(n, &[(3, Round(2), Round(4))]), n, 8);
     check("P_otr", &Potr, &t);
     check("P_otr^restr", &PotrRestricted, &t);
 

@@ -23,7 +23,10 @@ fn main() {
     let decided_at = exec
         .run_until_all_decided(&mut FullDelivery, 10)
         .expect("decides");
-    println!("nice run:    all decided {:?} in round {decided_at:?}", exec.decisions()[0]);
+    println!(
+        "nice run:    all decided {:?} in round {decided_at:?}",
+        exec.decisions()[0]
+    );
 
     // --- A rough run: 8 rounds of 70% message loss, then stability. ----
     // The adversary model is the paper's DT fault class: any transmission
@@ -34,7 +37,10 @@ fn main() {
     let decided_at = exec
         .run_until_all_decided(&mut adversary, 50)
         .expect("decides once the predicate holds");
-    println!("rough run:   all decided {:?} in round {decided_at:?}", exec.decisions()[0]);
+    println!(
+        "rough run:   all decided {:?} in round {decided_at:?}",
+        exec.decisions()[0]
+    );
 
     // The interface between the two layers is the communication predicate:
     // the trace of heard-of sets witnesses P_otr, so Theorem 1 applies.

@@ -23,7 +23,6 @@ fn proposals(p: ProcessId, slot: u64) -> u64 {
     100 * slot + p.index() as u64
 }
 
-
 fn main() {
     let n = 5;
     let alg = RepeatedConsensus::new(OneThirdRule::new(n), proposals as fn(ProcessId, u64) -> u64);
@@ -71,6 +70,10 @@ fn main() {
     println!("\nprefix consistency verified across all replicas ✓");
     println!(
         "first slots: {:?} (slot k = smallest proposal 100k)",
-        &logs.iter().map(|l| l.len()).min().map(|m| &logs[0][..m.min(4)])
+        &logs
+            .iter()
+            .map(|l| l.len())
+            .min()
+            .map(|m| &logs[0][..m.min(4)])
     );
 }

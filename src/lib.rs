@@ -18,6 +18,9 @@
 //! * [`fd`] — the failure-detector baselines from the paper's appendix:
 //!   Chandra–Toueg ◇S consensus (crash-stop) and Aguilera et al. ◇Su
 //!   consensus (crash-recovery).
+//! * [`harness`] — the parallel scenario-sweep harness: thousands of
+//!   (algorithm × adversary × size × seed) runs fanned across every core,
+//!   with per-scenario verdicts and SendPlan message accounting.
 //!
 //! ## Quick start
 //!
@@ -37,5 +40,6 @@
 
 pub use ho_core as core;
 pub use ho_fd as fd;
+pub use ho_harness as harness;
 pub use ho_predicates as predicates;
 pub use ho_sim as sim;

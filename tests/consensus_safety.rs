@@ -17,21 +17,19 @@ use proptest::prelude::*;
 /// An arbitrary HO assignment: `rounds × n` process sets.
 fn arb_script(n: usize, rounds: usize) -> impl Strategy<Value = Vec<Vec<ProcessSet>>> {
     let mask = (1u128 << n) - 1;
-    proptest::collection::vec(
-        proptest::collection::vec(0u128..=mask, n),
-        rounds,
+    proptest::collection::vec(proptest::collection::vec(0u128..=mask, n), rounds).prop_map(
+        move |rows| {
+            rows.into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|bits| {
+                            ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0))
+                        })
+                        .collect()
+                })
+                .collect()
+        },
     )
-    .prop_map(move |rows| {
-        rows.into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|bits| {
-                        ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0))
-                    })
-                    .collect()
-            })
-            .collect()
-    })
 }
 
 fn arb_values(n: usize) -> impl Strategy<Value = Vec<u64>> {

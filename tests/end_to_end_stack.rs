@@ -10,9 +10,7 @@ use heardof::predicates::alg2::Alg2Program;
 use heardof::predicates::alg3::Alg3Program;
 use heardof::predicates::bounds::BoundParams;
 use heardof::predicates::record::SystemTrace;
-use heardof::sim::{
-    BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, TimePoint,
-};
+use heardof::sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, TimePoint};
 
 #[test]
 fn alg2_stack_decides_across_alternating_periods() {

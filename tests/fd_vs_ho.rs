@@ -17,7 +17,10 @@ fn criticism_1_ct_blocks_under_loss_ho_does_not() {
         let out = run_chandra_toueg(&FdScenario::lossy(3, 0.35, seed));
         ct_blocked |= out.decided_count() < 3;
     }
-    assert!(ct_blocked, "CT should block in at least one of 5 lossy runs");
+    assert!(
+        ct_blocked,
+        "CT should block in at least one of 5 lossy runs"
+    );
 
     for seed in 0..5 {
         let mut adv = RandomLoss::new(0.35, seed);
@@ -96,7 +99,8 @@ fn message_cost_comparison_failure_free() {
 fn ho_is_identical_code_across_fault_classes() {
     // One binary decision procedure, four fault classes (SP, ST, DP→n/a
     // benign, DT): the exact same OneThirdRule instance decides under all.
-    let runs: Vec<(&str, Box<dyn FnMut() -> Option<Round>>)> = vec![
+    type Run = Box<dyn FnMut() -> Option<Round>>;
+    let runs: Vec<(&str, Run)> = vec![
         (
             "SP (crash-stop)",
             Box::new(|| {

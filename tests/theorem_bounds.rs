@@ -49,13 +49,8 @@ fn theorem5_holds_across_parameters() {
     for (n, phi, delta) in [(4, 1.0, 2.0), (7, 1.0, 4.0), (10, 1.5, 3.0)] {
         let params = BoundParams::new(n, phi, delta);
         for x in [1u64, 2, 4] {
-            let m = measure_alg2_space_uniform(
-                params,
-                ProcessSet::full(n),
-                x,
-                Scenario::Initial,
-                9,
-            );
+            let m =
+                measure_alg2_space_uniform(params, ProcessSet::full(n), x, Scenario::Initial, 9);
             assert!(
                 m.within_bound(alg2_slack(&params)),
                 "n={n} φ={phi} δ={delta} x={x}: {m:?}"
@@ -77,7 +72,10 @@ fn theorem5_scales_linearly_in_x() {
     let d1 = lens[1] - lens[0];
     let d2 = lens[2] - lens[1];
     let d3 = lens[3] - lens[2];
-    assert!((d1 - d2).abs() < 2.0 && (d2 - d3).abs() < 2.0, "slopes {d1} {d2} {d3}");
+    assert!(
+        (d1 - d2).abs() < 2.0 && (d2 - d3).abs() < 2.0,
+        "slopes {d1} {d2} {d3}"
+    );
     // The per-round slope is at most the Theorem 5 per-round cost.
     assert!(d1 <= params.theorem5(1) + 1e-9);
 }
@@ -109,10 +107,7 @@ fn theorem7_holds_across_parameters() {
     for (n, f) in [(4usize, 1usize), (5, 2), (9, 4)] {
         let params = BoundParams::new(n, 1.0, 2.0);
         let m = measure_alg3_kernel(params, f, 2, Scenario::Initial, 3);
-        assert!(
-            m.within_bound(alg3_slack(&params)),
-            "n={n} f={f}: {m:?}"
-        );
+        assert!(m.within_bound(alg3_slack(&params)), "n={n} f={f}: {m:?}");
     }
 }
 
@@ -127,7 +122,8 @@ fn nice_vs_not_nice_ratio_shape() {
     assert!(ratio > 1.3 && ratio < 1.8, "bound ratio {ratio}");
 
     let init = measure_alg2_space_uniform(params, ProcessSet::full(4), 2, Scenario::Initial, 2);
-    let later = measure_alg2_space_uniform(params, ProcessSet::full(4), 2, Scenario::rough(50.0), 2);
+    let later =
+        measure_alg2_space_uniform(params, ProcessSet::full(4), 2, Scenario::rough(50.0), 2);
     let m_init = init.empirical_length().unwrap();
     let m_later = later.empirical_length().unwrap();
     assert!(

@@ -91,9 +91,8 @@ fn arb_kernel_script(
                     row.into_iter()
                         .enumerate()
                         .map(|(p, bits)| {
-                            let noisy = ProcessSet::from_indices(
-                                (0..n).filter(|i| bits & (1 << i) != 0),
-                            );
+                            let noisy =
+                                ProcessSet::from_indices((0..n).filter(|i| bits & (1 << i) != 0));
                             if pi0.contains(ProcessId::new(p)) {
                                 pi0.union(noisy)
                             } else {
