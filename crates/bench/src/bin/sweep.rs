@@ -1,10 +1,41 @@
 //! SW — scenario sweep baseline: writes `BENCH_sweep.json`.
+//!
+//! `sweep [--smoke] [PATH]` — runs the canonical grid (single-core and
+//! all-core passes) and writes the report. With `--smoke` a thinned grid
+//! runs instead (the CI job), the emitted JSON is parsed back to prove it
+//! round-trips, and a non-zero exit reports any safety violation.
+
+use ho_harness::Json;
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
-    let doc = bench::sweep::run_baseline();
-    std::fs::write(&path, format!("{doc}\n")).expect("write sweep report");
+    let mut smoke = false;
+    let mut path = "BENCH_sweep.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            path = arg;
+        }
+    }
+
+    let doc = bench::sweep::run_baseline(smoke);
+    let text = format!("{doc}\n");
+    std::fs::write(&path, &text).expect("write sweep report");
     println!("wrote {path}");
+
+    if smoke {
+        // The smoke contract: the report parses back and the safe grid
+        // stayed safe.
+        let parsed = Json::parse(&text).expect("sweep report must parse back");
+        let Json::Obj(map) = parsed else {
+            panic!("sweep report must be a JSON object");
+        };
+        match map.get("violations") {
+            Some(Json::UInt(0)) => println!("smoke ok: 0 violations, JSON parses"),
+            other => {
+                eprintln!("smoke FAILED: violations = {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

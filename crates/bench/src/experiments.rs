@@ -507,17 +507,13 @@ pub fn translation_table(trials: u64) -> Table {
         chaos: RandomLoss,
     }
     impl Adversary for KernelAdv {
-        fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-            let noisy = self.chaos.ho_sets(r, n);
-            (0..n)
-                .map(|p| {
-                    if self.pi0.contains(ProcessId::new(p)) {
-                        self.pi0.union(noisy[p])
-                    } else {
-                        noisy[p]
-                    }
-                })
-                .collect()
+        fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+            self.chaos.fill_ho_sets(r, ho);
+            for (p, slot) in ho.iter_mut().enumerate() {
+                if self.pi0.contains(ProcessId::new(p)) {
+                    *slot = self.pi0.union(*slot);
+                }
+            }
         }
     }
     for (n, f) in [(3usize, 1usize), (5, 2), (7, 3), (9, 4)] {

@@ -2,13 +2,25 @@
 //!
 //! Defines the canonical scenario grid (every algorithm, the full fault
 //! zoo, three system sizes, forty seeds) and the report document that
-//! tracks the SendPlan kernel's message economy: `clones_per_round_before`
-//! is what the per-destination `S_p^r` scheme deep-cloned, and
-//! `allocs_per_round_after` is what the plan kernel allocates. Future perf
-//! PRs regenerate the file with `cargo run --release -p bench --bin sweep`
-//! and diff the trajectory.
+//! tracks the round loop's cost model release over release:
+//!
+//! * the SendPlan kernel's message economy (`clones_per_round_before` is
+//!   what the per-destination `S_p^r` scheme deep-cloned,
+//!   `allocs_per_round_after` is what the plan kernel constructs);
+//! * the scratch-buffer reuse rate (`fresh_allocs_per_round` is what
+//!   actually reaches the allocator — ~0 for broadcast algorithms in
+//!   steady state);
+//! * throughput, measured twice: a single-core pass (comparable across
+//!   releases) and an all-core pass with the chunked work-stealing pool,
+//!   plus the scaling efficiency between them.
+//!
+//! Regenerate with `cargo run --release -p bench --bin sweep` and diff the
+//! trajectory; `--smoke` runs a thinned grid for CI (asserting zero safety
+//! violations and that the emitted JSON parses back).
 
-use ho_harness::{AdversarySpec, AlgorithmSpec, Json, Sweep, SweepReport};
+use std::time::Instant;
+
+use ho_harness::{default_threads, AdversarySpec, AlgorithmSpec, Json, Sweep, SweepReport};
 
 /// The canonical *safe* baseline grid: every cell must finish with zero
 /// violations.
@@ -72,19 +84,86 @@ pub fn pnek_counterexample_sweep() -> Sweep {
         .max_rounds(120)
 }
 
-/// Runs the baseline grid and merges the reports into the
-/// `BENCH_sweep.json` document.
-#[must_use]
-pub fn run_baseline() -> Json {
-    let reports: Vec<SweepReport> = baseline_sweeps().iter().map(Sweep::run).collect();
-    let counterexamples = pnek_counterexample_sweep().run();
+/// One timed pass over the whole baseline grid at a fixed worker count.
+struct Pass {
+    reports: Vec<SweepReport>,
+    wall: f64,
+    scenarios: u64,
+    threads: usize,
+}
 
-    let scenarios: u64 = reports.iter().map(|r| r.scenarios as u64).sum();
+fn run_pass(sweeps: &[Sweep], threads: usize) -> Pass {
+    let start = Instant::now();
+    let reports: Vec<SweepReport> = sweeps
+        .iter()
+        .map(|s| s.clone().threads(threads).run())
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    Pass {
+        scenarios: reports.iter().map(|r| r.scenarios as u64).sum(),
+        wall,
+        threads,
+        reports,
+    }
+}
+
+impl Pass {
+    fn scenarios_per_sec(&self) -> f64 {
+        if self.wall > 0.0 {
+            self.scenarios as f64 / self.wall
+        } else {
+            0.0
+        }
+    }
+
+    fn throughput_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_seconds", Json::Float(self.wall)),
+            ("scenarios_per_sec", Json::Float(self.scenarios_per_sec())),
+        ])
+    }
+}
+
+/// Runs the baseline grid and merges the reports into the
+/// `BENCH_sweep.json` document. The grid runs twice — single-core and
+/// all-core — so the file tracks both the round loop's raw speed and the
+/// harness's scaling. Pass `smoke = true` for the thinned CI variant
+/// (8 seeds, single pass).
+#[must_use]
+pub fn run_baseline(smoke: bool) -> Json {
+    let sweeps: Vec<Sweep> = if smoke {
+        baseline_sweeps()
+            .into_iter()
+            .map(|s| s.seeds(0..8))
+            .collect()
+    } else {
+        baseline_sweeps()
+    };
+
+    // Single-core pass: the release-over-release comparable number.
+    let single = run_pass(&sweeps, 1);
+    // All-core pass (on a single-core host this measures the same
+    // configuration and the efficiency is trivially ~1).
+    let threads = default_threads();
+    let multi = run_pass(&sweeps, threads);
+    // Near-linear scaling ⇔ efficiency ≈ 1.
+    let efficiency = multi.scenarios_per_sec() / (single.scenarios_per_sec() * threads as f64);
+
+    let counterexamples = if smoke {
+        pnek_counterexample_sweep().seeds(0..8).run()
+    } else {
+        pnek_counterexample_sweep().run()
+    };
+
+    let reports = &single.reports;
+    let scenarios: u64 = single.scenarios;
     let decided: u64 = reports.iter().map(|r| r.decided as u64).sum();
     let violations: u64 = reports.iter().map(|r| r.violations as u64).sum();
-    let wall: f64 = reports.iter().map(|r| r.wall_seconds).sum();
     let rounds: u64 = reports.iter().map(|r| r.totals.rounds).sum();
     let allocs: u64 = reports.iter().map(|r| r.totals.payload_allocs).sum();
+    let reuses: u64 = reports.iter().map(|r| r.totals.payload_reuses).sum();
+    let fresh: u64 = reports.iter().map(|r| r.totals.fresh_allocs()).sum();
     let legacy: u64 = reports.iter().map(|r| r.totals.legacy_clones).sum();
     let delivered: u64 = reports.iter().map(|r| r.totals.delivered).sum();
 
@@ -100,36 +179,66 @@ pub fn run_baseline() -> Json {
         .collect();
 
     Json::obj([
-        ("benchmark", Json::Str("sweep_baseline".into())),
+        (
+            "benchmark",
+            Json::Str(if smoke {
+                "sweep_smoke".into()
+            } else {
+                "sweep_baseline".into()
+            }),
+        ),
         ("scenarios", Json::UInt(scenarios)),
         ("decided", Json::UInt(decided)),
         ("violations", Json::UInt(violations)),
-        ("wall_seconds", Json::Float(wall)),
+        ("wall_seconds", Json::Float(single.wall)),
+        ("scenarios_per_sec", Json::Float(single.scenarios_per_sec())),
+        ("threads", Json::UInt(1)),
         (
-            "scenarios_per_sec",
-            Json::Float(if wall > 0.0 {
-                scenarios as f64 / wall
-            } else {
-                0.0
-            }),
-        ),
-        (
-            "threads",
-            Json::UInt(reports.first().map_or(1, |r| r.threads as u64)),
+            "throughput",
+            Json::obj([
+                ("single_core", single.throughput_json()),
+                ("all_cores", multi.throughput_json()),
+                ("threads_available", Json::UInt(threads as u64)),
+                ("scaling_efficiency", Json::Float(efficiency)),
+            ]),
         ),
         (
             "sendplan",
             Json::obj([
                 ("rounds", Json::UInt(rounds)),
                 ("payload_allocs", Json::UInt(allocs)),
+                ("payload_reuses", Json::UInt(reuses)),
+                ("fresh_allocs", Json::UInt(fresh)),
                 ("legacy_clones", Json::UInt(legacy)),
                 ("delivered", Json::UInt(delivered)),
                 ("allocs_per_round_after", Json::Float(ratio(allocs, rounds))),
+                ("fresh_allocs_per_round", Json::Float(ratio(fresh, rounds))),
                 (
                     "clones_per_round_before",
                     Json::Float(ratio(legacy, rounds)),
                 ),
                 ("reduction_factor", Json::Float(ratio(legacy, allocs))),
+            ]),
+        ),
+        (
+            "baseline_prev",
+            // The figures committed in the pre-optimisation
+            // BENCH_sweep.json (single core, SendPlan kernel but per-round
+            // allocating executor), kept here so the file itself reads as
+            // a before/after table. `speedup_single_core` is this run
+            // against that reference; an interleaved same-machine A/B of
+            // the two binaries shows the same factor.
+            Json::obj([
+                ("scenarios_per_sec", Json::Float(PREV_SCENARIOS_PER_SEC)),
+                ("allocs_per_round", Json::Float(PREV_ALLOCS_PER_ROUND)),
+                (
+                    "speedup_single_core",
+                    Json::Float(single.scenarios_per_sec() / PREV_SCENARIOS_PER_SEC),
+                ),
+                (
+                    "fresh_allocs_per_round_now",
+                    Json::Float(ratio(fresh, rounds)),
+                ),
             ]),
         ),
         ("cells", Json::Arr(cells)),
@@ -145,6 +254,14 @@ pub fn run_baseline() -> Json {
         ),
     ])
 }
+
+/// Single-core throughput of the previous committed `BENCH_sweep.json`
+/// (the PR that introduced the SendPlan kernel and this harness).
+const PREV_SCENARIOS_PER_SEC: f64 = 21_600.37;
+
+/// Payload allocations per round in that baseline — every construction hit
+/// the allocator (no scratch-buffer reuse existed).
+const PREV_ALLOCS_PER_ROUND: f64 = 5.19;
 
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
@@ -181,5 +298,18 @@ mod tests {
             report.violations > 0,
             "the checker must catch UV outside P_nek"
         );
+    }
+
+    #[test]
+    fn smoke_document_parses_and_is_safe() {
+        let doc = run_baseline(true);
+        let text = format!("{doc}\n");
+        let parsed = Json::parse(&text).expect("report round-trips");
+        let Json::Obj(map) = parsed else {
+            panic!("top level must be an object");
+        };
+        assert_eq!(map.get("violations"), Some(&Json::UInt(0)));
+        assert!(map.contains_key("throughput"));
+        assert!(map.contains_key("sendplan"));
     }
 }

@@ -6,29 +6,74 @@
 //! [`RoundExecutor`](crate::executor::RoundExecutor) asks the adversary for
 //! the HO assignment of each round, which makes fault classes SP, ST, DP and
 //! DT (§2.2) all expressible with the same machinery.
+//!
+//! ## The scratch-buffer contract
+//!
+//! The primary method, [`Adversary::fill_ho_sets`], writes the round's HO
+//! assignment into a caller-owned `&mut [ProcessSet]` scratch slice: the
+//! universe size is the slice length, every slot must be overwritten, and
+//! nothing is allocated — the executor reuses one scratch slice for the
+//! whole run. The allocating [`Adversary::ho_sets`] is a derived
+//! convenience for tests and examples.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
 
+/// A loss probability as a `2⁻⁶⁴` fixed-point threshold:
+/// `next_u64() < threshold` holds with probability `threshold / 2⁶⁴`.
+/// One raw draw and an integer compare per transmission — the lossy
+/// adversaries sample `n²` of these per round, so the float-free form
+/// matters. `loss = 0` is exactly "never", `loss = 1` is capped at
+/// `1 − 2⁻⁶⁴` (indistinguishable in any finite run).
+#[derive(Clone, Copy, Debug)]
+struct LossThreshold(u64);
+
+impl LossThreshold {
+    fn new(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        LossThreshold(if loss >= 1.0 {
+            u64::MAX
+        } else {
+            (loss * (u64::MAX as f64)) as u64
+        })
+    }
+
+    fn sample(self, rng: &mut SmallRng) -> bool {
+        rng.next_u64() < self.0
+    }
+}
+
 /// A generator of heard-of assignments.
 pub trait Adversary {
-    /// The HO sets for round `r`: element `p` of the returned vector is
-    /// `HO(p, r)` — the set of processes whose round-`r` message reaches `p`.
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet>;
+    /// Writes the HO sets for round `r` into `ho`: slot `p` becomes
+    /// `HO(p, r)` — the set of processes whose round-`r` message reaches
+    /// `p`. The universe size is `n = ho.len()`; implementations must
+    /// overwrite every slot (stale contents from the previous round are
+    /// otherwise carried over).
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]);
+
+    /// The HO sets for round `r` as a freshly allocated vector — a
+    /// convenience wrapper over [`Adversary::fill_ho_sets`] for callers off
+    /// the hot path.
+    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+        let mut ho = vec![ProcessSet::empty(); n];
+        self.fill_ho_sets(r, &mut ho);
+        ho
+    }
 }
 
 impl<A: Adversary + ?Sized> Adversary for &mut A {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-        (**self).ho_sets(r, n)
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        (**self).fill_ho_sets(r, ho);
     }
 }
 
 impl<A: Adversary + ?Sized> Adversary for Box<A> {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-        (**self).ho_sets(r, n)
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        (**self).fill_ho_sets(r, ho);
     }
 }
 
@@ -38,8 +83,8 @@ impl<A: Adversary + ?Sized> Adversary for Box<A> {
 pub struct FullDelivery;
 
 impl Adversary for FullDelivery {
-    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
-        vec![ProcessSet::full(n); n]
+    fn fill_ho_sets(&mut self, _r: Round, ho: &mut [ProcessSet]) {
+        ho.fill(ProcessSet::full(ho.len()));
     }
 }
 
@@ -59,11 +104,14 @@ impl Scripted {
 }
 
 impl Adversary for Scripted {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-        self.script
-            .get((r.get() - 1) as usize)
-            .cloned()
-            .unwrap_or_else(|| vec![ProcessSet::full(n); n])
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        match self.script.get((r.get() - 1) as usize) {
+            Some(row) => {
+                assert_eq!(row.len(), ho.len(), "scripted round has wrong width");
+                ho.copy_from_slice(row);
+            }
+            None => ho.fill(ProcessSet::full(ho.len())),
+        }
     }
 }
 
@@ -73,7 +121,7 @@ impl Adversary for Scripted {
 /// This is the DT (dynamic/transient) fault class in its purest form.
 #[derive(Clone, Debug)]
 pub struct RandomLoss {
-    loss: f64,
+    loss: LossThreshold,
     rng: SmallRng,
 }
 
@@ -85,27 +133,25 @@ impl RandomLoss {
     /// Panics if `loss` is not within `[0, 1]`.
     #[must_use]
     pub fn new(loss: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
         RandomLoss {
-            loss,
+            loss: LossThreshold::new(loss),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
 
 impl Adversary for RandomLoss {
-    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
-        (0..n)
-            .map(|p| {
-                let mut ho = ProcessSet::singleton(ProcessId::new(p));
-                for q in 0..n {
-                    if q != p && !self.rng.gen_bool(self.loss) {
-                        ho.insert(ProcessId::new(q));
-                    }
+    fn fill_ho_sets(&mut self, _r: Round, ho: &mut [ProcessSet]) {
+        let n = ho.len();
+        for (p, slot) in ho.iter_mut().enumerate() {
+            let mut set = ProcessSet::singleton(ProcessId::new(p));
+            for q in 0..n {
+                if q != p && !self.loss.sample(&mut self.rng) {
+                    set.insert(ProcessId::new(q));
                 }
-                ho
-            })
-            .collect()
+            }
+            *slot = set;
+        }
     }
 }
 
@@ -146,10 +192,10 @@ impl CrashStop {
 }
 
 impl Adversary for CrashStop {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-        debug_assert_eq!(n, self.crash_round.len());
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        debug_assert_eq!(ho.len(), self.crash_round.len());
         let alive = self.alive(r);
-        vec![alive; n]
+        ho.fill(alive);
     }
 }
 
@@ -185,20 +231,19 @@ impl CrashRecovery {
 }
 
 impl Adversary for CrashRecovery {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        let n = ho.len();
         let up: ProcessSet = (0..n)
             .map(ProcessId::new)
             .filter(|&q| !self.is_down(q, r))
             .collect();
-        (0..n)
-            .map(|p| {
-                if self.is_down(ProcessId::new(p), r) {
-                    ProcessSet::empty()
-                } else {
-                    up
-                }
-            })
-            .collect()
+        for (p, slot) in ho.iter_mut().enumerate() {
+            *slot = if self.is_down(ProcessId::new(p), r) {
+                ProcessSet::empty()
+            } else {
+                up
+            };
+        }
     }
 }
 
@@ -209,6 +254,10 @@ impl Adversary for CrashRecovery {
 #[derive(Clone, Debug)]
 pub struct Partition {
     blocks: Vec<ProcessSet>,
+    /// Per-process block cache, built lazily for the universe size of the
+    /// first `fill_ho_sets` call (the partition is static, so every round
+    /// after that is a plain copy).
+    assignment: Vec<ProcessSet>,
 }
 
 impl Partition {
@@ -224,7 +273,10 @@ impl Partition {
             assert!(seen.intersection(*b).is_empty(), "blocks must be disjoint");
             seen = seen.union(*b);
         }
-        Partition { blocks }
+        Partition {
+            blocks,
+            assignment: Vec::new(),
+        }
     }
 
     fn block_of(&self, p: ProcessId) -> ProcessSet {
@@ -237,8 +289,13 @@ impl Partition {
 }
 
 impl Adversary for Partition {
-    fn ho_sets(&mut self, _r: Round, n: usize) -> Vec<ProcessSet> {
-        (0..n).map(|p| self.block_of(ProcessId::new(p))).collect()
+    fn fill_ho_sets(&mut self, _r: Round, ho: &mut [ProcessSet]) {
+        if self.assignment.len() != ho.len() {
+            self.assignment = (0..ho.len())
+                .map(|p| self.block_of(ProcessId::new(p)))
+                .collect();
+        }
+        ho.copy_from_slice(&self.assignment);
     }
 }
 
@@ -269,21 +326,13 @@ impl EventuallyGood {
 }
 
 impl Adversary for EventuallyGood {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
         if r.get() <= self.bad_rounds {
-            self.chaos.ho_sets(r, n)
+            self.chaos.fill_ho_sets(r, ho);
         } else {
-            (0..n)
-                .map(|p| {
-                    if self.good_set.contains(ProcessId::new(p)) {
-                        self.good_set
-                    } else {
-                        // Processes outside Π0 get whatever; give them Π0 too
-                        // so the unrestricted P_otr also eventually holds.
-                        self.good_set
-                    }
-                })
-                .collect()
+            // Processes outside Π0 get whatever; give them Π0 too so the
+            // unrestricted P_otr also eventually holds.
+            ho.fill(self.good_set);
         }
     }
 }
@@ -296,38 +345,40 @@ impl Adversary for EventuallyGood {
 /// (`P_nek`), and a stress test for OTR's safety.
 #[derive(Clone, Debug)]
 pub struct KernelOnly {
-    loss: f64,
+    loss: LossThreshold,
     rng: SmallRng,
 }
 
 impl KernelOnly {
     /// Loss probability for non-pivot transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
     #[must_use]
     pub fn new(loss: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
         KernelOnly {
-            loss,
+            loss: LossThreshold::new(loss),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
 
 impl Adversary for KernelOnly {
-    fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
+    fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+        let n = ho.len();
         let pivot = ProcessId::new(((r.get() - 1) % n as u64) as usize);
-        (0..n)
-            .map(|p| {
-                let mut ho = ProcessSet::singleton(pivot);
-                ho.insert(ProcessId::new(p));
-                for q in 0..n {
-                    let q = ProcessId::new(q);
-                    if q != pivot && q.index() != p && !self.rng.gen_bool(self.loss) {
-                        ho.insert(q);
-                    }
+        for (p, slot) in ho.iter_mut().enumerate() {
+            let mut set = ProcessSet::singleton(pivot);
+            set.insert(ProcessId::new(p));
+            for q in 0..n {
+                let q = ProcessId::new(q);
+                if q != pivot && q.index() != p && !self.loss.sample(&mut self.rng) {
+                    set.insert(q);
                 }
-                ho
-            })
-            .collect()
+            }
+            *slot = set;
+        }
     }
 }
 
@@ -336,10 +387,14 @@ mod tests {
     use super::*;
     use crate::trace::Trace;
 
+    /// Records `rounds` rounds through the scratch-slice path, reusing one
+    /// buffer the way the executor does.
     fn record(adv: &mut impl Adversary, n: usize, rounds: u64) -> Trace {
         let mut t = Trace::new(n);
+        let mut ho = vec![ProcessSet::empty(); n];
         for r in 1..=rounds {
-            t.push_round(adv.ho_sets(Round(r), n));
+            adv.fill_ho_sets(Round(r), &mut ho);
+            t.record_round(&ho);
         }
         t
     }
@@ -372,6 +427,29 @@ mod tests {
         for r in 1..=10 {
             assert_eq!(a.round(Round(r)), b.round(Round(r)));
         }
+    }
+
+    #[test]
+    fn allocating_view_matches_fill() {
+        // The derived ho_sets must be the same assignment fill_ho_sets
+        // writes (same RNG stream consumption).
+        let mut a = RandomLoss::new(0.4, 9);
+        let mut b = RandomLoss::new(0.4, 9);
+        let mut scratch = vec![ProcessSet::empty(); 6];
+        for r in 1..=10 {
+            a.fill_ho_sets(Round(r), &mut scratch);
+            assert_eq!(b.ho_sets(Round(r), 6), scratch);
+        }
+    }
+
+    #[test]
+    fn fill_overwrites_stale_slots() {
+        // A scratch slice carrying the previous round's sets must be fully
+        // overwritten by every adversary.
+        let mut scratch = vec![ProcessSet::full(4); 4];
+        CrashRecovery::new(4, &[(2, Round(1), Round(5))]).fill_ho_sets(Round(1), &mut scratch);
+        assert!(scratch[2].is_empty());
+        assert!(!scratch[0].contains(ProcessId::new(2)));
     }
 
     #[test]

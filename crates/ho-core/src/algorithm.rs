@@ -29,7 +29,7 @@ use std::fmt;
 use crate::mailbox::Mailbox;
 use crate::process::ProcessId;
 use crate::round::Round;
-use crate::send_plan::SendPlan;
+use crate::send_plan::{PlanSlot, SendPlan};
 
 /// A Heard-Of algorithm: per-round sending and transition functions.
 ///
@@ -59,6 +59,26 @@ pub trait HoAlgorithm {
     /// LastVoting) return [`SendPlan::Unicast`] or [`SendPlan::Silent`] in
     /// the point-to-point rounds.
     fn send(&self, r: Round, p: ProcessId, state: &Self::State) -> SendPlan<Self::Message>;
+
+    /// The scratch-buffer form of `S_p^r`: writes the round's plan through
+    /// a [`PlanSlot`], which recycles the payload buffers of `p`'s previous
+    /// plans. Returns the number of payload buffers reused in place.
+    ///
+    /// The default delegates to [`HoAlgorithm::send`] and never reuses.
+    /// Algorithms on the hot path override this with the slot's in-place
+    /// writers ([`PlanSlot::broadcast`], [`PlanSlot::unicast_to`],
+    /// [`PlanSlot::silent`]) so that steady-state rounds allocate nothing;
+    /// the override must produce exactly the plan `send` would.
+    fn send_into(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &Self::State,
+        slot: &mut PlanSlot<'_, Self::Message>,
+    ) -> u64 {
+        slot.set(self.send(r, p, state));
+        0
+    }
 
     /// The per-destination view of `S_p^r`: the message `p` sends to `q` in
     /// round `r`, or `None` if the round's plan addresses no message to `q`.

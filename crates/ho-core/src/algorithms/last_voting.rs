@@ -145,6 +145,38 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for LastVoting<V> {
         }
     }
 
+    fn send_into(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &LastVotingState<V>,
+        slot: &mut crate::send_plan::PlanSlot<'_, LastVotingMessage<V>>,
+    ) -> u64 {
+        // Same plans as `send`, written through the reusable slot. The
+        // point-to-point rounds reuse the destination vector; the
+        // coordinator's broadcast rounds reuse the payload `Arc` once the
+        // recipients have dropped it.
+        let (phase, offset) = r.phase(4);
+        let coord = self.coord(phase);
+        match offset {
+            0 => slot.unicast_to(
+                coord,
+                LastVotingMessage::Estimate(state.x.clone(), state.ts),
+            ),
+            1 if p == coord && state.commit => slot.broadcast(LastVotingMessage::Vote(
+                state.vote.clone().expect("committed"),
+            )),
+            2 if state.ts == phase => slot.unicast_to(coord, LastVotingMessage::Ack),
+            3 if p == coord && state.ready => {
+                slot.broadcast(LastVotingMessage::Vote(state.vote.clone().expect("ready")))
+            }
+            _ => {
+                slot.silent();
+                0
+            }
+        }
+    }
+
     fn transition(
         &self,
         r: Round,
@@ -157,21 +189,26 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for LastVoting<V> {
         match offset {
             0 => {
                 if p == coord {
-                    let estimates: Vec<(&V, u64)> = mb
-                        .messages()
-                        .filter_map(|m| match m {
-                            LastVotingMessage::Estimate(v, ts) => Some((v, *ts)),
-                            _ => None,
-                        })
-                        .collect();
-                    if self.majority(estimates.len()) {
-                        // The estimate with the largest timestamp; ties break
-                        // to the smallest value for determinism.
-                        let best = estimates
-                            .iter()
-                            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
-                            .expect("majority implies non-empty");
-                        state.vote = Some(best.0.clone());
+                    // The estimate with the largest timestamp; ties break to
+                    // the smallest value for determinism. One fold, no
+                    // scratch vector.
+                    let mut count = 0usize;
+                    let mut best: Option<(&V, u64)> = None;
+                    for m in mb.messages() {
+                        if let LastVotingMessage::Estimate(v, ts) = m {
+                            count += 1;
+                            let better = match best {
+                                None => true,
+                                Some((bv, bts)) => *ts > bts || (*ts == bts && v < bv),
+                            };
+                            if better {
+                                best = Some((v, *ts));
+                            }
+                        }
+                    }
+                    if self.majority(count) {
+                        let (v, _) = best.expect("majority implies non-empty");
+                        state.vote = Some(v.clone());
                         state.commit = true;
                     }
                 }

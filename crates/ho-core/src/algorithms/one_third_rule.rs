@@ -92,24 +92,38 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for OneThirdRule<V> {
         SendPlan::broadcast(state.x.clone())
     }
 
+    fn send_into(
+        &self,
+        _r: Round,
+        _p: ProcessId,
+        state: &OtrState<V>,
+        slot: &mut crate::send_plan::PlanSlot<'_, V>,
+    ) -> u64 {
+        // Same plan as `send`, written through the reusable slot.
+        slot.broadcast(state.x.clone())
+    }
+
     fn transition(&self, _r: Round, _p: ProcessId, state: &mut OtrState<V>, mb: &Mailbox<V>) {
+        // One mode computation serves both the update and the decision
+        // rule — this runs once per process per round and dominates the
+        // sweep's hot loop.
+        let Some((mode, count)) = mb.mode_with_count() else {
+            return;
+        };
         if self.update_quorum(mb.len()) {
             // The most frequent value; unique whenever the "almost all" test
             // passes (two values can't both miss at most ⌊n/3⌋ of > 2n/3
             // messages).
-            let mode = mb.mode().expect("quorum implies non-empty mailbox");
-            if self.almost_all(mb.count_equal(&mode), mb.len()) {
-                state.x = mode;
+            if self.almost_all(count, mb.len()) {
+                state.x = mode.clone();
             } else {
                 state.x = mb.min_message().expect("non-empty").clone();
             }
         }
         // Decide on > 2n/3 *identical* values (line 12); this implies the
         // |HO| > 2n/3 guard, so checking independently is equivalent.
-        if let Some(mode) = mb.mode() {
-            if 3 * mb.count_equal(&mode) > 2 * self.n && state.decision.is_none() {
-                state.decision = Some(mode);
-            }
+        if 3 * count > 2 * self.n && state.decision.is_none() {
+            state.decision = Some(mode);
         }
     }
 

@@ -106,6 +106,21 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for UniformVoting<V> {
         }
     }
 
+    fn send_into(
+        &self,
+        r: Round,
+        _p: ProcessId,
+        state: &UvState<V>,
+        slot: &mut crate::send_plan::PlanSlot<'_, UvMessage<V>>,
+    ) -> u64 {
+        // Same plans as `send`, written through the reusable slot.
+        if r.get() % 2 == 1 {
+            slot.broadcast(UvMessage::Estimate(state.x.clone()))
+        } else {
+            slot.broadcast(UvMessage::Vote(state.x.clone(), state.vote.clone()))
+        }
+    }
+
     fn transition(
         &self,
         r: Round,
@@ -113,38 +128,40 @@ impl<V: Clone + std::fmt::Debug + Ord> HoAlgorithm for UniformVoting<V> {
         state: &mut UvState<V>,
         mb: &Mailbox<UvMessage<V>>,
     ) {
+        // Both branches fold over the mailbox directly (no scratch vector):
+        // one pass finds the minimum, a second checks unanimity against it.
+        fn estimate<V>(m: &UvMessage<V>) -> &V {
+            match m {
+                UvMessage::Estimate(v) => v,
+                UvMessage::Vote(..) => unreachable!("odd rounds carry estimates"),
+            }
+        }
+        fn vote<V>(m: &UvMessage<V>) -> Option<&V> {
+            match m {
+                UvMessage::Vote(_, v) => v.as_ref(),
+                UvMessage::Estimate(_) => unreachable!("even rounds carry votes"),
+            }
+        }
         if r.get() % 2 == 1 {
             // Levelling round: adopt the smallest estimate heard; vote if
             // unanimous.
-            let estimates: Vec<&V> = mb
-                .messages()
-                .map(|m| match m {
-                    UvMessage::Estimate(v) => v,
-                    UvMessage::Vote(..) => unreachable!("odd rounds carry estimates"),
-                })
-                .collect();
-            if let Some(min) = estimates.iter().min() {
-                state.x = (*min).clone();
-                if estimates.iter().all(|v| *v == *min) {
-                    state.vote = Some((*min).clone());
+            if let Some(min) = mb.messages().map(estimate).min() {
+                if mb.messages().map(estimate).all(|v| v == min) {
+                    state.vote = Some(min.clone());
                 }
+                state.x = min.clone();
             }
         } else {
             // Confirmation round.
-            let mut votes: Vec<&V> = Vec::new();
-            let mut all_voted = !mb.is_empty();
-            for m in mb.messages() {
-                match m {
-                    UvMessage::Vote(_, Some(v)) => votes.push(v),
-                    UvMessage::Vote(_, None) => all_voted = false,
-                    UvMessage::Estimate(_) => unreachable!("even rounds carry votes"),
+            let all_voted = !mb.is_empty() && mb.messages().all(|m| vote(m).is_some());
+            if let Some(min_vote) = mb.messages().filter_map(vote).min() {
+                if all_voted
+                    && mb.messages().filter_map(vote).all(|v| v == min_vote)
+                    && state.decision.is_none()
+                {
+                    state.decision = Some(min_vote.clone());
                 }
-            }
-            if let Some(min_vote) = votes.iter().min() {
-                state.x = (*min_vote).clone();
-                if all_voted && votes.iter().all(|v| *v == *min_vote) && state.decision.is_none() {
-                    state.decision = Some((*min_vote).clone());
-                }
+                state.x = min_vote.clone();
             }
             state.vote = None;
         }

@@ -8,6 +8,17 @@
 //! and transmission faults are exactly the adversary's choices. The
 //! *system-level* execution — where rounds have to be built out of timed
 //! send/receive steps in good periods — lives in the `ho-predicates` crate.
+//!
+//! ## The allocation-free round loop
+//!
+//! Every per-round buffer is persistent: the mailboxes [`Mailbox::clear`]
+//! (retaining capacity) instead of being re-created, the [`Outbox`]
+//! recollects plans in place (recycling broadcast payload `Arc`s once their
+//! recipients have dropped them), the adversary writes into a reused
+//! scratch slice, and the trace row is copied out of a reused buffer — or,
+//! under [`TraceMode::Off`], never materialised at all. In steady state a
+//! broadcast round performs **zero** heap allocations
+//! (see `tests/alloc_steady_state.rs`).
 
 use crate::adversary::Adversary;
 use crate::algorithm::HoAlgorithm;
@@ -16,14 +27,14 @@ use crate::mailbox::Mailbox;
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
 use crate::send_plan::Outbox;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceMode};
 
 /// Message-cost accounting for a run: what the send phase actually
 /// allocated, against what the pre-plan per-destination scheme would have
 /// cloned.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MessageStats {
-    /// Payload allocations performed under the plan kernel: plan
+    /// Payload constructions performed under the plan kernel: plan
     /// construction (one per broadcast, one per unicast pair) plus the
     /// per-recipient deep clones of delivered unicast messages. Broadcast
     /// deliveries share the constructed payload, which is what makes
@@ -31,8 +42,25 @@ pub struct MessageStats {
     /// scheme; unicast rounds gain nothing from sharing and cost about
     /// the same in both schemes.
     pub payload_allocs: u64,
+    /// How many of those constructions were written into recycled payload
+    /// buffers and therefore touched the allocator *zero* times
+    /// (see [`PlanSlot`](crate::send_plan::PlanSlot)). Fresh heap
+    /// allocations are `payload_allocs − payload_reuses`.
+    pub payload_reuses: u64,
     /// Messages delivered into mailboxes (shared or owned).
     pub delivered: u64,
+}
+
+/// The type-independent round buffers of a [`RoundExecutor`] — the
+/// adversary's HO scratch slice and the trace-row scratch. Recovered with
+/// [`RoundExecutor::into_scratch`] and passed to the next executor via
+/// [`RoundExecutor::with_scratch`], so a sweep worker reuses them across
+/// scenarios (the message-typed buffers — mailboxes, outbox — cannot cross
+/// algorithm types and stay internal).
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    ho: Vec<ProcessSet>,
+    row: Vec<ProcessSet>,
 }
 
 impl MessageStats {
@@ -42,6 +70,13 @@ impl MessageStats {
     #[must_use]
     pub fn legacy_clones(&self) -> u64 {
         self.delivered
+    }
+
+    /// Payload constructions that actually hit the allocator:
+    /// `payload_allocs − payload_reuses`.
+    #[must_use]
+    pub fn fresh_allocs(&self) -> u64 {
+        self.payload_allocs - self.payload_reuses
     }
 }
 
@@ -91,35 +126,84 @@ pub struct RoundExecutor<A: HoAlgorithm> {
     checker: ConsensusChecker<A::Value>,
     round: Round,
     msg_stats: MessageStats,
+    // Persistent round buffers — cleared and refilled every round, never
+    // re-created (see the module docs).
+    mailboxes: Vec<Mailbox<A::Message>>,
+    outbox: Outbox<A::Message>,
+    scratch: RoundScratch,
 }
 
 impl<A: HoAlgorithm> RoundExecutor<A> {
-    /// Creates an executor with one process per initial value.
+    /// Creates an executor with one process per initial value, recording
+    /// the full trace.
     ///
     /// # Panics
     ///
     /// Panics if `initial_values.len() != alg.n()`.
     #[must_use]
     pub fn new(alg: A, initial_values: Vec<A::Value>) -> Self {
+        Self::with_trace_mode(alg, initial_values, TraceMode::Full)
+    }
+
+    /// Creates an executor with the given trace retention mode.
+    /// [`TraceMode::Off`] is the sweep configuration: HO statistics stay
+    /// exact but no row is ever materialised, and the per-round support
+    /// sets are never even computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_values.len() != alg.n()`.
+    #[must_use]
+    pub fn with_trace_mode(alg: A, initial_values: Vec<A::Value>, mode: TraceMode) -> Self {
+        Self::with_scratch(alg, initial_values, mode, RoundScratch::default())
+    }
+
+    /// Like [`RoundExecutor::with_trace_mode`], seeded with round buffers
+    /// recovered from a previous executor ([`RoundExecutor::into_scratch`])
+    /// so back-to-back scenarios skip the warm-up allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_values.len() != alg.n()`.
+    #[must_use]
+    pub fn with_scratch(
+        alg: A,
+        initial_values: Vec<A::Value>,
+        mode: TraceMode,
+        mut scratch: RoundScratch,
+    ) -> Self {
         assert_eq!(
             initial_values.len(),
             alg.n(),
             "need one initial value per process"
         );
-        let states = initial_values
+        let states: Vec<A::State> = initial_values
             .iter()
             .enumerate()
             .map(|(p, v)| alg.init(ProcessId::new(p), v.clone()))
             .collect();
         let n = initial_values.len();
+        scratch.ho.clear();
+        scratch.ho.resize(n, ProcessSet::empty());
+        scratch.row.clear();
         RoundExecutor {
             alg,
             states,
-            trace: Trace::new(n),
+            trace: Trace::with_mode(n, mode),
             checker: ConsensusChecker::new(initial_values),
             round: Round(0),
             msg_stats: MessageStats::default(),
+            mailboxes: (0..n).map(|_| Mailbox::empty()).collect(),
+            outbox: Outbox::default(),
+            scratch,
         }
+    }
+
+    /// Recovers the type-independent round buffers for reuse by the next
+    /// scenario's executor.
+    #[must_use]
+    pub fn into_scratch(self) -> RoundScratch {
+        self.scratch
     }
 
     /// Number of processes.
@@ -181,31 +265,48 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
     /// Returns a [`RunError::Violation`] if the round broke a consensus
     /// safety property.
     pub fn step(&mut self, adversary: &mut impl Adversary) -> Result<Round, RunError<A::Value>> {
-        let n = self.n();
         let r = self.round.next();
-        let assignment = adversary.ho_sets(r, n);
-        assert_eq!(assignment.len(), n, "adversary must cover all processes");
+        // The adversary writes into the executor's scratch slice; the
+        // universe size is the slice length, so coverage is structural.
+        adversary.fill_ho_sets(r, &mut self.scratch.ho);
+
+        // Clear last round's mailboxes *before* recollecting plans: this
+        // drops the recipients' shared payload references, making the
+        // broadcast `Arc`s uniquely owned and therefore reusable.
+        for mb in &mut self.mailboxes {
+            mb.clear();
+        }
 
         // Sending phase: S_q^r evaluated once per process on the
         // *pre-round* states, then fanned out per the HO assignment.
         // Broadcast payloads are shared, not cloned per destination.
-        let outbox = Outbox::collect(&self.alg, r, &self.states);
-        self.msg_stats.payload_allocs += outbox.payload_allocs();
-        let mut mailboxes: Vec<Mailbox<A::Message>> = (0..n).map(|_| Mailbox::empty()).collect();
-        for (p, allowed) in assignment.iter().enumerate() {
+        self.msg_stats.payload_reuses += self.outbox.recollect(&self.alg, r, &self.states);
+        self.msg_stats.payload_allocs += self.outbox.payload_allocs();
+        for (p, mb) in self.mailboxes.iter_mut().enumerate() {
             // Unicast deliveries deep-clone per recipient; count them so
-            // payload_allocs is the kernel's true allocation cost.
+            // payload_allocs is the kernel's true construction cost.
             self.msg_stats.payload_allocs +=
-                outbox.deliver_into(ProcessId::new(p), *allowed, &mut mailboxes[p]);
+                self.outbox
+                    .deliver_into(ProcessId::new(p), self.scratch.ho[p], mb);
         }
-        self.msg_stats.delivered += mailboxes.iter().map(|mb| mb.len() as u64).sum::<u64>();
+        self.msg_stats.delivered += self.mailboxes.iter().map(|mb| mb.len() as u64).sum::<u64>();
 
-        // Record the effective HO sets.
-        let ho: Vec<ProcessSet> = mailboxes.iter().map(Mailbox::senders).collect();
-        self.trace.push_round(ho);
+        // Record the effective HO sets — but compute the support sets only
+        // when the trace's retention mode actually stores rows; under
+        // TraceMode::Off the statistics need just the mailbox sizes.
+        if self.trace.wants_rows() {
+            self.scratch.row.clear();
+            self.scratch
+                .row
+                .extend(self.mailboxes.iter().map(Mailbox::senders));
+            self.trace.record_round(&self.scratch.row);
+        } else {
+            self.trace
+                .note_round(self.mailboxes.iter().map(Mailbox::len));
+        }
 
         // Transition phase: T_p^r.
-        for (p, mailbox) in mailboxes.iter().enumerate() {
+        for (p, mailbox) in self.mailboxes.iter().enumerate() {
             let pid = ProcessId::new(p);
             self.alg.transition(r, pid, &mut self.states[p], mailbox);
             let decision = self.alg.decision(&self.states[p]);
@@ -415,6 +516,66 @@ mod tests {
         assert_eq!(stats.delivered, 16 * 10);
         // …which is exactly what the per-destination scheme would clone.
         assert_eq!(stats.legacy_clones(), 160);
+    }
+
+    #[test]
+    fn broadcast_payloads_are_recycled_after_the_first_round() {
+        // DecideOwnAfter is a broadcast algorithm but does not override
+        // send_into, so nothing is reused...
+        let mut exec = RoundExecutor::new(DecideOwnAfter { n: 4, k: 100 }, vec![1; 4]);
+        exec.run(&mut FullDelivery, 10).unwrap();
+        assert_eq!(exec.message_stats().payload_reuses, 0);
+        // ...while OneThirdRule writes through the slot: from round 2 on,
+        // every broadcast payload lands in round 1's recycled Arc.
+        use crate::algorithms::OneThirdRule;
+        let mut exec = RoundExecutor::new(OneThirdRule::new(4), vec![1u64, 2, 3, 4]);
+        exec.run(&mut FullDelivery, 10).unwrap();
+        let stats = exec.message_stats();
+        assert_eq!(stats.payload_allocs, 4 * 10);
+        assert_eq!(stats.payload_reuses, 4 * 9, "all rounds after the first");
+        assert_eq!(stats.fresh_allocs(), 4);
+    }
+
+    #[test]
+    fn trace_mode_off_keeps_stats_but_no_rows() {
+        use crate::trace::TraceMode;
+        let alg = DecideOwnAfter { n: 3, k: 2 };
+        let mut exec = RoundExecutor::with_trace_mode(alg, vec![7, 7, 7], TraceMode::Off);
+        let r = exec
+            .run_until_all_decided(&mut FullDelivery, 10)
+            .expect("decides");
+        assert_eq!(r, Round(2));
+        assert_eq!(exec.trace().rounds(), 2);
+        assert_eq!(exec.trace().retained_rounds(), 0);
+        assert_eq!(exec.trace().transmission_faults(), 0);
+        assert_eq!(exec.decisions(), vec![Some(7), Some(7), Some(7)]);
+    }
+
+    #[test]
+    fn trace_mode_window_retains_the_suffix() {
+        use crate::trace::TraceMode;
+        let alg = DecideOwnAfter { n: 2, k: 100 };
+        let mut exec = RoundExecutor::with_trace_mode(alg, vec![1, 1], TraceMode::Window(3));
+        exec.run(&mut FullDelivery, 8).unwrap();
+        let t = exec.trace();
+        assert_eq!(t.rounds(), 8);
+        assert_eq!(t.retained_rounds(), 3);
+        assert_eq!(t.first_retained_round(), Round(6));
+        assert_eq!(t.ho(ProcessId::new(0), Round(8)), ProcessSet::full(2));
+    }
+
+    #[test]
+    fn scratch_round_trips_between_scenarios() {
+        let alg = DecideOwnAfter { n: 4, k: 2 };
+        let mut exec = RoundExecutor::new(alg, vec![3; 4]);
+        exec.run(&mut FullDelivery, 3).unwrap();
+        let scratch = exec.into_scratch();
+        // A smaller follow-up scenario reuses the buffers.
+        let alg = DecideOwnAfter { n: 2, k: 2 };
+        let mut exec =
+            RoundExecutor::with_scratch(alg, vec![5; 2], crate::trace::TraceMode::Off, scratch);
+        exec.run(&mut FullDelivery, 3).unwrap();
+        assert_eq!(exec.decisions(), vec![Some(5), Some(5)]);
     }
 
     #[test]

@@ -44,11 +44,11 @@ pub mod translation;
 
 pub use algorithm::{HoAlgorithm, HoAlgorithmExt};
 pub use consensus::{ConsensusChecker, ConsensusViolation};
-pub use executor::{MessageStats, RoundExecutor, RunError};
-pub use mailbox::Mailbox;
+pub use executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
+pub use mailbox::{DuplicateSender, Mailbox};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
 pub use round::Round;
-pub use send_plan::{Outbox, SendPlan};
+pub use send_plan::{Outbox, PlanSlot, PlanSpares, SendPlan};
 pub use sequence::{ProposalSource, RepeatedConsensus};
-pub use trace::Trace;
+pub use trace::{Trace, TraceMode};
 pub use translation::Translated;

@@ -5,44 +5,62 @@
 //! `p` in round `r`. [`Mailbox`] is that vector; its *support* (the set of
 //! senders) is the heard-of set `HO(p, r)`.
 //!
-//! Two representation choices serve the hot paths:
+//! Three representation choices serve the hot paths:
 //!
 //! * **Shared payloads** — an entry holds either an owned message or a
 //!   reference-counted one ([`Mailbox::push_shared`]). Broadcast rounds
 //!   deliver one `Arc` per recipient instead of one deep clone per
 //!   recipient, which is what makes the [`SendPlan`](crate::send_plan)
 //!   kernel `O(n)` in payload allocations per round.
-//! * **Sorted sender index** — entries stay in arrival order (the paper's
-//!   reception-order semantics), but a side index sorted by sender makes
-//!   [`Mailbox::from`] and the duplicate-sender check `O(log n)` instead of
-//!   a linear scan. Predicate evaluation calls `from` millions of times in
-//!   the benches.
+//! * **The round table** — the executor's delivery path attaches *one*
+//!   reference-counted table of the whole round's plans per mailbox and
+//!   records the broadcast senders as a bitset. A broadcast round then
+//!   costs one refcount bump and one bitset store per *recipient* — no
+//!   per-message entry at all; reads resolve `table[q]`'s payload on the
+//!   fly. The n² per-delivery work was the sweep's single largest cost.
+//! * **Sorted sender index** — explicit entries stay in arrival order (the
+//!   paper's reception-order semantics), but a side index sorted by sender
+//!   makes [`Mailbox::from`] and the duplicate-sender check `O(log n)`
+//!   instead of a linear scan, and deliveries in ascending sender order
+//!   append without searching at all. Predicate evaluation calls `from`
+//!   millions of times in the benches.
 
-use std::ops::Deref;
+use std::fmt;
 use std::sync::Arc;
 
 use crate::process::{ProcessId, ProcessSet};
+use crate::send_plan::SendPlan;
 
-/// A message payload: owned (unicast) or shared (broadcast delivery).
-#[derive(Clone)]
+/// The error of [`Mailbox::try_push`]: a message from this sender is
+/// already present (rounds are communication closed, so a process hears of
+/// each peer at most once per round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DuplicateSender(pub ProcessId);
+
+impl fmt::Display for DuplicateSender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate sender {} in mailbox", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateSender {}
+
+/// An explicitly stored message payload: owned (unicast and test
+/// construction) or shared (broadcast delivery through
+/// [`Mailbox::push_shared`]). Table-delivered broadcasts store no payload
+/// at all — only a bit in the mailbox's `from_table` set.
+#[derive(Clone, Debug)]
 enum Payload<M> {
     Owned(M),
     Shared(Arc<M>),
 }
 
-impl<M> Deref for Payload<M> {
-    type Target = M;
-    fn deref(&self) -> &M {
+impl<M> Payload<M> {
+    fn get(&self) -> &M {
         match self {
             Payload::Owned(m) => m,
             Payload::Shared(m) => m,
         }
-    }
-}
-
-impl<M: std::fmt::Debug> std::fmt::Debug for Payload<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        (**self).fmt(f)
     }
 }
 
@@ -52,12 +70,25 @@ impl<M: std::fmt::Debug> std::fmt::Debug for Payload<M> {
 /// Every accessor that the paper's transition functions need — counting
 /// occurrences of a value, finding the smallest received value, quorum tests
 /// — is provided here so that algorithm code reads like the pseudo-code.
-#[derive(Clone, Debug)]
+///
+/// Messages arrive either as explicit entries (owned or `Arc`-shared) or
+/// through the *round table*: a shared vector of the round's send plans,
+/// with the table-delivered senders recorded as a bitset. Iteration order
+/// is arrival order for explicit entries; when both representations are
+/// populated (the executor's delivery path, which pushes in ascending
+/// sender order), iteration merges the two streams by sender id — which
+/// *is* arrival order there.
+#[derive(Clone)]
 pub struct Mailbox<M> {
-    /// `(sender, message)` in arrival order.
+    /// `(sender, message)` in arrival order (explicit deliveries only).
     entries: Vec<(ProcessId, Payload<M>)>,
     /// Indices into `entries`, sorted by sender id (the lookup index).
     sorted: Vec<u32>,
+    /// The round's plan table, shared with every recipient of the round.
+    table: Option<Arc<Vec<SendPlan<M>>>>,
+    /// Senders whose broadcast was delivered through the table: the
+    /// message from `q` is `table[q].broadcast_payload()`.
+    from_table: ProcessSet,
 }
 
 impl<M> Default for Mailbox<M> {
@@ -65,7 +96,15 @@ impl<M> Default for Mailbox<M> {
         Mailbox {
             entries: Vec::new(),
             sorted: Vec::new(),
+            table: None,
+            from_table: ProcessSet::empty(),
         }
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Mailbox<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -99,23 +138,120 @@ impl<M> Mailbox<M> {
             .binary_search_by_key(&sender, |&i| self.entries[i as usize].0)
     }
 
-    fn push_payload(&mut self, sender: ProcessId, payload: Payload<M>) {
+    /// The message `q` delivered through the round table, if any.
+    fn table_message(&self, q: ProcessId) -> Option<&M> {
+        if !self.from_table.contains(q) {
+            return None;
+        }
+        Some(
+            self.table
+                .as_ref()
+                .expect("table senders recorded without an attached table")[q.index()]
+            .broadcast_payload()
+            .expect("table sender must reference a broadcast plan"),
+        )
+    }
+
+    fn try_push_payload(
+        &mut self,
+        sender: ProcessId,
+        payload: Payload<M>,
+    ) -> Result<(), DuplicateSender> {
+        if self.from_table.contains(sender) {
+            return Err(DuplicateSender(sender));
+        }
         match self.index_of(sender) {
-            Ok(_) => panic!("duplicate sender {sender} in mailbox"),
+            Ok(_) => Err(DuplicateSender(sender)),
             Err(pos) => {
-                self.entries.push((sender, payload));
-                self.sorted.insert(pos, (self.entries.len() - 1) as u32);
+                self.insert_at(pos, sender, payload);
+                Ok(())
             }
         }
     }
 
+    /// Inserts without the duplicate check — the executor's hot path, where
+    /// the `Outbox` delivery loop already guarantees one message per sender
+    /// (each sender appears once in the HO set and each plan addresses a
+    /// destination at most once). The invariant is still enforced in debug
+    /// builds.
+    fn push_payload_trusted(&mut self, sender: ProcessId, payload: Payload<M>) {
+        debug_assert!(
+            !self.from_table.contains(sender),
+            "duplicate sender {sender} in mailbox"
+        );
+        // The delivery loop iterates senders in ascending order, so the
+        // overwhelmingly common case appends past the current maximum —
+        // no binary search, no index shift.
+        let max_so_far = self.sorted.last().map(|&i| self.entries[i as usize].0);
+        if max_so_far.is_none_or(|max| max < sender) {
+            self.entries.push((sender, payload));
+            self.sorted.push((self.entries.len() - 1) as u32);
+            return;
+        }
+        let pos = match self.index_of(sender) {
+            Err(pos) => pos,
+            Ok(pos) => {
+                debug_assert!(false, "duplicate sender {sender} in mailbox");
+                pos
+            }
+        };
+        self.insert_at(pos, sender, payload);
+    }
+
+    fn insert_at(&mut self, pos: usize, sender: ProcessId, payload: Payload<M>) {
+        self.entries.push((sender, payload));
+        self.sorted.insert(pos, (self.entries.len() - 1) as u32);
+    }
+
+    /// Empties the mailbox while retaining the entry and sorted-index
+    /// capacity — what lets the executor reuse one mailbox per process
+    /// across every round instead of re-allocating `n` mailboxes per round.
+    /// Releases the round table so the outbox can recycle its buffers.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.sorted.clear();
+        self.table = None;
+        self.from_table = ProcessSet::empty();
+    }
+
+    /// Adds an owned message from `sender`, rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateSender`] if a message from `sender` is already
+    /// present.
+    pub fn try_push(&mut self, sender: ProcessId, message: M) -> Result<(), DuplicateSender> {
+        self.try_push_payload(sender, Payload::Owned(message))
+    }
+
+    /// Adds a shared message from `sender`, rejecting duplicates
+    /// (see [`Mailbox::push_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateSender`] if a message from `sender` is already
+    /// present.
+    pub fn try_push_shared(
+        &mut self,
+        sender: ProcessId,
+        message: Arc<M>,
+    ) -> Result<(), DuplicateSender> {
+        self.try_push_payload(sender, Payload::Shared(message))
+    }
+
     /// Adds an owned message from `sender`.
+    ///
+    /// This is the pseudo-code-fidelity entry point: like the paper's
+    /// communication-closed rounds, it treats a duplicate sender as an
+    /// impossibility and panics. Fallible callers use [`Mailbox::try_push`].
     ///
     /// # Panics
     ///
     /// Panics if a message from `sender` is already present.
     pub fn push(&mut self, sender: ProcessId, message: M) {
-        self.push_payload(sender, Payload::Owned(message));
+        if let Err(e) = self.try_push(sender, message) {
+            panic!("{e}");
+        }
     }
 
     /// Adds a shared message from `sender` — how broadcast plans deliver:
@@ -126,59 +262,117 @@ impl<M> Mailbox<M> {
     ///
     /// Panics if a message from `sender` is already present.
     pub fn push_shared(&mut self, sender: ProcessId, message: Arc<M>) {
-        self.push_payload(sender, Payload::Shared(message));
+        if let Err(e) = self.try_push_shared(sender, message) {
+            panic!("{e}");
+        }
+    }
+
+    /// Hot-path owned insert: duplicate senders are a caller bug, checked
+    /// only by a debug assertion (see [`Outbox`](crate::send_plan::Outbox)).
+    pub(crate) fn push_trusted(&mut self, sender: ProcessId, message: M) {
+        self.push_payload_trusted(sender, Payload::Owned(message));
+    }
+
+    /// Binds this mailbox to the round's shared plan table and records
+    /// `senders` as delivered through it: the message from each `q` in
+    /// `senders` is `table[q].broadcast_payload()`. One refcount bump and
+    /// one bitset store per recipient per round — the whole point.
+    ///
+    /// Callers guarantee that every sender in `senders` has a broadcast
+    /// plan in `table` and does not collide with explicit entries (debug
+    /// asserted). A mailbox fed from *two different* outboxes cannot share
+    /// both tables; the second delivery falls back to per-entry shared
+    /// pushes (correct, just not O(1)).
+    pub(crate) fn deliver_table(&mut self, table: Arc<Vec<SendPlan<M>>>, senders: ProcessSet) {
+        if let Some(bound) = &self.table {
+            if !Arc::ptr_eq(bound, &table) {
+                // Cold path: a second outbox delivering into the same
+                // mailbox within one round. Materialise these broadcasts
+                // as ordinary shared entries instead of rebinding (which
+                // would resolve the earlier senders against the wrong
+                // plans). `push_shared` keeps the duplicate-sender panic.
+                for q in senders.iter() {
+                    match &table[q.index()] {
+                        SendPlan::Broadcast(m) => self.push_shared(q, Arc::clone(m)),
+                        _ => unreachable!("table senders must reference broadcast plans"),
+                    }
+                }
+                return;
+            }
+        }
+        debug_assert!(
+            senders.iter().all(|q| table[q.index()].is_broadcast()),
+            "table senders must reference broadcast plans"
+        );
+        debug_assert!(
+            senders
+                .iter()
+                .all(|q| self.index_of(q).is_err() && !self.from_table.contains(q)),
+            "duplicate sender in mailbox"
+        );
+        self.table = Some(table);
+        self.from_table = self.from_table.union(senders);
     }
 
     /// The heard-of set: the support of the partial vector.
     #[must_use]
     pub fn senders(&self) -> ProcessSet {
-        self.entries.iter().map(|(q, _)| *q).collect()
+        let explicit: ProcessSet = self.entries.iter().map(|(q, _)| *q).collect();
+        explicit.union(self.from_table)
     }
 
     /// Number of messages received, `|HO(p, r)|`.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() + self.from_table.len()
     }
 
     /// Whether no message was received.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.from_table.is_empty()
     }
 
-    /// The message received from `q`, if any (binary search over the sorted
-    /// sender index).
+    /// The message received from `q`, if any (bitset probe for
+    /// table-delivered broadcasts, binary search over the sorted sender
+    /// index otherwise).
     #[must_use]
     pub fn from(&self, q: ProcessId) -> Option<&M> {
-        self.index_of(q)
-            .ok()
-            .map(|pos| &*self.entries[self.sorted[pos] as usize].1)
+        if let Some(m) = self.table_message(q) {
+            return Some(m);
+        }
+        self.index_of(q).ok().map(|pos| {
+            let (_, payload) = &self.entries[self.sorted[pos] as usize];
+            payload.get()
+        })
     }
 
-    /// Iterates over `(sender, message)` pairs in arrival order.
-    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
-        self.entries.iter().map(|(q, m)| (*q, &**m))
+    /// Iterates over `(sender, message)` pairs in arrival order (explicit
+    /// entries and table-delivered broadcasts merged by sender id — which
+    /// is arrival order on the executor's delivery path).
+    pub fn iter(&self) -> MailboxIter<'_, M> {
+        MailboxIter {
+            entries: &self.entries,
+            entry_pos: 0,
+            table: self.table.as_deref().map_or(&[], Vec::as_slice),
+            table_left: self.from_table,
+        }
     }
 
     /// Iterates over the received messages only.
-    pub fn messages(&self) -> impl Iterator<Item = &M> {
-        self.entries.iter().map(|(_, m)| &**m)
+    pub fn messages(&self) -> impl Iterator<Item = &M> + Clone {
+        self.iter().map(|(_, m)| m)
     }
 
     /// Maps every message, keeping senders.
     #[must_use]
     pub fn map<N>(&self, mut f: impl FnMut(&M) -> N) -> Mailbox<N> {
-        Mailbox {
-            entries: self
-                .entries
-                .iter()
-                .map(|(q, m)| (*q, Payload::Owned(f(m))))
-                .collect(),
-            // Senders and arrival order are unchanged, so the index carries
-            // over verbatim.
-            sorted: self.sorted.clone(),
+        let mut mb = Mailbox::empty();
+        for (q, m) in self.iter() {
+            // iter() yields each sender exactly once, so trusted is sound.
+            mb.push_payload_trusted(q, Payload::Owned(f(m)));
         }
+        mb
     }
 
     /// Keeps only the messages whose *sender* satisfies the filter.
@@ -188,12 +382,92 @@ impl<M> Mailbox<M> {
         M: Clone,
     {
         let mut mb = Mailbox::empty();
+        mb.from_table = self.from_table.intersection(keep);
+        if !mb.from_table.is_empty() {
+            // Only carry the round table when a table-delivered sender
+            // actually survives the filter — a stray table reference keeps
+            // every payload alive and blocks the outbox's Arc reuse.
+            mb.table = self.table.clone();
+        }
         for (q, m) in &self.entries {
             if keep.contains(*q) {
-                mb.push_payload(*q, m.clone());
+                // Senders are unique here because they were unique in `self`.
+                mb.push_payload_trusted(*q, m.clone());
             }
         }
         mb
+    }
+}
+
+/// Iterator over a [`Mailbox`]'s `(sender, message)` pairs: explicit
+/// entries in arrival order, merged with table-delivered senders in
+/// ascending sender order.
+pub struct MailboxIter<'m, M> {
+    entries: &'m [(ProcessId, Payload<M>)],
+    entry_pos: usize,
+    /// The round table (empty slice when none attached).
+    table: &'m [SendPlan<M>],
+    table_left: ProcessSet,
+}
+
+// Manual impl: deriving would wrongly require `M: Clone` for what is a
+// shared-reference cursor.
+impl<M> Clone for MailboxIter<'_, M> {
+    fn clone(&self) -> Self {
+        MailboxIter {
+            entries: self.entries,
+            entry_pos: self.entry_pos,
+            table: self.table,
+            table_left: self.table_left,
+        }
+    }
+}
+
+impl<'m, M> MailboxIter<'m, M> {
+    #[inline]
+    fn take_table(&mut self, t: ProcessId) -> (ProcessId, &'m M) {
+        // `t` is always the minimum of `table_left` here.
+        self.table_left.drop_min();
+        let m = self.table[t.index()]
+            .broadcast_payload()
+            .expect("table sender must reference a broadcast plan");
+        (t, m)
+    }
+}
+
+impl<'m, M> Iterator for MailboxIter<'m, M> {
+    type Item = (ProcessId, &'m M);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        // The two single-stream cases are the hot paths: broadcast rounds
+        // are table-only, manual/unicast mailboxes are entries-only. The
+        // genuine merge only runs for mixed broadcast+unicast rounds.
+        if self.table_left.is_empty() {
+            let (q, m) = self.entries.get(self.entry_pos)?;
+            self.entry_pos += 1;
+            return Some((*q, m.get()));
+        }
+        match self.entries.get(self.entry_pos) {
+            None => {
+                let t = self.table_left.min().expect("non-empty");
+                Some(self.take_table(t))
+            }
+            Some((q, m)) => {
+                let t = self.table_left.min().expect("non-empty");
+                if *q < t {
+                    self.entry_pos += 1;
+                    Some((*q, m.get()))
+                } else {
+                    Some(self.take_table(t))
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.entries.len() - self.entry_pos + self.table_left.len();
+        (left, Some(left))
     }
 }
 
@@ -224,28 +498,64 @@ impl<M: PartialEq> Mailbox<M> {
 impl<M: Ord + Clone> Mailbox<M> {
     /// The most frequent received message; ties are broken towards the
     /// smallest message so the result is deterministic.
+    ///
+    /// Runs a pairwise `O(|HO|²)` count instead of collect-and-sort: the
+    /// mailbox holds at most `n` messages and this sits in the transition
+    /// functions' hot loop, where avoiding the scratch allocation (and the
+    /// sort) wins for every realistic `n`.
     #[must_use]
     pub fn mode(&self) -> Option<M> {
-        let mut sorted: Vec<&M> = self.messages().collect();
-        sorted.sort();
-        let mut best: Option<(&M, usize)> = None;
-        let mut i = 0;
-        while i < sorted.len() {
-            let mut j = i;
-            while j < sorted.len() && sorted[j] == sorted[i] {
-                j += 1;
+        self.mode_with_count().map(|(m, _)| m)
+    }
+
+    /// [`Mailbox::mode`] together with its multiplicity — one pass serves
+    /// callers that need both (OneThirdRule's update *and* decision rules).
+    #[must_use]
+    pub fn mode_with_count(&self) -> Option<(M, usize)> {
+        // Resolve every payload once into a stack buffer, then count
+        // pairwise over the bare references — the quadratic part must not
+        // pay the table-resolution cost per access. The buffer covers
+        // every realistic system size; larger mailboxes (up to
+        // MAX_PROCESSES) take the direct path.
+        const STACK: usize = 16;
+        if self.len() <= STACK {
+            let mut resolved: [Option<&M>; STACK] = [None; STACK];
+            let mut k = 0;
+            for m in self.messages() {
+                resolved[k] = Some(m);
+                k += 1;
             }
-            let count = j - i;
+            return Self::mode_of(resolved[..k].iter().flatten().copied());
+        }
+        Self::mode_of(self.messages())
+    }
+
+    /// The pairwise mode/count fold over an iterable of message refs.
+    fn mode_of<'m, I>(messages: I) -> Option<(M, usize)>
+    where
+        I: Iterator<Item = &'m M> + Clone,
+        M: 'm,
+    {
+        let mut best: Option<(&M, usize)> = None;
+        for m in messages.clone() {
+            if let Some((bm, _)) = best {
+                // Already counted this value (and a recount cannot beat
+                // itself) — the common case once an algorithm converges
+                // and every message is equal.
+                if m == bm {
+                    continue;
+                }
+            }
+            let count = messages.clone().filter(|x| *x == m).count();
             let better = match best {
                 None => true,
-                Some((_, c)) => count > c,
+                Some((bm, bc)) => count > bc || (count == bc && m < bm),
             };
             if better {
-                best = Some((sorted[i], count));
+                best = Some((m, count));
             }
-            i = j;
         }
-        best.map(|(m, _)| m.clone())
+        best.map(|(m, c)| (m.clone(), c))
     }
 }
 
@@ -322,6 +632,118 @@ mod tests {
     }
 
     #[test]
+    fn table_delivery_is_readable_through_every_accessor() {
+        // Senders 0 and 2 broadcast via the table; 1 unicasts explicitly.
+        let table = Arc::new(vec![
+            SendPlan::broadcast(10u32),
+            SendPlan::to(p(9), 11),
+            SendPlan::broadcast(12),
+        ]);
+        let mut mb = Mailbox::empty();
+        mb.deliver_table(Arc::clone(&table), ProcessSet::from_indices([0, 2]));
+        mb.push_trusted(p(1), 11);
+        assert_eq!(mb.len(), 3);
+        assert!(!mb.is_empty());
+        assert_eq!(mb.senders(), ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(mb.from(p(0)), Some(&10));
+        assert_eq!(mb.from(p(1)), Some(&11));
+        assert_eq!(mb.from(p(2)), Some(&12));
+        assert_eq!(mb.from(p(3)), None);
+        // Merged iteration is ascending by sender here.
+        let pairs: Vec<(usize, u32)> = mb.iter().map(|(q, m)| (q.index(), *m)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 11), (2, 12)]);
+        assert_eq!(mb.min_message(), Some(&10));
+        assert_eq!(mb.mode_with_count(), Some((10, 1)));
+        assert_eq!(mb.count_equal(&12), 1);
+        // The table payload is aliased, not cloned.
+        assert!(std::ptr::eq(
+            mb.from(p(0)).unwrap(),
+            table[0].broadcast_payload().unwrap()
+        ));
+        // map/filter preserve table-delivered messages.
+        assert_eq!(mb.map(|m| m + 1).from(p(2)), Some(&13));
+        let kept = mb.filter_senders(ProcessSet::from_indices([1, 2]));
+        assert_eq!(kept.senders(), ProcessSet::from_indices([1, 2]));
+        assert_eq!(kept.from(p(2)), Some(&12));
+        // try_push sees table senders as duplicates.
+        let mut mb2 = mb.clone();
+        assert_eq!(mb2.try_push(p(0), 99), Err(DuplicateSender(p(0))));
+        // clear releases the table.
+        mb2.clear();
+        assert!(mb2.is_empty());
+        assert_eq!(mb2.from(p(0)), None);
+    }
+
+    #[test]
+    fn second_round_table_falls_back_to_shared_entries() {
+        // Delivering from two different outboxes into one mailbox must not
+        // rebind the table (the first senders would resolve against the
+        // wrong plans); the second delivery materialises shared entries.
+        let table_a = Arc::new(vec![SendPlan::broadcast(10u32), SendPlan::Silent]);
+        let table_b = Arc::new(vec![SendPlan::Silent, SendPlan::broadcast(21u32)]);
+        let mut mb = Mailbox::empty();
+        mb.deliver_table(Arc::clone(&table_a), ProcessSet::from_indices([0]));
+        mb.deliver_table(Arc::clone(&table_b), ProcessSet::from_indices([1]));
+        assert_eq!(mb.from(p(0)), Some(&10), "first table still authoritative");
+        assert_eq!(mb.from(p(1)), Some(&21), "second delivery readable");
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.senders(), ProcessSet::from_indices([0, 1]));
+        // The fallback aliases table B's payload rather than cloning it.
+        assert!(std::ptr::eq(
+            mb.from(p(1)).unwrap(),
+            table_b[1].broadcast_payload().unwrap()
+        ));
+    }
+
+    #[test]
+    fn filter_senders_drops_unused_round_table() {
+        let table = Arc::new(vec![SendPlan::broadcast(5u32)]);
+        let mut mb = Mailbox::empty();
+        mb.deliver_table(Arc::clone(&table), ProcessSet::from_indices([0]));
+        mb.push_trusted(p(1), 6);
+        // Filtering away every table sender must not retain the table.
+        let kept = mb.filter_senders(ProcessSet::from_indices([1]));
+        assert!(kept.table.is_none());
+        assert_eq!(kept.from(p(1)), Some(&6));
+        // Filtering that keeps a table sender carries it.
+        let kept = mb.filter_senders(ProcessSet::from_indices([0]));
+        assert!(kept.table.is_some());
+        assert_eq!(kept.from(p(0)), Some(&5));
+    }
+
+    #[test]
+    fn try_push_reports_duplicates_without_panicking() {
+        let mut mb = Mailbox::empty();
+        assert_eq!(mb.try_push(p(0), 1u32), Ok(()));
+        assert_eq!(mb.try_push(p(0), 2), Err(DuplicateSender(p(0))));
+        assert_eq!(
+            mb.try_push_shared(p(0), Arc::new(3)),
+            Err(DuplicateSender(p(0)))
+        );
+        // The rejected pushes left the mailbox untouched.
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.from(p(0)), Some(&1));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut mb = Mailbox::empty();
+        for i in 0..8 {
+            mb.push(p(i), i as u32);
+        }
+        let entries_cap = mb.entries.capacity();
+        let sorted_cap = mb.sorted.capacity();
+        mb.clear();
+        assert!(mb.is_empty());
+        assert_eq!(mb.senders(), ProcessSet::empty());
+        assert_eq!(mb.entries.capacity(), entries_cap);
+        assert_eq!(mb.sorted.capacity(), sorted_cap);
+        // Reusable after clearing.
+        mb.push(p(3), 99);
+        assert_eq!(mb.from(p(3)), Some(&99));
+    }
+
+    #[test]
     fn count_and_quorum() {
         let mb: Mailbox<u32> = [(p(0), 5), (p(1), 5), (p(2), 8)].into_iter().collect();
         assert_eq!(mb.count_equal(&5), 2);
@@ -342,6 +764,14 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(mb.mode(), Some(3));
+    }
+
+    #[test]
+    fn mode_handles_large_mailboxes_past_the_stack_buffer() {
+        // 20 senders (> the 16-slot stack buffer): the direct path must
+        // agree with the buffered one.
+        let mb: Mailbox<u32> = (0..20).map(|i| (p(i), (i % 3) as u32)).collect();
+        assert_eq!(mb.mode_with_count(), Some((0, 7)));
     }
 
     #[test]

@@ -222,6 +222,13 @@ impl ProcessSet {
             Some(ProcessId::new(self.bits.trailing_zeros() as usize))
         }
     }
+
+    /// Removes the smallest member (no-op on the empty set). One
+    /// `bits & (bits − 1)` — cheaper than [`ProcessSet::remove`]'s variable
+    /// 128-bit shift, which matters to iteration-style consumers.
+    pub fn drop_min(&mut self) {
+        self.bits &= self.bits.wrapping_sub(1);
+    }
 }
 
 impl fmt::Debug for ProcessSet {

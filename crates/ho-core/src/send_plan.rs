@@ -166,36 +166,274 @@ impl<M: Clone> Clone for SendPlan<M> {
     }
 }
 
+/// Spare payload buffers retired from a sender's previous plans, kept for
+/// reuse by [`PlanSlot`]: the broadcast `Arc` of a displaced plan (reusable
+/// once every recipient has dropped its reference) and the destination
+/// vector of a displaced unicast plan.
+#[derive(Debug)]
+pub struct PlanSpares<M> {
+    arc: Option<Arc<M>>,
+    pairs: Vec<(ProcessId, M)>,
+}
+
+impl<M> Default for PlanSpares<M> {
+    fn default() -> Self {
+        PlanSpares {
+            arc: None,
+            pairs: Vec::new(),
+        }
+    }
+}
+
+/// A writable slot for one sender's round-`r` plan, backed by the sender's
+/// previous plan and its [`PlanSpares`].
+///
+/// This is the scratch-buffer side of the sending API: instead of returning
+/// a freshly allocated [`SendPlan`], an algorithm *writes* its plan through
+/// the slot, and the slot recycles the buffers of earlier rounds — the
+/// broadcast `Arc` (when the executor has already cleared the recipients'
+/// mailboxes, dropping it to a unique reference) and the unicast
+/// destination vector. In steady state a broadcast round costs **zero**
+/// heap allocations.
+#[derive(Debug)]
+pub struct PlanSlot<'a, M> {
+    plan: &'a mut SendPlan<M>,
+    spares: &'a mut PlanSpares<M>,
+}
+
+impl<'a, M> PlanSlot<'a, M> {
+    /// Builds a slot over a caller-owned plan and spare buffers.
+    #[must_use]
+    pub fn new(plan: &'a mut SendPlan<M>, spares: &'a mut PlanSpares<M>) -> Self {
+        PlanSlot { plan, spares }
+    }
+
+    /// Replaces the slot's plan, retiring the displaced plan's buffers into
+    /// the spares.
+    fn install(&mut self, new: SendPlan<M>) {
+        let old = std::mem::replace(self.plan, new);
+        match old {
+            SendPlan::Broadcast(arc) => self.spares.arc = Some(arc),
+            SendPlan::Unicast(mut pairs) => {
+                if pairs.capacity() > self.spares.pairs.capacity() {
+                    pairs.clear();
+                    self.spares.pairs = pairs;
+                }
+            }
+            SendPlan::Silent => {}
+        }
+    }
+
+    /// Writes a broadcast of `message`, reusing the current or spare
+    /// broadcast allocation when it is uniquely owned. Returns the number
+    /// of payload buffers reused in place (0 or 1).
+    pub fn broadcast(&mut self, message: M) -> u64 {
+        if let SendPlan::Broadcast(arc) = &mut *self.plan {
+            if let Some(slot) = Arc::get_mut(arc) {
+                *slot = message;
+                return 1;
+            }
+        }
+        if let Some(mut arc) = self.spares.arc.take() {
+            if let Some(slot) = Arc::get_mut(&mut arc) {
+                *slot = message;
+                self.install(SendPlan::Broadcast(arc));
+                return 1;
+            }
+            // Still shared by a long-lived reader; give up on this buffer.
+        }
+        self.install(SendPlan::broadcast(message));
+        0
+    }
+
+    /// Like [`PlanSlot::broadcast`], but lets the caller overwrite a
+    /// reusable payload buffer in place instead of building a fresh payload
+    /// first: `reuse` runs when a uniquely owned payload from an earlier
+    /// round is available (e.g. `Clone::clone_into`, which also reuses the
+    /// payload's own heap), `make` builds the payload otherwise. Returns
+    /// the number of payload buffers reused in place (0 or 1).
+    pub fn broadcast_with(&mut self, make: impl FnOnce() -> M, reuse: impl FnOnce(&mut M)) -> u64 {
+        if let SendPlan::Broadcast(arc) = &mut *self.plan {
+            if let Some(slot) = Arc::get_mut(arc) {
+                reuse(slot);
+                return 1;
+            }
+        }
+        if let Some(mut arc) = self.spares.arc.take() {
+            if let Some(slot) = Arc::get_mut(&mut arc) {
+                reuse(slot);
+                self.install(SendPlan::Broadcast(arc));
+                return 1;
+            }
+        }
+        self.install(SendPlan::broadcast(make()));
+        0
+    }
+
+    /// Writes a single-destination plan, reusing the current or spare
+    /// destination vector. Returns the number of buffers reused in place.
+    pub fn unicast_to(&mut self, destination: ProcessId, message: M) -> u64 {
+        if let SendPlan::Unicast(pairs) = &mut *self.plan {
+            pairs.clear();
+            pairs.push((destination, message));
+            return 1;
+        }
+        let mut pairs = std::mem::take(&mut self.spares.pairs);
+        let reused = u64::from(pairs.capacity() > 0);
+        pairs.clear();
+        pairs.push((destination, message));
+        self.install(SendPlan::Unicast(pairs));
+        reused
+    }
+
+    /// Writes the empty plan. An existing unicast plan is emptied in place
+    /// (keeping its buffer warm — [`SendPlan::is_silent`] treats an empty
+    /// destination list as silent); a broadcast plan is retired into the
+    /// spares.
+    pub fn silent(&mut self) {
+        match &mut *self.plan {
+            SendPlan::Unicast(pairs) => pairs.clear(),
+            SendPlan::Broadcast(_) => self.install(SendPlan::Silent),
+            SendPlan::Silent => {}
+        }
+    }
+
+    /// Installs an already-built plan (the non-reusing fallback the default
+    /// [`HoAlgorithm::send_into`](crate::algorithm::HoAlgorithm::send_into)
+    /// uses).
+    pub fn set(&mut self, plan: SendPlan<M>) {
+        self.install(plan);
+    }
+}
+
 /// One round's send plans, one per process, plus delivery accounting.
 ///
 /// This is the kernel every execution machine drives: collect the plans
 /// from the pre-round states, then deliver each destination's view under
 /// whatever HO assignment the machine's fault model produced.
+///
+/// An `Outbox` is reusable: [`Outbox::recollect`] overwrites the previous
+/// round's plans through [`PlanSlot`]s, recycling their payload buffers
+/// instead of allocating fresh ones.
 #[derive(Debug)]
 pub struct Outbox<M> {
-    plans: Vec<SendPlan<M>>,
+    /// The round's plan table, behind one `Arc` so delivery can attach the
+    /// *whole table* to each recipient's mailbox: one refcount bump per
+    /// recipient per round, not one per delivered broadcast message.
+    plans: Arc<Vec<SendPlan<M>>>,
+    spares: Vec<PlanSpares<M>>,
+    /// Senders whose current plan is a broadcast — delivery to a recipient
+    /// intersects this with the HO set instead of matching every plan.
+    broadcast_set: ProcessSet,
+    /// `dest_index[d]` = senders whose unicast plan addresses `d` — so
+    /// delivery probes only the senders that actually hit this recipient.
+    dest_index: Vec<ProcessSet>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox {
+            plans: Arc::new(Vec::new()),
+            spares: Vec::new(),
+            broadcast_set: ProcessSet::empty(),
+            dest_index: Vec::new(),
+        }
+    }
 }
 
 impl<M: Clone> Outbox<M> {
-    /// Evaluates `S_q^r` once per process over the pre-round states.
+    /// An empty, reusable outbox (see [`Outbox::recollect`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Evaluates `S_q^r` once per process over the pre-round states into a
+    /// freshly allocated outbox.
     #[must_use]
     pub fn collect<A>(alg: &A, r: Round, states: &[A::State]) -> Outbox<A::Message>
     where
         A: HoAlgorithm<Message = M>,
     {
-        Outbox {
-            plans: states
-                .iter()
-                .enumerate()
-                .map(|(q, s)| alg.send(r, ProcessId::new(q), s))
-                .collect(),
+        let mut out = Outbox::default();
+        out.recollect(alg, r, states);
+        out
+    }
+
+    /// Re-evaluates `S_q^r` once per process over the pre-round states,
+    /// overwriting this outbox's previous plans in place. Each sender's
+    /// plan is written through a [`PlanSlot`], so payload buffers from the
+    /// previous round are recycled where the algorithm's
+    /// [`send_into`](crate::algorithm::HoAlgorithm::send_into) supports it.
+    ///
+    /// Returns the number of payload buffers reused in place this round.
+    /// For the broadcast `Arc`s to be reusable, the previous round's
+    /// mailboxes must have been cleared *before* this call (otherwise their
+    /// shared references keep every payload alive).
+    pub fn recollect<A>(&mut self, alg: &A, r: Round, states: &[A::State]) -> u64
+    where
+        A: HoAlgorithm<Message = M>,
+    {
+        if Arc::get_mut(&mut self.plans).is_none() {
+            // A recipient still references the previous round's table (the
+            // executor clears its mailboxes first, so this is the cold
+            // path); start a fresh one.
+            self.plans = Arc::new(Vec::with_capacity(states.len()));
         }
+        let plans = Arc::get_mut(&mut self.plans).expect("checked unique above");
+        plans.truncate(states.len());
+        self.spares.truncate(states.len());
+        while plans.len() < states.len() {
+            plans.push(SendPlan::Silent);
+        }
+        while self.spares.len() < states.len() {
+            self.spares.push(PlanSpares::default());
+        }
+        let mut reused = 0;
+        for (q, state) in states.iter().enumerate() {
+            let mut slot = PlanSlot::new(&mut plans[q], &mut self.spares[q]);
+            reused += alg.send_into(r, ProcessId::new(q), state, &mut slot);
+        }
+        self.index_plans();
+        reused
+    }
+
+    /// Rebuilds the per-kind sender sets and the destination index from
+    /// the current plans.
+    fn index_plans(&mut self) {
+        let mut broadcast = ProcessSet::empty();
+        self.dest_index.clear();
+        self.dest_index
+            .resize(self.plans.len(), ProcessSet::empty());
+        for (q, plan) in self.plans.iter().enumerate() {
+            match plan {
+                SendPlan::Broadcast(_) => broadcast.insert(ProcessId::new(q)),
+                SendPlan::Unicast(pairs) => {
+                    for (d, _) in pairs {
+                        // Destinations outside the universe are legal plan
+                        // content but undeliverable; ignore them here.
+                        if let Some(slot) = self.dest_index.get_mut(d.index()) {
+                            slot.insert(ProcessId::new(q));
+                        }
+                    }
+                }
+                SendPlan::Silent => {}
+            }
+        }
+        self.broadcast_set = broadcast;
     }
 
     /// Builds an outbox directly from plans (one per process).
     #[must_use]
     pub fn from_plans(plans: Vec<SendPlan<M>>) -> Self {
-        Outbox { plans }
+        let mut out = Outbox {
+            plans: Arc::new(plans),
+            spares: Vec::new(),
+            broadcast_set: ProcessSet::empty(),
+            dest_index: Vec::new(),
+        };
+        out.index_plans();
+        out
     }
 
     /// Number of senders covered.
@@ -232,17 +470,29 @@ impl<M: Clone> Outbox<M> {
         mailbox: &mut Mailbox<M>,
     ) -> u64 {
         let mut deep_clones = 0;
-        for q in allowed.iter() {
-            match &self.plans[q.index()] {
-                SendPlan::Broadcast(m) => mailbox.push_shared(q, Arc::clone(m)),
-                SendPlan::Unicast(pairs) => {
-                    if let Some((_, m)) = pairs.iter().find(|(d, _)| *d == dest) {
-                        mailbox.push(q, m.clone());
-                        deep_clones += 1;
-                    }
+        // Senders are unique (drawn from a set) and each plan addresses a
+        // destination at most once, so the trusted (debug-assert-only)
+        // mailbox inserts are sound here. Unicast deliveries only touch
+        // the senders whose plan actually addresses *this* recipient.
+        let addressed = self
+            .dest_index
+            .get(dest.index())
+            .copied()
+            .unwrap_or_else(ProcessSet::empty);
+        for q in allowed.intersection(addressed).iter() {
+            if let SendPlan::Unicast(pairs) = &self.plans[q.index()] {
+                if let Some((_, m)) = pairs.iter().find(|(d, _)| *d == dest) {
+                    mailbox.push_trusted(q, m.clone());
+                    deep_clones += 1;
                 }
-                SendPlan::Silent => {}
             }
+        }
+        // Broadcast deliveries are one bitset intersection and one
+        // `deliver_table` call attaching the round table — a single
+        // refcount bump per recipient, no per-message work at all.
+        let broadcasters = allowed.intersection(self.broadcast_set);
+        if !broadcasters.is_empty() {
+            mailbox.deliver_table(Arc::clone(&self.plans), broadcasters);
         }
         deep_clones
     }
@@ -343,6 +593,106 @@ mod tests {
             0
         );
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn plan_slot_reuses_unique_broadcast_allocation() {
+        let mut plan = SendPlan::broadcast(1u64);
+        let payload_ptr = match &plan {
+            SendPlan::Broadcast(a) => Arc::as_ptr(a),
+            _ => unreachable!(),
+        };
+        let mut spares = PlanSpares::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        assert_eq!(slot.broadcast(2), 1, "unique Arc is rewritten in place");
+        match &plan {
+            SendPlan::Broadcast(a) => {
+                assert_eq!(**a, 2);
+                assert_eq!(Arc::as_ptr(a), payload_ptr, "no new allocation");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn plan_slot_allocates_while_payload_is_shared() {
+        let mut plan = SendPlan::broadcast(1u64);
+        let held = match &plan {
+            SendPlan::Broadcast(a) => Arc::clone(a),
+            _ => unreachable!(),
+        };
+        let mut spares = PlanSpares::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        // A recipient still holds the payload: rewriting must not alias it.
+        assert_eq!(slot.broadcast(2), 0);
+        assert_eq!(*held, 1, "the shared payload is untouched");
+        assert_eq!(plan.broadcast_payload(), Some(&2));
+        // Once the recipient drops its reference, the retired Arc comes
+        // back into service via the spares.
+        drop(held);
+        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        assert_eq!(slot.broadcast(3), 1);
+    }
+
+    #[test]
+    fn plan_slot_reuses_unicast_pairs_across_silent_rounds() {
+        let mut plan: SendPlan<u64> = SendPlan::Silent;
+        let mut spares = PlanSpares::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        assert_eq!(slot.unicast_to(p(2), 7), 0, "first round allocates");
+        slot.silent();
+        assert!(plan.is_silent(), "empty destination list reads as silent");
+        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        assert_eq!(slot.unicast_to(p(1), 9), 1, "buffer kept warm");
+        assert_eq!(plan.message_for(p(1)), Some(&9));
+        assert_eq!(plan.message_for(p(2)), None);
+    }
+
+    #[test]
+    fn recollect_reuses_payloads_once_mailboxes_clear() {
+        struct Bcast;
+        impl HoAlgorithm for Bcast {
+            type State = u64;
+            type Message = u64;
+            type Value = u64;
+            fn n(&self) -> usize {
+                2
+            }
+            fn init(&self, _p: ProcessId, v: u64) -> u64 {
+                v
+            }
+            fn send(&self, _r: Round, _p: ProcessId, s: &u64) -> SendPlan<u64> {
+                SendPlan::broadcast(*s)
+            }
+            fn send_into(
+                &self,
+                _r: Round,
+                _p: ProcessId,
+                s: &u64,
+                slot: &mut PlanSlot<'_, u64>,
+            ) -> u64 {
+                slot.broadcast(*s)
+            }
+            fn transition(&self, _r: Round, _p: ProcessId, _s: &mut u64, _mb: &Mailbox<u64>) {}
+            fn decision(&self, _s: &u64) -> Option<u64> {
+                None
+            }
+        }
+        let states = [10u64, 20];
+        let mut outbox = Outbox::new();
+        assert_eq!(outbox.recollect(&Bcast, Round(1), &states), 0);
+        let mut mailboxes: Vec<Mailbox<u64>> = vec![Mailbox::empty(), Mailbox::empty()];
+        for (i, mb) in mailboxes.iter_mut().enumerate() {
+            outbox.deliver_into(p(i), ProcessSet::full(2), mb);
+        }
+        // Mailboxes still reference the payloads: no reuse possible.
+        assert_eq!(outbox.recollect(&Bcast, Round(2), &states), 0);
+        // After clearing the recipients, both Arcs are unique again.
+        for mb in &mut mailboxes {
+            mb.clear();
+        }
+        assert_eq!(outbox.recollect(&Bcast, Round(3), &states), 2);
+        assert_eq!(outbox.plan(p(0)).broadcast_payload(), Some(&10));
     }
 
     #[test]

@@ -3,30 +3,109 @@
 //! Communication predicates (§3.1) are expressed over these collections.
 //! A [`Trace`] records one HO set per process per executed round; the
 //! [`predicate`](crate::predicate) module evaluates predicates against it.
+//!
+//! ## Retention modes
+//!
+//! Recording every round is only useful when somebody reads the rows back.
+//! The sweep harness runs hundreds of thousands of rounds whose HO sets are
+//! never inspected, and the predicate machines only ever look at a bounded
+//! suffix. [`TraceMode`] picks the retention policy:
+//!
+//! * [`TraceMode::Full`] — keep every round (the default; what predicate
+//!   evaluation over whole runs needs).
+//! * [`TraceMode::Window`] — keep only the last `k` rounds; evicted row
+//!   buffers are recycled, so steady-state recording allocates nothing.
+//! * [`TraceMode::Off`] — keep no rows at all, only the running HO
+//!   statistics (round count, transmission faults, delivery ratio), which
+//!   stay exact in every mode.
+
+use std::collections::VecDeque;
 
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
+
+/// How many evicted row buffers [`Trace`] keeps around for reuse.
+const SPARE_ROWS: usize = 8;
+
+/// Which rounds a [`Trace`] retains (statistics are kept in every mode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Retain every recorded round.
+    #[default]
+    Full,
+    /// Retain only the most recent `k` rounds (`k ≥ 1`); older rows are
+    /// evicted and their buffers recycled.
+    Window(usize),
+    /// Retain no rows; only the running statistics are maintained.
+    Off,
+}
 
 /// The heard-of sets of a (finite prefix of a) run.
 ///
 /// `Trace` indexes rounds from 1 as the paper does. A finite trace can only
 /// ever *witness* an existential predicate (such as `P_otr`) — predicates
 /// quantify over infinite runs, so "false on this prefix" means "not yet".
+///
+/// Under [`TraceMode::Window`] or [`TraceMode::Off`] only a suffix (or
+/// nothing) of the recorded rounds is retained; accessing an evicted round
+/// panics. [`Trace::rounds`] and the fault statistics always cover the
+/// *whole* recorded run.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     n: usize,
-    /// `rounds[r - 1][p]` = `HO(p, r)`.
-    rounds: Vec<Vec<ProcessSet>>,
+    mode: TraceMode,
+    /// The retained rows, oldest first; `rows[i]` is round
+    /// `first_retained_round() + i` and `rows[i][p]` = `HO(p, r)`.
+    rows: VecDeque<Vec<ProcessSet>>,
+    /// Recycled row buffers (capacity-retaining, bounded by [`SPARE_ROWS`]).
+    spare: Vec<Vec<ProcessSet>>,
+    /// Total rounds recorded, retained or not.
+    total: u64,
+    /// Running transmission-fault count over all recorded rounds.
+    faults: u64,
 }
 
 impl Trace {
-    /// An empty trace over `n` processes.
+    /// An empty trace over `n` processes retaining every round.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Trace::with_mode(n, TraceMode::Full)
+    }
+
+    /// An empty trace over `n` processes with the given retention mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `TraceMode::Window(0)` — a window must span at least one
+    /// round.
+    #[must_use]
+    pub fn with_mode(n: usize, mode: TraceMode) -> Self {
+        if let TraceMode::Window(k) = mode {
+            assert!(k >= 1, "window must retain at least one round");
+        }
         Trace {
             n,
-            rounds: Vec::new(),
+            mode,
+            rows: VecDeque::new(),
+            spare: Vec::new(),
+            total: 0,
+            faults: 0,
         }
+    }
+
+    /// The retention mode.
+    #[must_use]
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Whether this trace retains rows at all (`false` under
+    /// [`TraceMode::Off`]). Callers on the hot path skip computing HO sets
+    /// when this is `false` and report per-process counts via
+    /// [`Trace::note_round`] instead.
+    #[must_use]
+    pub fn wants_rows(&self) -> bool {
+        !matches!(self.mode, TraceMode::Off)
     }
 
     /// Number of processes.
@@ -35,16 +114,62 @@ impl Trace {
         self.n
     }
 
-    /// Number of recorded rounds; rounds `1..=len` are available.
+    /// Number of recorded rounds (retained or not).
     #[must_use]
     pub fn rounds(&self) -> u64 {
-        self.rounds.len() as u64
+        self.total
+    }
+
+    /// Number of rounds currently retained; rounds
+    /// `first_retained_round()..=rounds()` are available.
+    #[must_use]
+    pub fn retained_rounds(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// The first round still retained (`Round(1)` under `Full`;
+    /// `rounds() + 1` when nothing is retained).
+    #[must_use]
+    pub fn first_retained_round(&self) -> Round {
+        Round(self.total - self.rows.len() as u64 + 1)
     }
 
     /// Whether no round has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.total == 0
+    }
+
+    /// Accounts a row's statistics and retains it per the mode.
+    fn commit_row(&mut self, row: Vec<ProcessSet>) {
+        match self.mode {
+            TraceMode::Off => self.recycle(row),
+            TraceMode::Full => self.rows.push_back(row),
+            TraceMode::Window(k) => {
+                self.rows.push_back(row);
+                while self.rows.len() > k {
+                    let evicted = self.rows.pop_front().expect("len > k ≥ 1");
+                    self.recycle(evicted);
+                }
+            }
+        }
+    }
+
+    fn recycle(&mut self, mut row: Vec<ProcessSet>) {
+        if self.spare.len() < SPARE_ROWS {
+            row.clear();
+            self.spare.push(row);
+        }
+    }
+
+    fn account(&mut self, heard: impl IntoIterator<Item = usize>) -> usize {
+        let mut covered = 0;
+        for h in heard {
+            self.faults += (self.n - h) as u64;
+            covered += 1;
+        }
+        self.total += 1;
+        covered
     }
 
     /// Records the HO sets of the next round; `ho[p]` is `HO(p, r)`.
@@ -54,14 +179,52 @@ impl Trace {
     /// Panics if `ho.len() != n`.
     pub fn push_round(&mut self, ho: Vec<ProcessSet>) {
         assert_eq!(ho.len(), self.n, "one HO set per process required");
-        self.rounds.push(ho);
+        self.account(ho.iter().map(|h| h.len()));
+        self.commit_row(ho);
+    }
+
+    /// Records the HO sets of the next round by copying from a caller-owned
+    /// slice — the allocation-free path: under [`TraceMode::Window`] the
+    /// copy lands in a recycled row buffer, under [`TraceMode::Off`] only
+    /// the statistics are updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ho.len() != n`.
+    pub fn record_round(&mut self, ho: &[ProcessSet]) {
+        assert_eq!(ho.len(), self.n, "one HO set per process required");
+        self.account(ho.iter().map(|h| h.len()));
+        if matches!(self.mode, TraceMode::Off) {
+            return;
+        }
+        let mut row = self.spare.pop().unwrap_or_default();
+        row.clear();
+        row.extend_from_slice(ho);
+        self.commit_row(row);
+    }
+
+    /// Records a round's *statistics only* from per-process heard counts
+    /// (`|HO(p, r)|`), without materialising any HO set. This is the
+    /// [`TraceMode::Off`] hot path: support sets are never computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator does not yield exactly `n` counts, or if the
+    /// trace retains rows (the round would silently go missing from them).
+    pub fn note_round(&mut self, heard: impl IntoIterator<Item = usize>) {
+        assert!(
+            !self.wants_rows(),
+            "note_round is statistics-only; this trace retains rows"
+        );
+        let covered = self.account(heard);
+        assert_eq!(covered, self.n, "one heard-count per process required");
     }
 
     /// `HO(p, r)`.
     ///
     /// # Panics
     ///
-    /// Panics if round `r` has not been recorded.
+    /// Panics if round `r` has not been recorded or is no longer retained.
     #[must_use]
     pub fn ho(&self, p: ProcessId, r: Round) -> ProcessSet {
         self.round(r)[p.index()]
@@ -71,22 +234,30 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if round `r` has not been recorded (`r` is 1-based).
+    /// Panics if round `r` has not been recorded (`r` is 1-based) or has
+    /// been evicted by the retention mode.
     #[must_use]
     pub fn round(&self, r: Round) -> &[ProcessSet] {
         assert!(
-            r.get() >= 1 && r.get() <= self.rounds(),
+            r.get() >= 1 && r.get() <= self.total,
             "round {r} not recorded"
         );
-        &self.rounds[(r.get() - 1) as usize]
+        let first = self.first_retained_round();
+        assert!(
+            r >= first,
+            "round {r} evicted by {:?} (first retained: {first})",
+            self.mode
+        );
+        &self.rows[(r.get() - first.get()) as usize]
     }
 
-    /// Iterates over recorded rounds as `(round, ho_sets)`.
+    /// Iterates over the *retained* rounds as `(round, ho_sets)`.
     pub fn iter(&self) -> impl Iterator<Item = (Round, &[ProcessSet])> {
-        self.rounds
+        let first = self.first_retained_round().get();
+        self.rows
             .iter()
             .enumerate()
-            .map(|(i, ho)| (Round(i as u64 + 1), ho.as_slice()))
+            .map(move |(i, ho)| (Round(first + i as u64), ho.as_slice()))
     }
 
     /// The *kernel* of round `r` restricted to `scope`:
@@ -132,40 +303,76 @@ impl Trace {
     /// Total number of *transmission faults* in the trace: over all rounds
     /// and processes, the transmissions that did not arrive
     /// (`Σ_{r,p} (n − |HO(p, r)|)` — the §2.3 fault count).
+    ///
+    /// Maintained as a running counter, so it covers *every* recorded
+    /// round in every [`TraceMode`] — including rounds whose rows were
+    /// evicted or never retained.
     #[must_use]
     pub fn transmission_faults(&self) -> u64 {
-        self.rounds
-            .iter()
-            .flat_map(|row| row.iter().map(|ho| (self.n - ho.len()) as u64))
-            .sum()
+        self.faults
     }
 
     /// The fraction of transmissions that arrived, in `[0, 1]`
-    /// (1.0 for an empty trace).
+    /// (1.0 for an empty trace). Like [`Trace::transmission_faults`], exact
+    /// in every retention mode.
     #[must_use]
     pub fn delivery_ratio(&self) -> f64 {
-        let total = (self.rounds.len() * self.n * self.n) as u64;
+        let total = self.total * (self.n * self.n) as u64;
         if total == 0 {
             return 1.0;
         }
-        1.0 - self.transmission_faults() as f64 / total as f64
+        1.0 - self.faults as f64 / total as f64
     }
 
     /// A sub-trace containing rounds `from..=to` (renumbered from 1).
     ///
     /// # Panics
     ///
-    /// Panics unless `1 ≤ from ≤ to ≤ rounds()`.
+    /// Panics unless `1 ≤ from ≤ to ≤ rounds()` and the range is still
+    /// retained.
     #[must_use]
     pub fn restrict(&self, from: Round, to: Round) -> Trace {
         assert!(
-            from.get() >= 1 && from <= to && to.get() <= self.rounds(),
+            from.get() >= 1 && from <= to && to.get() <= self.total,
             "invalid round range"
         );
+        let first = self.first_retained_round();
+        assert!(
+            from >= first,
+            "round {from} evicted by {:?} (first retained: {first})",
+            self.mode
+        );
+        let lo = (from.get() - first.get()) as usize;
+        let hi = (to.get() - first.get()) as usize;
+        let rows: Vec<Vec<ProcessSet>> = self.rows.range(lo..=hi).cloned().collect();
+        let faults = rows
+            .iter()
+            .flat_map(|row| row.iter().map(|ho| (self.n - ho.len()) as u64))
+            .sum();
         Trace {
             n: self.n,
-            rounds: self.rounds[(from.get() - 1) as usize..=(to.get() - 1) as usize].to_vec(),
+            mode: TraceMode::Full,
+            rows: rows.into(),
+            spare: Vec::new(),
+            total: (to.get() - from.get()) + 1,
+            faults,
         }
+    }
+
+    /// The retained suffix as a standalone [`TraceMode::Full`] trace,
+    /// renumbered from 1 — what windowed predicate evaluation runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is retained.
+    #[must_use]
+    pub fn retained(&self) -> Trace {
+        assert!(
+            !self.rows.is_empty(),
+            "no rounds retained under {:?}",
+            self.mode
+        );
+        self.restrict(self.first_retained_round(), Round(self.total))
     }
 }
 
@@ -271,5 +478,105 @@ mod tests {
     #[should_panic(expected = "invalid round range")]
     fn restrict_checks_bounds() {
         let _ = t3().restrict(Round(2), Round(9));
+    }
+
+    fn row(k: usize, n: usize) -> Vec<ProcessSet> {
+        // Distinguishable rows: process 0 hears {0..=k mod n}, others Π.
+        let mut r = vec![ProcessSet::full(n); n];
+        r[0] = ProcessSet::from_indices(0..=(k % n));
+        r
+    }
+
+    #[test]
+    fn window_retains_suffix_and_keeps_stats_exact() {
+        let n = 3;
+        let mut full = Trace::new(n);
+        let mut win = Trace::with_mode(n, TraceMode::Window(2));
+        for k in 0..5 {
+            full.push_round(row(k, n));
+            win.record_round(&row(k, n));
+        }
+        assert_eq!(win.rounds(), 5);
+        assert_eq!(win.retained_rounds(), 2);
+        assert_eq!(win.first_retained_round(), Round(4));
+        // Retained rows match the full trace, with original numbering.
+        for r in [Round(4), Round(5)] {
+            assert_eq!(win.round(r), full.round(r));
+        }
+        // Statistics cover evicted rounds too.
+        assert_eq!(win.transmission_faults(), full.transmission_faults());
+        assert!((win.delivery_ratio() - full.delivery_ratio()).abs() < 1e-12);
+        // The retained suffix round-trips through restrict/retained.
+        let suffix = win.retained();
+        assert_eq!(suffix.rounds(), 2);
+        assert_eq!(suffix.round(Round(1)), full.round(Round(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted")]
+    fn evicted_round_panics() {
+        let mut t = Trace::with_mode(2, TraceMode::Window(1));
+        t.push_round(vec![ProcessSet::full(2); 2]);
+        t.push_round(vec![ProcessSet::full(2); 2]);
+        let _ = t.round(Round(1));
+    }
+
+    #[test]
+    fn off_mode_keeps_running_stats_only() {
+        let n = 4;
+        let mut t = Trace::with_mode(n, TraceMode::Off);
+        assert!(!t.wants_rows());
+        t.note_round([4, 3, 2, 4]);
+        t.note_round([4, 4, 4, 4]);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.retained_rounds(), 0);
+        assert_eq!(t.transmission_faults(), 3);
+        assert_eq!(t.first_retained_round(), Round(3));
+        // record_round also works (stats only).
+        t.record_round(&[ProcessSet::full(n); 4]);
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.transmission_faults(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "statistics-only")]
+    fn note_round_rejected_when_rows_retained() {
+        let mut t = Trace::new(2);
+        t.note_round([2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one heard-count per process")]
+    fn note_round_checks_width() {
+        let mut t = Trace::with_mode(3, TraceMode::Off);
+        t.note_round([3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_window_rejected() {
+        let _ = Trace::with_mode(2, TraceMode::Window(0));
+    }
+
+    #[test]
+    fn iter_numbers_retained_rounds() {
+        let mut t = Trace::with_mode(2, TraceMode::Window(2));
+        for k in 0..4 {
+            t.record_round(&row(k, 2));
+        }
+        let rounds: Vec<u64> = t.iter().map(|(r, _)| r.get()).collect();
+        assert_eq!(rounds, vec![3, 4]);
+    }
+
+    #[test]
+    fn window_recycles_row_buffers() {
+        // Steady-state windowed recording reuses evicted buffers: the spare
+        // pool never grows past the bound and rows keep their capacity.
+        let mut t = Trace::with_mode(2, TraceMode::Window(3));
+        for k in 0..100 {
+            t.record_round(&row(k, 2));
+        }
+        assert_eq!(t.retained_rounds(), 3);
+        assert!(t.spare.len() <= SPARE_ROWS);
     }
 }

@@ -192,6 +192,18 @@ impl<A: HoAlgorithm> HoAlgorithm for Translated<A> {
         SendPlan::broadcast(state.known.clone())
     }
 
+    fn send_into(
+        &self,
+        _r: Round,
+        _p: ProcessId,
+        state: &Self::State,
+        slot: &mut crate::send_plan::PlanSlot<'_, Self::Message>,
+    ) -> u64 {
+        // Same plan as `send`; `clone_into` additionally reuses the payload
+        // vector's capacity when the slot hands back a unique buffer.
+        slot.broadcast_with(|| state.known.clone(), |buf| state.known.clone_into(buf))
+    }
+
     fn transition(
         &self,
         r: Round,
@@ -278,18 +290,14 @@ mod tests {
     }
 
     impl Adversary for KernelAdversary {
-        fn ho_sets(&mut self, r: Round, n: usize) -> Vec<ProcessSet> {
-            let noisy = self.chaos.ho_sets(r, n);
-            (0..n)
-                .map(|p| {
-                    if self.pi0.contains(ProcessId::new(p)) {
-                        // Processes in Π0 hear at least Π0 (P_k), plus noise.
-                        self.pi0.union(noisy[p])
-                    } else {
-                        noisy[p]
-                    }
-                })
-                .collect()
+        fn fill_ho_sets(&mut self, r: Round, ho: &mut [ProcessSet]) {
+            self.chaos.fill_ho_sets(r, ho);
+            for (p, slot) in ho.iter_mut().enumerate() {
+                if self.pi0.contains(ProcessId::new(p)) {
+                    // Processes in Π0 hear at least Π0 (P_k), plus noise.
+                    *slot = self.pi0.union(*slot);
+                }
+            }
         }
     }
 

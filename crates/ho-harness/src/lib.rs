@@ -39,7 +39,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use json::Json;
-pub use par::{default_threads, par_map};
+pub use par::{default_threads, par_map, par_map_with};
 pub use report::{MessageTotals, SweepReport};
-pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, Verdict};
+pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 pub use sweep::Sweep;

@@ -1,13 +1,29 @@
 //! Work-stealing parallel map over scoped threads.
 //!
 //! The sweep's unit of work is one scenario — embarrassingly parallel, no
-//! shared mutable state. Workers pull indices from one atomic counter, so
-//! long scenarios never leave a thread idle while short ones pile up
-//! elsewhere (the same dynamic scheduling `rayon`'s `par_iter` provides;
-//! implemented on `std::thread::scope` because the build environment
-//! vendors no external crates).
+//! shared mutable state. Workers claim *chunks* of indices from one atomic
+//! counter, so long scenarios never leave a thread idle while short ones
+//! pile up elsewhere (the same dynamic scheduling `rayon`'s `par_iter`
+//! provides; implemented on `std::thread::scope` because the build
+//! environment vendors no external crates). Chunked claiming amortises the
+//! atomic traffic over `CHUNK_TARGET` claims per worker, and
+//! [`par_map_with`] gives every worker a private, reusable scratch value —
+//! what lets the sweep carry its round buffers from scenario to scenario
+//! instead of re-allocating them per item.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aim for this many chunk claims per worker: few enough that the atomic
+/// counter stays cold, many enough that an unlucky worker stuck with slow
+/// scenarios can shed the rest of the grid to its peers.
+const CHUNK_TARGET: usize = 16;
+
+/// Upper bound on a chunk, bounding the tail latency of the last chunks.
+const MAX_CHUNK: usize = 64;
+
+fn chunk_size(items: usize, workers: usize) -> usize {
+    (items / (workers * CHUNK_TARGET)).clamp(1, MAX_CHUNK)
+}
 
 /// Maps `f` over `items` on `threads` worker threads, preserving order.
 ///
@@ -24,34 +40,67 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch: every worker calls `init` once and
+/// threads the resulting state through all of its `f` calls. Order of the
+/// results is preserved; the assignment of items to workers is not
+/// deterministic (the scratch must not influence results).
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     assert!(threads >= 1, "need at least one worker");
     if threads == 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
     }
 
+    let workers = threads.min(items.len());
+    let chunk = chunk_size(items.len(), workers);
     let next = AtomicUsize::new(0);
-    let mut labelled: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    // Each worker returns (start_index, results) chunks; merging by start
+    // index restores grid order.
+    let mut chunks: Vec<(usize, Vec<R>)> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..threads.min(items.len()) {
+        for _ in 0..workers {
             handles.push(scope.spawn(|| {
-                let mut out = Vec::new();
+                let mut scratch = init();
+                let mut out: Vec<(usize, Vec<R>)> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
                         break;
                     }
-                    out.push((i, f(&items[i])));
+                    let end = (start + chunk).min(items.len());
+                    let mut results = Vec::with_capacity(end - start);
+                    for item in &items[start..end] {
+                        results.push(f(&mut scratch, item));
+                    }
+                    out.push((start, results));
                 }
                 out
             }));
         }
         for h in handles {
-            labelled.extend(h.join().expect("sweep worker panicked"));
+            chunks.extend(h.join().expect("sweep worker panicked"));
         }
     });
-    labelled.sort_by_key(|(i, _)| *i);
-    labelled.into_iter().map(|(_, r)| r).collect()
+    chunks.sort_by_key(|(start, _)| *start);
+    debug_assert_eq!(
+        chunks.iter().map(|(_, r)| r.len()).sum::<usize>(),
+        items.len()
+    );
+    chunks.into_iter().flat_map(|(_, r)| r).collect()
 }
 
 /// The number of workers to use by default: all available cores.
@@ -89,6 +138,56 @@ mod tests {
     }
 
     #[test]
+    fn odd_sizes_cover_every_item() {
+        // Chunked claiming must not drop or duplicate boundary items.
+        for len in [1usize, 2, 63, 64, 65, 127, 1000] {
+            let items: Vec<usize> = (0..len).collect();
+            let out = par_map(&items, 3, |&x| x);
+            assert_eq!(out, items, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // With one worker, the scratch value threads through every call.
+        let items: Vec<u64> = (0..10).collect();
+        let out = par_map_with(
+            &items,
+            1,
+            || 0u64,
+            |seen, &x| {
+                *seen += 1;
+                (*seen, x)
+            },
+        );
+        let counts: Vec<u64> = out.iter().map(|(c, _)| *c).collect();
+        assert_eq!(counts, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_scratch_is_isolated() {
+        use std::sync::atomic::AtomicUsize;
+        // Every worker gets its own scratch: the number of `init` calls
+        // equals the number of workers actually spawned, never more.
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let out = par_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, &x| {
+                scratch.push(x);
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
     fn actually_uses_multiple_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
@@ -100,5 +199,14 @@ mod tests {
             std::thread::yield_now();
         });
         assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn chunk_sizes_are_sane() {
+        assert_eq!(chunk_size(10, 16), 1);
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(1 << 20, 2), MAX_CHUNK);
+        let mid = chunk_size(1920, 4);
+        assert!((1..=MAX_CHUNK).contains(&mid));
     }
 }

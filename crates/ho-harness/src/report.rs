@@ -9,14 +9,24 @@ use crate::scenario::Verdict;
 /// Message-cost totals across a sweep.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MessageTotals {
-    /// Payload allocations under the SendPlan kernel.
+    /// Payload constructions under the SendPlan kernel.
     pub payload_allocs: u64,
+    /// Constructions served from recycled buffers (no allocator traffic).
+    pub payload_reuses: u64,
     /// Messages delivered into mailboxes.
     pub delivered: u64,
     /// What the per-destination scheme would have deep-cloned.
     pub legacy_clones: u64,
     /// Rounds executed across all scenarios.
     pub rounds: u64,
+}
+
+impl MessageTotals {
+    /// Constructions that actually hit the allocator.
+    #[must_use]
+    pub fn fresh_allocs(&self) -> u64 {
+        self.payload_allocs - self.payload_reuses
+    }
 }
 
 /// The aggregated outcome of a [`Sweep`](crate::Sweep) run.
@@ -49,6 +59,7 @@ impl SweepReport {
         let violations = verdicts.iter().filter(|v| !v.is_safe()).count();
         let totals = MessageTotals {
             payload_allocs: verdicts.iter().map(|v| v.payload_allocs).sum(),
+            payload_reuses: verdicts.iter().map(|v| v.payload_reuses).sum(),
             delivered: verdicts.iter().map(|v| v.delivered_messages).sum(),
             legacy_clones: verdicts.iter().map(|v| v.legacy_clones).sum(),
             rounds: verdicts.iter().map(|v| v.rounds_run).sum(),
@@ -126,6 +137,8 @@ impl SweepReport {
                 "messages",
                 Json::obj([
                     ("payload_allocs", Json::UInt(self.totals.payload_allocs)),
+                    ("payload_reuses", Json::UInt(self.totals.payload_reuses)),
+                    ("fresh_allocs", Json::UInt(self.totals.fresh_allocs())),
                     ("delivered", Json::UInt(self.totals.delivered)),
                     ("legacy_clones", Json::UInt(self.totals.legacy_clones)),
                     ("rounds", Json::UInt(self.totals.rounds)),
@@ -145,7 +158,7 @@ impl SweepReport {
 
 fn verdict_json(v: &Verdict) -> Json {
     Json::obj([
-        ("id", Json::Str(v.id.clone())),
+        ("id", Json::Str(v.id())),
         (
             "decided_round",
             v.decided_round.map_or(Json::Null, Json::UInt),
@@ -157,6 +170,7 @@ fn verdict_json(v: &Verdict) -> Json {
         ),
         ("rounds", Json::UInt(v.rounds_run)),
         ("payload_allocs", Json::UInt(v.payload_allocs)),
+        ("payload_reuses", Json::UInt(v.payload_reuses)),
         ("delivered", Json::UInt(v.delivered_messages)),
         ("legacy_clones", Json::UInt(v.legacy_clones)),
     ])

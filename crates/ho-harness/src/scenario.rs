@@ -5,9 +5,10 @@ use ho_core::adversary::{
     Adversary, CrashRecovery, EventuallyGood, FullDelivery, KernelOnly, Partition, RandomLoss,
 };
 use ho_core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
-use ho_core::executor::{RoundExecutor, RunError};
+use ho_core::executor::{RoundExecutor, RoundScratch, RunError};
 use ho_core::process::ProcessSet;
 use ho_core::round::Round;
+use ho_core::trace::TraceMode;
 use ho_core::HoAlgorithm;
 
 /// Which consensus algorithm a scenario runs.
@@ -186,20 +187,38 @@ impl Scenario {
     /// Executes the scenario to completion and reports the verdict.
     #[must_use]
     pub fn run(&self) -> Verdict {
+        self.run_reusing(&mut ScenarioScratch::default())
+    }
+
+    /// Executes the scenario reusing a worker-owned scratch: the executor's
+    /// type-independent round buffers survive from scenario to scenario, so
+    /// a sweep worker stops paying the warm-up allocations per scenario.
+    /// The verdict is identical to [`Scenario::run`]'s.
+    #[must_use]
+    pub fn run_reusing(&self, scratch: &mut ScenarioScratch) -> Verdict {
         match self.algorithm {
-            AlgorithmSpec::OneThirdRule => self.run_with(OneThirdRule::new(self.n)),
-            AlgorithmSpec::UniformVoting => self.run_with(UniformVoting::new(self.n)),
-            AlgorithmSpec::LastVoting => self.run_with(LastVoting::new(self.n)),
+            AlgorithmSpec::OneThirdRule => self.run_with(OneThirdRule::new(self.n), scratch),
+            AlgorithmSpec::UniformVoting => self.run_with(UniformVoting::new(self.n), scratch),
+            AlgorithmSpec::LastVoting => self.run_with(LastVoting::new(self.n), scratch),
         }
     }
 
-    fn run_with<A>(&self, alg: A) -> Verdict
+    fn run_with<A>(&self, alg: A, scratch: &mut ScenarioScratch) -> Verdict
     where
         A: HoAlgorithm<Value = u64>,
     {
         let start = std::time::Instant::now();
         let mut adversary = self.adversary.build(self.n, self.seed);
-        let mut exec = RoundExecutor::new(alg, self.initial_values());
+        // The sweep never reads rows back — verdicts come from the
+        // consensus checker and the running stats — so the trace runs in
+        // the statistics-only mode and the per-round support sets are
+        // never even computed.
+        let mut exec = RoundExecutor::with_scratch(
+            alg,
+            self.initial_values(),
+            TraceMode::Off,
+            std::mem::take(&mut scratch.round),
+        );
         let (decided_round, mut violation) =
             match exec.run_until_all_decided(&mut adversary, self.max_rounds) {
                 Ok(r) => (Some(r.get()), None),
@@ -215,8 +234,7 @@ impl Scenario {
             }
         }
         let stats = exec.message_stats();
-        Verdict {
-            id: self.id(),
+        let verdict = Verdict {
             algorithm: self.algorithm.name(),
             adversary: self.adversary.name(),
             n: self.n,
@@ -227,18 +245,27 @@ impl Scenario {
             violation,
             rounds_run: exec.current_round().get(),
             payload_allocs: stats.payload_allocs,
+            payload_reuses: stats.payload_reuses,
             delivered_messages: stats.delivered,
             legacy_clones: stats.legacy_clones(),
             wall_nanos: start.elapsed().as_nanos() as u64,
-        }
+        };
+        // Hand the round buffers back for the next scenario.
+        scratch.round = exec.into_scratch();
+        verdict
     }
+}
+
+/// Worker-owned buffers reused across scenarios by
+/// [`Scenario::run_reusing`].
+#[derive(Debug, Default)]
+pub struct ScenarioScratch {
+    round: RoundScratch,
 }
 
 /// The outcome of one scenario.
 #[derive(Clone, Debug)]
 pub struct Verdict {
-    /// The scenario identifier ([`Scenario::id`]).
-    pub id: String,
     /// Algorithm name.
     pub algorithm: &'static str,
     /// Adversary name.
@@ -258,9 +285,13 @@ pub struct Verdict {
     pub violation: Option<String>,
     /// Rounds actually executed.
     pub rounds_run: u64,
-    /// Payload allocations under the SendPlan kernel (O(n) per broadcast
+    /// Payload constructions under the SendPlan kernel (O(n) per broadcast
     /// round).
     pub payload_allocs: u64,
+    /// Payload constructions written into recycled buffers — zero
+    /// allocator traffic (fresh allocations are
+    /// `payload_allocs − payload_reuses`).
+    pub payload_reuses: u64,
     /// Messages delivered into mailboxes.
     pub delivered_messages: u64,
     /// What the per-destination scheme would have deep-cloned (O(n²) per
@@ -271,6 +302,16 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// The scenario identifier ([`Scenario::id`]), derived on demand —
+    /// building the string per scenario was measurable sweep overhead.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/n{}/s{}",
+            self.algorithm, self.adversary, self.n, self.seed
+        )
+    }
+
     /// Whether the run was safe (possibly undecided, but never wrong).
     #[must_use]
     pub fn is_safe(&self) -> bool {
@@ -348,6 +389,42 @@ mod tests {
         // round, the legacy scheme would clone up to n² per round.
         assert!(v.payload_allocs < v.legacy_clones);
         assert_eq!(v.payload_allocs, 4 * v.rounds_run);
+    }
+
+    #[test]
+    fn scratch_reuse_is_verdict_neutral() {
+        // One scratch threaded through mixed algorithms and sizes must
+        // reproduce the fresh-scratch verdicts exactly.
+        let mut scratch = ScenarioScratch::default();
+        for (algorithm, n) in [
+            (AlgorithmSpec::OneThirdRule, 7),
+            (AlgorithmSpec::LastVoting, 4),
+            (AlgorithmSpec::UniformVoting, 10),
+            (AlgorithmSpec::OneThirdRule, 4),
+        ] {
+            let s = Scenario {
+                algorithm,
+                adversary: AdversarySpec::RandomLoss { loss: 0.3 },
+                n,
+                seed: 11,
+                max_rounds: 60,
+                cooldown_rounds: 5,
+            };
+            let fresh = s.run();
+            let reused = s.run_reusing(&mut scratch);
+            assert_eq!(fresh.decided_round, reused.decided_round);
+            assert_eq!(fresh.decision_value, reused.decision_value);
+            assert_eq!(fresh.violation, reused.violation);
+            assert_eq!(fresh.delivered_messages, reused.delivered_messages);
+            assert_eq!(fresh.payload_allocs, reused.payload_allocs);
+        }
+    }
+
+    #[test]
+    fn broadcast_scenarios_reuse_almost_every_payload() {
+        let v = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery).run();
+        // OneThirdRule writes through the plan slot: only round 1 allocates.
+        assert_eq!(v.payload_allocs - v.payload_reuses, v.n as u64);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use std::time::Instant;
 
-use crate::par::{default_threads, par_map};
+use crate::par::{default_threads, par_map_with};
 use crate::report::SweepReport;
-use crate::scenario::{AdversarySpec, AlgorithmSpec, Scenario, Verdict};
+use crate::scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 
 /// A builder for (algorithm × adversary × size × seed) sweeps.
 ///
@@ -132,13 +132,20 @@ impl Sweep {
         out
     }
 
-    /// Runs every scenario across the worker pool and aggregates.
+    /// Runs every scenario across the worker pool and aggregates. Workers
+    /// claim chunks of the grid and carry one [`ScenarioScratch`] each, so
+    /// round buffers are reused from scenario to scenario.
     #[must_use]
     pub fn run(&self) -> SweepReport {
         let scenarios = self.scenarios();
         let threads = self.threads.unwrap_or_else(default_threads);
         let start = Instant::now();
-        let verdicts: Vec<Verdict> = par_map(&scenarios, threads, Scenario::run);
+        let verdicts: Vec<Verdict> = par_map_with(
+            &scenarios,
+            threads,
+            ScenarioScratch::default,
+            |scratch, s| s.run_reusing(scratch),
+        );
         SweepReport::aggregate(verdicts, start.elapsed(), threads)
     }
 }
@@ -173,7 +180,7 @@ mod tests {
         let key = |r: &SweepReport| {
             r.verdicts
                 .iter()
-                .map(|v| (v.id.clone(), v.decided_round, v.decision_value))
+                .map(|v| (v.id(), v.decided_round, v.decision_value))
                 .collect::<Vec<_>>()
         };
         assert_eq!(key(&seq), key(&par), "scenario outcomes are deterministic");

@@ -30,7 +30,7 @@ use ho_core::round::Round;
 use ho_core::Mailbox;
 use ho_sim::program::{policy, Program, StepKind};
 
-use crate::record::{RoundLog, RoundRecord};
+use crate::record::{BoundedLog, RoundLog, RoundRecord};
 use crate::StoredMsgs;
 
 /// The wire format of Algorithm 2: the upper layer's round-`round` message.
@@ -85,7 +85,7 @@ pub struct Alg2Program<A: HoAlgorithm> {
     // ---- stable storage ----
     stable: StableImage<A::State>,
     // ---- observability ----
-    records: Vec<RoundRecord>,
+    records: BoundedLog,
     crashes: u64,
 }
 
@@ -110,9 +110,25 @@ impl<A: HoAlgorithm> Alg2Program<A> {
             msgs: Vec::new(),
             i: 0,
             sending: true,
-            records: Vec::new(),
+            records: BoundedLog::new(),
             crashes: 0,
         }
+    }
+
+    /// Caps the observability log at the last `window` executed rounds:
+    /// the program stops accreting one record (a `ProcessSet` plus a round
+    /// number) per round, which matters on long runs where only a bounded
+    /// predicate window is ever evaluated. A polling
+    /// [`SystemTrace`](crate::record::SystemTrace) must observe at least
+    /// every `window` executed rounds (it asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_record_window(mut self, window: usize) -> Self {
+        self.records.set_window(window);
+        self
     }
 
     /// The upper-layer algorithm.
@@ -254,7 +270,11 @@ impl<A: HoAlgorithm> Program for Alg2Program<A> {
 
 impl<A: HoAlgorithm> RoundLog for Alg2Program<A> {
     fn records(&self) -> &[RoundRecord] {
-        &self.records
+        self.records.records()
+    }
+
+    fn discarded(&self) -> u64 {
+        self.records.discarded()
     }
 }
 

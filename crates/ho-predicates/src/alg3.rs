@@ -35,7 +35,7 @@ use ho_core::round::Round;
 use ho_core::Mailbox;
 use ho_sim::program::{policy, Program, StepKind};
 
-use crate::record::{RoundLog, RoundRecord};
+use crate::record::{BoundedLog, RoundLog, RoundRecord};
 use crate::StoredMsgs;
 
 /// The wire format of Algorithm 3.
@@ -166,7 +166,7 @@ pub struct Alg3Program<A: HoAlgorithm> {
     // ---- stable ----
     stable: StableImage<A::State>,
     // ---- observability ----
-    records: Vec<RoundRecord>,
+    records: BoundedLog,
     crashes: u64,
     inits_sent: u64,
 }
@@ -214,10 +214,22 @@ impl<A: HoAlgorithm> Alg3Program<A> {
             i: 0,
             mode: Mode::SendRound,
             recv_steps: 0,
-            records: Vec::new(),
+            records: BoundedLog::new(),
             crashes: 0,
             inits_sent: 0,
         }
+    }
+
+    /// Caps the observability log at the last `window` executed rounds
+    /// (see `Alg2Program::with_record_window`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn with_record_window(mut self, window: usize) -> Self {
+        self.records.set_window(window);
+        self
     }
 
     /// Sets the INIT re-announcement policy (ablation knob).
@@ -452,7 +464,11 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
 
 impl<A: HoAlgorithm> RoundLog for Alg3Program<A> {
     fn records(&self) -> &[RoundRecord] {
-        &self.records
+        self.records.records()
+    }
+
+    fn discarded(&self) -> u64 {
+        self.records.discarded()
     }
 }
 

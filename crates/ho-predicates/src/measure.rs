@@ -105,6 +105,14 @@ impl Measurement {
 /// How far past the bound we keep simulating before declaring failure.
 const DEADLINE_FACTOR: f64 = 6.0;
 
+/// Record window for the measured programs: the [`SystemTrace`] keeps its
+/// own timestamped copy and polls after every event, so the programs only
+/// need to retain the largest batch of rounds one event can complete — a
+/// recovery fast-forward spanning the bad period, a handful of rounds for
+/// the scenarios measured here. 64 is an order of magnitude of slack; the
+/// observe assert turns any miscalibration into a loud failure.
+const RECORD_WINDOW: usize = 64;
+
 /// Measures the good-period length needed by **Algorithm 2** to achieve
 /// `P_su(π0, ρ0, ρ0+x−1)` in a π0-down good period (Theorems 3 and 5).
 ///
@@ -129,6 +137,7 @@ pub fn measure_alg2_space_uniform(
                 p as u64,
                 params.alg2_timeout(),
             )
+            .with_record_window(RECORD_WINDOW)
         })
         .collect();
     let mut sim = Simulator::new(cfg, schedule, programs);
@@ -182,6 +191,7 @@ pub fn measure_alg3_kernel(
                 f,
                 params.alg3_timeout(),
             )
+            .with_record_window(RECORD_WINDOW)
         })
         .collect();
     let mut sim = Simulator::new(cfg, schedule, programs);
@@ -242,6 +252,8 @@ pub fn measure_full_stack(
     let schedule = scenario.schedule(pi0, GoodKind::PiArbitrary);
     let programs: Vec<Alg3Program<Translated<OneThirdRule>>> = (0..n)
         .map(|p| {
+            // This run never reads the round log (the stop condition is
+            // the decisions), so the tightest window suffices.
             Alg3Program::new(
                 Translated::new(OneThirdRule::new(n), f),
                 ProcessId::new(p),
@@ -249,6 +261,7 @@ pub fn measure_full_stack(
                 f,
                 params.alg3_timeout(),
             )
+            .with_record_window(1)
         })
         .collect();
     let mut sim = Simulator::new(cfg, schedule, programs);

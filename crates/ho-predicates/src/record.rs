@@ -24,8 +24,86 @@ pub struct RoundRecord {
 
 /// A program whose executed rounds can be observed.
 pub trait RoundLog {
-    /// All rounds executed so far, in execution order.
+    /// The *retained* records, in execution order. Windowed programs (see
+    /// `Alg2Program::with_record_window`) drop old records from the front;
+    /// [`RoundLog::discarded`] says how many.
     fn records(&self) -> &[RoundRecord];
+
+    /// How many records have been dropped from the front of the log
+    /// (0 unless the program caps its record window). The full execution
+    /// history is `discarded() + records().len()` records long.
+    fn discarded(&self) -> u64 {
+        0
+    }
+}
+
+/// A bounded round log: retains at most `window` records, discarding from
+/// the front. The predicate machines embed this so their observability
+/// buffer stops accreting one `ProcessSet` per executed round on long runs;
+/// a [`SystemTrace`] polling between rounds sees every record exactly once.
+#[derive(Clone, Debug)]
+pub struct BoundedLog {
+    records: Vec<RoundRecord>,
+    /// Retention cap (`None` = unbounded, the default).
+    window: Option<usize>,
+    discarded: u64,
+}
+
+impl BoundedLog {
+    /// An unbounded log.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundedLog {
+            records: Vec::new(),
+            window: None,
+            discarded: 0,
+        }
+    }
+
+    /// Caps retention at `window` records (`window ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn set_window(&mut self, window: usize) {
+        assert!(window >= 1, "record window must retain at least one round");
+        self.window = Some(window);
+        self.evict();
+    }
+
+    /// Appends a record, evicting from the front past the window.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        if let Some(k) = self.window {
+            if self.records.len() > k {
+                let drop = self.records.len() - k;
+                self.records.drain(..drop);
+                self.discarded += drop as u64;
+            }
+        }
+    }
+
+    /// The retained records.
+    #[must_use]
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Records dropped from the front so far.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+}
+
+impl Default for BoundedLog {
+    fn default() -> Self {
+        BoundedLog::new()
+    }
 }
 
 /// Timestamped per-process round logs of a whole run.
@@ -55,10 +133,24 @@ impl SystemTrace {
     /// Ingests any rounds newly logged by the programs, stamping them with
     /// `now`. Call after every simulation event (or batch of events):
     /// timestamps are accurate to the polling granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a windowed program discarded records this trace never saw:
+    /// the record window must be large enough to cover the rounds executed
+    /// between two `observe` calls (a per-event poll needs only the largest
+    /// single fast-forward jump).
     pub fn observe<L: RoundLog>(&mut self, programs: &[L], now: f64) {
         for (p, prog) in programs.iter().enumerate() {
-            let seen = self.completed[p].len();
-            for rec in &prog.records()[seen..] {
+            let seen = self.completed[p].len() as u64;
+            let discarded = prog.discarded();
+            assert!(
+                discarded <= seen,
+                "process {p}: record window discarded {} unobserved rounds — \
+                 widen the window or observe more often",
+                discarded - seen
+            );
+            for rec in &prog.records()[(seen - discarded) as usize..] {
                 self.completed[p].push((*rec, now));
             }
         }
@@ -242,6 +334,64 @@ mod tests {
         );
         assert_eq!(st.ho(ProcessId::new(0), 2).unwrap().1, 5.0);
         assert_eq!(st.ho(ProcessId::new(1), 1).unwrap().1, 5.0);
+    }
+
+    struct WindowedLog(BoundedLog);
+    impl RoundLog for WindowedLog {
+        fn records(&self) -> &[RoundRecord] {
+            self.0.records()
+        }
+        fn discarded(&self) -> u64 {
+            self.0.discarded()
+        }
+    }
+
+    #[test]
+    fn bounded_log_drops_from_the_front() {
+        let mut log = BoundedLog::new();
+        log.set_window(2);
+        for r in 1..=5 {
+            log.push(rec(r, &[0]));
+        }
+        assert_eq!(log.discarded(), 3);
+        let rounds: Vec<u64> = log.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![4, 5]);
+    }
+
+    #[test]
+    fn observe_tracks_windowed_logs_without_double_counting() {
+        let mut st = SystemTrace::new(1);
+        let mut log = BoundedLog::new();
+        log.set_window(2);
+        log.push(rec(1, &[0]));
+        log.push(rec(2, &[0]));
+        st.observe(&[WindowedLog(log.clone())], 1.0);
+        // Two more rounds: round 1 and 2 get evicted, but the trace has
+        // already seen them; only 3 and 4 are new.
+        log.push(rec(3, &[0]));
+        log.push(rec(4, &[0]));
+        st.observe(&[WindowedLog(log)], 2.0);
+        assert_eq!(st.of(ProcessId::new(0)).len(), 4);
+        assert_eq!(
+            st.ho(ProcessId::new(0), 2),
+            Some((ProcessSet::from_indices([0]), 1.0))
+        );
+        assert_eq!(
+            st.ho(ProcessId::new(0), 4),
+            Some((ProcessSet::from_indices([0]), 2.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unobserved rounds")]
+    fn observe_rejects_outpaced_windows() {
+        let mut st = SystemTrace::new(1);
+        let mut log = BoundedLog::new();
+        log.set_window(1);
+        log.push(rec(1, &[0]));
+        log.push(rec(2, &[0]));
+        // Round 1 was evicted before the trace ever saw it.
+        st.observe(&[WindowedLog(log)], 1.0);
     }
 
     #[test]

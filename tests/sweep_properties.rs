@@ -26,7 +26,7 @@ fn assert_all_safe(report: &SweepReport, label: &str) {
         "{label}: {} of {} scenarios violated safety; first: {} -> {}",
         violating.len(),
         report.scenarios,
-        violating[0].id,
+        violating[0].id(),
         violating[0].violation.as_deref().unwrap_or("?"),
     );
 }
@@ -95,7 +95,7 @@ fn uniform_voting_violations_outside_pnek_are_detected() {
     // are sticky in all three algorithms).
     for v in report.violating() {
         let msg = v.violation.as_deref().unwrap();
-        assert!(msg.contains("agreement violated"), "{}: {msg}", v.id);
+        assert!(msg.contains("agreement violated"), "{}: {msg}", v.id());
     }
 }
 
@@ -118,7 +118,7 @@ fn eventually_good_decides_with_valid_values() {
         .run();
     assert_all_safe(&report, "eventually-good");
     for v in &report.verdicts {
-        assert!(v.all_decided(), "{} never decided", v.id);
+        assert!(v.all_decided(), "{} never decided", v.id());
         // Validity, re-checked end-to-end from the verdict itself.
         let scenario = heardof::harness::Scenario {
             algorithm: AlgorithmSpec::ALL
@@ -136,7 +136,7 @@ fn eventually_good_decides_with_valid_values() {
                 .initial_values()
                 .contains(&v.decision_value.unwrap()),
             "{}: decided a non-proposal",
-            v.id
+            v.id()
         );
     }
 }
@@ -178,7 +178,7 @@ fn decisions_are_irrevocable_over_long_runs() {
             assert!(
                 v.rounds_run >= v.decided_round.unwrap() + 100,
                 "{}: no cooldown executed",
-                v.id
+                v.id()
             );
         }
     }
@@ -199,8 +199,8 @@ fn sweep_confirms_o_n_payload_allocations() {
         .run();
     for v in &report.verdicts {
         // Pure-broadcast algorithms: exactly n payloads per round.
-        assert_eq!(v.payload_allocs, n as u64 * v.rounds_run, "{}", v.id);
+        assert_eq!(v.payload_allocs, n as u64 * v.rounds_run, "{}", v.id());
         // Full delivery: the legacy scheme would have cloned n² per round.
-        assert_eq!(v.legacy_clones, (n * n) as u64 * v.rounds_run, "{}", v.id);
+        assert_eq!(v.legacy_clones, (n * n) as u64 * v.rounds_run, "{}", v.id());
     }
 }

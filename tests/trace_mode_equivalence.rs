@@ -1,0 +1,129 @@
+//! Property tests: trace retention modes never change observable results.
+//!
+//! Across 50 sweep seeds and every algorithm/adversary pairing below, the
+//! same scenario is executed three times — under `TraceMode::Full`,
+//! `TraceMode::Window(k)` and `TraceMode::Off` — and must produce:
+//!
+//! * identical decisions and message statistics (retention is pure
+//!   observability; the execution must not feel it);
+//! * identical running HO statistics (round count, transmission faults,
+//!   delivery ratio) in all three modes, including the row-free one;
+//! * identical predicate evaluations between the windowed trace's retained
+//!   suffix and the same suffix of the full trace — window retention is
+//!   exactly "the last `k` rounds of the full record".
+
+use heardof::core::adversary::{Adversary, CrashRecovery, KernelOnly, RandomLoss};
+use heardof::core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use heardof::core::executor::RoundExecutor;
+use heardof::core::predicate::{
+    MajorityEachRound, NonEmptyKernel, P2Otr, Potr, PotrRestricted, Predicate,
+};
+use heardof::core::process::ProcessSet;
+use heardof::core::round::Round;
+use heardof::core::trace::{Trace, TraceMode};
+use heardof::core::HoAlgorithm;
+
+const SEEDS: u64 = 50;
+const ROUNDS: u64 = 40;
+const WINDOW: usize = 8;
+
+fn adversaries(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(RandomLoss::new(0.35, seed)),
+        Box::new(KernelOnly::new(0.7, seed)),
+        Box::new(CrashRecovery::new(
+            5,
+            &[(seed as usize % 5, Round(2 + seed % 4), Round(5 + seed % 4))],
+        )),
+    ]
+}
+
+fn run<A: HoAlgorithm<Value = u64>>(
+    make_alg: impl Fn() -> A,
+    adversary: &mut Box<dyn Adversary>,
+    mode: TraceMode,
+) -> RoundExecutor<A> {
+    let n = make_alg().n();
+    let values: Vec<u64> = (0..n as u64).map(|v| v % 3).collect();
+    let mut exec = RoundExecutor::with_trace_mode(make_alg(), values, mode);
+    exec.run(adversary, ROUNDS).expect("safe run");
+    exec
+}
+
+/// Every predicate the suite evaluates on a (sub-)trace, as a fingerprint.
+fn predicate_fingerprint(t: &Trace) -> Vec<bool> {
+    let n = t.n();
+    let pi0 = ProcessSet::from_indices(0..(2 * n).div_ceil(3) + 1);
+    let mut out = vec![
+        Potr.holds(t),
+        PotrRestricted.holds(t),
+        P2Otr::new(ProcessSet::full(n)).holds(t),
+        P2Otr::new(pi0).holds(t),
+        NonEmptyKernel.holds(t),
+        MajorityEachRound.holds(t),
+    ];
+    for (r, _) in t.iter() {
+        out.push(t.is_space_uniform(r, ProcessSet::full(n)));
+        out.push(t.kernel(r, ProcessSet::full(n)).is_empty());
+    }
+    out
+}
+
+fn check_modes<A: HoAlgorithm<Value = u64>>(make_alg: impl Fn() -> A + Copy, seed: u64) {
+    for (full_adv, (win_adv, off_adv)) in adversaries(seed).iter_mut().zip(
+        adversaries(seed)
+            .iter_mut()
+            .zip(adversaries(seed).iter_mut()),
+    ) {
+        let full = run(make_alg, full_adv, TraceMode::Full);
+        let win = run(make_alg, win_adv, TraceMode::Window(WINDOW));
+        let off = run(make_alg, off_adv, TraceMode::Off);
+
+        // Retention is pure observability: decisions and message accounting
+        // are identical in all three modes.
+        assert_eq!(full.decisions(), win.decisions(), "seed {seed}");
+        assert_eq!(full.decisions(), off.decisions(), "seed {seed}");
+        assert_eq!(full.message_stats(), win.message_stats(), "seed {seed}");
+        assert_eq!(full.message_stats(), off.message_stats(), "seed {seed}");
+
+        // Running HO statistics are exact in every mode.
+        for t in [win.trace(), off.trace()] {
+            assert_eq!(t.rounds(), full.trace().rounds(), "seed {seed}");
+            assert_eq!(
+                t.transmission_faults(),
+                full.trace().transmission_faults(),
+                "seed {seed}"
+            );
+            assert!(
+                (t.delivery_ratio() - full.trace().delivery_ratio()).abs() < 1e-12,
+                "seed {seed}"
+            );
+        }
+
+        // The windowed trace is exactly the last WINDOW rounds of the full
+        // record: same rows, same round numbering, and — after renumbering
+        // through `retained()` — identical predicate evaluations.
+        let wt = win.trace();
+        assert_eq!(wt.retained_rounds(), WINDOW as u64, "seed {seed}");
+        for (r, row) in wt.iter() {
+            assert_eq!(row, full.trace().round(r), "seed {seed} round {r}");
+        }
+        let suffix_of_full = full
+            .trace()
+            .restrict(wt.first_retained_round(), Round(full.trace().rounds()));
+        assert_eq!(
+            predicate_fingerprint(&wt.retained()),
+            predicate_fingerprint(&suffix_of_full),
+            "seed {seed}: windowed predicate evaluation diverged"
+        );
+    }
+}
+
+#[test]
+fn window_equals_full_on_the_retained_suffix_across_sweep_seeds() {
+    for seed in 0..SEEDS {
+        check_modes(|| OneThirdRule::new(5), seed);
+        check_modes(|| UniformVoting::new(5), seed);
+        check_modes(|| LastVoting::new(5), seed);
+    }
+}
