@@ -1,9 +1,12 @@
 //! SW — scenario sweep baseline: writes `BENCH_sweep.json`.
 //!
-//! `sweep [--smoke] [PATH]` — runs the canonical grid (single-core and
-//! all-core passes) and writes the report. With `--smoke` a thinned grid
-//! runs instead (the CI job), the emitted JSON is parsed back to prove it
-//! round-trips, and a non-zero exit reports any safety violation.
+//! `sweep [--smoke] [PATH]` — runs the canonical grid (single-core,
+//! all-core, and monitored passes) and writes the report. With `--smoke` a
+//! thinned grid runs instead (the CI job), the emitted JSON is parsed back
+//! to prove it round-trips — predicate statistics included — and a
+//! non-zero exit reports any safety violation *or* any disagreement
+//! between a monitored safety-environment predicate and the safety verdict
+//! (e.g. an empty kernel under the `kernel_only` adversary).
 
 use ho_harness::Json;
 
@@ -24,18 +27,38 @@ fn main() {
     println!("wrote {path}");
 
     if smoke {
-        // The smoke contract: the report parses back and the safe grid
-        // stayed safe.
+        // The smoke contract: the report parses back (with its predicate
+        // fields), the safe grid stayed safe, and the online predicate
+        // monitor agreed with every safety verdict.
         let parsed = Json::parse(&text).expect("sweep report must parse back");
         let Json::Obj(map) = parsed else {
             panic!("sweep report must be a JSON object");
         };
         match map.get("violations") {
-            Some(Json::UInt(0)) => println!("smoke ok: 0 violations, JSON parses"),
+            Some(Json::UInt(0)) => {}
             other => {
                 eprintln!("smoke FAILED: violations = {other:?}");
                 std::process::exit(1);
             }
         }
+        let Some(Json::Obj(predicates)) = map.get("predicates") else {
+            eprintln!("smoke FAILED: no predicate statistics in the report");
+            std::process::exit(1);
+        };
+        match predicates.get("monitored_scenarios") {
+            Some(Json::UInt(n)) if *n > 0 => {}
+            other => {
+                eprintln!("smoke FAILED: monitored_scenarios = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match predicates.get("check") {
+            Some(Json::Str(status)) if status == "ok" => {}
+            other => {
+                eprintln!("smoke FAILED: predicate/safety cross-check: {other:?}");
+                std::process::exit(1);
+            }
+        }
+        println!("smoke ok: 0 violations, predicate fields round-trip, cross-check ok");
     }
 }

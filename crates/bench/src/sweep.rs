@@ -20,7 +20,10 @@
 
 use std::time::Instant;
 
-use ho_harness::{default_threads, AdversarySpec, AlgorithmSpec, Json, Sweep, SweepReport};
+use ho_harness::{
+    default_threads, predicate_totals_json, AdversarySpec, AlgorithmSpec, Json, PredicateTotals,
+    Sweep, SweepReport,
+};
 
 /// The canonical *safe* baseline grid: every cell must finish with zero
 /// violations.
@@ -125,11 +128,63 @@ impl Pass {
     }
 }
 
+/// Checks the monitored predicate statistics against the safety verdicts
+/// — the cross-check behind the CI smoke job's exit code.
+///
+/// Two invariants tie the paper's predicate story to the sweep:
+///
+/// * **Safety environments hold by construction.** The `kernel_only`
+///   adversary exists to preserve `P_nek`; a monitored `kernel_only`
+///   scenario reporting an empty-kernel round means the monitor and the
+///   adversary disagree about the safety environment. The check applies
+///   to the *broadcast* algorithms only: the monitor observes effective
+///   HO sets (mailbox support), and a unicast-heavy algorithm like
+///   LastVoting leaves most recipients empty-handed by design, emptying
+///   the effective kernel no matter what the adversary authorised.
+/// * **Predicates explain violations.** UniformVoting is safe whenever
+///   `P_nek` holds, so a UV agreement violation in a run whose monitor
+///   saw no empty kernel — in either grid — contradicts the theorem.
+///
+/// # Errors
+///
+/// Returns the first disagreement, identifying the scenario.
+pub fn predicate_cross_check(
+    safe_grid: &[SweepReport],
+    counterexamples: &SweepReport,
+) -> Result<(), String> {
+    let verdicts = safe_grid
+        .iter()
+        .flat_map(|r| &r.verdicts)
+        .chain(&counterexamples.verdicts);
+    for v in verdicts {
+        let Some(p) = &v.predicates else {
+            return Err(format!("{}: monitored verdict missing predicates", v.id()));
+        };
+        let broadcasts_every_round = v.algorithm != "last_voting";
+        if v.adversary.starts_with("kernel_only") && broadcasts_every_round {
+            if let Some(r0) = p.first_empty_kernel {
+                return Err(format!(
+                    "{}: kernel_only adversary emptied the kernel at round {r0}",
+                    v.id()
+                ));
+            }
+        }
+        if v.algorithm == "uniform_voting" && !v.is_safe() && p.first_empty_kernel.is_none() {
+            return Err(format!(
+                "{}: UniformVoting violated safety although P_nek held all run",
+                v.id()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs the baseline grid and merges the reports into the
-/// `BENCH_sweep.json` document. The grid runs twice — single-core and
-/// all-core — so the file tracks both the round loop's raw speed and the
-/// harness's scaling. Pass `smoke = true` for the thinned CI variant
-/// (8 seeds, single pass).
+/// `BENCH_sweep.json` document. The grid runs three times — single-core,
+/// all-core, and single-core with online predicate monitoring — so the
+/// file tracks the round loop's raw speed, the harness's scaling, and the
+/// monitoring overhead. Pass `smoke = true` for the thinned CI variant
+/// (8 seeds).
 #[must_use]
 pub fn run_baseline(smoke: bool) -> Json {
     let sweeps: Vec<Sweep> = if smoke {
@@ -150,11 +205,27 @@ pub fn run_baseline(smoke: bool) -> Json {
     // Near-linear scaling ⇔ efficiency ≈ 1.
     let efficiency = multi.scenarios_per_sec() / (single.scenarios_per_sec() * threads as f64);
 
+    // Monitored single-core pass: the same grid as a predicate
+    // observatory, and the measured cost of watching.
+    let monitored_sweeps: Vec<Sweep> = sweeps
+        .iter()
+        .map(|s| s.clone().monitor_predicates(true))
+        .collect();
+    let monitored = run_pass(&monitored_sweeps, 1);
+    let monitor_overhead = single.scenarios_per_sec() / monitored.scenarios_per_sec();
+    let mut predicate_totals = PredicateTotals::default();
+    for report in &monitored.reports {
+        predicate_totals.merge(&report.predicate_totals);
+    }
+
     let counterexamples = if smoke {
-        pnek_counterexample_sweep().seeds(0..8).run()
+        pnek_counterexample_sweep().seeds(0..8)
     } else {
-        pnek_counterexample_sweep().run()
-    };
+        pnek_counterexample_sweep()
+    }
+    .monitor_predicates(true)
+    .run();
+    let check = predicate_cross_check(&monitored.reports, &counterexamples);
 
     let reports = &single.reports;
     let scenarios: u64 = single.scenarios;
@@ -242,6 +313,26 @@ pub fn run_baseline(smoke: bool) -> Json {
             ]),
         ),
         ("cells", Json::Arr(cells)),
+        ("predicates", {
+            // The shared totals serializer, extended with the bench-only
+            // throughput and cross-check fields.
+            let Json::Obj(mut map) = predicate_totals_json(&predicate_totals) else {
+                unreachable!("predicate totals serialize to an object");
+            };
+            map.insert(
+                "scenarios_per_sec".into(),
+                Json::Float(monitored.scenarios_per_sec()),
+            );
+            map.insert("overhead_vs_off".into(), Json::Float(monitor_overhead));
+            map.insert(
+                "check".into(),
+                Json::Str(match &check {
+                    Ok(()) => "ok".into(),
+                    Err(reason) => reason.clone(),
+                }),
+            );
+            Json::Obj(map)
+        }),
         (
             "pnek_counterexamples",
             Json::obj([
@@ -249,6 +340,21 @@ pub fn run_baseline(smoke: bool) -> Json {
                 (
                     "violations_detected",
                     Json::UInt(counterexamples.violations as u64),
+                ),
+                (
+                    "violations_with_empty_kernel",
+                    Json::UInt(
+                        counterexamples
+                            .verdicts
+                            .iter()
+                            .filter(|v| {
+                                !v.is_safe()
+                                    && v.predicates
+                                        .as_ref()
+                                        .is_some_and(|p| p.first_empty_kernel.is_some())
+                            })
+                            .count() as u64,
+                    ),
                 ),
             ]),
         ),
@@ -311,5 +417,50 @@ mod tests {
         assert_eq!(map.get("violations"), Some(&Json::UInt(0)));
         assert!(map.contains_key("throughput"));
         assert!(map.contains_key("sendplan"));
+        // Predicate statistics are present, round-trip, and agree with the
+        // safety verdicts.
+        let Some(Json::Obj(predicates)) = map.get("predicates") else {
+            panic!("predicate statistics missing");
+        };
+        assert_eq!(predicates.get("check"), Some(&Json::Str("ok".into())));
+        assert!(
+            matches!(predicates.get("monitored_scenarios"), Some(Json::UInt(n)) if *n > 0),
+            "monitored scenarios recorded"
+        );
+        assert!(
+            matches!(predicates.get("p2otr_scenarios"), Some(Json::UInt(n)) if *n > 0),
+            "full-delivery cells achieve P2otr"
+        );
+    }
+
+    #[test]
+    fn cross_check_accepts_the_monitored_grid_and_catches_contradictions() {
+        let safe: Vec<_> = baseline_sweeps()
+            .into_iter()
+            .map(|s| s.seeds(0..4).monitor_predicates(true).run())
+            .collect();
+        let counterexamples = pnek_counterexample_sweep()
+            .seeds(0..4)
+            .monitor_predicates(true)
+            .run();
+        assert!(counterexamples.violations > 0, "UV caught outside P_nek");
+        predicate_cross_check(&safe, &counterexamples).expect("grid is consistent");
+
+        // A violating UV verdict whose monitor claims P_nek held all run
+        // must be flagged.
+        let mut forged = counterexamples.clone();
+        let victim = forged
+            .verdicts
+            .iter_mut()
+            .find(|v| !v.is_safe())
+            .expect("a violation exists");
+        victim.predicates.as_mut().unwrap().first_empty_kernel = None;
+        let err = predicate_cross_check(&safe, &forged).unwrap_err();
+        assert!(err.contains("P_nek held"), "{err}");
+
+        // An unmonitored verdict in a monitored grid is also a failure.
+        let mut missing = counterexamples.clone();
+        missing.verdicts[0].predicates = None;
+        assert!(predicate_cross_check(&safe, &missing).is_err());
     }
 }

@@ -24,6 +24,7 @@ use crate::adversary::Adversary;
 use crate::algorithm::HoAlgorithm;
 use crate::consensus::{ConsensusChecker, ConsensusViolation};
 use crate::mailbox::Mailbox;
+use crate::observer::{NullObserver, RoundObserver};
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
 use crate::send_plan::Outbox;
@@ -193,7 +194,7 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
             checker: ConsensusChecker::new(initial_values),
             round: Round(0),
             msg_stats: MessageStats::default(),
-            mailboxes: (0..n).map(|_| Mailbox::empty()).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::with_capacity(n)).collect(),
             outbox: Outbox::default(),
             scratch,
         }
@@ -265,6 +266,26 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
     /// Returns a [`RunError::Violation`] if the round broke a consensus
     /// safety property.
     pub fn step(&mut self, adversary: &mut impl Adversary) -> Result<Round, RunError<A::Value>> {
+        self.step_observed(adversary, &mut NullObserver)
+    }
+
+    /// [`RoundExecutor::step`] with a streaming [`RoundObserver`]: the
+    /// observer receives the round's effective HO sets right after
+    /// delivery, *whatever the trace retention mode* — this is how
+    /// predicate monitors run under [`TraceMode::Off`] without a retained
+    /// trace. While the observer is [`active`](RoundObserver::active) the
+    /// HO row is built into the executor's reused scratch buffer, so an
+    /// allocation-free observer keeps the whole round loop allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError::Violation`] if the round broke a consensus
+    /// safety property.
+    pub fn step_observed(
+        &mut self,
+        adversary: &mut impl Adversary,
+        observer: &mut impl RoundObserver,
+    ) -> Result<Round, RunError<A::Value>> {
         let r = self.round.next();
         // The adversary writes into the executor's scratch slice; the
         // universe size is the slice length, so coverage is structural.
@@ -284,22 +305,30 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         self.msg_stats.payload_allocs += self.outbox.payload_allocs();
         for (p, mb) in self.mailboxes.iter_mut().enumerate() {
             // Unicast deliveries deep-clone per recipient; count them so
-            // payload_allocs is the kernel's true construction cost.
-            self.msg_stats.payload_allocs +=
-                self.outbox
-                    .deliver_into(ProcessId::new(p), self.scratch.ho[p], mb);
+            // payload_allocs is the kernel's true construction cost, and
+            // count the clones served from the mailbox's retired payloads
+            // as reuses.
+            let delivery = self
+                .outbox
+                .deliver_into(ProcessId::new(p), self.scratch.ho[p], mb);
+            self.msg_stats.payload_allocs += delivery.clones;
+            self.msg_stats.payload_reuses += delivery.recycled;
         }
         self.msg_stats.delivered += self.mailboxes.iter().map(|mb| mb.len() as u64).sum::<u64>();
 
         // Record the effective HO sets — but compute the support sets only
-        // when the trace's retention mode actually stores rows; under
-        // TraceMode::Off the statistics need just the mailbox sizes.
-        if self.trace.wants_rows() {
+        // when the trace's retention mode stores rows or an observer is
+        // listening; otherwise the statistics need just the mailbox sizes.
+        if self.trace.wants_rows() || observer.active() {
             self.scratch.row.clear();
             self.scratch
                 .row
                 .extend(self.mailboxes.iter().map(Mailbox::senders));
+            // Under TraceMode::Off this records statistics only.
             self.trace.record_round(&self.scratch.row);
+            if observer.active() {
+                observer.observe_round(r, &self.scratch.row);
+            }
         } else {
             self.trace
                 .note_round(self.mailboxes.iter().map(Mailbox::len));
@@ -327,8 +356,23 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         adversary: &mut impl Adversary,
         rounds: u64,
     ) -> Result<(), RunError<A::Value>> {
+        self.run_observed(adversary, rounds, &mut NullObserver)
+    }
+
+    /// Runs exactly `rounds` rounds with a streaming [`RoundObserver`]
+    /// (see [`RoundExecutor::step_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates safety violations.
+    pub fn run_observed(
+        &mut self,
+        adversary: &mut impl Adversary,
+        rounds: u64,
+        observer: &mut impl RoundObserver,
+    ) -> Result<(), RunError<A::Value>> {
         for _ in 0..rounds {
-            self.step(adversary)?;
+            self.step_observed(adversary, observer)?;
         }
         Ok(())
     }
@@ -346,6 +390,22 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         adversary: &mut impl Adversary,
         max_rounds: u64,
     ) -> Result<Round, RunError<A::Value>> {
+        self.run_until_decided_in_observed(scope, adversary, max_rounds, &mut NullObserver)
+    }
+
+    /// [`RoundExecutor::run_until_decided_in`] with a streaming
+    /// [`RoundObserver`] (see [`RoundExecutor::step_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_until_decided_in`].
+    pub fn run_until_decided_in_observed(
+        &mut self,
+        scope: ProcessSet,
+        adversary: &mut impl Adversary,
+        max_rounds: u64,
+        observer: &mut impl RoundObserver,
+    ) -> Result<Round, RunError<A::Value>> {
         while !self.checker.terminated(scope) {
             if self.round.get() >= max_rounds {
                 return Err(RunError::MaxRoundsExceeded {
@@ -353,7 +413,7 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
                     decided: self.checker.decided().len(),
                 });
             }
-            self.step(adversary)?;
+            self.step_observed(adversary, observer)?;
         }
         Ok(self
             .checker
@@ -373,6 +433,26 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         max_rounds: u64,
     ) -> Result<Round, RunError<A::Value>> {
         self.run_until_decided_in(ProcessSet::full(self.n()), adversary, max_rounds)
+    }
+
+    /// [`RoundExecutor::run_until_all_decided`] with a streaming
+    /// [`RoundObserver`] (see [`RoundExecutor::step_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`RoundExecutor::run_until_decided_in`].
+    pub fn run_until_all_decided_observed(
+        &mut self,
+        adversary: &mut impl Adversary,
+        max_rounds: u64,
+        observer: &mut impl RoundObserver,
+    ) -> Result<Round, RunError<A::Value>> {
+        self.run_until_decided_in_observed(
+            ProcessSet::full(self.n()),
+            adversary,
+            max_rounds,
+            observer,
+        )
     }
 }
 

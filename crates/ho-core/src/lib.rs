@@ -34,6 +34,7 @@ pub mod algorithms;
 pub mod consensus;
 pub mod executor;
 pub mod mailbox;
+pub mod observer;
 pub mod predicate;
 pub mod process;
 pub mod round;
@@ -46,9 +47,10 @@ pub use algorithm::{HoAlgorithm, HoAlgorithmExt};
 pub use consensus::{ConsensusChecker, ConsensusViolation};
 pub use executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
 pub use mailbox::{DuplicateSender, Mailbox};
+pub use observer::{NullObserver, RoundObserver};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
 pub use round::Round;
-pub use send_plan::{Outbox, PlanSlot, PlanSpares, SendPlan};
+pub use send_plan::{ArcPool, DeliveryStats, Outbox, PlanSlot, PlanSpares, SendPlan};
 pub use sequence::{ProposalSource, RepeatedConsensus};
 pub use trace::{Trace, TraceMode};
 pub use translation::Translated;

@@ -89,7 +89,16 @@ pub struct Mailbox<M> {
     /// Senders whose broadcast was delivered through the table: the
     /// message from `q` is `table[q].broadcast_payload()`.
     from_table: ProcessSet,
+    /// Owned payloads retired by [`Mailbox::clear`], kept for
+    /// [`Mailbox::push_trusted_recycled`] to `clone_from` into — unicast
+    /// delivery's answer to the broadcast path's recycled `Arc`s.
+    spare_payloads: Vec<M>,
 }
+
+/// How many retired owned payloads a [`Mailbox`] keeps for reuse: a round
+/// delivers at most one message per sender, so one spare per possible
+/// sender covers every round shape.
+const SPARE_PAYLOADS: usize = crate::process::MAX_PROCESSES;
 
 impl<M> Default for Mailbox<M> {
     fn default() -> Self {
@@ -98,6 +107,7 @@ impl<M> Default for Mailbox<M> {
             sorted: Vec::new(),
             table: None,
             from_table: ProcessSet::empty(),
+            spare_payloads: Vec::new(),
         }
     }
 }
@@ -114,6 +124,22 @@ impl<M> Mailbox<M> {
     #[must_use]
     pub fn empty() -> Self {
         Self::default()
+    }
+
+    /// An empty mailbox pre-sized for `n` possible senders — a round
+    /// delivers at most one message per sender, so a capacity-`n` mailbox
+    /// never grows. The executor allocates its per-process mailboxes this
+    /// way: without it, a lossy run re-allocates whenever some round's
+    /// delivery count first exceeds every earlier round's.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Mailbox {
+            entries: Vec::with_capacity(n),
+            sorted: Vec::with_capacity(n),
+            table: None,
+            from_table: ProcessSet::empty(),
+            spare_payloads: Vec::with_capacity(n),
+        }
     }
 
     /// Builds a mailbox from `(sender, message)` pairs.
@@ -206,9 +232,19 @@ impl<M> Mailbox<M> {
     /// Empties the mailbox while retaining the entry and sorted-index
     /// capacity — what lets the executor reuse one mailbox per process
     /// across every round instead of re-allocating `n` mailboxes per round.
-    /// Releases the round table so the outbox can recycle its buffers.
+    /// Releases the round table so the outbox can recycle its buffers, and
+    /// retires owned payloads into the spare pool so the next round's
+    /// unicast deliveries can [`Clone::clone_from`] into them instead of
+    /// constructing fresh ones.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for (_, payload) in self.entries.drain(..) {
+            if self.spare_payloads.len() >= SPARE_PAYLOADS {
+                break;
+            }
+            if let Payload::Owned(m) = payload {
+                self.spare_payloads.push(m);
+            }
+        }
         self.sorted.clear();
         self.table = None;
         self.from_table = ProcessSet::empty();
@@ -269,8 +305,33 @@ impl<M> Mailbox<M> {
 
     /// Hot-path owned insert: duplicate senders are a caller bug, checked
     /// only by a debug assertion (see [`Outbox`](crate::send_plan::Outbox)).
+    #[cfg(test)]
     pub(crate) fn push_trusted(&mut self, sender: ProcessId, message: M) {
         self.push_payload_trusted(sender, Payload::Owned(message));
+    }
+
+    /// Hot-path owned insert that *clones from* `source`, reusing a payload
+    /// retired by [`Mailbox::clear`] when one is available: the clone goes
+    /// through [`Clone::clone_from`], which reuses the retired payload's
+    /// heap for types that implement it (`Vec`, `String`, nested
+    /// containers). Returns whether a retired payload was reused. Duplicate
+    /// senders are a caller bug (debug-asserted), as in
+    /// [`Mailbox::push_trusted`].
+    pub(crate) fn push_trusted_recycled(&mut self, sender: ProcessId, source: &M) -> bool
+    where
+        M: Clone,
+    {
+        match self.spare_payloads.pop() {
+            Some(mut payload) => {
+                payload.clone_from(source);
+                self.push_payload_trusted(sender, Payload::Owned(payload));
+                true
+            }
+            None => {
+                self.push_payload_trusted(sender, Payload::Owned(source.clone()));
+                false
+            }
+        }
     }
 
     /// Binds this mailbox to the round's shared plan table and records
@@ -515,8 +576,8 @@ impl<M: Ord + Clone> Mailbox<M> {
         // Resolve every payload once into a stack buffer, then count
         // pairwise over the bare references — the quadratic part must not
         // pay the table-resolution cost per access. The buffer covers
-        // every realistic system size; larger mailboxes (up to
-        // MAX_PROCESSES) take the direct path.
+        // every realistic system size; larger mailboxes spill to a sorted
+        // heap buffer, `O(|HO| log |HO|)` up to `MAX_PROCESSES` entries.
         const STACK: usize = 16;
         if self.len() <= STACK {
             let mut resolved: [Option<&M>; STACK] = [None; STACK];
@@ -527,7 +588,40 @@ impl<M: Ord + Clone> Mailbox<M> {
             }
             return Self::mode_of(resolved[..k].iter().flatten().copied());
         }
-        Self::mode_of(self.messages())
+        self.mode_spilled()
+    }
+
+    /// The past-the-stack-buffer path of [`Mailbox::mode_with_count`]:
+    /// spill the message refs to a `MAX_PROCESSES`-sized stack buffer
+    /// (senders are distinct process ids, so a mailbox can never exceed
+    /// it), sort, and count runs — still allocation-free, like the whole
+    /// round hot loop. The first run of maximal length wins, which is
+    /// exactly the pairwise fold's tie-break (ties go to the smallest
+    /// message) because sorted order visits values ascending.
+    fn mode_spilled(&self) -> Option<(M, usize)> {
+        let mut spilled: [Option<&M>; crate::process::MAX_PROCESSES] =
+            [None; crate::process::MAX_PROCESSES];
+        let mut k = 0;
+        for m in self.messages() {
+            spilled[k] = Some(m);
+            k += 1;
+        }
+        // Every slot in ..k is Some, and Option's ordering agrees with the
+        // payloads' ordering on all-Some slices.
+        spilled[..k].sort_unstable();
+        let mut best: Option<(&M, usize)> = None;
+        let mut i = 0;
+        while i < k {
+            let run_start = i;
+            while i < k && spilled[i] == spilled[run_start] {
+                i += 1;
+            }
+            let count = i - run_start;
+            if best.is_none_or(|(_, bc)| count > bc) {
+                best = Some((spilled[run_start].expect("filled slot"), count));
+            }
+        }
+        best.map(|(m, c)| (m.clone(), c))
     }
 
     /// The pairwise mode/count fold over an iterable of message refs.
@@ -768,10 +862,66 @@ mod tests {
 
     #[test]
     fn mode_handles_large_mailboxes_past_the_stack_buffer() {
-        // 20 senders (> the 16-slot stack buffer): the direct path must
-        // agree with the buffered one.
+        // 20 senders (> the 16-slot stack buffer): the sort-based spilled
+        // path must agree with the buffered one.
         let mb: Mailbox<u32> = (0..20).map(|i| (p(i), (i % 3) as u32)).collect();
         assert_eq!(mb.mode_with_count(), Some((0, 7)));
+    }
+
+    #[test]
+    fn spilled_mode_breaks_ties_to_smallest() {
+        // 24 senders, values 0..=3 six times each: a four-way tie that the
+        // sorted run-scan must break towards 0.
+        let mb: Mailbox<u32> = (0..24).map(|i| (p(i), (i % 4) as u32)).collect();
+        assert_eq!(mb.mode_with_count(), Some((0, 6)));
+    }
+
+    /// The reference implementation: count every value, max count, ties to
+    /// the smallest value.
+    fn naive_mode(values: &[u64]) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for &v in values {
+            let count = values.iter().filter(|x| **x == v).count();
+            let better = match best {
+                None => true,
+                Some((bv, bc)) => count > bc || (count == bc && v < bv),
+            };
+            if better {
+                best = Some((v, count));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn mode_matches_naive_counter_up_to_max_processes() {
+        // Randomized equivalence across both paths (stack-buffered ≤ 16,
+        // sorted spill above) for every size the bitset supports.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..300 {
+            let n = 1 + (next() % crate::process::MAX_PROCESSES as u64) as usize;
+            // Small domains force heavy ties; larger ones force singletons.
+            let domain = 1 + next() % 9;
+            let mb: Mailbox<u64> = (0..n).map(|i| (p(i), next() % domain)).collect();
+            let values: Vec<u64> = mb.messages().copied().collect();
+            assert_eq!(
+                mb.mode_with_count(),
+                naive_mode(&values),
+                "trial {trial}, n = {n}, domain = {domain}"
+            );
+        }
+        // Pin both boundary sizes explicitly.
+        for n in [16, 17, 128] {
+            let mb: Mailbox<u64> = (0..n).map(|i| (p(i), next() % 4)).collect();
+            let values: Vec<u64> = mb.messages().copied().collect();
+            assert_eq!(mb.mode_with_count(), naive_mode(&values), "n = {n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The round-observer hook: streaming access to each round's HO sets.
+//!
+//! [`Trace`](crate::trace::Trace) answers "what happened" after the fact —
+//! but only in the retention modes that keep rows around, and the sweep's
+//! hot configuration ([`TraceMode::Off`](crate::trace::TraceMode)) keeps
+//! none. [`RoundObserver`] is the streaming alternative: the executor hands
+//! every round's effective HO sets to the observer *as the round completes*
+//! and retains nothing. Incremental predicate evaluators (the
+//! `ho-predicates` monitor subsystem) ride on this hook, so the sweep can
+//! evaluate communication predicates grid-wide without ever materialising
+//! a trace.
+//!
+//! ## Contract
+//!
+//! * `observe_round` is called exactly once per executed round, in round
+//!   order, immediately after delivery and before the transition phase.
+//! * The `ho` slice is the executor's scratch row — borrow it for the call
+//!   only; copy out whatever must persist.
+//! * [`RoundObserver::active`] lets the executor skip computing the HO
+//!   support sets entirely when nobody is listening: under `TraceMode::Off`
+//!   with an inactive observer the per-round support sets are never built
+//!   (the statistics need only the mailbox sizes). An observer that returns
+//!   `false` from `active` must tolerate `observe_round` never being called.
+//! * Observers are expected to be allocation-free per round in steady
+//!   state; `tests/alloc_steady_state.rs` holds the monitor stack to that.
+
+use crate::process::ProcessSet;
+use crate::round::Round;
+
+/// Receives each executed round's effective HO sets as the run progresses.
+pub trait RoundObserver {
+    /// Whether this observer currently wants rounds. Executors skip
+    /// computing HO rows (and the `observe_round` call) while this is
+    /// `false`.
+    fn active(&self) -> bool {
+        true
+    }
+
+    /// Called once per executed round with `ho[p]` = effective `HO(p, r)`
+    /// (the support of `p`'s mailbox).
+    fn observe_round(&mut self, r: Round, ho: &[ProcessSet]);
+}
+
+/// The inert observer: never active, never called. The plain (unobserved)
+/// executor entry points use this, keeping the unmonitored hot path
+/// identical to the pre-hook one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl RoundObserver for NullObserver {
+    fn active(&self) -> bool {
+        false
+    }
+
+    fn observe_round(&mut self, _r: Round, _ho: &[ProcessSet]) {}
+}
+
+impl<O: RoundObserver + ?Sized> RoundObserver for &mut O {
+    fn active(&self) -> bool {
+        (**self).active()
+    }
+
+    fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+        (**self).observe_round(r, ho);
+    }
+}
+
+/// `None` behaves like [`NullObserver`] — what lets call sites thread an
+/// optional monitor through without duplicating the run loop.
+impl<O: RoundObserver> RoundObserver for Option<O> {
+    fn active(&self) -> bool {
+        self.as_ref().is_some_and(RoundObserver::active)
+    }
+
+    fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+        if let Some(obs) = self {
+            obs.observe_round(r, ho);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Collect(Vec<(u64, Vec<ProcessSet>)>);
+
+    impl RoundObserver for Collect {
+        fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+            self.0.push((r.get(), ho.to_vec()));
+        }
+    }
+
+    #[test]
+    fn null_observer_is_inactive() {
+        assert!(!NullObserver.active());
+        assert!(!None::<NullObserver>.active());
+    }
+
+    #[test]
+    fn option_and_reference_forward() {
+        let mut c = Collect::default();
+        {
+            let mut opt = Some(&mut c);
+            assert!(opt.active());
+            opt.observe_round(Round(3), &[ProcessSet::full(2)]);
+        }
+        assert_eq!(c.0.len(), 1);
+        assert_eq!(c.0[0].0, 3);
+    }
+}

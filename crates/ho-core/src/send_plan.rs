@@ -166,54 +166,100 @@ impl<M: Clone> Clone for SendPlan<M> {
     }
 }
 
-/// Spare payload buffers retired from a sender's previous plans, kept for
-/// reuse by [`PlanSlot`]: the broadcast `Arc` of a displaced plan (reusable
-/// once every recipient has dropped its reference) and the destination
-/// vector of a displaced unicast plan.
+/// Spare buffers retired from a sender's previous plans, kept for reuse by
+/// [`PlanSlot`]: the destination vector of a displaced unicast plan.
+/// (Displaced broadcast `Arc`s go to the outbox-wide [`ArcPool`] instead —
+/// unlike destination vectors, which every sender needs simultaneously in a
+/// unicast round, a retired payload `Arc` can serve *any* sender's next
+/// broadcast.)
 #[derive(Debug)]
 pub struct PlanSpares<M> {
-    arc: Option<Arc<M>>,
     pairs: Vec<(ProcessId, M)>,
 }
 
 impl<M> Default for PlanSpares<M> {
     fn default() -> Self {
-        PlanSpares {
-            arc: None,
-            pairs: Vec::new(),
+        PlanSpares { pairs: Vec::new() }
+    }
+}
+
+/// How many retired broadcast `Arc`s an [`ArcPool`] retains.
+const POOL_ARCS: usize = 8;
+
+/// An outbox-wide pool of broadcast payload `Arc`s displaced from plan
+/// slots. Sharing the pool across senders is what keeps algorithms with
+/// *shape-alternating* plans allocation-free: LastVoting's coordinator
+/// broadcasts in rounds `4φ−2` and `4φ`, unicasts in between, and rotates
+/// every phase — each displaced vote payload lands here and is rewritten in
+/// place by the *next* broadcast, whichever process sends it.
+#[derive(Debug)]
+pub struct ArcPool<M> {
+    arcs: Vec<Arc<M>>,
+}
+
+impl<M> Default for ArcPool<M> {
+    fn default() -> Self {
+        ArcPool { arcs: Vec::new() }
+    }
+}
+
+impl<M> ArcPool<M> {
+    /// Retires a displaced payload `Arc` into the pool (dropped if full).
+    fn put(&mut self, arc: Arc<M>) {
+        if self.arcs.len() < POOL_ARCS {
+            self.arcs.push(arc);
         }
+    }
+
+    /// Takes a uniquely owned `Arc` out of the pool, if any. Pooled arcs
+    /// still shared by a long-lived reader are dropped on the way (rare:
+    /// the executor clears recipients before recollecting).
+    fn take_unique(&mut self) -> Option<Arc<M>> {
+        while let Some(mut arc) = self.arcs.pop() {
+            if Arc::get_mut(&mut arc).is_some() {
+                return Some(arc);
+            }
+        }
+        None
     }
 }
 
 /// A writable slot for one sender's round-`r` plan, backed by the sender's
-/// previous plan and its [`PlanSpares`].
+/// previous plan, its [`PlanSpares`], and the outbox-wide [`ArcPool`].
 ///
 /// This is the scratch-buffer side of the sending API: instead of returning
 /// a freshly allocated [`SendPlan`], an algorithm *writes* its plan through
-/// the slot, and the slot recycles the buffers of earlier rounds — the
-/// broadcast `Arc` (when the executor has already cleared the recipients'
-/// mailboxes, dropping it to a unique reference) and the unicast
-/// destination vector. In steady state a broadcast round costs **zero**
-/// heap allocations.
+/// the slot, and the slot recycles the buffers of earlier rounds — a
+/// broadcast `Arc` from the sender's own previous plan or the shared pool
+/// (reusable once the executor has cleared the recipients' mailboxes,
+/// dropping it to a unique reference) and the sender's unicast destination
+/// vector. In steady state both broadcast rounds and shape-alternating
+/// coordinator rounds cost **zero** heap allocations.
 #[derive(Debug)]
 pub struct PlanSlot<'a, M> {
     plan: &'a mut SendPlan<M>,
     spares: &'a mut PlanSpares<M>,
+    pool: &'a mut ArcPool<M>,
 }
 
 impl<'a, M> PlanSlot<'a, M> {
-    /// Builds a slot over a caller-owned plan and spare buffers.
+    /// Builds a slot over a caller-owned plan, spare buffers, and retired-
+    /// payload pool.
     #[must_use]
-    pub fn new(plan: &'a mut SendPlan<M>, spares: &'a mut PlanSpares<M>) -> Self {
-        PlanSlot { plan, spares }
+    pub fn new(
+        plan: &'a mut SendPlan<M>,
+        spares: &'a mut PlanSpares<M>,
+        pool: &'a mut ArcPool<M>,
+    ) -> Self {
+        PlanSlot { plan, spares, pool }
     }
 
     /// Replaces the slot's plan, retiring the displaced plan's buffers into
-    /// the spares.
+    /// the spares (destination vectors) or the pool (broadcast `Arc`s).
     fn install(&mut self, new: SendPlan<M>) {
         let old = std::mem::replace(self.plan, new);
         match old {
-            SendPlan::Broadcast(arc) => self.spares.arc = Some(arc),
+            SendPlan::Broadcast(arc) => self.pool.put(arc),
             SendPlan::Unicast(mut pairs) => {
                 if pairs.capacity() > self.spares.pairs.capacity() {
                     pairs.clear();
@@ -224,9 +270,9 @@ impl<'a, M> PlanSlot<'a, M> {
         }
     }
 
-    /// Writes a broadcast of `message`, reusing the current or spare
-    /// broadcast allocation when it is uniquely owned. Returns the number
-    /// of payload buffers reused in place (0 or 1).
+    /// Writes a broadcast of `message`, reusing the current plan's or a
+    /// pooled broadcast allocation when one is uniquely owned. Returns the
+    /// number of payload buffers reused in place (0 or 1).
     pub fn broadcast(&mut self, message: M) -> u64 {
         if let SendPlan::Broadcast(arc) = &mut *self.plan {
             if let Some(slot) = Arc::get_mut(arc) {
@@ -234,13 +280,10 @@ impl<'a, M> PlanSlot<'a, M> {
                 return 1;
             }
         }
-        if let Some(mut arc) = self.spares.arc.take() {
-            if let Some(slot) = Arc::get_mut(&mut arc) {
-                *slot = message;
-                self.install(SendPlan::Broadcast(arc));
-                return 1;
-            }
-            // Still shared by a long-lived reader; give up on this buffer.
+        if let Some(mut arc) = self.pool.take_unique() {
+            *Arc::get_mut(&mut arc).expect("take_unique returns unique arcs") = message;
+            self.install(SendPlan::Broadcast(arc));
+            return 1;
         }
         self.install(SendPlan::broadcast(message));
         0
@@ -259,12 +302,10 @@ impl<'a, M> PlanSlot<'a, M> {
                 return 1;
             }
         }
-        if let Some(mut arc) = self.spares.arc.take() {
-            if let Some(slot) = Arc::get_mut(&mut arc) {
-                reuse(slot);
-                self.install(SendPlan::Broadcast(arc));
-                return 1;
-            }
+        if let Some(mut arc) = self.pool.take_unique() {
+            reuse(Arc::get_mut(&mut arc).expect("take_unique returns unique arcs"));
+            self.install(SendPlan::Broadcast(arc));
+            return 1;
         }
         self.install(SendPlan::broadcast(make()));
         0
@@ -322,6 +363,9 @@ pub struct Outbox<M> {
     /// recipient per round, not one per delivered broadcast message.
     plans: Arc<Vec<SendPlan<M>>>,
     spares: Vec<PlanSpares<M>>,
+    /// Retired broadcast payload `Arc`s, shared across senders (see
+    /// [`ArcPool`]).
+    arc_pool: ArcPool<M>,
     /// Senders whose current plan is a broadcast — delivery to a recipient
     /// intersects this with the HO set instead of matching every plan.
     broadcast_set: ProcessSet,
@@ -335,10 +379,24 @@ impl<M> Default for Outbox<M> {
         Outbox {
             plans: Arc::new(Vec::new()),
             spares: Vec::new(),
+            arc_pool: ArcPool::default(),
             broadcast_set: ProcessSet::empty(),
             dest_index: Vec::new(),
         }
     }
+}
+
+/// What one [`Outbox::deliver_into`] call cost: the per-recipient deep
+/// clones of delivered unicast messages, and how many of those clones were
+/// written into payloads recycled from the recipient's previous round
+/// (zero allocator traffic for `clone_from`-friendly message types).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Payload constructions: one per delivered unicast message (broadcast
+    /// deliveries share the plan's payload and construct nothing).
+    pub clones: u64,
+    /// Clones served from the mailbox's retired-payload pool.
+    pub recycled: u64,
 }
 
 impl<M: Clone> Outbox<M> {
@@ -391,7 +449,7 @@ impl<M: Clone> Outbox<M> {
         }
         let mut reused = 0;
         for (q, state) in states.iter().enumerate() {
-            let mut slot = PlanSlot::new(&mut plans[q], &mut self.spares[q]);
+            let mut slot = PlanSlot::new(&mut plans[q], &mut self.spares[q], &mut self.arc_pool);
             reused += alg.send_into(r, ProcessId::new(q), state, &mut slot);
         }
         self.index_plans();
@@ -429,6 +487,7 @@ impl<M: Clone> Outbox<M> {
         let mut out = Outbox {
             plans: Arc::new(plans),
             spares: Vec::new(),
+            arc_pool: ArcPool::default(),
             broadcast_set: ProcessSet::empty(),
             dest_index: Vec::new(),
         };
@@ -457,19 +516,21 @@ impl<M: Clone> Outbox<M> {
     /// Delivers into `dest`'s mailbox every message the HO assignment
     /// `allowed` lets through: for each authorised sender `q`, the message
     /// (if any) that `q`'s plan addresses to `dest`. Broadcast payloads are
-    /// delivered by reference count, not by deep clone.
+    /// delivered by reference count, not by deep clone; unicast payloads
+    /// are cloned per recipient, into payload buffers the mailbox retired
+    /// last round where available.
     ///
-    /// Returns the number of deep payload clones performed — zero for
-    /// broadcast deliveries, one per delivered unicast message. Add this
-    /// to [`Outbox::payload_allocs`] for the round's total allocation
-    /// count under the plan kernel.
+    /// Returns the round's [`DeliveryStats`] for this recipient: add
+    /// `clones` to [`Outbox::payload_allocs`] for the total construction
+    /// count under the plan kernel, `recycled` of which touched no fresh
+    /// payload buffer.
     pub fn deliver_into(
         &self,
         dest: ProcessId,
         allowed: ProcessSet,
         mailbox: &mut Mailbox<M>,
-    ) -> u64 {
-        let mut deep_clones = 0;
+    ) -> DeliveryStats {
+        let mut stats = DeliveryStats::default();
         // Senders are unique (drawn from a set) and each plan addresses a
         // destination at most once, so the trusted (debug-assert-only)
         // mailbox inserts are sound here. Unicast deliveries only touch
@@ -482,8 +543,8 @@ impl<M: Clone> Outbox<M> {
         for q in allowed.intersection(addressed).iter() {
             if let SendPlan::Unicast(pairs) = &self.plans[q.index()] {
                 if let Some((_, m)) = pairs.iter().find(|(d, _)| *d == dest) {
-                    mailbox.push_trusted(q, m.clone());
-                    deep_clones += 1;
+                    stats.recycled += u64::from(mailbox.push_trusted_recycled(q, m));
+                    stats.clones += 1;
                 }
             }
         }
@@ -494,7 +555,7 @@ impl<M: Clone> Outbox<M> {
         if !broadcasters.is_empty() {
             mailbox.deliver_table(Arc::clone(&self.plans), broadcasters);
         }
-        deep_clones
+        stats
     }
 
     /// Total payload allocations this round's sending phase cost
@@ -574,23 +635,45 @@ mod tests {
         assert_eq!(outbox.payload_allocs(), 2);
 
         // p0 hears everyone: gets p0's broadcast and p1's unicast. The
-        // unicast delivery is the round's only deep clone.
+        // unicast delivery is the round's only deep clone (cold: the
+        // mailbox has no retired payloads yet).
         let mut mb = Mailbox::empty();
-        assert_eq!(outbox.deliver_into(p(0), ProcessSet::full(3), &mut mb), 1);
+        assert_eq!(
+            outbox.deliver_into(p(0), ProcessSet::full(3), &mut mb),
+            DeliveryStats {
+                clones: 1,
+                recycled: 0
+            }
+        );
         assert_eq!(mb.senders(), ProcessSet::from_indices([0, 1]));
+        assert_eq!(mb.from(p(1)), Some(&200));
+
+        // After a clear, the same delivery is served from the retired
+        // payload — a construction, but no fresh buffer.
+        mb.clear();
+        assert_eq!(
+            outbox.deliver_into(p(0), ProcessSet::full(3), &mut mb),
+            DeliveryStats {
+                clones: 1,
+                recycled: 1
+            }
+        );
         assert_eq!(mb.from(p(1)), Some(&200));
 
         // p1 hears everyone but only the broadcast addresses it — shared,
         // so zero deep clones.
         let mut mb = Mailbox::empty();
-        assert_eq!(outbox.deliver_into(p(1), ProcessSet::full(3), &mut mb), 0);
+        assert_eq!(
+            outbox.deliver_into(p(1), ProcessSet::full(3), &mut mb),
+            DeliveryStats::default()
+        );
         assert_eq!(mb.senders(), ProcessSet::from_indices([0]));
 
         // HO restriction masks the broadcast.
         let mut mb = Mailbox::empty();
         assert_eq!(
             outbox.deliver_into(p(1), ProcessSet::from_indices([1, 2]), &mut mb),
-            0
+            DeliveryStats::default()
         );
         assert!(mb.is_empty());
     }
@@ -603,7 +686,8 @@ mod tests {
             _ => unreachable!(),
         };
         let mut spares = PlanSpares::default();
-        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        let mut pool = ArcPool::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         assert_eq!(slot.broadcast(2), 1, "unique Arc is rewritten in place");
         match &plan {
             SendPlan::Broadcast(a) => {
@@ -622,27 +706,64 @@ mod tests {
             _ => unreachable!(),
         };
         let mut spares = PlanSpares::default();
-        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        let mut pool = ArcPool::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         // A recipient still holds the payload: rewriting must not alias it.
         assert_eq!(slot.broadcast(2), 0);
         assert_eq!(*held, 1, "the shared payload is untouched");
         assert_eq!(plan.broadcast_payload(), Some(&2));
         // Once the recipient drops its reference, the retired Arc comes
-        // back into service via the spares.
+        // back into service via the pool.
         drop(held);
-        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         assert_eq!(slot.broadcast(3), 1);
+    }
+
+    #[test]
+    fn plan_slot_pool_serves_shape_alternation_across_senders() {
+        // The LastVoting rotation shape: sender A broadcasts, then switches
+        // to unicast (retiring its Arc to the pool); sender B's *first ever*
+        // broadcast must reuse A's retired payload, not allocate.
+        let mut plan_a = SendPlan::Silent;
+        let mut plan_b = SendPlan::Silent;
+        let mut spares_a = PlanSpares::default();
+        let mut spares_b = PlanSpares::default();
+        let mut pool = ArcPool::default();
+        assert_eq!(
+            PlanSlot::new(&mut plan_a, &mut spares_a, &mut pool).broadcast(1u64),
+            0,
+            "the very first broadcast allocates"
+        );
+        let arc_ptr = match &plan_a {
+            SendPlan::Broadcast(a) => Arc::as_ptr(a),
+            _ => unreachable!(),
+        };
+        // A's shape flips to unicast: the payload Arc retires to the pool.
+        PlanSlot::new(&mut plan_a, &mut spares_a, &mut pool).unicast_to(p(0), 2);
+        assert_eq!(
+            PlanSlot::new(&mut plan_b, &mut spares_b, &mut pool).broadcast(3u64),
+            1,
+            "B's first broadcast reuses A's retired payload"
+        );
+        match &plan_b {
+            SendPlan::Broadcast(a) => {
+                assert_eq!(**a, 3);
+                assert_eq!(Arc::as_ptr(a), arc_ptr, "same allocation");
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]
     fn plan_slot_reuses_unicast_pairs_across_silent_rounds() {
         let mut plan: SendPlan<u64> = SendPlan::Silent;
         let mut spares = PlanSpares::default();
-        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        let mut pool = ArcPool::default();
+        let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         assert_eq!(slot.unicast_to(p(2), 7), 0, "first round allocates");
         slot.silent();
         assert!(plan.is_silent(), "empty destination list reads as silent");
-        let mut slot = PlanSlot::new(&mut plan, &mut spares);
+        let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         assert_eq!(slot.unicast_to(p(1), 9), 1, "buffer kept warm");
         assert_eq!(plan.message_for(p(1)), Some(&9));
         assert_eq!(plan.message_for(p(2)), None);

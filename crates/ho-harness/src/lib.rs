@@ -40,6 +40,9 @@ pub mod sweep;
 
 pub use json::Json;
 pub use par::{default_threads, par_map, par_map_with};
-pub use report::{MessageTotals, SweepReport};
+pub use report::{predicate_totals_json, MessageTotals, PredicateTotals, SweepReport};
 pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 pub use sweep::Sweep;
+
+// The per-scenario predicate statistics carried by monitored verdicts.
+pub use ho_predicates::monitor::PredicateSummary;

@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use ho_predicates::monitor::PredicateSummary;
+
 use crate::json::Json;
 use crate::scenario::Verdict;
 
@@ -29,6 +31,52 @@ impl MessageTotals {
     }
 }
 
+/// Grid-wide predicate statistics, aggregated over the monitored verdicts
+/// of a sweep (all zero when the sweep ran unmonitored).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredicateTotals {
+    /// Verdicts that carried a [`PredicateSummary`].
+    pub monitored: usize,
+    /// Rounds observed across monitored scenarios.
+    pub rounds: u64,
+    /// Rounds with a non-empty kernel (`P_nek` held).
+    pub nek_rounds: u64,
+    /// Monitored scenarios in which some round had an empty kernel.
+    pub empty_kernel_scenarios: usize,
+    /// Monitored scenarios that achieved `P2_otr(Π)`.
+    pub p2otr_scenarios: usize,
+    /// The largest kernel window seen in any monitored scenario.
+    pub largest_kernel_window: u64,
+    /// The largest space-uniform window seen in any monitored scenario.
+    pub largest_uniform_window: u64,
+}
+
+impl PredicateTotals {
+    /// Folds another report's totals into this one (used when a grid is
+    /// split across several sweeps).
+    pub fn merge(&mut self, other: &PredicateTotals) {
+        self.monitored += other.monitored;
+        self.rounds += other.rounds;
+        self.nek_rounds += other.nek_rounds;
+        self.empty_kernel_scenarios += other.empty_kernel_scenarios;
+        self.p2otr_scenarios += other.p2otr_scenarios;
+        self.largest_kernel_window = self.largest_kernel_window.max(other.largest_kernel_window);
+        self.largest_uniform_window = self
+            .largest_uniform_window
+            .max(other.largest_uniform_window);
+    }
+
+    fn absorb(&mut self, s: &PredicateSummary) {
+        self.monitored += 1;
+        self.rounds += s.rounds;
+        self.nek_rounds += s.nek_rounds;
+        self.empty_kernel_scenarios += usize::from(s.first_empty_kernel.is_some());
+        self.p2otr_scenarios += usize::from(s.first_p2otr.is_some());
+        self.largest_kernel_window = self.largest_kernel_window.max(s.largest_kernel_window);
+        self.largest_uniform_window = self.largest_uniform_window.max(s.largest_uniform_window);
+    }
+}
+
 /// The aggregated outcome of a [`Sweep`](crate::Sweep) run.
 #[derive(Clone, Debug)]
 pub struct SweepReport {
@@ -48,6 +96,8 @@ pub struct SweepReport {
     pub threads: usize,
     /// Message-cost totals.
     pub totals: MessageTotals,
+    /// Predicate-statistics totals over the monitored verdicts.
+    pub predicate_totals: PredicateTotals,
 }
 
 impl SweepReport {
@@ -64,6 +114,10 @@ impl SweepReport {
             legacy_clones: verdicts.iter().map(|v| v.legacy_clones).sum(),
             rounds: verdicts.iter().map(|v| v.rounds_run).sum(),
         };
+        let mut predicate_totals = PredicateTotals::default();
+        for summary in verdicts.iter().filter_map(|v| v.predicates.as_ref()) {
+            predicate_totals.absorb(summary);
+        }
         let wall_seconds = elapsed.as_secs_f64();
         SweepReport {
             scenarios,
@@ -77,6 +131,7 @@ impl SweepReport {
             },
             threads,
             totals,
+            predicate_totals,
             verdicts,
         }
     }
@@ -146,6 +201,9 @@ impl SweepReport {
             ),
             ("cells", Json::Arr(cells)),
         ];
+        if self.predicate_totals.monitored > 0 {
+            fields.push(("predicates", predicate_totals_json(&self.predicate_totals)));
+        }
         if include_verdicts {
             fields.push((
                 "verdicts",
@@ -157,7 +215,7 @@ impl SweepReport {
 }
 
 fn verdict_json(v: &Verdict) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("id", Json::Str(v.id())),
         (
             "decided_round",
@@ -173,6 +231,52 @@ fn verdict_json(v: &Verdict) -> Json {
         ("payload_reuses", Json::UInt(v.payload_reuses)),
         ("delivered", Json::UInt(v.delivered_messages)),
         ("legacy_clones", Json::UInt(v.legacy_clones)),
+    ];
+    if let Some(p) = &v.predicates {
+        fields.push(("predicates", predicate_summary_json(p)));
+    }
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// The JSON form of a per-scenario [`PredicateSummary`].
+#[must_use]
+pub fn predicate_summary_json(s: &PredicateSummary) -> Json {
+    Json::obj([
+        ("rounds", Json::UInt(s.rounds)),
+        ("nek_rounds", Json::UInt(s.nek_rounds)),
+        (
+            "first_empty_kernel",
+            s.first_empty_kernel.map_or(Json::Null, Json::UInt),
+        ),
+        ("largest_kernel_window", Json::UInt(s.largest_kernel_window)),
+        ("uniform_rounds", Json::UInt(s.uniform_rounds)),
+        (
+            "largest_uniform_window",
+            Json::UInt(s.largest_uniform_window),
+        ),
+        ("first_p2otr", s.first_p2otr.map_or(Json::Null, Json::UInt)),
+    ])
+}
+
+/// The JSON form of grid-wide [`PredicateTotals`] — shared with
+/// `crates/bench`, which extends it with throughput fields, so the two
+/// documents cannot drift.
+#[must_use]
+pub fn predicate_totals_json(t: &PredicateTotals) -> Json {
+    Json::obj([
+        ("monitored_scenarios", Json::UInt(t.monitored as u64)),
+        ("rounds", Json::UInt(t.rounds)),
+        ("nek_rounds", Json::UInt(t.nek_rounds)),
+        (
+            "empty_kernel_scenarios",
+            Json::UInt(t.empty_kernel_scenarios as u64),
+        ),
+        ("p2otr_scenarios", Json::UInt(t.p2otr_scenarios as u64)),
+        ("largest_kernel_window", Json::UInt(t.largest_kernel_window)),
+        (
+            "largest_uniform_window",
+            Json::UInt(t.largest_uniform_window),
+        ),
     ])
 }
 
@@ -191,6 +295,7 @@ mod tests {
                     seed: i as u64,
                     max_rounds: 20,
                     cooldown_rounds: 0,
+                    monitor_predicates: false,
                 }
                 .run()
             })

@@ -10,6 +10,7 @@ use ho_core::process::ProcessSet;
 use ho_core::round::Round;
 use ho_core::trace::TraceMode;
 use ho_core::HoAlgorithm;
+use ho_predicates::monitor::{PredicateSummary, ScenarioMonitor};
 
 /// Which consensus algorithm a scenario runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +161,11 @@ pub struct Scenario {
     /// "decided" into "decided irrevocably": a decision revoked or changed
     /// in any cooldown round surfaces as a violation.
     pub cooldown_rounds: u64,
+    /// Whether to stream a [`ScenarioMonitor`] over the run and report a
+    /// [`PredicateSummary`] in the verdict. Monitoring rides the
+    /// executor's round-observer hook, so the trace still runs in
+    /// statistics-only mode — no row is ever retained.
+    pub monitor_predicates: bool,
 }
 
 impl Scenario {
@@ -210,26 +216,36 @@ impl Scenario {
         let start = std::time::Instant::now();
         let mut adversary = self.adversary.build(self.n, self.seed);
         // The sweep never reads rows back — verdicts come from the
-        // consensus checker and the running stats — so the trace runs in
-        // the statistics-only mode and the per-round support sets are
-        // never even computed.
+        // consensus checker, the running stats and (when enabled) the
+        // streaming predicate monitor — so the trace runs in the
+        // statistics-only mode; with monitoring off the per-round support
+        // sets are never even computed.
         let mut exec = RoundExecutor::with_scratch(
             alg,
             self.initial_values(),
             TraceMode::Off,
             std::mem::take(&mut scratch.round),
         );
-        let (decided_round, mut violation) =
-            match exec.run_until_all_decided(&mut adversary, self.max_rounds) {
-                Ok(r) => (Some(r.get()), None),
-                Err(RunError::MaxRoundsExceeded { .. }) => (None, None),
-                Err(RunError::Violation(v)) => (None, Some(v.to_string())),
-            };
+        let mut bank = self
+            .monitor_predicates
+            .then(|| ScenarioMonitor::new(self.n));
+        let mut observer = bank.as_mut();
+        let (decided_round, mut violation) = match exec.run_until_all_decided_observed(
+            &mut adversary,
+            self.max_rounds,
+            &mut observer,
+        ) {
+            Ok(r) => (Some(r.get()), None),
+            Err(RunError::MaxRoundsExceeded { .. }) => (None, None),
+            Err(RunError::Violation(v)) => (None, Some(v.to_string())),
+        };
         if violation.is_none() && self.cooldown_rounds > 0 {
             // Keep the machine running past the decision (or the budget):
             // the checker observes every round, so a revoked or changed
             // decision here becomes the verdict's violation.
-            if let Err(RunError::Violation(v)) = exec.run(&mut adversary, self.cooldown_rounds) {
+            if let Err(RunError::Violation(v)) =
+                exec.run_observed(&mut adversary, self.cooldown_rounds, &mut observer)
+            {
                 violation = Some(v.to_string());
             }
         }
@@ -248,6 +264,7 @@ impl Scenario {
             payload_reuses: stats.payload_reuses,
             delivered_messages: stats.delivered,
             legacy_clones: stats.legacy_clones(),
+            predicates: bank.map(|b| b.summary()),
             wall_nanos: start.elapsed().as_nanos() as u64,
         };
         // Hand the round buffers back for the next scenario.
@@ -297,6 +314,10 @@ pub struct Verdict {
     /// What the per-destination scheme would have deep-cloned (O(n²) per
     /// broadcast round).
     pub legacy_clones: u64,
+    /// Streamed predicate statistics (`Some` iff
+    /// [`Scenario::monitor_predicates`] was set): which communication
+    /// predicates held, when, and for how long.
+    pub predicates: Option<PredicateSummary>,
     /// Wall-clock nanoseconds for this scenario.
     pub wall_nanos: u64,
 }
@@ -337,6 +358,64 @@ mod tests {
             seed: 7,
             max_rounds: 60,
             cooldown_rounds: 0,
+            monitor_predicates: false,
+        }
+    }
+
+    #[test]
+    fn monitoring_is_verdict_neutral_and_fills_predicates() {
+        for adversary in [
+            AdversarySpec::FullDelivery,
+            AdversarySpec::RandomLoss { loss: 0.3 },
+            AdversarySpec::KernelOnly { loss: 0.8 },
+        ] {
+            let mut s = scenario(AlgorithmSpec::OneThirdRule, adversary);
+            s.cooldown_rounds = 10;
+            let plain = s.run();
+            s.monitor_predicates = true;
+            let monitored = s.run();
+            assert_eq!(plain.decided_round, monitored.decided_round);
+            assert_eq!(plain.decision_value, monitored.decision_value);
+            assert_eq!(plain.violation, monitored.violation);
+            assert_eq!(plain.delivered_messages, monitored.delivered_messages);
+            assert!(plain.predicates.is_none());
+            let p = monitored.predicates.expect("summary present");
+            assert_eq!(p.rounds, monitored.rounds_run, "every round observed");
+        }
+    }
+
+    #[test]
+    fn monitored_full_delivery_sees_p2otr_immediately() {
+        let mut s = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery);
+        s.monitor_predicates = true;
+        s.cooldown_rounds = 5;
+        let p = s.run().predicates.unwrap();
+        assert_eq!(p.first_p2otr, Some(1), "rounds 1 and 2 are both full");
+        assert_eq!(p.nek_rounds, p.rounds, "kernel is Π every round");
+        assert_eq!(p.first_empty_kernel, None);
+        assert_eq!(p.largest_kernel_window, p.rounds);
+        assert_eq!(p.largest_uniform_window, p.rounds);
+    }
+
+    #[test]
+    fn monitored_kernel_only_preserves_nek() {
+        // The KernelOnly adversary exists to preserve UniformVoting's
+        // safety environment; the monitor must agree.
+        let mut s = scenario(
+            AlgorithmSpec::UniformVoting,
+            AdversarySpec::KernelOnly { loss: 0.8 },
+        );
+        s.monitor_predicates = true;
+        for seed in 0..10 {
+            s.seed = seed;
+            let v = s.run();
+            let p = v.predicates.unwrap();
+            assert_eq!(
+                p.first_empty_kernel, None,
+                "seed {seed}: kernel_only emptied the kernel"
+            );
+            assert_eq!(p.nek_rounds, p.rounds);
+            assert!(v.is_safe(), "seed {seed}: UV is safe under P_nek");
         }
     }
 
@@ -409,6 +488,7 @@ mod tests {
                 seed: 11,
                 max_rounds: 60,
                 cooldown_rounds: 5,
+                monitor_predicates: false,
             };
             let fresh = s.run();
             let reused = s.run_reusing(&mut scratch);

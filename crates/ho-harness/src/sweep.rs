@@ -29,6 +29,7 @@ pub struct Sweep {
     seeds: Vec<u64>,
     max_rounds: u64,
     cooldown_rounds: u64,
+    monitor_predicates: bool,
     threads: Option<usize>,
 }
 
@@ -41,6 +42,7 @@ impl Default for Sweep {
             seeds: (0..10).collect(),
             max_rounds: 100,
             cooldown_rounds: 0,
+            monitor_predicates: false,
             threads: None,
         }
     }
@@ -98,6 +100,17 @@ impl Sweep {
         self
     }
 
+    /// Streams a predicate monitor over every scenario: each verdict gains
+    /// a `predicates` summary (kernel non-emptiness, largest kernel and
+    /// space-uniform windows, first `P2_otr` round) evaluated online on
+    /// the executor's round-observer hook — the trace stays in
+    /// statistics-only mode and no row is ever retained.
+    #[must_use]
+    pub fn monitor_predicates(mut self, monitor: bool) -> Self {
+        self.monitor_predicates = monitor;
+        self
+    }
+
     /// Pins the worker count (default: all cores).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -124,6 +137,7 @@ impl Sweep {
                             seed,
                             max_rounds: self.max_rounds,
                             cooldown_rounds: self.cooldown_rounds,
+                            monitor_predicates: self.monitor_predicates,
                         });
                     }
                 }
@@ -184,6 +198,38 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(key(&seq), key(&par), "scenario outcomes are deterministic");
+    }
+
+    #[test]
+    fn monitored_sweep_reports_predicates_grid_wide() {
+        let report = Sweep::new()
+            .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+            .adversaries([
+                AdversarySpec::FullDelivery,
+                AdversarySpec::RandomLoss { loss: 0.3 },
+            ])
+            .sizes([4])
+            .seeds(0..4)
+            .monitor_predicates(true)
+            .run();
+        assert_eq!(report.predicate_totals.monitored, report.scenarios);
+        assert_eq!(
+            report.predicate_totals.rounds, report.totals.rounds,
+            "every executed round is observed"
+        );
+        assert!(report.predicate_totals.p2otr_scenarios > 0);
+        // The predicate fields survive the JSON round trip.
+        let json = report.to_json(true).pretty();
+        let parsed = crate::Json::parse(&json).expect("round-trips");
+        let crate::Json::Obj(map) = parsed else {
+            panic!("object expected")
+        };
+        assert!(map.contains_key("predicates"));
+        assert!(json.contains("first_p2otr"));
+        // Unmonitored sweeps carry no predicate section.
+        let plain = Sweep::new().seeds(0..2).run();
+        assert_eq!(plain.predicate_totals.monitored, 0);
+        assert!(!plain.to_json(true).pretty().contains("\"predicates\""));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   full-stack bound as plain formulas.
 //! * [`record`] / [`measure`] — observability and the measurement harness
 //!   that produces the numbers in `EXPERIMENTS.md`.
+//! * [`monitor`] — online predicate monitoring: streaming, failure-
+//!   frontier evaluators for kernel / space-uniform / `P2_otr` windows,
+//!   equivalent to the batch `find_*` searches but incremental, trace-free
+//!   and allocation-free in steady state.
 //!
 //! ```
 //! use ho_predicates::bounds::BoundParams;
@@ -41,6 +45,7 @@ pub mod alg2;
 pub mod alg3;
 pub mod bounds;
 pub mod measure;
+pub mod monitor;
 pub mod record;
 
 pub use alg2::{Alg2Msg, Alg2Program};
@@ -50,4 +55,5 @@ pub use measure::{
     measure_alg2_space_uniform, measure_alg3_kernel, measure_full_stack, Measurement, Scenario,
     StackOutcome,
 };
+pub use monitor::{Accept, LogCursor, PredicateSummary, ScenarioMonitor, WindowMonitor};
 pub use record::{RoundLog, RoundRecord, SystemTrace};

@@ -18,7 +18,7 @@ use ho_sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, TimePoin
 use crate::alg2::Alg2Program;
 use crate::alg3::Alg3Program;
 use crate::bounds::BoundParams;
-use crate::record::SystemTrace;
+use crate::monitor::{LogCursor, WindowMonitor};
 
 /// When the good period starts.
 #[derive(Clone, Copy, Debug)]
@@ -105,12 +105,12 @@ impl Measurement {
 /// How far past the bound we keep simulating before declaring failure.
 const DEADLINE_FACTOR: f64 = 6.0;
 
-/// Record window for the measured programs: the [`SystemTrace`] keeps its
-/// own timestamped copy and polls after every event, so the programs only
-/// need to retain the largest batch of rounds one event can complete — a
-/// recovery fast-forward spanning the bad period, a handful of rounds for
-/// the scenarios measured here. 64 is an order of magnitude of slack; the
-/// observe assert turns any miscalibration into a loud failure.
+/// Record window for the measured programs: the monitor's [`LogCursor`]
+/// drains after every event, so the programs only need to retain the
+/// largest batch of rounds one event can complete — a recovery
+/// fast-forward spanning the bad period, a handful of rounds for the
+/// scenarios measured here. 64 is an order of magnitude of slack; the
+/// drain assert turns any miscalibration into a loud failure.
 const RECORD_WINDOW: usize = 64;
 
 /// Measures the good-period length needed by **Algorithm 2** to achieve
@@ -149,13 +149,19 @@ pub fn measure_alg2_space_uniform(
     let good_start = scenario.good_start();
     let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
 
-    let mut st = SystemTrace::new(n);
-    let mut witness: Option<(u64, f64)> = None;
+    // Streaming evaluation: the monitor ingests each newly executed round
+    // once and resumes from its failure frontier, instead of the retained
+    // SystemTrace being rescanned from round 1 at every poll.
+    let mut monitor = WindowMonitor::space_uniform(pi0, x, good_start);
+    let mut cursor = LogCursor::new(n);
     sim.run_until(deadline, |s| {
-        st.observe(s.programs(), s.now().get());
-        witness = st.find_space_uniform_window(pi0, x, good_start);
-        witness.is_some()
+        let now = s.now().get();
+        cursor.drain(s.programs(), now, |p, r, ho, t| {
+            monitor.observe_event(p, r, ho, t);
+        });
+        monitor.witness().is_some()
     });
+    let witness = monitor.witness();
     Measurement {
         good_start,
         achieved_at: witness.map(|(_, t)| t),
@@ -203,13 +209,18 @@ pub fn measure_alg3_kernel(
     let good_start = scenario.good_start();
     let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
 
-    let mut st = SystemTrace::new(n);
-    let mut witness: Option<(u64, f64)> = None;
+    // Streaming evaluation from the failure frontier, as in
+    // [`measure_alg2_space_uniform`].
+    let mut monitor = WindowMonitor::kernel(pi0, x, good_start);
+    let mut cursor = LogCursor::new(n);
     sim.run_until(deadline, |s| {
-        st.observe(s.programs(), s.now().get());
-        witness = st.find_kernel_window(pi0, x, good_start);
-        witness.is_some()
+        let now = s.now().get();
+        cursor.drain(s.programs(), now, |p, r, ho, t| {
+            monitor.observe_event(p, r, ho, t);
+        });
+        monitor.witness().is_some()
     });
+    let witness = monitor.witness();
     Measurement {
         good_start,
         achieved_at: witness.map(|(_, t)| t),

@@ -1,0 +1,676 @@
+//! Online predicate monitoring: streaming, incremental evaluators for the
+//! paper's communication predicates.
+//!
+//! The batch searches of [`SystemTrace`](crate::record::SystemTrace) —
+//! `find_space_uniform_window`, `find_kernel_window`, `find_p2otr` — rescan
+//! the whole retained history from round 1 on every poll. The monitors in
+//! this module compute the *same* answers incrementally: each consumes
+//! per-round observations as they happen, maintains a **failure frontier**
+//! (the first round that could still start a satisfying window; everything
+//! before it is provably dead and evicted), and retains only the bounded
+//! live suffix between that frontier and the newest observed round. No
+//! trace is kept, no rescan ever happens, and in steady state no
+//! allocation is performed — which is what lets the sweep evaluate
+//! predicates grid-wide at `TraceMode::Off` throughput.
+//!
+//! Two feeds exist:
+//!
+//! * **Row feed** — the round-synchronous executor's
+//!   [`RoundObserver`](ho_core::observer::RoundObserver) hook hands every
+//!   monitor one full row of effective HO sets per round, stamped with the
+//!   round number as its completion time.
+//! * **Event feed** — the system-level measurement harness drains
+//!   per-process [`RoundLog`]s through a [`LogCursor`] and feeds each
+//!   newly executed `(process, round, HO)` record with its simulation-time
+//!   stamp. Processes may lag arbitrarily behind each other; the frontier
+//!   logic is exact under skew.
+//!
+//! ## Contract: strictly increasing rounds per process
+//!
+//! A monitor requires each process's observations to arrive in strictly
+//! increasing round order (the paper's programs guarantee this: stable
+//! storage is written at every round completion, so recovery resumes at
+//! the first unexecuted round). Histories that *re-execute* rounds — the
+//! defensive "last execution wins" case [`SystemTrace`] tolerates — cannot
+//! be monitored incrementally, because a revoked acceptance would
+//! invalidate evicted state; such runs need the retained-trace batch
+//! searches. The contract is asserted, not assumed.
+//!
+//! Equivalence with the batch searches is proved property-style in
+//! `tests/monitor_equivalence.rs`: on identical observations, polled at
+//! the same points, every monitor reports the identical `(ρ0, time)`
+//! witness as the corresponding `find_*` search.
+//!
+//! [`SystemTrace`]: crate::record::SystemTrace
+
+use std::collections::VecDeque;
+
+use ho_core::observer::RoundObserver;
+use ho_core::process::{ProcessId, ProcessSet};
+use ho_core::round::Round;
+
+use crate::record::RoundLog;
+
+/// The per-observation acceptance test of one pattern position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Accept {
+    /// `HO(p, r) ⊇ π0` — the round keeps `π0` in `p`'s kernel
+    /// (`P_k`-style windows).
+    Kernel,
+    /// `HO(p, r) = π0` — the space-uniform test (`P_su`-style windows).
+    SpaceUniform,
+}
+
+/// One retained round of a [`WindowMonitor`]: which `π0` members have
+/// delivered an accepted observation, at which levels, and when the last
+/// acceptance landed. `Copy`, so the ring buffer recycles without
+/// allocator traffic.
+#[derive(Clone, Copy, Debug)]
+struct RoundState {
+    /// Members whose observation passed the [`Accept::Kernel`] test (and
+    /// the `not_before` gate).
+    ok_kernel: ProcessSet,
+    /// Members whose observation also passed [`Accept::SpaceUniform`]
+    /// (a subset of `ok_kernel`: `HO = π0` implies `HO ⊇ π0`).
+    ok_uniform: ProcessSet,
+    /// Bit `j` set: this round can never satisfy pattern position `j`
+    /// (some member's only observation failed that position's test).
+    /// Badness is final under the strictly-increasing-rounds contract.
+    bad_mask: u64,
+    /// Latest acceptance stamp. Poll stamps are monotone, so whenever the
+    /// round is fully accepted this is exactly the completion time the
+    /// batch search computes.
+    completed_at: f64,
+}
+
+impl RoundState {
+    const EMPTY: RoundState = RoundState {
+        ok_kernel: ProcessSet::empty(),
+        ok_uniform: ProcessSet::empty(),
+        bad_mask: 0,
+        completed_at: f64::NEG_INFINITY,
+    };
+
+    fn good_for(&self, accept: Accept, pi0: ProcessSet) -> bool {
+        match accept {
+            Accept::Kernel => self.ok_kernel.is_superset(pi0),
+            Accept::SpaceUniform => self.ok_uniform.is_superset(pi0),
+        }
+    }
+}
+
+/// A streaming first-window search: the incremental equivalent of
+/// [`SystemTrace::find_window`](crate::record::SystemTrace::find_window)
+/// and friends.
+///
+/// The monitor looks for the earliest-completing run of consecutive rounds
+/// `ρ0 .. ρ0+x−1` in which every process of `π0` executed round `ρ0+j`
+/// with an HO set accepted by `pattern[j]`, completing every transition at
+/// or after `not_before`. Uniform patterns give the `P_k` / `P_su` window
+/// searches; the two-position mixed pattern `[SpaceUniform, Kernel]` is
+/// `P2_otr`.
+///
+/// Once a witness is found it **latches**: the monitor freezes and further
+/// observations are ignored (the measurement harness stops at the first
+/// witness anyway, and freezing keeps post-witness polls free).
+#[derive(Clone, Debug)]
+pub struct WindowMonitor {
+    pi0: ProcessSet,
+    pattern: Vec<Accept>,
+    not_before: f64,
+    /// Mask with one bit per pattern position.
+    all_positions: u64,
+    /// Mask of the [`Accept::SpaceUniform`] positions.
+    uniform_positions: u64,
+    /// Round number of `states[0]` — the failure frontier. Every window
+    /// starting before it is dead (contains a round that failed), so no
+    /// state before it is retained.
+    base: u64,
+    states: VecDeque<RoundState>,
+    /// `last_round[p]` = the last round observed from `p` (0 = none);
+    /// enforces the strictly-increasing contract.
+    last_round: Vec<u64>,
+    witness: Option<(u64, f64)>,
+    dirty: bool,
+}
+
+impl WindowMonitor {
+    /// A monitor with an explicit per-position pattern (`1 ≤ len ≤ 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty or longer than 64 positions, or if
+    /// `pi0` is empty (an empty scope satisfies everything trivially;
+    /// batch searches special-case it, a monitor has nothing to stream).
+    #[must_use]
+    pub fn with_pattern(pi0: ProcessSet, pattern: Vec<Accept>, not_before: f64) -> Self {
+        assert!(
+            !pattern.is_empty() && pattern.len() <= 64,
+            "pattern must have 1..=64 positions"
+        );
+        assert!(!pi0.is_empty(), "monitored scope must be non-empty");
+        let max_index = pi0.iter().last().expect("non-empty").index();
+        let all_positions = u64::MAX >> (64 - pattern.len());
+        let uniform_positions = pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Accept::SpaceUniform)
+            .fold(0u64, |m, (j, _)| m | (1 << j));
+        WindowMonitor {
+            pi0,
+            pattern,
+            not_before,
+            all_positions,
+            uniform_positions,
+            base: 1,
+            states: VecDeque::new(),
+            last_round: vec![0; max_index + 1],
+            witness: None,
+            dirty: false,
+        }
+    }
+
+    /// Streams `P_k(π0, ρ0, ρ0+x−1)`: `x` consecutive rounds in which
+    /// every `π0` member's HO set contains `π0` — the incremental
+    /// [`find_kernel_window`](crate::record::SystemTrace::find_kernel_window).
+    #[must_use]
+    pub fn kernel(pi0: ProcessSet, x: u64, not_before: f64) -> Self {
+        assert!(x >= 1, "window must span at least one round");
+        WindowMonitor::with_pattern(pi0, vec![Accept::Kernel; x as usize], not_before)
+    }
+
+    /// Streams `P_su(π0, ρ0, ρ0+x−1)`: `x` consecutive rounds in which
+    /// every `π0` member's HO set *equals* `π0` — the incremental
+    /// [`find_space_uniform_window`](crate::record::SystemTrace::find_space_uniform_window).
+    #[must_use]
+    pub fn space_uniform(pi0: ProcessSet, x: u64, not_before: f64) -> Self {
+        assert!(x >= 1, "window must span at least one round");
+        WindowMonitor::with_pattern(pi0, vec![Accept::SpaceUniform; x as usize], not_before)
+    }
+
+    /// Streams `P2_otr(π0)`: a space-uniform round immediately followed by
+    /// a kernel round — the incremental
+    /// [`find_p2otr`](crate::record::SystemTrace::find_p2otr).
+    #[must_use]
+    pub fn p2otr(pi0: ProcessSet, not_before: f64) -> Self {
+        WindowMonitor::with_pattern(pi0, vec![Accept::SpaceUniform, Accept::Kernel], not_before)
+    }
+
+    /// The monitored scope `π0`.
+    #[must_use]
+    pub fn pi0(&self) -> ProcessSet {
+        self.pi0
+    }
+
+    /// The window length `x`.
+    #[must_use]
+    pub fn window_len(&self) -> u64 {
+        self.pattern.len() as u64
+    }
+
+    /// The failure frontier: the earliest round that could still start a
+    /// satisfying window. Every round before it has been evicted as
+    /// provably dead; observations for such rounds are ignored.
+    #[must_use]
+    pub fn frontier(&self) -> u64 {
+        self.base
+    }
+
+    /// How many rounds of state the monitor currently retains (frontier to
+    /// newest observation) — the working set the batch search would have
+    /// rescanned grows with the run, this stays bounded.
+    #[must_use]
+    pub fn retained_rounds(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Feeds one executed round of one process: `p` ran round `round` with
+    /// effective HO set `ho`, completing at time `t`.
+    ///
+    /// Observations from processes outside `π0` are ignored, as are rounds
+    /// before the failure frontier (they are provably irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∈ π0` delivers a round at or before one it already
+    /// delivered — re-executed histories need the retained-trace batch
+    /// searches (see the module docs).
+    pub fn observe_event(&mut self, p: ProcessId, round: u64, ho: ProcessSet, t: f64) {
+        if !self.pi0.contains(p) {
+            return;
+        }
+        let cursor = &mut self.last_round[p.index()];
+        assert!(
+            round > *cursor,
+            "monitors require strictly increasing rounds per process \
+             ({p} delivered round {round} after round {})",
+            *cursor
+        );
+        *cursor = round;
+        if self.witness.is_some() || round < self.base {
+            return;
+        }
+
+        // Materialise (ring-buffered) state up to this round.
+        let idx = (round - self.base) as usize;
+        while self.states.len() <= idx {
+            self.states.push_back(RoundState::EMPTY);
+        }
+        let state = &mut self.states[idx];
+
+        let on_time = t >= self.not_before;
+        let kernel_ok = on_time && ho.is_superset(self.pi0);
+        if kernel_ok {
+            state.ok_kernel.insert(p);
+            state.completed_at = state.completed_at.max(t);
+            if ho == self.pi0 {
+                state.ok_uniform.insert(p);
+            } else {
+                state.bad_mask |= self.uniform_positions;
+            }
+            self.dirty = true;
+        } else {
+            // Fails every position's test — final, under the contract.
+            state.bad_mask |= self.all_positions;
+        }
+        self.advance_frontier();
+    }
+
+    /// Feeds a whole round of the round-synchronous executor: `ho[p]` =
+    /// effective `HO(p, r)`, all completing at `t`. (The
+    /// [`RoundObserver`] impl calls this with `t = r`.)
+    pub fn observe_row(&mut self, round: u64, ho: &[ProcessSet], t: f64) {
+        for p in self.pi0.iter() {
+            self.observe_event(p, round, ho[p.index()], t);
+        }
+    }
+
+    /// Advances the failure frontier: while the window starting *at* the
+    /// frontier provably contains a failed position, that window is dead —
+    /// and since every window starting earlier is already dead, the
+    /// frontier round itself can never be part of a satisfying window and
+    /// its state is evicted.
+    fn advance_frontier(&mut self) {
+        while !self.states.is_empty() {
+            let front_window_dead = self
+                .states
+                .iter()
+                .take(self.pattern.len())
+                .enumerate()
+                .any(|(j, s)| s.bad_mask & (1 << j) != 0);
+            if !front_window_dead {
+                break;
+            }
+            self.states.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// The witness `(ρ0, completion_time)`, if the predicate window has
+    /// been achieved: the earliest-completing window, ties broken to the
+    /// smallest `ρ0` — exactly the batch searches' result on the same
+    /// observations. Scans only the retained suffix (bounded), and only
+    /// when new acceptances arrived since the last poll; once found, the
+    /// witness latches.
+    pub fn witness(&mut self) -> Option<(u64, f64)> {
+        if self.witness.is_some() || !self.dirty {
+            return self.witness;
+        }
+        self.dirty = false;
+        let x = self.pattern.len();
+        if self.states.len() < x {
+            return None;
+        }
+        let mut best: Option<(u64, f64)> = None;
+        for s in 0..=self.states.len() - x {
+            let mut completed = f64::NEG_INFINITY;
+            let good = self.pattern.iter().enumerate().all(|(j, accept)| {
+                let state = &self.states[s + j];
+                let ok = state.good_for(*accept, self.pi0);
+                if ok {
+                    completed = completed.max(state.completed_at);
+                }
+                ok
+            });
+            if good && best.is_none_or(|(_, t)| completed < t) {
+                best = Some((self.base + s as u64, completed));
+            }
+        }
+        self.witness = best;
+        self.witness
+    }
+}
+
+/// Row feed with the round number as the completion stamp — what the
+/// executor's observer hook provides. With it, `witness()` times are round
+/// numbers, matching the batch search over a trace stamped the same way.
+impl RoundObserver for WindowMonitor {
+    fn active(&self) -> bool {
+        // Once latched the monitor needs no further rows; an executor
+        // driving only this monitor can skip building them.
+        self.witness.is_none()
+    }
+
+    fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+        self.observe_row(r.get(), ho, r.get() as f64);
+    }
+}
+
+/// Incrementally drains per-process [`RoundLog`]s, feeding each newly
+/// logged record to a sink exactly once — the event-feed pump that
+/// replaces [`SystemTrace::observe`](crate::record::SystemTrace::observe)
+/// for monitors. One cursor can pump any number of monitors through the
+/// closure.
+#[derive(Clone, Debug)]
+pub struct LogCursor {
+    /// Records already drained per process.
+    seen: Vec<u64>,
+}
+
+impl LogCursor {
+    /// A cursor over `n` process logs, starting at the beginning.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        LogCursor { seen: vec![0; n] }
+    }
+
+    /// Feeds every record logged since the previous drain to `sink` as
+    /// `(process, round, ho, now)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a windowed program discarded records this cursor never
+    /// saw — the record window must cover the rounds executed between two
+    /// drains, as with `SystemTrace::observe`.
+    pub fn drain<L: RoundLog>(
+        &mut self,
+        programs: &[L],
+        now: f64,
+        mut sink: impl FnMut(ProcessId, u64, ProcessSet, f64),
+    ) {
+        for (p, prog) in programs.iter().enumerate() {
+            let seen = self.seen[p];
+            let discarded = prog.discarded();
+            assert!(
+                discarded <= seen,
+                "process {p}: record window discarded {} unobserved rounds — \
+                 widen the window or drain more often",
+                discarded - seen
+            );
+            let records = prog.records();
+            for rec in &records[(seen - discarded) as usize..] {
+                sink(ProcessId::new(p), rec.round, rec.ho, now);
+            }
+            self.seen[p] = discarded + records.len() as u64;
+        }
+    }
+}
+
+/// Per-scenario predicate statistics, streamed from the executor's
+/// observer hook — the sweep's "predicate observatory" verdict fields.
+/// All statistics are over the full process set `Π`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PredicateSummary {
+    /// Rounds observed.
+    pub rounds: u64,
+    /// Rounds with a non-empty kernel `K(r) = ∩_p HO(p, r)` — the rounds
+    /// on which `P_nek` (UniformVoting's safety environment) holds.
+    pub nek_rounds: u64,
+    /// The first round whose kernel was empty, if any — `Some` here means
+    /// the run left `P_nek`'s safety environment at that round.
+    pub first_empty_kernel: Option<u64>,
+    /// Longest run of consecutive non-empty-kernel rounds: the largest
+    /// `x` with a `P_k(Π0, ρ0, ρ0+x−1)`-style kernel window for *some*
+    /// non-empty `Π0` kernel.
+    pub largest_kernel_window: u64,
+    /// Rounds that were space uniform (all processes share one HO set).
+    pub uniform_rounds: u64,
+    /// Longest run of consecutive space-uniform rounds.
+    pub largest_uniform_window: u64,
+    /// The first `ρ0` with a space-uniform-over-Π round `ρ0` (every HO set
+    /// `= Π`) immediately followed by a kernel round `ρ0+1` (every HO set
+    /// `⊇ Π`) — `P2_otr(Π)`, OneThirdRule's one-shot liveness predicate.
+    pub first_p2otr: Option<u64>,
+}
+
+/// Streams the [`PredicateSummary`] of a run from the executor's
+/// [`RoundObserver`] hook: O(1) state, no allocation after construction,
+/// never latches (statistics cover the whole run).
+#[derive(Clone, Debug)]
+pub struct ScenarioMonitor {
+    n: usize,
+    summary: PredicateSummary,
+    nek_run: u64,
+    uniform_run: u64,
+    /// Whether the previous round was uniform at full delivery
+    /// (`HO(p) = Π` for all `p`) — the `P2_otr` prefix.
+    prev_full_uniform: bool,
+}
+
+impl ScenarioMonitor {
+    /// A monitor over `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ScenarioMonitor {
+            n,
+            summary: PredicateSummary::default(),
+            nek_run: 0,
+            uniform_run: 0,
+            prev_full_uniform: false,
+        }
+    }
+
+    /// The statistics so far.
+    #[must_use]
+    pub fn summary(&self) -> PredicateSummary {
+        self.summary
+    }
+}
+
+impl RoundObserver for ScenarioMonitor {
+    fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+        debug_assert_eq!(ho.len(), self.n, "one HO set per process");
+        let s = &mut self.summary;
+        s.rounds += 1;
+
+        let mut kernel = ProcessSet::full(self.n);
+        for h in ho {
+            kernel = kernel.intersection(*h);
+        }
+        if kernel.is_empty() {
+            if s.first_empty_kernel.is_none() {
+                s.first_empty_kernel = Some(r.get());
+            }
+            self.nek_run = 0;
+        } else {
+            s.nek_rounds += 1;
+            self.nek_run += 1;
+            s.largest_kernel_window = s.largest_kernel_window.max(self.nek_run);
+        }
+
+        let uniform = ho.windows(2).all(|w| w[0] == w[1]);
+        if uniform {
+            s.uniform_rounds += 1;
+            self.uniform_run += 1;
+            s.largest_uniform_window = s.largest_uniform_window.max(self.uniform_run);
+        } else {
+            self.uniform_run = 0;
+        }
+
+        let full_uniform = uniform && ho.first().is_some_and(|h| h.len() == self.n);
+        if self.prev_full_uniform && full_uniform && s.first_p2otr.is_none() {
+            s.first_p2otr = Some(r.get() - 1);
+        }
+        self.prev_full_uniform = full_uniform;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(idx: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(idx.iter().copied())
+    }
+
+    #[test]
+    fn kernel_window_streams_to_the_first_run() {
+        let pi0 = set(&[0, 1]);
+        let mut mon = WindowMonitor::kernel(pi0, 2, 0.0);
+        // Round 1: p1 misses p0 — bad; rounds 2 and 3: both hear both.
+        mon.observe_row(1, &[set(&[0, 1]), set(&[1])], 1.0);
+        assert_eq!(mon.witness(), None);
+        assert_eq!(mon.frontier(), 2, "round 1 failure evicted");
+        mon.observe_row(2, &[set(&[0, 1]), set(&[0, 1, 2])], 2.0);
+        assert_eq!(mon.witness(), None, "window needs two rounds");
+        mon.observe_row(3, &[set(&[0, 1]), set(&[0, 1])], 3.0);
+        assert_eq!(mon.witness(), Some((2, 3.0)));
+    }
+
+    #[test]
+    fn space_uniform_rejects_proper_supersets() {
+        let pi0 = set(&[0, 1]);
+        let mut mon = WindowMonitor::space_uniform(pi0, 1, 0.0);
+        mon.observe_row(1, &[set(&[0, 1, 2]), set(&[0, 1])], 1.0);
+        assert_eq!(mon.witness(), None, "p0 heard a superset, not π0");
+        mon.observe_row(2, &[set(&[0, 1]), set(&[0, 1])], 2.0);
+        assert_eq!(mon.witness(), Some((2, 2.0)));
+    }
+
+    #[test]
+    fn not_before_gates_acceptance() {
+        let pi0 = set(&[0]);
+        let mut mon = WindowMonitor::space_uniform(pi0, 1, 5.0);
+        mon.observe_event(ProcessId::new(0), 1, pi0, 3.0);
+        assert_eq!(mon.witness(), None, "completed before the good period");
+        mon.observe_event(ProcessId::new(0), 2, pi0, 6.0);
+        assert_eq!(mon.witness(), Some((2, 6.0)));
+    }
+
+    #[test]
+    fn p2otr_needs_the_adjacent_kernel_round() {
+        let pi0 = set(&[0, 1]);
+        let mut mon = WindowMonitor::p2otr(pi0, 0.0);
+        mon.observe_row(1, &[pi0, pi0], 1.0); // uniform
+        mon.observe_row(2, &[set(&[0, 1, 2]), pi0], 2.0); // kernel (superset ok)
+        assert_eq!(mon.witness(), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn frontier_survives_process_skew() {
+        // p1 lags: its round-2 record arrives after p0's round-4 one. The
+        // window [2,3] completes late but must still be found.
+        let pi0 = set(&[0, 1]);
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let mut mon = WindowMonitor::kernel(pi0, 2, 0.0);
+        mon.observe_event(p0, 1, set(&[0]), 1.0); // bad round 1
+        mon.observe_event(p0, 2, pi0, 2.0);
+        mon.observe_event(p0, 3, pi0, 3.0);
+        mon.observe_event(p0, 4, set(&[0]), 4.0); // bad round 4 (for p0)
+        assert_eq!(mon.witness(), None, "p1 has not executed yet");
+        mon.observe_event(p1, 1, pi0, 5.0); // dead zone: ignored
+        mon.observe_event(p1, 2, pi0, 6.0);
+        mon.observe_event(p1, 3, pi0, 7.0);
+        assert_eq!(mon.witness(), Some((2, 7.0)));
+    }
+
+    #[test]
+    fn eviction_keeps_the_retained_suffix_bounded() {
+        let pi0 = set(&[0, 1]);
+        let mut mon = WindowMonitor::space_uniform(pi0, 3, 0.0);
+        // Rounds uniform-bad (but kernel-good) twice, then one good: runs
+        // of good rounds never reach 3, so eviction must keep up.
+        for r in 1..=300 {
+            let row = if r % 3 == 0 {
+                [pi0, pi0]
+            } else {
+                [set(&[0, 1, 2]), pi0]
+            };
+            mon.observe_row(r, &row, r as f64);
+        }
+        assert_eq!(mon.witness(), None);
+        assert!(
+            mon.retained_rounds() <= 6,
+            "retained {} rounds",
+            mon.retained_rounds()
+        );
+        assert!(mon.frontier() > 290);
+    }
+
+    #[test]
+    fn witness_latches_and_freezes() {
+        let pi0 = set(&[0]);
+        let mut mon = WindowMonitor::kernel(pi0, 1, 0.0);
+        mon.observe_event(ProcessId::new(0), 1, pi0, 1.0);
+        assert_eq!(mon.witness(), Some((1, 1.0)));
+        assert!(!mon.active(), "latched monitors stop consuming rows");
+        mon.observe_event(ProcessId::new(0), 2, pi0, 2.0);
+        assert_eq!(mon.witness(), Some((1, 1.0)), "witness is latched");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn re_executed_rounds_are_rejected() {
+        let pi0 = set(&[0]);
+        let mut mon = WindowMonitor::kernel(pi0, 1, 100.0);
+        let p0 = ProcessId::new(0);
+        mon.observe_event(p0, 1, pi0, 1.0);
+        mon.observe_event(p0, 1, pi0, 2.0);
+    }
+
+    #[test]
+    fn non_members_are_ignored() {
+        let pi0 = set(&[0]);
+        let mut mon = WindowMonitor::kernel(pi0, 1, 0.0);
+        // p1 is outside π0: no cursor, no state, no panic.
+        mon.observe_row(1, &[pi0, ProcessSet::empty()], 1.0);
+        assert_eq!(mon.witness(), Some((1, 1.0)));
+    }
+
+    struct FakeLog(Vec<crate::record::RoundRecord>);
+    impl RoundLog for FakeLog {
+        fn records(&self) -> &[crate::record::RoundRecord] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn log_cursor_feeds_each_record_once() {
+        let rec = |round, idx: &[usize]| crate::record::RoundRecord {
+            round,
+            ho: set(idx),
+        };
+        let mut logs = vec![FakeLog(vec![rec(1, &[0, 1])]), FakeLog(vec![])];
+        let mut cursor = LogCursor::new(2);
+        let mut events = Vec::new();
+        cursor.drain(&logs, 1.0, |p, r, ho, t| events.push((p, r, ho, t)));
+        assert_eq!(events.len(), 1);
+        logs[0].0.push(rec(2, &[0]));
+        logs[1].0.push(rec(1, &[0, 1]));
+        cursor.drain(&logs, 2.0, |p, r, ho, t| events.push((p, r, ho, t)));
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1], (ProcessId::new(0), 2, set(&[0]), 2.0));
+        assert_eq!(events[2], (ProcessId::new(1), 1, set(&[0, 1]), 2.0));
+    }
+
+    #[test]
+    fn scenario_monitor_streams_summary_statistics() {
+        let mut mon = ScenarioMonitor::new(3);
+        let full = ProcessSet::full(3);
+        // r1: uniform at full delivery; r2: same (P2otr at ρ0 = 1);
+        // r3: empty kernel; r4: non-empty kernel, not uniform.
+        mon.observe_round(Round(1), &[full, full, full]);
+        mon.observe_round(Round(2), &[full, full, full]);
+        mon.observe_round(Round(3), &[set(&[0]), set(&[1]), set(&[2])]);
+        mon.observe_round(Round(4), &[set(&[0, 1]), set(&[1, 2]), set(&[1])]);
+        let s = mon.summary();
+        assert_eq!(s.rounds, 4);
+        assert_eq!(s.nek_rounds, 3);
+        assert_eq!(s.first_empty_kernel, Some(3));
+        assert_eq!(s.largest_kernel_window, 2);
+        assert_eq!(s.uniform_rounds, 2);
+        assert_eq!(s.largest_uniform_window, 2);
+        assert_eq!(s.first_p2otr, Some(1));
+    }
+}

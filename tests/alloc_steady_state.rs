@@ -20,8 +20,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use heardof::core::adversary::{Adversary, FullDelivery, KernelOnly, RandomLoss};
 use heardof::core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
 use heardof::core::executor::RoundExecutor;
+use heardof::core::observer::RoundObserver;
+use heardof::core::process::ProcessSet;
+use heardof::core::round::Round;
 use heardof::core::trace::TraceMode;
 use heardof::core::HoAlgorithm;
+use heardof::predicates::monitor::{ScenarioMonitor, WindowMonitor};
 
 struct CountingAllocator;
 
@@ -74,13 +78,41 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
 fn steady_state_allocs<A: HoAlgorithm<Value = u64>>(
     alg: A,
     values: Vec<u64>,
-    mut adversary: impl Adversary,
+    adversary: impl Adversary,
     mode: TraceMode,
     rounds: u64,
 ) -> u64 {
+    steady_state_allocs_observed(
+        alg,
+        values,
+        adversary,
+        mode,
+        20,
+        rounds,
+        heardof::core::observer::NullObserver,
+    )
+}
+
+/// [`steady_state_allocs`] with an explicit warm-up length and a streaming
+/// round observer attached for the whole run (warm-up included). Rotating-
+/// coordinator algorithms need the warm-up to cover a full rotation: each
+/// process's first coordinator phase grows its mailbox capacity once.
+fn steady_state_allocs_observed<A: HoAlgorithm<Value = u64>>(
+    alg: A,
+    values: Vec<u64>,
+    mut adversary: impl Adversary,
+    mode: TraceMode,
+    warm_rounds: u64,
+    rounds: u64,
+    mut observer: impl RoundObserver,
+) -> u64 {
     let mut exec = RoundExecutor::with_trace_mode(alg, values, mode);
-    exec.run(&mut adversary, 20).expect("warm-up safe");
-    allocs_during(|| exec.run(&mut adversary, rounds).expect("steady state safe"))
+    exec.run_observed(&mut adversary, warm_rounds, &mut observer)
+        .expect("warm-up safe");
+    allocs_during(|| {
+        exec.run_observed(&mut adversary, rounds, &mut observer)
+            .expect("steady state safe")
+    })
 }
 
 #[test]
@@ -126,6 +158,21 @@ fn zero_allocations_per_round_in_steady_state() {
         "UniformVoting / KernelOnly / TraceMode::Off"
     );
 
+    // Past 16 mailbox entries the transition functions' mode computation
+    // takes the sorted spill path — which must stay allocation-free too
+    // (it sorts a stack buffer, never a heap one).
+    assert_eq!(
+        steady_state_allocs(
+            OneThirdRule::new(24),
+            (0..24u64).map(|v| v % 3).collect(),
+            FullDelivery,
+            TraceMode::Off,
+            200,
+        ),
+        0,
+        "OneThirdRule n=24 / FullDelivery — spilled mode_with_count path"
+    );
+
     // A bounded trace window recycles its row buffers: still zero.
     assert_eq!(
         steady_state_allocs(
@@ -139,22 +186,77 @@ fn zero_allocations_per_round_in_steady_state() {
         "OneThirdRule / RandomLoss / TraceMode::Window(4)"
     );
 
-    // LastVoting's point-to-point rounds reuse the destination vector and
-    // its broadcast rounds reuse the payload once recipients drop it — but
-    // the coordinator's plan alternates shapes (unicast → broadcast) every
-    // offset, re-allocating at the transitions. Bounded, not zero: cap it
-    // at a small constant per round to pin the behaviour down.
-    let lv_allocs = steady_state_allocs(
-        LastVoting::new(n),
-        values.clone(),
-        FullDelivery,
-        TraceMode::Off,
-        300,
+    // LastVoting alternates plan shapes (unicast → broadcast) across the
+    // four phase offsets and rotates its coordinator every phase. The
+    // outbox-wide retired-payload pool serves each displaced broadcast
+    // `Arc` to whichever sender broadcasts next, the destination vectors
+    // stay warm per sender, and unicast deliveries clone into payloads the
+    // recipient's mailbox retired — so the steady state is **zero**, like
+    // the broadcast algorithms. Steady state begins once every process has
+    // coordinated a phase (its mailbox capacity grows the first time it
+    // collects n estimates), so the warm-up covers a full rotation.
+    let rotation = 4 * n as u64 + 4;
+    assert_eq!(
+        steady_state_allocs_observed(
+            LastVoting::new(n),
+            values.clone(),
+            FullDelivery,
+            TraceMode::Off,
+            rotation,
+            300,
+            heardof::core::observer::NullObserver,
+        ),
+        0,
+        "LastVoting / FullDelivery / TraceMode::Off"
     );
-    assert!(
-        lv_allocs <= 4 * 300,
-        "LastVoting steady state should stay within a small constant \
-         per round, got {lv_allocs} over 300 rounds"
+    assert_eq!(
+        steady_state_allocs_observed(
+            LastVoting::new(n),
+            values.clone(),
+            RandomLoss::new(0.4, 7),
+            TraceMode::Off,
+            rotation,
+            300,
+            heardof::core::observer::NullObserver,
+        ),
+        0,
+        "LastVoting / RandomLoss / TraceMode::Off"
+    );
+
+    // Online predicate monitoring rides the round-observer hook without
+    // breaking the zero-allocation property: the scenario statistics
+    // monitor is O(1) state, and the window monitors' failure-frontier
+    // ring buffers recycle. (The space-uniform window never completes
+    // under this loss rate, so the window monitor streams the whole time.)
+    struct Monitors {
+        stats: ScenarioMonitor,
+        kernel: WindowMonitor,
+        uniform: WindowMonitor,
+    }
+    impl RoundObserver for Monitors {
+        fn observe_round(&mut self, r: Round, ho: &[heardof::core::process::ProcessSet]) {
+            self.stats.observe_round(r, ho);
+            self.kernel.observe_round(r, ho);
+            self.uniform.observe_round(r, ho);
+        }
+    }
+    let monitors = Monitors {
+        stats: ScenarioMonitor::new(n),
+        kernel: WindowMonitor::kernel(ProcessSet::full(n), 3, 0.0),
+        uniform: WindowMonitor::space_uniform(ProcessSet::full(n), 4, 0.0),
+    };
+    assert_eq!(
+        steady_state_allocs_observed(
+            OneThirdRule::new(n),
+            values.clone(),
+            RandomLoss::new(0.4, 7),
+            TraceMode::Off,
+            20,
+            300,
+            monitors,
+        ),
+        0,
+        "OneThirdRule / RandomLoss / TraceMode::Off + active monitors"
     );
 
     // Contrast: the full trace necessarily allocates (every round appends

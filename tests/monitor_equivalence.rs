@@ -1,0 +1,413 @@
+//! Property suite: streaming predicate monitors ≡ retained-trace batch
+//! searches.
+//!
+//! Three layers of evidence, each polling a [`WindowMonitor`] and the
+//! corresponding `SystemTrace::find_*` batch search in lockstep on
+//! identical observations and demanding the identical `(ρ0, time)`
+//! witness at the first poll where either side reports one:
+//!
+//! 1. **Model level** — `TraceMode::Full` executor runs across the full
+//!    adversary zoo, `n ∈ {4, 7, 13}`, 50 seeds: the monitor rides the
+//!    round-observer hook while the batch search re-scans the retained
+//!    trace after every round.
+//! 2. **Skew level** — synthetic per-process logs delivered in random
+//!    interleavings with non-decreasing (sometimes equal) timestamps and
+//!    skipped rounds: the failure-frontier logic must stay exact when
+//!    processes lag arbitrarily.
+//! 3. **System level** — the rewired `measure_*` entry points (monitor-
+//!    polling) against a re-implementation of the old `SystemTrace`
+//!    polling loop on an identical simulation.
+
+use heardof::core::algorithms::{LastVoting, OneThirdRule};
+use heardof::core::executor::RoundExecutor;
+use heardof::core::observer::RoundObserver;
+use heardof::core::process::{ProcessId, ProcessSet};
+use heardof::core::round::Round;
+use heardof::core::trace::TraceMode;
+use heardof::core::HoAlgorithm;
+use heardof::harness::AdversarySpec;
+use heardof::predicates::monitor::WindowMonitor;
+use heardof::predicates::record::{RoundLog, RoundRecord, SystemTrace};
+
+const SEEDS: u64 = 50;
+const ROUNDS: u64 = 25;
+
+/// The full adversary zoo of the sweep grid.
+fn zoo() -> Vec<AdversarySpec> {
+    vec![
+        AdversarySpec::FullDelivery,
+        AdversarySpec::RandomLoss { loss: 0.2 },
+        AdversarySpec::RandomLoss { loss: 0.45 },
+        AdversarySpec::Partition { blocks: 2 },
+        AdversarySpec::CrashRecovery,
+        AdversarySpec::KernelOnly { loss: 0.8 },
+        AdversarySpec::EventuallyGood {
+            bad_rounds: 5,
+            loss: 0.5,
+        },
+    ]
+}
+
+/// What batch search a monitor must match.
+#[derive(Clone, Copy)]
+enum Kind {
+    Kernel(u64),
+    SpaceUniform(u64),
+    P2otr,
+}
+
+fn monitors_for(n: usize) -> Vec<(Kind, ProcessSet, WindowMonitor)> {
+    let scopes = [
+        ProcessSet::full(n),
+        ProcessSet::from_indices(0..(2 * n).div_ceil(3)),
+    ];
+    let mut out = Vec::new();
+    for pi0 in scopes {
+        for kind in [
+            Kind::Kernel(1),
+            Kind::Kernel(3),
+            Kind::SpaceUniform(2),
+            Kind::P2otr,
+        ] {
+            let monitor = match kind {
+                Kind::Kernel(x) => WindowMonitor::kernel(pi0, x, 0.0),
+                Kind::SpaceUniform(x) => WindowMonitor::space_uniform(pi0, x, 0.0),
+                Kind::P2otr => WindowMonitor::p2otr(pi0, 0.0),
+            };
+            out.push((kind, pi0, monitor));
+        }
+    }
+    out
+}
+
+fn batch_find(st: &SystemTrace, kind: Kind, pi0: ProcessSet) -> Option<(u64, f64)> {
+    match kind {
+        Kind::Kernel(x) => st.find_kernel_window(pi0, x, 0.0),
+        Kind::SpaceUniform(x) => st.find_space_uniform_window(pi0, x, 0.0),
+        Kind::P2otr => st.find_p2otr(pi0, 0.0),
+    }
+}
+
+/// A per-process log that a `SystemTrace` can observe incrementally.
+#[derive(Default)]
+struct GrowingLog(Vec<RoundRecord>);
+
+impl RoundLog for GrowingLog {
+    fn records(&self) -> &[RoundRecord] {
+        &self.0
+    }
+}
+
+/// Runs one full-trace executor scenario, feeding monitors and the batch
+/// trace in lockstep and asserting identical witnesses at every poll up to
+/// (and including) the first witness.
+fn check_model_level<A: HoAlgorithm<Value = u64>>(alg: A, spec: &AdversarySpec, seed: u64) {
+    let n = alg.n();
+    let label = format!("{}/n{n}/s{seed}", spec.name());
+    let values: Vec<u64> = (0..n as u64).map(|v| v % 3).collect();
+    let mut adversary = spec.build(n, seed);
+    let mut exec = RoundExecutor::with_trace_mode(alg, values, TraceMode::Full);
+
+    let mut monitors = monitors_for(n);
+    let mut done = vec![false; monitors.len()];
+    let mut st = SystemTrace::new(n);
+    let mut logs: Vec<GrowingLog> = (0..n).map(|_| GrowingLog::default()).collect();
+
+    for _ in 0..ROUNDS {
+        // One observed round for the monitors…
+        struct Feed<'m> {
+            monitors: &'m mut Vec<(Kind, ProcessSet, WindowMonitor)>,
+        }
+        impl RoundObserver for Feed<'_> {
+            fn observe_round(&mut self, r: Round, ho: &[ProcessSet]) {
+                for (_, _, m) in self.monitors.iter_mut() {
+                    m.observe_round(r, ho);
+                }
+            }
+        }
+        let mut feed = Feed {
+            monitors: &mut monitors,
+        };
+        exec.step_observed(&mut adversary, &mut feed).expect("safe");
+
+        // …and the same round appended to the batch trace, stamped — like
+        // the observer feed — with the round number.
+        let r = exec.current_round();
+        let row = exec.trace().round(r);
+        for (p, log) in logs.iter_mut().enumerate() {
+            log.0.push(RoundRecord {
+                round: r.get(),
+                ho: row[p],
+            });
+        }
+        st.observe(&logs, r.get() as f64);
+
+        for (i, (kind, pi0, monitor)) in monitors.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let batch = batch_find(&st, *kind, *pi0);
+            let streamed = monitor.witness();
+            assert_eq!(
+                streamed, batch,
+                "{label}: monitor {i} diverged from batch at round {r}"
+            );
+            done[i] = streamed.is_some();
+        }
+    }
+}
+
+#[test]
+fn monitors_equal_batch_searches_across_the_adversary_zoo() {
+    for seed in 0..SEEDS {
+        for spec in zoo() {
+            for n in [4, 7, 13] {
+                check_model_level(OneThirdRule::new(n), &spec, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn monitors_equal_batch_searches_under_sparse_unicast_rounds() {
+    // LastVoting's silent and unicast rounds produce sparse effective HO
+    // sets — a different shape of rows than any broadcast algorithm.
+    for seed in 0..SEEDS / 5 {
+        for spec in zoo() {
+            for n in [4, 7, 13] {
+                check_model_level(LastVoting::new(n), &spec, seed);
+            }
+        }
+    }
+}
+
+/// xorshift64* — deterministic test randomness without a dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn monitors_survive_arbitrary_process_skew() {
+    // Synthetic per-process logs delivered in random interleavings: lagging
+    // processes, skipped rounds, equal timestamps across polls. The
+    // monitor's frontier eviction must never lose a window the batch
+    // search would find.
+    let n = 5;
+    let max_round = 20u64;
+    for seed in 0..SEEDS {
+        let mut rng = Rng(seed * 2 + 1);
+        let pi0 = if seed % 2 == 0 {
+            ProcessSet::full(n)
+        } else {
+            ProcessSet::from_indices(0..3)
+        };
+        // Each process's schedule: strictly increasing rounds with gaps,
+        // HO sets biased so windows actually occur.
+        let mut schedules: Vec<Vec<RoundRecord>> = (0..n)
+            .map(|_| {
+                let mut recs = Vec::new();
+                let mut r = 1;
+                while r <= max_round {
+                    let ho = match rng.next() % 5 {
+                        0 | 1 => pi0,
+                        2 => pi0.union(ProcessSet::from_indices([n - 1])),
+                        3 => {
+                            let mut s = pi0;
+                            s.remove(ProcessId::new((rng.next() % 3) as usize));
+                            s
+                        }
+                        _ => ProcessSet::empty(),
+                    };
+                    recs.push(RoundRecord { round: r, ho });
+                    // Occasionally skip a round entirely.
+                    r += 1 + u64::from(rng.next().is_multiple_of(7));
+                }
+                recs
+            })
+            .collect();
+
+        for kind in [Kind::Kernel(2), Kind::SpaceUniform(2), Kind::P2otr] {
+            let mut monitor = match kind {
+                Kind::Kernel(x) => WindowMonitor::kernel(pi0, x, 0.0),
+                Kind::SpaceUniform(x) => WindowMonitor::space_uniform(pi0, x, 0.0),
+                Kind::P2otr => WindowMonitor::p2otr(pi0, 0.0),
+            };
+            let mut st = SystemTrace::new(n);
+            let mut logs: Vec<GrowingLog> = (0..n).map(|_| GrowingLog::default()).collect();
+            let mut cursors = vec![0usize; n];
+            let mut interleave = Rng(seed ^ 0xD1CE);
+            let mut now = 0.0f64;
+            loop {
+                // Pick a random process that still has records to deliver.
+                let pending: Vec<usize> = (0..n)
+                    .filter(|&p| cursors[p] < schedules[p].len())
+                    .collect();
+                let Some(&p) = pending.get((interleave.next() as usize) % pending.len().max(1))
+                else {
+                    break;
+                };
+                let rec = schedules[p][cursors[p]];
+                cursors[p] += 1;
+                // Timestamps advance sometimes — equal stamps across polls
+                // are legal and must not break the tie-break equivalence.
+                if !interleave.next().is_multiple_of(3) {
+                    now += 1.0;
+                }
+                monitor.observe_event(ProcessId::new(p), rec.round, rec.ho, now);
+                logs[p].0.push(rec);
+                st.observe(&logs, now);
+
+                let batch = batch_find(&st, kind, pi0);
+                let streamed = monitor.witness();
+                assert_eq!(streamed, batch, "seed {seed}: diverged at t={now}");
+                if streamed.is_some() {
+                    break;
+                }
+            }
+        }
+        // Keep the borrow checker honest about reuse across kinds.
+        schedules.clear();
+    }
+}
+
+mod system_level {
+    //! The rewired `measure_*` entry points against the old retained-trace
+    //! polling loop, on identical simulations.
+
+    use heardof::core::algorithms::OneThirdRule;
+    use heardof::core::process::{ProcessId, ProcessSet};
+    use heardof::predicates::measure::{measure_alg2_space_uniform, measure_alg3_kernel, Scenario};
+    use heardof::predicates::record::SystemTrace;
+    use heardof::predicates::{Alg2Program, Alg3Program, BoundParams};
+    use heardof::sim::{GoodKind, Schedule, SimConfig, Simulator, TimePoint};
+
+    const RECORD_WINDOW: usize = 64;
+    const DEADLINE_FACTOR: f64 = 6.0;
+
+    /// The pre-monitor implementation of `measure_alg2_space_uniform`'s
+    /// polling loop: retained `SystemTrace`, full re-scan per poll.
+    fn batch_alg2(
+        params: BoundParams,
+        pi0: ProcessSet,
+        x: u64,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Option<(u64, f64)> {
+        let n = params.n;
+        let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
+        let schedule = match scenario {
+            Scenario::Initial => Schedule::always_good(pi0, GoodKind::PiDown),
+            Scenario::AfterBad { bad_len, bad } => {
+                Schedule::bad_then_good(bad, TimePoint::new(bad_len), pi0, GoodKind::PiDown)
+            }
+        };
+        let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+            .map(|p| {
+                Alg2Program::new(
+                    OneThirdRule::new(n),
+                    ProcessId::new(p),
+                    p as u64,
+                    params.alg2_timeout(),
+                )
+                .with_record_window(RECORD_WINDOW)
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg, schedule, programs);
+        let good_start = scenario.good_start();
+        let bound = match scenario {
+            Scenario::Initial => params.theorem5(x),
+            Scenario::AfterBad { .. } => params.theorem3(x),
+        };
+        let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
+        let mut st = SystemTrace::new(n);
+        let mut witness = None;
+        sim.run_until(deadline, |s| {
+            st.observe(s.programs(), s.now().get());
+            witness = st.find_space_uniform_window(pi0, x, good_start);
+            witness.is_some()
+        });
+        witness
+    }
+
+    /// The pre-monitor implementation of `measure_alg3_kernel`'s loop.
+    fn batch_alg3(
+        params: BoundParams,
+        f: usize,
+        x: u64,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Option<(u64, f64)> {
+        let n = params.n;
+        let pi0 = ProcessSet::from_indices(0..n - f);
+        let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
+        let schedule = match scenario {
+            Scenario::Initial => Schedule::always_good(pi0, GoodKind::PiArbitrary),
+            Scenario::AfterBad { bad_len, bad } => {
+                Schedule::bad_then_good(bad, TimePoint::new(bad_len), pi0, GoodKind::PiArbitrary)
+            }
+        };
+        let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
+            .map(|p| {
+                Alg3Program::new(
+                    OneThirdRule::new(n),
+                    ProcessId::new(p),
+                    p as u64,
+                    f,
+                    params.alg3_timeout(),
+                )
+                .with_record_window(RECORD_WINDOW)
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg, schedule, programs);
+        let good_start = scenario.good_start();
+        let bound = match scenario {
+            Scenario::Initial => params.theorem7(x),
+            Scenario::AfterBad { .. } => params.theorem6(x),
+        };
+        let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
+        let mut st = SystemTrace::new(n);
+        let mut witness = None;
+        sim.run_until(deadline, |s| {
+            st.observe(s.programs(), s.now().get());
+            witness = st.find_kernel_window(pi0, x, good_start);
+            witness.is_some()
+        });
+        witness
+    }
+
+    #[test]
+    fn rewired_alg2_measurement_matches_the_batch_loop() {
+        let params = BoundParams::new(4, 1.0, 2.0);
+        for (pi0, scenario, seed) in [
+            (ProcessSet::full(4), Scenario::Initial, 1),
+            (ProcessSet::full(4), Scenario::rough(60.0), 2),
+            (ProcessSet::from_indices(0..3), Scenario::rough(40.0), 7),
+        ] {
+            let m = measure_alg2_space_uniform(params, pi0, 2, scenario, seed);
+            let batch = batch_alg2(params, pi0, 2, scenario, seed);
+            assert_eq!(m.rho0, batch.map(|(r, _)| r), "seed {seed}");
+            assert_eq!(m.achieved_at, batch.map(|(_, t)| t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rewired_alg3_measurement_matches_the_batch_loop() {
+        for (n, f, scenario, seed) in [
+            (4, 1, Scenario::Initial, 3),
+            (5, 2, Scenario::rough(80.0), 0),
+        ] {
+            let params = BoundParams::new(n, 1.0, 2.0);
+            let m = measure_alg3_kernel(params, f, 2, scenario, seed);
+            let batch = batch_alg3(params, f, 2, scenario, seed);
+            assert_eq!(m.rho0, batch.map(|(r, _)| r), "seed {seed}");
+            assert_eq!(m.achieved_at, batch.map(|(_, t)| t), "seed {seed}");
+        }
+    }
+}

@@ -130,6 +130,7 @@ fn eventually_good_decides_with_valid_values() {
             seed: v.seed,
             max_rounds: 120,
             cooldown_rounds: 0,
+            monitor_predicates: false,
         };
         assert!(
             scenario
