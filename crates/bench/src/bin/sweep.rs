@@ -59,6 +59,30 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        println!("smoke ok: 0 violations, predicate fields round-trip, cross-check ok");
+        // The sim layer's contract: every scenario delivered the predicate
+        // window its implementation (Algorithm 2/3) promises, within the
+        // theorem bound.
+        let Some(Json::Obj(sim)) = map.get("sim_layer") else {
+            eprintln!("smoke FAILED: no sim_layer section in the report");
+            std::process::exit(1);
+        };
+        match sim.get("violations") {
+            Some(Json::UInt(0)) => {}
+            other => {
+                eprintln!("smoke FAILED: sim_layer violations = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match sim.get("scenarios") {
+            Some(Json::UInt(n)) if *n > 0 => {}
+            other => {
+                eprintln!("smoke FAILED: sim_layer scenarios = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "smoke ok: 0 violations, predicate fields round-trip, cross-check ok, \
+             sim layer kept every Alg2/Alg3 promise"
+        );
     }
 }

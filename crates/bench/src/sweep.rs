@@ -21,7 +21,8 @@
 use std::time::Instant;
 
 use ho_harness::{
-    default_threads, predicate_totals_json, AdversarySpec, AlgorithmSpec, Json, PredicateTotals,
+    chunk_policy_json, default_threads, predicate_totals_json, sim_report_json, AdversarySpec,
+    AlgorithmSpec, ChunkPolicy, ImplementationSpec, Json, LinkFaultSpec, PredicateTotals, SimSweep,
     Sweep, SweepReport,
 };
 
@@ -85,6 +86,35 @@ pub fn pnek_counterexample_sweep() -> Sweep {
         .sizes([4, 7, 10])
         .seeds(0..40)
         .max_rounds(120)
+}
+
+/// The canonical **sim-layer** grid: the predicate *implementation* stack
+/// (Algorithms 2 and 3 over the system-level simulator) swept across
+/// (implementation × link-fault model × n × seed), each scenario's verdict
+/// checking the *delivered* predicate — the `P_su` / `P_k` window the
+/// theorems promise — against the theorem bound. Every cell must finish
+/// with zero violations: a violation here means an implementation broke
+/// its own paper-proved guarantee.
+#[must_use]
+pub fn sim_layer_sweep() -> SimSweep {
+    SimSweep::new()
+        .implementations([ImplementationSpec::Alg2, ImplementationSpec::Alg3 { f: 1 }])
+        .faults([
+            LinkFaultSpec::GoodFromStart,
+            LinkFaultSpec::LossyThenGood {
+                bad_len: 40.0,
+                loss: 0.5,
+            },
+            LinkFaultSpec::CrashyThenGood { bad_len: 40.0 },
+            LinkFaultSpec::OmissiveThenGood {
+                bad_len: 40.0,
+                send: 0.3,
+                recv: 0.3,
+            },
+        ])
+        .sizes([4, 6])
+        .seeds(0..10)
+        .window(2)
 }
 
 /// One timed pass over the whole baseline grid at a fixed worker count.
@@ -227,6 +257,15 @@ pub fn run_baseline(smoke: bool) -> Json {
     .run();
     let check = predicate_cross_check(&monitored.reports, &counterexamples);
 
+    // The sim layer: the implementation stack under systematic link
+    // faults, verdicts checking the delivered predicate.
+    let sim_layer = if smoke {
+        sim_layer_sweep().seeds(0..3)
+    } else {
+        sim_layer_sweep()
+    }
+    .run();
+
     let reports = &single.reports;
     let scenarios: u64 = single.scenarios;
     let decided: u64 = reports.iter().map(|r| r.decided as u64).sum();
@@ -271,6 +310,17 @@ pub fn run_baseline(smoke: bool) -> Json {
                 ("all_cores", multi.throughput_json()),
                 ("threads_available", Json::UInt(threads as u64)),
                 ("scaling_efficiency", Json::Float(efficiency)),
+                // The chunk policy the measured sweeps actually ran under
+                // — what a multi-core tuning run varies.
+                (
+                    "chunk",
+                    chunk_policy_json(
+                        &multi
+                            .reports
+                            .first()
+                            .map_or_else(ChunkPolicy::default, |r| r.chunk),
+                    ),
+                ),
             ]),
         ),
         (
@@ -333,6 +383,7 @@ pub fn run_baseline(smoke: bool) -> Json {
             );
             Json::Obj(map)
         }),
+        ("sim_layer", sim_report_json(&sim_layer, false)),
         (
             "pnek_counterexamples",
             Json::obj([
@@ -407,6 +458,21 @@ mod tests {
     }
 
     #[test]
+    fn sim_layer_grid_keeps_every_promise() {
+        // A thinned replica of the sim-layer grid: every scenario must
+        // deliver its predicate window within the theorem bound.
+        let report = sim_layer_sweep().seeds(0..2).run();
+        assert!(report.scenarios > 0);
+        assert_eq!(
+            report.achieved,
+            report.scenarios,
+            "{:?}",
+            report.violating()
+        );
+        assert_eq!(report.violations, 0, "{:?}", report.violating());
+    }
+
+    #[test]
     fn smoke_document_parses_and_is_safe() {
         let doc = run_baseline(true);
         let text = format!("{doc}\n");
@@ -417,6 +483,17 @@ mod tests {
         assert_eq!(map.get("violations"), Some(&Json::UInt(0)));
         assert!(map.contains_key("throughput"));
         assert!(map.contains_key("sendplan"));
+        // The sim-layer section is present, round-trips, and reports zero
+        // delivered-predicate violations.
+        let Some(Json::Obj(sim)) = map.get("sim_layer") else {
+            panic!("sim_layer section missing");
+        };
+        assert_eq!(sim.get("violations"), Some(&Json::UInt(0)));
+        assert!(
+            matches!(sim.get("scenarios"), Some(Json::UInt(n)) if *n > 0),
+            "sim scenarios recorded"
+        );
+        assert!(sim.contains_key("chunk"), "chunk policy recorded");
         // Predicate statistics are present, round-trip, and agree with the
         // safety verdicts.
         let Some(Json::Obj(predicates)) = map.get("predicates") else {

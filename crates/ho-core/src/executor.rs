@@ -79,6 +79,15 @@ impl MessageStats {
     pub fn fresh_allocs(&self) -> u64 {
         self.payload_allocs - self.payload_reuses
     }
+
+    /// Folds another accounting into this one. Both execution machines —
+    /// the round-synchronous executor and the system-level simulator —
+    /// report this struct, so reports aggregate the two layers uniformly.
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.payload_allocs += other.payload_allocs;
+        self.payload_reuses += other.payload_reuses;
+        self.delivered += other.delivered;
+    }
 }
 
 /// Why a run stopped early.

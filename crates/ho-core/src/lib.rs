@@ -35,6 +35,7 @@ pub mod consensus;
 pub mod executor;
 pub mod mailbox;
 pub mod observer;
+pub mod pool;
 pub mod predicate;
 pub mod process;
 pub mod round;
@@ -48,9 +49,10 @@ pub use consensus::{ConsensusChecker, ConsensusViolation};
 pub use executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
 pub use mailbox::{DuplicateSender, Mailbox};
 pub use observer::{NullObserver, RoundObserver};
+pub use pool::{PayloadPool, PayloadSlot, PooledPayload};
 pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
 pub use round::Round;
-pub use send_plan::{ArcPool, DeliveryStats, Outbox, PlanSlot, PlanSpares, SendPlan};
+pub use send_plan::{DeliveryStats, Outbox, PlanSlot, PlanSpares, SendPlan};
 pub use sequence::{ProposalSource, RepeatedConsensus};
 pub use trace::{Trace, TraceMode};
 pub use translation::Translated;

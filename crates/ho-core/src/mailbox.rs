@@ -28,6 +28,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::pool::PooledPayload;
 use crate::process::{ProcessId, ProcessSet};
 use crate::send_plan::SendPlan;
 
@@ -46,13 +47,17 @@ impl fmt::Display for DuplicateSender {
 impl std::error::Error for DuplicateSender {}
 
 /// An explicitly stored message payload: owned (unicast and test
-/// construction) or shared (broadcast delivery through
-/// [`Mailbox::push_shared`]). Table-delivered broadcasts store no payload
-/// at all — only a bit in the mailbox's `from_table` set.
+/// construction), shared (broadcast delivery through
+/// [`Mailbox::push_shared`]), or a generation-stamped pool handle
+/// ([`Mailbox::push_pooled`] — how the simulator's Algorithms 2/3 hand
+/// payloads they held across rounds to the transition function without a
+/// deep clone). Table-delivered broadcasts store no payload at all — only
+/// a bit in the mailbox's `from_table` set.
 #[derive(Clone, Debug)]
 enum Payload<M> {
     Owned(M),
     Shared(Arc<M>),
+    Pooled(PooledPayload<M>),
 }
 
 impl<M> Payload<M> {
@@ -60,6 +65,7 @@ impl<M> Payload<M> {
         match self {
             Payload::Owned(m) => m,
             Payload::Shared(m) => m,
+            Payload::Pooled(m) => m,
         }
     }
 }
@@ -303,6 +309,20 @@ impl<M> Mailbox<M> {
         }
     }
 
+    /// Adds a pool-handle message from `sender` — the simulator's delivery
+    /// path: the recipient keeps the generation-stamped handle it received,
+    /// so every later read (including this mailbox's) is checked against
+    /// slot recycling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message from `sender` is already present.
+    pub fn push_pooled(&mut self, sender: ProcessId, message: PooledPayload<M>) {
+        if let Err(e) = self.try_push_payload(sender, Payload::Pooled(message)) {
+            panic!("{e}");
+        }
+    }
+
     /// Hot-path owned insert: duplicate senders are a caller bug, checked
     /// only by a debug assertion (see [`Outbox`](crate::send_plan::Outbox)).
     #[cfg(test)]
@@ -354,7 +374,7 @@ impl<M> Mailbox<M> {
                 // plans). `push_shared` keeps the duplicate-sender panic.
                 for q in senders.iter() {
                     match &table[q.index()] {
-                        SendPlan::Broadcast(m) => self.push_shared(q, Arc::clone(m)),
+                        SendPlan::Broadcast(m) => self.push_pooled(q, m.clone()),
                         _ => unreachable!("table senders must reference broadcast plans"),
                     }
                 }

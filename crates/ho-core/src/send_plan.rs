@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use crate::algorithm::HoAlgorithm;
 use crate::mailbox::Mailbox;
+use crate::pool::{PayloadPool, PooledPayload};
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
 
@@ -34,8 +35,10 @@ use crate::round::Round;
 pub enum SendPlan<M> {
     /// The same message to every destination (`send ⟨m⟩ to all`). The
     /// payload is shared — cloning the plan, or delivering it to any number
-    /// of destinations, never copies `M`.
-    Broadcast(Arc<M>),
+    /// of destinations, never copies `M` — and generation-stamped: a
+    /// recipient that held onto the payload while its slot was recycled
+    /// trips a debug assertion instead of reading the wrong round's data.
+    Broadcast(PooledPayload<M>),
     /// Distinct messages to an explicit set of destinations (coordinator
     /// rounds, point-to-point phases). Destinations must be distinct.
     Unicast(Vec<(ProcessId, M)>),
@@ -47,7 +50,7 @@ impl<M> SendPlan<M> {
     /// A broadcast of `message` to all destinations.
     #[must_use]
     pub fn broadcast(message: M) -> Self {
-        SendPlan::Broadcast(Arc::new(message))
+        SendPlan::Broadcast(PooledPayload::new(message))
     }
 
     /// A unicast plan from explicit `(destination, message)` pairs.
@@ -98,12 +101,24 @@ impl<M> SendPlan<M> {
         }
     }
 
+    /// The shared payload *handle* of a broadcast plan (`None` for
+    /// unicast/silent). Cloning the handle is how Algorithms 2 and 3 thread
+    /// the payload straight into their wire messages: one refcount bump, no
+    /// payload copy.
+    #[must_use]
+    pub fn broadcast_handle(&self) -> Option<&PooledPayload<M>> {
+        match self {
+            SendPlan::Broadcast(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Consumes the plan, returning the shared broadcast payload if the
     /// plan is a broadcast. The step machines of Algorithms 2 and 3 thread
-    /// this `Arc` straight into their wire messages, so the payload is
+    /// this handle straight into their wire messages, so the payload is
     /// allocated exactly once per (process, round).
     #[must_use]
-    pub fn into_broadcast_payload(self) -> Option<Arc<M>> {
+    pub fn into_broadcast_payload(self) -> Option<PooledPayload<M>> {
         match self {
             SendPlan::Broadcast(m) => Some(m),
             _ => None,
@@ -159,22 +174,45 @@ impl<M: Clone> Clone for SendPlan<M> {
     fn clone(&self) -> Self {
         match self {
             // Cloning a broadcast shares the payload.
-            SendPlan::Broadcast(m) => SendPlan::Broadcast(Arc::clone(m)),
+            SendPlan::Broadcast(m) => SendPlan::Broadcast(m.clone()),
             SendPlan::Unicast(pairs) => SendPlan::Unicast(pairs.clone()),
             SendPlan::Silent => SendPlan::Silent,
         }
     }
 }
 
+/// Plans compare structurally by message content (broadcast payloads by
+/// value, not by slot identity).
+impl<M: PartialEq> PartialEq for SendPlan<M> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SendPlan::Broadcast(a), SendPlan::Broadcast(b)) => a == b,
+            (SendPlan::Unicast(a), SendPlan::Unicast(b)) => a == b,
+            (SendPlan::Silent, SendPlan::Silent) => true,
+            _ => false,
+        }
+    }
+}
+
 /// Spare buffers retired from a sender's previous plans, kept for reuse by
 /// [`PlanSlot`]: the destination vector of a displaced unicast plan.
-/// (Displaced broadcast `Arc`s go to the outbox-wide [`ArcPool`] instead —
+/// (Displaced broadcast payloads go to the shared [`PayloadPool`] instead —
 /// unlike destination vectors, which every sender needs simultaneously in a
-/// unicast round, a retired payload `Arc` can serve *any* sender's next
+/// unicast round, a retired payload slot can serve *any* sender's next
 /// broadcast.)
 #[derive(Debug)]
 pub struct PlanSpares<M> {
     pairs: Vec<(ProcessId, M)>,
+}
+
+// Cloning spares clones the (cleared) buffers — only relevant for cloning
+// whole step machines that embed their spares, e.g. the simulator programs.
+impl<M: Clone> Clone for PlanSpares<M> {
+    fn clone(&self) -> Self {
+        PlanSpares {
+            pairs: self.pairs.clone(),
+        }
+    }
 }
 
 impl<M> Default for PlanSpares<M> {
@@ -183,63 +221,24 @@ impl<M> Default for PlanSpares<M> {
     }
 }
 
-/// How many retired broadcast `Arc`s an [`ArcPool`] retains.
-const POOL_ARCS: usize = 8;
-
-/// An outbox-wide pool of broadcast payload `Arc`s displaced from plan
-/// slots. Sharing the pool across senders is what keeps algorithms with
-/// *shape-alternating* plans allocation-free: LastVoting's coordinator
-/// broadcasts in rounds `4φ−2` and `4φ`, unicasts in between, and rotates
-/// every phase — each displaced vote payload lands here and is rewritten in
-/// place by the *next* broadcast, whichever process sends it.
-#[derive(Debug)]
-pub struct ArcPool<M> {
-    arcs: Vec<Arc<M>>,
-}
-
-impl<M> Default for ArcPool<M> {
-    fn default() -> Self {
-        ArcPool { arcs: Vec::new() }
-    }
-}
-
-impl<M> ArcPool<M> {
-    /// Retires a displaced payload `Arc` into the pool (dropped if full).
-    fn put(&mut self, arc: Arc<M>) {
-        if self.arcs.len() < POOL_ARCS {
-            self.arcs.push(arc);
-        }
-    }
-
-    /// Takes a uniquely owned `Arc` out of the pool, if any. Pooled arcs
-    /// still shared by a long-lived reader are dropped on the way (rare:
-    /// the executor clears recipients before recollecting).
-    fn take_unique(&mut self) -> Option<Arc<M>> {
-        while let Some(mut arc) = self.arcs.pop() {
-            if Arc::get_mut(&mut arc).is_some() {
-                return Some(arc);
-            }
-        }
-        None
-    }
-}
-
 /// A writable slot for one sender's round-`r` plan, backed by the sender's
-/// previous plan, its [`PlanSpares`], and the outbox-wide [`ArcPool`].
+/// previous plan, its [`PlanSpares`], and a shared [`PayloadPool`].
 ///
 /// This is the scratch-buffer side of the sending API: instead of returning
 /// a freshly allocated [`SendPlan`], an algorithm *writes* its plan through
 /// the slot, and the slot recycles the buffers of earlier rounds — a
-/// broadcast `Arc` from the sender's own previous plan or the shared pool
-/// (reusable once the executor has cleared the recipients' mailboxes,
-/// dropping it to a unique reference) and the sender's unicast destination
-/// vector. In steady state both broadcast rounds and shape-alternating
-/// coordinator rounds cost **zero** heap allocations.
+/// broadcast payload slot from the sender's own previous plan or the shared
+/// pool (reusable once every recipient has dropped its reference, whether
+/// that takes one round — the executor — or many — the simulator's
+/// Algorithms 2/3, whose recipients hold payloads across rounds) and the
+/// sender's unicast destination vector. In steady state both broadcast
+/// rounds and shape-alternating coordinator rounds cost **zero** heap
+/// allocations.
 #[derive(Debug)]
 pub struct PlanSlot<'a, M> {
     plan: &'a mut SendPlan<M>,
     spares: &'a mut PlanSpares<M>,
-    pool: &'a mut ArcPool<M>,
+    pool: &'a mut PayloadPool<M>,
 }
 
 impl<'a, M> PlanSlot<'a, M> {
@@ -249,17 +248,18 @@ impl<'a, M> PlanSlot<'a, M> {
     pub fn new(
         plan: &'a mut SendPlan<M>,
         spares: &'a mut PlanSpares<M>,
-        pool: &'a mut ArcPool<M>,
+        pool: &'a mut PayloadPool<M>,
     ) -> Self {
         PlanSlot { plan, spares, pool }
     }
 
     /// Replaces the slot's plan, retiring the displaced plan's buffers into
-    /// the spares (destination vectors) or the pool (broadcast `Arc`s).
+    /// the spares (destination vectors) or the pool (broadcast payloads —
+    /// parked even while recipients still share them).
     fn install(&mut self, new: SendPlan<M>) {
         let old = std::mem::replace(self.plan, new);
         match old {
-            SendPlan::Broadcast(arc) => self.pool.put(arc),
+            SendPlan::Broadcast(handle) => self.pool.retire(handle),
             SendPlan::Unicast(mut pairs) => {
                 if pairs.capacity() > self.spares.pairs.capacity() {
                     pairs.clear();
@@ -274,18 +274,20 @@ impl<'a, M> PlanSlot<'a, M> {
     /// pooled broadcast allocation when one is uniquely owned. Returns the
     /// number of payload buffers reused in place (0 or 1).
     pub fn broadcast(&mut self, message: M) -> u64 {
-        if let SendPlan::Broadcast(arc) = &mut *self.plan {
-            if let Some(slot) = Arc::get_mut(arc) {
-                *slot = message;
+        let mut msg = Some(message);
+        if let SendPlan::Broadcast(handle) = &mut *self.plan {
+            if handle.try_rewrite(|slot| *slot = msg.take().expect("unwritten")) {
                 return 1;
             }
         }
-        if let Some(mut arc) = self.pool.take_unique() {
-            *Arc::get_mut(&mut arc).expect("take_unique returns unique arcs") = message;
-            self.install(SendPlan::Broadcast(arc));
+        if let Some(handle) = self
+            .pool
+            .take_rewrite(|slot| *slot = msg.take().expect("unwritten"))
+        {
+            self.install(SendPlan::Broadcast(handle));
             return 1;
         }
-        self.install(SendPlan::broadcast(message));
+        self.install(SendPlan::broadcast(msg.take().expect("unwritten")));
         0
     }
 
@@ -296,15 +298,15 @@ impl<'a, M> PlanSlot<'a, M> {
     /// payload's own heap), `make` builds the payload otherwise. Returns
     /// the number of payload buffers reused in place (0 or 1).
     pub fn broadcast_with(&mut self, make: impl FnOnce() -> M, reuse: impl FnOnce(&mut M)) -> u64 {
-        if let SendPlan::Broadcast(arc) = &mut *self.plan {
-            if let Some(slot) = Arc::get_mut(arc) {
-                reuse(slot);
+        if let SendPlan::Broadcast(handle) = &mut *self.plan {
+            if handle.is_unique() {
+                let rewritten = handle.try_rewrite(reuse);
+                debug_assert!(rewritten, "uniqueness probed above");
                 return 1;
             }
         }
-        if let Some(mut arc) = self.pool.take_unique() {
-            reuse(Arc::get_mut(&mut arc).expect("take_unique returns unique arcs"));
-            self.install(SendPlan::Broadcast(arc));
+        if let Some(handle) = self.pool.take_rewrite(reuse) {
+            self.install(SendPlan::Broadcast(handle));
             return 1;
         }
         self.install(SendPlan::broadcast(make()));
@@ -363,9 +365,9 @@ pub struct Outbox<M> {
     /// recipient per round, not one per delivered broadcast message.
     plans: Arc<Vec<SendPlan<M>>>,
     spares: Vec<PlanSpares<M>>,
-    /// Retired broadcast payload `Arc`s, shared across senders (see
-    /// [`ArcPool`]).
-    arc_pool: ArcPool<M>,
+    /// Retired broadcast payload slots, shared across senders (see
+    /// [`PayloadPool`]).
+    pool: PayloadPool<M>,
     /// Senders whose current plan is a broadcast — delivery to a recipient
     /// intersects this with the HO set instead of matching every plan.
     broadcast_set: ProcessSet,
@@ -379,7 +381,7 @@ impl<M> Default for Outbox<M> {
         Outbox {
             plans: Arc::new(Vec::new()),
             spares: Vec::new(),
-            arc_pool: ArcPool::default(),
+            pool: PayloadPool::default(),
             broadcast_set: ProcessSet::empty(),
             dest_index: Vec::new(),
         }
@@ -449,7 +451,7 @@ impl<M: Clone> Outbox<M> {
         }
         let mut reused = 0;
         for (q, state) in states.iter().enumerate() {
-            let mut slot = PlanSlot::new(&mut plans[q], &mut self.spares[q], &mut self.arc_pool);
+            let mut slot = PlanSlot::new(&mut plans[q], &mut self.spares[q], &mut self.pool);
             reused += alg.send_into(r, ProcessId::new(q), state, &mut slot);
         }
         self.index_plans();
@@ -487,7 +489,7 @@ impl<M: Clone> Outbox<M> {
         let mut out = Outbox {
             plans: Arc::new(plans),
             spares: Vec::new(),
-            arc_pool: ArcPool::default(),
+            pool: PayloadPool::default(),
             broadcast_set: ProcessSet::empty(),
             dest_index: Vec::new(),
         };
@@ -620,7 +622,10 @@ mod tests {
             (SendPlan::Broadcast(a), SendPlan::Broadcast(b)) => (a, b),
             _ => unreachable!(),
         };
-        assert!(Arc::ptr_eq(a, b), "clone must not copy the payload");
+        assert!(
+            crate::pool::PooledPayload::ptr_eq(a, b),
+            "clone must not copy the payload"
+        );
     }
 
     #[test]
@@ -682,17 +687,17 @@ mod tests {
     fn plan_slot_reuses_unique_broadcast_allocation() {
         let mut plan = SendPlan::broadcast(1u64);
         let payload_ptr = match &plan {
-            SendPlan::Broadcast(a) => Arc::as_ptr(a),
+            SendPlan::Broadcast(a) => a.as_ptr(),
             _ => unreachable!(),
         };
         let mut spares = PlanSpares::default();
-        let mut pool = ArcPool::default();
+        let mut pool = PayloadPool::default();
         let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
-        assert_eq!(slot.broadcast(2), 1, "unique Arc is rewritten in place");
+        assert_eq!(slot.broadcast(2), 1, "unique payload is rewritten in place");
         match &plan {
             SendPlan::Broadcast(a) => {
                 assert_eq!(**a, 2);
-                assert_eq!(Arc::as_ptr(a), payload_ptr, "no new allocation");
+                assert_eq!(a.as_ptr(), payload_ptr, "no new allocation");
             }
             _ => unreachable!(),
         }
@@ -702,17 +707,17 @@ mod tests {
     fn plan_slot_allocates_while_payload_is_shared() {
         let mut plan = SendPlan::broadcast(1u64);
         let held = match &plan {
-            SendPlan::Broadcast(a) => Arc::clone(a),
+            SendPlan::Broadcast(a) => a.clone(),
             _ => unreachable!(),
         };
         let mut spares = PlanSpares::default();
-        let mut pool = ArcPool::default();
+        let mut pool = PayloadPool::default();
         let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         // A recipient still holds the payload: rewriting must not alias it.
         assert_eq!(slot.broadcast(2), 0);
         assert_eq!(*held, 1, "the shared payload is untouched");
         assert_eq!(plan.broadcast_payload(), Some(&2));
-        // Once the recipient drops its reference, the retired Arc comes
+        // Once the recipient drops its reference, the retired slot comes
         // back into service via the pool.
         drop(held);
         let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
@@ -720,25 +725,57 @@ mod tests {
     }
 
     #[test]
+    fn plan_slot_pool_parks_payloads_held_across_rounds() {
+        // The simulator shape the generation-stamped pool exists for: the
+        // recipient holds the payload for several further rounds. Each
+        // displaced handle parks in the pool (PR 3's ArcPool dropped it),
+        // and the *first* round after the recipient lets go reuses it.
+        let mut plan = SendPlan::broadcast(0u64);
+        let held = match &plan {
+            SendPlan::Broadcast(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let held_ptr = held.as_ptr();
+        let mut spares = PlanSpares::default();
+        let mut pool = PayloadPool::default();
+        assert_eq!(
+            PlanSlot::new(&mut plan, &mut spares, &mut pool).broadcast(1),
+            0,
+            "round 1 allocates: round 0's payload is still held"
+        );
+        assert_eq!(
+            PlanSlot::new(&mut plan, &mut spares, &mut pool).broadcast(2),
+            1,
+            "round 2 rewrites round 1's (unheld) payload in place"
+        );
+        // The recipient finally drops its reference: the parked slot 0
+        // returns to service even though it sat shared in the pool.
+        drop(held);
+        let mut probe = pool.take_rewrite(|v| *v = 9).expect("slot 0 drained");
+        assert_eq!(probe.as_ptr(), held_ptr, "the parked allocation, reused");
+        assert!(probe.is_unique());
+    }
+
+    #[test]
     fn plan_slot_pool_serves_shape_alternation_across_senders() {
         // The LastVoting rotation shape: sender A broadcasts, then switches
-        // to unicast (retiring its Arc to the pool); sender B's *first ever*
-        // broadcast must reuse A's retired payload, not allocate.
+        // to unicast (retiring its payload to the pool); sender B's *first
+        // ever* broadcast must reuse A's retired payload, not allocate.
         let mut plan_a = SendPlan::Silent;
         let mut plan_b = SendPlan::Silent;
         let mut spares_a = PlanSpares::default();
         let mut spares_b = PlanSpares::default();
-        let mut pool = ArcPool::default();
+        let mut pool = PayloadPool::default();
         assert_eq!(
             PlanSlot::new(&mut plan_a, &mut spares_a, &mut pool).broadcast(1u64),
             0,
             "the very first broadcast allocates"
         );
         let arc_ptr = match &plan_a {
-            SendPlan::Broadcast(a) => Arc::as_ptr(a),
+            SendPlan::Broadcast(a) => a.as_ptr(),
             _ => unreachable!(),
         };
-        // A's shape flips to unicast: the payload Arc retires to the pool.
+        // A's shape flips to unicast: the payload retires to the pool.
         PlanSlot::new(&mut plan_a, &mut spares_a, &mut pool).unicast_to(p(0), 2);
         assert_eq!(
             PlanSlot::new(&mut plan_b, &mut spares_b, &mut pool).broadcast(3u64),
@@ -748,7 +785,7 @@ mod tests {
         match &plan_b {
             SendPlan::Broadcast(a) => {
                 assert_eq!(**a, 3);
-                assert_eq!(Arc::as_ptr(a), arc_ptr, "same allocation");
+                assert_eq!(a.as_ptr(), arc_ptr, "same allocation");
             }
             _ => unreachable!(),
         }
@@ -758,7 +795,7 @@ mod tests {
     fn plan_slot_reuses_unicast_pairs_across_silent_rounds() {
         let mut plan: SendPlan<u64> = SendPlan::Silent;
         let mut spares = PlanSpares::default();
-        let mut pool = ArcPool::default();
+        let mut pool = PayloadPool::default();
         let mut slot = PlanSlot::new(&mut plan, &mut spares, &mut pool);
         assert_eq!(slot.unicast_to(p(2), 7), 0, "first round allocates");
         slot.silent();

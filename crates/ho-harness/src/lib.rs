@@ -36,12 +36,17 @@ pub mod json;
 pub mod par;
 pub mod report;
 pub mod scenario;
+pub mod sim;
 pub mod sweep;
 
 pub use json::Json;
-pub use par::{default_threads, par_map, par_map_with};
-pub use report::{predicate_totals_json, MessageTotals, PredicateTotals, SweepReport};
+pub use par::{default_threads, par_map, par_map_with, par_map_with_policy, ChunkPolicy};
+pub use report::{
+    chunk_policy_json, predicate_totals_json, sim_report_json, MessageTotals, PredicateTotals,
+    SweepReport,
+};
 pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
+pub use sim::{ImplementationSpec, LinkFaultSpec, SimReport, SimScenario, SimSweep, SimVerdict};
 pub use sweep::Sweep;
 
 // The per-scenario predicate statistics carried by monitored verdicts.

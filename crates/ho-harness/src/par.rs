@@ -13,16 +13,67 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Aim for this many chunk claims per worker: few enough that the atomic
-/// counter stays cold, many enough that an unlucky worker stuck with slow
-/// scenarios can shed the rest of the grid to its peers.
-const CHUNK_TARGET: usize = 16;
+/// How the work-stealing map slices the item grid into claims.
+///
+/// The defaults were chosen on a 1-core container and have never been
+/// tuned against real contention (ROADMAP's multi-core re-measure); making
+/// them configurable — builder-side and via environment — is what makes
+/// that re-measure actionable: rerun the sweep with `HO_SWEEP_CHUNK_TARGET`
+/// / `HO_SWEEP_CHUNK_MAX` overrides and diff the recorded throughput, no
+/// rebuild needed. The chosen parameters are recorded in every
+/// [`SweepReport`](crate::SweepReport) and in `BENCH_sweep.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkPolicy {
+    /// Aim for this many chunk claims per worker: few enough that the
+    /// atomic counter stays cold, many enough that an unlucky worker stuck
+    /// with slow scenarios can shed the rest of the grid to its peers.
+    pub target_claims: usize,
+    /// Upper bound on a chunk, bounding the tail latency of the last
+    /// chunks.
+    pub max_chunk: usize,
+}
 
-/// Upper bound on a chunk, bounding the tail latency of the last chunks.
-const MAX_CHUNK: usize = 64;
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy {
+            target_claims: 16,
+            max_chunk: 64,
+        }
+    }
+}
 
-fn chunk_size(items: usize, workers: usize) -> usize {
-    (items / (workers * CHUNK_TARGET)).clamp(1, MAX_CHUNK)
+impl ChunkPolicy {
+    /// The default policy with `HO_SWEEP_CHUNK_TARGET` / `HO_SWEEP_CHUNK_MAX`
+    /// environment overrides applied (ignored unless they parse as positive
+    /// integers).
+    #[must_use]
+    pub fn from_env() -> Self {
+        fn positive(var: &str) -> Option<usize> {
+            std::env::var(var)
+                .ok()?
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+        }
+        let mut policy = ChunkPolicy::default();
+        if let Some(target) = positive("HO_SWEEP_CHUNK_TARGET") {
+            policy.target_claims = target;
+        }
+        if let Some(max) = positive("HO_SWEEP_CHUNK_MAX") {
+            policy.max_chunk = max;
+        }
+        policy
+    }
+
+    /// The chunk size this policy yields for a grid of `items` over
+    /// `workers` workers.
+    #[must_use]
+    pub fn chunk_size(&self, items: usize, workers: usize) -> usize {
+        // Saturating: target_claims is env-supplied and may be huge.
+        let claims = workers.saturating_mul(self.target_claims).max(1);
+        (items / claims).clamp(1, self.max_chunk.max(1))
+    }
 }
 
 /// Maps `f` over `items` on `threads` worker threads, preserving order.
@@ -58,6 +109,28 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
+    par_map_with_policy(items, threads, ChunkPolicy::from_env(), init, f)
+}
+
+/// [`par_map_with`] under an explicit [`ChunkPolicy`] (the `Sweep` builder
+/// threads its configured policy through here).
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn par_map_with_policy<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    policy: ChunkPolicy,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     assert!(threads >= 1, "need at least one worker");
     if threads == 1 || items.len() <= 1 {
         let mut scratch = init();
@@ -65,7 +138,7 @@ where
     }
 
     let workers = threads.min(items.len());
-    let chunk = chunk_size(items.len(), workers);
+    let chunk = policy.chunk_size(items.len(), workers);
     let next = AtomicUsize::new(0);
     // Each worker returns (start_index, results) chunks; merging by start
     // index restores grid order.
@@ -203,10 +276,29 @@ mod tests {
 
     #[test]
     fn chunk_sizes_are_sane() {
-        assert_eq!(chunk_size(10, 16), 1);
-        assert_eq!(chunk_size(0, 4), 1);
-        assert_eq!(chunk_size(1 << 20, 2), MAX_CHUNK);
-        let mid = chunk_size(1920, 4);
-        assert!((1..=MAX_CHUNK).contains(&mid));
+        let policy = ChunkPolicy::default();
+        assert_eq!(policy.chunk_size(10, 16), 1);
+        assert_eq!(policy.chunk_size(0, 4), 1);
+        assert_eq!(policy.chunk_size(1 << 20, 2), policy.max_chunk);
+        let mid = policy.chunk_size(1920, 4);
+        assert!((1..=policy.max_chunk).contains(&mid));
+    }
+
+    #[test]
+    fn custom_chunk_policy_is_respected_and_covers_all_items() {
+        for policy in [
+            ChunkPolicy {
+                target_claims: 1,
+                max_chunk: 4,
+            },
+            ChunkPolicy {
+                target_claims: 128,
+                max_chunk: 1,
+            },
+        ] {
+            let items: Vec<usize> = (0..257).collect();
+            let out = par_map_with_policy(&items, 3, policy, || (), |(), &x| x);
+            assert_eq!(out, items, "{policy:?}");
+        }
     }
 }

@@ -6,6 +6,7 @@ use std::time::Duration;
 use ho_predicates::monitor::PredicateSummary;
 
 use crate::json::Json;
+use crate::par::ChunkPolicy;
 use crate::scenario::Verdict;
 
 /// Message-cost totals across a sweep.
@@ -28,6 +29,16 @@ impl MessageTotals {
     #[must_use]
     pub fn fresh_allocs(&self) -> u64 {
         self.payload_allocs - self.payload_reuses
+    }
+
+    /// Folds one run's [`MessageStats`](ho_core::MessageStats) — from
+    /// either execution layer — into the totals. (The legacy-clone
+    /// counterfactual only exists on the model layer, where `delivered`
+    /// doubles as that count; sim-layer callers leave it untouched.)
+    pub fn absorb_stats(&mut self, stats: &ho_core::MessageStats) {
+        self.payload_allocs += stats.payload_allocs;
+        self.payload_reuses += stats.payload_reuses;
+        self.delivered += stats.delivered;
     }
 }
 
@@ -94,6 +105,9 @@ pub struct SweepReport {
     pub scenarios_per_sec: f64,
     /// Worker threads used.
     pub threads: usize,
+    /// The work-stealing chunk policy the sweep ran under (recorded so a
+    /// chunk-tuning run is self-describing).
+    pub chunk: ChunkPolicy,
     /// Message-cost totals.
     pub totals: MessageTotals,
     /// Predicate-statistics totals over the monitored verdicts.
@@ -101,9 +115,14 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Folds verdicts into a report.
+    /// Folds verdicts into a report run under the given chunk policy.
     #[must_use]
-    pub fn aggregate(verdicts: Vec<Verdict>, elapsed: Duration, threads: usize) -> Self {
+    pub fn aggregate(
+        verdicts: Vec<Verdict>,
+        elapsed: Duration,
+        threads: usize,
+        chunk: ChunkPolicy,
+    ) -> Self {
         let scenarios = verdicts.len();
         let decided = verdicts.iter().filter(|v| v.all_decided()).count();
         let violations = verdicts.iter().filter(|v| !v.is_safe()).count();
@@ -130,6 +149,7 @@ impl SweepReport {
                 f64::INFINITY
             },
             threads,
+            chunk,
             totals,
             predicate_totals,
             verdicts,
@@ -188,6 +208,7 @@ impl SweepReport {
             ("wall_seconds", Json::Float(self.wall_seconds)),
             ("scenarios_per_sec", Json::Float(self.scenarios_per_sec)),
             ("threads", Json::UInt(self.threads as u64)),
+            ("chunk", chunk_policy_json(&self.chunk)),
             (
                 "messages",
                 Json::obj([
@@ -212,6 +233,82 @@ impl SweepReport {
         }
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
+}
+
+/// The JSON form of a sim-layer sweep ([`SimReport`](crate::SimReport)) —
+/// the `sim_layer` section of `BENCH_sweep.json`.
+///
+/// `include_verdicts` controls whether the full per-scenario list is
+/// embedded or only the aggregates.
+#[must_use]
+pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -> Json {
+    let mut fields = vec![
+        ("scenarios", Json::UInt(report.scenarios as u64)),
+        ("achieved", Json::UInt(report.achieved as u64)),
+        ("violations", Json::UInt(report.violations as u64)),
+        ("wall_seconds", Json::Float(report.wall_seconds)),
+        ("scenarios_per_sec", Json::Float(report.scenarios_per_sec)),
+        ("threads", Json::UInt(report.threads as u64)),
+        ("chunk", chunk_policy_json(&report.chunk)),
+        (
+            "delivery",
+            Json::obj([
+                ("transmissions", Json::UInt(report.transmissions)),
+                ("delivered", Json::UInt(report.totals.delivered)),
+                ("dropped", Json::UInt(report.dropped)),
+                ("crashes", Json::UInt(report.crashes)),
+            ]),
+        ),
+        (
+            "messages",
+            Json::obj([
+                ("payload_allocs", Json::UInt(report.totals.payload_allocs)),
+                ("payload_reuses", Json::UInt(report.totals.payload_reuses)),
+                ("fresh_allocs", Json::UInt(report.totals.fresh_allocs())),
+                ("rounds", Json::UInt(report.totals.rounds)),
+            ]),
+        ),
+    ];
+    if include_verdicts {
+        fields.push((
+            "verdicts",
+            Json::Arr(report.verdicts.iter().map(sim_verdict_json).collect()),
+        ));
+    }
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
+    Json::obj([
+        ("id", Json::Str(v.id())),
+        ("achieved", Json::Bool(v.achieved)),
+        ("within_bound", Json::Bool(v.within_bound)),
+        (
+            "empirical_length",
+            v.empirical_length.map_or(Json::Null, Json::Float),
+        ),
+        ("bound", Json::Float(v.bound)),
+        ("rho0", v.rho0.map_or(Json::Null, Json::UInt)),
+        (
+            "violation",
+            v.violation.clone().map_or(Json::Null, Json::Str),
+        ),
+        ("max_round", Json::UInt(v.max_round)),
+        ("transmissions", Json::UInt(v.transmissions)),
+        ("delivered", Json::UInt(v.messages.delivered)),
+        ("payload_allocs", Json::UInt(v.messages.payload_allocs)),
+        ("payload_reuses", Json::UInt(v.messages.payload_reuses)),
+        ("wall_nanos", Json::UInt(v.wall_nanos)),
+    ])
+}
+
+/// The JSON form of the work-stealing [`ChunkPolicy`] a sweep ran under.
+#[must_use]
+pub fn chunk_policy_json(policy: &ChunkPolicy) -> Json {
+    Json::obj([
+        ("target_claims", Json::UInt(policy.target_claims as u64)),
+        ("max_chunk", Json::UInt(policy.max_chunk as u64)),
+    ])
 }
 
 fn verdict_json(v: &Verdict) -> Json {
@@ -304,7 +401,12 @@ mod tests {
 
     #[test]
     fn json_shape() {
-        let report = SweepReport::aggregate(verdicts(3), Duration::from_millis(5), 2);
+        let report = SweepReport::aggregate(
+            verdicts(3),
+            Duration::from_millis(5),
+            2,
+            ChunkPolicy::default(),
+        );
         let json = report.to_json(true).pretty();
         assert!(json.contains("\"scenarios\": 3"));
         assert!(json.contains("\"cells\""));
@@ -316,7 +418,12 @@ mod tests {
 
     #[test]
     fn by_cell_counts() {
-        let report = SweepReport::aggregate(verdicts(4), Duration::from_millis(1), 1);
+        let report = SweepReport::aggregate(
+            verdicts(4),
+            Duration::from_millis(1),
+            1,
+            ChunkPolicy::default(),
+        );
         let cells = report.by_cell();
         let cell = cells
             .get(&("one_third_rule".to_owned(), "full_delivery".to_owned()))

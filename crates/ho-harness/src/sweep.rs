@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use crate::par::{default_threads, par_map_with};
+use crate::par::{default_threads, par_map_with_policy, ChunkPolicy};
 use crate::report::SweepReport;
 use crate::scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 
@@ -31,6 +31,7 @@ pub struct Sweep {
     cooldown_rounds: u64,
     monitor_predicates: bool,
     threads: Option<usize>,
+    chunking: ChunkPolicy,
 }
 
 impl Default for Sweep {
@@ -44,6 +45,7 @@ impl Default for Sweep {
             cooldown_rounds: 0,
             monitor_predicates: false,
             threads: None,
+            chunking: ChunkPolicy::from_env(),
         }
     }
 }
@@ -119,6 +121,17 @@ impl Sweep {
         self
     }
 
+    /// Sets the work-stealing chunk policy (default:
+    /// [`ChunkPolicy::from_env`] — the built-in 16-claims/64-max defaults
+    /// with `HO_SWEEP_CHUNK_TARGET` / `HO_SWEEP_CHUNK_MAX` overrides). The
+    /// chosen policy is recorded in the report, so tuning runs are
+    /// self-describing.
+    #[must_use]
+    pub fn chunking(mut self, policy: ChunkPolicy) -> Self {
+        self.chunking = policy;
+        self
+    }
+
     /// Materialises the scenario grid in axis order
     /// (algorithm, adversary, size, seed).
     #[must_use]
@@ -154,13 +167,14 @@ impl Sweep {
         let scenarios = self.scenarios();
         let threads = self.threads.unwrap_or_else(default_threads);
         let start = Instant::now();
-        let verdicts: Vec<Verdict> = par_map_with(
+        let verdicts: Vec<Verdict> = par_map_with_policy(
             &scenarios,
             threads,
+            self.chunking,
             ScenarioScratch::default,
             |scratch, s| s.run_reusing(scratch),
         );
-        SweepReport::aggregate(verdicts, start.elapsed(), threads)
+        SweepReport::aggregate(verdicts, start.elapsed(), threads, self.chunking)
     }
 }
 

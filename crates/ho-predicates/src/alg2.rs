@@ -21,31 +21,47 @@
 //! layer's round messages with a round number. Recovery restarts the outer
 //! loop with `rp`, `sp` read back from stable storage and `msgsRcv`,
 //! `next_rp` reinitialized.
-
-use std::sync::Arc;
+//!
+//! ## The unified message path
+//!
+//! The program emits the upper layer's plan *natively*: `S_p^r` is written
+//! through a [`PlanSlot`] backed by the program's generation-stamped
+//! [`PayloadPool`], exactly like the round-synchronous executor's outbox —
+//! except that here recipients hold payloads *across* rounds (until the
+//! round they belong to finishes), so a displaced payload slot parks in
+//! the pool until the last recipient lets go. The wire envelope
+//! ([`Alg2Msg`]) goes through a second plan slot of its own, so in steady
+//! state a send step constructs both the payload and the envelope into
+//! recycled slots: **zero** heap allocations per round
+//! (`tests/alloc_steady_state.rs`).
 
 use ho_core::algorithm::{HoAlgorithm, HoAlgorithmExt};
+use ho_core::executor::MessageStats;
+use ho_core::pool::PooledPayload;
 use ho_core::process::ProcessId;
 use ho_core::round::Round;
 use ho_core::Mailbox;
-use ho_sim::program::{policy, Program, StepKind};
+use ho_sim::program::{policy, Program, StepKind, WireMsg};
 
 use crate::record::{BoundedLog, RoundLog, RoundRecord};
+use crate::send_path::{fill_round_mailbox, SendPath};
 use crate::StoredMsgs;
 
 /// The wire format of Algorithm 2: the upper layer's round-`round` message.
 ///
 /// The payload is the upper layer's [`SendPlan`](ho_core::SendPlan)
-/// broadcast payload, carried by reference count: the engine's `send to
-/// all` fans one `Arc` out to `n` destinations, so a round costs one
-/// payload allocation per sender instead of one per transmission.
+/// broadcast payload, carried as a generation-stamped pool handle: the
+/// engine's `send to all` fans one handle out to `n` destinations, so a
+/// round costs one payload construction per sender instead of one per
+/// transmission — and that construction lands in a recycled slot once the
+/// pool warms up.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Alg2Msg<M> {
     /// The round this message belongs to.
     pub round: u64,
     /// The payload produced by the upper layer's sending function
     /// (`None` if `S_p^r` produced no broadcast message).
-    pub payload: Option<Arc<M>>,
+    pub payload: Option<PooledPayload<M>>,
 }
 
 impl<M> Alg2Msg<M> {
@@ -54,7 +70,7 @@ impl<M> Alg2Msg<M> {
     pub fn new(round: u64, payload: Option<M>) -> Self {
         Alg2Msg {
             round,
-            payload: payload.map(Arc::new),
+            payload: payload.map(PooledPayload::new),
         }
     }
 }
@@ -82,6 +98,12 @@ pub struct Alg2Program<A: HoAlgorithm> {
     msgs: StoredMsgs<A>,
     i: u64,
     sending: bool,
+    // ---- the unified send path ----
+    /// `S_p^r`'s pool-backed plan slot plus the [`Alg2Msg`] envelope's
+    /// (shared machinery — see [`SendPath`]).
+    path: SendPath<A, Alg2Msg<A::Message>>,
+    /// The round mailbox handed to `T_p^r`, persistent across rounds.
+    mailbox: Mailbox<A::Message>,
     // ---- stable storage ----
     stable: StableImage<A::State>,
     // ---- observability ----
@@ -110,6 +132,8 @@ impl<A: HoAlgorithm> Alg2Program<A> {
             msgs: Vec::new(),
             i: 0,
             sending: true,
+            path: SendPath::new(),
+            mailbox: Mailbox::empty(),
             records: BoundedLog::new(),
             crashes: 0,
         }
@@ -167,22 +191,12 @@ impl<A: HoAlgorithm> Alg2Program<A> {
     fn finish_round(&mut self) {
         debug_assert!(self.next_round > self.round);
         let r = self.round;
-        let mut mailbox = Mailbox::empty();
-        let mut seen = ho_core::ProcessSet::empty();
-        for (q, mr, payload) in &self.msgs {
-            if *mr == r && !seen.contains(*q) {
-                seen.insert(*q);
-                if let Some(m) = payload {
-                    // Share the payload with the mailbox — no deep clone.
-                    mailbox.push_shared(*q, Arc::clone(m));
-                }
-            }
-        }
+        fill_round_mailbox::<A>(&mut self.mailbox, &self.msgs, r);
         self.alg
-            .transition(Round(r), self.p, &mut self.state, &mailbox);
+            .transition(Round(r), self.p, &mut self.state, &self.mailbox);
         self.records.push(RoundRecord {
             round: r,
-            ho: mailbox.senders(),
+            ho: self.mailbox.senders(),
         });
         // Skipped rounds run with ∅ (line 21).
         for r_skip in (r + 1)..self.next_round {
@@ -213,16 +227,17 @@ impl<A: HoAlgorithm> Program for Alg2Program<A> {
         if self.sending {
             self.sending = false;
             self.i = 0;
-            // Consume S_p^r's plan directly: the broadcast payload's Arc is
-            // threaded straight onto the wire, allocated exactly once.
-            let payload = self
-                .alg
-                .send(Round(self.round), self.p, &self.state)
-                .into_broadcast_payload();
-            StepKind::SendAll(Alg2Msg {
-                round: self.round,
-                payload,
-            })
+            // S_p^r written through the shared pool-backed send path: the
+            // payload construction lands in a recycled slot whenever one
+            // has drained (recipients hold payloads across rounds, so the
+            // generation-stamped pool — not the executor's
+            // take-it-back-now trick — is what makes this reuse possible),
+            // and the Alg2Msg envelope goes through a slot of its own.
+            let round = self.round;
+            self.path
+                .emit(&self.alg, Round(round), self.p, &self.state, |payload| {
+                    Alg2Msg { round, payload }
+                })
         } else {
             // Lines 11–13: count the receive step; on timeout, move on after
             // this (still executed) receive.
@@ -234,14 +249,16 @@ impl<A: HoAlgorithm> Program for Alg2Program<A> {
         }
     }
 
-    fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize> {
+    fn select_message(&mut self, buffer: &[(ProcessId, WireMsg<Self::Msg>)]) -> Option<usize> {
         policy::highest_round_first(buffer, |m| m.round)
     }
 
-    fn on_receive(&mut self, message: Option<(ProcessId, Self::Msg)>) {
+    fn on_receive(&mut self, message: Option<(ProcessId, WireMsg<Self::Msg>)>) {
         if let Some((q, m)) = message {
             if m.round >= self.round {
-                self.msgs.push((q, m.round, m.payload));
+                // Keep the payload *handle* — the sender's slot stays
+                // parked (generation-checked) until this round finishes.
+                self.msgs.push((q, m.round, m.payload.clone()));
             }
             if m.round > self.round {
                 self.next_round = self.next_round.max(m.round);
@@ -265,6 +282,18 @@ impl<A: HoAlgorithm> Program for Alg2Program<A> {
         self.msgs.clear();
         self.i = 0;
         self.sending = true;
+    }
+
+    fn discard_buffered(&self, m: &Self::Msg) -> bool {
+        // Line 14 ignores messages for completed rounds; dropping them
+        // from the buffer (§4.2.1's space optimisation) is behaviourally
+        // identical and keeps the buffer — and the payload pinning —
+        // bounded under re-announcement storms.
+        m.round < self.round
+    }
+
+    fn message_stats(&self) -> MessageStats {
+        self.path.stats()
     }
 }
 
@@ -360,7 +389,7 @@ mod tests {
         let alg = OneThirdRule::new(n);
         let mut prog = Alg2Program::new(alg, ProcessId::new(0), 5u64, 4);
         // Drive manually: send, then 4 receives (empty) → timeout, round 2.
-        assert!(matches!(prog.next_step(), StepKind::SendAll(_)));
+        assert!(matches!(prog.next_step(), StepKind::Send(_)));
         for _ in 0..4 {
             assert_eq!(prog.next_step(), StepKind::Receive);
             prog.on_receive(None);
@@ -372,7 +401,7 @@ mod tests {
         assert_eq!(prog.round(), 2, "stable storage preserved rp");
         assert_eq!(prog.crash_count(), 1);
         assert!(
-            matches!(prog.next_step(), StepKind::SendAll(_)),
+            matches!(prog.next_step(), StepKind::Send(_)),
             "restarts at line 6"
         );
     }
@@ -387,7 +416,10 @@ mod tests {
         // A round-7 message arrives: jump to round 7 immediately (lines
         // 17–18), executing rounds 1..6 (round 1 with the stored payload
         // absent — only the round-7 message is stored).
-        prog.on_receive(Some((ProcessId::new(1), Alg2Msg::new(7, Some(9u64)))));
+        prog.on_receive(Some((
+            ProcessId::new(1),
+            WireMsg::Owned(Alg2Msg::new(7, Some(9u64))),
+        )));
         assert_eq!(prog.round(), 7);
         // Records: rounds 1..=6 executed (1 real + 5 empty).
         assert_eq!(prog.records().len(), 6);
@@ -405,12 +437,18 @@ mod tests {
         let _ = prog.next_step();
         // Jump to round 3.
         let _ = prog.next_step();
-        prog.on_receive(Some((ProcessId::new(1), Alg2Msg::new(3, Some(1u64)))));
+        prog.on_receive(Some((
+            ProcessId::new(1),
+            WireMsg::Owned(Alg2Msg::new(3, Some(1u64))),
+        )));
         assert_eq!(prog.round(), 3);
         // A late round-1 message must not be stored.
         let before = prog.msgs.len();
         let _ = prog.next_step();
-        prog.on_receive(Some((ProcessId::new(2), Alg2Msg::new(1, Some(2u64)))));
+        prog.on_receive(Some((
+            ProcessId::new(2),
+            WireMsg::Owned(Alg2Msg::new(1, Some(2u64))),
+        )));
         assert_eq!(prog.msgs.len(), before);
     }
 

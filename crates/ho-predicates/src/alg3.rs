@@ -27,21 +27,23 @@
 //! late process forward immediately, giving fast synchronization at the
 //! start of a good period.
 
-use std::sync::Arc;
-
 use ho_core::algorithm::{HoAlgorithm, HoAlgorithmExt};
+use ho_core::executor::MessageStats;
+use ho_core::pool::PooledPayload;
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::round::Round;
 use ho_core::Mailbox;
-use ho_sim::program::{policy, Program, StepKind};
+use ho_sim::program::{policy, Program, StepKind, WireMsg};
 
 use crate::record::{BoundedLog, RoundLog, RoundRecord};
+use crate::send_path::{fill_round_mailbox, SendPath};
 use crate::StoredMsgs;
 
 /// The wire format of Algorithm 3.
 ///
 /// Payloads are the upper layer's [`SendPlan`](ho_core::SendPlan) broadcast
-/// payloads, carried by reference count (see [`Alg2Msg`](crate::Alg2Msg)).
+/// payloads, carried as generation-stamped pool handles
+/// (see [`Alg2Msg`](crate::Alg2Msg)).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Alg3Msg<M> {
     /// `⟨ROUND, r, msg⟩`: the sender is in round `r`; `msg` is the upper
@@ -50,7 +52,7 @@ pub enum Alg3Msg<M> {
         /// The sender's round.
         round: u64,
         /// Upper-layer payload for `round`.
-        payload: Option<Arc<M>>,
+        payload: Option<PooledPayload<M>>,
     },
     /// `⟨INIT, ρ, msg⟩`: the sender wants to enter round `ρ`; `msg` is its
     /// round-`ρ−1` message (so an INIT also counts as a round-`ρ−1`
@@ -59,7 +61,7 @@ pub enum Alg3Msg<M> {
         /// The round the sender wants to enter.
         round: u64,
         /// Upper-layer payload for `round − 1`.
-        payload: Option<Arc<M>>,
+        payload: Option<PooledPayload<M>>,
     },
 }
 
@@ -69,7 +71,7 @@ impl<M> Alg3Msg<M> {
     pub fn round(round: u64, payload: Option<M>) -> Self {
         Alg3Msg::Round {
             round,
-            payload: payload.map(Arc::new),
+            payload: payload.map(PooledPayload::new),
         }
     }
 
@@ -78,7 +80,7 @@ impl<M> Alg3Msg<M> {
     pub fn init(round: u64, payload: Option<M>) -> Self {
         Alg3Msg::Init {
             round,
-            payload: payload.map(Arc::new),
+            payload: payload.map(PooledPayload::new),
         }
     }
 
@@ -163,6 +165,9 @@ pub struct Alg3Program<A: HoAlgorithm> {
     i: u64,
     mode: Mode,
     recv_steps: u64,
+    // ---- the unified send path (shared with `Alg2Program`) ----
+    path: SendPath<A, Alg3Msg<A::Message>>,
+    mailbox: Mailbox<A::Message>,
     // ---- stable ----
     stable: StableImage<A::State>,
     // ---- observability ----
@@ -214,6 +219,8 @@ impl<A: HoAlgorithm> Alg3Program<A> {
             i: 0,
             mode: Mode::SendRound,
             recv_steps: 0,
+            path: SendPath::new(),
+            mailbox: Mailbox::empty(),
             records: BoundedLog::new(),
             crashes: 0,
             inits_sent: 0,
@@ -316,25 +323,42 @@ impl<A: HoAlgorithm> Alg3Program<A> {
         1
     }
 
+    /// Evaluates `S_p^r` through the shared pool-backed send path and
+    /// wraps it in the wire envelope — ROUND for the round broadcast,
+    /// INIT for announcements. Both constructions land in recycled pool
+    /// slots in steady state.
+    fn emit_wire(&mut self, init: bool) -> StepKind<Alg3Msg<A::Message>> {
+        let wire_round = if init { self.round + 1 } else { self.round };
+        self.path.emit(
+            &self.alg,
+            Round(self.round),
+            self.p,
+            &self.state,
+            |payload| {
+                if init {
+                    Alg3Msg::Init {
+                        round: wire_round,
+                        payload,
+                    }
+                } else {
+                    Alg3Msg::Round {
+                        round: wire_round,
+                        payload,
+                    }
+                }
+            },
+        )
+    }
+
     fn finish_round(&mut self) {
         debug_assert!(self.next_round > self.round);
         let r = self.round;
-        let mut mailbox = Mailbox::empty();
-        let mut seen = ProcessSet::empty();
-        for (q, mr, payload) in &self.msgs {
-            if *mr == r && !seen.contains(*q) {
-                seen.insert(*q);
-                if let Some(m) = payload {
-                    // Share the payload with the mailbox — no deep clone.
-                    mailbox.push_shared(*q, Arc::clone(m));
-                }
-            }
-        }
+        fill_round_mailbox::<A>(&mut self.mailbox, &self.msgs, r);
         self.alg
-            .transition(Round(r), self.p, &mut self.state, &mailbox);
+            .transition(Round(r), self.p, &mut self.state, &self.mailbox);
         self.records.push(RoundRecord {
             round: r,
-            ho: mailbox.senders(),
+            ho: self.mailbox.senders(),
         });
         for r_skip in (r + 1)..self.next_round {
             self.alg
@@ -365,29 +389,13 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
             Mode::SendRound => {
                 self.mode = Mode::Recv;
                 self.i = 0;
-                // Consume S_p^r's plan directly: one payload allocation,
-                // shared across the broadcast's n destinations.
-                let payload = self
-                    .alg
-                    .send(Round(self.round), self.p, &self.state)
-                    .into_broadcast_payload();
-                StepKind::SendAll(Alg3Msg::Round {
-                    round: self.round,
-                    payload,
-                })
+                self.emit_wire(false)
             }
             Mode::SendInit => {
                 self.mode = Mode::Recv;
                 self.inits_sent += 1;
                 self.init_sent_this_round = true;
-                let payload = self
-                    .alg
-                    .send(Round(self.round), self.p, &self.state)
-                    .into_broadcast_payload();
-                StepKind::SendAll(Alg3Msg::Init {
-                    round: self.round + 1,
-                    payload,
-                })
+                self.emit_wire(true)
             }
             Mode::Recv => {
                 self.recv_steps += 1;
@@ -396,7 +404,7 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
         }
     }
 
-    fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize> {
+    fn select_message(&mut self, buffer: &[(ProcessId, WireMsg<Self::Msg>)]) -> Option<usize> {
         match self.policy {
             Alg3Policy::RoundRobin => {
                 policy::round_robin_highest(buffer, self.recv_steps, self.alg.n(), |m| {
@@ -407,11 +415,11 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
         }
     }
 
-    fn on_receive(&mut self, message: Option<(ProcessId, Self::Msg)>) {
+    fn on_receive(&mut self, message: Option<(ProcessId, WireMsg<Self::Msg>)>) {
         if let Some((q, m)) = message {
             let content = m.content_round();
             if content >= self.round {
-                let payload = match &m {
+                let payload = match &*m {
                     Alg3Msg::Round { payload, .. } | Alg3Msg::Init { payload, .. } => {
                         payload.clone()
                     }
@@ -424,7 +432,7 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
             if content > self.round {
                 self.next_round = self.next_round.max(content);
             }
-            if let Alg3Msg::Init { round: target, .. } = m {
+            if let Alg3Msg::Init { round: target, .. } = *m {
                 if target > self.round {
                     let distinct = self.note_init_sender(target, q);
                     // Line 16: f + 1 INITs for rp + 1 advance the round.
@@ -459,6 +467,20 @@ impl<A: HoAlgorithm> Program for Alg3Program<A> {
         self.i = 0;
         self.mode = Mode::SendRound;
         self.init_sent_this_round = false;
+    }
+
+    fn discard_buffered(&self, m: &Self::Msg) -> bool {
+        // A message whose *content* round is behind `rp` contributes
+        // nothing (line 13 stores only `r′ ≥ rp`, and its INIT target — at
+        // most content + 1 — cannot exceed `rp` either): drop it from the
+        // buffer. Without this, every INIT re-announcement outlives its
+        // round in the buffer and reception (one message per step) can
+        // never catch up — unbounded memory and pinned payload slots.
+        m.content_round() < self.round
+    }
+
+    fn message_stats(&self) -> MessageStats {
+        self.path.stats()
     }
 }
 
@@ -498,6 +520,14 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// The wire message a send step broadcasts, if the step was a send.
+    fn sent(step: StepKind<Alg3Msg<u64>>) -> Option<Alg3Msg<u64>> {
+        match step {
+            StepKind::Send(plan) => plan.broadcast_payload().cloned(),
+            StepKind::Receive => None,
+        }
     }
 
     #[test]
@@ -567,7 +597,10 @@ mod tests {
                                   // f + 1 = 3 distinct INITs for round 2 advance us to round 2.
         for q in 1..=3 {
             assert_eq!(prog.next_step(), StepKind::Receive);
-            prog.on_receive(Some((ProcessId::new(q), Alg3Msg::init(2, Some(7u64)))));
+            prog.on_receive(Some((
+                ProcessId::new(q),
+                WireMsg::Owned(Alg3Msg::init(2, Some(7u64))),
+            )));
         }
         assert_eq!(prog.round(), 2);
         // The INITs also contributed round-1 payloads: HO(0, 1) = {1, 2, 3}.
@@ -585,10 +618,7 @@ mod tests {
             let _ = prog.next_step();
             prog.on_receive(Some((
                 ProcessId::new(q),
-                Alg3Msg::Init {
-                    round: 2,
-                    payload: None,
-                },
+                WireMsg::Owned(Alg3Msg::init(2, None)),
             )));
         }
         assert_eq!(prog.round(), 1, "2 < f+1 INITs");
@@ -596,10 +626,7 @@ mod tests {
         let _ = prog.next_step();
         prog.on_receive(Some((
             ProcessId::new(2),
-            Alg3Msg::Init {
-                round: 2,
-                payload: None,
-            },
+            WireMsg::Owned(Alg3Msg::init(2, None)),
         )));
         assert_eq!(prog.round(), 1, "duplicates don't reach the quorum");
     }
@@ -611,7 +638,10 @@ mod tests {
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 2, 1000);
         let _ = prog.next_step();
         let _ = prog.next_step();
-        prog.on_receive(Some((ProcessId::new(3), Alg3Msg::round(9, Some(1u64)))));
+        prog.on_receive(Some((
+            ProcessId::new(3),
+            WireMsg::Owned(Alg3Msg::round(9, Some(1u64))),
+        )));
         assert_eq!(prog.round(), 9, "ROUND message for r′ > rp jumps to r′");
     }
 
@@ -627,18 +657,15 @@ mod tests {
         prog.on_receive(None);
         let _ = prog.next_step();
         prog.on_receive(None);
-        match prog.next_step() {
-            StepKind::SendAll(Alg3Msg::Init { round, .. }) => assert_eq!(round, 2),
+        match sent(prog.next_step()) {
+            Some(Alg3Msg::Init { round, .. }) => assert_eq!(round, 2),
             other => panic!("expected INIT, got {other:?}"),
         }
         assert_eq!(prog.inits_sent(), 1);
         // Still stuck → receive, then INIT again.
         let _ = prog.next_step();
         prog.on_receive(None);
-        assert!(matches!(
-            prog.next_step(),
-            StepKind::SendAll(Alg3Msg::Init { .. })
-        ));
+        assert!(matches!(sent(prog.next_step()), Some(Alg3Msg::Init { .. })));
         assert_eq!(prog.inits_sent(), 2);
     }
 
@@ -649,14 +676,17 @@ mod tests {
         let mut prog = Alg3Program::new(alg, ProcessId::new(0), 5u64, 1, 1000);
         let _ = prog.next_step();
         let _ = prog.next_step();
-        prog.on_receive(Some((ProcessId::new(1), Alg3Msg::round(4, Some(2u64)))));
+        prog.on_receive(Some((
+            ProcessId::new(1),
+            WireMsg::Owned(Alg3Msg::round(4, Some(2u64))),
+        )));
         assert_eq!(prog.round(), 4);
         prog.on_crash();
         prog.on_recover();
         assert_eq!(prog.round(), 4, "rp restored from stable storage");
         assert!(matches!(
-            prog.next_step(),
-            StepKind::SendAll(Alg3Msg::Round { round: 4, .. })
+            sent(prog.next_step()),
+            Some(Alg3Msg::Round { round: 4, .. })
         ));
     }
 
@@ -673,10 +703,7 @@ mod tests {
         let _ = prog.next_step();
         prog.on_receive(Some((
             ProcessId::new(1),
-            Alg3Msg::Init {
-                round: 2,
-                payload: None,
-            },
+            WireMsg::Owned(Alg3Msg::init(2, None)),
         )));
         assert_eq!(prog.round(), 2, "one INIT suffices at quorum 1");
     }
@@ -692,10 +719,7 @@ mod tests {
             let _ = prog.next_step();
             prog.on_receive(Some((
                 ProcessId::new(q),
-                Alg3Msg::Init {
-                    round: 2,
-                    payload: None,
-                },
+                WireMsg::Owned(Alg3Msg::init(2, None)),
             )));
         }
         assert_eq!(prog.round(), 1, "n INITs < n+1 quorum: stuck by design");
@@ -703,10 +727,7 @@ mod tests {
         let _ = prog.next_step();
         prog.on_receive(Some((
             ProcessId::new(1),
-            Alg3Msg::Round {
-                round: 2,
-                payload: None,
-            },
+            WireMsg::Owned(Alg3Msg::round(2, None)),
         )));
         assert_eq!(prog.round(), 2);
     }
@@ -722,8 +743,10 @@ mod tests {
         for _ in 0..10 {
             match prog.next_step() {
                 StepKind::Receive => prog.on_receive(None),
-                StepKind::SendAll(Alg3Msg::Init { .. }) => {}
-                other => panic!("unexpected {other:?}"),
+                StepKind::Send(plan) => assert!(
+                    matches!(plan.broadcast_payload(), Some(Alg3Msg::Init { .. })),
+                    "unexpected plan {plan:?}"
+                ),
             }
         }
         assert_eq!(prog.inits_sent(), 1, "exactly one INIT per round");

@@ -50,6 +50,24 @@ impl BoundParams {
         (2.0 * self.delta + (self.nf() + 2.0) * self.phi).ceil() as u64
     }
 
+    /// Observation slack on top of the Theorem 3/5 bounds for Algorithm 2
+    /// measurements: the theorems count message *reception*, but a harness
+    /// observes `HO(p, r)` only when `T_p^r` executes — one Δ-delayed
+    /// delivery plus a step later.
+    #[must_use]
+    pub fn alg2_slack(&self) -> f64 {
+        self.delta + self.phi + 1.0
+    }
+
+    /// Observation slack on top of the Theorem 6/7 bounds for Algorithm 3
+    /// measurements: the final transition trails the bound by one INIT
+    /// exchange — post-timeout steps alternate receive / INIT-resend, up
+    /// to `δ + (2n+2)φ`.
+    #[must_use]
+    pub fn alg3_slack(&self) -> f64 {
+        self.delta + (2.0 * self.nf() + 2.0) * self.phi + 1.0
+    }
+
     /// Algorithm 3's timeout `τ0 = 2δ + (2n+1)φ` (line 19 of Algorithm 3),
     /// in receive steps: `⌈τ0⌉`.
     #[must_use]

@@ -32,14 +32,20 @@
 //! assert!(m.within_bound(params.delta + params.phi + 1.0));
 //! ```
 
-use std::sync::Arc;
-
 use ho_core::algorithm::HoAlgorithm;
+use ho_core::pool::PooledPayload;
 use ho_core::process::ProcessId;
 
 /// Messages stored for pending rounds by Algorithms 2 and 3:
-/// `(sender, round, shared payload)`.
-pub(crate) type StoredMsgs<A> = Vec<(ProcessId, u64, Option<Arc<<A as HoAlgorithm>::Message>>)>;
+/// `(sender, round, shared payload handle)`. Holding the pool handle across
+/// rounds is exactly the pattern the generation-stamped [`PooledPayload`]
+/// exists for: the sender cannot recycle the slot while it sits here, and a
+/// read through a stale handle would trip the generation assertion.
+pub(crate) type StoredMsgs<A> = Vec<(
+    ProcessId,
+    u64,
+    Option<PooledPayload<<A as HoAlgorithm>::Message>>,
+)>;
 
 pub mod alg2;
 pub mod alg3;
@@ -47,13 +53,14 @@ pub mod bounds;
 pub mod measure;
 pub mod monitor;
 pub mod record;
+pub(crate) mod send_path;
 
 pub use alg2::{Alg2Msg, Alg2Program};
 pub use alg3::{Alg3Msg, Alg3Policy, Alg3Program, InitResend};
 pub use bounds::BoundParams;
 pub use measure::{
-    measure_alg2_space_uniform, measure_alg3_kernel, measure_full_stack, Measurement, Scenario,
-    StackOutcome,
+    measure_alg2_space_uniform, measure_alg3_kernel, measure_full_stack, run_alg2_scenario,
+    run_alg3_scenario, Measurement, Scenario, SimMeasurement, StackOutcome,
 };
 pub use monitor::{Accept, LogCursor, PredicateSummary, ScenarioMonitor, WindowMonitor};
 pub use record::{RoundLog, RoundRecord, SystemTrace};

@@ -11,9 +11,10 @@
 //! with [`BoundParams`].
 
 use ho_core::algorithms::OneThirdRule;
+use ho_core::executor::MessageStats;
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::translation::Translated;
-use ho_sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, Simulator, TimePoint};
+use ho_sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, SimStats, Simulator, TimePoint};
 
 use crate::alg2::Alg2Program;
 use crate::alg3::Alg3Program;
@@ -102,6 +103,24 @@ impl Measurement {
     }
 }
 
+/// A [`Measurement`] together with the run's execution statistics: the
+/// detailed form the sim-layer sweep aggregates into `BENCH_sweep.json`'s
+/// `sim_layer` section. Message accounting is the same [`MessageStats`]
+/// struct the round-synchronous executor reports, so both layers aggregate
+/// uniformly.
+#[derive(Clone, Debug)]
+pub struct SimMeasurement {
+    /// The predicate-achievement measurement against the theorem bound.
+    pub measurement: Measurement,
+    /// Engine counters: steps, transmissions, drops, crashes.
+    pub stats: SimStats,
+    /// Unified message accounting (engine deliveries + the programs'
+    /// payload-construction counters).
+    pub messages: MessageStats,
+    /// Highest round any program entered.
+    pub max_round: u64,
+}
+
 /// How far past the bound we keep simulating before declaring failure.
 const DEADLINE_FACTOR: f64 = 6.0;
 
@@ -126,6 +145,19 @@ pub fn measure_alg2_space_uniform(
     scenario: Scenario,
     seed: u64,
 ) -> Measurement {
+    run_alg2_scenario(params, pi0, x, scenario, seed).measurement
+}
+
+/// [`measure_alg2_space_uniform`] with the run's full execution statistics
+/// — the sim-layer sweep's entry point.
+#[must_use]
+pub fn run_alg2_scenario(
+    params: BoundParams,
+    pi0: ProcessSet,
+    x: u64,
+    scenario: Scenario,
+    seed: u64,
+) -> SimMeasurement {
     let n = params.n;
     let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
     let schedule = scenario.schedule(pi0, GoodKind::PiDown);
@@ -162,11 +194,21 @@ pub fn measure_alg2_space_uniform(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
-    Measurement {
-        good_start,
-        achieved_at: witness.map(|(_, t)| t),
-        bound,
-        rho0: witness.map(|(r, _)| r),
+    SimMeasurement {
+        measurement: Measurement {
+            good_start,
+            achieved_at: witness.map(|(_, t)| t),
+            bound,
+            rho0: witness.map(|(r, _)| r),
+        },
+        stats: sim.stats().clone(),
+        messages: sim.message_stats(),
+        max_round: sim
+            .programs()
+            .iter()
+            .map(Alg2Program::round)
+            .max()
+            .unwrap_or(0),
     }
 }
 
@@ -183,6 +225,19 @@ pub fn measure_alg3_kernel(
     scenario: Scenario,
     seed: u64,
 ) -> Measurement {
+    run_alg3_scenario(params, f, x, scenario, seed).measurement
+}
+
+/// [`measure_alg3_kernel`] with the run's full execution statistics — the
+/// sim-layer sweep's entry point.
+#[must_use]
+pub fn run_alg3_scenario(
+    params: BoundParams,
+    f: usize,
+    x: u64,
+    scenario: Scenario,
+    seed: u64,
+) -> SimMeasurement {
     let n = params.n;
     assert!(2 * f < n, "Algorithm 3 requires f < n/2");
     let pi0 = ProcessSet::from_indices(0..n - f);
@@ -221,11 +276,21 @@ pub fn measure_alg3_kernel(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
-    Measurement {
-        good_start,
-        achieved_at: witness.map(|(_, t)| t),
-        bound,
-        rho0: witness.map(|(r, _)| r),
+    SimMeasurement {
+        measurement: Measurement {
+            good_start,
+            achieved_at: witness.map(|(_, t)| t),
+            bound,
+            rho0: witness.map(|(r, _)| r),
+        },
+        stats: sim.stats().clone(),
+        messages: sim.message_stats(),
+        max_round: sim
+            .programs()
+            .iter()
+            .map(Alg3Program::round)
+            .max()
+            .unwrap_or(0),
     }
 }
 

@@ -68,6 +68,11 @@ impl BoundedLog {
     pub fn set_window(&mut self, window: usize) {
         assert!(window >= 1, "record window must retain at least one round");
         self.window = Some(window);
+        // `push` appends before evicting, so occupancy peaks at
+        // `window + 1`; reserving it up front makes a bounded log
+        // allocation-free for its whole life — the sim-layer steady-state
+        // proof counts on this.
+        self.records.reserve(window + 1);
         self.evict();
     }
 

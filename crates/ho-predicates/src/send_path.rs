@@ -1,0 +1,115 @@
+//! The unified send path shared by Algorithms 2 and 3.
+//!
+//! Both predicate-implementation programs send the same way: evaluate the
+//! upper layer's `S_p^r` through a pool-backed [`PlanSlot`], then wrap the
+//! broadcast payload handle in a wire envelope written through a *second*
+//! pool-backed slot. Keeping that machinery (and its construction
+//! accounting) in one place means a bookkeeping fix cannot silently apply
+//! to one algorithm and not the other.
+
+use ho_core::algorithm::HoAlgorithm;
+use ho_core::executor::MessageStats;
+use ho_core::pool::{PayloadPool, PooledPayload};
+use ho_core::process::{ProcessId, ProcessSet};
+use ho_core::round::Round;
+use ho_core::send_plan::{PlanSlot, PlanSpares, SendPlan};
+use ho_core::Mailbox;
+use ho_sim::program::StepKind;
+
+use crate::StoredMsgs;
+
+/// The pool-backed sending machinery of a predicate-implementation
+/// program: `S_p^r`'s plan slot, the wire envelope's (`W`) plan slot, and
+/// the unified [`MessageStats`] accounting. Recipients hold both the
+/// payload and the envelope across rounds, so both pools are the
+/// generation-stamped, park-while-shared kind.
+#[derive(Clone, Debug)]
+pub(crate) struct SendPath<A: HoAlgorithm, W> {
+    plan: SendPlan<A::Message>,
+    plan_spares: PlanSpares<A::Message>,
+    payload_pool: PayloadPool<A::Message>,
+    wire_plan: SendPlan<W>,
+    wire_spares: PlanSpares<W>,
+    wire_pool: PayloadPool<W>,
+    stats: MessageStats,
+}
+
+impl<A: HoAlgorithm, W: Clone + std::fmt::Debug> SendPath<A, W> {
+    pub(crate) fn new() -> Self {
+        SendPath {
+            plan: SendPlan::Silent,
+            plan_spares: PlanSpares::default(),
+            payload_pool: PayloadPool::new(),
+            wire_plan: SendPlan::Silent,
+            wire_spares: PlanSpares::default(),
+            wire_pool: PayloadPool::new(),
+            stats: MessageStats::default(),
+        }
+    }
+
+    /// Evaluates `S_p^r` through the payload plan slot, wraps the broadcast
+    /// handle into the wire envelope built by `wrap`, and returns the send
+    /// step. In steady state both constructions land in recycled pool
+    /// slots: the payload slot once its recipients let go (possibly many
+    /// rounds later — the generation-stamped pool's whole purpose), the
+    /// envelope slot once the reception buffers drain.
+    pub(crate) fn emit(
+        &mut self,
+        alg: &A,
+        r: Round,
+        p: ProcessId,
+        state: &A::State,
+        wrap: impl Fn(Option<PooledPayload<A::Message>>) -> W,
+    ) -> StepKind<W> {
+        let reused = alg.send_into(
+            r,
+            p,
+            state,
+            &mut PlanSlot::new(
+                &mut self.plan,
+                &mut self.plan_spares,
+                &mut self.payload_pool,
+            ),
+        );
+        self.stats.payload_allocs += self.plan.payload_allocs() as u64;
+        self.stats.payload_reuses += reused;
+        let payload = self.plan.broadcast_handle().cloned();
+        let wire_reused = PlanSlot::new(
+            &mut self.wire_plan,
+            &mut self.wire_spares,
+            &mut self.wire_pool,
+        )
+        .broadcast_with(
+            || wrap(payload.clone()),
+            |slot| *slot = wrap(payload.clone()),
+        );
+        self.stats.payload_allocs += 1;
+        self.stats.payload_reuses += wire_reused;
+        StepKind::Send(self.wire_plan.clone())
+    }
+
+    /// The construction accounting so far.
+    pub(crate) fn stats(&self) -> MessageStats {
+        self.stats
+    }
+}
+
+/// Fills `mailbox` (cleared first) with the round-`r` payload handles
+/// stored in `msgs` — at most one per sender, shared by handle so the
+/// generation check rides along into the transition function.
+pub(crate) fn fill_round_mailbox<A: HoAlgorithm>(
+    mailbox: &mut Mailbox<A::Message>,
+    msgs: &StoredMsgs<A>,
+    r: u64,
+) {
+    mailbox.clear();
+    let mut seen = ProcessSet::empty();
+    for (q, mr, payload) in msgs {
+        if *mr == r && !seen.contains(*q) {
+            seen.insert(*q);
+            if let Some(m) = payload {
+                mailbox.push_pooled(*q, m.clone());
+            }
+        }
+    }
+}

@@ -47,6 +47,12 @@ pub struct SimConfig {
     pub delay_timing: DelayTiming,
     /// RNG seed — every run is deterministic under its seed.
     pub seed: u64,
+    /// Fan broadcasts out by deep-cloning the payload per destination
+    /// instead of sharing one pooled payload by reference count. This is
+    /// the retired pre-pool delivery scheme, kept only as the oracle for
+    /// the clone-vs-pool equivalence proofs — behaviour is identical, the
+    /// allocation economy is not.
+    pub clone_fanout: bool,
 }
 
 impl SimConfig {
@@ -70,6 +76,7 @@ impl SimConfig {
             step_timing: StepTiming::default(),
             delay_timing: DelayTiming::default(),
             seed: 0,
+            clone_fanout: false,
         }
     }
 
@@ -91,6 +98,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_delay_timing(mut self, timing: DelayTiming) -> Self {
         self.delay_timing = timing;
+        self
+    }
+
+    /// Selects the per-destination deep-clone fan-out (the equivalence
+    /// oracle — see [`SimConfig::clone_fanout`]).
+    #[must_use]
+    pub fn with_clone_fanout(mut self, clone_fanout: bool) -> Self {
+        self.clone_fanout = clone_fanout;
         self
     }
 

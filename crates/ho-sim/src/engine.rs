@@ -16,16 +16,25 @@
 //! * in bad periods (and for `π̄0` in *π0-arbitrary* good periods):
 //!   messages may be lost or arbitrarily delayed, processes may crash
 //!   (volatile state lost — [`Program::on_crash`]), recover, or run slow.
+//!
+//! The message path is the [`SendPlan`] kernel shared with the
+//! round-synchronous executor: programs emit plans, a broadcast's single
+//! pooled payload fans out to `n` destinations by reference count, and
+//! in-flight/buffered copies are generation-checked pool handles. The
+//! retired per-destination clone fan-out survives only as
+//! [`SimConfig::clone_fanout`], the oracle for the equivalence tests.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use ho_core::executor::MessageStats;
 use ho_core::process::ProcessId;
+use ho_core::send_plan::SendPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{DelayTiming, SimConfig, StepTiming};
-use crate::program::{Program, StepKind};
+use crate::program::{Program, StepKind, WireMsg};
 use crate::schedule::{GoodKind, PeriodKind, Schedule};
 use crate::stats::SimStats;
 use crate::time::TimePoint;
@@ -34,12 +43,15 @@ use crate::time::TimePoint;
 enum Event<M> {
     /// Process `p` takes its next atomic step; stale if `gen` mismatches.
     Step { p: ProcessId, gen: u64 },
-    /// A message becomes ready for reception at `dest`.
+    /// A message becomes ready for reception at `dest`. In-flight broadcast
+    /// messages hold pool handles ([`WireMsg::Shared`]): the sender's
+    /// payload slot stays pinned — and generation-checked — until the last
+    /// in-flight copy is delivered or dropped.
     MakeReady {
         dest: ProcessId,
         from: ProcessId,
         sent_at: TimePoint,
-        msg: M,
+        msg: WireMsg<M>,
     },
     /// A schedule period begins.
     PeriodStart(usize),
@@ -77,7 +89,9 @@ struct ProcessSlot<M> {
     /// than a random bad-period crash.
     forced_down: bool,
     step_gen: u64,
-    buffer: Vec<(ProcessId, M)>,
+    /// The reception buffer: broadcast entries are pool handles into their
+    /// senders' payload slots, so buffering costs no payload copy.
+    buffer: Vec<(ProcessId, WireMsg<M>)>,
 }
 
 /// The discrete-event simulator.
@@ -166,6 +180,19 @@ impl<P: Program> Simulator<P> {
     #[must_use]
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Message accounting for the whole run, in the round-synchronous
+    /// executor's terms: engine-side deliveries merged with every
+    /// program's payload-construction counters
+    /// ([`Program::message_stats`]) — the unified two-layer view.
+    #[must_use]
+    pub fn message_stats(&self) -> MessageStats {
+        let mut stats = self.stats.messages;
+        for program in &self.programs {
+            stats.merge(&program.message_stats());
+        }
+        stats
     }
 
     /// Read access to the programs.
@@ -340,24 +367,21 @@ impl<P: Program> Simulator<P> {
         }
 
         match self.programs[idx].next_step() {
-            StepKind::SendAll(m) => {
+            StepKind::Send(plan) => {
                 self.stats.send_steps += 1;
-                self.stats.broadcast_sends += 1;
-                // Fan out one wire value to all n destinations. The clones
-                // here are shallow whenever the program threads its
-                // SendPlan payload through an `Arc` (as Algorithms 2 and 3
-                // do); the last destination takes the original by move.
-                for q in 0..self.cfg.n - 1 {
-                    self.transmit(p, ProcessId::new(q), m.clone());
-                }
-                self.transmit(p, ProcessId::new(self.cfg.n - 1), m);
-            }
-            StepKind::SendTo(q, m) => {
-                self.stats.send_steps += 1;
-                self.transmit(p, q, m);
+                self.consume_plan(p, plan);
             }
             StepKind::Receive => {
                 self.stats.receive_steps += 1;
+                // Prune provably ignorable messages first (§4.2.1 applied
+                // to the buffer — see [`Program::discard_buffered`]): this
+                // bounds the buffer under INIT-resend storms and releases
+                // the pinned payload handles back to their senders' pools.
+                let program = &self.programs[idx];
+                let buffer = &mut self.slots[idx].buffer;
+                let before = buffer.len();
+                buffer.retain(|(_, m)| !program.discard_buffered(m));
+                self.stats.discarded += (before - buffer.len()) as u64;
                 let received = if self.slots[idx].buffer.is_empty() {
                     None
                 } else {
@@ -378,7 +402,35 @@ impl<P: Program> Simulator<P> {
     // ------------------------------------------------------------------
     // Network.
 
-    fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+    /// Executes one send plan — the same closed form of `S_p^r` the
+    /// round-synchronous executor consumes. A broadcast fans its single
+    /// pooled payload out to all `n` destinations (the sender included) by
+    /// reference count; with [`SimConfig::clone_fanout`] set, it instead
+    /// deep-clones the payload per destination — the retired per-message
+    /// scheme, kept as the oracle for the clone-vs-pool equivalence proof.
+    fn consume_plan(&mut self, from: ProcessId, plan: SendPlan<P::Msg>) {
+        match plan {
+            SendPlan::Broadcast(payload) => {
+                self.stats.broadcast_sends += 1;
+                for q in 0..self.cfg.n {
+                    let wire = if self.cfg.clone_fanout {
+                        WireMsg::Owned((*payload).clone())
+                    } else {
+                        WireMsg::Shared(payload.clone())
+                    };
+                    self.transmit(from, ProcessId::new(q), wire);
+                }
+            }
+            SendPlan::Unicast(pairs) => {
+                for (q, m) in pairs {
+                    self.transmit(from, q, WireMsg::Owned(m));
+                }
+            }
+            SendPlan::Silent => {}
+        }
+    }
+
+    fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: WireMsg<P::Msg>) {
         self.stats.transmissions += 1;
         let (lost, delay) = self.route(from, to);
         if lost {
@@ -425,7 +477,13 @@ impl<P: Program> Simulator<P> {
         }
     }
 
-    fn on_make_ready(&mut self, dest: ProcessId, from: ProcessId, sent_at: TimePoint, msg: P::Msg) {
+    fn on_make_ready(
+        &mut self,
+        dest: ProcessId,
+        from: ProcessId,
+        sent_at: TimePoint,
+        msg: WireMsg<P::Msg>,
+    ) {
         // π0-down purge: no messages from π̄0 processes are in transit
         // during the good period.
         if let PeriodKind::Good {
@@ -442,7 +500,7 @@ impl<P: Program> Simulator<P> {
             self.stats.dropped += 1;
             return;
         }
-        self.stats.delivered += 1;
+        self.stats.messages.delivered += 1;
         self.slots[dest.index()].buffer.push((from, msg));
     }
 
@@ -549,19 +607,19 @@ mod tests {
             self.want_send = !self.want_send;
             if self.want_send {
                 self.sent += 1;
-                StepKind::SendAll(self.sent)
+                StepKind::send_all(self.sent)
             } else {
                 StepKind::Receive
             }
         }
 
-        fn select_message(&mut self, _buffer: &[(ProcessId, u64)]) -> Option<usize> {
+        fn select_message(&mut self, _buffer: &[(ProcessId, WireMsg<u64>)]) -> Option<usize> {
             Some(0)
         }
 
-        fn on_receive(&mut self, message: Option<(ProcessId, u64)>) {
-            if let Some(m) = message {
-                self.received.push(m);
+        fn on_receive(&mut self, message: Option<(ProcessId, WireMsg<u64>)>) {
+            if let Some((q, m)) = message {
+                self.received.push((q, *m));
             }
         }
 
@@ -607,10 +665,10 @@ mod tests {
         // send; the first receive at time ≥ Φ+ + Δ can see a message.
         let mut sim = all_good_sim(2, 1.0, 3.0);
         sim.run_for(TimePoint::new(30.0));
-        assert!(sim.stats().delivered > 0);
+        assert!(sim.stats().delivered() > 0);
         // In-flight messages at the deadline are neither delivered nor
         // dropped yet.
-        assert!(sim.stats().delivered + sim.stats().dropped <= sim.stats().transmissions);
+        assert!(sim.stats().delivered() + sim.stats().dropped <= sim.stats().transmissions);
     }
 
     #[test]
@@ -641,7 +699,7 @@ mod tests {
         }]);
         let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
         sim.run_for(TimePoint::new(50.0));
-        assert_eq!(sim.stats().delivered, 0, "loss = 1.0 drops everything");
+        assert_eq!(sim.stats().delivered(), 0, "loss = 1.0 drops everything");
         assert!(sim.stats().dropped > 0);
     }
 
@@ -662,9 +720,9 @@ mod tests {
         );
         let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
         sim.run_for(TimePoint::new(29.0));
-        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().delivered(), 0);
         sim.run_for(TimePoint::new(60.0));
-        assert!(sim.stats().delivered > 0, "good period delivers");
+        assert!(sim.stats().delivered() > 0, "good period delivers");
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod time;
 
 pub use config::{BadPeriodConfig, DelayTiming, SimConfig, StepTiming};
 pub use engine::Simulator;
-pub use program::{Program, StepKind};
+pub use program::{Program, StepKind, WireMsg};
 pub use schedule::{GoodKind, Period, PeriodKind, Schedule};
 pub use stats::SimStats;
 pub use time::TimePoint;

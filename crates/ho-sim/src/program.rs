@@ -6,27 +6,98 @@
 //! local buffer, plus local computation). The engine drives a [`Program`]
 //! through these steps; the program never sees the clock directly — only
 //! its own steps, exactly as in the paper's model.
+//!
+//! Sending is expressed as a [`SendPlan`] — the same closed form of the
+//! sending function `S_p^r` the round-synchronous executor consumes — so
+//! both execution machines share one message kernel: a broadcast plan
+//! carries one pooled payload that the engine fans out to `n` destinations
+//! by reference count, and recipients receive [`WireMsg`] handles that keep
+//! the payload alive (generation-checked) for as long as they hold it.
 
+use ho_core::executor::MessageStats;
+use ho_core::pool::PooledPayload;
 use ho_core::process::ProcessId;
+use ho_core::send_plan::SendPlan;
 
 /// What a process does in its next atomic step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum StepKind<M> {
-    /// A send step: broadcast `m` to all processes (including the sender —
-    /// `send_p(m) to all` puts `m` into `network_s` for all `s ∈ Π`).
-    ///
-    /// The engine clones `m` per destination; programs wrapping an
-    /// [`HoAlgorithm`](ho_core::HoAlgorithm) should thread the algorithm's
-    /// [`SendPlan`](ho_core::SendPlan) broadcast payload (an `Arc`) into
-    /// `m` so those clones stay shallow — see `ho-predicates`'s `Alg2Msg`.
-    SendAll(M),
-    /// A send step addressed to a single process.
-    SendTo(ProcessId, M),
+    /// A send step: the process's send plan for this step. A
+    /// [`SendPlan::Broadcast`] is `send_p(m) to all` (every process in Π,
+    /// the sender included, hears one shared payload); a
+    /// [`SendPlan::Unicast`] addresses explicit destinations;
+    /// [`SendPlan::Silent`] is a send step that sends nothing.
+    Send(SendPlan<M>),
     /// A receive step: the engine pops one buffered message chosen by
     /// [`Program::select_message`] and hands it to
     /// [`Program::on_receive`]; if the buffer is empty, the empty message
     /// `λ` (`None`) is received.
     Receive,
+}
+
+impl<M> StepKind<M> {
+    /// A broadcast send step (`send ⟨m⟩ to all`).
+    #[must_use]
+    pub fn send_all(message: M) -> Self {
+        StepKind::Send(SendPlan::broadcast(message))
+    }
+
+    /// A send step addressed to a single process.
+    #[must_use]
+    pub fn send_to(destination: ProcessId, message: M) -> Self {
+        StepKind::Send(SendPlan::to(destination, message))
+    }
+}
+
+/// A message as it travels the wire and sits in a reception buffer: owned
+/// (unicast) or a generation-stamped handle into the sender's payload pool
+/// (broadcast — one refcount bump per destination, no copy).
+#[derive(Clone, Debug)]
+pub enum WireMsg<M> {
+    /// An owned payload (unicast deliveries, tests).
+    Owned(M),
+    /// A shared, pooled payload (broadcast deliveries). Reading through the
+    /// handle debug-asserts the sender has not recycled the slot — which it
+    /// cannot while this handle is alive.
+    Shared(PooledPayload<M>),
+}
+
+impl<M> WireMsg<M> {
+    /// The wire payload.
+    #[must_use]
+    pub fn get(&self) -> &M {
+        match self {
+            WireMsg::Owned(m) => m,
+            WireMsg::Shared(m) => m,
+        }
+    }
+
+    /// Extracts an owned message: by move for owned payloads, by (shallow,
+    /// for handle-carrying message types) clone for shared ones.
+    #[must_use]
+    pub fn into_msg(self) -> M
+    where
+        M: Clone,
+    {
+        match self {
+            WireMsg::Owned(m) => m,
+            WireMsg::Shared(m) => (*m).clone(),
+        }
+    }
+}
+
+impl<M> std::ops::Deref for WireMsg<M> {
+    type Target = M;
+
+    fn deref(&self) -> &M {
+        self.get()
+    }
+}
+
+impl<M: PartialEq> PartialEq for WireMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
 }
 
 /// A process program driven by atomic steps.
@@ -50,10 +121,10 @@ pub trait Program {
     /// message λ even though the buffer is non-empty (no standard policy
     /// does this, but the model allows any policy). Called only for
     /// `Receive` steps with a non-empty buffer.
-    fn select_message(&mut self, buffer: &[(ProcessId, Self::Msg)]) -> Option<usize>;
+    fn select_message(&mut self, buffer: &[(ProcessId, WireMsg<Self::Msg>)]) -> Option<usize>;
 
     /// Outcome of a receive step: `Some((q, m))` or the empty message λ.
-    fn on_receive(&mut self, message: Option<(ProcessId, Self::Msg)>);
+    fn on_receive(&mut self, message: Option<(ProcessId, WireMsg<Self::Msg>)>);
 
     /// The process crashed: volatile state is lost. Implementations should
     /// reset anything not explicitly persisted to their stable storage.
@@ -61,6 +132,31 @@ pub trait Program {
 
     /// The process recovered and will start taking steps again.
     fn on_recover(&mut self);
+
+    /// Whether a buffered message is *provably ignorable* — receiving it
+    /// would leave this program's state unchanged. Before each receive
+    /// step the engine drops every buffered message this returns `true`
+    /// for (counted as [`SimStats::discarded`](crate::SimStats)).
+    ///
+    /// This is §4.2.1's space optimisation ("drop messages for rounds
+    /// already completed") applied to the reception buffer: Algorithms 2
+    /// and 3 re-announce INIT every loop iteration, so without pruning a
+    /// buffer accumulates stale round messages faster than one-per-step
+    /// reception can drain them — unbounded memory, and unbounded payload
+    /// pinning that would defeat the payload pool. The default keeps
+    /// everything (plain programs see every message).
+    fn discard_buffered(&self, _msg: &Self::Msg) -> bool {
+        false
+    }
+
+    /// This process's payload-construction accounting — how many wire and
+    /// upper-layer payloads it built, and how many of those landed in
+    /// recycled pool slots. The same struct the round-synchronous executor
+    /// reports, so [`Simulator::message_stats`](crate::Simulator::message_stats)
+    /// can aggregate a whole run in the executor's terms.
+    fn message_stats(&self) -> MessageStats {
+        MessageStats::default()
+    }
 }
 
 /// Reception policy helpers shared by the predicate-implementation
@@ -152,8 +248,23 @@ mod tests {
     }
 
     #[test]
-    fn step_kind_equality() {
+    fn step_kind_equality_compares_plan_content() {
         assert_eq!(StepKind::<u64>::Receive, StepKind::Receive);
-        assert_ne!(StepKind::SendAll(1u64), StepKind::Receive);
+        assert_ne!(StepKind::send_all(1u64), StepKind::Receive);
+        // Two independently built broadcasts of the same value compare
+        // equal — plans compare by content, not slot identity.
+        assert_eq!(StepKind::send_all(1u64), StepKind::send_all(1u64));
+        assert_ne!(StepKind::send_all(1u64), StepKind::send_all(2u64));
+    }
+
+    #[test]
+    fn wire_msg_reads_and_extracts() {
+        let owned: WireMsg<u64> = WireMsg::Owned(7);
+        let shared: WireMsg<u64> = WireMsg::Shared(PooledPayload::new(7));
+        assert_eq!(*owned, 7);
+        assert_eq!(*shared, 7);
+        assert_eq!(owned, shared, "wire messages compare by payload");
+        assert_eq!(owned.into_msg(), 7);
+        assert_eq!(shared.into_msg(), 7);
     }
 }

@@ -1,4 +1,14 @@
 //! Run statistics: step, message and fault counters.
+//!
+//! Message accounting is shared with the round-synchronous executor: the
+//! simulator embeds the same [`MessageStats`] struct the executor reports,
+//! so sweep reports aggregate both layers uniformly. The engine fills
+//! `messages.delivered`; the payload-construction counters
+//! (`payload_allocs` / `payload_reuses`) live with the programs — they own
+//! the payload pools — and are merged in by
+//! [`Simulator::message_stats`](crate::Simulator::message_stats).
+
+use ho_core::executor::MessageStats;
 
 /// Counters accumulated over a simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -11,19 +21,25 @@ pub struct SimStats {
     pub empty_receives: u64,
     /// Point-to-point transmissions handed to the network.
     pub transmissions: u64,
-    /// Transmissions that reached a buffer.
-    pub delivered: u64,
     /// Transmissions dropped (bad-period loss, π0-down purge, or
     /// destination down).
     pub dropped: u64,
+    /// Buffered messages discarded as provably ignorable
+    /// ([`Program::discard_buffered`](crate::Program::discard_buffered) —
+    /// §4.2.1's space optimisation applied to the reception buffer).
+    pub discarded: u64,
     /// Crash events (including forced downs at π0-down period starts).
     pub crashes: u64,
     /// Recovery events.
     pub recoveries: u64,
-    /// Broadcast send steps (`SendAll`): one wire-message *value* fanned
-    /// out to `n` destinations. With `Arc`-shared payloads (the SendPlan
-    /// kernel), each such step costs one payload allocation, not `n`.
+    /// Broadcast send steps: one pooled wire payload fanned out to `n`
+    /// destinations by reference count — one payload construction per
+    /// step, not `n`.
     pub broadcast_sends: u64,
+    /// Message accounting in the executor's terms. The engine counts
+    /// `delivered` (transmissions that reached a buffer); see the module
+    /// docs for where the construction counters come from.
+    pub messages: MessageStats,
 }
 
 impl SimStats {
@@ -33,6 +49,12 @@ impl SimStats {
         self.send_steps + self.receive_steps
     }
 
+    /// Transmissions that reached a buffer.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.messages.delivered
+    }
+
     /// Fraction of transmissions that were delivered, in `[0, 1]`
     /// (1.0 when nothing was sent).
     #[must_use]
@@ -40,7 +62,7 @@ impl SimStats {
         if self.transmissions == 0 {
             1.0
         } else {
-            self.delivered as f64 / self.transmissions as f64
+            self.delivered() as f64 / self.transmissions as f64
         }
     }
 }
@@ -55,11 +77,15 @@ mod tests {
             send_steps: 4,
             receive_steps: 10,
             transmissions: 8,
-            delivered: 6,
             dropped: 2,
+            messages: MessageStats {
+                delivered: 6,
+                ..MessageStats::default()
+            },
             ..SimStats::default()
         };
         assert_eq!(s.total_steps(), 14);
+        assert_eq!(s.delivered(), 6);
         assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
     }
 

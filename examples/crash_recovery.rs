@@ -99,7 +99,7 @@ fn main() {
     println!(
         "messages: {} sent, {} delivered, {} dropped",
         sim.stats().transmissions,
-        sim.stats().delivered,
+        sim.stats().delivered(),
         sim.stats().dropped,
     );
     println!("\nSame OneThirdRule; the gap the failure-detector model suffers from is gone.");

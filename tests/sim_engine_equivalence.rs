@@ -1,0 +1,277 @@
+//! Equivalence proof for the simulator's pooled-plan message path.
+//!
+//! The engine used to fan a broadcast out by deep-cloning the wire message
+//! per destination; it now fans out one pooled payload by reference count.
+//! The old scheme survives only as the `clone_fanout` oracle
+//! ([`SimConfig::with_clone_fanout`]). This suite runs both modes in
+//! lockstep across the fault-schedule zoo and asserts **identical**
+//! behaviour: delivered message sequences, per-process received histories,
+//! round/decision trajectories, and every engine counter. The only thing
+//! allowed to differ is the allocation economy — which is the whole point.
+//!
+//! (Mirrors the style of `tests/monitor_equivalence.rs`: same-seed lockstep
+//! runs, equality on everything observable.)
+
+use heardof::core::algorithms::OneThirdRule;
+use heardof::core::process::{ProcessId, ProcessSet};
+use heardof::predicates::{Alg2Program, Alg3Program, BoundParams, RoundLog};
+use heardof::sim::{
+    BadPeriodConfig, DelayTiming, GoodKind, Period, PeriodKind, Program, Schedule, SimConfig,
+    Simulator, StepKind, StepTiming, TimePoint, WireMsg,
+};
+
+/// The fault-schedule zoo: every period shape the simulator models.
+fn schedule_zoo(n: usize) -> Vec<(&'static str, Schedule)> {
+    vec![
+        (
+            "always_good_pi_down",
+            Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown),
+        ),
+        (
+            "always_good_pi_arbitrary_subset",
+            Schedule::always_good(ProcessSet::from_indices(0..n - 1), GoodKind::PiArbitrary),
+        ),
+        (
+            "lossy_then_good",
+            Schedule::bad_then_good(
+                BadPeriodConfig::lossy(0.6),
+                TimePoint::new(30.0),
+                ProcessSet::full(n),
+                GoodKind::PiDown,
+            ),
+        ),
+        (
+            "crashy_then_good",
+            Schedule::bad_then_good(
+                BadPeriodConfig::default(),
+                TimePoint::new(30.0),
+                ProcessSet::full(n),
+                GoodKind::PiArbitrary,
+            ),
+        ),
+        (
+            "omissive_forever",
+            Schedule::new(vec![Period {
+                start: TimePoint::ZERO,
+                kind: PeriodKind::Bad(BadPeriodConfig::omissive(0.4, 0.3)),
+            }]),
+        ),
+    ]
+}
+
+fn config(n: usize, seed: u64, clone_fanout: bool) -> SimConfig {
+    SimConfig::normalized(n, 1.0, 2.0)
+        .with_seed(seed)
+        .with_step_timing(StepTiming::Jittered)
+        .with_delay_timing(DelayTiming::Jittered)
+        .with_clone_fanout(clone_fanout)
+}
+
+/// A chatter program that records its full received history — the raw
+/// "delivered message sequences and received histories" witness.
+#[derive(Clone, Debug, Default)]
+struct Recorder {
+    sent: u64,
+    received: Vec<(ProcessId, u64)>,
+    crashes: u64,
+    want_send: bool,
+}
+
+impl Program for Recorder {
+    type Msg = u64;
+
+    fn next_step(&mut self) -> StepKind<u64> {
+        self.want_send = !self.want_send;
+        if self.want_send {
+            self.sent += 1;
+            StepKind::send_all(self.sent)
+        } else {
+            StepKind::Receive
+        }
+    }
+
+    fn select_message(&mut self, buffer: &[(ProcessId, WireMsg<u64>)]) -> Option<usize> {
+        // A value-dependent policy: any payload corruption (a recycled slot
+        // read through a stale handle) would change the selection and
+        // cascade into a different history.
+        buffer
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, (q, m))| (**m, q.index(), *i))
+            .map(|(i, _)| i)
+    }
+
+    fn on_receive(&mut self, message: Option<(ProcessId, WireMsg<u64>)>) {
+        if let Some((q, m)) = message {
+            self.received.push((q, *m));
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.crashes += 1;
+        self.received.clear(); // volatile
+    }
+
+    fn on_recover(&mut self) {}
+}
+
+#[test]
+fn recorder_histories_identical_across_fanout_modes() {
+    for n in [2, 5] {
+        for (name, _) in schedule_zoo(n) {
+            for seed in 0..6 {
+                let run = |clone_fanout: bool| {
+                    let schedule = schedule_zoo(n)
+                        .into_iter()
+                        .find(|(s, _)| *s == name)
+                        .unwrap()
+                        .1;
+                    let mut sim = Simulator::new(
+                        config(n, seed, clone_fanout),
+                        schedule,
+                        vec![Recorder::default(); n],
+                    );
+                    sim.run_for(TimePoint::new(120.0));
+                    let histories: Vec<Vec<(ProcessId, u64)>> =
+                        sim.programs().iter().map(|p| p.received.clone()).collect();
+                    (histories, sim.stats().clone())
+                };
+                let (pooled_hist, pooled_stats) = run(false);
+                let (cloned_hist, cloned_stats) = run(true);
+                assert_eq!(
+                    pooled_hist, cloned_hist,
+                    "{name}/n{n}/s{seed}: received histories diverged"
+                );
+                // Every engine counter — steps, transmissions, drops,
+                // deliveries, crashes — must match exactly.
+                assert_eq!(
+                    pooled_stats, cloned_stats,
+                    "{name}/n{n}/s{seed}: stats diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn alg2_behaviour_identical_across_fanout_modes() {
+    let n = 4;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    for (name, _) in schedule_zoo(n) {
+        for seed in 0..5 {
+            let run = |clone_fanout: bool| {
+                let schedule = schedule_zoo(n)
+                    .into_iter()
+                    .find(|(s, _)| *s == name)
+                    .unwrap()
+                    .1;
+                let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+                    .map(|p| {
+                        Alg2Program::new(
+                            OneThirdRule::new(n),
+                            ProcessId::new(p),
+                            p as u64 % 3,
+                            params.alg2_timeout(),
+                        )
+                    })
+                    .collect();
+                let mut sim = Simulator::new(config(n, seed, clone_fanout), schedule, programs);
+                sim.run_for(TimePoint::new(200.0));
+                let per_process: Vec<_> = sim
+                    .programs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.round(),
+                            p.decision(),
+                            p.crash_count(),
+                            p.records().to_vec(),
+                        )
+                    })
+                    .collect();
+                (per_process, sim.stats().clone())
+            };
+            let (pooled, pooled_stats) = run(false);
+            let (cloned, cloned_stats) = run(true);
+            assert_eq!(pooled, cloned, "{name}/s{seed}: Alg2 trajectories diverged");
+            assert_eq!(pooled_stats, cloned_stats, "{name}/s{seed}: stats diverged");
+        }
+    }
+}
+
+#[test]
+fn alg3_behaviour_identical_across_fanout_modes() {
+    let n = 5;
+    let f = 2;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    for (name, _) in schedule_zoo(n) {
+        for seed in 0..5 {
+            let run = |clone_fanout: bool| {
+                let schedule = schedule_zoo(n)
+                    .into_iter()
+                    .find(|(s, _)| *s == name)
+                    .unwrap()
+                    .1;
+                let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
+                    .map(|p| {
+                        Alg3Program::new(
+                            OneThirdRule::new(n),
+                            ProcessId::new(p),
+                            p as u64 % 3,
+                            f,
+                            params.alg3_timeout(),
+                        )
+                    })
+                    .collect();
+                let mut sim = Simulator::new(config(n, seed, clone_fanout), schedule, programs);
+                sim.run_for(TimePoint::new(200.0));
+                let per_process: Vec<_> = sim
+                    .programs()
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.round(),
+                            p.decision(),
+                            p.crash_count(),
+                            p.inits_sent(),
+                            p.records().to_vec(),
+                        )
+                    })
+                    .collect();
+                (per_process, sim.stats().clone())
+            };
+            let (pooled, pooled_stats) = run(false);
+            let (cloned, cloned_stats) = run(true);
+            assert_eq!(pooled, cloned, "{name}/s{seed}: Alg3 trajectories diverged");
+            assert_eq!(pooled_stats, cloned_stats, "{name}/s{seed}: stats diverged");
+        }
+    }
+}
+
+#[test]
+fn pooled_mode_shares_payload_allocations() {
+    // Sanity check that the two modes really differ where they should: in
+    // pooled mode the recipients of one broadcast alias one payload slot.
+    // (If this failed, the equivalence above would be proving "clone ==
+    // clone" — vacuous.)
+    let n = 4;
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                ProcessId::new(p),
+                1u64,
+                params.alg2_timeout(),
+            )
+        })
+        .collect();
+    let schedule = Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown);
+    let mut sim = Simulator::new(config(n, 3, false), schedule, programs);
+    sim.run_for(TimePoint::new(100.0));
+    let stats = sim.message_stats();
+    assert!(
+        stats.payload_reuses > 0,
+        "steady-state sends must land in recycled pool slots: {stats:?}"
+    );
+}
