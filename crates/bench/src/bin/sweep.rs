@@ -1,26 +1,56 @@
 //! SW — scenario sweep baseline: writes `BENCH_sweep.json`.
 //!
-//! `sweep [--smoke] [PATH]` — runs the canonical grid (single-core,
-//! all-core, and monitored passes) and writes the report. With `--smoke` a
-//! thinned grid runs instead (the CI job), the emitted JSON is parsed back
-//! to prove it round-trips — predicate statistics included — and a
-//! non-zero exit reports any safety violation *or* any disagreement
-//! between a monitored safety-environment predicate and the safety verdict
-//! (e.g. an empty kernel under the `kernel_only` adversary).
+//! `sweep [--smoke | --rsm] [PATH]` — runs the canonical grid (single-core,
+//! all-core, and monitored passes, plus the sim and rsm layers) and writes
+//! the report. With `--smoke` a thinned grid runs instead (the CI job), the
+//! emitted JSON is parsed back to prove it round-trips — predicate, sim and
+//! rsm statistics included — and a non-zero exit reports any safety
+//! violation, any prefix-agreement or exactly-once violation in the rsm
+//! layer, *or* any disagreement between a monitored safety-environment
+//! predicate and the safety verdict (e.g. an empty kernel under the
+//! `kernel_only` adversary). With `--rsm` only the replicated-log grid runs
+//! (full size, per-scenario verdicts embedded) — the fast iteration loop
+//! for service-level tuning.
 
-use ho_harness::Json;
+use ho_harness::{rsm_report_json, Json};
 
 fn main() {
     let mut smoke = false;
-    let mut path = "BENCH_sweep.json".to_owned();
+    let mut rsm_only = false;
+    let mut path: Option<String> = None;
     for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            path = arg;
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--rsm" => rsm_only = true,
+            _ => path = Some(arg),
         }
     }
 
+    if rsm_only {
+        let path = path.unwrap_or_else(|| "BENCH_rsm.json".to_owned());
+        let report = bench::sweep::run_rsm_layer(false);
+        let doc = Json::obj([
+            ("benchmark", Json::Str("rsm_sweep".into())),
+            ("rsm_layer", rsm_report_json(&report, true)),
+        ]);
+        std::fs::write(&path, format!("{doc}\n")).expect("write rsm report");
+        println!(
+            "wrote {path}: {} scenarios, {} violations, {:.0} commands/sec, {:.2} rounds/slot",
+            report.scenarios,
+            report.violations,
+            report.commands_per_sec,
+            report.rounds_per_slot()
+        );
+        if report.violations > 0 {
+            for v in report.violating() {
+                eprintln!("rsm FAILED: {}: {:?}", v.id(), v.violation);
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let path = path.unwrap_or_else(|| "BENCH_sweep.json".to_owned());
     let doc = bench::sweep::run_baseline(smoke);
     let text = format!("{doc}\n");
     std::fs::write(&path, &text).expect("write sweep report");
@@ -80,9 +110,38 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The rsm layer's contract: all replicas applied identical log
+        // prefixes, every command at most once — across the whole grid.
+        let Some(Json::Obj(rsm)) = map.get("rsm_layer") else {
+            eprintln!("smoke FAILED: no rsm_layer section in the report");
+            std::process::exit(1);
+        };
+        match rsm.get("violations") {
+            Some(Json::UInt(0)) => {}
+            other => {
+                eprintln!("smoke FAILED: rsm_layer violations = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match rsm.get("scenarios") {
+            Some(Json::UInt(n)) if *n > 0 => {}
+            other => {
+                eprintln!("smoke FAILED: rsm_layer scenarios = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match rsm.get("service") {
+            Some(Json::Obj(service)) if matches!(service.get("commands"), Some(Json::UInt(n)) if *n > 0) =>
+                {}
+            other => {
+                eprintln!("smoke FAILED: rsm_layer service aggregates = {other:?}");
+                std::process::exit(1);
+            }
+        }
         println!(
             "smoke ok: 0 violations, predicate fields round-trip, cross-check ok, \
-             sim layer kept every Alg2/Alg3 promise"
+             sim layer kept every Alg2/Alg3 promise, rsm layer ordered its logs \
+             without a fork"
         );
     }
 }

@@ -21,9 +21,9 @@
 use std::time::Instant;
 
 use ho_harness::{
-    chunk_policy_json, default_threads, predicate_totals_json, sim_report_json, AdversarySpec,
-    AlgorithmSpec, ChunkPolicy, ImplementationSpec, Json, LinkFaultSpec, PredicateTotals, SimSweep,
-    Sweep, SweepReport,
+    chunk_policy_json, default_threads, predicate_totals_json, rsm_report_json, sim_report_json,
+    AdversarySpec, AlgorithmSpec, ChunkPolicy, ImplementationSpec, Json, LinkFaultSpec,
+    PredicateTotals, RsmReport, RsmSweep, SimSweep, Sweep, SweepReport, WorkloadSpec,
 };
 
 /// The canonical *safe* baseline grid: every cell must finish with zero
@@ -115,6 +115,88 @@ pub fn sim_layer_sweep() -> SimSweep {
         .sizes([4, 6])
         .seeds(0..10)
         .window(2)
+}
+
+/// The canonical **rsm-layer** grids: the replicated-log service
+/// (`ho-rsm`'s pipelined `LogDriver`) swept across (inner algorithm ×
+/// adversary × n × pipeline depth × workload × seed). Every cell must
+/// finish with **zero** prefix-agreement / exactly-once violations; the
+/// per-cell table carries the service numbers (commands/sec, rounds/slot,
+/// worst p99 apply latency in rounds) that future scaling PRs move.
+///
+/// OneThirdRule and LastVoting run the full fault zoo — their safety
+/// needs no communication predicate, so even chaos may only slow the log,
+/// never fork it. UniformVoting runs under full delivery only: pipelined
+/// slots open at different rounds on different replicas, so no adversary
+/// can guarantee a per-instance non-empty kernel out of lockstep (see
+/// `ho_harness::rsm`).
+#[must_use]
+pub fn rsm_layer_sweeps() -> Vec<RsmSweep> {
+    let workloads = [
+        WorkloadSpec::FixedRate { per_round: 2 },
+        WorkloadSpec::ClosedLoop { clients: 8 },
+        WorkloadSpec::Bursty {
+            burst: 8,
+            period: 4,
+        },
+        WorkloadSpec::SkewedKey { per_round: 2 },
+    ];
+    vec![
+        RsmSweep::new()
+            .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+            .adversaries([
+                AdversarySpec::FullDelivery,
+                AdversarySpec::RandomLoss { loss: 0.3 },
+                AdversarySpec::CrashRecovery,
+                AdversarySpec::EventuallyGood {
+                    bad_rounds: 6,
+                    loss: 0.5,
+                },
+            ])
+            .sizes([4, 7])
+            .depths([1, 4, 16])
+            .workloads(workloads)
+            .seeds(0..3)
+            .rounds(80),
+        RsmSweep::new()
+            .algorithms([AlgorithmSpec::UniformVoting])
+            .adversaries([AdversarySpec::FullDelivery])
+            .sizes([4, 7])
+            .depths([1, 4, 16])
+            .workloads(workloads)
+            .seeds(0..3)
+            .rounds(80),
+    ]
+}
+
+/// Runs the rsm-layer grids and merges them into one report. Pass
+/// `smoke = true` for the thinned CI variant.
+#[must_use]
+pub fn run_rsm_layer(smoke: bool) -> RsmReport {
+    let sweeps: Vec<RsmSweep> = if smoke {
+        rsm_layer_sweeps()
+            .into_iter()
+            .map(|s| {
+                s.seeds(0..1).workloads([
+                    WorkloadSpec::FixedRate { per_round: 2 },
+                    WorkloadSpec::ClosedLoop { clients: 8 },
+                ])
+            })
+            .collect()
+    } else {
+        rsm_layer_sweeps()
+    };
+    let start = Instant::now();
+    let mut verdicts = Vec::new();
+    let mut threads = 1;
+    let mut chunk = ChunkPolicy::from_env();
+    for sweep in sweeps {
+        let report = sweep.run();
+        threads = report.threads;
+        chunk = report.chunk;
+        verdicts.extend(report.verdicts);
+    }
+    RsmReport::aggregate(verdicts, start.elapsed().as_secs_f64(), threads, chunk)
 }
 
 /// One timed pass over the whole baseline grid at a fixed worker count.
@@ -266,6 +348,10 @@ pub fn run_baseline(smoke: bool) -> Json {
     }
     .run();
 
+    // The rsm layer: the replicated-log service over the same fault zoo,
+    // verdicts checking prefix agreement and exactly-once apply.
+    let rsm_layer = run_rsm_layer(smoke);
+
     let reports = &single.reports;
     let scenarios: u64 = single.scenarios;
     let decided: u64 = reports.iter().map(|r| r.decided as u64).sum();
@@ -384,6 +470,7 @@ pub fn run_baseline(smoke: bool) -> Json {
             Json::Obj(map)
         }),
         ("sim_layer", sim_report_json(&sim_layer, false)),
+        ("rsm_layer", rsm_report_json(&rsm_layer, false)),
         (
             "pnek_counterexamples",
             Json::obj([
@@ -458,6 +545,40 @@ mod tests {
     }
 
     #[test]
+    fn rsm_layer_grid_orders_logs_safely() {
+        // The thinned rsm grid (the CI variant): ≥ 100 log-service
+        // scenarios, zero prefix-agreement / exactly-once violations, and
+        // no dead cell — every (algorithm, adversary, depth, workload)
+        // combination must actually order slots.
+        let report = run_rsm_layer(true);
+        assert!(report.scenarios >= 100, "{} scenarios", report.scenarios);
+        assert_eq!(report.violations, 0, "{:?}", report.violating());
+        assert!(report.totals.commands > 0);
+        assert!(report.rounds_per_slot() > 0.0);
+        for ((alg, adv, depth, wl), cell) in report.by_cell() {
+            assert!(
+                cell.slots > 0,
+                "dead cell: {alg}/{adv}/d{depth}/{wl} ordered nothing"
+            );
+        }
+        // Deeper pipelines must raise per-round throughput under full
+        // delivery (the whole point of the depth axis).
+        let per_round = |depth: usize| {
+            let (commands, rounds) = report
+                .verdicts
+                .iter()
+                .filter(|v| {
+                    v.depth == depth
+                        && v.algorithm == "one_third_rule"
+                        && v.adversary == "full_delivery"
+                })
+                .fold((0, 0), |(c, r), v| (c + v.commands, r + v.rounds_run));
+            commands as f64 / rounds as f64
+        };
+        assert!(per_round(16) > per_round(1));
+    }
+
+    #[test]
     fn sim_layer_grid_keeps_every_promise() {
         // A thinned replica of the sim-layer grid: every scenario must
         // deliver its predicate window within the theorem bound.
@@ -494,6 +615,28 @@ mod tests {
             "sim scenarios recorded"
         );
         assert!(sim.contains_key("chunk"), "chunk policy recorded");
+        // The rsm-layer section round-trips with its service aggregates
+        // and per-cell throughput table, and reports zero log violations.
+        let Some(Json::Obj(rsm)) = map.get("rsm_layer") else {
+            panic!("rsm_layer section missing");
+        };
+        assert_eq!(rsm.get("violations"), Some(&Json::UInt(0)));
+        assert!(
+            matches!(rsm.get("scenarios"), Some(Json::UInt(n)) if *n >= 100),
+            "rsm grid is at least 100 scenarios"
+        );
+        let Some(Json::Obj(service)) = rsm.get("service") else {
+            panic!("rsm service aggregates missing");
+        };
+        assert!(
+            matches!(service.get("commands"), Some(Json::UInt(n)) if *n > 0),
+            "the service ordered commands"
+        );
+        assert!(service.contains_key("rounds_per_slot"));
+        assert!(
+            matches!(rsm.get("cells"), Some(Json::Arr(cells)) if !cells.is_empty()),
+            "per-cell throughput table present"
+        );
         // Predicate statistics are present, round-trip, and agree with the
         // safety verdicts.
         let Some(Json::Obj(predicates)) = map.get("predicates") else {

@@ -35,6 +35,7 @@
 pub mod json;
 pub mod par;
 pub mod report;
+pub mod rsm;
 pub mod scenario;
 pub mod sim;
 pub mod sweep;
@@ -42,12 +43,16 @@ pub mod sweep;
 pub use json::Json;
 pub use par::{default_threads, par_map, par_map_with, par_map_with_policy, ChunkPolicy};
 pub use report::{
-    chunk_policy_json, predicate_totals_json, sim_report_json, MessageTotals, PredicateTotals,
-    SweepReport,
+    chunk_policy_json, predicate_totals_json, rsm_report_json, rsm_verdict_json, sim_report_json,
+    JsonFields, MessageTotals, PredicateTotals, SweepReport,
 };
+pub use rsm::{RsmCell, RsmReport, RsmScenario, RsmSweep, RsmTotals, RsmVerdict};
 pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 pub use sim::{ImplementationSpec, LinkFaultSpec, SimReport, SimScenario, SimSweep, SimVerdict};
 pub use sweep::Sweep;
 
 // The per-scenario predicate statistics carried by monitored verdicts.
 pub use ho_predicates::monitor::PredicateSummary;
+
+// The rsm layer's workload shapes (axis values for `RsmSweep`).
+pub use ho_rsm::WorkloadSpec;

@@ -9,6 +9,70 @@ use crate::json::Json;
 use crate::par::ChunkPolicy;
 use crate::scenario::Verdict;
 
+/// Incremental object builder shared by every verdict/summary emitter —
+/// the model-layer, sim-layer and rsm-layer documents all spell optional
+/// counters (`value | null`) and scalar fields the same way, so none of
+/// them hand-rolls `map_or(Json::Null, …)` chains.
+#[derive(Debug, Default)]
+pub struct JsonFields(Vec<(String, Json)>);
+
+impl JsonFields {
+    /// An empty object under construction.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonFields::default()
+    }
+
+    /// Appends an already-built value.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.0.push((key.to_owned(), value));
+        self
+    }
+
+    /// Appends an exact unsigned counter.
+    #[must_use]
+    pub fn uint(self, key: &str, value: u64) -> Self {
+        self.field(key, Json::UInt(value))
+    }
+
+    /// Appends an optional counter (`null` when absent).
+    #[must_use]
+    pub fn opt_uint(self, key: &str, value: Option<u64>) -> Self {
+        self.field(key, value.map_or(Json::Null, Json::UInt))
+    }
+
+    /// Appends a floating-point rate.
+    #[must_use]
+    pub fn float(self, key: &str, value: f64) -> Self {
+        self.field(key, Json::Float(value))
+    }
+
+    /// Appends a boolean.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, Json::Bool(value))
+    }
+
+    /// Appends a string.
+    #[must_use]
+    pub fn str(self, key: &str, value: impl Into<String>) -> Self {
+        self.field(key, Json::Str(value.into()))
+    }
+
+    /// Appends an optional string (`null` when absent).
+    #[must_use]
+    pub fn opt_str(self, key: &str, value: Option<String>) -> Self {
+        self.field(key, value.map_or(Json::Null, Json::Str))
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> Json {
+        Json::Obj(self.0.into_iter().collect())
+    }
+}
+
 /// Message-cost totals across a sweep.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MessageTotals {
@@ -279,80 +343,64 @@ pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -
 }
 
 fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
-    Json::obj([
-        ("id", Json::Str(v.id())),
-        ("achieved", Json::Bool(v.achieved)),
-        ("within_bound", Json::Bool(v.within_bound)),
-        (
+    JsonFields::new()
+        .str("id", v.id())
+        .bool("achieved", v.achieved)
+        .bool("within_bound", v.within_bound)
+        .field(
             "empirical_length",
             v.empirical_length.map_or(Json::Null, Json::Float),
-        ),
-        ("bound", Json::Float(v.bound)),
-        ("rho0", v.rho0.map_or(Json::Null, Json::UInt)),
-        (
-            "violation",
-            v.violation.clone().map_or(Json::Null, Json::Str),
-        ),
-        ("max_round", Json::UInt(v.max_round)),
-        ("transmissions", Json::UInt(v.transmissions)),
-        ("delivered", Json::UInt(v.messages.delivered)),
-        ("payload_allocs", Json::UInt(v.messages.payload_allocs)),
-        ("payload_reuses", Json::UInt(v.messages.payload_reuses)),
-        ("wall_nanos", Json::UInt(v.wall_nanos)),
-    ])
+        )
+        .float("bound", v.bound)
+        .opt_uint("rho0", v.rho0)
+        .opt_str("violation", v.violation.clone())
+        .uint("max_round", v.max_round)
+        .uint("transmissions", v.transmissions)
+        .uint("delivered", v.messages.delivered)
+        .uint("payload_allocs", v.messages.payload_allocs)
+        .uint("payload_reuses", v.messages.payload_reuses)
+        .uint("wall_nanos", v.wall_nanos)
+        .build()
 }
 
 /// The JSON form of the work-stealing [`ChunkPolicy`] a sweep ran under.
 #[must_use]
 pub fn chunk_policy_json(policy: &ChunkPolicy) -> Json {
-    Json::obj([
-        ("target_claims", Json::UInt(policy.target_claims as u64)),
-        ("max_chunk", Json::UInt(policy.max_chunk as u64)),
-    ])
+    JsonFields::new()
+        .uint("target_claims", policy.target_claims as u64)
+        .uint("max_chunk", policy.max_chunk as u64)
+        .build()
 }
 
 fn verdict_json(v: &Verdict) -> Json {
-    let mut fields = vec![
-        ("id", Json::Str(v.id())),
-        (
-            "decided_round",
-            v.decided_round.map_or(Json::Null, Json::UInt),
-        ),
-        ("decision", v.decision_value.map_or(Json::Null, Json::UInt)),
-        (
-            "violation",
-            v.violation.clone().map_or(Json::Null, Json::Str),
-        ),
-        ("rounds", Json::UInt(v.rounds_run)),
-        ("payload_allocs", Json::UInt(v.payload_allocs)),
-        ("payload_reuses", Json::UInt(v.payload_reuses)),
-        ("delivered", Json::UInt(v.delivered_messages)),
-        ("legacy_clones", Json::UInt(v.legacy_clones)),
-    ];
+    let mut fields = JsonFields::new()
+        .str("id", v.id())
+        .opt_uint("decided_round", v.decided_round)
+        .opt_uint("decision", v.decision_value)
+        .opt_str("violation", v.violation.clone())
+        .uint("rounds", v.rounds_run)
+        .uint("payload_allocs", v.payload_allocs)
+        .uint("payload_reuses", v.payload_reuses)
+        .uint("delivered", v.delivered_messages)
+        .uint("legacy_clones", v.legacy_clones);
     if let Some(p) = &v.predicates {
-        fields.push(("predicates", predicate_summary_json(p)));
+        fields = fields.field("predicates", predicate_summary_json(p));
     }
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    fields.build()
 }
 
 /// The JSON form of a per-scenario [`PredicateSummary`].
 #[must_use]
 pub fn predicate_summary_json(s: &PredicateSummary) -> Json {
-    Json::obj([
-        ("rounds", Json::UInt(s.rounds)),
-        ("nek_rounds", Json::UInt(s.nek_rounds)),
-        (
-            "first_empty_kernel",
-            s.first_empty_kernel.map_or(Json::Null, Json::UInt),
-        ),
-        ("largest_kernel_window", Json::UInt(s.largest_kernel_window)),
-        ("uniform_rounds", Json::UInt(s.uniform_rounds)),
-        (
-            "largest_uniform_window",
-            Json::UInt(s.largest_uniform_window),
-        ),
-        ("first_p2otr", s.first_p2otr.map_or(Json::Null, Json::UInt)),
-    ])
+    JsonFields::new()
+        .uint("rounds", s.rounds)
+        .uint("nek_rounds", s.nek_rounds)
+        .opt_uint("first_empty_kernel", s.first_empty_kernel)
+        .uint("largest_kernel_window", s.largest_kernel_window)
+        .uint("uniform_rounds", s.uniform_rounds)
+        .uint("largest_uniform_window", s.largest_uniform_window)
+        .opt_uint("first_p2otr", s.first_p2otr)
+        .build()
 }
 
 /// The JSON form of grid-wide [`PredicateTotals`] — shared with
@@ -360,21 +408,99 @@ pub fn predicate_summary_json(s: &PredicateSummary) -> Json {
 /// documents cannot drift.
 #[must_use]
 pub fn predicate_totals_json(t: &PredicateTotals) -> Json {
-    Json::obj([
-        ("monitored_scenarios", Json::UInt(t.monitored as u64)),
-        ("rounds", Json::UInt(t.rounds)),
-        ("nek_rounds", Json::UInt(t.nek_rounds)),
-        (
-            "empty_kernel_scenarios",
-            Json::UInt(t.empty_kernel_scenarios as u64),
-        ),
-        ("p2otr_scenarios", Json::UInt(t.p2otr_scenarios as u64)),
-        ("largest_kernel_window", Json::UInt(t.largest_kernel_window)),
-        (
-            "largest_uniform_window",
-            Json::UInt(t.largest_uniform_window),
-        ),
-    ])
+    JsonFields::new()
+        .uint("monitored_scenarios", t.monitored as u64)
+        .uint("rounds", t.rounds)
+        .uint("nek_rounds", t.nek_rounds)
+        .uint("empty_kernel_scenarios", t.empty_kernel_scenarios as u64)
+        .uint("p2otr_scenarios", t.p2otr_scenarios as u64)
+        .uint("largest_kernel_window", t.largest_kernel_window)
+        .uint("largest_uniform_window", t.largest_uniform_window)
+        .build()
+}
+
+/// The JSON form of an rsm-layer sweep ([`RsmReport`](crate::RsmReport)) —
+/// the `rsm_layer` section of `BENCH_sweep.json`.
+///
+/// `include_verdicts` controls whether the full per-scenario list is
+/// embedded or only the aggregates and the per-cell table.
+#[must_use]
+pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -> Json {
+    let cells: Vec<Json> = report
+        .by_cell()
+        .into_iter()
+        .map(|((algorithm, adversary, depth, workload), cell)| {
+            JsonFields::new()
+                .str("algorithm", algorithm)
+                .str("adversary", adversary)
+                .uint("depth", depth as u64)
+                .str("workload", workload)
+                .uint("scenarios", cell.scenarios as u64)
+                .uint("violations", cell.violations as u64)
+                .uint("slots", cell.slots)
+                .uint("commands", cell.commands)
+                .float("rounds_per_slot", cell.rounds_per_slot())
+                .float("commands_per_sec", cell.commands_per_sec())
+                .uint("worst_p99_latency_rounds", cell.worst_p99_latency)
+                .build()
+        })
+        .collect();
+    let mut fields = JsonFields::new()
+        .uint("scenarios", report.scenarios as u64)
+        .uint("violations", report.violations as u64)
+        .float("wall_seconds", report.wall_seconds)
+        .float("scenarios_per_sec", report.scenarios_per_sec)
+        .float("commands_per_sec", report.commands_per_sec)
+        .uint("threads", report.threads as u64)
+        .field("chunk", chunk_policy_json(&report.chunk))
+        .field(
+            "service",
+            JsonFields::new()
+                .uint("rounds", report.totals.rounds)
+                .uint("slots", report.totals.slots)
+                .uint("commands", report.totals.commands)
+                .uint("generated_commands", report.totals.generated)
+                .uint("requeued_commands", report.totals.requeued)
+                .float("rounds_per_slot", report.rounds_per_slot())
+                .uint("worst_p99_latency_rounds", report.totals.worst_p99_latency)
+                .build(),
+        )
+        .field("cells", Json::Arr(cells));
+    if include_verdicts {
+        fields = fields.field(
+            "verdicts",
+            Json::Arr(report.verdicts.iter().map(rsm_verdict_json).collect()),
+        );
+    }
+    fields.build()
+}
+
+/// The JSON form of one rsm-layer verdict.
+#[must_use]
+pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
+    JsonFields::new()
+        .str("id", v.id())
+        .opt_str("violation", v.violation.clone())
+        .uint("rounds", v.rounds_run)
+        .uint("slots", v.slots)
+        .uint("min_slots", v.min_slots)
+        .uint("noop_slots", v.noop_slots)
+        .uint("commands", v.commands)
+        .uint("generated_commands", v.generated_commands)
+        .uint("requeued_commands", v.requeued_commands)
+        .float("rounds_per_slot", v.rounds_per_slot())
+        .float("commands_per_sec", v.commands_per_sec())
+        .float("commands_per_round", v.commands_per_round())
+        .uint("latency_samples", v.latency_samples)
+        .opt_uint("latency_p50", v.latency_p50)
+        .opt_uint("latency_p90", v.latency_p90)
+        .opt_uint("latency_p99", v.latency_p99)
+        .opt_uint("latency_max", v.latency_max)
+        .uint("payload_allocs", v.payload_allocs)
+        .uint("payload_reuses", v.payload_reuses)
+        .uint("delivered", v.delivered_messages)
+        .uint("wall_nanos", v.wall_nanos)
+        .build()
 }
 
 #[cfg(test)]

@@ -1,0 +1,703 @@
+//! The rsm layer of the sweep: replicated-log scenarios on the
+//! [`LogDriver`](ho_rsm::LogDriver).
+//!
+//! Where the model-layer [`Sweep`](crate::Sweep) asks "does one consensus
+//! instance stay safe and decide?", the rsm sweep asks the *service*
+//! question: under a fault environment, how many client commands does the
+//! replicated log order per second, at what latency-in-rounds, with how
+//! many rounds per slot — and do all replicas apply identical prefixes
+//! with every command exactly once? The grid therefore gains two axes:
+//! the **pipeline depth** (slots in flight) and the **workload** (command
+//! generator shape).
+//!
+//! UniformVoting needs care here: pipelined slots open at different
+//! global rounds on different replicas, so even a kernel-preserving
+//! adversary cannot guarantee a per-instance non-empty kernel — a late
+//! joiner is silent for the instance's early rounds. The canonical grids
+//! (see `crates/bench`) sweep UV only under full delivery, where replicas
+//! run in lockstep; OTR and LastVoting are safe under everything.
+
+use std::time::Instant;
+
+use ho_core::executor::RunError;
+use ho_rsm::{LogDriver, RsmConfig, WorkloadSpec};
+
+use crate::par::{default_threads, par_map_with_policy, ChunkPolicy};
+use crate::scenario::{AdversarySpec, AlgorithmSpec, ScenarioScratch};
+use ho_core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use ho_core::HoAlgorithm;
+
+/// One cell of the rsm grid: a fully determined log-service run.
+#[derive(Clone, Debug)]
+pub struct RsmScenario {
+    /// The inner consensus algorithm driving every slot.
+    pub algorithm: AlgorithmSpec,
+    /// The fault environment.
+    pub adversary: AdversarySpec,
+    /// Number of replicas.
+    pub n: usize,
+    /// Pipeline depth (slots in flight per replica).
+    pub depth: usize,
+    /// The client workload shape.
+    pub workload: WorkloadSpec,
+    /// The seed deriving workloads and adversary randomness.
+    pub seed: u64,
+    /// Rounds to run (fixed budget — a log service never "terminates").
+    pub rounds: u64,
+}
+
+impl RsmScenario {
+    /// A stable identifier for reports.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "rsm/{}/{}/n{}/d{}/{}/s{}",
+            self.algorithm.name(),
+            self.adversary.name(),
+            self.n,
+            self.depth,
+            self.workload.name(),
+            self.seed
+        )
+    }
+
+    /// Executes the scenario to completion and reports the verdict.
+    #[must_use]
+    pub fn run(&self) -> RsmVerdict {
+        self.run_reusing(&mut ScenarioScratch::default())
+    }
+
+    /// Executes the scenario reusing a worker-owned scratch (the executor's
+    /// type-independent round buffers survive from scenario to scenario).
+    #[must_use]
+    pub fn run_reusing(&self, scratch: &mut ScenarioScratch) -> RsmVerdict {
+        match self.algorithm {
+            AlgorithmSpec::OneThirdRule => self.run_with(OneThirdRule::new(self.n), scratch),
+            AlgorithmSpec::UniformVoting => self.run_with(UniformVoting::new(self.n), scratch),
+            AlgorithmSpec::LastVoting => self.run_with(LastVoting::new(self.n), scratch),
+        }
+    }
+
+    fn run_with<A>(&self, alg: A, scratch: &mut ScenarioScratch) -> RsmVerdict
+    where
+        A: HoAlgorithm<Value = u64>,
+    {
+        let start = Instant::now();
+        let mut adversary = self.adversary.build(self.n, self.seed);
+        let mut driver = LogDriver::with_scratch(
+            alg,
+            self.workload,
+            RsmConfig::with_depth(self.depth),
+            self.seed,
+            std::mem::take(&mut scratch.round),
+        );
+        // The executor's consensus checker guards slot 0 online; the
+        // applied-log oracle checks the whole log afterwards.
+        let mut violation = match driver.run(&mut adversary, self.rounds) {
+            Ok(()) => None,
+            Err(RunError::Violation(v)) => Some(v.to_string()),
+            Err(e @ RunError::MaxRoundsExceeded { .. }) => Some(e.to_string()),
+        };
+        // Clock the *service*, not the verdict: the oracle and the stats
+        // aggregation below are harness work and must not dilute the
+        // commands/sec the report tracks.
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let check = driver.check();
+        violation = violation.or_else(|| check.violation.clone());
+        let stats = driver.service_stats();
+        let messages = driver.message_stats();
+        let verdict = RsmVerdict {
+            algorithm: self.algorithm.name(),
+            adversary: self.adversary.name(),
+            n: self.n,
+            depth: self.depth,
+            workload: self.workload.name(),
+            seed: self.seed,
+            rounds_run: driver.rounds_run(),
+            violation,
+            slots: check.slots,
+            min_slots: check.min_slots,
+            noop_slots: check.noop_slots,
+            commands: check.commands,
+            generated_commands: stats.generated_commands,
+            requeued_commands: stats.requeued_commands,
+            hot_generated: stats.hot_generated,
+            latency_samples: stats.latencies.len() as u64,
+            latency_p50: stats.latency_percentile(50),
+            latency_p90: stats.latency_percentile(90),
+            latency_p99: stats.latency_percentile(99),
+            latency_max: stats.latencies.last().copied(),
+            payload_allocs: messages.payload_allocs,
+            payload_reuses: messages.payload_reuses,
+            delivered_messages: messages.delivered,
+            wall_nanos,
+        };
+        scratch.round = driver.into_scratch();
+        verdict
+    }
+}
+
+/// The outcome of one rsm scenario.
+#[derive(Clone, Debug)]
+pub struct RsmVerdict {
+    /// Inner algorithm name.
+    pub algorithm: &'static str,
+    /// Adversary name.
+    pub adversary: String,
+    /// Number of replicas.
+    pub n: usize,
+    /// Pipeline depth.
+    pub depth: usize,
+    /// Workload name.
+    pub workload: String,
+    /// The scenario seed.
+    pub seed: u64,
+    /// Rounds executed.
+    pub rounds_run: u64,
+    /// A safety violation — slot-0 consensus (agreement, integrity,
+    /// irrevocability) or applied-log (prefix agreement, exactly-once,
+    /// batch integrity) — if one was caught.
+    pub violation: Option<String>,
+    /// Slots in the longest replica log.
+    pub slots: u64,
+    /// Slots in the shortest replica log.
+    pub min_slots: u64,
+    /// No-op slots (decided with an empty batch) in the longest log.
+    pub noop_slots: u64,
+    /// Client commands ordered by the longest log.
+    pub commands: u64,
+    /// Commands generated across replicas.
+    pub generated_commands: u64,
+    /// Commands requeued after losing their slot.
+    pub requeued_commands: u64,
+    /// Commands generated on hot keys (skew realisation).
+    pub hot_generated: u64,
+    /// Latency sample count (one per applied own command).
+    pub latency_samples: u64,
+    /// Median apply latency in rounds.
+    pub latency_p50: Option<u64>,
+    /// 90th-percentile apply latency in rounds.
+    pub latency_p90: Option<u64>,
+    /// 99th-percentile apply latency in rounds.
+    pub latency_p99: Option<u64>,
+    /// Worst apply latency in rounds.
+    pub latency_max: Option<u64>,
+    /// Payload constructions under the SendPlan kernel.
+    pub payload_allocs: u64,
+    /// Constructions served from recycled buffers.
+    pub payload_reuses: u64,
+    /// Messages delivered into mailboxes.
+    pub delivered_messages: u64,
+    /// Wall-clock nanoseconds for this scenario.
+    pub wall_nanos: u64,
+}
+
+impl RsmVerdict {
+    /// The scenario identifier.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "rsm/{}/{}/n{}/d{}/{}/s{}",
+            self.algorithm, self.adversary, self.n, self.depth, self.workload, self.seed
+        )
+    }
+
+    /// Whether every log invariant held.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Rounds per ordered slot (lower = better pipelining); 0 when no slot
+    /// was ordered.
+    #[must_use]
+    pub fn rounds_per_slot(&self) -> f64 {
+        ratio(self.rounds_run, self.slots)
+    }
+
+    /// Commands ordered per wall-clock second of scenario execution.
+    #[must_use]
+    pub fn commands_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.commands as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Commands ordered per executed round.
+    #[must_use]
+    pub fn commands_per_round(&self) -> f64 {
+        ratio(self.commands, self.rounds_run)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A builder for (algorithm × adversary × n × depth × workload × seed)
+/// log-service sweeps.
+///
+/// ```
+/// use ho_harness::{AdversarySpec, AlgorithmSpec, RsmSweep, WorkloadSpec};
+///
+/// let report = RsmSweep::new()
+///     .algorithms([AlgorithmSpec::OneThirdRule])
+///     .adversaries([AdversarySpec::RandomLoss { loss: 0.3 }])
+///     .sizes([4])
+///     .depths([1, 4])
+///     .workloads([WorkloadSpec::FixedRate { per_round: 2 }])
+///     .seeds(0..5)
+///     .rounds(60)
+///     .run();
+/// assert_eq!(report.scenarios, 10);
+/// assert_eq!(report.violations, 0, "logs never fork");
+/// ```
+#[derive(Clone, Debug)]
+pub struct RsmSweep {
+    algorithms: Vec<AlgorithmSpec>,
+    adversaries: Vec<AdversarySpec>,
+    sizes: Vec<usize>,
+    depths: Vec<usize>,
+    workloads: Vec<WorkloadSpec>,
+    seeds: Vec<u64>,
+    rounds: u64,
+    threads: Option<usize>,
+    chunking: ChunkPolicy,
+}
+
+impl Default for RsmSweep {
+    fn default() -> Self {
+        RsmSweep {
+            algorithms: vec![AlgorithmSpec::OneThirdRule],
+            adversaries: vec![AdversarySpec::FullDelivery],
+            sizes: vec![4],
+            depths: vec![4],
+            workloads: vec![WorkloadSpec::FixedRate { per_round: 2 }],
+            seeds: (0..5).collect(),
+            rounds: 60,
+            threads: None,
+            chunking: ChunkPolicy::from_env(),
+        }
+    }
+}
+
+impl RsmSweep {
+    /// A sweep with defaults (OTR, full delivery, n = 4, depth 4,
+    /// fixed-rate 2, 5 seeds, 60 rounds).
+    #[must_use]
+    pub fn new() -> Self {
+        RsmSweep::default()
+    }
+
+    /// Sets the inner-algorithm axis.
+    #[must_use]
+    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = AlgorithmSpec>) -> Self {
+        self.algorithms = algorithms.into_iter().collect();
+        self
+    }
+
+    /// Sets the adversary axis.
+    #[must_use]
+    pub fn adversaries(mut self, adversaries: impl IntoIterator<Item = AdversarySpec>) -> Self {
+        self.adversaries = adversaries.into_iter().collect();
+        self
+    }
+
+    /// Sets the replica-count axis.
+    #[must_use]
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the pipeline-depth axis.
+    #[must_use]
+    pub fn depths(mut self, depths: impl IntoIterator<Item = usize>) -> Self {
+        self.depths = depths.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload axis.
+    #[must_use]
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the per-scenario round budget.
+    #[must_use]
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Pins the worker count (default: all cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the work-stealing chunk policy.
+    #[must_use]
+    pub fn chunking(mut self, policy: ChunkPolicy) -> Self {
+        self.chunking = policy;
+        self
+    }
+
+    /// Materialises the scenario grid in axis order
+    /// (algorithm, adversary, size, depth, workload, seed).
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<RsmScenario> {
+        let mut out = Vec::with_capacity(
+            self.algorithms.len()
+                * self.adversaries.len()
+                * self.sizes.len()
+                * self.depths.len()
+                * self.workloads.len()
+                * self.seeds.len(),
+        );
+        for &algorithm in &self.algorithms {
+            for adversary in &self.adversaries {
+                for &n in &self.sizes {
+                    for &depth in &self.depths {
+                        for &workload in &self.workloads {
+                            for &seed in &self.seeds {
+                                out.push(RsmScenario {
+                                    algorithm,
+                                    adversary: *adversary,
+                                    n,
+                                    depth,
+                                    workload,
+                                    seed,
+                                    rounds: self.rounds,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every scenario across the worker pool and aggregates.
+    #[must_use]
+    pub fn run(&self) -> RsmReport {
+        let scenarios = self.scenarios();
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let start = Instant::now();
+        let verdicts: Vec<RsmVerdict> = par_map_with_policy(
+            &scenarios,
+            threads,
+            self.chunking,
+            ScenarioScratch::default,
+            |scratch, s| s.run_reusing(scratch),
+        );
+        RsmReport::aggregate(
+            verdicts,
+            start.elapsed().as_secs_f64(),
+            threads,
+            self.chunking,
+        )
+    }
+}
+
+/// Grid-wide rsm totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RsmTotals {
+    /// Rounds executed across scenarios.
+    pub rounds: u64,
+    /// Slots ordered (longest logs) across scenarios.
+    pub slots: u64,
+    /// Commands ordered across scenarios.
+    pub commands: u64,
+    /// Commands generated across scenarios.
+    pub generated: u64,
+    /// Commands requeued across scenarios.
+    pub requeued: u64,
+    /// The worst p99 apply latency (rounds) over all scenarios.
+    pub worst_p99_latency: u64,
+}
+
+/// One row of the per-cell table: a (algorithm, adversary, depth,
+/// workload) aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct RsmCell {
+    /// Scenarios in the cell.
+    pub scenarios: usize,
+    /// Scenarios with a violated invariant.
+    pub violations: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Slots ordered.
+    pub slots: u64,
+    /// Commands ordered.
+    pub commands: u64,
+    /// Wall nanoseconds summed over the cell's scenarios.
+    pub wall_nanos: u64,
+    /// Worst p99 apply latency (rounds) in the cell.
+    pub worst_p99_latency: u64,
+}
+
+impl RsmCell {
+    /// Rounds per ordered slot in the cell.
+    #[must_use]
+    pub fn rounds_per_slot(&self) -> f64 {
+        ratio(self.rounds, self.slots)
+    }
+
+    /// Commands ordered per wall-clock second in the cell.
+    #[must_use]
+    pub fn commands_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.commands as f64 * 1e9 / self.wall_nanos as f64
+    }
+}
+
+/// The aggregated outcome of an [`RsmSweep`] run.
+#[derive(Clone, Debug)]
+pub struct RsmReport {
+    /// Per-scenario verdicts, in grid order.
+    pub verdicts: Vec<RsmVerdict>,
+    /// Number of scenarios executed.
+    pub scenarios: usize,
+    /// Scenarios that violated a log invariant.
+    pub violations: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Sweep throughput (scenarios per second).
+    pub scenarios_per_sec: f64,
+    /// Service throughput: commands ordered per wall-clock second of
+    /// sweep execution.
+    pub commands_per_sec: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The work-stealing chunk policy.
+    pub chunk: ChunkPolicy,
+    /// Grid-wide totals.
+    pub totals: RsmTotals,
+}
+
+impl RsmReport {
+    /// Folds verdicts into a report.
+    #[must_use]
+    pub fn aggregate(
+        verdicts: Vec<RsmVerdict>,
+        wall_seconds: f64,
+        threads: usize,
+        chunk: ChunkPolicy,
+    ) -> Self {
+        let scenarios = verdicts.len();
+        let violations = verdicts.iter().filter(|v| !v.is_safe()).count();
+        let totals = RsmTotals {
+            rounds: verdicts.iter().map(|v| v.rounds_run).sum(),
+            slots: verdicts.iter().map(|v| v.slots).sum(),
+            commands: verdicts.iter().map(|v| v.commands).sum(),
+            generated: verdicts.iter().map(|v| v.generated_commands).sum(),
+            requeued: verdicts.iter().map(|v| v.requeued_commands).sum(),
+            worst_p99_latency: verdicts
+                .iter()
+                .filter_map(|v| v.latency_p99)
+                .max()
+                .unwrap_or(0),
+        };
+        RsmReport {
+            scenarios,
+            violations,
+            wall_seconds,
+            scenarios_per_sec: if wall_seconds > 0.0 {
+                scenarios as f64 / wall_seconds
+            } else {
+                f64::INFINITY
+            },
+            commands_per_sec: if wall_seconds > 0.0 {
+                totals.commands as f64 / wall_seconds
+            } else {
+                f64::INFINITY
+            },
+            threads,
+            chunk,
+            totals,
+            verdicts,
+        }
+    }
+
+    /// The verdicts that violated an invariant.
+    #[must_use]
+    pub fn violating(&self) -> Vec<&RsmVerdict> {
+        self.verdicts.iter().filter(|v| !v.is_safe()).collect()
+    }
+
+    /// Rounds per ordered slot grid-wide.
+    #[must_use]
+    pub fn rounds_per_slot(&self) -> f64 {
+        ratio(self.totals.rounds, self.totals.slots)
+    }
+
+    /// Per-(algorithm, adversary, depth, workload) aggregates — the
+    /// throughput/latency table the rsm sweep exists to produce.
+    #[must_use]
+    pub fn by_cell(&self) -> std::collections::BTreeMap<(String, String, usize, String), RsmCell> {
+        let mut cells: std::collections::BTreeMap<(String, String, usize, String), RsmCell> =
+            std::collections::BTreeMap::new();
+        for v in &self.verdicts {
+            let cell = cells
+                .entry((
+                    v.algorithm.to_owned(),
+                    v.adversary.clone(),
+                    v.depth,
+                    v.workload.clone(),
+                ))
+                .or_default();
+            cell.scenarios += 1;
+            if !v.is_safe() {
+                cell.violations += 1;
+            }
+            cell.rounds += v.rounds_run;
+            cell.slots += v.slots;
+            cell.commands += v.commands;
+            cell.wall_nanos += v.wall_nanos;
+            cell.worst_p99_latency = cell.worst_p99_latency.max(v.latency_p99.unwrap_or(0));
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(algorithm: AlgorithmSpec, adversary: AdversarySpec) -> RsmScenario {
+        RsmScenario {
+            algorithm,
+            adversary,
+            n: 4,
+            depth: 4,
+            workload: WorkloadSpec::FixedRate { per_round: 2 },
+            seed: 7,
+            rounds: 60,
+        }
+    }
+
+    #[test]
+    fn healthy_scenario_orders_commands() {
+        let v = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery).run();
+        assert!(v.is_safe(), "{:?}", v.violation);
+        assert!(v.slots > 0);
+        assert!(v.commands > 0);
+        assert!(v.rounds_per_slot() > 0.0);
+        assert!(v.commands_per_sec() > 0.0);
+        assert!(v.latency_p50 <= v.latency_p99);
+        assert_eq!(v.rounds_run, 60);
+        assert_eq!(v.min_slots, v.slots, "lockstep replicas stay level");
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let s = scenario(
+            AlgorithmSpec::OneThirdRule,
+            AdversarySpec::RandomLoss { loss: 0.3 },
+        );
+        let (a, b) = (s.run(), s.run());
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.commands, b.commands);
+        assert_eq!(a.latency_p99, b.latency_p99);
+        assert_eq!(a.delivered_messages, b.delivered_messages);
+    }
+
+    #[test]
+    fn scratch_reuse_is_verdict_neutral() {
+        let mut scratch = ScenarioScratch::default();
+        for (algorithm, n) in [
+            (AlgorithmSpec::OneThirdRule, 7),
+            (AlgorithmSpec::LastVoting, 4),
+            (AlgorithmSpec::OneThirdRule, 4),
+        ] {
+            let mut s = scenario(algorithm, AdversarySpec::RandomLoss { loss: 0.3 });
+            s.n = n;
+            let fresh = s.run();
+            let reused = s.run_reusing(&mut scratch);
+            assert_eq!(fresh.slots, reused.slots);
+            assert_eq!(fresh.commands, reused.commands);
+            assert_eq!(fresh.violation, reused.violation);
+            assert_eq!(fresh.delivered_messages, reused.delivered_messages);
+        }
+    }
+
+    #[test]
+    fn grid_is_cartesian_and_parallel_agrees() {
+        let sweep = RsmSweep::new()
+            .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+            .adversaries([AdversarySpec::RandomLoss { loss: 0.3 }])
+            .sizes([4])
+            .depths([1, 4])
+            .workloads([
+                WorkloadSpec::FixedRate { per_round: 2 },
+                WorkloadSpec::ClosedLoop { clients: 8 },
+            ])
+            .seeds(0..3)
+            .rounds(40);
+        assert_eq!(sweep.scenarios().len(), 2 * 2 * 2 * 3);
+        let seq = sweep.clone().threads(1).run();
+        let par = sweep.threads(4).run();
+        let key = |r: &RsmReport| {
+            r.verdicts
+                .iter()
+                .map(|v| (v.id(), v.slots, v.commands))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&seq), key(&par), "outcomes are deterministic");
+        assert_eq!(seq.violations, 0);
+    }
+
+    #[test]
+    fn report_aggregates_match_verdicts() {
+        let report = RsmSweep::new().seeds(0..4).run();
+        assert_eq!(report.scenarios, 4);
+        assert_eq!(report.violations, 0);
+        let commands: u64 = report.verdicts.iter().map(|v| v.commands).sum();
+        assert_eq!(report.totals.commands, commands);
+        assert!(report.commands_per_sec > 0.0);
+        assert!(report.rounds_per_slot() > 0.0);
+        let cells = report.by_cell();
+        assert_eq!(cells.len(), 1);
+        let cell = cells.values().next().unwrap();
+        assert_eq!(cell.scenarios, 4);
+        assert_eq!(cell.commands, commands);
+        assert!(cell.rounds_per_slot() > 0.0);
+    }
+
+    #[test]
+    fn deeper_pipelines_raise_cell_throughput() {
+        let report = RsmSweep::new().depths([1, 8]).seeds(0..3).rounds(60).run();
+        let cells = report.by_cell();
+        let per_round = |depth: usize| {
+            let cell = cells
+                .iter()
+                .find(|((_, _, d, _), _)| *d == depth)
+                .map(|(_, c)| c)
+                .unwrap();
+            ratio(cell.commands, cell.rounds)
+        };
+        assert!(
+            per_round(8) > per_round(1),
+            "depth 8 must order more commands per round than depth 1"
+        );
+    }
+}

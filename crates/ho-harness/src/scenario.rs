@@ -274,10 +274,11 @@ impl Scenario {
 }
 
 /// Worker-owned buffers reused across scenarios by
-/// [`Scenario::run_reusing`].
+/// [`Scenario::run_reusing`] (and the rsm layer's
+/// [`RsmScenario::run_reusing`](crate::rsm::RsmScenario::run_reusing)).
 #[derive(Debug, Default)]
 pub struct ScenarioScratch {
-    round: RoundScratch,
+    pub(crate) round: RoundScratch,
 }
 
 /// The outcome of one scenario.

@@ -1,0 +1,289 @@
+//! Batch encoding and the deterministic applied-log checker.
+//!
+//! A slot's consensus value is a packed **batch reference**: which
+//! replica's commands the slot orders, starting where, and how many.
+//! Command *content* is derivable from `(proposer, idx)` — the workload
+//! generators are seed-deterministic — so the log service never ships
+//! command payloads through consensus, only batch references.
+//!
+//! [`check_logs`] is the safety oracle every test and sweep verdict runs:
+//!
+//! * **prefix agreement** — every replica's applied log is a prefix of the
+//!   longest one (pairwise prefix consistency follows);
+//! * **exactly-once** — within the longest log, no command index of any
+//!   proposer is covered by two batches;
+//! * **integrity** — every batch is well-formed (proposer in range, count
+//!   within the configured maximum).
+//!
+//! "No command dropped after decision" is prefix agreement in disguise: a
+//! batch applied anywhere is in the longest log, hence in every replica's
+//! log once it catches up — and logs only grow (asserted separately by the
+//! monotonicity tests).
+
+/// A decoded slot value: `count` commands of `proposer` starting at
+/// sequence number `first`. `count == 0` is a no-op batch (a slot opened
+/// with an empty pending queue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRef {
+    /// The replica whose commands this batch orders.
+    pub proposer: usize,
+    /// First command sequence number covered.
+    pub first: u64,
+    /// Number of commands covered.
+    pub count: u64,
+}
+
+/// Maximum batch size representable in the packed encoding (9 bits).
+pub const MAX_BATCH: u64 = (1 << 9) - 1;
+
+const FIRST_BITS: u32 = 48;
+const COUNT_BITS: u32 = 9;
+
+/// Packs a batch reference into a consensus value.
+///
+/// # Panics
+///
+/// Panics if a field exceeds its packed width (proposer ≥ 128,
+/// count > [`MAX_BATCH`], or first ≥ 2⁴⁸).
+#[must_use]
+pub fn encode_batch(proposer: usize, first: u64, count: u64) -> u64 {
+    assert!(proposer < 128, "proposer out of range");
+    assert!(count <= MAX_BATCH, "batch too large");
+    assert!(first < 1 << FIRST_BITS, "command index out of range");
+    ((proposer as u64) << (FIRST_BITS + COUNT_BITS)) | (count << FIRST_BITS) | first
+}
+
+/// Unpacks a consensus value back into a batch reference.
+#[must_use]
+pub fn decode_batch(value: u64) -> BatchRef {
+    BatchRef {
+        proposer: (value >> (FIRST_BITS + COUNT_BITS)) as usize,
+        count: (value >> FIRST_BITS) & ((1 << COUNT_BITS) - 1),
+        first: value & ((1 << FIRST_BITS) - 1),
+    }
+}
+
+/// The slot-keyed proposer mask (7 bits, bijective per slot).
+///
+/// Min-value algorithms like OneThirdRule make whoever packs the smallest
+/// value a *dictator*: with raw proposer ids in the top bits, replica 0
+/// would win every slot under symmetric delivery and everyone else's
+/// commands would starve. XOR-masking the proposer bits with a slot-mixed
+/// constant rotates the "smallest proposer" pseudo-randomly per slot — the
+/// repeated-consensus analogue of a rotating sequencer — while staying a
+/// bijection, so decoding recovers the true proposer exactly.
+fn slot_mask(slot: u64) -> u64 {
+    let mut z = slot.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (z >> 57) & 0x7F
+}
+
+/// Packs a batch reference into slot `slot`'s consensus value, with the
+/// slot-keyed proposer mask applied (see [`decode_slot_value`]).
+///
+/// # Panics
+///
+/// Panics on the same field-width limits as [`encode_batch`].
+#[must_use]
+pub fn encode_slot_value(slot: u64, proposer: usize, first: u64, count: u64) -> u64 {
+    assert!(proposer < 128, "proposer out of range");
+    encode_batch(proposer ^ slot_mask(slot) as usize, first, count)
+}
+
+/// Unpacks slot `slot`'s consensus value back into a batch reference,
+/// undoing the slot-keyed proposer mask.
+#[must_use]
+pub fn decode_slot_value(slot: u64, value: u64) -> BatchRef {
+    let mut b = decode_batch(value);
+    b.proposer ^= slot_mask(slot) as usize;
+    b
+}
+
+/// Commands covered by an applied log (no-op batches contribute zero).
+#[must_use]
+pub fn count_commands(log: &[u64]) -> u64 {
+    log.iter()
+        .enumerate()
+        .map(|(slot, &v)| decode_slot_value(slot as u64, v).count)
+        .sum()
+}
+
+/// The outcome of checking a set of replica logs.
+#[derive(Clone, Debug, Default)]
+pub struct LogCheck {
+    /// The first invariant violation found, if any.
+    pub violation: Option<String>,
+    /// Length of the longest applied log (slots ordered service-wide).
+    pub slots: u64,
+    /// Length of the shortest applied log (the laggard's view).
+    pub min_slots: u64,
+    /// Commands covered by the longest log (excluding no-op batches).
+    pub commands: u64,
+    /// No-op batches in the longest log.
+    pub noop_slots: u64,
+}
+
+impl LogCheck {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Runs the applied-log invariants over one log per replica.
+///
+/// `n` is the replica count (proposer-range integrity) and `max_batch` the
+/// configured batch cap.
+#[must_use]
+pub fn check_logs(logs: &[&[u64]], n: usize, max_batch: u64) -> LogCheck {
+    let mut check = LogCheck::default();
+    let Some(longest) = logs.iter().max_by_key(|l| l.len()) else {
+        return check;
+    };
+    check.slots = longest.len() as u64;
+    check.min_slots = logs.iter().map(|l| l.len() as u64).min().unwrap_or(0);
+
+    // Prefix agreement: every log must be a prefix of the longest.
+    for (p, log) in logs.iter().enumerate() {
+        if log[..] != longest[..log.len()] {
+            let k = log
+                .iter()
+                .zip(longest.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(log.len());
+            check.violation = Some(format!(
+                "prefix agreement violated: replica {p} applied {:?} at slot {k}, \
+                 another replica applied {:?}",
+                decode_slot_value(k as u64, log[k]),
+                decode_slot_value(k as u64, longest[k]),
+            ));
+            return check;
+        }
+    }
+
+    // Integrity + exactly-once over the longest log.
+    let mut ranges: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    for (slot, &value) in longest.iter().enumerate() {
+        let b = decode_slot_value(slot as u64, value);
+        if b.proposer >= n || b.count > max_batch {
+            check.violation = Some(format!(
+                "slot {slot} integrity violated: malformed batch {b:?}"
+            ));
+            return check;
+        }
+        if b.count == 0 {
+            check.noop_slots += 1;
+            continue;
+        }
+        check.commands += b.count;
+        ranges[b.proposer].push((b.first, b.first + b.count));
+    }
+    for (proposer, r) in ranges.iter_mut().enumerate() {
+        r.sort_unstable();
+        if let Some(w) = r.windows(2).find(|w| w[1].0 < w[0].1) {
+            check.violation = Some(format!(
+                "exactly-once violated: proposer {proposer} commands \
+                 [{}, {}) applied twice (batches {:?} and {:?})",
+                w[1].0,
+                w[0].1.min(w[1].1),
+                w[0],
+                w[1]
+            ));
+            return check;
+        }
+    }
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for (p, f, c) in [(0, 0, 0), (3, 17, 8), (127, (1 << 48) - 1, MAX_BATCH)] {
+            let b = decode_batch(encode_batch(p, f, c));
+            assert_eq!((b.proposer, b.first, b.count), (p, f, c));
+        }
+    }
+
+    #[test]
+    fn slot_values_rotate_the_min_proposer() {
+        // The slot-keyed mask must be a bijection (decode recovers the
+        // proposer) and must not leave one proposer permanently smallest.
+        let mut min_winner = [0usize; 4];
+        for slot in 0..64 {
+            for p in 0..4 {
+                let b = decode_slot_value(slot, encode_slot_value(slot, p, 5, 2));
+                assert_eq!((b.proposer, b.first, b.count), (p, 5, 2));
+            }
+            let winner = (0..4)
+                .min_by_key(|&p| encode_slot_value(slot, p, 0, 1))
+                .unwrap();
+            min_winner[winner] += 1;
+        }
+        assert!(
+            min_winner.iter().all(|&w| w > 0),
+            "every proposer wins some slots: {min_winner:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_logs_pass() {
+        let a = [
+            encode_slot_value(0, 0, 0, 2),
+            encode_slot_value(1, 1, 0, 3),
+            encode_slot_value(2, 0, 2, 1),
+        ];
+        let logs: Vec<&[u64]> = vec![&a[..], &a[..2], &a[..0]];
+        let check = check_logs(&logs, 2, 8);
+        assert!(check.is_ok(), "{:?}", check.violation);
+        assert_eq!(check.slots, 3);
+        assert_eq!(check.min_slots, 0);
+        assert_eq!(check.commands, 6);
+        assert_eq!(check.noop_slots, 0);
+    }
+
+    #[test]
+    fn noop_batches_counted_not_flagged() {
+        let a = [encode_slot_value(0, 0, 0, 0), encode_slot_value(1, 1, 0, 2)];
+        let check = check_logs(&[&a[..]], 2, 8);
+        assert!(check.is_ok());
+        assert_eq!(check.noop_slots, 1);
+        assert_eq!(check.commands, 2);
+    }
+
+    #[test]
+    fn forks_are_caught() {
+        let a = [encode_slot_value(0, 0, 0, 1), encode_slot_value(1, 1, 0, 1)];
+        let b = [encode_slot_value(0, 0, 0, 1), encode_slot_value(1, 0, 1, 1)];
+        let check = check_logs(&[&a[..], &b[..]], 2, 8);
+        let v = check.violation.expect("fork detected");
+        assert!(v.contains("prefix agreement"), "{v}");
+    }
+
+    #[test]
+    fn double_apply_is_caught() {
+        // Two batches of proposer 0 overlapping on command 1.
+        let a = [encode_slot_value(0, 0, 0, 2), encode_slot_value(1, 0, 1, 2)];
+        let check = check_logs(&[&a[..]], 1, 8);
+        let v = check.violation.expect("overlap detected");
+        assert!(v.contains("exactly-once"), "{v}");
+    }
+
+    #[test]
+    fn malformed_batches_are_caught() {
+        let a = [encode_slot_value(0, 5, 0, 1)];
+        let check = check_logs(&[&a[..]], 4, 8);
+        assert!(check.violation.expect("bad proposer").contains("integrity"));
+        let a = [encode_slot_value(0, 0, 0, 9)];
+        let check = check_logs(&[&a[..]], 4, 8);
+        assert!(check.violation.expect("bad count").contains("integrity"));
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(check_logs(&[], 0, 8).is_ok());
+    }
+}

@@ -1,0 +1,245 @@
+//! [`LogDriver`]: the log-service front end over the round runtime.
+//!
+//! A `LogDriver` owns a [`RoundExecutor`] running a [`MultiSlot`] machine:
+//! one shared adversary-scheduled round loop advancing every live slot of
+//! every replica, with the executor's persistent mailboxes, outbox pools
+//! and scratch buffers doing what they already do for single-shot runs.
+//! On top it adds the service-level view: applied logs, throughput and
+//! latency accounting, and the deterministic safety oracle
+//! ([`check_logs`]).
+
+use ho_core::adversary::Adversary;
+use ho_core::executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
+use ho_core::trace::TraceMode;
+use ho_core::HoAlgorithm;
+
+use crate::checker::{check_logs, LogCheck};
+use crate::slots::{MultiSlot, RsmConfig, RsmState};
+use crate::workload::WorkloadSpec;
+
+/// Aggregated service statistics across all replicas of a driver.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Commands generated across replicas.
+    pub generated_commands: u64,
+    /// Commands applied in the *longest* replica log (service throughput).
+    pub applied_commands: u64,
+    /// Slots in the longest replica log.
+    pub applied_slots: u64,
+    /// Slots in the shortest replica log (the laggard's view).
+    pub min_applied_slots: u64,
+    /// Commands requeued after losing their slot, summed over replicas.
+    pub requeued_commands: u64,
+    /// Commands generated on hot keys, summed over replicas (the skew
+    /// realisation under `skewed_key` workloads).
+    pub hot_generated: u64,
+    /// Apply latencies in rounds, pooled over every replica's own applied
+    /// commands, ascending.
+    pub latencies: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// The `q`-quantile (0..=100) of the pooled latency samples.
+    #[must_use]
+    pub fn latency_percentile(&self, q: u32) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = (self.latencies.len() - 1) * q as usize / 100;
+        Some(self.latencies[rank])
+    }
+}
+
+/// A replicated-log service: `n` replicas ordering client commands by
+/// repeated consensus, `depth` slots pipelined over one round runtime.
+pub struct LogDriver<A: HoAlgorithm<Value = u64>> {
+    exec: RoundExecutor<MultiSlot<A>>,
+    max_batch: u64,
+}
+
+impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
+    /// A fresh driver (statistics-only trace — the service configuration).
+    #[must_use]
+    pub fn new(inner: A, workload: WorkloadSpec, cfg: RsmConfig, seed: u64) -> Self {
+        Self::with_scratch(inner, workload, cfg, seed, RoundScratch::default())
+    }
+
+    /// Like [`LogDriver::new`], seeded with recovered round buffers so
+    /// back-to-back scenarios skip the warm-up allocations.
+    #[must_use]
+    pub fn with_scratch(
+        inner: A,
+        workload: WorkloadSpec,
+        cfg: RsmConfig,
+        seed: u64,
+        scratch: RoundScratch,
+    ) -> Self {
+        let max_batch = cfg.max_batch as u64;
+        let alg = MultiSlot::new(inner, workload, cfg, seed);
+        let initial = alg.initial_checker_values();
+        LogDriver {
+            exec: RoundExecutor::with_scratch(alg, initial, TraceMode::Off, scratch),
+            max_batch,
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.exec.n()
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds_run(&self) -> u64 {
+        self.exec.current_round().get()
+    }
+
+    /// Runs `rounds` rounds under `adversary`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a slot-0 consensus violation from the executor's checker
+    /// (whole-log invariants are [`LogDriver::check`]'s job).
+    pub fn run(
+        &mut self,
+        adversary: &mut impl Adversary,
+        rounds: u64,
+    ) -> Result<(), RunError<u64>> {
+        self.exec.run(adversary, rounds)
+    }
+
+    /// The per-replica states.
+    #[must_use]
+    pub fn states(&self) -> &[RsmState<A>] {
+        self.exec.states()
+    }
+
+    /// Every replica's applied log.
+    #[must_use]
+    pub fn applied_logs(&self) -> Vec<&[u64]> {
+        self.exec.states().iter().map(RsmState::applied).collect()
+    }
+
+    /// Runs the applied-log safety oracle over the current logs.
+    #[must_use]
+    pub fn check(&self) -> LogCheck {
+        check_logs(&self.applied_logs(), self.n(), self.max_batch)
+    }
+
+    /// Aggregated service statistics (latency samples sorted ascending).
+    #[must_use]
+    pub fn service_stats(&self) -> ServiceStats {
+        let mut stats = ServiceStats::default();
+        for s in self.exec.states() {
+            stats.generated_commands += s.workload().generated();
+            stats.hot_generated += s.workload().hot_generated();
+            stats.requeued_commands += s.stats().requeued_commands;
+            stats.latencies.extend_from_slice(&s.stats().latencies);
+        }
+        let logs = self.applied_logs();
+        stats.applied_slots = logs.iter().map(|l| l.len() as u64).max().unwrap_or(0);
+        stats.min_applied_slots = logs.iter().map(|l| l.len() as u64).min().unwrap_or(0);
+        // Service throughput is what the longest log ordered ([`check`]
+        // independently recomputes the same sum while validating).
+        stats.applied_commands = logs
+            .iter()
+            .max_by_key(|l| l.len())
+            .map_or(0, |l| crate::checker::count_commands(l));
+        stats.latencies.sort_unstable();
+        stats
+    }
+
+    /// Message-cost accounting across the run (the SendPlan kernel's
+    /// counters, same meaning as the single-shot sweeps).
+    #[must_use]
+    pub fn message_stats(&self) -> MessageStats {
+        self.exec.message_stats()
+    }
+
+    /// Recovers the type-independent round buffers for the next scenario.
+    #[must_use]
+    pub fn into_scratch(self) -> RoundScratch {
+        self.exec.into_scratch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ho_core::adversary::{CrashRecovery, FullDelivery, RandomLoss};
+    use ho_core::algorithms::OneThirdRule;
+    use ho_core::round::Round;
+
+    fn driver(n: usize, depth: usize) -> LogDriver<OneThirdRule> {
+        LogDriver::new(
+            OneThirdRule::new(n),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            RsmConfig::with_depth(depth),
+            11,
+        )
+    }
+
+    #[test]
+    fn healthy_service_orders_commands() {
+        let mut d = driver(4, 4);
+        d.run(&mut FullDelivery, 40).unwrap();
+        let check = d.check();
+        assert!(check.is_ok(), "{:?}", check.violation);
+        let stats = d.service_stats();
+        assert!(stats.applied_commands > 0);
+        assert_eq!(stats.applied_slots, stats.min_applied_slots);
+        assert!(stats.latency_percentile(50) <= stats.latency_percentile(99));
+        assert!(
+            stats.latency_percentile(99).unwrap() >= 2,
+            "OTR needs 2 rounds"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_service_stays_consistent_and_catches_up() {
+        let mut d = driver(5, 4);
+        let outages: Vec<(usize, Round, Round)> = (0..5)
+            .map(|q| (q, Round(3 + 2 * q as u64), Round(6 + 2 * q as u64)))
+            .collect();
+        let mut adv = CrashRecovery::new(5, &outages);
+        d.run(&mut adv, 60).unwrap();
+        let check = d.check();
+        assert!(check.is_ok(), "{:?}", check.violation);
+        assert!(check.slots > 0);
+        let stats = d.service_stats();
+        assert_eq!(
+            stats.min_applied_slots, stats.applied_slots,
+            "everyone caught up after the outages"
+        );
+    }
+
+    #[test]
+    fn service_stats_are_deterministic() {
+        let run = || {
+            let mut d = driver(4, 4);
+            let mut adv = RandomLoss::new(0.3, 5);
+            d.run(&mut adv, 50).unwrap();
+            let s = d.service_stats();
+            (s.applied_slots, s.applied_commands, s.latencies)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scratch_round_trips() {
+        let mut d = driver(4, 2);
+        d.run(&mut FullDelivery, 10).unwrap();
+        let before = d.service_stats().applied_slots;
+        let scratch = d.into_scratch();
+        let mut d = LogDriver::with_scratch(
+            OneThirdRule::new(4),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            RsmConfig::with_depth(2),
+            11,
+            scratch,
+        );
+        d.run(&mut FullDelivery, 10).unwrap();
+        assert_eq!(d.service_stats().applied_slots, before, "reuse is neutral");
+    }
+}

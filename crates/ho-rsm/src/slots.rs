@@ -1,0 +1,936 @@
+//! The multi-slot machine: many consensus instances multiplexed over one
+//! shared round runtime.
+//!
+//! [`MultiSlot`] turns any single-shot [`HoAlgorithm`] into a pipelined
+//! replicated-log algorithm — itself an `HoAlgorithm`, so the existing
+//! [`RoundExecutor`](ho_core::executor::RoundExecutor), its adversaries,
+//! scratch buffers and payload pools all drive it unchanged. Where
+//! `RepeatedConsensus` runs one slot at a time and ships the whole decided
+//! prefix in every message, `MultiSlot` keeps a **window** of `depth`
+//! slots in flight and every adversary-scheduled HO round advances *all*
+//! of them: one bundle message per process per round carries one entry per
+//! live slot.
+//!
+//! ## The window
+//!
+//! Replica `p`'s window is `[applied.len(), applied.len() + depth)`: the
+//! contiguous run of slots it has not yet applied. Slots may *decide* out
+//! of order inside the window (that is what pipelining means), but they
+//! *apply* strictly in order, so the applied log is always a consistent
+//! prefix. A window cell whose slot decides and applies is immediately
+//! reopened for the next slot: cells are a fixed ring of `depth` entries
+//! that lives for the whole run.
+//!
+//! ## Bundles, adoption and catch-up
+//!
+//! A round bundle ([`RsmMessage`]) carries, per window slot, either the
+//! running instance's round message or the slot's decided value — so a
+//! replica that already decided a slot keeps *teaching* the decision to
+//! slower peers at zero extra cost. Replicas that fall more than `depth`
+//! slots behind are served by **backfill**: every bundle also carries a
+//! bounded run of applied values starting at the lowest `committed` floor
+//! the sender heard, letting an isolated replica re-join after the
+//! partition heals without the unbounded prefix-shipping of
+//! `RepeatedConsensus`.
+//!
+//! ## Allocation discipline
+//!
+//! The bundle is written through the executor's pooled
+//! [`PlanSlot`](ho_core::send_plan::PlanSlot) (entry and backfill vectors
+//! recycle with the payload buffer), and each window cell keeps a
+//! persistent inner [`SendPlan`] written through a state-owned
+//! [`PayloadPool`] — so in steady state a pipelined broadcast algorithm
+//! performs **zero** heap allocations per round, however many slots are in
+//! flight (`tests/alloc_steady_state.rs`).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ho_core::algorithm::HoAlgorithm;
+use ho_core::mailbox::Mailbox;
+use ho_core::pool::PayloadPool;
+use ho_core::process::ProcessId;
+use ho_core::round::Round;
+use ho_core::send_plan::{PlanSlot, PlanSpares, SendPlan};
+
+use crate::checker::{decode_slot_value, encode_slot_value};
+use crate::workload::{Command, WorkloadSpec, WorkloadState};
+
+/// Configuration of the multi-slot machine.
+#[derive(Clone, Copy, Debug)]
+pub struct RsmConfig {
+    /// Pipeline depth: slots in flight per replica (≥ 1).
+    pub depth: usize,
+    /// Maximum commands batched into one slot proposal (≥ 1).
+    pub max_batch: usize,
+    /// Maximum applied values backfilled per bundle for laggards.
+    pub backfill: usize,
+    /// Pre-reserved applied-log capacity (slots). Steady-state runs within
+    /// this budget never grow the log allocation.
+    pub reserve_slots: usize,
+    /// Pre-reserved command capacity (pending queue, latency samples).
+    pub reserve_commands: usize,
+}
+
+impl Default for RsmConfig {
+    fn default() -> Self {
+        RsmConfig {
+            depth: 4,
+            max_batch: 8,
+            backfill: 8,
+            reserve_slots: 1024,
+            reserve_commands: 1024,
+        }
+    }
+}
+
+impl RsmConfig {
+    /// A config with the given pipeline depth and defaults elsewhere.
+    #[must_use]
+    pub fn with_depth(depth: usize) -> Self {
+        RsmConfig {
+            depth,
+            ..RsmConfig::default()
+        }
+    }
+}
+
+/// What one bundle says about one window slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SlotPayload<M> {
+    /// The sender decided this slot: adopt the value.
+    Decided(u64),
+    /// The sender's running instance's round message for this slot.
+    Running(M),
+    /// The slot is live at the sender but its instance sends nothing this
+    /// round (e.g. a non-coordinator in a unicast phase).
+    Open,
+}
+
+/// One window slot's line in a bundle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotEntry<M> {
+    /// Absolute slot index.
+    pub slot: u64,
+    /// The sender's view of it.
+    pub payload: SlotPayload<M>,
+}
+
+/// The per-round bundle: one message multiplexing every live slot, plus
+/// the catch-up machinery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RsmMessage<M> {
+    /// The sender's applied-log length (its commit floor).
+    pub committed: u64,
+    /// One entry per slot in the sender's window, ascending by slot.
+    pub entries: Vec<SlotEntry<M>>,
+    /// First slot covered by `backfill`.
+    pub backfill_start: u64,
+    /// Applied values for laggards: slots `backfill_start..` in order.
+    pub backfill: Vec<u64>,
+}
+
+impl<M> RsmMessage<M> {
+    fn empty() -> Self {
+        RsmMessage {
+            committed: 0,
+            entries: Vec::new(),
+            backfill_start: 0,
+            backfill: Vec::new(),
+        }
+    }
+}
+
+/// One window cell: a slot's running instance (or its decision) plus this
+/// replica's in-flight proposal for it.
+struct Cell<A: HoAlgorithm> {
+    /// Absolute slot index this cell currently hosts.
+    slot: u64,
+    /// `None` while the instance runs; `Some(v)` once the slot's decision
+    /// is known here.
+    decided: Option<u64>,
+    /// The inner instance's state.
+    state: A::State,
+    /// Round at which this replica opened the slot.
+    opened: u64,
+    /// This replica's proposal value for the slot (a batch reference).
+    proposal: u64,
+    /// Arrival records of the proposed batch (for latency accounting and
+    /// requeue on loss).
+    batch: Vec<Command>,
+    /// The instance's *next-round* send plan, precomputed by the previous
+    /// transition (see [`MultiSlot::send`]'s contract).
+    plan: SendPlan<A::Message>,
+    spares: PlanSpares<A::Message>,
+    /// The round `plan` was computed for (debug contract).
+    planned_round: u64,
+}
+
+impl<A: HoAlgorithm> Clone for Cell<A> {
+    fn clone(&self) -> Self {
+        Cell {
+            slot: self.slot,
+            decided: self.decided,
+            state: self.state.clone(),
+            opened: self.opened,
+            proposal: self.proposal,
+            batch: self.batch.clone(),
+            plan: self.plan.clone(),
+            spares: self.spares.clone(),
+            planned_round: self.planned_round,
+        }
+    }
+}
+
+impl<A: HoAlgorithm> fmt::Debug for Cell<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cell")
+            .field("slot", &self.slot)
+            .field("decided", &self.decided)
+            .field("opened", &self.opened)
+            .field("proposal", &self.proposal)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-replica service counters.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStats {
+    /// Commands applied (all proposers).
+    pub applied_commands: u64,
+    /// This replica's own commands applied.
+    pub own_applied_commands: u64,
+    /// Commands returned to the queue because their slot decided another
+    /// replica's batch.
+    pub requeued_commands: u64,
+    /// Apply latencies in rounds, one sample per own applied command
+    /// (arrival round → apply round, retries included).
+    pub latencies: Vec<u64>,
+}
+
+/// Per-replica state: the applied log, the window ring, the pending
+/// command queue, and the reusable round scratch.
+pub struct RsmState<A: HoAlgorithm> {
+    applied: Vec<u64>,
+    cells: Vec<Cell<A>>,
+    pending: VecDeque<Command>,
+    workload: WorkloadState,
+    /// Retired inner-plan payloads, shared across the window's cells.
+    pool: PayloadPool<A::Message>,
+    /// Scratch mailbox refilled per slot per round.
+    inner_mb: Mailbox<A::Message>,
+    /// Lowest peer commit floor heard (only kept while below ours);
+    /// `u64::MAX` when nobody behind us has been heard.
+    lag_floor: u64,
+    stats: ReplicaStats,
+}
+
+impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
+    /// The applied log: one batch reference per applied slot.
+    #[must_use]
+    pub fn applied(&self) -> &[u64] {
+        &self.applied
+    }
+
+    /// The first unapplied slot (== the window floor).
+    #[must_use]
+    pub fn next_apply(&self) -> u64 {
+        self.applied.len() as u64
+    }
+
+    /// Slots decided but not yet applied (the out-of-order backlog).
+    #[must_use]
+    pub fn decided_ahead(&self) -> usize {
+        self.cells.iter().filter(|c| c.decided.is_some()).count()
+    }
+
+    /// Commands queued but not yet proposed.
+    #[must_use]
+    pub fn pending_commands(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Service counters.
+    #[must_use]
+    pub fn stats(&self) -> &ReplicaStats {
+        &self.stats
+    }
+
+    /// The workload generator's state.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadState {
+        &self.workload
+    }
+
+    /// Records slot `slot`'s decision (first write wins), requeueing this
+    /// replica's in-flight batch if the slot went to somebody else.
+    fn record_decided(&mut self, slot: u64, value: u64) {
+        let depth = self.cells.len() as u64;
+        let next = self.next_apply();
+        if slot < next || slot >= next + depth {
+            return;
+        }
+        let idx = (slot % depth) as usize;
+        debug_assert_eq!(self.cells[idx].slot, slot, "window ring out of sync");
+        let cell = &mut self.cells[idx];
+        if cell.decided.is_some() {
+            return;
+        }
+        cell.decided = Some(value);
+        if value != cell.proposal && !cell.batch.is_empty() {
+            // Our batch lost the slot: its commands go back to the front
+            // of the queue (order preserved) for a later slot.
+            self.stats.requeued_commands += cell.batch.len() as u64;
+            for cmd in cell.batch.drain(..).rev() {
+                self.pending.push_front(cmd);
+            }
+        }
+    }
+
+    /// (Re)opens `cell` for `slot`: batches pending commands into the
+    /// proposal and starts a fresh inner instance.
+    fn open_cell(
+        inner: &A,
+        p: ProcessId,
+        cell: &mut Cell<A>,
+        slot: u64,
+        round: u64,
+        pending: &mut VecDeque<Command>,
+        max_batch: usize,
+    ) {
+        cell.slot = slot;
+        cell.decided = None;
+        cell.opened = round;
+        let (first, count) = draw_batch(pending, max_batch, &mut cell.batch);
+        cell.proposal = encode_slot_value(slot, p.index(), first, count);
+        cell.state = inner.init(p, cell.proposal);
+    }
+
+    /// Applies every contiguously decided slot, reopening its cell for the
+    /// slot one window-length ahead.
+    fn apply_ready(&mut self, inner: &A, p: ProcessId, round: u64, max_batch: usize) {
+        let depth = self.cells.len() as u64;
+        loop {
+            let next = self.next_apply();
+            let idx = (next % depth) as usize;
+            debug_assert_eq!(self.cells[idx].slot, next, "window ring out of sync");
+            let Some(value) = self.cells[idx].decided else {
+                return;
+            };
+            self.applied.push(value);
+            let batch = decode_slot_value(next, value);
+            self.stats.applied_commands += batch.count;
+            if batch.proposer == p.index() {
+                self.stats.own_applied_commands += batch.count;
+                let cell = &self.cells[idx];
+                if value == cell.proposal {
+                    for cmd in &cell.batch {
+                        self.stats.latencies.push(round - cmd.arrival);
+                    }
+                }
+            }
+            Self::open_cell(
+                inner,
+                p,
+                &mut self.cells[idx],
+                next + depth,
+                round,
+                &mut self.pending,
+                max_batch,
+            );
+        }
+    }
+}
+
+impl<A: HoAlgorithm> Clone for RsmState<A> {
+    fn clone(&self) -> Self {
+        RsmState {
+            applied: self.applied.clone(),
+            cells: self.cells.clone(),
+            pending: self.pending.clone(),
+            workload: self.workload.clone(),
+            pool: self.pool.clone(),
+            inner_mb: self.inner_mb.clone(),
+            lag_floor: self.lag_floor,
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<A: HoAlgorithm> fmt::Debug for RsmState<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RsmState")
+            .field("applied_slots", &self.applied.len())
+            .field("pending", &self.pending.len())
+            .field("cells", &self.cells)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The multi-slot pipelined RSM over an inner single-shot algorithm.
+///
+/// The inner algorithm's value domain is fixed to `u64`: slot values are
+/// packed, slot-keyed batch references
+/// ([`encode_slot_value`](crate::checker::encode_slot_value)).
+pub struct MultiSlot<A> {
+    inner: A,
+    cfg: RsmConfig,
+    workload: WorkloadSpec,
+    seed: u64,
+}
+
+impl<A: HoAlgorithm<Value = u64>> MultiSlot<A> {
+    /// A multi-slot machine over `inner`, with per-replica workloads
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.depth == 0` or `cfg.max_batch == 0`, or if
+    /// `cfg.max_batch` exceeds the packed-batch limit.
+    #[must_use]
+    pub fn new(inner: A, workload: WorkloadSpec, cfg: RsmConfig, seed: u64) -> Self {
+        assert!(cfg.depth >= 1, "need at least one slot in flight");
+        assert!(cfg.max_batch >= 1, "need room for at least one command");
+        assert!(
+            cfg.max_batch as u64 <= crate::checker::MAX_BATCH,
+            "max_batch exceeds the packed encoding"
+        );
+        MultiSlot {
+            inner,
+            cfg,
+            workload,
+            seed,
+        }
+    }
+
+    /// The inner algorithm.
+    #[must_use]
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RsmConfig {
+        &self.cfg
+    }
+
+    /// The slot-0 proposals, one per replica — the value set the executor's
+    /// consensus checker validates slot-0 decisions against. Replays only
+    /// the round-0 workload tick and the first batch draw per replica
+    /// (exactly what [`HoAlgorithm::init`] does before opening slot 0),
+    /// without constructing full replica states.
+    #[must_use]
+    pub fn initial_checker_values(&self) -> Vec<u64> {
+        let mut pending = VecDeque::new();
+        let mut batch = Vec::new();
+        (0..self.n())
+            .map(|p| {
+                pending.clear();
+                let mut workload = WorkloadState::new(self.workload, mix(self.seed, p as u64));
+                workload.tick(0, 0, &mut pending);
+                let (first, count) = draw_batch(&mut pending, self.cfg.max_batch, &mut batch);
+                encode_slot_value(0, p, first, count)
+            })
+            .collect()
+    }
+
+    /// Whether every live cell's precomputed plan is bundle-able into one
+    /// broadcast (no live unicast phase anywhere in the window).
+    fn all_broadcastable(&self, state: &RsmState<A>) -> bool {
+        state
+            .cells
+            .iter()
+            .all(|c| c.decided.is_some() || !matches!(c.plan, SendPlan::Unicast(_)))
+    }
+
+    /// Writes the broadcast bundle into `m` (reusing its buffers).
+    fn write_bundle(&self, state: &RsmState<A>, m: &mut RsmMessage<A::Message>) {
+        self.write_bundle_header(state, m);
+        let depth = state.cells.len() as u64;
+        let next = state.next_apply();
+        m.entries.clear();
+        for slot in next..next + depth {
+            let cell = &state.cells[(slot % depth) as usize];
+            let payload = match cell.decided {
+                Some(v) => SlotPayload::Decided(v),
+                None => match &cell.plan {
+                    SendPlan::Broadcast(h) => SlotPayload::Running((**h).clone()),
+                    SendPlan::Silent => SlotPayload::Open,
+                    SendPlan::Unicast(_) => {
+                        unreachable!("unicast cells take the per-destination path")
+                    }
+                },
+            };
+            m.entries.push(SlotEntry { slot, payload });
+        }
+    }
+
+    /// The destination-`q` bundle (the unicast fan-out path, used whenever
+    /// some live slot is in a point-to-point phase).
+    fn bundle_for(&self, state: &RsmState<A>, q: ProcessId) -> RsmMessage<A::Message> {
+        let depth = state.cells.len() as u64;
+        let next = state.next_apply();
+        let mut m = RsmMessage::empty();
+        self.write_bundle_header(state, &mut m);
+        for slot in next..next + depth {
+            let cell = &state.cells[(slot % depth) as usize];
+            let payload = match cell.decided {
+                Some(v) => SlotPayload::Decided(v),
+                None => match cell.plan.message_for(q) {
+                    Some(msg) => SlotPayload::Running(msg.clone()),
+                    None => SlotPayload::Open,
+                },
+            };
+            m.entries.push(SlotEntry { slot, payload });
+        }
+        m
+    }
+
+    /// Fills `committed` and the backfill run (shared by both fan-outs).
+    fn write_bundle_header(&self, state: &RsmState<A>, m: &mut RsmMessage<A::Message>) {
+        let next = state.next_apply();
+        m.committed = next;
+        m.backfill.clear();
+        m.backfill_start = 0;
+        if state.lag_floor < next {
+            m.backfill_start = state.lag_floor;
+            let end = (state.lag_floor as usize + self.cfg.backfill).min(next as usize);
+            m.backfill
+                .extend_from_slice(&state.applied[state.lag_floor as usize..end]);
+        }
+    }
+
+    /// Precomputes every live cell's round-`r` plan (called by the
+    /// transition for `r = just-executed + 1`, and by `init` for round 1).
+    fn plan_cells(&self, p: ProcessId, state: &mut RsmState<A>, r: Round) {
+        for cell in &mut state.cells {
+            if cell.decided.is_none() {
+                let mut slot = PlanSlot::new(&mut cell.plan, &mut cell.spares, &mut state.pool);
+                self.inner.send_into(r, p, &cell.state, &mut slot);
+                cell.planned_round = r.get();
+            }
+        }
+    }
+}
+
+impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
+    type State = RsmState<A>;
+    type Message = RsmMessage<A::Message>;
+    type Value = u64;
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// `initial_value` is ignored: proposals come from the per-replica
+    /// workload generator (pass anything; see
+    /// [`MultiSlot::initial_checker_values`] for the checker-facing set).
+    fn init(&self, p: ProcessId, _initial_value: u64) -> RsmState<A> {
+        let n = self.n();
+        let mut state = RsmState {
+            applied: Vec::with_capacity(self.cfg.reserve_slots),
+            cells: Vec::with_capacity(self.cfg.depth),
+            pending: VecDeque::with_capacity(
+                self.cfg
+                    .reserve_commands
+                    .max(self.workload.max_per_round() * 2),
+            ),
+            workload: WorkloadState::new(self.workload, mix(self.seed, p.index() as u64)),
+            pool: PayloadPool::default(),
+            inner_mb: Mailbox::with_capacity(n),
+            lag_floor: u64::MAX,
+            stats: ReplicaStats {
+                latencies: Vec::with_capacity(self.cfg.reserve_commands),
+                ..ReplicaStats::default()
+            },
+        };
+        state.workload.tick(0, 0, &mut state.pending);
+        for slot in 0..self.cfg.depth as u64 {
+            let mut cell = Cell {
+                slot,
+                decided: None,
+                state: self.inner.init(p, 0),
+                opened: 0,
+                proposal: 0,
+                batch: Vec::with_capacity(self.cfg.max_batch),
+                plan: SendPlan::Silent,
+                spares: PlanSpares::default(),
+                planned_round: 0,
+            };
+            RsmState::open_cell(
+                &self.inner,
+                p,
+                &mut cell,
+                slot,
+                0,
+                &mut state.pending,
+                self.cfg.max_batch,
+            );
+            state.cells.push(cell);
+        }
+        self.plan_cells(p, &mut state, Round(1));
+        state
+    }
+
+    /// The round-`r` bundle. **Contract:** `r` must be the round the state
+    /// was last planned for (the round after the last executed transition;
+    /// round 1 for a fresh state) — the per-cell inner plans are
+    /// precomputed there, which is what keeps this `&self` method and the
+    /// zero-allocation [`send_into`](HoAlgorithm::send_into) consistent.
+    fn send(&self, r: Round, _p: ProcessId, state: &RsmState<A>) -> SendPlan<Self::Message> {
+        debug_assert!(
+            state
+                .cells
+                .iter()
+                .all(|c| c.decided.is_some() || c.planned_round == r.get()),
+            "send({r:?}) on a state planned for a different round"
+        );
+        if self.all_broadcastable(state) {
+            let mut m = RsmMessage::empty();
+            self.write_bundle(state, &mut m);
+            SendPlan::broadcast(m)
+        } else {
+            SendPlan::unicast(
+                (0..self.n())
+                    .map(ProcessId::new)
+                    .map(|q| (q, self.bundle_for(state, q)))
+                    .collect(),
+            )
+        }
+    }
+
+    fn send_into(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &RsmState<A>,
+        slot: &mut PlanSlot<'_, Self::Message>,
+    ) -> u64 {
+        if self.all_broadcastable(state) {
+            slot.broadcast_with(
+                || {
+                    let mut m = RsmMessage::empty();
+                    self.write_bundle(state, &mut m);
+                    m
+                },
+                |m| self.write_bundle(state, m),
+            )
+        } else {
+            slot.set(self.send(r, p, state));
+            0
+        }
+    }
+
+    fn transition(
+        &self,
+        r: Round,
+        p: ProcessId,
+        state: &mut RsmState<A>,
+        mb: &Mailbox<Self::Message>,
+    ) {
+        let round = r.get();
+        let next = state.next_apply();
+
+        // 1. Track the lowest commit floor heard from a peer still behind
+        //    us: next round's bundles backfill from there.
+        state.lag_floor = mb
+            .messages()
+            .map(|m| m.committed)
+            .filter(|&c| c < next)
+            .min()
+            .unwrap_or(u64::MAX);
+
+        // 2. Adopt decisions: peers' decided window entries and backfill
+        //    runs (safe by the inner algorithm's agreement — the decided
+        //    value of a slot is unique).
+        for (_, m) in mb.iter() {
+            for (i, &v) in m.backfill.iter().enumerate() {
+                state.record_decided(m.backfill_start + i as u64, v);
+            }
+            for e in &m.entries {
+                if let SlotPayload::Decided(v) = e.payload {
+                    state.record_decided(e.slot, v);
+                }
+            }
+        }
+
+        // 3. Advance every still-running slot: demultiplex same-slot round
+        //    messages into the scratch mailbox and run the inner T_p^r.
+        let mut inner_mb = std::mem::take(&mut state.inner_mb);
+        for idx in 0..state.cells.len() {
+            if state.cells[idx].decided.is_some() {
+                continue;
+            }
+            let slot = state.cells[idx].slot;
+            inner_mb.clear();
+            for (q, m) in mb.iter() {
+                if let Some(e) = m.entries.iter().find(|e| e.slot == slot) {
+                    if let SlotPayload::Running(payload) = &e.payload {
+                        inner_mb.push(q, payload.clone());
+                    }
+                }
+            }
+            let cell = &mut state.cells[idx];
+            self.inner.transition(r, p, &mut cell.state, &inner_mb);
+            if let Some(v) = self.inner.decision(&cell.state) {
+                state.record_decided(slot, v);
+            }
+        }
+        state.inner_mb = inner_mb;
+
+        // 4. This round's client arrivals, then the in-order apply loop
+        //    (which reopens each applied cell for the slot one window
+        //    ahead, batching the freshest arrivals).
+        let applied_own = state.stats.own_applied_commands;
+        state.workload.tick(round, applied_own, &mut state.pending);
+        state.apply_ready(&self.inner, p, round, self.cfg.max_batch);
+
+        // 5. Precompute next round's inner plans for every live cell.
+        self.plan_cells(p, state, r.next());
+    }
+
+    /// The executor-facing decision is slot 0's value: the consensus
+    /// checker then validates slot-0 agreement, integrity (against
+    /// [`MultiSlot::initial_checker_values`]) and irrevocability for free;
+    /// whole-log invariants are the
+    /// [`check_logs`](crate::checker::check_logs) oracle's job.
+    fn decision(&self, state: &RsmState<A>) -> Option<u64> {
+        state.applied.first().copied()
+    }
+}
+
+/// Draws the next batch from the queue into `into`, returning its packed
+/// `(first, count)` range.
+///
+/// A batch is a *contiguous* run of command indices — that is what the
+/// packed value claims. The queue is ascending but can have gaps
+/// (requeued commands sit in front of newer arrivals while the range
+/// between them is still in flight), so batching stops at the first gap.
+fn draw_batch(
+    pending: &mut VecDeque<Command>,
+    max_batch: usize,
+    into: &mut Vec<Command>,
+) -> (u64, u64) {
+    into.clear();
+    let first = pending.front().map_or(0, |c| c.idx);
+    while into.len() < max_batch {
+        match pending.front() {
+            Some(c) if c.idx == first + into.len() as u64 => {
+                into.push(pending.pop_front().expect("probed above"));
+            }
+            _ => break,
+        }
+    }
+    (first, into.len() as u64)
+}
+
+/// SplitMix64-style mixing for per-replica workload seeds.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ho_core::adversary::{FullDelivery, RandomLoss, Scripted};
+    use ho_core::algorithms::OneThirdRule;
+    use ho_core::executor::RoundExecutor;
+    use ho_core::process::ProcessSet;
+
+    use crate::checker::check_logs;
+
+    fn machine(n: usize, depth: usize) -> MultiSlot<OneThirdRule> {
+        MultiSlot::new(
+            OneThirdRule::new(n),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            RsmConfig::with_depth(depth),
+            42,
+        )
+    }
+
+    fn executor(n: usize, depth: usize) -> RoundExecutor<MultiSlot<OneThirdRule>> {
+        let alg = machine(n, depth);
+        let initial = alg.initial_checker_values();
+        RoundExecutor::new(alg, initial)
+    }
+
+    fn logs(exec: &RoundExecutor<MultiSlot<OneThirdRule>>) -> Vec<Vec<u64>> {
+        exec.states().iter().map(|s| s.applied().to_vec()).collect()
+    }
+
+    #[test]
+    fn healthy_run_fills_the_pipeline() {
+        let mut exec = executor(4, 4);
+        exec.run(&mut FullDelivery, 40).unwrap();
+        let all = logs(&exec);
+        // OTR decides a slot two rounds after it opens; with four slots in
+        // flight the service sustains ~2 slots/round after warm-up.
+        for log in &all {
+            assert!(log.len() >= 60, "only {} slots in 40 rounds", log.len());
+            assert_eq!(log, &all[0], "lockstep replicas agree exactly");
+        }
+        let check = check_logs(
+            &all.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            4,
+            RsmConfig::default().max_batch as u64,
+        );
+        assert!(check.is_ok(), "{:?}", check.violation);
+        assert!(check.commands > 0);
+    }
+
+    #[test]
+    fn deeper_pipelines_decide_more_slots() {
+        let slots_at = |depth: usize| {
+            let mut exec = executor(4, depth);
+            exec.run(&mut FullDelivery, 30).unwrap();
+            logs(&exec)[0].len()
+        };
+        let d1 = slots_at(1);
+        let d4 = slots_at(4);
+        assert!(
+            d4 >= 2 * d1,
+            "pipelining must scale slot throughput: depth1={d1} depth4={d4}"
+        );
+    }
+
+    #[test]
+    fn lossy_runs_never_fork() {
+        for seed in 0..10 {
+            let mut exec = executor(5, 4);
+            let mut adv = RandomLoss::new(0.35, seed);
+            exec.run(&mut adv, 120).unwrap();
+            let all = logs(&exec);
+            let check = check_logs(
+                &all.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+                5,
+                RsmConfig::default().max_batch as u64,
+            );
+            assert!(check.is_ok(), "seed {seed}: {:?}", check.violation);
+            assert!(check.slots > 0, "seed {seed}: no progress at 35% loss");
+        }
+    }
+
+    #[test]
+    fn isolated_replica_catches_up_through_backfill() {
+        let n = 4;
+        let mut exec = executor(n, 4);
+        // p3 hears only itself for 20 rounds while the quorum streams slots.
+        let quorum = ProcessSet::from_indices(0..3);
+        let solo = ProcessSet::from_indices([3]);
+        let mut adv = Scripted::new(vec![vec![quorum, quorum, quorum, solo]; 20]);
+        exec.run(&mut adv, 20).unwrap();
+        let before = logs(&exec);
+        assert!(
+            before[0].len() > 8,
+            "quorum kept deciding: {}",
+            before[0].len()
+        );
+        assert_eq!(before[3].len(), 0, "p3 learned nothing while isolated");
+        // The laggard is > depth slots behind: window entries alone cannot
+        // help; the healed rounds must backfill it at `backfill` slots per
+        // round until it has the whole log.
+        let lag = before[0].len();
+        let backfill = RsmConfig::default().backfill;
+        let healing = (lag / backfill + 4) as u64 + 6;
+        exec.run(&mut FullDelivery, healing).unwrap();
+        let after = logs(&exec);
+        assert!(
+            after[3].len() >= before[0].len(),
+            "p3 still behind after healing: {} < {}",
+            after[3].len(),
+            before[0].len()
+        );
+        let check = check_logs(
+            &after.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            n,
+            RsmConfig::default().max_batch as u64,
+        );
+        assert!(check.is_ok(), "{:?}", check.violation);
+    }
+
+    #[test]
+    fn losing_batches_are_requeued_and_eventually_applied() {
+        // Closed-loop workload: every command must eventually be applied
+        // exactly once even though most proposals lose their slot (n
+        // replicas compete for every slot).
+        let n = 5;
+        let alg = MultiSlot::new(
+            OneThirdRule::new(n),
+            WorkloadSpec::ClosedLoop { clients: 4 },
+            RsmConfig::with_depth(2),
+            7,
+        );
+        let initial = alg.initial_checker_values();
+        let mut exec = RoundExecutor::new(alg, initial);
+        exec.run(&mut FullDelivery, 60).unwrap();
+        let states = exec.states();
+        assert!(
+            states.iter().any(|s| s.stats().requeued_commands > 0),
+            "competition must force requeues"
+        );
+        for s in states {
+            // Closed loop: applied-own lags generated by at most the
+            // window plus what is still in flight.
+            assert!(s.stats().own_applied_commands > 0);
+            assert!(!s.stats().latencies.is_empty());
+        }
+        let all = logs(&exec);
+        let check = check_logs(
+            &all.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            n,
+            RsmConfig::default().max_batch as u64,
+        );
+        assert!(check.is_ok(), "{:?}", check.violation);
+    }
+
+    #[test]
+    fn slot_zero_decision_satisfies_the_executor_checker() {
+        // The executor's consensus checker runs against
+        // initial_checker_values: a full run must never trip it.
+        let mut exec = executor(4, 4);
+        exec.run(&mut FullDelivery, 10)
+            .expect("checker stays green");
+        assert!(exec.decisions().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn initial_checker_values_match_init() {
+        // The cheap derivation must track init's slot-0 proposal exactly,
+        // for every workload shape.
+        for workload in [
+            WorkloadSpec::FixedRate { per_round: 2 },
+            WorkloadSpec::Bursty {
+                burst: 8,
+                period: 4,
+            },
+            WorkloadSpec::ClosedLoop { clients: 8 },
+            WorkloadSpec::SkewedKey { per_round: 3 },
+        ] {
+            let alg = MultiSlot::new(OneThirdRule::new(5), workload, RsmConfig::with_depth(3), 99);
+            let derived = alg.initial_checker_values();
+            let from_init: Vec<u64> = (0..5)
+                .map(|p| alg.init(ProcessId::new(p), 0).cells[0].proposal)
+                .collect();
+            assert_eq!(derived, from_init, "{workload:?}");
+        }
+    }
+
+    #[test]
+    fn state_accessors_and_debug() {
+        let alg = machine(3, 2);
+        let st = alg.init(ProcessId::new(1), 0);
+        assert_eq!(st.next_apply(), 0);
+        assert_eq!(st.decided_ahead(), 0);
+        assert!(st.applied().is_empty());
+        let _ = st.workload();
+        let _ = format!("{st:?}");
+        let cloned = st.clone();
+        assert_eq!(cloned.next_apply(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Client workload generators: the command streams the log service orders.
+//!
+//! Each replica owns one generator (seed-derived, fully deterministic) that
+//! injects commands round by round. Commands queue in the replica's pending
+//! buffer until a log slot opens and batches them into a proposal.
+//!
+//! Four generator shapes cover the classic load profiles:
+//!
+//! * **fixed-rate** (open loop) — a constant number of commands per round,
+//!   arriving whether or not the service keeps up;
+//! * **bursty** (open loop) — `burst` commands every `period` rounds, the
+//!   on/off pattern that stresses batching;
+//! * **closed-loop** — `clients` logical clients, each with one command in
+//!   flight: a new command arrives only when one of the client's previous
+//!   commands has been applied;
+//! * **skewed-key** (open loop) — fixed-rate arrivals whose keys follow an
+//!   80/20 hot-set skew, the shape sharding PRs will care about.
+//!
+//! Generators never allocate after construction: arrivals are written into
+//! the caller's pre-reserved queue and key statistics are plain counters.
+
+use std::collections::VecDeque;
+
+/// SplitMix64: the workload's deterministic pseudo-random stream.
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The number of distinct command keys every generator draws from.
+pub const KEY_SPACE: u32 = 64;
+
+/// The hot fraction of the key space under [`WorkloadSpec::SkewedKey`]:
+/// keys `0..KEY_SPACE/5` receive ~80% of the traffic.
+pub const HOT_KEYS: u32 = KEY_SPACE / 5;
+
+/// Which client workload a replica runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Open loop: `per_round` commands arrive every round.
+    FixedRate {
+        /// Commands per round.
+        per_round: u32,
+    },
+    /// Open loop: `burst` commands arrive every `period` rounds.
+    Bursty {
+        /// Commands per burst.
+        burst: u32,
+        /// Rounds between bursts (≥ 1).
+        period: u32,
+    },
+    /// Closed loop: `clients` commands outstanding at most; a new command
+    /// arrives only when one is applied.
+    ClosedLoop {
+        /// Concurrent logical clients.
+        clients: u32,
+    },
+    /// Open loop with an 80/20 key skew: `per_round` commands per round,
+    /// ~80% of them touching the hot `KEY_SPACE/5` keys.
+    SkewedKey {
+        /// Commands per round.
+        per_round: u32,
+    },
+}
+
+impl WorkloadSpec {
+    /// Stable name used in reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::FixedRate { per_round } => format!("fixed_rate_{per_round}"),
+            WorkloadSpec::Bursty { burst, period } => format!("bursty_{burst}_{period}"),
+            WorkloadSpec::ClosedLoop { clients } => format!("closed_loop_{clients}"),
+            WorkloadSpec::SkewedKey { per_round } => format!("skewed_key_{per_round}"),
+        }
+    }
+
+    /// An upper bound on the commands this generator can inject per round
+    /// (used to pre-reserve queues).
+    #[must_use]
+    pub fn max_per_round(&self) -> usize {
+        match *self {
+            WorkloadSpec::FixedRate { per_round } | WorkloadSpec::SkewedKey { per_round } => {
+                per_round as usize
+            }
+            WorkloadSpec::Bursty { burst, .. } => burst as usize,
+            WorkloadSpec::ClosedLoop { clients } => clients as usize,
+        }
+    }
+}
+
+/// One client command: a monotonically numbered request against a key.
+///
+/// The command's *content* is fully determined by `(replica, idx)` — the
+/// applied-log checker re-derives it — so the consensus value only needs to
+/// reference a batch of indices, never carry payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Command {
+    /// Per-replica command sequence number (0, 1, 2, …).
+    pub idx: u64,
+    /// The key the command touches.
+    pub key: u32,
+    /// The round at which the command arrived (latency measurement base).
+    pub arrival: u64,
+}
+
+/// The running state of one replica's generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadState {
+    spec: WorkloadSpec,
+    rng: u64,
+    /// Next command sequence number (== commands generated so far).
+    next_idx: u64,
+    /// Commands generated on hot keys (skew realisation statistic).
+    hot_generated: u64,
+}
+
+impl WorkloadState {
+    /// A generator for `spec`, seeded per replica.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        WorkloadState {
+            spec,
+            rng: seed ^ 0x5eed_c0de_5eed_c0de,
+            next_idx: 0,
+            hot_generated: 0,
+        }
+    }
+
+    /// The generator's shape.
+    #[must_use]
+    pub fn spec(&self) -> WorkloadSpec {
+        self.spec
+    }
+
+    /// Commands generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.next_idx
+    }
+
+    /// Commands generated on hot keys (only meaningful under
+    /// [`WorkloadSpec::SkewedKey`], where it should realise ~80%).
+    #[must_use]
+    pub fn hot_generated(&self) -> u64 {
+        self.hot_generated
+    }
+
+    fn next_key(&mut self) -> u32 {
+        let draw = splitmix(&mut self.rng);
+        let key = match self.spec {
+            WorkloadSpec::SkewedKey { .. } => {
+                // 80/20: four out of five commands land in the hot set.
+                if draw % 5 < 4 {
+                    (draw >> 8) as u32 % HOT_KEYS
+                } else {
+                    HOT_KEYS + (draw >> 8) as u32 % (KEY_SPACE - HOT_KEYS)
+                }
+            }
+            _ => draw as u32 % KEY_SPACE,
+        };
+        if key < HOT_KEYS {
+            self.hot_generated += 1;
+        }
+        key
+    }
+
+    /// Injects round `round`'s arrivals into `pending`. `applied_own` is
+    /// the number of this replica's own commands already applied (the
+    /// closed-loop completion signal).
+    pub fn tick(&mut self, round: u64, applied_own: u64, pending: &mut VecDeque<Command>) {
+        let arrivals = match self.spec {
+            WorkloadSpec::FixedRate { per_round } | WorkloadSpec::SkewedKey { per_round } => {
+                u64::from(per_round)
+            }
+            WorkloadSpec::Bursty { burst, period } => {
+                if round.is_multiple_of(u64::from(period.max(1))) {
+                    u64::from(burst)
+                } else {
+                    0
+                }
+            }
+            WorkloadSpec::ClosedLoop { clients } => {
+                // Outstanding = generated − applied; top back up to the
+                // client count.
+                u64::from(clients).saturating_sub(self.next_idx - applied_own)
+            }
+        };
+        for _ in 0..arrivals {
+            let key = self.next_key();
+            pending.push_back(Command {
+                idx: self.next_idx,
+                key,
+                arrival: round,
+            });
+            self.next_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(spec: WorkloadSpec, rounds: u64) -> Vec<Command> {
+        let mut w = WorkloadState::new(spec, 7);
+        let mut q = VecDeque::new();
+        for r in 0..rounds {
+            w.tick(r, 0, &mut q);
+        }
+        q.into_iter().collect()
+    }
+
+    #[test]
+    fn fixed_rate_generates_per_round() {
+        let cmds = drain(WorkloadSpec::FixedRate { per_round: 3 }, 10);
+        assert_eq!(cmds.len(), 30);
+        // Indices are the sequence 0..30, arrivals grouped by round.
+        for (i, c) in cmds.iter().enumerate() {
+            assert_eq!(c.idx, i as u64);
+            assert_eq!(c.arrival, i as u64 / 3);
+            assert!(c.key < KEY_SPACE);
+        }
+    }
+
+    #[test]
+    fn bursty_generates_on_period_boundaries() {
+        let cmds = drain(
+            WorkloadSpec::Bursty {
+                burst: 4,
+                period: 5,
+            },
+            10,
+        );
+        assert_eq!(cmds.len(), 8, "bursts at rounds 0 and 5");
+        assert!(cmds[..4].iter().all(|c| c.arrival == 0));
+        assert!(cmds[4..].iter().all(|c| c.arrival == 5));
+    }
+
+    #[test]
+    fn closed_loop_respects_the_window() {
+        let mut w = WorkloadState::new(WorkloadSpec::ClosedLoop { clients: 5 }, 3);
+        let mut q = VecDeque::new();
+        w.tick(0, 0, &mut q);
+        assert_eq!(q.len(), 5, "initial window fill");
+        w.tick(1, 0, &mut q);
+        assert_eq!(q.len(), 5, "nothing applied, nothing new");
+        w.tick(2, 2, &mut q);
+        assert_eq!(q.len(), 7, "two completions admit two commands");
+        assert_eq!(w.generated(), 7);
+    }
+
+    #[test]
+    fn skewed_keys_concentrate_on_the_hot_set() {
+        let cmds = drain(WorkloadSpec::SkewedKey { per_round: 10 }, 100);
+        let hot = cmds.iter().filter(|c| c.key < HOT_KEYS).count();
+        let frac = hot as f64 / cmds.len() as f64;
+        assert!((0.7..0.9).contains(&frac), "hot fraction {frac}");
+        // Uniform workloads realise the uniform share instead.
+        let cmds = drain(WorkloadSpec::FixedRate { per_round: 10 }, 100);
+        let hot = cmds.iter().filter(|c| c.key < HOT_KEYS).count();
+        let frac = hot as f64 / cmds.len() as f64;
+        assert!((0.1..0.35).contains(&frac), "uniform hot fraction {frac}");
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = drain(WorkloadSpec::SkewedKey { per_round: 2 }, 20);
+        let b = drain(WorkloadSpec::SkewedKey { per_round: 2 }, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            WorkloadSpec::FixedRate { per_round: 2 }.name(),
+            "fixed_rate_2"
+        );
+        assert_eq!(
+            WorkloadSpec::Bursty {
+                burst: 8,
+                period: 4
+            }
+            .name(),
+            "bursty_8_4"
+        );
+        assert_eq!(
+            WorkloadSpec::ClosedLoop { clients: 16 }.name(),
+            "closed_loop_16"
+        );
+        assert_eq!(
+            WorkloadSpec::SkewedKey { per_round: 3 }.name(),
+            "skewed_key_3"
+        );
+        assert_eq!(WorkloadSpec::ClosedLoop { clients: 16 }.max_per_round(), 16);
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`fd`] — the failure-detector baselines from the paper's appendix:
 //!   Chandra–Toueg ◇S consensus (crash-stop) and Aguilera et al. ◇Su
 //!   consensus (crash-recovery).
+//! * [`rsm`] — the replicated-log service: repeated consensus pipelined
+//!   over the round runtime (multi-slot windows, client workloads, applied-
+//!   log checker) — the layer real systems consume consensus through.
 //! * [`harness`] — the parallel scenario-sweep harness: thousands of
 //!   (algorithm × adversary × size × seed) runs fanned across every core,
 //!   with per-scenario verdicts and SendPlan message accounting.
@@ -42,4 +45,5 @@ pub use ho_core as core;
 pub use ho_fd as fd;
 pub use ho_harness as harness;
 pub use ho_predicates as predicates;
+pub use ho_rsm as rsm;
 pub use ho_sim as sim;

@@ -27,6 +27,7 @@ use heardof::core::trace::TraceMode;
 use heardof::core::HoAlgorithm;
 use heardof::predicates::monitor::{ScenarioMonitor, WindowMonitor};
 use heardof::predicates::{Alg2Program, Alg3Program, BoundParams};
+use heardof::rsm::{LogDriver, RsmConfig, WorkloadSpec};
 use heardof::sim::{GoodKind, Program, Schedule, SimConfig, Simulator, TimePoint};
 
 struct CountingAllocator;
@@ -275,6 +276,65 @@ fn zero_allocations_per_round_in_steady_state() {
         full > 0,
         "TraceMode::Full retains rows, so it must allocate"
     );
+}
+
+#[test]
+fn multi_slot_log_driver_zero_allocations_per_round_in_steady_state() {
+    // The pipelined replicated log inherits the hot loop's allocation
+    // discipline *per round, not per slot*: with `depth` slots in flight,
+    // every round runs `depth` inner instances per process, multiplexes
+    // them into one pooled bundle, applies decided slots and admits new
+    // client commands — and once warm none of it touches the allocator.
+    // The window cells, bundle entry vectors, pending queues, latency
+    // sample buffers and applied logs are all pre-reserved or recycled.
+    let n = 8;
+    let mut cfg = RsmConfig::with_depth(4);
+    // Budget the measured run explicitly: ~2 slots/round for 340 rounds
+    // plus warm-up fits comfortably, so the applied log and the latency
+    // samples never grow their allocation inside the window.
+    cfg.reserve_slots = 2048;
+    cfg.reserve_commands = 4096;
+
+    // Open loop at 2 commands/round: slots keep deciding, batches keep
+    // forming, the queue keeps draining — the full service path is hot.
+    let mut driver = LogDriver::new(
+        OneThirdRule::new(n),
+        WorkloadSpec::FixedRate { per_round: 2 },
+        cfg,
+        13,
+    );
+    driver.run(&mut FullDelivery, 40).expect("warm-up safe");
+    assert_eq!(
+        allocs_during(|| driver
+            .run(&mut FullDelivery, 300)
+            .expect("steady state safe")),
+        0,
+        "LogDriver depth=4 / FixedRate / FullDelivery"
+    );
+    let check = driver.check();
+    assert!(check.is_ok(), "{:?}", check.violation);
+    assert!(check.commands > 0, "the measured window did real work");
+
+    // Same discipline under churning HO sets (lossy rounds requeue losing
+    // batches and trigger decided-entry adoption) and a deeper pipeline.
+    let mut cfg = RsmConfig::with_depth(8);
+    cfg.reserve_slots = 2048;
+    cfg.reserve_commands = 4096;
+    let mut driver = LogDriver::new(
+        OneThirdRule::new(n),
+        WorkloadSpec::FixedRate { per_round: 2 },
+        cfg,
+        13,
+    );
+    let mut adv = RandomLoss::new(0.25, 7);
+    driver.run(&mut adv, 60).expect("warm-up safe");
+    assert_eq!(
+        allocs_during(|| driver.run(&mut adv, 300).expect("steady state safe")),
+        0,
+        "LogDriver depth=8 / FixedRate / RandomLoss(0.25)"
+    );
+    let check = driver.check();
+    assert!(check.is_ok(), "{:?}", check.violation);
 }
 
 /// Warm a simulator up to `warm_until`, then count allocations while it
