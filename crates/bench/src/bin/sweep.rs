@@ -29,9 +29,11 @@ fn main() {
     if rsm_only {
         let path = path.unwrap_or_else(|| "BENCH_rsm.json".to_owned());
         let report = bench::sweep::run_rsm_layer(false);
+        let sharded = bench::sweep::run_sharded_rsm(false);
         let doc = Json::obj([
             ("benchmark", Json::Str("rsm_sweep".into())),
             ("rsm_layer", rsm_report_json(&report, true)),
+            ("sharded_rsm", bench::sweep::sharded_rsm_json(&sharded)),
         ]);
         std::fs::write(&path, format!("{doc}\n")).expect("write rsm report");
         println!(
@@ -41,8 +43,14 @@ fn main() {
             report.commands_per_sec,
             report.rounds_per_slot()
         );
-        if report.violations > 0 {
-            for v in report.violating() {
+        println!(
+            "sharded: {} scenarios, {} violations, requeue ratio {:.2}",
+            sharded.scenarios,
+            sharded.violations,
+            sharded.totals.requeue_ratio()
+        );
+        if report.violations > 0 || sharded.violations > 0 {
+            for v in report.violating().into_iter().chain(sharded.violating()) {
                 eprintln!("rsm FAILED: {}: {:?}", v.id(), v.violation);
             }
             std::process::exit(1);
@@ -138,10 +146,45 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The sharded layer's contract: the partitioned service kept the
+        // sharded oracle (per-shard prefix agreement + exactly-once,
+        // namespace containment, cross-shard disjointness) and the per-S
+        // scaling table round-trips with its requeue ratios.
+        let Some(Json::Obj(sharded)) = map.get("sharded_rsm") else {
+            eprintln!("smoke FAILED: no sharded_rsm section in the report");
+            std::process::exit(1);
+        };
+        match sharded.get("violations") {
+            Some(Json::UInt(0)) => {}
+            other => {
+                eprintln!("smoke FAILED: sharded_rsm violations = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match sharded.get("scaling") {
+            Some(Json::Arr(rows)) if !rows.is_empty() => {
+                for row in rows {
+                    let Json::Obj(row) = row else {
+                        eprintln!("smoke FAILED: sharded_rsm scaling row is not an object");
+                        std::process::exit(1);
+                    };
+                    if !matches!(row.get("shards"), Some(Json::UInt(s)) if *s >= 1)
+                        || !row.contains_key("requeue_ratio")
+                    {
+                        eprintln!("smoke FAILED: sharded_rsm scaling row incomplete: {row:?}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => {
+                eprintln!("smoke FAILED: sharded_rsm scaling table = {other:?}");
+                std::process::exit(1);
+            }
+        }
         println!(
             "smoke ok: 0 violations, predicate fields round-trip, cross-check ok, \
              sim layer kept every Alg2/Alg3 promise, rsm layer ordered its logs \
-             without a fork"
+             without a fork, sharded layer kept every shard disjoint"
         );
     }
 }

@@ -41,12 +41,15 @@ pub mod sim;
 pub mod sweep;
 
 pub use json::Json;
-pub use par::{default_threads, par_map, par_map_with, par_map_with_policy, ChunkPolicy};
+pub use par::{
+    default_threads, par_map, par_map_weighted_with_policy, par_map_with, par_map_with_policy,
+    ChunkPolicy,
+};
 pub use report::{
     chunk_policy_json, predicate_totals_json, rsm_report_json, rsm_verdict_json, sim_report_json,
     JsonFields, MessageTotals, PredicateTotals, SweepReport,
 };
-pub use rsm::{RsmCell, RsmReport, RsmScenario, RsmSweep, RsmTotals, RsmVerdict};
+pub use rsm::{RsmCell, RsmCellKey, RsmReport, RsmScenario, RsmSweep, RsmTotals, RsmVerdict};
 pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
 pub use sim::{ImplementationSpec, LinkFaultSpec, SimReport, SimScenario, SimSweep, SimVerdict};
 pub use sweep::Sweep;

@@ -429,16 +429,20 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
     let cells: Vec<Json> = report
         .by_cell()
         .into_iter()
-        .map(|((algorithm, adversary, depth, workload), cell)| {
+        .map(|((algorithm, adversary, depth, shards, workload), cell)| {
             JsonFields::new()
                 .str("algorithm", algorithm)
                 .str("adversary", adversary)
                 .uint("depth", depth as u64)
+                .uint("shards", shards as u64)
                 .str("workload", workload)
                 .uint("scenarios", cell.scenarios as u64)
                 .uint("violations", cell.violations as u64)
                 .uint("slots", cell.slots)
                 .uint("commands", cell.commands)
+                .uint("generated_commands", cell.generated)
+                .uint("requeued_commands", cell.requeued)
+                .float("requeue_ratio", cell.requeue_ratio())
                 .float("rounds_per_slot", cell.rounds_per_slot())
                 .float("commands_per_sec", cell.commands_per_sec())
                 .uint("worst_p99_latency_rounds", cell.worst_p99_latency)
@@ -461,6 +465,14 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
                 .uint("commands", report.totals.commands)
                 .uint("generated_commands", report.totals.generated)
                 .uint("requeued_commands", report.totals.requeued)
+                .float(
+                    "requeue_ratio",
+                    if report.totals.commands == 0 {
+                        0.0
+                    } else {
+                        report.totals.requeued as f64 / report.totals.commands as f64
+                    },
+                )
                 .float("rounds_per_slot", report.rounds_per_slot())
                 .uint("worst_p99_latency_rounds", report.totals.worst_p99_latency)
                 .build(),
@@ -482,12 +494,14 @@ pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
         .str("id", v.id())
         .opt_str("violation", v.violation.clone())
         .uint("rounds", v.rounds_run)
+        .uint("shards", v.shards as u64)
         .uint("slots", v.slots)
         .uint("min_slots", v.min_slots)
         .uint("noop_slots", v.noop_slots)
         .uint("commands", v.commands)
         .uint("generated_commands", v.generated_commands)
         .uint("requeued_commands", v.requeued_commands)
+        .float("requeue_ratio", v.requeue_ratio())
         .float("rounds_per_slot", v.rounds_per_slot())
         .float("commands_per_sec", v.commands_per_sec())
         .float("commands_per_round", v.commands_per_round())

@@ -19,10 +19,11 @@
 
 use std::time::Instant;
 
-use ho_core::executor::RunError;
-use ho_rsm::{LogDriver, RsmConfig, WorkloadSpec};
+use ho_core::adversary::Adversary;
+use ho_core::executor::{RoundScratch, RunError};
+use ho_rsm::{shard_seed, RsmConfig, ShardedLogDriver, WorkloadSpec};
 
-use crate::par::{default_threads, par_map_with_policy, ChunkPolicy};
+use crate::par::{default_threads, par_map_weighted_with_policy, ChunkPolicy};
 use crate::scenario::{AdversarySpec, AlgorithmSpec, ScenarioScratch};
 use ho_core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
 use ho_core::HoAlgorithm;
@@ -34,10 +35,13 @@ pub struct RsmScenario {
     pub algorithm: AlgorithmSpec,
     /// The fault environment.
     pub adversary: AdversarySpec,
-    /// Number of replicas.
+    /// Number of replicas (per shard group).
     pub n: usize,
     /// Pipeline depth (slots in flight per replica).
     pub depth: usize,
+    /// Number of independent consensus groups the keyspace is partitioned
+    /// across (1 = the unsharded service).
+    pub shards: usize,
     /// The client workload shape.
     pub workload: WorkloadSpec,
     /// The seed deriving workloads and adversary randomness.
@@ -51,11 +55,12 @@ impl RsmScenario {
     #[must_use]
     pub fn id(&self) -> String {
         format!(
-            "rsm/{}/{}/n{}/d{}/{}/s{}",
+            "rsm/{}/{}/n{}/d{}/S{}/{}/s{}",
             self.algorithm.name(),
             self.adversary.name(),
             self.n,
             self.depth,
+            self.shards.max(1),
             self.workload.name(),
             self.seed
         )
@@ -72,28 +77,38 @@ impl RsmScenario {
     #[must_use]
     pub fn run_reusing(&self, scratch: &mut ScenarioScratch) -> RsmVerdict {
         match self.algorithm {
-            AlgorithmSpec::OneThirdRule => self.run_with(OneThirdRule::new(self.n), scratch),
-            AlgorithmSpec::UniformVoting => self.run_with(UniformVoting::new(self.n), scratch),
-            AlgorithmSpec::LastVoting => self.run_with(LastVoting::new(self.n), scratch),
+            AlgorithmSpec::OneThirdRule => self.run_with(|_| OneThirdRule::new(self.n), scratch),
+            AlgorithmSpec::UniformVoting => self.run_with(|_| UniformVoting::new(self.n), scratch),
+            AlgorithmSpec::LastVoting => self.run_with(|_| LastVoting::new(self.n), scratch),
         }
     }
 
-    fn run_with<A>(&self, alg: A, scratch: &mut ScenarioScratch) -> RsmVerdict
+    fn run_with<A>(&self, make: impl FnMut(usize) -> A, scratch: &mut ScenarioScratch) -> RsmVerdict
     where
         A: HoAlgorithm<Value = u64>,
     {
+        let shards = self.shards.max(1);
         let start = Instant::now();
-        let mut adversary = self.adversary.build(self.n, self.seed);
-        let mut driver = LogDriver::with_scratch(
-            alg,
+        // One independent fault schedule per group, derived from the
+        // scenario seed by the same stream split as the workloads
+        // (`shard_seed(seed, 0) == seed`, so S=1 reproduces the unsharded
+        // adversary exactly).
+        let mut adversaries: Vec<Box<dyn Adversary + Send>> = (0..shards)
+            .map(|s| self.adversary.build(self.n, shard_seed(self.seed, s)))
+            .collect();
+        let mut scratches = std::mem::take(&mut scratch.shard_rounds);
+        scratches.resize_with(shards, RoundScratch::default);
+        let mut driver = ShardedLogDriver::with_scratches(
+            make,
             self.workload,
             RsmConfig::with_depth(self.depth),
+            shards,
             self.seed,
-            std::mem::take(&mut scratch.round),
+            scratches,
         );
         // The executor's consensus checker guards slot 0 online; the
         // applied-log oracle checks the whole log afterwards.
-        let mut violation = match driver.run(&mut adversary, self.rounds) {
+        let mut violation = match driver.run(&mut adversaries, self.rounds) {
             Ok(()) => None,
             Err(RunError::Violation(v)) => Some(v.to_string()),
             Err(e @ RunError::MaxRoundsExceeded { .. }) => Some(e.to_string()),
@@ -111,6 +126,7 @@ impl RsmScenario {
             adversary: self.adversary.name(),
             n: self.n,
             depth: self.depth,
+            shards,
             workload: self.workload.name(),
             seed: self.seed,
             rounds_run: driver.rounds_run(),
@@ -132,7 +148,7 @@ impl RsmScenario {
             delivered_messages: messages.delivered,
             wall_nanos,
         };
-        scratch.round = driver.into_scratch();
+        scratch.shard_rounds = driver.into_scratches();
         verdict
     }
 }
@@ -144,10 +160,12 @@ pub struct RsmVerdict {
     pub algorithm: &'static str,
     /// Adversary name.
     pub adversary: String,
-    /// Number of replicas.
+    /// Number of replicas (per shard group).
     pub n: usize,
     /// Pipeline depth.
     pub depth: usize,
+    /// Number of consensus groups (1 = unsharded).
+    pub shards: usize,
     /// Workload name.
     pub workload: String,
     /// The scenario seed.
@@ -197,8 +215,14 @@ impl RsmVerdict {
     #[must_use]
     pub fn id(&self) -> String {
         format!(
-            "rsm/{}/{}/n{}/d{}/{}/s{}",
-            self.algorithm, self.adversary, self.n, self.depth, self.workload, self.seed
+            "rsm/{}/{}/n{}/d{}/S{}/{}/s{}",
+            self.algorithm,
+            self.adversary,
+            self.n,
+            self.depth,
+            self.shards,
+            self.workload,
+            self.seed
         )
     }
 
@@ -229,6 +253,14 @@ impl RsmVerdict {
     pub fn commands_per_round(&self) -> f64 {
         ratio(self.commands, self.rounds_run)
     }
+
+    /// Requeued commands per ordered command — the slot-competition churn
+    /// (the ROADMAP's admission-control baseline; sharding lowers it by
+    /// cutting per-group contention).
+    #[must_use]
+    pub fn requeue_ratio(&self) -> f64 {
+        ratio(self.requeued_commands, self.commands)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -239,8 +271,8 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// A builder for (algorithm × adversary × n × depth × workload × seed)
-/// log-service sweeps.
+/// A builder for (algorithm × adversary × n × depth × shards × workload ×
+/// seed) log-service sweeps.
 ///
 /// ```
 /// use ho_harness::{AdversarySpec, AlgorithmSpec, RsmSweep, WorkloadSpec};
@@ -263,6 +295,7 @@ pub struct RsmSweep {
     adversaries: Vec<AdversarySpec>,
     sizes: Vec<usize>,
     depths: Vec<usize>,
+    shards: Vec<usize>,
     workloads: Vec<WorkloadSpec>,
     seeds: Vec<u64>,
     rounds: u64,
@@ -277,6 +310,7 @@ impl Default for RsmSweep {
             adversaries: vec![AdversarySpec::FullDelivery],
             sizes: vec![4],
             depths: vec![4],
+            shards: vec![1],
             workloads: vec![WorkloadSpec::FixedRate { per_round: 2 }],
             seeds: (0..5).collect(),
             rounds: 60,
@@ -322,6 +356,13 @@ impl RsmSweep {
         self
     }
 
+    /// Sets the shard-count axis (consensus groups per scenario).
+    #[must_use]
+    pub fn shards(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.shards = shards.into_iter().collect();
+        self
+    }
+
     /// Sets the workload axis.
     #[must_use]
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
@@ -359,7 +400,7 @@ impl RsmSweep {
     }
 
     /// Materialises the scenario grid in axis order
-    /// (algorithm, adversary, size, depth, workload, seed).
+    /// (algorithm, adversary, size, depth, shards, workload, seed).
     #[must_use]
     pub fn scenarios(&self) -> Vec<RsmScenario> {
         let mut out = Vec::with_capacity(
@@ -367,6 +408,7 @@ impl RsmSweep {
                 * self.adversaries.len()
                 * self.sizes.len()
                 * self.depths.len()
+                * self.shards.len()
                 * self.workloads.len()
                 * self.seeds.len(),
         );
@@ -374,17 +416,20 @@ impl RsmSweep {
             for adversary in &self.adversaries {
                 for &n in &self.sizes {
                     for &depth in &self.depths {
-                        for &workload in &self.workloads {
-                            for &seed in &self.seeds {
-                                out.push(RsmScenario {
-                                    algorithm,
-                                    adversary: *adversary,
-                                    n,
-                                    depth,
-                                    workload,
-                                    seed,
-                                    rounds: self.rounds,
-                                });
+                        for &shards in &self.shards {
+                            for &workload in &self.workloads {
+                                for &seed in &self.seeds {
+                                    out.push(RsmScenario {
+                                        algorithm,
+                                        adversary: *adversary,
+                                        n,
+                                        depth,
+                                        shards,
+                                        workload,
+                                        seed,
+                                        rounds: self.rounds,
+                                    });
+                                }
                             }
                         }
                     }
@@ -395,15 +440,20 @@ impl RsmSweep {
     }
 
     /// Runs every scenario across the worker pool and aggregates.
+    ///
+    /// Chunking is **weighted by shard count**: an S-shard scenario runs S
+    /// independent group loops, so it costs ~S× a 1-shard one — weighting
+    /// keeps mixed-S grids balanced across workers without rebuilds.
     #[must_use]
     pub fn run(&self) -> RsmReport {
         let scenarios = self.scenarios();
         let threads = self.threads.unwrap_or_else(default_threads);
         let start = Instant::now();
-        let verdicts: Vec<RsmVerdict> = par_map_with_policy(
+        let verdicts: Vec<RsmVerdict> = par_map_weighted_with_policy(
             &scenarios,
             threads,
             self.chunking,
+            |s| s.shards.max(1),
             ScenarioScratch::default,
             |scratch, s| s.run_reusing(scratch),
         );
@@ -433,7 +483,15 @@ pub struct RsmTotals {
     pub worst_p99_latency: u64,
 }
 
-/// One row of the per-cell table: a (algorithm, adversary, depth,
+impl RsmTotals {
+    /// Requeued commands per ordered command across the grid.
+    #[must_use]
+    pub fn requeue_ratio(&self) -> f64 {
+        ratio(self.requeued, self.commands)
+    }
+}
+
+/// One row of the per-cell table: a (algorithm, adversary, depth, shards,
 /// workload) aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct RsmCell {
@@ -447,6 +505,10 @@ pub struct RsmCell {
     pub slots: u64,
     /// Commands ordered.
     pub commands: u64,
+    /// Commands generated.
+    pub generated: u64,
+    /// Commands requeued after losing their slot.
+    pub requeued: u64,
     /// Wall nanoseconds summed over the cell's scenarios.
     pub wall_nanos: u64,
     /// Worst p99 apply latency (rounds) in the cell.
@@ -467,6 +529,12 @@ impl RsmCell {
             return 0.0;
         }
         self.commands as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Requeued commands per ordered command in the cell.
+    #[must_use]
+    pub fn requeue_ratio(&self) -> f64 {
+        ratio(self.requeued, self.commands)
     }
 }
 
@@ -550,11 +618,11 @@ impl RsmReport {
         ratio(self.totals.rounds, self.totals.slots)
     }
 
-    /// Per-(algorithm, adversary, depth, workload) aggregates — the
-    /// throughput/latency table the rsm sweep exists to produce.
+    /// Per-(algorithm, adversary, depth, shards, workload) aggregates —
+    /// the throughput/latency table the rsm sweep exists to produce.
     #[must_use]
-    pub fn by_cell(&self) -> std::collections::BTreeMap<(String, String, usize, String), RsmCell> {
-        let mut cells: std::collections::BTreeMap<(String, String, usize, String), RsmCell> =
+    pub fn by_cell(&self) -> std::collections::BTreeMap<RsmCellKey, RsmCell> {
+        let mut cells: std::collections::BTreeMap<RsmCellKey, RsmCell> =
             std::collections::BTreeMap::new();
         for v in &self.verdicts {
             let cell = cells
@@ -562,6 +630,7 @@ impl RsmReport {
                     v.algorithm.to_owned(),
                     v.adversary.clone(),
                     v.depth,
+                    v.shards,
                     v.workload.clone(),
                 ))
                 .or_default();
@@ -572,12 +641,17 @@ impl RsmReport {
             cell.rounds += v.rounds_run;
             cell.slots += v.slots;
             cell.commands += v.commands;
+            cell.generated += v.generated_commands;
+            cell.requeued += v.requeued_commands;
             cell.wall_nanos += v.wall_nanos;
             cell.worst_p99_latency = cell.worst_p99_latency.max(v.latency_p99.unwrap_or(0));
         }
         cells
     }
 }
+
+/// The cell-table key: (algorithm, adversary, depth, shards, workload).
+pub type RsmCellKey = (String, String, usize, usize, String);
 
 #[cfg(test)]
 mod tests {
@@ -589,6 +663,7 @@ mod tests {
             adversary,
             n: 4,
             depth: 4,
+            shards: 1,
             workload: WorkloadSpec::FixedRate { per_round: 2 },
             seed: 7,
             rounds: 60,
@@ -684,13 +759,74 @@ mod tests {
     }
 
     #[test]
+    fn shards_axis_expands_the_grid_and_stays_safe() {
+        let sweep = RsmSweep::new()
+            .adversaries([AdversarySpec::RandomLoss { loss: 0.3 }])
+            .shards([1, 2, 4])
+            .seeds(0..2)
+            .rounds(40);
+        assert_eq!(sweep.scenarios().len(), 3 * 2);
+        let report = sweep.run();
+        assert_eq!(report.violations, 0);
+        let cells = report.by_cell();
+        assert_eq!(cells.len(), 3, "one cell per shard count");
+        for ((_, _, _, shards, _), cell) in &cells {
+            assert!(*shards >= 1);
+            assert!(cell.commands > 0, "S={shards} ordered nothing");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shard_counts_is_verdict_neutral() {
+        // One worker scratch dragged through S = 4, 1, 8, 2 scenarios:
+        // the per-shard round-buffer vector grows and shrinks, and no
+        // verdict may differ from a fresh-scratch run.
+        let mut scratch = ScenarioScratch::default();
+        for shards in [4, 1, 8, 2] {
+            let mut s = scenario(
+                AlgorithmSpec::OneThirdRule,
+                AdversarySpec::RandomLoss { loss: 0.3 },
+            );
+            s.shards = shards;
+            let fresh = s.run();
+            let reused = s.run_reusing(&mut scratch);
+            assert_eq!(fresh.slots, reused.slots, "S={shards}");
+            assert_eq!(fresh.commands, reused.commands, "S={shards}");
+            assert_eq!(fresh.violation, reused.violation, "S={shards}");
+            assert_eq!(fresh.latency_p99, reused.latency_p99, "S={shards}");
+            assert!(fresh.id().contains(&format!("/S{shards}/")));
+        }
+    }
+
+    #[test]
+    fn weighted_chunking_is_verdict_neutral() {
+        // Mixed shard counts, 1 vs 4 workers: the weighted chunker must
+        // not change a single verdict (satellite: sweep chunking accounts
+        // shard cost).
+        let sweep = RsmSweep::new()
+            .adversaries([AdversarySpec::RandomLoss { loss: 0.2 }])
+            .shards([1, 4, 8])
+            .seeds(0..3)
+            .rounds(30);
+        let seq = sweep.clone().threads(1).run();
+        let par = sweep.threads(4).run();
+        let key = |r: &RsmReport| {
+            r.verdicts
+                .iter()
+                .map(|v| (v.id(), v.slots, v.commands, v.requeued_commands))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&seq), key(&par));
+    }
+
+    #[test]
     fn deeper_pipelines_raise_cell_throughput() {
         let report = RsmSweep::new().depths([1, 8]).seeds(0..3).rounds(60).run();
         let cells = report.by_cell();
         let per_round = |depth: usize| {
             let cell = cells
                 .iter()
-                .find(|((_, _, d, _), _)| *d == depth)
+                .find(|((_, _, d, _, _), _)| *d == depth)
                 .map(|(_, c)| c)
                 .unwrap();
             ratio(cell.commands, cell.rounds)

@@ -279,6 +279,9 @@ impl Scenario {
 #[derive(Debug, Default)]
 pub struct ScenarioScratch {
     pub(crate) round: RoundScratch,
+    /// Per-shard round buffers for the rsm layer's sharded scenarios
+    /// (resized to the scenario's shard count on use).
+    pub(crate) shard_rounds: Vec<RoundScratch>,
 }
 
 /// The outcome of one scenario.

@@ -30,6 +30,9 @@ pub struct ServiceStats {
     pub min_applied_slots: u64,
     /// Commands requeued after losing their slot, summed over replicas.
     pub requeued_commands: u64,
+    /// Commands drawn but owned by another shard, summed over replicas
+    /// (always 0 for an unsharded service).
+    pub routed_away_commands: u64,
     /// Commands generated on hot keys, summed over replicas (the skew
     /// realisation under `skewed_key` workloads).
     pub hot_generated: u64,
@@ -135,6 +138,7 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
             stats.generated_commands += s.workload().generated();
             stats.hot_generated += s.workload().hot_generated();
             stats.requeued_commands += s.stats().requeued_commands;
+            stats.routed_away_commands += s.workload().routed_away();
             stats.latencies.extend_from_slice(&s.stats().latencies);
         }
         let logs = self.applied_logs();

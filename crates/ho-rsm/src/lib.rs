@@ -19,6 +19,12 @@
 //!   aggregate throughput (commands, slots) and latency-in-rounds.
 //! * [`checker`] — the deterministic applied-log oracle: prefix
 //!   agreement, exactly-once apply, batch integrity.
+//! * [`shard`] — the partitioned store: the keyspace range-partitioned
+//!   across many independent `MultiSlot` groups behind an
+//!   allocation-free generation-time router, merged back into one
+//!   service view by [`ShardedLogDriver`] and checked by the sharded
+//!   oracle (per-shard invariants plus cross-shard namespace
+//!   containment and exactly-once).
 //!
 //! ```
 //! use ho_core::adversary::RandomLoss;
@@ -40,13 +46,15 @@
 
 pub mod checker;
 pub mod driver;
+pub mod shard;
 pub mod slots;
 pub mod workload;
 
 pub use checker::{
-    check_logs, count_commands, decode_batch, decode_slot_value, encode_batch, encode_slot_value,
-    BatchRef, LogCheck,
+    check_logs, check_sharded_logs, count_commands, decode_batch, decode_slot_value, encode_batch,
+    encode_slot_value, BatchRef, LogCheck, ShardedLogCheck,
 };
 pub use driver::{LogDriver, ServiceStats};
+pub use shard::{shard_of, shard_seed, ShardSpec, ShardedLogDriver, MAX_SHARDS, SHARD_SHIFT};
 pub use slots::{MultiSlot, ReplicaStats, RsmConfig, RsmMessage, RsmState, SlotEntry, SlotPayload};
 pub use workload::{Command, WorkloadSpec, WorkloadState};

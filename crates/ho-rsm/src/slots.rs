@@ -54,6 +54,7 @@ use ho_core::round::Round;
 use ho_core::send_plan::{PlanSlot, PlanSpares, SendPlan};
 
 use crate::checker::{decode_slot_value, encode_slot_value};
+use crate::shard::ShardSpec;
 use crate::workload::{Command, WorkloadSpec, WorkloadState};
 
 /// Configuration of the multi-slot machine.
@@ -70,6 +71,9 @@ pub struct RsmConfig {
     pub reserve_slots: usize,
     /// Pre-reserved command capacity (pending queue, latency samples).
     pub reserve_commands: usize,
+    /// The keyspace slice this group owns (solo = the whole keyspace; set
+    /// per group by [`ShardedLogDriver`](crate::shard::ShardedLogDriver)).
+    pub shard: ShardSpec,
 }
 
 impl Default for RsmConfig {
@@ -80,6 +84,7 @@ impl Default for RsmConfig {
             backfill: 8,
             reserve_slots: 1024,
             reserve_commands: 1024,
+            shard: ShardSpec::solo(),
         }
     }
 }
@@ -427,7 +432,8 @@ impl<A: HoAlgorithm<Value = u64>> MultiSlot<A> {
         (0..self.n())
             .map(|p| {
                 pending.clear();
-                let mut workload = WorkloadState::new(self.workload, mix(self.seed, p as u64));
+                let mut workload =
+                    WorkloadState::sharded(self.workload, mix(self.seed, p as u64), self.cfg.shard);
                 workload.tick(0, 0, &mut pending);
                 let (first, count) = draw_batch(&mut pending, self.cfg.max_batch, &mut batch);
                 encode_slot_value(0, p, first, count)
@@ -536,7 +542,11 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
                     .reserve_commands
                     .max(self.workload.max_per_round() * 2),
             ),
-            workload: WorkloadState::new(self.workload, mix(self.seed, p.index() as u64)),
+            workload: WorkloadState::sharded(
+                self.workload,
+                mix(self.seed, p.index() as u64),
+                self.cfg.shard,
+            ),
             pool: PayloadPool::default(),
             inner_mb: Mailbox::with_capacity(n),
             lag_floor: u64::MAX,
@@ -918,6 +928,16 @@ mod tests {
                 .map(|p| alg.init(ProcessId::new(p), 0).cells[0].proposal)
                 .collect();
             assert_eq!(derived, from_init, "{workload:?}");
+            // Sharded configs must track too: the derivation replays the
+            // same shard-filtered round-0 tick.
+            let mut cfg = RsmConfig::with_depth(3);
+            cfg.shard = ShardSpec::new(1, 4);
+            let alg = MultiSlot::new(OneThirdRule::new(5), workload, cfg, 99);
+            let derived = alg.initial_checker_values();
+            let from_init: Vec<u64> = (0..5)
+                .map(|p| alg.init(ProcessId::new(p), 0).cells[0].proposal)
+                .collect();
+            assert_eq!(derived, from_init, "sharded {workload:?}");
         }
     }
 

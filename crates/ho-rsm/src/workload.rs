@@ -21,6 +21,8 @@
 
 use std::collections::VecDeque;
 
+use crate::shard::ShardSpec;
+
 /// SplitMix64: the workload's deterministic pseudo-random stream.
 #[inline]
 fn splitmix(state: &mut u64) -> u64 {
@@ -109,24 +111,45 @@ pub struct Command {
 }
 
 /// The running state of one replica's generator.
+///
+/// Under sharding every `(shard, replica)` pair owns one generator: it
+/// draws the replica's full arrival stream but *keeps* only the keys its
+/// shard owns, renumbering the kept commands into the shard's contiguous
+/// local sequence (lifted into the global namespace by
+/// [`ShardSpec::namespace`]). Routing therefore happens at generation,
+/// allocation-free, and the solo spec degenerates to exactly the
+/// unsharded generator — same stream, same indices, same counters.
 #[derive(Clone, Debug)]
 pub struct WorkloadState {
     spec: WorkloadSpec,
+    shard: ShardSpec,
     rng: u64,
-    /// Next command sequence number (== commands generated so far).
+    /// Next shard-local command sequence number (== commands kept so far).
     next_idx: u64,
+    /// Commands drawn but owned by another shard.
+    routed_away: u64,
     /// Commands generated on hot keys (skew realisation statistic).
     hot_generated: u64,
 }
 
 impl WorkloadState {
-    /// A generator for `spec`, seeded per replica.
+    /// A generator for `spec`, seeded per replica, owning the whole
+    /// keyspace.
     #[must_use]
     pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        Self::sharded(spec, seed, ShardSpec::solo())
+    }
+
+    /// A generator for `spec` that keeps only `shard`'s slice of the
+    /// keyspace.
+    #[must_use]
+    pub fn sharded(spec: WorkloadSpec, seed: u64, shard: ShardSpec) -> Self {
         WorkloadState {
             spec,
+            shard,
             rng: seed ^ 0x5eed_c0de_5eed_c0de,
             next_idx: 0,
+            routed_away: 0,
             hot_generated: 0,
         }
     }
@@ -137,10 +160,23 @@ impl WorkloadState {
         self.spec
     }
 
-    /// Commands generated so far.
+    /// The keyspace slice this generator keeps.
+    #[must_use]
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
+    }
+
+    /// Commands generated (and kept) so far.
     #[must_use]
     pub fn generated(&self) -> u64 {
         self.next_idx
+    }
+
+    /// Commands drawn whose key another shard owns (always 0 for the solo
+    /// spec).
+    #[must_use]
+    pub fn routed_away(&self) -> u64 {
+        self.routed_away
     }
 
     /// Commands generated on hot keys (only meaningful under
@@ -152,7 +188,7 @@ impl WorkloadState {
 
     fn next_key(&mut self) -> u32 {
         let draw = splitmix(&mut self.rng);
-        let key = match self.spec {
+        match self.spec {
             WorkloadSpec::SkewedKey { .. } => {
                 // 80/20: four out of five commands land in the hot set.
                 if draw % 5 < 4 {
@@ -162,16 +198,13 @@ impl WorkloadState {
                 }
             }
             _ => draw as u32 % KEY_SPACE,
-        };
-        if key < HOT_KEYS {
-            self.hot_generated += 1;
         }
-        key
     }
 
     /// Injects round `round`'s arrivals into `pending`. `applied_own` is
     /// the number of this replica's own commands already applied (the
-    /// closed-loop completion signal).
+    /// closed-loop completion signal; shard-local under sharding, like
+    /// every other index here).
     pub fn tick(&mut self, round: u64, applied_own: u64, pending: &mut VecDeque<Command>) {
         let arrivals = match self.spec {
             WorkloadSpec::FixedRate { per_round } | WorkloadSpec::SkewedKey { per_round } => {
@@ -185,15 +218,23 @@ impl WorkloadState {
                 }
             }
             WorkloadSpec::ClosedLoop { clients } => {
-                // Outstanding = generated − applied; top back up to the
-                // client count.
+                // Outstanding = kept − applied; top back up to the client
+                // count. Routed-away draws never count as outstanding —
+                // some other shard's generator owns that key's client.
                 u64::from(clients).saturating_sub(self.next_idx - applied_own)
             }
         };
         for _ in 0..arrivals {
             let key = self.next_key();
+            if !self.shard.keeps(key) {
+                self.routed_away += 1;
+                continue;
+            }
+            if key < HOT_KEYS {
+                self.hot_generated += 1;
+            }
             pending.push_back(Command {
-                idx: self.next_idx,
+                idx: self.shard.namespace(self.next_idx),
                 key,
                 arrival: round,
             });
@@ -272,6 +313,76 @@ mod tests {
         let a = drain(WorkloadSpec::SkewedKey { per_round: 2 }, 20);
         let b = drain(WorkloadSpec::SkewedKey { per_round: 2 }, 20);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_generators_partition_the_solo_stream() {
+        // The union of every shard's kept commands is exactly the solo
+        // stream: same keys, same arrival rounds, shard-local indices
+        // contiguous in the shard's namespace.
+        let shards = 4;
+        let solo = drain(WorkloadSpec::FixedRate { per_round: 3 }, 20);
+        let mut kept_total = 0;
+        for s in 0..shards {
+            let spec = ShardSpec::new(s, shards);
+            let mut w = WorkloadState::sharded(WorkloadSpec::FixedRate { per_round: 3 }, 7, spec);
+            let mut q = VecDeque::new();
+            for r in 0..20 {
+                w.tick(r, 0, &mut q);
+            }
+            let kept: Vec<Command> = q.into_iter().collect();
+            let expect: Vec<&Command> = solo.iter().filter(|c| spec.keeps(c.key)).collect();
+            assert_eq!(kept.len(), expect.len(), "shard {s} kept the wrong slice");
+            for (i, (mine, theirs)) in kept.iter().zip(&expect).enumerate() {
+                assert_eq!(mine.key, theirs.key, "shard {s} cmd {i}");
+                assert_eq!(mine.arrival, theirs.arrival, "shard {s} cmd {i}");
+                assert_eq!(mine.idx, spec.namespace(i as u64), "shard {s} cmd {i}");
+            }
+            assert_eq!(w.generated() + w.routed_away(), 3 * 20);
+            kept_total += kept.len();
+        }
+        assert_eq!(kept_total, solo.len(), "shards partition the stream");
+    }
+
+    #[test]
+    fn solo_shard_is_the_unsharded_generator() {
+        let mut a = WorkloadState::new(WorkloadSpec::SkewedKey { per_round: 2 }, 9);
+        let mut b = WorkloadState::sharded(
+            WorkloadSpec::SkewedKey { per_round: 2 },
+            9,
+            ShardSpec::solo(),
+        );
+        let (mut qa, mut qb) = (VecDeque::new(), VecDeque::new());
+        for r in 0..30 {
+            a.tick(r, 0, &mut qa);
+            b.tick(r, 0, &mut qb);
+        }
+        assert_eq!(qa, qb);
+        assert_eq!(a.generated(), b.generated());
+        assert_eq!(a.hot_generated(), b.hot_generated());
+        assert_eq!(b.routed_away(), 0);
+        assert_eq!(b.shard(), ShardSpec::solo());
+    }
+
+    #[test]
+    fn sharded_closed_loop_window_counts_only_kept_commands() {
+        // Routed-away draws must not eat the client window: with the
+        // window never acked, outstanding kept commands stay pinned at
+        // `clients` even though many draws leave the shard.
+        let spec = ShardSpec::new(0, 4);
+        let mut w = WorkloadState::sharded(WorkloadSpec::ClosedLoop { clients: 5 }, 3, spec);
+        let mut q = VecDeque::new();
+        for r in 0..40 {
+            w.tick(r, 0, &mut q);
+        }
+        assert_eq!(q.len(), 5, "kept outstanding fills the window exactly");
+        assert!(w.routed_away() > 0, "a quarter-keyspace shard routes away");
+        // Acks admit replacements: the window refills to 5 outstanding
+        // (7 queued here, the 2 acked ones being long gone from `q`).
+        for r in 40..80 {
+            w.tick(r, 2, &mut q);
+        }
+        assert_eq!(q.len(), 7);
     }
 
     #[test]

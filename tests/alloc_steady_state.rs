@@ -337,6 +337,48 @@ fn multi_slot_log_driver_zero_allocations_per_round_in_steady_state() {
     assert!(check.is_ok(), "{:?}", check.violation);
 }
 
+#[test]
+fn sharded_log_driver_zero_allocations_per_round_in_steady_state() {
+    // Sharding adds a router and S independent groups — and must add
+    // *zero* allocator traffic: routing happens at generation (each
+    // group's workload generator filters and renumbers in place), the
+    // groups recycle their own scratches, and the front end holds no
+    // queues. Four groups, lossy delivery, the full service path hot.
+    let n = 4;
+    let shards = 4;
+    let mut cfg = RsmConfig::with_depth(4);
+    cfg.reserve_slots = 2048;
+    cfg.reserve_commands = 4096;
+    let mut driver = heardof::rsm::ShardedLogDriver::new(
+        |_| OneThirdRule::new(n),
+        WorkloadSpec::FixedRate { per_round: 2 },
+        cfg,
+        shards,
+        13,
+    );
+    // Boxing the per-shard adversaries allocates, so build them before
+    // the measured window opens.
+    let mut advs: Vec<Box<dyn Adversary + Send>> = (0..shards)
+        .map(|s| {
+            Box::new(RandomLoss::new(0.25, heardof::rsm::shard_seed(7, s)))
+                as Box<dyn Adversary + Send>
+        })
+        .collect();
+    // Sparser per-group streams (each shard keeps ~1/S of the keys) make
+    // queue depths fluctuate more slowly than in the unsharded case, so
+    // capacity high-water marks are reached later: warm a few hundred
+    // rounds before the window opens.
+    driver.run(&mut advs, 300).expect("warm-up safe");
+    assert_eq!(
+        allocs_during(|| driver.run(&mut advs, 300).expect("steady state safe")),
+        0,
+        "ShardedLogDriver S=4 / FixedRate / RandomLoss(0.25)"
+    );
+    let check = driver.check();
+    assert!(check.is_ok(), "{:?}", check.violation);
+    assert!(check.commands > 0, "the measured window did real work");
+}
+
 /// Warm a simulator up to `warm_until`, then count allocations while it
 /// runs on to `measure_until`.
 fn sim_steady_state_allocs<P: Program>(
