@@ -6,9 +6,10 @@
 //! emitted JSON is parsed back to prove it round-trips — predicate, sim and
 //! rsm statistics included — and a non-zero exit reports any safety
 //! violation, any prefix-agreement or exactly-once violation in the rsm
-//! layer, *or* any disagreement between a monitored safety-environment
+//! layer, any disagreement between a monitored safety-environment
 //! predicate and the safety verdict (e.g. an empty kernel under the
-//! `kernel_only` adversary). With `--rsm` only the replicated-log grid runs
+//! `kernel_only` adversary), *or* any contact-plan predicate window
+//! landing after its guaranteed-good bound. With `--rsm` only the replicated-log grid runs
 //! (full size, per-scenario verdicts embedded) — the fast iteration loop
 //! for service-level tuning.
 
@@ -181,10 +182,61 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The contact-plan layer's contract: disruption-tolerant link
+        // schedules stayed safe on every axis, every predicate window
+        // landed by the guaranteed-good bound, and the degradation
+        // metrics (dark rounds, backfill, catch-up) round-trip.
+        let Some(Json::Obj(contact)) = map.get("contact_plan") else {
+            eprintln!("smoke FAILED: no contact_plan section in the report");
+            std::process::exit(1);
+        };
+        match contact.get("violations") {
+            Some(Json::UInt(0)) => {}
+            other => {
+                eprintln!("smoke FAILED: contact_plan violations = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match contact.get("late_predicate_windows") {
+            Some(Json::UInt(0)) => {}
+            other => {
+                eprintln!("smoke FAILED: contact_plan late predicate windows = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match contact.get("degradation") {
+            Some(Json::Obj(deg))
+                if matches!(deg.get("dark_rounds"), Some(Json::UInt(n)) if *n > 0)
+                    && matches!(deg.get("backfill_entries"), Some(Json::UInt(n)) if *n > 0)
+                    && deg.contains_key("worst_catch_up_rounds") => {}
+            other => {
+                eprintln!("smoke FAILED: contact_plan degradation aggregates = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        // The per-cell dark-round and catch-up fields survive the JSON
+        // round-trip through the contact rsm table.
+        let cells_ok = matches!(
+            contact.get("rsm_layer"),
+            Some(Json::Obj(rsm)) if matches!(
+                rsm.get("cells"),
+                Some(Json::Arr(cells)) if !cells.is_empty() && cells.iter().all(|c| matches!(
+                    c,
+                    Json::Obj(cell) if cell.contains_key("dark_rounds")
+                        && cell.contains_key("worst_catch_up_rounds")
+                        && cell.contains_key("backfill_entries")
+                ))
+            )
+        );
+        if !cells_ok {
+            eprintln!("smoke FAILED: contact_plan rsm cells missing degradation fields");
+            std::process::exit(1);
+        }
         println!(
             "smoke ok: 0 violations, predicate fields round-trip, cross-check ok, \
              sim layer kept every Alg2/Alg3 promise, rsm layer ordered its logs \
-             without a fork, sharded layer kept every shard disjoint"
+             without a fork, sharded layer kept every shard disjoint, contact \
+             plans degraded gracefully and every predicate window was on time"
         );
     }
 }

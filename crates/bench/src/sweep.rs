@@ -20,11 +20,14 @@
 
 use std::time::Instant;
 
+use ho_core::adversary::Adversary as _;
+use ho_core::{ContactPlan, ContactPlanAdversary, ProcessSet, Round};
 use ho_harness::{
     chunk_policy_json, default_threads, predicate_totals_json, rsm_report_json, sim_report_json,
     AdversarySpec, AlgorithmSpec, ChunkPolicy, ImplementationSpec, Json, LinkFaultSpec,
     PredicateTotals, RsmReport, RsmSweep, SimSweep, Sweep, SweepReport, WorkloadSpec,
 };
+use ho_predicates::monitor::WindowMonitor;
 
 /// The canonical *safe* baseline grid: every cell must finish with zero
 /// violations.
@@ -305,6 +308,262 @@ pub fn sharded_rsm_json(report: &RsmReport) -> Json {
     Json::Obj(map)
 }
 
+/// The canonical contact-plan shapes: an episodic partition, a rotating
+/// two-process contact window, and a store-and-forward gap. Sized so the
+/// guaranteed-good suffix starts by round 19 — comfortably inside every
+/// grid's round budget, leaving the bulk of the run to measure recovery,
+/// not just survival.
+#[must_use]
+pub fn contact_plans() -> [ContactPlan; 3] {
+    [
+        ContactPlan::Episodic {
+            dark: 3,
+            bright: 2,
+            cycles: 4,
+        },
+        ContactPlan::Rotating {
+            window: 3,
+            windows: 6,
+        },
+        ContactPlan::StoreAndForward { dark: 16 },
+    ]
+}
+
+/// The **model-layer** contact grid: OneThirdRule and LastVoting driven
+/// by [`ContactPlanAdversary`] HO sets. UniformVoting is excluded by
+/// design: every contact phase (disjoint blocks, a two-process window,
+/// an isolated replica) empties the global kernel, so `P_nek` cannot
+/// hold under any contact plan.
+#[must_use]
+pub fn contact_model_sweep() -> Sweep {
+    Sweep::new()
+        .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+        .adversaries(contact_plans().map(|plan| AdversarySpec::ContactPlan { plan }))
+        .sizes([4, 7])
+        .seeds(0..40)
+        .max_rounds(120)
+}
+
+/// The **sim-layer** contact grid: Algorithms 2 and 3 over real-valued
+/// time, the plan mapped onto rounds of fixed length by the engine's
+/// link schedule. The store-and-forward plan runs at two round lengths
+/// so the time→round mapping itself is exercised, not just one scaling
+/// of it.
+#[must_use]
+pub fn contact_sim_sweep() -> SimSweep {
+    let [episodic, rotating, store_forward] = contact_plans();
+    SimSweep::new()
+        .implementations([ImplementationSpec::Alg2, ImplementationSpec::Alg3 { f: 1 }])
+        .faults([
+            LinkFaultSpec::ContactPlanThenGood {
+                plan: episodic,
+                round_len: 5.0,
+            },
+            LinkFaultSpec::ContactPlanThenGood {
+                plan: rotating,
+                round_len: 5.0,
+            },
+            LinkFaultSpec::ContactPlanThenGood {
+                plan: store_forward,
+                round_len: 5.0,
+            },
+            LinkFaultSpec::ContactPlanThenGood {
+                plan: store_forward,
+                round_len: 2.5,
+            },
+        ])
+        .sizes([4, 6])
+        .seeds(0..6)
+        .window(2)
+}
+
+/// The **rsm-layer** contact grid: the replicated-log service riding out
+/// every plan shape, with the degradation metrics (dark rounds, log
+/// divergence, backfill volume, catch-up latency) flowing into the
+/// per-cell table.
+#[must_use]
+pub fn contact_rsm_sweep() -> RsmSweep {
+    RsmSweep::new()
+        .algorithms([AlgorithmSpec::OneThirdRule, AlgorithmSpec::LastVoting])
+        .adversaries(contact_plans().map(|plan| AdversarySpec::ContactPlan { plan }))
+        .sizes([4])
+        .depths([1, 4])
+        .workloads([
+            WorkloadSpec::FixedRate { per_round: 2 },
+            WorkloadSpec::ClosedLoop { clients: 8 },
+        ])
+        .seeds(0..3)
+        .rounds(80)
+}
+
+/// The **sharded** contact sub-grid: each shard group's plan derives
+/// from its own `shard_seed`, so dark intervals and dark replicas differ
+/// per shard — the router must survive shards degrading out of phase
+/// with each other.
+#[must_use]
+pub fn contact_sharded_sweep() -> RsmSweep {
+    let [episodic, _, store_forward] = contact_plans();
+    RsmSweep::new()
+        .algorithms([AlgorithmSpec::OneThirdRule])
+        .adversaries([
+            AdversarySpec::ContactPlan { plan: episodic },
+            AdversarySpec::ContactPlan {
+                plan: store_forward,
+            },
+        ])
+        .sizes([4])
+        .depths([4])
+        .shards([1, 4])
+        .workloads([WorkloadSpec::FixedRate { per_round: 2 }])
+        .seeds(0..3)
+        .rounds(80)
+}
+
+/// Measures predicate lateness directly on the adversary's HO rows: for
+/// each plan, how late the first `P_k` / `P_su` window of length `x`
+/// completes relative to the fault-free ideal (round `x`), and whether
+/// it lands by the hard bound `good_from + x − 1` that the permanently
+/// fully-connected suffix guarantees. One row per (plan, predicate),
+/// aggregated over (n × seed); a row with `within_bound: false` fails
+/// the CI smoke job.
+#[must_use]
+pub fn predicate_lateness_json(sizes: &[usize], seeds: std::ops::Range<u64>, x: u64) -> Json {
+    type Make = fn(ProcessSet, u64, f64) -> WindowMonitor;
+    let mut rows = Vec::new();
+    for plan in contact_plans() {
+        let bound = plan.good_from() + x - 1;
+        for (predicate, make) in [
+            ("kernel", WindowMonitor::kernel as Make),
+            ("space_uniform", WindowMonitor::space_uniform as Make),
+        ] {
+            let mut scenarios = 0u64;
+            let mut achieved = 0u64;
+            let mut worst_witness = 0u64;
+            for &n in sizes {
+                for seed in seeds.clone() {
+                    scenarios += 1;
+                    let mut adversary = ContactPlanAdversary::new(plan, seed);
+                    let mut monitor = make(ProcessSet::full(n), x, 0.0);
+                    let mut ho = vec![ProcessSet::full(n); n];
+                    for r in 1..=bound {
+                        adversary.fill_ho_sets(Round(r), &mut ho);
+                        monitor.observe_row(r, &ho, r as f64);
+                        if let Some((_, t)) = monitor.witness() {
+                            achieved += 1;
+                            worst_witness = worst_witness.max(t as u64);
+                            break;
+                        }
+                    }
+                }
+            }
+            rows.push(Json::obj([
+                ("plan", Json::Str(plan.label())),
+                ("predicate", Json::Str(predicate.into())),
+                ("window", Json::UInt(x)),
+                ("scenarios", Json::UInt(scenarios)),
+                ("good_from", Json::UInt(plan.good_from())),
+                ("bound_round", Json::UInt(bound)),
+                ("worst_witness_round", Json::UInt(worst_witness)),
+                (
+                    "worst_lateness_rounds",
+                    Json::UInt(worst_witness.saturating_sub(x)),
+                ),
+                ("within_bound", Json::Bool(achieved == scenarios)),
+            ]));
+        }
+    }
+    Json::Arr(rows)
+}
+
+/// Runs the contact-plan grids on all three axes and assembles the
+/// `contact_plan` section of `BENCH_sweep.json`: per-layer reports, the
+/// predicate-lateness table, and the graceful-degradation aggregates the
+/// DTN roadmap item is judged by. Pass `smoke = true` for the thinned CI
+/// variant.
+#[must_use]
+pub fn run_contact_plan(smoke: bool) -> Json {
+    let model = if smoke {
+        contact_model_sweep().seeds(0..8)
+    } else {
+        contact_model_sweep()
+    }
+    .run();
+    let sim = if smoke {
+        contact_sim_sweep().seeds(0..2)
+    } else {
+        contact_sim_sweep()
+    }
+    .run();
+    let rsm = if smoke {
+        contact_rsm_sweep().seeds(0..1)
+    } else {
+        contact_rsm_sweep()
+    }
+    .run();
+    let sharded = if smoke {
+        contact_sharded_sweep().seeds(0..1)
+    } else {
+        contact_sharded_sweep()
+    }
+    .run();
+    let lateness = predicate_lateness_json(&[4, 7], if smoke { 0..4 } else { 0..16 }, 2);
+
+    let late_windows = match &lateness {
+        Json::Arr(rows) => rows
+            .iter()
+            .filter(|row| {
+                !matches!(row, Json::Obj(m) if m.get("within_bound") == Some(&Json::Bool(true)))
+            })
+            .count() as u64,
+        _ => unreachable!("the lateness table is an array"),
+    };
+
+    let service = rsm.verdicts.iter().chain(&sharded.verdicts);
+    let dark_rounds: u64 = service.clone().map(|v| v.dark_rounds).sum();
+    let backfill_entries: u64 = service.clone().map(|v| v.backfill_entries).sum();
+    let divergent_rounds: u64 = service.clone().map(|v| v.divergent_rounds).sum();
+    let recovered = service
+        .clone()
+        .filter(|v| v.catch_up_rounds.is_some())
+        .count() as u64;
+    let worst_catch_up = service.filter_map(|v| v.catch_up_rounds).max().unwrap_or(0);
+
+    let violations = model.violations as u64
+        + sim.violations as u64
+        + rsm.violations as u64
+        + sharded.violations as u64
+        + late_windows;
+
+    Json::obj([
+        (
+            "scenarios",
+            Json::UInt(
+                model.scenarios as u64
+                    + sim.scenarios as u64
+                    + rsm.scenarios as u64
+                    + sharded.scenarios as u64,
+            ),
+        ),
+        ("violations", Json::UInt(violations)),
+        ("late_predicate_windows", Json::UInt(late_windows)),
+        (
+            "degradation",
+            Json::obj([
+                ("dark_rounds", Json::UInt(dark_rounds)),
+                ("backfill_entries", Json::UInt(backfill_entries)),
+                ("divergent_rounds", Json::UInt(divergent_rounds)),
+                ("recovered_scenarios", Json::UInt(recovered)),
+                ("worst_catch_up_rounds", Json::UInt(worst_catch_up)),
+            ]),
+        ),
+        ("predicate_lateness", lateness),
+        ("model_layer", model.to_json(false)),
+        ("sim_layer", sim_report_json(&sim, false)),
+        ("rsm_layer", rsm_report_json(&rsm, false)),
+        ("sharded_rsm", sharded_rsm_json(&sharded)),
+    ])
+}
+
 /// One timed pass over the whole baseline grid at a fixed worker count.
 struct Pass {
     reports: Vec<SweepReport>,
@@ -463,6 +722,11 @@ pub fn run_baseline(smoke: bool) -> Json {
     // table tracks aggregate commands/sec and requeue churn as S grows.
     let sharded_rsm = run_sharded_rsm(smoke);
 
+    // The contact-plan layer: DTN-style intermittent links across all
+    // three axes, plus predicate lateness measured straight off the
+    // adversary's HO rows.
+    let contact_plan = run_contact_plan(smoke);
+
     let reports = &single.reports;
     let scenarios: u64 = single.scenarios;
     let decided: u64 = reports.iter().map(|r| r.decided as u64).sum();
@@ -583,6 +847,7 @@ pub fn run_baseline(smoke: bool) -> Json {
         ("sim_layer", sim_report_json(&sim_layer, false)),
         ("rsm_layer", rsm_report_json(&rsm_layer, false)),
         ("sharded_rsm", sharded_rsm_json(&sharded_rsm)),
+        ("contact_plan", contact_plan),
         (
             "pnek_counterexamples",
             Json::obj([
@@ -794,6 +1059,17 @@ mod tests {
             assert!(row.contains_key("requeue_ratio"));
             assert!(row.contains_key("commands_per_sec"));
         }
+        // The contact-plan section round-trips with zero violations and
+        // its lateness table (its internals are covered by
+        // `contact_plan_section_is_safe_and_degrades_gracefully`).
+        let Some(Json::Obj(contact)) = map.get("contact_plan") else {
+            panic!("contact_plan section missing");
+        };
+        assert_eq!(contact.get("violations"), Some(&Json::UInt(0)));
+        assert!(
+            matches!(contact.get("predicate_lateness"), Some(Json::Arr(rows)) if !rows.is_empty()),
+            "lateness table present"
+        );
         // Predicate statistics are present, round-trip, and agree with the
         // safety verdicts.
         let Some(Json::Obj(predicates)) = map.get("predicates") else {
@@ -807,6 +1083,111 @@ mod tests {
         assert!(
             matches!(predicates.get("p2otr_scenarios"), Some(Json::UInt(n)) if *n > 0),
             "full-delivery cells achieve P2otr"
+        );
+    }
+
+    #[test]
+    fn contact_plan_section_is_safe_and_degrades_gracefully() {
+        // The thinned contact section (the CI variant): zero violations
+        // on every axis, every predicate window inside the good-suffix
+        // bound (but measurably late — the plans must actually disrupt),
+        // and the service-level degradation metrics present and non-zero.
+        let doc = run_contact_plan(true);
+        let text = format!("{doc}\n");
+        let Json::Obj(map) = Json::parse(&text).expect("contact section round-trips") else {
+            panic!("contact section must be an object");
+        };
+        assert_eq!(map.get("violations"), Some(&Json::UInt(0)));
+        assert_eq!(map.get("late_predicate_windows"), Some(&Json::UInt(0)));
+        let Some(Json::Arr(rows)) = map.get("predicate_lateness") else {
+            panic!("lateness table missing");
+        };
+        assert_eq!(rows.len(), 6, "3 plans × {{P_k, P_su}}");
+        for row in rows {
+            let Json::Obj(row) = row else {
+                panic!("lateness rows are objects");
+            };
+            assert_eq!(row.get("within_bound"), Some(&Json::Bool(true)), "{row:?}");
+            assert!(
+                matches!(row.get("worst_lateness_rounds"), Some(Json::UInt(l)) if *l > 0),
+                "a contact plan must delay its predicate window: {row:?}"
+            );
+        }
+        let Some(Json::Obj(deg)) = map.get("degradation") else {
+            panic!("degradation aggregates missing");
+        };
+        assert!(matches!(deg.get("dark_rounds"), Some(Json::UInt(n)) if *n > 0));
+        assert!(matches!(deg.get("backfill_entries"), Some(Json::UInt(n)) if *n > 0));
+        assert!(matches!(deg.get("divergent_rounds"), Some(Json::UInt(n)) if *n > 0));
+        // Every contact rsm scenario reconnects and converges inside its
+        // round budget — recovery, not just survival.
+        let rsm_scenarios = |section: &str| match map.get(section) {
+            Some(Json::Obj(m)) => match m.get("scenarios") {
+                Some(Json::UInt(n)) => *n,
+                _ => panic!("{section} has no scenario count"),
+            },
+            _ => panic!("{section} section missing"),
+        };
+        let service_total = rsm_scenarios("rsm_layer") + rsm_scenarios("sharded_rsm");
+        assert_eq!(
+            deg.get("recovered_scenarios"),
+            Some(&Json::UInt(service_total)),
+            "every disrupted log must catch back up"
+        );
+        assert!(
+            matches!(deg.get("worst_catch_up_rounds"), Some(Json::UInt(n)) if *n <= 80),
+            "catch-up fits in the round budget"
+        );
+    }
+
+    #[test]
+    fn scenario_ids_are_unique_within_each_section() {
+        use std::collections::HashSet;
+        fn assert_unique(section: &str, ids: &[String]) {
+            let mut seen = HashSet::new();
+            for id in ids {
+                assert!(seen.insert(id), "{section}: duplicate scenario id {id}");
+            }
+        }
+        // Model layer: the safe grid, the P_nek counterexamples, and the
+        // contact grid never collide — adversary names are injective now
+        // that float parameters format as integers (p200, never 0.2).
+        let model: Vec<String> = baseline_sweeps()
+            .iter()
+            .flat_map(Sweep::scenarios)
+            .chain(pnek_counterexample_sweep().scenarios())
+            .chain(contact_model_sweep().scenarios())
+            .map(|s| s.id())
+            .collect();
+        assert_unique("model", &model);
+        let sim: Vec<String> = sim_layer_sweep()
+            .scenarios()
+            .into_iter()
+            .chain(contact_sim_sweep().scenarios())
+            .map(|s| s.id())
+            .collect();
+        assert_unique("sim", &sim);
+        let rsm: Vec<String> = rsm_layer_sweeps()
+            .iter()
+            .flat_map(RsmSweep::scenarios)
+            .chain(contact_rsm_sweep().scenarios())
+            .map(|s| s.id())
+            .collect();
+        assert_unique("rsm_layer", &rsm);
+        let sharded: Vec<String> = sharded_rsm_sweeps()
+            .iter()
+            .flat_map(RsmSweep::scenarios)
+            .chain(contact_sharded_sweep().scenarios())
+            .map(|s| s.id())
+            .collect();
+        assert_unique("sharded_rsm", &sharded);
+        // Across the two rsm *sections* the S=1 overlap is deliberate:
+        // shard_seed(seed, 0) == seed makes those cells bit-identical
+        // anchors for reading the router's overhead, not id accidents.
+        let rsm_ids: HashSet<&String> = rsm.iter().collect();
+        assert!(
+            sharded.iter().any(|id| rsm_ids.contains(id)),
+            "the S=1 anchor cells must appear in both rsm sections"
         );
     }
 

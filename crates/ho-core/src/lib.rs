@@ -32,6 +32,7 @@ pub mod adversary;
 pub mod algorithm;
 pub mod algorithms;
 pub mod consensus;
+pub mod contact;
 pub mod executor;
 pub mod mailbox;
 pub mod observer;
@@ -46,6 +47,7 @@ pub mod translation;
 
 pub use algorithm::{HoAlgorithm, HoAlgorithmExt};
 pub use consensus::{ConsensusChecker, ConsensusViolation};
+pub use contact::{contact_seed, ContactPlan, ContactPlanAdversary};
 pub use executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
 pub use mailbox::{DuplicateSender, Mailbox};
 pub use observer::{NullObserver, RoundObserver};

@@ -59,3 +59,6 @@ pub use ho_predicates::monitor::PredicateSummary;
 
 // The rsm layer's workload shapes (axis values for `RsmSweep`).
 pub use ho_rsm::WorkloadSpec;
+
+// The contact-plan link schedules (axis values for every sweep layer).
+pub use ho_core::contact::ContactPlan;

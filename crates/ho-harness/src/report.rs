@@ -446,6 +446,10 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
                 .float("rounds_per_slot", cell.rounds_per_slot())
                 .float("commands_per_sec", cell.commands_per_sec())
                 .uint("worst_p99_latency_rounds", cell.worst_p99_latency)
+                .uint("backfill_entries", cell.backfill_entries)
+                .uint("divergent_rounds", cell.divergent_rounds)
+                .uint("dark_rounds", cell.dark_rounds)
+                .uint("worst_catch_up_rounds", cell.worst_catch_up)
                 .build()
         })
         .collect();
@@ -501,6 +505,10 @@ pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
         .uint("commands", v.commands)
         .uint("generated_commands", v.generated_commands)
         .uint("requeued_commands", v.requeued_commands)
+        .uint("backfill_entries", v.backfill_entries)
+        .uint("divergent_rounds", v.divergent_rounds)
+        .uint("dark_rounds", v.dark_rounds)
+        .opt_uint("catch_up_rounds", v.catch_up_rounds)
         .float("requeue_ratio", v.requeue_ratio())
         .float("rounds_per_slot", v.rounds_per_slot())
         .float("commands_per_sec", v.commands_per_sec())

@@ -121,6 +121,24 @@ impl RsmScenario {
         violation = violation.or_else(|| check.violation.clone());
         let stats = driver.service_stats();
         let messages = driver.message_stats();
+        // Graceful-degradation accounting for contact-plan scenarios:
+        // how many process-rounds the plan kept replicas dark, and how
+        // long after the last reconnection the logs took to re-converge.
+        let plan = self.adversary.contact_plan();
+        let dark_rounds = plan.map_or(0, |p| {
+            (0..shards)
+                .map(|s| p.dark_rounds(shard_seed(self.seed, s), self.n, self.rounds))
+                .sum()
+        });
+        let converged = stats.min_applied_slots == stats.applied_slots;
+        let catch_up_rounds = match plan {
+            Some(p) if converged => Some(
+                stats
+                    .last_convergence_round
+                    .map_or(0, |r| r.saturating_sub(p.good_from() - 1)),
+            ),
+            _ => None,
+        };
         let verdict = RsmVerdict {
             algorithm: self.algorithm.name(),
             adversary: self.adversary.name(),
@@ -138,6 +156,10 @@ impl RsmScenario {
             generated_commands: stats.generated_commands,
             requeued_commands: stats.requeued_commands,
             hot_generated: stats.hot_generated,
+            backfill_entries: stats.backfill_entries,
+            divergent_rounds: stats.divergent_rounds,
+            dark_rounds,
+            catch_up_rounds,
             latency_samples: stats.latencies.len() as u64,
             latency_p50: stats.latency_percentile(50),
             latency_p90: stats.latency_percentile(90),
@@ -190,6 +212,19 @@ pub struct RsmVerdict {
     pub requeued_commands: u64,
     /// Commands generated on hot keys (skew realisation).
     pub hot_generated: u64,
+    /// Backfill entries delivered into replicas' mailboxes — the catch-up
+    /// traffic volume.
+    pub backfill_entries: u64,
+    /// Rounds in which some replica's log trailed the longest (degraded
+    /// service rounds).
+    pub divergent_rounds: u64,
+    /// Process-rounds the contact plan kept replicas dark, summed over
+    /// shards (0 for non-contact adversaries).
+    pub dark_rounds: u64,
+    /// Rounds from the contact plan's permanent reconnection to log
+    /// convergence; `None` for non-contact adversaries or when the logs
+    /// were still unequal at the end of the run.
+    pub catch_up_rounds: Option<u64>,
     /// Latency sample count (one per applied own command).
     pub latency_samples: u64,
     /// Median apply latency in rounds.
@@ -513,6 +548,14 @@ pub struct RsmCell {
     pub wall_nanos: u64,
     /// Worst p99 apply latency (rounds) in the cell.
     pub worst_p99_latency: u64,
+    /// Backfill entries delivered across the cell's scenarios.
+    pub backfill_entries: u64,
+    /// Degraded (log-divergent) rounds across the cell's scenarios.
+    pub divergent_rounds: u64,
+    /// Contact-plan dark process-rounds across the cell's scenarios.
+    pub dark_rounds: u64,
+    /// Worst reconnection-to-convergence latency (rounds) in the cell.
+    pub worst_catch_up: u64,
 }
 
 impl RsmCell {
@@ -645,6 +688,10 @@ impl RsmReport {
             cell.requeued += v.requeued_commands;
             cell.wall_nanos += v.wall_nanos;
             cell.worst_p99_latency = cell.worst_p99_latency.max(v.latency_p99.unwrap_or(0));
+            cell.backfill_entries += v.backfill_entries;
+            cell.divergent_rounds += v.divergent_rounds;
+            cell.dark_rounds += v.dark_rounds;
+            cell.worst_catch_up = cell.worst_catch_up.max(v.catch_up_rounds.unwrap_or(0));
         }
         cells
     }
@@ -817,6 +864,31 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(key(&seq), key(&par));
+    }
+
+    #[test]
+    fn store_and_forward_scenarios_report_degradation_metrics() {
+        use ho_core::contact::ContactPlan;
+        let plan = ContactPlan::StoreAndForward { dark: 30 };
+        let mut s = scenario(
+            AlgorithmSpec::OneThirdRule,
+            AdversarySpec::ContactPlan { plan },
+        );
+        s.rounds = 80;
+        let v = s.run();
+        assert!(v.is_safe(), "{:?}", v.violation);
+        assert_eq!(v.dark_rounds, 30, "one replica dark for 30 rounds");
+        assert!(v.divergent_rounds > 0, "the dark replica trailed");
+        assert!(v.backfill_entries > 0, "catch-up ran through backfill");
+        let catch_up = v.catch_up_rounds.expect("service re-converged");
+        assert!(
+            catch_up <= v.rounds_run - plan.good_from(),
+            "catch-up {catch_up} exceeds the post-reconnection budget"
+        );
+        // Non-contact scenarios keep the contact metrics inert.
+        let plain = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery).run();
+        assert_eq!(plain.dark_rounds, 0);
+        assert_eq!(plain.catch_up_rounds, None);
     }
 
     #[test]

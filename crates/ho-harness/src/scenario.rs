@@ -5,6 +5,7 @@ use ho_core::adversary::{
     Adversary, CrashRecovery, EventuallyGood, FullDelivery, KernelOnly, Partition, RandomLoss,
 };
 use ho_core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use ho_core::contact::{ContactPlan, ContactPlanAdversary};
 use ho_core::executor::{RoundExecutor, RoundScratch, RunError};
 use ho_core::process::ProcessSet;
 use ho_core::round::Round;
@@ -75,21 +76,48 @@ pub enum AdversarySpec {
         /// Loss probability during the chaos.
         loss: f64,
     },
+    /// A deterministic schedule of directed link up/down intervals
+    /// (episodic partitions, rotating contact windows, store-and-forward
+    /// darkness), permanently all-up from the plan's `good_from()` round.
+    ContactPlan {
+        /// The link schedule.
+        plan: ContactPlan,
+    },
+}
+
+/// A probability rendered as an integer permille, keeping report names
+/// free of `.` (which the scenario-id scheme reserves for nothing, but a
+/// float's `Display` makes `0.3` and `0.30`-style labels ambiguous across
+/// grids).
+pub(crate) fn permille(p: f64) -> u64 {
+    (p * 1000.0).round() as u64
 }
 
 impl AdversarySpec {
-    /// Stable name used in reports.
+    /// Stable name used in reports. Probabilities render as integer
+    /// permille (`random_loss_p300` = 30% loss) so every name is dot-free
+    /// and two grids can never collide on float formatting.
     #[must_use]
     pub fn name(&self) -> String {
         match self {
             AdversarySpec::FullDelivery => "full_delivery".into(),
-            AdversarySpec::RandomLoss { loss } => format!("random_loss_{loss}"),
+            AdversarySpec::RandomLoss { loss } => format!("random_loss_p{}", permille(*loss)),
             AdversarySpec::Partition { blocks } => format!("partition_{blocks}"),
             AdversarySpec::CrashRecovery => "crash_recovery".into(),
-            AdversarySpec::KernelOnly { loss } => format!("kernel_only_{loss}"),
+            AdversarySpec::KernelOnly { loss } => format!("kernel_only_p{}", permille(*loss)),
             AdversarySpec::EventuallyGood { bad_rounds, loss } => {
-                format!("eventually_good_{bad_rounds}_{loss}")
+                format!("eventually_good_{bad_rounds}_p{}", permille(*loss))
             }
+            AdversarySpec::ContactPlan { plan } => plan.label(),
+        }
+    }
+
+    /// The contact plan, when this spec is one.
+    #[must_use]
+    pub fn contact_plan(&self) -> Option<ContactPlan> {
+        match self {
+            AdversarySpec::ContactPlan { plan } => Some(*plan),
+            _ => None,
         }
     }
 
@@ -129,6 +157,7 @@ impl AdversarySpec {
                 loss,
                 seed,
             )),
+            AdversarySpec::ContactPlan { plan } => Box::new(ContactPlanAdversary::new(plan, seed)),
         }
     }
 }
@@ -528,5 +557,70 @@ mod tests {
     fn crash_recovery_outages_are_seed_deterministic() {
         let s = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::CrashRecovery);
         assert_eq!(s.run().decided_round, s.run().decided_round);
+    }
+
+    #[test]
+    fn contact_plan_scenarios_decide_after_reconnection() {
+        // OTR cannot decide across an episodic partition or a rotating
+        // window, but every plan ends in permanent full delivery — the
+        // run must decide there and stay safe throughout.
+        for plan in [
+            ContactPlan::Episodic {
+                dark: 4,
+                bright: 1,
+                cycles: 3,
+            },
+            ContactPlan::Rotating {
+                window: 3,
+                windows: 4,
+            },
+            ContactPlan::StoreAndForward { dark: 12 },
+        ] {
+            let mut s = scenario(
+                AlgorithmSpec::OneThirdRule,
+                AdversarySpec::ContactPlan { plan },
+            );
+            s.max_rounds = plan.good_from() + 20;
+            s.cooldown_rounds = 5;
+            for seed in 0..3 {
+                s.seed = seed;
+                let v = s.run();
+                assert!(v.is_safe(), "{}: {:?}", v.id(), v.violation);
+                assert!(v.all_decided(), "{}: undecided", v.id());
+                assert!(
+                    v.decided_round.unwrap() <= plan.good_from() + 3,
+                    "{}: decided only at {:?}",
+                    v.id(),
+                    v.decided_round
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_names_are_dot_free_and_distinct() {
+        let specs = [
+            AdversarySpec::FullDelivery,
+            AdversarySpec::RandomLoss { loss: 0.2 },
+            AdversarySpec::RandomLoss { loss: 0.3 },
+            AdversarySpec::Partition { blocks: 2 },
+            AdversarySpec::CrashRecovery,
+            AdversarySpec::KernelOnly { loss: 0.8 },
+            AdversarySpec::EventuallyGood {
+                bad_rounds: 6,
+                loss: 0.5,
+            },
+            AdversarySpec::ContactPlan {
+                plan: ContactPlan::StoreAndForward { dark: 8 },
+            },
+        ];
+        let names: Vec<String> = specs.iter().map(AdversarySpec::name).collect();
+        for name in &names {
+            assert!(!name.contains('.'), "float leaked into {name}");
+        }
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+        assert_eq!(names[1], "random_loss_p200");
+        assert_eq!(names[6], "eventually_good_6_p500");
     }
 }

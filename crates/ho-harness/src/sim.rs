@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 
+use ho_core::contact::ContactPlan;
 use ho_core::executor::MessageStats;
 use ho_predicates::bounds::BoundParams;
 use ho_predicates::measure::{run_alg2_scenario, run_alg3_scenario, Scenario as GoodPeriodStart};
@@ -24,6 +25,7 @@ use ho_sim::BadPeriodConfig;
 
 use crate::par::{default_threads, par_map_with_policy, ChunkPolicy};
 use crate::report::MessageTotals;
+use crate::scenario::permille;
 
 /// Normalized process-speed bound `φ` used by the canonical sim grid.
 const PHI: f64 = 1.0;
@@ -87,29 +89,59 @@ pub enum LinkFaultSpec {
         /// Receive-omission probability.
         recv: f64,
     },
+    /// A [`ContactPlan`] link schedule (scheduled link outages over calm
+    /// period rules), then good from the plan's horizon; Theorems 3/6
+    /// give the bound. The plan's seed-rotated choices derive from the
+    /// scenario seed.
+    ContactPlanThenGood {
+        /// The link schedule preceding the good period.
+        plan: ContactPlan,
+        /// Real-time length mapped onto one plan round.
+        round_len: f64,
+    },
+}
+
+/// A length in normalized time units rendered as integer centiunits,
+/// keeping fault names dot-free (`rl250` = round length 2.5).
+fn centi(t: f64) -> u64 {
+    (t * 100.0).round() as u64
 }
 
 impl LinkFaultSpec {
-    /// Stable name used in reports.
+    /// Stable name used in reports. Probabilities render as integer
+    /// permille and time lengths as integer centiunits, so every name is
+    /// dot-free and unambiguous across grids.
     #[must_use]
     pub fn name(&self) -> String {
         match self {
             LinkFaultSpec::GoodFromStart => "good_from_start".into(),
             LinkFaultSpec::LossyThenGood { bad_len, loss } => {
-                format!("lossy_then_good_{bad_len}_{loss}")
+                format!("lossy_then_good_t{}_p{}", centi(*bad_len), permille(*loss))
             }
-            LinkFaultSpec::CrashyThenGood { bad_len } => format!("crashy_then_good_{bad_len}"),
+            LinkFaultSpec::CrashyThenGood { bad_len } => {
+                format!("crashy_then_good_t{}", centi(*bad_len))
+            }
             LinkFaultSpec::OmissiveThenGood {
                 bad_len,
                 send,
                 recv,
-            } => format!("omissive_then_good_{bad_len}_{send}_{recv}"),
+            } => format!(
+                "omissive_then_good_t{}_p{}_p{}",
+                centi(*bad_len),
+                permille(*send),
+                permille(*recv)
+            ),
+            LinkFaultSpec::ContactPlanThenGood { plan, round_len } => {
+                format!("{}_rl{}", plan.label(), centi(*round_len))
+            }
         }
     }
 
-    /// The measurement-harness scenario this fault model maps to.
+    /// The measurement-harness scenario this fault model maps to. `seed`
+    /// drives a contact plan's seed-rotated choices; the other fault
+    /// models draw their randomness inside the simulator and ignore it.
     #[must_use]
-    pub fn good_period_start(&self) -> GoodPeriodStart {
+    pub fn good_period_start(&self, seed: u64) -> GoodPeriodStart {
         match *self {
             LinkFaultSpec::GoodFromStart => GoodPeriodStart::Initial,
             LinkFaultSpec::LossyThenGood { bad_len, loss } => GoodPeriodStart::AfterBad {
@@ -128,6 +160,9 @@ impl LinkFaultSpec {
                 bad_len,
                 bad: BadPeriodConfig::omissive(send, recv),
             },
+            LinkFaultSpec::ContactPlanThenGood { plan, round_len } => {
+                GoodPeriodStart::contact(plan, seed, round_len)
+            }
         }
     }
 }
@@ -180,7 +215,7 @@ impl SimScenario {
     pub fn run(&self) -> SimVerdict {
         let start = Instant::now();
         let params = BoundParams::new(self.n, PHI, DELTA);
-        let good_start = self.fault.good_period_start();
+        let good_start = self.fault.good_period_start(self.seed);
         let outcome: SimMeasurement = match self.implementation {
             ImplementationSpec::Alg2 => run_alg2_scenario(
                 params,
@@ -554,6 +589,63 @@ mod tests {
             .run();
         assert_eq!(report.violations, 0, "{:?}", report.violating());
         assert!(report.crashes > 0 || report.dropped > 0, "faults happened");
+    }
+
+    #[test]
+    fn contact_plan_faults_deliver_after_the_horizon() {
+        let report = SimSweep::new()
+            .implementations([ImplementationSpec::Alg2, ImplementationSpec::Alg3 { f: 1 }])
+            .faults([LinkFaultSpec::ContactPlanThenGood {
+                plan: ContactPlan::Episodic {
+                    dark: 3,
+                    bright: 2,
+                    cycles: 2,
+                },
+                round_len: 5.0,
+            }])
+            .sizes([4])
+            .seeds(0..3)
+            .run();
+        assert_eq!(report.scenarios, 6);
+        assert_eq!(report.violations, 0, "{:?}", report.violating());
+        assert!(
+            report.dropped > 0,
+            "scheduled outages dropped transmissions"
+        );
+        for v in &report.verdicts {
+            assert!(
+                v.id().contains("contact_episodic_d3b2c2_rl500"),
+                "{}",
+                v.id()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_names_are_dot_free() {
+        let faults = [
+            LinkFaultSpec::GoodFromStart,
+            LinkFaultSpec::LossyThenGood {
+                bad_len: 40.0,
+                loss: 0.5,
+            },
+            LinkFaultSpec::CrashyThenGood { bad_len: 37.5 },
+            LinkFaultSpec::OmissiveThenGood {
+                bad_len: 40.0,
+                send: 0.25,
+                recv: 0.3,
+            },
+            LinkFaultSpec::ContactPlanThenGood {
+                plan: ContactPlan::StoreAndForward { dark: 8 },
+                round_len: 2.5,
+            },
+        ];
+        for f in &faults {
+            assert!(!f.name().contains('.'), "float leaked into {}", f.name());
+        }
+        assert_eq!(faults[1].name(), "lossy_then_good_t4000_p500");
+        assert_eq!(faults[2].name(), "crashy_then_good_t3750");
+        assert_eq!(faults[4].name(), "contact_store_forward_d8_rl250");
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! with [`BoundParams`].
 
 use ho_core::algorithms::OneThirdRule;
+use ho_core::contact::ContactPlan;
 use ho_core::executor::MessageStats;
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::translation::Translated;
-use ho_sim::{BadPeriodConfig, GoodKind, Schedule, SimConfig, SimStats, Simulator, TimePoint};
+use ho_sim::{
+    BadPeriodConfig, GoodKind, LinkSchedule, Schedule, SimConfig, SimStats, Simulator, TimePoint,
+};
 
 use crate::alg2::Alg2Program;
 use crate::alg3::Alg3Program;
@@ -34,6 +37,19 @@ pub enum Scenario {
         /// Fault behaviour during the bad period.
         bad: BadPeriodConfig,
     },
+    /// A [`ContactPlan`] link schedule precedes the good period: the
+    /// period rules stay calm, and all disruption comes from scheduled
+    /// link outages — the system-level twin of the round-synchronous
+    /// `ContactPlanAdversary`. The good period starts at the plan's
+    /// horizon, where every link is permanently up again.
+    AfterContactPlan {
+        /// The deterministic link schedule driving the bad period.
+        plan: ContactPlan,
+        /// Seed for the plan's seed-rotated choices.
+        seed: u64,
+        /// Real-time length mapped onto one plan round.
+        round_len: f64,
+    },
 }
 
 impl Scenario {
@@ -47,20 +63,44 @@ impl Scenario {
         }
     }
 
+    /// A contact-plan scenario: scheduled link outages until the plan's
+    /// horizon, then a good period.
+    #[must_use]
+    pub fn contact(plan: ContactPlan, seed: u64, round_len: f64) -> Self {
+        Scenario::AfterContactPlan {
+            plan,
+            seed,
+            round_len,
+        }
+    }
+
     /// The good-period start time `τG`.
     #[must_use]
     pub fn good_start(&self) -> f64 {
         match self {
             Scenario::Initial => 0.0,
             Scenario::AfterBad { bad_len, .. } => *bad_len,
+            Scenario::AfterContactPlan {
+                plan, round_len, ..
+            } => (plan.good_from() - 1) as f64 * round_len,
         }
     }
 
-    fn schedule(&self, pi0: ProcessSet, kind: GoodKind) -> Schedule {
+    fn schedule(&self, n: usize, pi0: ProcessSet, kind: GoodKind) -> Schedule {
         match self {
             Scenario::Initial => Schedule::always_good(pi0, kind),
             Scenario::AfterBad { bad_len, bad } => {
                 Schedule::bad_then_good(*bad, TimePoint::new(*bad_len), pi0, kind)
+            }
+            Scenario::AfterContactPlan {
+                plan,
+                seed,
+                round_len,
+            } => {
+                let link = LinkSchedule::new(*plan, *seed, n, *round_len);
+                let horizon = link.horizon();
+                Schedule::bad_then_good(BadPeriodConfig::calm(), horizon, pi0, kind)
+                    .with_link_schedule(link)
             }
         }
     }
@@ -160,7 +200,7 @@ pub fn run_alg2_scenario(
 ) -> SimMeasurement {
     let n = params.n;
     let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
-    let schedule = scenario.schedule(pi0, GoodKind::PiDown);
+    let schedule = scenario.schedule(n, pi0, GoodKind::PiDown);
     let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
         .map(|p| {
             Alg2Program::new(
@@ -176,7 +216,7 @@ pub fn run_alg2_scenario(
 
     let bound = match scenario {
         Scenario::Initial => params.theorem5(x),
-        Scenario::AfterBad { .. } => params.theorem3(x),
+        Scenario::AfterBad { .. } | Scenario::AfterContactPlan { .. } => params.theorem3(x),
     };
     let good_start = scenario.good_start();
     let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
@@ -242,7 +282,7 @@ pub fn run_alg3_scenario(
     assert!(2 * f < n, "Algorithm 3 requires f < n/2");
     let pi0 = ProcessSet::from_indices(0..n - f);
     let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
-    let schedule = scenario.schedule(pi0, GoodKind::PiArbitrary);
+    let schedule = scenario.schedule(n, pi0, GoodKind::PiArbitrary);
     let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
         .map(|p| {
             Alg3Program::new(
@@ -259,7 +299,7 @@ pub fn run_alg3_scenario(
 
     let bound = match scenario {
         Scenario::Initial => params.theorem7(x),
-        Scenario::AfterBad { .. } => params.theorem6(x),
+        Scenario::AfterBad { .. } | Scenario::AfterContactPlan { .. } => params.theorem6(x),
     };
     let good_start = scenario.good_start();
     let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
@@ -325,7 +365,7 @@ pub fn measure_full_stack(
     assert!(3 * f < n, "the full stack with OTR requires f < n/3");
     let pi0 = ProcessSet::from_indices(0..n - f);
     let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
-    let schedule = scenario.schedule(pi0, GoodKind::PiArbitrary);
+    let schedule = scenario.schedule(n, pi0, GoodKind::PiArbitrary);
     let programs: Vec<Alg3Program<Translated<OneThirdRule>>> = (0..n)
         .map(|p| {
             // This run never reads the round log (the stop condition is
@@ -395,6 +435,39 @@ mod tests {
                 "seed {seed}: {m:?}"
             );
         }
+    }
+
+    #[test]
+    fn alg2_after_contact_plan_within_theorem3() {
+        // Episodic d3/b2/c2: good_from = 9, so with round_len = 5 the
+        // good period starts at τG = 40.
+        let params = BoundParams::new(4, 1.0, 2.0);
+        let pi0 = ProcessSet::full(4);
+        let plan = ContactPlan::Episodic {
+            dark: 3,
+            bright: 2,
+            cycles: 2,
+        };
+        for seed in 0..3 {
+            let scenario = Scenario::contact(plan, seed, 5.0);
+            assert!((scenario.good_start() - 40.0).abs() < 1e-12);
+            let m = measure_alg2_space_uniform(params, pi0, 2, scenario, seed);
+            assert!(m.achieved_at.is_some(), "seed {seed}: P_su achieved");
+            assert!(
+                m.within_bound(params.delta + params.phi + 1.0),
+                "seed {seed}: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alg3_after_contact_plan_within_theorem6() {
+        // One replica dark for 8 plan rounds, then permanently back.
+        let params = BoundParams::new(4, 1.0, 2.0);
+        let plan = ContactPlan::StoreAndForward { dark: 8 };
+        let m = measure_alg3_kernel(params, 1, 2, Scenario::contact(plan, 5, 5.0), 9);
+        assert!(m.achieved_at.is_some(), "P_k achieved");
+        assert!(m.within_bound(alg3_slack(&params)), "{m:?}");
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub struct ServiceStats {
     pub min_applied_slots: u64,
     /// Commands requeued after losing their slot, summed over replicas.
     pub requeued_commands: u64,
+    /// Backfill entries delivered into replicas' mailboxes, summed over
+    /// replicas — the catch-up traffic volume.
+    pub backfill_entries: u64,
+    /// Rounds in which some replica's applied log was shorter than the
+    /// longest — rounds the service spent degraded.
+    pub divergent_rounds: u64,
+    /// The round at which the last divergence healed (every log equal
+    /// length again); `None` if the service never diverged or is still
+    /// divergent.
+    pub last_convergence_round: Option<u64>,
     /// Commands drawn but owned by another shard, summed over replicas
     /// (always 0 for an unsharded service).
     pub routed_away_commands: u64,
@@ -58,6 +68,12 @@ impl ServiceStats {
 pub struct LogDriver<A: HoAlgorithm<Value = u64>> {
     exec: RoundExecutor<MultiSlot<A>>,
     max_batch: u64,
+    /// Rounds after which some replica's log trailed the longest.
+    divergent_rounds: u64,
+    /// Whether the logs were unequal after the last executed round.
+    diverged: bool,
+    /// Round at which the last divergence healed.
+    last_convergence_round: Option<u64>,
 }
 
 impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
@@ -83,6 +99,9 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
         LogDriver {
             exec: RoundExecutor::with_scratch(alg, initial, TraceMode::Off, scratch),
             max_batch,
+            divergent_rounds: 0,
+            diverged: false,
+            last_convergence_round: None,
         }
     }
 
@@ -98,7 +117,10 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
         self.exec.current_round().get()
     }
 
-    /// Runs `rounds` rounds under `adversary`.
+    /// Runs `rounds` rounds under `adversary`, tracking log convergence
+    /// after every round (an alloc-free `O(n)` scan per round): how many
+    /// rounds some replica trailed the longest log, and when the last
+    /// such divergence healed — the catch-up latency observable.
     ///
     /// # Errors
     ///
@@ -109,7 +131,45 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
         adversary: &mut impl Adversary,
         rounds: u64,
     ) -> Result<(), RunError<u64>> {
-        self.exec.run(adversary, rounds)
+        for _ in 0..rounds {
+            let round = self.exec.step(adversary)?;
+            let mut min = usize::MAX;
+            let mut max = 0;
+            for s in self.exec.states() {
+                let len = s.applied().len();
+                min = min.min(len);
+                max = max.max(len);
+            }
+            if min != max {
+                self.divergent_rounds += 1;
+                self.diverged = true;
+            } else if self.diverged {
+                self.diverged = false;
+                self.last_convergence_round = Some(round.get());
+            }
+        }
+        Ok(())
+    }
+
+    /// Rounds after which some replica's applied log trailed the longest
+    /// (counted by [`LogDriver::run`]'s per-round scan).
+    #[must_use]
+    pub fn divergent_rounds(&self) -> u64 {
+        self.divergent_rounds
+    }
+
+    /// The round at which the last log divergence healed; `None` if the
+    /// logs never diverged or are still unequal.
+    #[must_use]
+    pub fn last_convergence_round(&self) -> Option<u64> {
+        self.last_convergence_round
+    }
+
+    /// Whether every replica's applied log had equal length after the
+    /// last executed round.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        !self.diverged
     }
 
     /// The per-replica states.
@@ -139,8 +199,11 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
             stats.hot_generated += s.workload().hot_generated();
             stats.requeued_commands += s.stats().requeued_commands;
             stats.routed_away_commands += s.workload().routed_away();
+            stats.backfill_entries += s.stats().backfill_received;
             stats.latencies.extend_from_slice(&s.stats().latencies);
         }
+        stats.divergent_rounds = self.divergent_rounds;
+        stats.last_convergence_round = self.last_convergence_round;
         let logs = self.applied_logs();
         stats.applied_slots = logs.iter().map(|l| l.len() as u64).max().unwrap_or(0);
         stats.min_applied_slots = logs.iter().map(|l| l.len() as u64).min().unwrap_or(0);

@@ -277,6 +277,12 @@ impl<A: HoAlgorithm<Value = u64>> ShardedLogDriver<A> {
             merged.requeued_commands += s.requeued_commands;
             merged.routed_away_commands += s.routed_away_commands;
             merged.hot_generated += s.hot_generated;
+            merged.backfill_entries += s.backfill_entries;
+            // Groups run lockstep rounds, so per-shard degraded rounds
+            // overlap: report the worst shard, not the sum.
+            merged.divergent_rounds = merged.divergent_rounds.max(s.divergent_rounds);
+            merged.last_convergence_round =
+                merged.last_convergence_round.max(s.last_convergence_round);
             merged.latencies.extend_from_slice(&s.latencies);
         }
         merged.latencies.sort_unstable();

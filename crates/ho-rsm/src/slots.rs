@@ -208,6 +208,12 @@ pub struct ReplicaStats {
     /// Commands returned to the queue because their slot decided another
     /// replica's batch.
     pub requeued_commands: u64,
+    /// Backfill entries carried in bundles delivered to this replica —
+    /// the catch-up traffic volume it received.
+    pub backfill_received: u64,
+    /// Backfill entries that newly decided a slot here (the useful subset
+    /// of `backfill_received`).
+    pub backfill_adopted: u64,
     /// Apply latencies in rounds, one sample per own applied command
     /// (arrival round → apply round, retries included).
     pub latencies: Vec<u64>,
@@ -269,17 +275,18 @@ impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
 
     /// Records slot `slot`'s decision (first write wins), requeueing this
     /// replica's in-flight batch if the slot went to somebody else.
-    fn record_decided(&mut self, slot: u64, value: u64) {
+    /// Returns whether the decision was newly recorded.
+    fn record_decided(&mut self, slot: u64, value: u64) -> bool {
         let depth = self.cells.len() as u64;
         let next = self.next_apply();
         if slot < next || slot >= next + depth {
-            return;
+            return false;
         }
         let idx = (slot % depth) as usize;
         debug_assert_eq!(self.cells[idx].slot, slot, "window ring out of sync");
         let cell = &mut self.cells[idx];
         if cell.decided.is_some() {
-            return;
+            return false;
         }
         cell.decided = Some(value);
         if value != cell.proposal && !cell.batch.is_empty() {
@@ -290,6 +297,7 @@ impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
                 self.pending.push_front(cmd);
             }
         }
+        true
     }
 
     /// (Re)opens `cell` for `slot`: batches pending commands into the
@@ -655,8 +663,11 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
         //    runs (safe by the inner algorithm's agreement — the decided
         //    value of a slot is unique).
         for (_, m) in mb.iter() {
+            state.stats.backfill_received += m.backfill.len() as u64;
             for (i, &v) in m.backfill.iter().enumerate() {
-                state.record_decided(m.backfill_start + i as u64, v);
+                if state.record_decided(m.backfill_start + i as u64, v) {
+                    state.stats.backfill_adopted += 1;
+                }
             }
             for e in &m.entries {
                 if let SlotPayload::Decided(v) = e.payload {

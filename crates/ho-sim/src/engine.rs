@@ -450,6 +450,13 @@ impl<P: Program> Simulator<P> {
 
     /// Loss and delay for a transmission starting now.
     fn route(&mut self, from: ProcessId, to: ProcessId) -> (bool, f64) {
+        // Contact-plan overlay: a transmission on a scheduled-down
+        // directed link is lost regardless of the period rules. Past the
+        // plan's horizon every link is up, so good periods placed there
+        // keep their delivery guarantee.
+        if !self.schedule.link_up(from, to, self.now) {
+            return (true, 0.0);
+        }
         match *self.schedule.kind_at(self.now) {
             PeriodKind::Good { pi0, .. } if pi0.contains(from) && pi0.contains(to) => {
                 let delay = match self.cfg.delay_timing {

@@ -29,6 +29,6 @@ pub mod time;
 pub use config::{BadPeriodConfig, DelayTiming, SimConfig, StepTiming};
 pub use engine::Simulator;
 pub use program::{Program, StepKind, WireMsg};
-pub use schedule::{GoodKind, Period, PeriodKind, Schedule};
+pub use schedule::{GoodKind, LinkSchedule, Period, PeriodKind, Schedule};
 pub use stats::SimStats;
 pub use time::TimePoint;

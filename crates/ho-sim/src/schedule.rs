@@ -14,10 +14,68 @@
 //! Case 1 is case 2 with `π0 = Π`, so the implementation (and the paper)
 //! distinguishes only π0-down and π0-arbitrary.
 
-use ho_core::process::ProcessSet;
+use ho_core::contact::ContactPlan;
+use ho_core::process::{ProcessId, ProcessSet};
 
 use crate::config::BadPeriodConfig;
 use crate::time::TimePoint;
+
+/// A real-valued-time rendering of a [`ContactPlan`]: the plan's 1-based
+/// rounds are mapped onto time with a fixed `round_len`, and every
+/// transmission consults [`LinkSchedule::link_up`] at its send time.
+///
+/// The schedule is self-limiting: past the plan's guaranteed-good point
+/// (`(good_from − 1) · round_len`) every link is unconditionally up, so a
+/// good period placed at or after that horizon keeps the §4.1 synchrony
+/// guarantees — and the theorem bounds — intact. Before the horizon the
+/// plan *adds* deterministic link downs on top of whatever the period
+/// rules decide.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSchedule {
+    plan: ContactPlan,
+    seed: u64,
+    n: usize,
+    round_len: f64,
+}
+
+impl LinkSchedule {
+    /// Renders `plan` over `n` processes with `round_len` time units per
+    /// plan round, decisions drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_len` is not positive.
+    #[must_use]
+    pub fn new(plan: ContactPlan, seed: u64, n: usize, round_len: f64) -> Self {
+        assert!(round_len > 0.0, "round length must be positive");
+        LinkSchedule {
+            plan,
+            seed,
+            n,
+            round_len,
+        }
+    }
+
+    /// The underlying plan.
+    #[must_use]
+    pub fn plan(&self) -> ContactPlan {
+        self.plan
+    }
+
+    /// The time at which the plan's permanent fully-connected suffix
+    /// begins — place the schedule's good period at or after this.
+    #[must_use]
+    pub fn horizon(&self) -> TimePoint {
+        TimePoint::new((self.plan.good_from() - 1) as f64 * self.round_len)
+    }
+
+    /// Whether the directed link `from → to` is up at time `t`.
+    #[must_use]
+    pub fn link_up(&self, from: ProcessId, to: ProcessId, t: TimePoint) -> bool {
+        let round = (t.get() / self.round_len).floor().max(0.0) as u64 + 1;
+        self.plan.link_up(self.seed, self.n, round, from, to)
+    }
+}
 
 /// The flavour of a good period.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,10 +129,12 @@ pub struct Period {
     pub kind: PeriodKind,
 }
 
-/// A full schedule: consecutive periods starting at time 0.
+/// A full schedule: consecutive periods starting at time 0, optionally
+/// overlaid with a deterministic contact-plan [`LinkSchedule`].
 #[derive(Clone, Debug)]
 pub struct Schedule {
     periods: Vec<Period>,
+    link: Option<LinkSchedule>,
 }
 
 impl Schedule {
@@ -98,7 +158,34 @@ impl Schedule {
                 "periods must have strictly increasing start times"
             );
         }
-        Schedule { periods }
+        Schedule {
+            periods,
+            link: None,
+        }
+    }
+
+    /// Overlays a contact-plan link schedule: before the plan's horizon
+    /// every transmission additionally requires its directed link to be
+    /// up. Good periods starting at or after [`LinkSchedule::horizon`]
+    /// are unaffected (the plan is all-up there by construction), so the
+    /// synchrony guarantees a verdict is checked against still hold.
+    #[must_use]
+    pub fn with_link_schedule(mut self, link: LinkSchedule) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// The contact-plan link schedule, if one is overlaid.
+    #[must_use]
+    pub fn link_schedule(&self) -> Option<&LinkSchedule> {
+        self.link.as_ref()
+    }
+
+    /// Whether the directed link `from → to` is up at `t` — `true` when
+    /// no link schedule is overlaid.
+    #[must_use]
+    pub fn link_up(&self, from: ProcessId, to: ProcessId, t: TimePoint) -> bool {
+        self.link.is_none_or(|l| l.link_up(from, to, t))
     }
 
     /// A single good period covering all of time (the fault-free system):
@@ -274,6 +361,31 @@ mod tests {
             start: TimePoint::new(1.0),
             kind: PeriodKind::all_good(3),
         }]);
+    }
+
+    #[test]
+    fn link_schedule_maps_time_onto_plan_rounds() {
+        let plan = ContactPlan::StoreAndForward { dark: 4 };
+        let link = LinkSchedule::new(plan, 9, 4, 2.5);
+        let dark = plan.dark_replica(9, 4);
+        let other = ProcessId::new((dark.index() + 1) % 4);
+        // Before the horizon the dark replica's links are down…
+        assert_eq!(link.horizon(), TimePoint::new(10.0));
+        for t in [0.0, 2.4, 9.9] {
+            assert!(!link.link_up(dark, other, TimePoint::new(t)), "t = {t}");
+            assert!(!link.link_up(other, dark, TimePoint::new(t)), "t = {t}");
+            assert!(link.link_up(dark, dark, TimePoint::new(t)), "self-delivery");
+        }
+        // …and from the horizon on everything is up forever.
+        for t in [10.0, 10.1, 1e6] {
+            assert!(link.link_up(dark, other, TimePoint::new(t)), "t = {t}");
+        }
+        // The schedule overlay defaults to all-up without a plan.
+        let s = Schedule::always_good(pi0(), GoodKind::PiDown);
+        assert!(s.link_up(dark, other, TimePoint::ZERO));
+        let s = s.with_link_schedule(link);
+        assert!(!s.link_up(dark, other, TimePoint::ZERO));
+        assert!(s.link_schedule().is_some());
     }
 
     #[test]

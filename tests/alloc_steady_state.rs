@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use heardof::core::adversary::{Adversary, FullDelivery, KernelOnly, RandomLoss};
 use heardof::core::algorithms::{LastVoting, OneThirdRule, UniformVoting};
+use heardof::core::contact::{ContactPlan, ContactPlanAdversary};
 use heardof::core::executor::RoundExecutor;
 use heardof::core::observer::RoundObserver;
 use heardof::core::process::ProcessSet;
@@ -159,6 +160,28 @@ fn zero_allocations_per_round_in_steady_state() {
         ),
         0,
         "UniformVoting / KernelOnly / TraceMode::Off"
+    );
+
+    // A contact-plan adversary keeps the same discipline while the plan
+    // is still *active*: phase arithmetic over Copy bitsets, no per-round
+    // state. The cycle count pushes good_from past the measured window,
+    // so every counted round runs partitioned-or-bright churn, not the
+    // trivial all-up suffix.
+    let episodic_forever = ContactPlan::Episodic {
+        dark: 3,
+        bright: 2,
+        cycles: 200,
+    };
+    assert_eq!(
+        steady_state_allocs(
+            OneThirdRule::new(n),
+            values.clone(),
+            ContactPlanAdversary::new(episodic_forever, 7),
+            TraceMode::Off,
+            300,
+        ),
+        0,
+        "OneThirdRule / ContactPlanAdversary(episodic) / TraceMode::Off"
     );
 
     // Past 16 mailbox entries the transition functions' mode computation
@@ -332,6 +355,36 @@ fn multi_slot_log_driver_zero_allocations_per_round_in_steady_state() {
         allocs_during(|| driver.run(&mut adv, 300).expect("steady state safe")),
         0,
         "LogDriver depth=8 / FixedRate / RandomLoss(0.25)"
+    );
+    let check = driver.check();
+    assert!(check.is_ok(), "{:?}", check.violation);
+
+    // The disruption-tolerant path: episodic partitions keep the log
+    // diverging and re-converging, so the backfill lane (bundle backfill
+    // entries on the send side, decided-slot adoption on the receive
+    // side) and the per-round convergence scan are all hot — and still
+    // allocation-free. The plan's cycle count keeps it active for the
+    // whole measured window.
+    let mut cfg = RsmConfig::with_depth(4);
+    cfg.reserve_slots = 2048;
+    cfg.reserve_commands = 4096;
+    let mut driver = LogDriver::new(
+        OneThirdRule::new(n),
+        WorkloadSpec::FixedRate { per_round: 2 },
+        cfg,
+        13,
+    );
+    let plan = heardof::core::contact::ContactPlan::Episodic {
+        dark: 3,
+        bright: 2,
+        cycles: 200,
+    };
+    let mut adv = heardof::core::contact::ContactPlanAdversary::new(plan, 7);
+    driver.run(&mut adv, 60).expect("warm-up safe");
+    assert_eq!(
+        allocs_during(|| driver.run(&mut adv, 300).expect("steady state safe")),
+        0,
+        "LogDriver depth=4 / FixedRate / ContactPlanAdversary(episodic)"
     );
     let check = driver.check();
     assert!(check.is_ok(), "{:?}", check.violation);

@@ -282,11 +282,14 @@ mod system_level {
     //! polling loop, on identical simulations.
 
     use heardof::core::algorithms::OneThirdRule;
+    use heardof::core::contact::ContactPlan;
     use heardof::core::process::{ProcessId, ProcessSet};
     use heardof::predicates::measure::{measure_alg2_space_uniform, measure_alg3_kernel, Scenario};
     use heardof::predicates::record::SystemTrace;
     use heardof::predicates::{Alg2Program, Alg3Program, BoundParams};
-    use heardof::sim::{GoodKind, Schedule, SimConfig, Simulator, TimePoint};
+    use heardof::sim::{
+        BadPeriodConfig, GoodKind, LinkSchedule, Schedule, SimConfig, Simulator, TimePoint,
+    };
 
     const RECORD_WINDOW: usize = 64;
     const DEADLINE_FACTOR: f64 = 6.0;
@@ -307,6 +310,16 @@ mod system_level {
             Scenario::AfterBad { bad_len, bad } => {
                 Schedule::bad_then_good(bad, TimePoint::new(bad_len), pi0, GoodKind::PiDown)
             }
+            Scenario::AfterContactPlan {
+                plan,
+                seed,
+                round_len,
+            } => {
+                let link = LinkSchedule::new(plan, seed, n, round_len);
+                let horizon = link.horizon();
+                Schedule::bad_then_good(BadPeriodConfig::calm(), horizon, pi0, GoodKind::PiDown)
+                    .with_link_schedule(link)
+            }
         };
         let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
             .map(|p| {
@@ -323,7 +336,7 @@ mod system_level {
         let good_start = scenario.good_start();
         let bound = match scenario {
             Scenario::Initial => params.theorem5(x),
-            Scenario::AfterBad { .. } => params.theorem3(x),
+            Scenario::AfterBad { .. } | Scenario::AfterContactPlan { .. } => params.theorem3(x),
         };
         let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
         let mut st = SystemTrace::new(n);
@@ -352,6 +365,21 @@ mod system_level {
             Scenario::AfterBad { bad_len, bad } => {
                 Schedule::bad_then_good(bad, TimePoint::new(bad_len), pi0, GoodKind::PiArbitrary)
             }
+            Scenario::AfterContactPlan {
+                plan,
+                seed,
+                round_len,
+            } => {
+                let link = LinkSchedule::new(plan, seed, n, round_len);
+                let horizon = link.horizon();
+                Schedule::bad_then_good(
+                    BadPeriodConfig::calm(),
+                    horizon,
+                    pi0,
+                    GoodKind::PiArbitrary,
+                )
+                .with_link_schedule(link)
+            }
         };
         let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
             .map(|p| {
@@ -369,7 +397,7 @@ mod system_level {
         let good_start = scenario.good_start();
         let bound = match scenario {
             Scenario::Initial => params.theorem7(x),
-            Scenario::AfterBad { .. } => params.theorem6(x),
+            Scenario::AfterBad { .. } | Scenario::AfterContactPlan { .. } => params.theorem6(x),
         };
         let deadline = TimePoint::new(good_start + bound * DEADLINE_FACTOR);
         let mut st = SystemTrace::new(n);
@@ -389,6 +417,19 @@ mod system_level {
             (ProcessSet::full(4), Scenario::Initial, 1),
             (ProcessSet::full(4), Scenario::rough(60.0), 2),
             (ProcessSet::from_indices(0..3), Scenario::rough(40.0), 7),
+            (
+                ProcessSet::full(4),
+                Scenario::contact(
+                    ContactPlan::Episodic {
+                        dark: 3,
+                        bright: 2,
+                        cycles: 2,
+                    },
+                    5,
+                    5.0,
+                ),
+                4,
+            ),
         ] {
             let m = measure_alg2_space_uniform(params, pi0, 2, scenario, seed);
             let batch = batch_alg2(params, pi0, 2, scenario, seed);
@@ -402,6 +443,12 @@ mod system_level {
         for (n, f, scenario, seed) in [
             (4, 1, Scenario::Initial, 3),
             (5, 2, Scenario::rough(80.0), 0),
+            (
+                4,
+                1,
+                Scenario::contact(ContactPlan::StoreAndForward { dark: 8 }, 6, 2.5),
+                1,
+            ),
         ] {
             let params = BoundParams::new(n, 1.0, 2.0);
             let m = measure_alg3_kernel(params, f, 2, scenario, seed);

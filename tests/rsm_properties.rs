@@ -17,6 +17,7 @@ use heardof::rsm::{shard_seed, LogDriver, RsmConfig, ShardedLogDriver};
 
 use heardof::core::adversary::{Adversary, RandomLoss};
 use heardof::core::algorithms::OneThirdRule;
+use heardof::core::contact::{contact_seed, ContactPlan, ContactPlanAdversary};
 
 /// The full adversary zoo (every fault environment the model-layer sweep
 /// knows, parameters included).
@@ -139,6 +140,170 @@ fn nothing_decided_is_ever_dropped() {
         // After healing, every replica holds the same complete log.
         assert!(finals.iter().all(|l| l.len() == finals[0].len()));
     }
+}
+
+#[test]
+fn dark_replica_rejoins_without_dropping_anything() {
+    // The store-and-forward contract, end to end: one replica is dark for
+    // 2000 rounds while the other three keep ordering the log, then it
+    // reconnects and must climb back to the frontier through bounded
+    // per-bundle backfill — with nothing decided ever dropped, full
+    // prefix agreement after catch-up, and the catch-up latency visible
+    // as a LogDriver counter.
+    for seed in [3, 11, 29] {
+        let dark_len = 2000u64;
+        let plan = ContactPlan::StoreAndForward {
+            dark: dark_len as u32,
+        };
+        let n = 4;
+        let dark = plan.dark_replica(seed, n).index();
+        let mut cfg = RsmConfig::with_depth(4);
+        // ~2 commands/round for 2600 rounds: budget the applied logs and
+        // workload queues up front so reconnection cannot stall on
+        // capacity growth mid-measurement.
+        cfg.reserve_slots = 4096;
+        cfg.reserve_commands = 8192;
+        let mut driver = LogDriver::new(
+            OneThirdRule::new(n),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            cfg,
+            seed,
+        );
+        let mut adv = ContactPlanAdversary::new(plan, seed);
+
+        // Phase 1: darkness. The three connected replicas clear the 2/3
+        // threshold and keep deciding; the dark one hears only itself,
+        // so its applied log freezes while the frontier runs away.
+        driver.run(&mut adv, dark_len).unwrap();
+        let mid: Vec<Vec<u64>> = driver.applied_logs().iter().map(|l| l.to_vec()).collect();
+        let frontier = mid.iter().map(Vec::len).max().unwrap();
+        assert!(
+            frontier > 100,
+            "seed {seed}: the connected majority must keep ordering (frontier {frontier})"
+        );
+        assert!(
+            mid[dark].len() < frontier / 2,
+            "seed {seed}: replica {dark} was dark, its log must lag the frontier \
+             ({} vs {frontier})",
+            mid[dark].len()
+        );
+        assert!(
+            !driver.converged(),
+            "seed {seed}: logs diverge mid-darkness"
+        );
+
+        // Phase 2: reconnection. Backfill is capped per bundle, so the
+        // climb takes at least gap/(peers × cap) rounds — give it the
+        // gap's worth and require convergence well inside that.
+        let gap = (frontier - mid[dark].len()) as u64;
+        driver.run(&mut adv, gap + 50).unwrap();
+
+        let check = driver.check();
+        assert!(check.is_ok(), "seed {seed}: {:?}", check.violation);
+        let finals = driver.applied_logs();
+        // Nothing decided was dropped: every mid-darkness log is a prefix
+        // of the corresponding final log.
+        for (p, log) in mid.iter().enumerate() {
+            assert_eq!(
+                &finals[p][..log.len()],
+                &log[..],
+                "seed {seed}: replica {p} dropped applied entries during catch-up"
+            );
+        }
+        // Full prefix agreement after catch-up: identical complete logs.
+        assert!(
+            finals.iter().all(|l| l == &finals[0]),
+            "seed {seed}: logs did not reconverge after the dark replica rejoined"
+        );
+        assert!(driver.converged(), "seed {seed}");
+
+        // The catch-up latency counter: convergence is dated after the
+        // good suffix began, and within the committed-floor bound — the
+        // dark replica adopts at least one backfilled slot per round, so
+        // the climb is at most `gap` rounds long.
+        let caught_up_at = driver
+            .last_convergence_round()
+            .expect("seed {seed}: a dark replica that rejoined must have reconverged");
+        assert!(
+            caught_up_at >= plan.good_from(),
+            "seed {seed}: convergence at round {caught_up_at} predates reconnection"
+        );
+        let catch_up = caught_up_at - (plan.good_from() - 1);
+        assert!(
+            catch_up <= gap,
+            "seed {seed}: catch-up took {catch_up} rounds for a {gap}-slot gap \
+             — slower than one backfilled slot per round"
+        );
+        let stats = driver.service_stats();
+        assert!(
+            stats.backfill_entries > gap,
+            "seed {seed}: the climb must ride backfill ({} entries for a {gap}-slot gap)",
+            stats.backfill_entries
+        );
+    }
+}
+
+#[test]
+fn contact_seeds_are_pinned_and_thread_count_invariant() {
+    // The contact-plan decision stream is part of the reproducibility
+    // contract, exactly like `shard_seed`: golden-pin the split so a
+    // refactor cannot silently reshuffle every plan's block rotations,
+    // contact pairs and dark replicas.
+    assert_eq!(contact_seed(42, 0), 0x7d79_4cac_3b31_b670);
+    assert_eq!(contact_seed(42, 1), 0xc18a_6a3e_1515_492b);
+    assert_eq!(contact_seed(42, 2), 0x8a87_0c04_fc3e_fe55);
+    assert_eq!(contact_seed(42, 0x5af0), 0x8627_6d88_d40d_2b7b);
+    assert_eq!(contact_seed(0, 0), 0x8209_b480_faed_1b10);
+
+    // And the derived choices stay pinned with it.
+    let plan = ContactPlan::StoreAndForward { dark: 8 };
+    assert_eq!(plan.dark_replica(42, 4).index(), 3);
+    assert_eq!(plan.dark_replica(7, 4).index(), 2);
+
+    // The contact-plan sweep axis must produce identical verdicts —
+    // degradation metrics included — at any worker count.
+    let sweep = || {
+        RsmSweep::new()
+            .algorithms([AlgorithmSpec::OneThirdRule])
+            .adversaries([
+                AdversarySpec::ContactPlan {
+                    plan: ContactPlan::Episodic {
+                        dark: 3,
+                        bright: 2,
+                        cycles: 4,
+                    },
+                },
+                AdversarySpec::ContactPlan {
+                    plan: ContactPlan::StoreAndForward { dark: 16 },
+                },
+            ])
+            .sizes([4])
+            .depths([4])
+            .shards([1, 2])
+            .workloads([WorkloadSpec::FixedRate { per_round: 2 }])
+            .seeds(0..4)
+            .rounds(80)
+    };
+    let single = sweep().threads(1).run();
+    let pooled = sweep().threads(4).run();
+    let fingerprint = |r: &RsmReport| {
+        r.verdicts
+            .iter()
+            .map(|v| {
+                (
+                    v.id(),
+                    v.slots,
+                    v.commands,
+                    v.dark_rounds,
+                    v.catch_up_rounds,
+                    v.backfill_entries,
+                    v.divergent_rounds,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(fingerprint(&single), fingerprint(&pooled));
+    assert_eq!(single.violations, 0);
 }
 
 #[test]
