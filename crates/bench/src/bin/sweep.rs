@@ -8,10 +8,12 @@
 //! violation, any prefix-agreement or exactly-once violation in the rsm
 //! layer, any disagreement between a monitored safety-environment
 //! predicate and the safety verdict (e.g. an empty kernel under the
-//! `kernel_only` adversary), *or* any contact-plan predicate window
-//! landing after its guaranteed-good bound. With `--rsm` only the replicated-log grid runs
-//! (full size, per-scenario verdicts embedded) — the fast iteration loop
-//! for service-level tuning.
+//! `kernel_only` adversary), any contact-plan predicate window landing
+//! after its guaranteed-good bound, *or* a lease-on full-delivery cell
+//! whose requeue ratio exceeds 0.1 (the flow-control acceptance gate).
+//! With `--rsm` only the replicated-log grid runs (full size,
+//! per-scenario verdicts embedded) — the fast iteration loop for
+//! service-level tuning.
 
 use ho_harness::{rsm_report_json, Json};
 
@@ -146,6 +148,51 @@ fn main() {
                 eprintln!("smoke FAILED: rsm_layer service aggregates = {other:?}");
                 std::process::exit(1);
             }
+        }
+        // The flow-control contract: the lease axis round-trips (`lease`,
+        // `noop_slots`, `lease_takeovers` in every cell), both settings
+        // are present, and every lease-on full-delivery cell clears the
+        // requeue gate (requeued/applied ≤ 0.1 under symmetric delivery).
+        let Some(Json::Arr(rsm_cells)) = rsm.get("cells") else {
+            eprintln!("smoke FAILED: no rsm_layer cell table in the report");
+            std::process::exit(1);
+        };
+        let mut saw_lease = [false, false];
+        for cell in rsm_cells {
+            let Json::Obj(cell) = cell else {
+                eprintln!("smoke FAILED: rsm_layer cell is not an object");
+                std::process::exit(1);
+            };
+            let Some(Json::Bool(lease)) = cell.get("lease") else {
+                eprintln!("smoke FAILED: rsm_layer cell missing lease flag: {cell:?}");
+                std::process::exit(1);
+            };
+            saw_lease[usize::from(*lease)] = true;
+            if !cell.contains_key("noop_slots") || !cell.contains_key("lease_takeovers") {
+                eprintln!("smoke FAILED: rsm_layer cell missing flow-control fields: {cell:?}");
+                std::process::exit(1);
+            }
+            if *lease && cell.get("adversary") == Some(&Json::Str("full_delivery".into())) {
+                let ratio = match cell.get("requeue_ratio") {
+                    Some(Json::Float(r)) => *r,
+                    Some(Json::UInt(n)) => *n as f64,
+                    Some(Json::Null) => 0.0,
+                    other => {
+                        eprintln!("smoke FAILED: rsm_layer requeue_ratio = {other:?}");
+                        std::process::exit(1);
+                    }
+                };
+                if ratio > 0.1 {
+                    eprintln!(
+                        "smoke FAILED: lease-on full-delivery requeue ratio {ratio} > 0.1: {cell:?}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        if saw_lease != [true, true] {
+            eprintln!("smoke FAILED: the rsm grid must sweep lease off AND on ({saw_lease:?})");
+            std::process::exit(1);
         }
         // The sharded layer's contract: the partitioned service kept the
         // sharded oracle (per-shard prefix agreement + exactly-once,

@@ -122,10 +122,14 @@ pub fn sim_layer_sweep() -> SimSweep {
 
 /// The canonical **rsm-layer** grids: the replicated-log service
 /// (`ho-rsm`'s pipelined `LogDriver`) swept across (inner algorithm ×
-/// adversary × n × pipeline depth × workload × seed). Every cell must
-/// finish with **zero** prefix-agreement / exactly-once violations; the
-/// per-cell table carries the service numbers (commands/sec, rounds/slot,
-/// worst p99 apply latency in rounds) that future scaling PRs move.
+/// adversary × n × pipeline depth × workload × lease × seed). Every cell
+/// must finish with **zero** prefix-agreement / exactly-once violations;
+/// the per-cell table carries the service numbers (commands/sec,
+/// rounds/slot, worst p99 apply latency in rounds) that future scaling
+/// PRs move. The lease axis runs every cell twice — flow control off
+/// (the requeue-churn baseline) and on (slot leases, adaptive batching,
+/// admission backpressure) — so the document is its own before/after
+/// table for the flow-control work.
 ///
 /// OneThirdRule and LastVoting run the full fault zoo — their safety
 /// needs no communication predicate, so even chaos may only slow the log,
@@ -159,6 +163,7 @@ pub fn rsm_layer_sweeps() -> Vec<RsmSweep> {
             .sizes([4, 7])
             .depths([1, 4, 16])
             .workloads(workloads)
+            .leases([false, true])
             .seeds(0..3)
             .rounds(80),
         RsmSweep::new()
@@ -167,6 +172,7 @@ pub fn rsm_layer_sweeps() -> Vec<RsmSweep> {
             .sizes([4, 7])
             .depths([1, 4, 16])
             .workloads(workloads)
+            .leases([false, true])
             .seeds(0..3)
             .rounds(80),
     ]
@@ -229,6 +235,7 @@ pub fn sharded_rsm_sweeps() -> Vec<RsmSweep> {
             WorkloadSpec::FixedRate { per_round: 2 },
             WorkloadSpec::SkewedKey { per_round: 2 },
         ])
+        .leases([false, true])
         .seeds(0..3)
         .rounds(80)]
 }
@@ -259,22 +266,23 @@ pub fn run_sharded_rsm(smoke: bool) -> RsmReport {
 }
 
 /// The `sharded_rsm` section: the standard rsm report plus a `scaling`
-/// table — one row per shard count, aggregated over the rest of the grid,
-/// carrying the numbers the sharding tentpole is judged by (aggregate
-/// commands/sec and the requeue ratio as S grows).
+/// table — one row per (shard count, lease setting), aggregated over the
+/// rest of the grid, carrying the numbers the sharding and flow-control
+/// tentpoles are judged by (aggregate commands/sec and the requeue ratio
+/// as S grows, before and after leases).
 #[must_use]
 pub fn sharded_rsm_json(report: &RsmReport) -> Json {
     let Json::Obj(mut map) = rsm_report_json(report, false) else {
         unreachable!("rsm reports serialize to an object");
     };
-    let mut by_shards: std::collections::BTreeMap<usize, Vec<&ho_harness::RsmVerdict>> =
+    let mut by_shards: std::collections::BTreeMap<(usize, bool), Vec<&ho_harness::RsmVerdict>> =
         std::collections::BTreeMap::new();
     for v in &report.verdicts {
-        by_shards.entry(v.shards).or_default().push(v);
+        by_shards.entry((v.shards, v.lease)).or_default().push(v);
     }
     let scaling: Vec<Json> = by_shards
         .into_iter()
-        .map(|(shards, vs)| {
+        .map(|((shards, lease), vs)| {
             let commands: u64 = vs.iter().map(|v| v.commands).sum();
             let generated: u64 = vs.iter().map(|v| v.generated_commands).sum();
             let requeued: u64 = vs.iter().map(|v| v.requeued_commands).sum();
@@ -282,12 +290,20 @@ pub fn sharded_rsm_json(report: &RsmReport) -> Json {
             let violations = vs.iter().filter(|v| !v.is_safe()).count();
             Json::obj([
                 ("shards", Json::UInt(shards as u64)),
+                ("lease", Json::Bool(lease)),
                 ("scenarios", Json::UInt(vs.len() as u64)),
                 ("violations", Json::UInt(violations as u64)),
                 ("commands", Json::UInt(commands)),
                 ("generated_commands", Json::UInt(generated)),
                 ("requeued_commands", Json::UInt(requeued)),
-                ("requeue_ratio", Json::Float(ratio(requeued, commands))),
+                (
+                    "requeue_ratio",
+                    if commands == 0 {
+                        Json::Null
+                    } else {
+                        Json::Float(requeued as f64 / commands as f64)
+                    },
+                ),
                 ("wall_nanos", Json::UInt(wall)),
                 (
                     "commands_per_sec",
@@ -392,6 +408,7 @@ pub fn contact_rsm_sweep() -> RsmSweep {
             WorkloadSpec::FixedRate { per_round: 2 },
             WorkloadSpec::ClosedLoop { clients: 8 },
         ])
+        .leases([false, true])
         .seeds(0..3)
         .rounds(80)
 }
@@ -415,6 +432,7 @@ pub fn contact_sharded_sweep() -> RsmSweep {
         .depths([4])
         .shards([1, 4])
         .workloads([WorkloadSpec::FixedRate { per_round: 2 }])
+        .leases([false, true])
         .seeds(0..3)
         .rounds(80)
 }
@@ -932,11 +950,21 @@ mod tests {
         assert_eq!(report.violations, 0, "{:?}", report.violating());
         assert!(report.totals.commands > 0);
         assert!(report.rounds_per_slot() > 0.0);
-        for ((alg, adv, depth, _shards, wl), cell) in report.by_cell() {
+        for ((alg, adv, depth, _shards, wl, lease), cell) in report.by_cell() {
             assert!(
                 cell.slots > 0,
-                "dead cell: {alg}/{adv}/d{depth}/{wl} ordered nothing"
+                "dead cell: {alg}/{adv}/d{depth}/{wl}/lease{lease} ordered nothing"
             );
+            // The flow-control acceptance gate: under symmetric delivery
+            // the leaseholder always wins its slot, so lease-on cells must
+            // be (near-)requeue-free.
+            if lease && adv == "full_delivery" {
+                let ratio = cell.requeue_ratio().unwrap_or(0.0);
+                assert!(
+                    ratio <= 0.1,
+                    "lease-on {alg}/d{depth}/{wl} requeue ratio {ratio} exceeds 0.1"
+                );
+            }
         }
         // Deeper pipelines must raise per-round throughput under full
         // delivery (the whole point of the depth axis).
@@ -972,8 +1000,18 @@ mod tests {
         assert_eq!(per_s, report.totals.commands);
         // Sharding must not change the total generated load: the S=4
         // cells route the same client stream across four groups.
-        for ((_, adv, _, shards, wl), cell) in report.by_cell() {
-            assert!(cell.commands > 0, "dead cell: {adv}/S{shards}/{wl}");
+        for ((_, adv, _, shards, wl, lease), cell) in report.by_cell() {
+            assert!(
+                cell.commands > 0,
+                "dead cell: {adv}/S{shards}/{wl}/lease{lease}"
+            );
+            if lease && adv == "full_delivery" {
+                let ratio = cell.requeue_ratio().unwrap_or(0.0);
+                assert!(
+                    ratio <= 0.1,
+                    "lease-on S{shards}/{wl} requeue ratio {ratio} exceeds 0.1"
+                );
+            }
         }
     }
 
@@ -1035,6 +1073,45 @@ mod tests {
         assert!(
             matches!(rsm.get("cells"), Some(Json::Arr(cells)) if !cells.is_empty()),
             "per-cell throughput table present"
+        );
+        // The flow-control fields survive a parse round-trip, both lease
+        // settings are present, and every lease-on full-delivery cell
+        // clears the requeue gate.
+        let Some(Json::Arr(rsm_cells)) = rsm.get("cells") else {
+            panic!("rsm cells missing");
+        };
+        let mut lease_settings = std::collections::HashSet::new();
+        for cell in rsm_cells {
+            let Json::Obj(cell) = cell else {
+                panic!("rsm cells are objects");
+            };
+            let Some(Json::Bool(lease)) = cell.get("lease") else {
+                panic!("cell missing lease flag");
+            };
+            lease_settings.insert(*lease);
+            assert!(cell.contains_key("noop_slots"), "noop_slots round-trips");
+            assert!(
+                cell.contains_key("lease_takeovers"),
+                "lease_takeovers round-trips"
+            );
+            assert!(cell.contains_key("requeue_ratio"));
+            if *lease && cell.get("adversary") == Some(&Json::Str("full_delivery".into())) {
+                match cell.get("requeue_ratio") {
+                    Some(Json::Float(r)) => {
+                        assert!(
+                            *r <= 0.1,
+                            "lease-on requeue ratio {r} exceeds 0.1: {cell:?}"
+                        );
+                    }
+                    Some(Json::UInt(0)) | Some(Json::Null) => {}
+                    other => panic!("unexpected requeue_ratio {other:?}"),
+                }
+            }
+        }
+        assert_eq!(
+            lease_settings.len(),
+            2,
+            "both lease settings appear in the rsm cells"
         );
         // The sharded-rsm section round-trips with its per-S scaling
         // table, zero sharded-oracle violations, and the requeue ratio

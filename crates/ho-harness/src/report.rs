@@ -48,6 +48,13 @@ impl JsonFields {
         self.field(key, Json::Float(value))
     }
 
+    /// Appends an optional floating-point rate (`null` when the quantity
+    /// is undefined — e.g. a ratio over an empty denominator).
+    #[must_use]
+    pub fn opt_float(self, key: &str, value: Option<f64>) -> Self {
+        self.field(key, value.map_or(Json::Null, Json::Float))
+    }
+
     /// Appends a boolean.
     #[must_use]
     pub fn bool(self, key: &str, value: bool) -> Self {
@@ -429,29 +436,35 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
     let cells: Vec<Json> = report
         .by_cell()
         .into_iter()
-        .map(|((algorithm, adversary, depth, shards, workload), cell)| {
-            JsonFields::new()
-                .str("algorithm", algorithm)
-                .str("adversary", adversary)
-                .uint("depth", depth as u64)
-                .uint("shards", shards as u64)
-                .str("workload", workload)
-                .uint("scenarios", cell.scenarios as u64)
-                .uint("violations", cell.violations as u64)
-                .uint("slots", cell.slots)
-                .uint("commands", cell.commands)
-                .uint("generated_commands", cell.generated)
-                .uint("requeued_commands", cell.requeued)
-                .float("requeue_ratio", cell.requeue_ratio())
-                .float("rounds_per_slot", cell.rounds_per_slot())
-                .float("commands_per_sec", cell.commands_per_sec())
-                .uint("worst_p99_latency_rounds", cell.worst_p99_latency)
-                .uint("backfill_entries", cell.backfill_entries)
-                .uint("divergent_rounds", cell.divergent_rounds)
-                .uint("dark_rounds", cell.dark_rounds)
-                .uint("worst_catch_up_rounds", cell.worst_catch_up)
-                .build()
-        })
+        .map(
+            |((algorithm, adversary, depth, shards, workload, lease), cell)| {
+                JsonFields::new()
+                    .str("algorithm", algorithm)
+                    .str("adversary", adversary)
+                    .uint("depth", depth as u64)
+                    .uint("shards", shards as u64)
+                    .str("workload", workload)
+                    .bool("lease", lease)
+                    .uint("scenarios", cell.scenarios as u64)
+                    .uint("violations", cell.violations as u64)
+                    .uint("slots", cell.slots)
+                    .uint("commands", cell.commands)
+                    .uint("generated_commands", cell.generated)
+                    .uint("requeued_commands", cell.requeued)
+                    .uint("noop_slots", cell.noop_slots)
+                    .uint("lease_takeovers", cell.lease_takeovers)
+                    .uint("deferred_commands", cell.deferred_commands)
+                    .opt_float("requeue_ratio", cell.requeue_ratio())
+                    .float("rounds_per_slot", cell.rounds_per_slot())
+                    .float("commands_per_sec", cell.commands_per_sec())
+                    .uint("worst_p99_latency_rounds", cell.worst_p99_latency)
+                    .uint("backfill_entries", cell.backfill_entries)
+                    .uint("divergent_rounds", cell.divergent_rounds)
+                    .uint("dark_rounds", cell.dark_rounds)
+                    .uint("worst_catch_up_rounds", cell.worst_catch_up)
+                    .build()
+            },
+        )
         .collect();
     let mut fields = JsonFields::new()
         .uint("scenarios", report.scenarios as u64)
@@ -469,13 +482,10 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
                 .uint("commands", report.totals.commands)
                 .uint("generated_commands", report.totals.generated)
                 .uint("requeued_commands", report.totals.requeued)
-                .float(
+                .opt_float(
                     "requeue_ratio",
-                    if report.totals.commands == 0 {
-                        0.0
-                    } else {
-                        report.totals.requeued as f64 / report.totals.commands as f64
-                    },
+                    (report.totals.commands != 0)
+                        .then(|| report.totals.requeued as f64 / report.totals.commands as f64),
                 )
                 .float("rounds_per_slot", report.rounds_per_slot())
                 .uint("worst_p99_latency_rounds", report.totals.worst_p99_latency)
@@ -499,17 +509,20 @@ pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
         .opt_str("violation", v.violation.clone())
         .uint("rounds", v.rounds_run)
         .uint("shards", v.shards as u64)
+        .bool("lease", v.lease)
         .uint("slots", v.slots)
         .uint("min_slots", v.min_slots)
         .uint("noop_slots", v.noop_slots)
         .uint("commands", v.commands)
         .uint("generated_commands", v.generated_commands)
         .uint("requeued_commands", v.requeued_commands)
+        .uint("lease_takeovers", v.lease_takeovers)
+        .uint("deferred_commands", v.deferred_commands)
         .uint("backfill_entries", v.backfill_entries)
         .uint("divergent_rounds", v.divergent_rounds)
         .uint("dark_rounds", v.dark_rounds)
         .opt_uint("catch_up_rounds", v.catch_up_rounds)
-        .float("requeue_ratio", v.requeue_ratio())
+        .opt_float("requeue_ratio", v.requeue_ratio())
         .float("rounds_per_slot", v.rounds_per_slot())
         .float("commands_per_sec", v.commands_per_sec())
         .float("commands_per_round", v.commands_per_round())

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use ho_core::adversary::Adversary;
 use ho_core::executor::{RoundScratch, RunError};
-use ho_rsm::{shard_seed, RsmConfig, ShardedLogDriver, WorkloadSpec};
+use ho_rsm::{shard_seed, FlowControl, RsmConfig, ShardedLogDriver, WorkloadSpec};
 
 use crate::par::{default_threads, par_map_weighted_with_policy, ChunkPolicy};
 use crate::scenario::{AdversarySpec, AlgorithmSpec, ScenarioScratch};
@@ -44,6 +44,9 @@ pub struct RsmScenario {
     pub shards: usize,
     /// The client workload shape.
     pub workload: WorkloadSpec,
+    /// Whether the flow-control stack (slot leases, adaptive batching,
+    /// admission backpressure — [`FlowControl::on`]) is enabled.
+    pub lease: bool,
     /// The seed deriving workloads and adversary randomness.
     pub seed: u64,
     /// Rounds to run (fixed budget — a log service never "terminates").
@@ -55,13 +58,14 @@ impl RsmScenario {
     #[must_use]
     pub fn id(&self) -> String {
         format!(
-            "rsm/{}/{}/n{}/d{}/S{}/{}/s{}",
+            "rsm/{}/{}/n{}/d{}/S{}/{}/lease{}/s{}",
             self.algorithm.name(),
             self.adversary.name(),
             self.n,
             self.depth,
             self.shards.max(1),
             self.workload.name(),
+            u8::from(self.lease),
             self.seed
         )
     }
@@ -98,10 +102,16 @@ impl RsmScenario {
             .collect();
         let mut scratches = std::mem::take(&mut scratch.shard_rounds);
         scratches.resize_with(shards, RoundScratch::default);
+        let mut cfg = RsmConfig::with_depth(self.depth);
+        cfg.flow = if self.lease {
+            FlowControl::on()
+        } else {
+            FlowControl::off()
+        };
         let mut driver = ShardedLogDriver::with_scratches(
             make,
             self.workload,
-            RsmConfig::with_depth(self.depth),
+            cfg,
             shards,
             self.seed,
             scratches,
@@ -146,6 +156,7 @@ impl RsmScenario {
             depth: self.depth,
             shards,
             workload: self.workload.name(),
+            lease: self.lease,
             seed: self.seed,
             rounds_run: driver.rounds_run(),
             violation,
@@ -155,6 +166,8 @@ impl RsmScenario {
             commands: check.commands,
             generated_commands: stats.generated_commands,
             requeued_commands: stats.requeued_commands,
+            lease_takeovers: stats.lease_takeovers,
+            deferred_commands: stats.deferred_commands,
             hot_generated: stats.hot_generated,
             backfill_entries: stats.backfill_entries,
             divergent_rounds: stats.divergent_rounds,
@@ -190,6 +203,8 @@ pub struct RsmVerdict {
     pub shards: usize,
     /// Workload name.
     pub workload: String,
+    /// Whether the flow-control stack was enabled for this scenario.
+    pub lease: bool,
     /// The scenario seed.
     pub seed: u64,
     /// Rounds executed.
@@ -210,6 +225,12 @@ pub struct RsmVerdict {
     pub generated_commands: u64,
     /// Commands requeued after losing their slot.
     pub requeued_commands: u64,
+    /// Slots batched past the lease by the timeout fallback (0 with
+    /// leases off).
+    pub lease_takeovers: u64,
+    /// Arrivals deferred by workload backpressure (0 without an
+    /// admission window).
+    pub deferred_commands: u64,
     /// Commands generated on hot keys (skew realisation).
     pub hot_generated: u64,
     /// Backfill entries delivered into replicas' mailboxes — the catch-up
@@ -250,13 +271,14 @@ impl RsmVerdict {
     #[must_use]
     pub fn id(&self) -> String {
         format!(
-            "rsm/{}/{}/n{}/d{}/S{}/{}/s{}",
+            "rsm/{}/{}/n{}/d{}/S{}/{}/lease{}/s{}",
             self.algorithm,
             self.adversary,
             self.n,
             self.depth,
             self.shards,
             self.workload,
+            u8::from(self.lease),
             self.seed
         )
     }
@@ -290,11 +312,13 @@ impl RsmVerdict {
     }
 
     /// Requeued commands per ordered command — the slot-competition churn
-    /// (the ROADMAP's admission-control baseline; sharding lowers it by
-    /// cutting per-group contention).
+    /// (the ROADMAP's admission-control baseline; leases drive it to ~0,
+    /// sharding lowers it by cutting per-group contention). `None` when
+    /// the scenario ordered nothing, so a stalled cell reports `null`
+    /// instead of a misleading 0 (or a NaN from a naive division).
     #[must_use]
-    pub fn requeue_ratio(&self) -> f64 {
-        ratio(self.requeued_commands, self.commands)
+    pub fn requeue_ratio(&self) -> Option<f64> {
+        opt_ratio(self.requeued_commands, self.commands)
     }
 }
 
@@ -306,8 +330,14 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Like [`ratio`], but distinguishes "no denominator" from "ratio 0":
+/// `None` means the quantity is undefined (nothing ordered), not zero.
+fn opt_ratio(num: u64, den: u64) -> Option<f64> {
+    (den != 0).then(|| num as f64 / den as f64)
+}
+
 /// A builder for (algorithm × adversary × n × depth × shards × workload ×
-/// seed) log-service sweeps.
+/// lease × seed) log-service sweeps.
 ///
 /// ```
 /// use ho_harness::{AdversarySpec, AlgorithmSpec, RsmSweep, WorkloadSpec};
@@ -332,6 +362,7 @@ pub struct RsmSweep {
     depths: Vec<usize>,
     shards: Vec<usize>,
     workloads: Vec<WorkloadSpec>,
+    leases: Vec<bool>,
     seeds: Vec<u64>,
     rounds: u64,
     threads: Option<usize>,
@@ -347,6 +378,7 @@ impl Default for RsmSweep {
             depths: vec![4],
             shards: vec![1],
             workloads: vec![WorkloadSpec::FixedRate { per_round: 2 }],
+            leases: vec![false],
             seeds: (0..5).collect(),
             rounds: 60,
             threads: None,
@@ -405,6 +437,15 @@ impl RsmSweep {
         self
     }
 
+    /// Sets the flow-control axis: each entry runs the grid with the
+    /// lease/backpressure stack off (`false`, today's driver bit-for-bit)
+    /// or on (`true`, [`FlowControl::on`]). Default `[false]`.
+    #[must_use]
+    pub fn leases(mut self, leases: impl IntoIterator<Item = bool>) -> Self {
+        self.leases = leases.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     #[must_use]
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
@@ -435,7 +476,7 @@ impl RsmSweep {
     }
 
     /// Materialises the scenario grid in axis order
-    /// (algorithm, adversary, size, depth, shards, workload, seed).
+    /// (algorithm, adversary, size, depth, shards, workload, lease, seed).
     #[must_use]
     pub fn scenarios(&self) -> Vec<RsmScenario> {
         let mut out = Vec::with_capacity(
@@ -445,6 +486,7 @@ impl RsmSweep {
                 * self.depths.len()
                 * self.shards.len()
                 * self.workloads.len()
+                * self.leases.len()
                 * self.seeds.len(),
         );
         for &algorithm in &self.algorithms {
@@ -453,17 +495,20 @@ impl RsmSweep {
                     for &depth in &self.depths {
                         for &shards in &self.shards {
                             for &workload in &self.workloads {
-                                for &seed in &self.seeds {
-                                    out.push(RsmScenario {
-                                        algorithm,
-                                        adversary: *adversary,
-                                        n,
-                                        depth,
-                                        shards,
-                                        workload,
-                                        seed,
-                                        rounds: self.rounds,
-                                    });
+                                for &lease in &self.leases {
+                                    for &seed in &self.seeds {
+                                        out.push(RsmScenario {
+                                            algorithm,
+                                            adversary: *adversary,
+                                            n,
+                                            depth,
+                                            shards,
+                                            workload,
+                                            lease,
+                                            seed,
+                                            rounds: self.rounds,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -527,7 +572,7 @@ impl RsmTotals {
 }
 
 /// One row of the per-cell table: a (algorithm, adversary, depth, shards,
-/// workload) aggregate.
+/// workload, lease) aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct RsmCell {
     /// Scenarios in the cell.
@@ -544,6 +589,13 @@ pub struct RsmCell {
     pub generated: u64,
     /// Commands requeued after losing their slot.
     pub requeued: u64,
+    /// No-op slots (decided with an empty batch) in the cell's longest
+    /// logs — with leases on, slots the non-holders conceded.
+    pub noop_slots: u64,
+    /// Slots batched past the lease by the timeout fallback.
+    pub lease_takeovers: u64,
+    /// Arrivals deferred by workload backpressure.
+    pub deferred_commands: u64,
     /// Wall nanoseconds summed over the cell's scenarios.
     pub wall_nanos: u64,
     /// Worst p99 apply latency (rounds) in the cell.
@@ -574,10 +626,11 @@ impl RsmCell {
         self.commands as f64 * 1e9 / self.wall_nanos as f64
     }
 
-    /// Requeued commands per ordered command in the cell.
+    /// Requeued commands per ordered command in the cell; `None` when the
+    /// cell ordered nothing (reported as `null`, not 0).
     #[must_use]
-    pub fn requeue_ratio(&self) -> f64 {
-        ratio(self.requeued, self.commands)
+    pub fn requeue_ratio(&self) -> Option<f64> {
+        opt_ratio(self.requeued, self.commands)
     }
 }
 
@@ -661,8 +714,9 @@ impl RsmReport {
         ratio(self.totals.rounds, self.totals.slots)
     }
 
-    /// Per-(algorithm, adversary, depth, shards, workload) aggregates —
-    /// the throughput/latency table the rsm sweep exists to produce.
+    /// Per-(algorithm, adversary, depth, shards, workload, lease)
+    /// aggregates — the throughput/latency table the rsm sweep exists to
+    /// produce.
     #[must_use]
     pub fn by_cell(&self) -> std::collections::BTreeMap<RsmCellKey, RsmCell> {
         let mut cells: std::collections::BTreeMap<RsmCellKey, RsmCell> =
@@ -675,6 +729,7 @@ impl RsmReport {
                     v.depth,
                     v.shards,
                     v.workload.clone(),
+                    v.lease,
                 ))
                 .or_default();
             cell.scenarios += 1;
@@ -686,6 +741,9 @@ impl RsmReport {
             cell.commands += v.commands;
             cell.generated += v.generated_commands;
             cell.requeued += v.requeued_commands;
+            cell.noop_slots += v.noop_slots;
+            cell.lease_takeovers += v.lease_takeovers;
+            cell.deferred_commands += v.deferred_commands;
             cell.wall_nanos += v.wall_nanos;
             cell.worst_p99_latency = cell.worst_p99_latency.max(v.latency_p99.unwrap_or(0));
             cell.backfill_entries += v.backfill_entries;
@@ -697,8 +755,9 @@ impl RsmReport {
     }
 }
 
-/// The cell-table key: (algorithm, adversary, depth, shards, workload).
-pub type RsmCellKey = (String, String, usize, usize, String);
+/// The cell-table key: (algorithm, adversary, depth, shards, workload,
+/// lease).
+pub type RsmCellKey = (String, String, usize, usize, String, bool);
 
 #[cfg(test)]
 mod tests {
@@ -712,6 +771,7 @@ mod tests {
             depth: 4,
             shards: 1,
             workload: WorkloadSpec::FixedRate { per_round: 2 },
+            lease: false,
             seed: 7,
             rounds: 60,
         }
@@ -817,7 +877,7 @@ mod tests {
         assert_eq!(report.violations, 0);
         let cells = report.by_cell();
         assert_eq!(cells.len(), 3, "one cell per shard count");
-        for ((_, _, _, shards, _), cell) in &cells {
+        for ((_, _, _, shards, _, _), cell) in &cells {
             assert!(*shards >= 1);
             assert!(cell.commands > 0, "S={shards} ordered nothing");
         }
@@ -892,13 +952,59 @@ mod tests {
     }
 
     #[test]
+    fn lease_axis_expands_the_grid_and_kills_full_delivery_requeues() {
+        let sweep = RsmSweep::new().leases([false, true]).seeds(0..3).rounds(60);
+        assert_eq!(sweep.scenarios().len(), 2 * 3);
+        let report = sweep.run();
+        assert_eq!(report.violations, 0);
+        let cells = report.by_cell();
+        assert_eq!(cells.len(), 2, "one cell per lease setting");
+        let requeued = |lease: bool| {
+            cells
+                .iter()
+                .find(|((_, _, _, _, _, l), _)| *l == lease)
+                .map(|(_, c)| c)
+                .unwrap()
+        };
+        let off = requeued(false);
+        let on = requeued(true);
+        assert!(off.requeued > 0, "lease-off full delivery churns");
+        assert_eq!(on.requeued, 0, "leases end slot competition");
+        assert_eq!(on.lease_takeovers, 0, "no timeouts under full delivery");
+        assert!(on.commands > 0);
+        assert!(
+            on.noop_slots > 0,
+            "non-holders concede their slots as noops"
+        );
+        // Ids carry the axis, so both settings coexist in one report.
+        assert!(report.verdicts.iter().any(|v| v.id().contains("/lease0/")));
+        assert!(report.verdicts.iter().any(|v| v.id().contains("/lease1/")));
+    }
+
+    #[test]
+    fn requeue_ratio_is_null_not_nan_when_nothing_was_ordered() {
+        // A partitioned minority orders nothing: the ratio must be None
+        // (JSON null), never NaN or a misleading 0/0 = 0.
+        let mut s = scenario(
+            AlgorithmSpec::OneThirdRule,
+            AdversarySpec::KernelOnly { loss: 0.8 },
+        );
+        s.rounds = 0; // zero budget: guaranteed empty logs
+        let v = s.run();
+        assert_eq!(v.commands, 0);
+        assert_eq!(v.requeue_ratio(), None);
+        let healthy = scenario(AlgorithmSpec::OneThirdRule, AdversarySpec::FullDelivery).run();
+        assert!(healthy.requeue_ratio().is_some());
+    }
+
+    #[test]
     fn deeper_pipelines_raise_cell_throughput() {
         let report = RsmSweep::new().depths([1, 8]).seeds(0..3).rounds(60).run();
         let cells = report.by_cell();
         let per_round = |depth: usize| {
             let cell = cells
                 .iter()
-                .find(|((_, _, d, _, _), _)| *d == depth)
+                .find(|((_, _, d, _, _, _), _)| *d == depth)
                 .map(|(_, c)| c)
                 .unwrap();
             ratio(cell.commands, cell.rounds)

@@ -78,6 +78,26 @@ fn slot_mask(slot: u64) -> u64 {
     (z >> 57) & 0x7F
 }
 
+/// The replica holding slot `slot`'s proposer lease: the one whose masked
+/// id is smallest, i.e. exactly the replica whose proposal a min-value
+/// inner algorithm would pick under symmetric delivery anyway.
+///
+/// The lease is a *hint*, not a safety mechanism — any replica may still
+/// propose a batch for any slot (and does, during lease takeover) without
+/// violating the oracle's invariants. Its job is flow control: when
+/// non-leaseholders propose no-ops instead of doomed batches, losing a
+/// slot requeues nothing.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 128` (outside the packed proposer range).
+#[must_use]
+pub fn lease_holder(slot: u64, n: usize) -> usize {
+    assert!((1..=128).contains(&n), "replica count out of range");
+    let mask = slot_mask(slot) as usize;
+    (0..n).min_by_key(|&p| p ^ mask).expect("n >= 1")
+}
+
 /// Packs a batch reference into slot `slot`'s consensus value, with the
 /// slot-keyed proposer mask applied (see [`decode_slot_value`]).
 ///
@@ -329,6 +349,38 @@ mod tests {
             min_winner.iter().all(|&w| w > 0),
             "every proposer wins some slots: {min_winner:?}"
         );
+    }
+
+    #[test]
+    fn lease_holder_is_the_min_value_winner_and_rotates() {
+        // The leaseholder's packed value must be strictly smallest among
+        // all replicas for the slot — whatever the batch contents — so
+        // granting it the slot changes *who proposes*, never *who wins*.
+        // And the lease must rotate: every replica holds some slots.
+        for n in [1, 4, 5, 7] {
+            let mut held = vec![0usize; n];
+            for slot in 0..256 {
+                let holder = lease_holder(slot, n);
+                assert!(holder < n);
+                held[holder] += 1;
+                for p in 0..n {
+                    if p == holder {
+                        continue;
+                    }
+                    // Leaseholder's worst (largest) encoding still beats
+                    // every other replica's best (smallest) encoding.
+                    assert!(
+                        encode_slot_value(slot, holder, (1 << FIRST_BITS) - 1, MAX_BATCH)
+                            < encode_slot_value(slot, p, 0, 0),
+                        "slot {slot}: lease holder {holder} not minimal vs {p}"
+                    );
+                }
+            }
+            assert!(
+                held.iter().all(|&h| h > 0),
+                "n={n}: lease never rotated to some replica: {held:?}"
+            );
+        }
     }
 
     #[test]

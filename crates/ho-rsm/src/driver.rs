@@ -46,6 +46,12 @@ pub struct ServiceStats {
     /// Commands generated on hot keys, summed over replicas (the skew
     /// realisation under `skewed_key` workloads).
     pub hot_generated: u64,
+    /// Slots batched past the lease by the timeout fallback, summed over
+    /// replicas (always 0 with leases off).
+    pub lease_takeovers: u64,
+    /// Arrivals deferred by workload backpressure, summed over replicas
+    /// (always 0 without an admission window).
+    pub deferred_commands: u64,
     /// Apply latencies in rounds, pooled over every replica's own applied
     /// commands, ascending.
     pub latencies: Vec<u64>,
@@ -200,6 +206,8 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
             stats.requeued_commands += s.stats().requeued_commands;
             stats.routed_away_commands += s.workload().routed_away();
             stats.backfill_entries += s.stats().backfill_received;
+            stats.lease_takeovers += s.stats().lease_takeovers;
+            stats.deferred_commands += s.workload().deferred();
             stats.latencies.extend_from_slice(&s.stats().latencies);
         }
         stats.divergent_rounds = self.divergent_rounds;

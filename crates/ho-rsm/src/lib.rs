@@ -52,9 +52,11 @@ pub mod workload;
 
 pub use checker::{
     check_logs, check_sharded_logs, count_commands, decode_batch, decode_slot_value, encode_batch,
-    encode_slot_value, BatchRef, LogCheck, ShardedLogCheck,
+    encode_slot_value, lease_holder, BatchRef, LogCheck, ShardedLogCheck,
 };
 pub use driver::{LogDriver, ServiceStats};
 pub use shard::{shard_of, shard_seed, ShardSpec, ShardedLogDriver, MAX_SHARDS, SHARD_SHIFT};
-pub use slots::{MultiSlot, ReplicaStats, RsmConfig, RsmMessage, RsmState, SlotEntry, SlotPayload};
+pub use slots::{
+    FlowControl, MultiSlot, ReplicaStats, RsmConfig, RsmMessage, RsmState, SlotEntry, SlotPayload,
+};
 pub use workload::{Command, WorkloadSpec, WorkloadState};

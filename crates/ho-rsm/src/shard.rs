@@ -278,6 +278,8 @@ impl<A: HoAlgorithm<Value = u64>> ShardedLogDriver<A> {
             merged.routed_away_commands += s.routed_away_commands;
             merged.hot_generated += s.hot_generated;
             merged.backfill_entries += s.backfill_entries;
+            merged.lease_takeovers += s.lease_takeovers;
+            merged.deferred_commands += s.deferred_commands;
             // Groups run lockstep rounds, so per-shard degraded rounds
             // overlap: report the worst shard, not the sum.
             merged.divergent_rounds = merged.divergent_rounds.max(s.divergent_rounds);

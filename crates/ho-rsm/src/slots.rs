@@ -53,9 +53,70 @@ use ho_core::process::ProcessId;
 use ho_core::round::Round;
 use ho_core::send_plan::{PlanSlot, PlanSpares, SendPlan};
 
-use crate::checker::{decode_slot_value, encode_slot_value};
+use crate::checker::{decode_slot_value, encode_slot_value, lease_holder};
 use crate::shard::ShardSpec;
 use crate::workload::{Command, WorkloadSpec, WorkloadState};
+
+/// Service-level flow control: slot leases, adaptive batch sizing, and
+/// workload backpressure.
+///
+/// All three mechanisms are *hints* layered above the consensus kernel —
+/// they change what replicas propose and admit, never how slots decide, so
+/// every safety invariant of the oracle holds with any combination of
+/// settings. The default is everything **off**, which is bit-identical to
+/// the pre-flow-control service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowControl {
+    /// Slot-lease proposer hints: non-leaseholders propose a no-op batch
+    /// instead of commands destined to lose the slot's min-value race
+    /// (see [`lease_holder`]).
+    pub lease: bool,
+    /// Lease-timeout fallback: once any live slot here has sat undecided
+    /// this many rounds, the replica re-enters contention — cells it
+    /// (re)opens batch its own commands regardless of lease until the
+    /// window moves again. Keeps liveness under crash / loss / contact
+    /// plans when a leaseholder goes quiet. Only meaningful with `lease`.
+    pub lease_timeout_rounds: u64,
+    /// Adaptive batch sizing: the per-replica effective batch cap halves
+    /// on a lost slot (floor 1) and recovers by one on an owned apply,
+    /// bounding wasted proposal work under contention.
+    pub adaptive_batch: bool,
+    /// Workload backpressure: admission pauses while the pending queue
+    /// holds at least this many commands, so queues stop growing when the
+    /// replica is not winning slots. `None` admits unconditionally.
+    pub admission_window: Option<usize>,
+}
+
+impl FlowControl {
+    /// Everything off: bit-identical to the pre-flow-control service.
+    #[must_use]
+    pub fn off() -> Self {
+        FlowControl {
+            lease: false,
+            lease_timeout_rounds: 8,
+            adaptive_batch: false,
+            admission_window: None,
+        }
+    }
+
+    /// The full flow-control stack: leases (8-round takeover timeout),
+    /// adaptive batching, and a two-batch admission window.
+    #[must_use]
+    pub fn on() -> Self {
+        FlowControl {
+            lease: true,
+            lease_timeout_rounds: 8,
+            adaptive_batch: true,
+            admission_window: Some(16),
+        }
+    }
+}
+
+impl Default for FlowControl {
+    fn default() -> Self {
+        FlowControl::off()
+    }
+}
 
 /// Configuration of the multi-slot machine.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +135,9 @@ pub struct RsmConfig {
     /// The keyspace slice this group owns (solo = the whole keyspace; set
     /// per group by [`ShardedLogDriver`](crate::shard::ShardedLogDriver)).
     pub shard: ShardSpec,
+    /// Service-level flow control (leases, adaptive batching,
+    /// backpressure). Off by default.
+    pub flow: FlowControl,
 }
 
 impl Default for RsmConfig {
@@ -85,6 +149,7 @@ impl Default for RsmConfig {
             reserve_slots: 1024,
             reserve_commands: 1024,
             shard: ShardSpec::solo(),
+            flow: FlowControl::off(),
         }
     }
 }
@@ -214,6 +279,10 @@ pub struct ReplicaStats {
     /// Backfill entries that newly decided a slot here (the useful subset
     /// of `backfill_received`).
     pub backfill_adopted: u64,
+    /// Slots this replica batched commands into despite not holding the
+    /// lease — takeover proposals made while some slot sat undecided past
+    /// the lease timeout. Always 0 with leases off.
+    pub lease_takeovers: u64,
     /// Apply latencies in rounds, one sample per own applied command
     /// (arrival round → apply round, retries included).
     pub latencies: Vec<u64>,
@@ -233,7 +302,27 @@ pub struct RsmState<A: HoAlgorithm> {
     /// Lowest peer commit floor heard (only kept while below ours);
     /// `u64::MAX` when nobody behind us has been heard.
     lag_floor: u64,
+    /// Copy of the machine's flow-control config (needed where `cfg` is
+    /// out of reach: `record_decided`, `apply_ready`).
+    flow: FlowControl,
+    /// Effective batch cap under adaptive sizing (== `cfg.max_batch` when
+    /// adaptation is off or nothing has been lost).
+    cur_max_batch: usize,
+    /// Whether the lease-timeout fallback is active this round: some live
+    /// slot sat undecided past `flow.lease_timeout_rounds`.
+    takeover: bool,
     stats: ReplicaStats,
+}
+
+/// The pieces of a replica's state that `open_cell` needs besides the cell
+/// itself — split out so reopening `cells[idx]` can borrow them disjointly.
+struct OpenCtx<'a> {
+    pending: &'a mut VecDeque<Command>,
+    stats: &'a mut ReplicaStats,
+    /// Effective batch cap for this draw.
+    max_batch: usize,
+    lease: bool,
+    takeover: bool,
 }
 
 impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
@@ -296,27 +385,47 @@ impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
             for cmd in cell.batch.drain(..).rev() {
                 self.pending.push_front(cmd);
             }
+            if self.flow.adaptive_batch {
+                // Multiplicative decrease: contention is eating batches.
+                self.cur_max_batch = (self.cur_max_batch / 2).max(1);
+            }
         }
         true
     }
 
     /// (Re)opens `cell` for `slot`: batches pending commands into the
     /// proposal and starts a fresh inner instance.
-    fn open_cell(
-        inner: &A,
-        p: ProcessId,
-        cell: &mut Cell<A>,
-        slot: u64,
-        round: u64,
-        pending: &mut VecDeque<Command>,
-        max_batch: usize,
-    ) {
+    ///
+    /// With leases on, only the slot's leaseholder batches commands —
+    /// everyone else proposes a no-op, which costs nothing to lose. The
+    /// takeover flag overrides the lease (a fresh init value is always
+    /// safe; the lease is purely a flow hint).
+    fn open_cell(inner: &A, p: ProcessId, cell: &mut Cell<A>, slot: u64, round: u64, ctx: OpenCtx) {
         cell.slot = slot;
         cell.decided = None;
         cell.opened = round;
-        let (first, count) = draw_batch(pending, max_batch, &mut cell.batch);
+        let owned = !ctx.lease || lease_holder(slot, inner.n()) == p.index();
+        let (first, count) = if owned || ctx.takeover {
+            let drawn = draw_batch(ctx.pending, ctx.max_batch, &mut cell.batch);
+            if !owned && drawn.1 > 0 {
+                ctx.stats.lease_takeovers += 1;
+            }
+            drawn
+        } else {
+            cell.batch.clear();
+            (0, 0)
+        };
         cell.proposal = encode_slot_value(slot, p.index(), first, count);
         cell.state = inner.init(p, cell.proposal);
+    }
+
+    /// The batch cap for the next draw (adaptive or configured).
+    fn effective_batch(&self, max_batch: usize) -> usize {
+        if self.flow.adaptive_batch {
+            self.cur_max_batch
+        } else {
+            max_batch
+        }
     }
 
     /// Applies every contiguously decided slot, reopening its cell for the
@@ -340,16 +449,26 @@ impl<A: HoAlgorithm<Value = u64>> RsmState<A> {
                     for cmd in &cell.batch {
                         self.stats.latencies.push(round - cmd.arrival);
                     }
+                    if self.flow.adaptive_batch && batch.count > 0 {
+                        // Additive increase: an owned batch landed.
+                        self.cur_max_batch = (self.cur_max_batch + 1).min(max_batch);
+                    }
                 }
             }
+            let effective = self.effective_batch(max_batch);
             Self::open_cell(
                 inner,
                 p,
                 &mut self.cells[idx],
                 next + depth,
                 round,
-                &mut self.pending,
-                max_batch,
+                OpenCtx {
+                    pending: &mut self.pending,
+                    stats: &mut self.stats,
+                    max_batch: effective,
+                    lease: self.flow.lease,
+                    takeover: self.takeover,
+                },
             );
         }
     }
@@ -365,6 +484,9 @@ impl<A: HoAlgorithm> Clone for RsmState<A> {
             pool: self.pool.clone(),
             inner_mb: self.inner_mb.clone(),
             lag_floor: self.lag_floor,
+            flow: self.flow,
+            cur_max_batch: self.cur_max_batch,
+            takeover: self.takeover,
             stats: self.stats.clone(),
         }
     }
@@ -437,11 +559,17 @@ impl<A: HoAlgorithm<Value = u64>> MultiSlot<A> {
     pub fn initial_checker_values(&self) -> Vec<u64> {
         let mut pending = VecDeque::new();
         let mut batch = Vec::new();
+        let holder = lease_holder(0, self.n());
         (0..self.n())
             .map(|p| {
+                if self.cfg.flow.lease && p != holder {
+                    // Non-leaseholders open slot 0 with a no-op.
+                    return encode_slot_value(0, p, 0, 0);
+                }
                 pending.clear();
                 let mut workload =
-                    WorkloadState::sharded(self.workload, mix(self.seed, p as u64), self.cfg.shard);
+                    WorkloadState::sharded(self.workload, mix(self.seed, p as u64), self.cfg.shard)
+                        .gated(self.cfg.flow.admission_window);
                 workload.tick(0, 0, &mut pending);
                 let (first, count) = draw_batch(&mut pending, self.cfg.max_batch, &mut batch);
                 encode_slot_value(0, p, first, count)
@@ -554,10 +682,14 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
                 self.workload,
                 mix(self.seed, p.index() as u64),
                 self.cfg.shard,
-            ),
+            )
+            .gated(self.cfg.flow.admission_window),
             pool: PayloadPool::default(),
             inner_mb: Mailbox::with_capacity(n),
             lag_floor: u64::MAX,
+            flow: self.cfg.flow,
+            cur_max_batch: self.cfg.max_batch,
+            takeover: false,
             stats: ReplicaStats {
                 latencies: Vec::with_capacity(self.cfg.reserve_commands),
                 ..ReplicaStats::default()
@@ -582,8 +714,13 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
                 &mut cell,
                 slot,
                 0,
-                &mut state.pending,
-                self.cfg.max_batch,
+                OpenCtx {
+                    pending: &mut state.pending,
+                    stats: &mut state.stats,
+                    max_batch: self.cfg.max_batch,
+                    lease: self.cfg.flow.lease,
+                    takeover: false,
+                },
             );
             state.cells.push(cell);
         }
@@ -659,7 +796,24 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
             .min()
             .unwrap_or(u64::MAX);
 
-        // 2. Adopt decisions: peers' decided window entries and backfill
+        // 2. Lease-timeout fallback: if any live slot has sat undecided
+        //    past the timeout as of this round's start (a quiet
+        //    leaseholder — crash, loss, or a dark contact window), this
+        //    replica re-enters contention: cells (re)opened below batch
+        //    its own commands regardless of lease. The flag only changes
+        //    the *init values* of freshly opened cells; a running
+        //    instance is never reset, so inner-algorithm safety is
+        //    untouched. It clears by itself once the window moves again
+        //    (reopened cells are young). Judged before this round's
+        //    decisions are adopted: a stall that heals in one burst still
+        //    leaves a backed-up queue worth re-entering for.
+        state.takeover = state.flow.lease
+            && state.cells.iter().any(|c| {
+                c.decided.is_none()
+                    && round.saturating_sub(c.opened) >= state.flow.lease_timeout_rounds
+            });
+
+        // 3. Adopt decisions: peers' decided window entries and backfill
         //    runs (safe by the inner algorithm's agreement — the decided
         //    value of a slot is unique).
         for (_, m) in mb.iter() {
@@ -676,7 +830,7 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
             }
         }
 
-        // 3. Advance every still-running slot: demultiplex same-slot round
+        // 4. Advance every still-running slot: demultiplex same-slot round
         //    messages into the scratch mailbox and run the inner T_p^r.
         let mut inner_mb = std::mem::take(&mut state.inner_mb);
         for idx in 0..state.cells.len() {
@@ -700,14 +854,14 @@ impl<A: HoAlgorithm<Value = u64>> HoAlgorithm for MultiSlot<A> {
         }
         state.inner_mb = inner_mb;
 
-        // 4. This round's client arrivals, then the in-order apply loop
+        // 5. This round's client arrivals, then the in-order apply loop
         //    (which reopens each applied cell for the slot one window
         //    ahead, batching the freshest arrivals).
         let applied_own = state.stats.own_applied_commands;
         state.workload.tick(round, applied_own, &mut state.pending);
         state.apply_ready(&self.inner, p, round, self.cfg.max_batch);
 
-        // 5. Precompute next round's inner plans for every live cell.
+        // 6. Precompute next round's inner plans for every live cell.
         self.plan_cells(p, state, r.next());
     }
 
@@ -949,7 +1103,196 @@ mod tests {
                 .map(|p| alg.init(ProcessId::new(p), 0).cells[0].proposal)
                 .collect();
             assert_eq!(derived, from_init, "sharded {workload:?}");
+            // And the flow-control stack: lease gating and the admission
+            // gate both shape the slot-0 proposals.
+            let mut cfg = RsmConfig::with_depth(3);
+            cfg.flow = FlowControl::on();
+            let alg = MultiSlot::new(OneThirdRule::new(5), workload, cfg, 99);
+            let derived = alg.initial_checker_values();
+            let from_init: Vec<u64> = (0..5)
+                .map(|p| alg.init(ProcessId::new(p), 0).cells[0].proposal)
+                .collect();
+            assert_eq!(derived, from_init, "flow-on {workload:?}");
         }
+    }
+
+    #[test]
+    fn requeued_commands_keep_their_original_arrival() {
+        // A command that loses its slot goes back to the queue with its
+        // arrival stamp intact, and its eventual latency sample measures
+        // client-observed latency (apply round − original arrival), not
+        // time since the last requeue.
+        let alg = machine(4, 1);
+        let p = ProcessId::new(1);
+        let mut st = alg.init(p, 0);
+        let original = st.cells[0].batch.clone();
+        assert_eq!(original.len(), 2, "fixed-rate 2 batches both arrivals");
+        assert!(original.iter().all(|c| c.arrival == 0));
+        // Slot 0 decides somebody else's batch: ours is requeued.
+        let other = encode_slot_value(0, 0, 0, 1);
+        assert_ne!(other, st.cells[0].proposal);
+        assert!(st.record_decided(0, other));
+        assert_eq!(st.stats().requeued_commands, 2);
+        assert!(st.pending.iter().take(2).eq(original.iter()));
+        // Applying slot 0 at round 9 reopens the cell for slot 1, which
+        // redraws the requeued commands — arrival stamps still 0.
+        st.apply_ready(&alg.inner, p, 9, alg.cfg.max_batch);
+        assert_eq!(st.cells[0].slot, 1);
+        assert!(st.cells[0].batch.starts_with(&original));
+        // This time our batch wins; applying at round 12 must record
+        // latency 12 (round 12 − arrival 0), not 3 (12 − reopen at 9).
+        let mine = st.cells[0].proposal;
+        assert!(st.record_decided(1, mine));
+        st.apply_ready(&alg.inner, p, 12, alg.cfg.max_batch);
+        assert_eq!(st.stats().latencies[..2], [12, 12]);
+    }
+
+    #[test]
+    fn leases_eliminate_requeues_under_full_delivery() {
+        // With leases on, only the slot's leaseholder batches commands —
+        // and the leaseholder's value is what min-value consensus decides
+        // under symmetric delivery, so nobody ever loses a batch.
+        let mut cfg = RsmConfig::with_depth(4);
+        cfg.flow = FlowControl::on();
+        let alg = MultiSlot::new(
+            OneThirdRule::new(4),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            cfg,
+            42,
+        );
+        let initial = alg.initial_checker_values();
+        let mut exec = RoundExecutor::new(alg, initial);
+        exec.run(&mut FullDelivery, 40).unwrap();
+        for s in exec.states() {
+            assert_eq!(s.stats().requeued_commands, 0, "leases kill requeues");
+            assert_eq!(s.stats().lease_takeovers, 0, "no stalls, no takeovers");
+            assert!(s.stats().applied_commands > 0);
+        }
+        let all = logs(&exec);
+        let check = check_logs(
+            &all.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            4,
+            RsmConfig::default().max_batch as u64,
+        );
+        assert!(check.is_ok(), "{:?}", check.violation);
+        assert!(check.commands > 0);
+    }
+
+    #[test]
+    fn lease_takeover_reenters_contention_after_a_stall() {
+        // Black out every HO set long enough to trip the lease timeout:
+        // once rounds flow again, replicas re-opening cells batch their
+        // own commands past the lease (and the log stays safe).
+        let mut cfg = RsmConfig::with_depth(2);
+        cfg.flow = FlowControl::on();
+        cfg.flow.lease_timeout_rounds = 2;
+        let alg = MultiSlot::new(
+            OneThirdRule::new(4),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            cfg,
+            42,
+        );
+        let initial = alg.initial_checker_values();
+        let mut exec = RoundExecutor::new(alg, initial);
+        let dark = ProcessSet::from_indices([]);
+        let mut stall = Scripted::new(vec![vec![dark; 4]; 4]);
+        exec.run(&mut stall, 4).unwrap();
+        exec.run(&mut FullDelivery, 30).unwrap();
+        let takeovers: u64 = exec
+            .states()
+            .iter()
+            .map(|s| s.stats().lease_takeovers)
+            .sum();
+        assert!(takeovers > 0, "the timeout fallback must fire");
+        let all = logs(&exec);
+        let check = check_logs(
+            &all.iter().map(Vec::as_slice).collect::<Vec<_>>(),
+            4,
+            RsmConfig::default().max_batch as u64,
+        );
+        assert!(check.is_ok(), "{:?}", check.violation);
+        assert!(check.commands > 0, "the service recovered");
+    }
+
+    #[test]
+    fn adaptive_batching_shrinks_on_loss_and_recovers_on_apply() {
+        let mut cfg = RsmConfig::with_depth(1);
+        cfg.flow.adaptive_batch = true;
+        let alg = MultiSlot::new(
+            OneThirdRule::new(4),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            cfg,
+            42,
+        );
+        let p = ProcessId::new(1);
+        let mut st = alg.init(p, 0);
+        assert_eq!(st.cur_max_batch, cfg.max_batch);
+        // Losing a slot with a live batch halves the cap.
+        assert!(st.record_decided(0, encode_slot_value(0, 0, 0, 1)));
+        assert_eq!(st.cur_max_batch, cfg.max_batch / 2);
+        st.apply_ready(&alg.inner, p, 3, cfg.max_batch);
+        // Winning an owned slot recovers the cap by one.
+        let mine = st.cells[0].proposal;
+        assert!(decode_slot_value(1, mine).count > 0, "requeue redrawn");
+        assert!(st.record_decided(1, mine));
+        let mut next_idx = 2;
+        let mut refill = |st: &mut RsmState<OneThirdRule>| {
+            for _ in 0..2 {
+                st.pending.push_back(Command {
+                    idx: next_idx,
+                    key: 0,
+                    arrival: 0,
+                });
+                next_idx += 1;
+            }
+        };
+        refill(&mut st);
+        st.apply_ready(&alg.inner, p, 5, cfg.max_batch);
+        assert_eq!(st.cur_max_batch, cfg.max_batch / 2 + 1);
+        // Repeated losses (each with a live batch in flight) floor the
+        // cap at one command per batch.
+        for slot in 2..12 {
+            assert!(!st.cells[0].batch.is_empty(), "slot {slot} has a batch");
+            assert!(st.record_decided(slot, encode_slot_value(slot, 0, 0, 1)));
+            refill(&mut st);
+            st.apply_ready(&alg.inner, p, 6 + slot, cfg.max_batch);
+        }
+        assert_eq!(st.cur_max_batch, 1);
+    }
+
+    #[test]
+    fn flow_control_default_is_off_and_matches_the_legacy_driver() {
+        // `FlowControl::off()` is the `Default`, and a default-config run
+        // is exactly the pre-flow-control service (counter-for-counter) —
+        // the bit-identity anchor the lease axis is measured against.
+        assert_eq!(FlowControl::default(), FlowControl::off());
+        let run = |flow: FlowControl| {
+            let mut cfg = RsmConfig::with_depth(4);
+            cfg.flow = flow;
+            let alg = MultiSlot::new(
+                OneThirdRule::new(5),
+                WorkloadSpec::ClosedLoop { clients: 4 },
+                cfg,
+                7,
+            );
+            let initial = alg.initial_checker_values();
+            let mut exec = RoundExecutor::new(alg, initial);
+            let mut adv = RandomLoss::new(0.3, 9);
+            exec.run(&mut adv, 60).unwrap();
+            let stats: Vec<_> = exec
+                .states()
+                .iter()
+                .map(|s| {
+                    (
+                        s.stats().applied_commands,
+                        s.stats().requeued_commands,
+                        s.stats().latencies.clone(),
+                    )
+                })
+                .collect();
+            (logs(&exec), stats)
+        };
+        assert_eq!(run(FlowControl::default()), run(FlowControl::off()));
     }
 
     #[test]

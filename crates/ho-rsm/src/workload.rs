@@ -130,6 +130,13 @@ pub struct WorkloadState {
     routed_away: u64,
     /// Commands generated on hot keys (skew realisation statistic).
     hot_generated: u64,
+    /// Backpressure: admission pauses while the pending queue holds at
+    /// least this many commands. `None` admits unconditionally.
+    gate: Option<usize>,
+    /// Arrivals deferred by the admission gate. Closed-loop deferrals
+    /// retry on a later tick (the window is recomputed); open-loop
+    /// deferrals are shed load the client would have to retry.
+    deferred: u64,
 }
 
 impl WorkloadState {
@@ -151,7 +158,17 @@ impl WorkloadState {
             next_idx: 0,
             routed_away: 0,
             hot_generated: 0,
+            gate: None,
+            deferred: 0,
         }
+    }
+
+    /// Adds an admission gate: ticks admit commands only while the pending
+    /// queue holds fewer than `window` commands. `None` is a no-op.
+    #[must_use]
+    pub fn gated(mut self, window: Option<usize>) -> Self {
+        self.gate = window;
+        self
     }
 
     /// The generator's shape.
@@ -184,6 +201,12 @@ impl WorkloadState {
     #[must_use]
     pub fn hot_generated(&self) -> u64 {
         self.hot_generated
+    }
+
+    /// Arrivals the admission gate deferred (always 0 without a gate).
+    #[must_use]
+    pub fn deferred(&self) -> u64 {
+        self.deferred
     }
 
     fn next_key(&mut self) -> u32 {
@@ -224,7 +247,17 @@ impl WorkloadState {
                 u64::from(clients).saturating_sub(self.next_idx - applied_own)
             }
         };
-        for _ in 0..arrivals {
+        for admitted in 0..arrivals {
+            // Backpressure: once the queue reaches the gate, defer the
+            // rest of this round's arrivals without drawing them — the
+            // rng stream stays aligned with admitted commands, so a gated
+            // generator is the admitted prefix of the ungated stream.
+            if let Some(gate) = self.gate {
+                if pending.len() >= gate {
+                    self.deferred += arrivals - admitted;
+                    return;
+                }
+            }
             let key = self.next_key();
             if !self.shard.keeps(key) {
                 self.routed_away += 1;
@@ -383,6 +416,43 @@ mod tests {
             w.tick(r, 2, &mut q);
         }
         assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn admission_gate_bounds_the_queue() {
+        // Open loop, never drained: the gate caps the queue and counts
+        // what it shed, and the admitted commands are exactly the prefix
+        // of the ungated stream.
+        let spec = WorkloadSpec::FixedRate { per_round: 4 };
+        let mut gated = WorkloadState::new(spec, 7).gated(Some(6));
+        let mut q = VecDeque::new();
+        for r in 0..10 {
+            gated.tick(r, 0, &mut q);
+            assert!(q.len() <= 6, "round {r}: queue {} over gate", q.len());
+        }
+        assert_eq!(gated.generated(), 6);
+        assert_eq!(gated.deferred(), 4 * 10 - 6);
+        let ungated = drain(spec, 10);
+        let admitted: Vec<Command> = q.into_iter().collect();
+        assert_eq!(admitted[..], ungated[..6], "admitted = ungated prefix");
+    }
+
+    #[test]
+    fn closed_loop_deferrals_retry_once_the_queue_drains() {
+        // A gated closed loop defers arrivals while the queue is full but
+        // never loses them: the window is recomputed per tick, so the
+        // deferred clients are admitted as soon as the service drains.
+        let mut w = WorkloadState::new(WorkloadSpec::ClosedLoop { clients: 8 }, 3).gated(Some(4));
+        let mut q = VecDeque::new();
+        w.tick(0, 0, &mut q);
+        assert_eq!(q.len(), 4, "gate holds half the window back");
+        w.tick(1, 0, &mut q);
+        assert_eq!(q.len(), 4, "still gated, nothing lost");
+        q.clear(); // the service proposes (and later applies) the batch
+        w.tick(2, 4, &mut q);
+        assert_eq!(q.len(), 4, "deferred clients admitted after the drain");
+        assert_eq!(w.generated(), 8, "all eight clients eventually admitted");
+        assert!(w.deferred() > 0);
     }
 
     #[test]

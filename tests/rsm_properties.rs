@@ -12,8 +12,10 @@
 //! UniformVoting runs under full delivery, the only environment in which
 //! pipelined replicas stay in lockstep (see `ho_harness::rsm`).
 
-use heardof::harness::{AdversarySpec, AlgorithmSpec, RsmReport, RsmSweep, WorkloadSpec};
-use heardof::rsm::{shard_seed, LogDriver, RsmConfig, ShardedLogDriver};
+use heardof::harness::{
+    AdversarySpec, AlgorithmSpec, RsmReport, RsmScenario, RsmSweep, WorkloadSpec,
+};
+use heardof::rsm::{shard_seed, FlowControl, LogDriver, RsmConfig, ShardedLogDriver};
 
 use heardof::core::adversary::{Adversary, RandomLoss};
 use heardof::core::algorithms::OneThirdRule;
@@ -101,6 +103,112 @@ fn uv_logs_agree_in_lockstep() {
         .run();
     assert_all_safe(&report);
     assert!(report.totals.commands > 0);
+}
+
+#[test]
+fn otr_logs_agree_across_the_zoo_with_leases_on_50_seeds() {
+    // The flow-control contract under chaos: slot leases, adaptive
+    // batching and admission backpressure change *who proposes batches*,
+    // never what the oracle demands — 7 adversaries × 2 sizes × 3 depths
+    // × 50 seeds, every verdict through prefix agreement, exactly-once
+    // apply and batch integrity with the full stack on.
+    let report = RsmSweep::new()
+        .algorithms([AlgorithmSpec::OneThirdRule])
+        .adversaries(zoo())
+        .sizes([4, 7])
+        .depths([1, 4, 16])
+        .workloads([WorkloadSpec::FixedRate { per_round: 2 }])
+        .leases([true])
+        .seeds(0..50)
+        .rounds(40)
+        .run();
+    assert_eq!(report.scenarios, 7 * 2 * 3 * 50);
+    assert_all_safe(&report);
+    assert!(report.totals.commands > 0);
+    // The tentpole's point, asserted across every full-delivery cell:
+    // the leaseholder always wins its slot under symmetric delivery, so
+    // no command is ever batched into a losing proposal.
+    let mut full_delivery_cells = 0;
+    for v in &report.verdicts {
+        if v.adversary == "full_delivery" {
+            full_delivery_cells += 1;
+            assert_eq!(v.requeued_commands, 0, "{} requeued", v.id());
+            assert_eq!(v.lease_takeovers, 0, "{} took over", v.id());
+        }
+    }
+    assert_eq!(full_delivery_cells, 2 * 3 * 50);
+}
+
+#[test]
+fn lease_off_scenarios_are_bit_identical_to_the_default_driver() {
+    // `lease: false` in the sweep must reproduce today's driver exactly
+    // — same slots, commands, requeues and latency tail — so the lease
+    // axis is a pure before/after comparison, not a new baseline.
+    for seed in [0, 7, 42] {
+        let mut driver = LogDriver::new(
+            OneThirdRule::new(4),
+            WorkloadSpec::FixedRate { per_round: 2 },
+            RsmConfig::with_depth(4),
+            seed,
+        );
+        driver.run(&mut RandomLoss::new(0.3, seed), 60).unwrap();
+        let stats = driver.service_stats();
+
+        let v = RsmScenario {
+            algorithm: AlgorithmSpec::OneThirdRule,
+            adversary: AdversarySpec::RandomLoss { loss: 0.3 },
+            n: 4,
+            depth: 4,
+            shards: 1,
+            workload: WorkloadSpec::FixedRate { per_round: 2 },
+            lease: false,
+            seed,
+            rounds: 60,
+        }
+        .run();
+        assert!(v.is_safe(), "seed {seed}: {:?}", v.violation);
+        assert_eq!(v.commands, stats.applied_commands, "seed {seed}");
+        assert_eq!(v.slots, stats.applied_slots, "seed {seed}");
+        assert_eq!(v.requeued_commands, stats.requeued_commands, "seed {seed}");
+        assert_eq!(
+            v.generated_commands, stats.generated_commands,
+            "seed {seed}"
+        );
+        assert_eq!(v.latency_p99, stats.latency_percentile(99), "seed {seed}");
+        assert_eq!(v.lease_takeovers, 0, "seed {seed}");
+        assert_eq!(v.deferred_commands, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn closed_loop_commands_are_conserved_with_flow_control_on() {
+    // Conservation survives the full flow-control stack: deferred
+    // closed-loop arrivals are retried (never shed), so after a long
+    // healthy run the applied count still sits within one window of the
+    // generated count, and the admission gate bounded the queue the
+    // whole way.
+    let mut cfg = RsmConfig::with_depth(4);
+    cfg.flow = FlowControl::on();
+    let mut driver = LogDriver::new(
+        OneThirdRule::new(4),
+        WorkloadSpec::ClosedLoop { clients: 6 },
+        cfg,
+        3,
+    );
+    driver
+        .run(&mut heardof::core::adversary::FullDelivery, 100)
+        .unwrap();
+    let check = driver.check();
+    assert!(check.is_ok(), "{:?}", check.violation);
+    let stats = driver.service_stats();
+    assert!(stats.applied_commands > 0);
+    assert_eq!(stats.requeued_commands, 0, "leases end the churn");
+    assert!(
+        stats.generated_commands - stats.applied_commands <= 4 * 6,
+        "generated {} vs applied {}: more than a window's worth in limbo",
+        stats.generated_commands,
+        stats.applied_commands
+    );
 }
 
 #[test]
