@@ -1,0 +1,60 @@
+//! Microbench for the simulator's event-queue backends: the binary-heap
+//! oracle vs the bucketed calendar wheel, under a broadcast-heavy and a
+//! unicast-heavy (jittered-delay) event mix.
+//!
+//! Broadcast-heavy: worst-case delays collapse every broadcast into one
+//! coalesced event per Δ bucket — the wheel's cheapest regime. Unicast-
+//! heavy: jittered delays scatter each broadcast into up to `n` distinct
+//! delivery events, so the queue carries the full per-recipient load.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ho_core::algorithms::OneThirdRule;
+use ho_core::process::{ProcessId, ProcessSet};
+use ho_predicates::{Alg2Program, BoundParams};
+use ho_sim::{
+    DelayTiming, GoodKind, Schedule, SchedulerKind, SimConfig, Simulator, StepTiming, TimePoint,
+};
+
+fn run(n: usize, scheduler: SchedulerKind, delay: DelayTiming, horizon: f64) -> u64 {
+    let params = BoundParams::new(n, 1.0, 2.0);
+    let cfg = SimConfig::normalized(n, 1.0, 2.0)
+        .with_seed(7)
+        .with_step_timing(StepTiming::Jittered)
+        .with_delay_timing(delay)
+        .with_scheduler(scheduler);
+    let schedule = Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                ProcessId::new(p),
+                p as u64 % 3,
+                params.alg2_timeout(),
+            )
+            .with_record_window(64)
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    sim.run_for(TimePoint::new(horizon));
+    sim.stats().events_dispatched
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_event_queue");
+    g.sample_size(10);
+    for (mix, delay) in [
+        ("broadcast_heavy", DelayTiming::WorstCase),
+        ("unicast_heavy", DelayTiming::Jittered),
+    ] {
+        for scheduler in SchedulerKind::all() {
+            let id = BenchmarkId::new(mix, scheduler.name());
+            g.bench_with_input(id, &scheduler, |b, &scheduler| {
+                b.iter(|| black_box(run(16, scheduler, delay, 200.0)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+fn main() {
+    for _ in 0..5 {
+        let report = bench::sweep::sim_layer_sweep().run();
+        println!(
+            "sim_layer: {} scenarios, {} violations, {:.1} scen/s, wall {:.4}s",
+            report.scenarios, report.violations, report.scenarios_per_sec, report.wall_seconds
+        );
+    }
+}

@@ -121,6 +121,40 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The scheduler contract: the measured grid ran on the calendar
+        // wheel, its event-throughput fields round-trip, and the same grid
+        // on the binary-heap oracle produced an identical verdict list —
+        // any divergence means the wheel reordered an event.
+        match sim.get("scheduler") {
+            Some(Json::Str(s)) if s == "wheel" => {}
+            other => {
+                eprintln!("smoke FAILED: sim_layer scheduler = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match sim.get("events_per_sec") {
+            Some(Json::Float(e)) if *e > 0.0 => {}
+            other => {
+                eprintln!("smoke FAILED: sim_layer events_per_sec = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match sim.get("scheduler_equivalence") {
+            Some(Json::Obj(eq)) => match eq.get("divergences") {
+                Some(Json::UInt(0)) => {}
+                other => {
+                    eprintln!(
+                        "smoke FAILED: scheduler divergences = {other:?} (first: {:?})",
+                        eq.get("first_divergence")
+                    );
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!("smoke FAILED: scheduler_equivalence section = {other:?}");
+                std::process::exit(1);
+            }
+        }
         // The rsm layer's contract: all replicas applied identical log
         // prefixes, every command at most once — across the whole grid.
         let Some(Json::Obj(rsm)) = map.get("rsm_layer") else {

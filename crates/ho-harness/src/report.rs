@@ -313,12 +313,20 @@ impl SweepReport {
 /// embedded or only the aggregates.
 #[must_use]
 pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -> Json {
+    let scheduler = report
+        .verdicts
+        .first()
+        .map_or(ho_sim::SchedulerKind::default(), |v| v.scheduler);
     let mut fields = vec![
+        ("scheduler", Json::Str(scheduler.name().to_owned())),
         ("scenarios", Json::UInt(report.scenarios as u64)),
         ("achieved", Json::UInt(report.achieved as u64)),
         ("violations", Json::UInt(report.violations as u64)),
         ("wall_seconds", Json::Float(report.wall_seconds)),
         ("scenarios_per_sec", Json::Float(report.scenarios_per_sec)),
+        ("events_dispatched", Json::UInt(report.events_dispatched)),
+        ("peak_queue_depth", Json::UInt(report.peak_queue_depth)),
+        ("events_per_sec", Json::Float(report.events_per_sec)),
         ("threads", Json::UInt(report.threads as u64)),
         ("chunk", chunk_policy_json(&report.chunk)),
         (
@@ -352,6 +360,7 @@ pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -
 fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
     JsonFields::new()
         .str("id", v.id())
+        .str("scheduler", v.scheduler.name())
         .bool("achieved", v.achieved)
         .bool("within_bound", v.within_bound)
         .field(

@@ -19,9 +19,11 @@ use std::time::Instant;
 use ho_core::contact::ContactPlan;
 use ho_core::executor::MessageStats;
 use ho_predicates::bounds::BoundParams;
-use ho_predicates::measure::{run_alg2_scenario, run_alg3_scenario, Scenario as GoodPeriodStart};
+use ho_predicates::measure::{
+    run_alg2_scenario_with, run_alg3_scenario_with, Scenario as GoodPeriodStart, SimLayerScratch,
+};
 use ho_predicates::SimMeasurement;
-use ho_sim::BadPeriodConfig;
+use ho_sim::{BadPeriodConfig, SchedulerKind};
 
 use crate::par::{default_threads, par_map_with_policy, ChunkPolicy};
 use crate::report::MessageTotals;
@@ -180,6 +182,9 @@ pub struct SimScenario {
     pub seed: u64,
     /// The predicate-window length `x` the run must deliver.
     pub window: u64,
+    /// Event-scheduler backend the simulator runs on. Dispatch order is
+    /// identical under both; the heap survives as the equivalence oracle.
+    pub scheduler: SchedulerKind,
 }
 
 impl SimScenario {
@@ -213,20 +218,36 @@ impl SimScenario {
     /// predicate checked against the implementation's promise.
     #[must_use]
     pub fn run(&self) -> SimVerdict {
+        self.run_with(&mut SimLayerScratch::new())
+    }
+
+    /// [`run`](SimScenario::run) with reusable scratch storage, so batched
+    /// sweeps recycle the event queue, process slots and reception buffers
+    /// across scenarios instead of reallocating them per cell.
+    #[must_use]
+    pub fn run_with(&self, scratch: &mut SimLayerScratch) -> SimVerdict {
         let start = Instant::now();
         let params = BoundParams::new(self.n, PHI, DELTA);
         let good_start = self.fault.good_period_start(self.seed);
         let outcome: SimMeasurement = match self.implementation {
-            ImplementationSpec::Alg2 => run_alg2_scenario(
+            ImplementationSpec::Alg2 => run_alg2_scenario_with(
                 params,
                 ho_core::ProcessSet::full(self.n),
                 self.window,
                 good_start,
                 self.seed,
+                self.scheduler,
+                scratch,
             ),
-            ImplementationSpec::Alg3 { f } => {
-                run_alg3_scenario(params, f, self.window, good_start, self.seed)
-            }
+            ImplementationSpec::Alg3 { f } => run_alg3_scenario_with(
+                params,
+                f,
+                self.window,
+                good_start,
+                self.seed,
+                self.scheduler,
+                scratch,
+            ),
         };
         let m = &outcome.measurement;
         let achieved = m.achieved_at.is_some();
@@ -251,12 +272,15 @@ impl SimScenario {
         } else {
             None
         };
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let events_dispatched = outcome.stats.events_dispatched;
         SimVerdict {
             implementation: self.implementation.name(),
             fault: self.fault.name(),
             n: self.n,
             seed: self.seed,
             window: self.window,
+            scheduler: self.scheduler,
             achieved,
             within_bound,
             empirical_length: m.empirical_length(),
@@ -269,7 +293,14 @@ impl SimScenario {
             dropped: outcome.stats.dropped,
             crashes: outcome.stats.crashes,
             messages: outcome.messages,
-            wall_nanos: start.elapsed().as_nanos() as u64,
+            events_dispatched,
+            peak_queue_depth: outcome.stats.peak_queue_depth,
+            events_per_sec: if wall_nanos > 0 {
+                events_dispatched as f64 / (wall_nanos as f64 * 1e-9)
+            } else {
+                f64::INFINITY
+            },
+            wall_nanos,
         }
     }
 }
@@ -287,6 +318,8 @@ pub struct SimVerdict {
     pub seed: u64,
     /// The required predicate-window length.
     pub window: u64,
+    /// Event-scheduler backend the run used.
+    pub scheduler: SchedulerKind,
     /// Whether the predicate window was delivered at all.
     pub achieved: bool,
     /// Whether it was delivered within the theorem bound (+ slack).
@@ -311,6 +344,14 @@ pub struct SimVerdict {
     pub crashes: u64,
     /// Unified message accounting (same struct as the model layer).
     pub messages: MessageStats,
+    /// Events dispatched from the simulator's queue — the engine's unit
+    /// of work.
+    pub events_dispatched: u64,
+    /// High-water mark of pending events in the scheduler.
+    pub peak_queue_depth: u64,
+    /// Dispatch throughput (`events_dispatched` over the scenario's wall
+    /// clock).
+    pub events_per_sec: f64,
     /// Wall-clock nanoseconds for this scenario.
     pub wall_nanos: u64,
 }
@@ -341,6 +382,7 @@ pub struct SimSweep {
     sizes: Vec<usize>,
     seeds: Vec<u64>,
     window: u64,
+    scheduler: SchedulerKind,
     threads: Option<usize>,
     chunking: ChunkPolicy,
 }
@@ -353,6 +395,7 @@ impl Default for SimSweep {
             sizes: vec![4],
             seeds: (0..5).collect(),
             window: 2,
+            scheduler: SchedulerKind::default(),
             threads: None,
             chunking: ChunkPolicy::from_env(),
         }
@@ -408,6 +451,16 @@ impl SimSweep {
         self
     }
 
+    /// Sets the event-scheduler backend every scenario runs on (default:
+    /// the calendar wheel). Running the same grid under
+    /// [`SchedulerKind::Heap`] must produce identical verdicts — the
+    /// sweep's divergence check and the lockstep suite enforce that.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Pins the worker count (default: all cores).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -444,6 +497,7 @@ impl SimSweep {
                             n,
                             seed,
                             window: self.window,
+                            scheduler: self.scheduler,
                         });
                     }
                 }
@@ -458,8 +512,13 @@ impl SimSweep {
         let scenarios = self.scenarios();
         let threads = self.threads.unwrap_or_else(default_threads);
         let start = Instant::now();
-        let verdicts: Vec<SimVerdict> =
-            par_map_with_policy(&scenarios, threads, self.chunking, || (), |(), s| s.run());
+        let verdicts: Vec<SimVerdict> = par_map_with_policy(
+            &scenarios,
+            threads,
+            self.chunking,
+            SimLayerScratch::new,
+            |scratch, s| s.run_with(scratch),
+        );
         SimReport::aggregate(
             verdicts,
             start.elapsed().as_secs_f64(),
@@ -485,6 +544,12 @@ pub struct SimReport {
     pub wall_seconds: f64,
     /// Throughput.
     pub scenarios_per_sec: f64,
+    /// Events dispatched across the grid.
+    pub events_dispatched: u64,
+    /// Largest per-scenario queue high-water mark across the grid.
+    pub peak_queue_depth: u64,
+    /// Dispatch throughput over the sweep's wall clock.
+    pub events_per_sec: f64,
     /// Worker threads used.
     pub threads: usize,
     /// The chunk policy the sweep ran under.
@@ -516,6 +581,7 @@ impl SimReport {
             totals.absorb_stats(&v.messages);
             totals.rounds += v.max_round;
         }
+        let events_dispatched = verdicts.iter().map(|v| v.events_dispatched).sum::<u64>();
         SimReport {
             scenarios,
             achieved,
@@ -523,6 +589,17 @@ impl SimReport {
             wall_seconds,
             scenarios_per_sec: if wall_seconds > 0.0 {
                 scenarios as f64 / wall_seconds
+            } else {
+                f64::INFINITY
+            },
+            events_dispatched,
+            peak_queue_depth: verdicts
+                .iter()
+                .map(|v| v.peak_queue_depth)
+                .max()
+                .unwrap_or(0),
+            events_per_sec: if wall_seconds > 0.0 {
+                events_dispatched as f64 / wall_seconds
             } else {
                 f64::INFINITY
             },
@@ -667,6 +744,38 @@ mod tests {
     }
 
     #[test]
+    fn heap_and_wheel_grids_agree_verdict_for_verdict() {
+        let sweep = SimSweep::new()
+            .implementations([ImplementationSpec::Alg2, ImplementationSpec::Alg3 { f: 1 }])
+            .faults([
+                LinkFaultSpec::GoodFromStart,
+                LinkFaultSpec::CrashyThenGood { bad_len: 40.0 },
+            ])
+            .sizes([4])
+            .seeds(0..2);
+        let wheel = sweep.clone().scheduler(SchedulerKind::Wheel).run();
+        let heap = sweep.scheduler(SchedulerKind::Heap).run();
+        let key = |r: &SimReport| {
+            r.verdicts
+                .iter()
+                .map(|v| {
+                    (
+                        v.id(),
+                        v.empirical_length,
+                        v.max_round,
+                        v.transmissions,
+                        v.dropped,
+                        v.crashes,
+                        v.events_dispatched,
+                        v.peak_queue_depth,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&wheel), key(&heap), "schedulers are bit-identical");
+    }
+
+    #[test]
     fn verdicts_carry_unified_accounting() {
         let v = SimScenario {
             implementation: ImplementationSpec::Alg2,
@@ -674,6 +783,7 @@ mod tests {
             n: 4,
             seed: 1,
             window: 2,
+            scheduler: SchedulerKind::default(),
         }
         .run();
         assert!(v.is_ok(), "{:?}", v.violation);

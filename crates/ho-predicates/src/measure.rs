@@ -16,7 +16,8 @@ use ho_core::executor::MessageStats;
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::translation::Translated;
 use ho_sim::{
-    BadPeriodConfig, GoodKind, LinkSchedule, Schedule, SimConfig, SimStats, Simulator, TimePoint,
+    BadPeriodConfig, GoodKind, LinkSchedule, Schedule, SchedulerKind, SimConfig, SimScratch,
+    SimStats, Simulator, TimePoint,
 };
 
 use crate::alg2::Alg2Program;
@@ -161,6 +162,24 @@ pub struct SimMeasurement {
     pub max_round: u64,
 }
 
+/// Per-worker reusable simulator storage for the sim-layer sweep: one
+/// [`SimScratch`] per measured program type, so consecutive scenarios —
+/// whichever implementation they run — reuse queue buckets, process slots
+/// and reception buffers (see [`run_alg2_scenario_with`]).
+#[derive(Default)]
+pub struct SimLayerScratch {
+    alg2: SimScratch<Alg2Program<OneThirdRule>>,
+    alg3: SimScratch<Alg3Program<OneThirdRule>>,
+}
+
+impl SimLayerScratch {
+    /// An empty scratch: the first scenario allocates, the rest reuse.
+    #[must_use]
+    pub fn new() -> Self {
+        SimLayerScratch::default()
+    }
+}
+
 /// How far past the bound we keep simulating before declaring failure.
 const DEADLINE_FACTOR: f64 = 6.0;
 
@@ -188,8 +207,7 @@ pub fn measure_alg2_space_uniform(
     run_alg2_scenario(params, pi0, x, scenario, seed).measurement
 }
 
-/// [`measure_alg2_space_uniform`] with the run's full execution statistics
-/// — the sim-layer sweep's entry point.
+/// [`measure_alg2_space_uniform`] with the run's full execution statistics.
 #[must_use]
 pub fn run_alg2_scenario(
     params: BoundParams,
@@ -198,8 +216,33 @@ pub fn run_alg2_scenario(
     scenario: Scenario,
     seed: u64,
 ) -> SimMeasurement {
+    run_alg2_scenario_with(
+        params,
+        pi0,
+        x,
+        scenario,
+        seed,
+        SchedulerKind::default(),
+        &mut SimLayerScratch::new(),
+    )
+}
+
+/// [`run_alg2_scenario`] under an explicit scheduler backend, reusing
+/// `scratch`'s simulator storage — the sim-layer sweep's entry point.
+#[must_use]
+pub fn run_alg2_scenario_with(
+    params: BoundParams,
+    pi0: ProcessSet,
+    x: u64,
+    scenario: Scenario,
+    seed: u64,
+    scheduler: SchedulerKind,
+    scratch: &mut SimLayerScratch,
+) -> SimMeasurement {
     let n = params.n;
-    let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
+    let cfg = SimConfig::normalized(n, params.phi, params.delta)
+        .with_seed(seed)
+        .with_scheduler(scheduler);
     let schedule = scenario.schedule(n, pi0, GoodKind::PiDown);
     let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
         .map(|p| {
@@ -212,7 +255,7 @@ pub fn run_alg2_scenario(
             .with_record_window(RECORD_WINDOW)
         })
         .collect();
-    let mut sim = Simulator::new(cfg, schedule, programs);
+    let mut sim = Simulator::with_scratch(cfg, schedule, programs, &mut scratch.alg2);
 
     let bound = match scenario {
         Scenario::Initial => params.theorem5(x),
@@ -234,7 +277,7 @@ pub fn run_alg2_scenario(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
-    SimMeasurement {
+    let out = SimMeasurement {
         measurement: Measurement {
             good_start,
             achieved_at: witness.map(|(_, t)| t),
@@ -249,7 +292,9 @@ pub fn run_alg2_scenario(
             .map(Alg2Program::round)
             .max()
             .unwrap_or(0),
-    }
+    };
+    sim.retire(&mut scratch.alg2);
+    out
 }
 
 /// Measures the good-period length needed by **Algorithm 3** to achieve
@@ -278,10 +323,35 @@ pub fn run_alg3_scenario(
     scenario: Scenario,
     seed: u64,
 ) -> SimMeasurement {
+    run_alg3_scenario_with(
+        params,
+        f,
+        x,
+        scenario,
+        seed,
+        SchedulerKind::default(),
+        &mut SimLayerScratch::new(),
+    )
+}
+
+/// [`run_alg3_scenario`] with an explicit scheduler backend and reusable
+/// scratch storage — the sweep's batched entry point.
+#[must_use]
+pub fn run_alg3_scenario_with(
+    params: BoundParams,
+    f: usize,
+    x: u64,
+    scenario: Scenario,
+    seed: u64,
+    scheduler: SchedulerKind,
+    scratch: &mut SimLayerScratch,
+) -> SimMeasurement {
     let n = params.n;
     assert!(2 * f < n, "Algorithm 3 requires f < n/2");
     let pi0 = ProcessSet::from_indices(0..n - f);
-    let cfg = SimConfig::normalized(n, params.phi, params.delta).with_seed(seed);
+    let cfg = SimConfig::normalized(n, params.phi, params.delta)
+        .with_seed(seed)
+        .with_scheduler(scheduler);
     let schedule = scenario.schedule(n, pi0, GoodKind::PiArbitrary);
     let programs: Vec<Alg3Program<OneThirdRule>> = (0..n)
         .map(|p| {
@@ -295,7 +365,7 @@ pub fn run_alg3_scenario(
             .with_record_window(RECORD_WINDOW)
         })
         .collect();
-    let mut sim = Simulator::new(cfg, schedule, programs);
+    let mut sim = Simulator::with_scratch(cfg, schedule, programs, &mut scratch.alg3);
 
     let bound = match scenario {
         Scenario::Initial => params.theorem7(x),
@@ -316,7 +386,7 @@ pub fn run_alg3_scenario(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
-    SimMeasurement {
+    let out = SimMeasurement {
         measurement: Measurement {
             good_start,
             achieved_at: witness.map(|(_, t)| t),
@@ -331,7 +401,9 @@ pub fn run_alg3_scenario(
             .map(Alg3Program::round)
             .max()
             .unwrap_or(0),
-    }
+    };
+    sim.retire(&mut scratch.alg3);
+    out
 }
 
 /// The outcome of a full-stack consensus run (experiment E8).

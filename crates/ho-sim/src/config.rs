@@ -7,6 +7,8 @@
 //! and `δ = Δ/Φ−` the normalized transmission delay. [`SimConfig::normalized`]
 //! builds configurations directly in that normalized form (`Φ− = 1`).
 
+use crate::scheduler::SchedulerKind;
+
 /// How step intervals are drawn within the `[Φ−, Φ+]` band.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum StepTiming {
@@ -47,6 +49,10 @@ pub struct SimConfig {
     pub delay_timing: DelayTiming,
     /// RNG seed — every run is deterministic under its seed.
     pub seed: u64,
+    /// Event-queue backend. Dispatch order — and therefore every observable
+    /// of a run — is identical under both; [`SchedulerKind::Heap`] survives
+    /// as the oracle the lockstep equivalence suite replays against.
+    pub scheduler: SchedulerKind,
     /// Fan broadcasts out by deep-cloning the payload per destination
     /// instead of sharing one pooled payload by reference count. This is
     /// the retired pre-pool delivery scheme, kept only as the oracle for
@@ -76,6 +82,7 @@ impl SimConfig {
             step_timing: StepTiming::default(),
             delay_timing: DelayTiming::default(),
             seed: 0,
+            scheduler: SchedulerKind::default(),
             clone_fanout: false,
         }
     }
@@ -98,6 +105,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_delay_timing(mut self, timing: DelayTiming) -> Self {
         self.delay_timing = timing;
+        self
+    }
+
+    /// Selects the event-queue backend (see [`SimConfig::scheduler`]).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -267,6 +281,22 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.step_timing, StepTiming::Jittered);
         assert_eq!(c.delay_timing, DelayTiming::Jittered);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_wheel_with_heap_oracle() {
+        let c = SimConfig::normalized(4, 1.0, 2.0);
+        assert_eq!(c.scheduler, SchedulerKind::Wheel);
+        assert_eq!(
+            c.with_scheduler(SchedulerKind::Heap).scheduler,
+            SchedulerKind::Heap
+        );
+        assert_eq!(SchedulerKind::Heap.name(), "heap");
+        assert_eq!(SchedulerKind::Wheel.name(), "wheel");
+        assert_eq!(
+            SchedulerKind::all(),
+            [SchedulerKind::Heap, SchedulerKind::Wheel]
+        );
     }
 
     #[test]

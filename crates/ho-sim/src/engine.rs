@@ -20,15 +20,22 @@
 //! The message path is the [`SendPlan`] kernel shared with the
 //! round-synchronous executor: programs emit plans, a broadcast's single
 //! pooled payload fans out to `n` destinations by reference count, and
-//! in-flight/buffered copies are generation-checked pool handles. The
-//! retired per-destination clone fan-out survives only as
-//! [`SimConfig::clone_fanout`], the oracle for the equivalence tests.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! in-flight/buffered copies are generation-checked pool handles. On the
+//! pooled path a broadcast is additionally *coalesced* in the event queue:
+//! destinations sharing a delivery delay ride one [`Event::BroadcastReady`]
+//! carrying a recipient mask, with per-recipient gating (destination down,
+//! π0-down purge) applied at dispatch — under worst-case delay timing a
+//! broadcast costs one queue event instead of `n`. The retired
+//! per-destination clone fan-out survives as [`SimConfig::clone_fanout`],
+//! the oracle for the equivalence tests; it stays uncoalesced, so the
+//! lockstep suite also proves coalesced ≡ per-destination delivery.
+//!
+//! The event queue itself is pluggable ([`SimConfig::scheduler`]): the
+//! default calendar queue or the original binary heap, bit-identical in
+//! dispatch order (see [`crate::scheduler`]).
 
 use ho_core::executor::MessageStats;
-use ho_core::process::ProcessId;
+use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::send_plan::SendPlan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +43,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::{DelayTiming, SimConfig, StepTiming};
 use crate::program::{Program, StepKind, WireMsg};
 use crate::schedule::{GoodKind, PeriodKind, Schedule};
+use crate::scheduler::{wheel_width, EventQueue};
 use crate::stats::SimStats;
 use crate::time::TimePoint;
 
@@ -53,34 +61,23 @@ enum Event<M> {
         sent_at: TimePoint,
         msg: WireMsg<M>,
     },
+    /// A coalesced broadcast delivery: every destination in `recipients`
+    /// drew the same delay at send time, so they share one in-flight event
+    /// (and one pool handle). Fan-out — including the per-recipient
+    /// destination-down and π0-down-purge gates — happens at dispatch, in
+    /// ascending process order: exactly the order the per-destination
+    /// events would have fired, since their sequence numbers were
+    /// consecutive.
+    BroadcastReady {
+        from: ProcessId,
+        sent_at: TimePoint,
+        recipients: ProcessSet,
+        msg: WireMsg<M>,
+    },
     /// A schedule period begins.
     PeriodStart(usize),
     /// Process `p` recovers from a bad-period crash.
     Recover { p: ProcessId, gen: u64 },
-}
-
-/// Queue entry ordered by time, then sequence number (FIFO at equal times).
-struct QueuedEvent<M> {
-    at: TimePoint,
-    seq: u64,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct ProcessSlot<M> {
@@ -94,13 +91,48 @@ struct ProcessSlot<M> {
     buffer: Vec<(ProcessId, WireMsg<M>)>,
 }
 
+/// Reusable simulator storage: the event queue's buckets, the process
+/// slots (with their reception buffers) and the broadcast fan-out scratch.
+///
+/// A sweep runs thousands of scenarios back to back; constructing each
+/// [`Simulator`] via [`Simulator::with_scratch`] and returning its storage
+/// with [`Simulator::retire`] keeps those allocations warm across
+/// scenarios — the sim-layer analogue of the round loop's `RoundScratch`.
+pub struct SimScratch<P: Program> {
+    queue: Option<EventQueue<Event<P::Msg>>>,
+    slots: Vec<ProcessSlot<P::Msg>>,
+    fanout: Vec<(u64, ProcessSet)>,
+}
+
+impl<P: Program> SimScratch<P> {
+    /// An empty scratch: the first scenario allocates, the rest reuse.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch {
+            queue: None,
+            slots: Vec::new(),
+            fanout: Vec::new(),
+        }
+    }
+}
+
+impl<P: Program> Default for SimScratch<P> {
+    fn default() -> Self {
+        SimScratch::new()
+    }
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<P: Program> {
     cfg: SimConfig,
     schedule: Schedule,
     programs: Vec<P>,
     slots: Vec<ProcessSlot<P::Msg>>,
-    queue: BinaryHeap<Reverse<QueuedEvent<P::Msg>>>,
+    queue: EventQueue<Event<P::Msg>>,
+    /// Send-time coalescing scratch: `(delay bit pattern, recipients)` per
+    /// distinct delay drawn by one broadcast. Kept on the simulator so
+    /// steady-state broadcasts never allocate.
+    fanout: Vec<(u64, ProcessSet)>,
     now: TimePoint,
     seq: u64,
     rng: SmallRng,
@@ -115,23 +147,56 @@ impl<P: Program> Simulator<P> {
     /// Panics if `programs.len() != cfg.n` or the config is inconsistent.
     #[must_use]
     pub fn new(cfg: SimConfig, schedule: Schedule, programs: Vec<P>) -> Self {
+        Simulator::with_scratch(cfg, schedule, programs, &mut SimScratch::new())
+    }
+
+    /// Builds a simulator reusing `scratch`'s storage (see [`SimScratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != cfg.n` or the config is inconsistent.
+    #[must_use]
+    pub fn with_scratch(
+        cfg: SimConfig,
+        schedule: Schedule,
+        programs: Vec<P>,
+        scratch: &mut SimScratch<P>,
+    ) -> Self {
         cfg.validate();
         assert_eq!(programs.len(), cfg.n, "one program per process");
-        let slots = (0..cfg.n)
-            .map(|_| ProcessSlot {
+        let width = wheel_width(cfg.phi_minus, cfg.delta);
+        let queue = match scratch.queue.take() {
+            Some(queue) => queue.recycle(cfg.scheduler, width, cfg.n),
+            None => EventQueue::new(cfg.scheduler, width, cfg.n),
+        };
+        // Recycled slots keep their buffers' capacity; fresh ones are
+        // pre-sized to n so first-round reception never reallocates.
+        let mut slots = std::mem::take(&mut scratch.slots);
+        slots.truncate(cfg.n);
+        for slot in &mut slots {
+            slot.down = false;
+            slot.forced_down = false;
+            slot.step_gen = 0;
+            slot.buffer.clear();
+        }
+        while slots.len() < cfg.n {
+            slots.push(ProcessSlot {
                 down: false,
                 forced_down: false,
                 step_gen: 0,
-                buffer: Vec::new(),
-            })
-            .collect();
+                buffer: Vec::with_capacity(cfg.n),
+            });
+        }
+        let mut fanout = std::mem::take(&mut scratch.fanout);
+        fanout.clear();
         let mut sim = Simulator {
             rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             schedule,
             programs,
             slots,
-            queue: BinaryHeap::new(),
+            queue,
+            fanout,
             now: TimePoint::ZERO,
             seq: 0,
             stats: SimStats::default(),
@@ -168,6 +233,28 @@ impl<P: Program> Simulator<P> {
             }
         }
         sim
+    }
+
+    /// Returns this simulator's reusable storage to `scratch`: queue
+    /// buckets, process slots and the fan-out scratch keep their capacity
+    /// for the next scenario. Pending events and buffered messages are
+    /// dropped (releasing their pool handles).
+    pub fn retire(self, scratch: &mut SimScratch<P>) {
+        let width = wheel_width(self.cfg.phi_minus, self.cfg.delta);
+        let Simulator {
+            cfg,
+            queue,
+            mut slots,
+            mut fanout,
+            ..
+        } = self;
+        for slot in &mut slots {
+            slot.buffer.clear();
+        }
+        fanout.clear();
+        scratch.queue = Some(queue.recycle(cfg.scheduler, width, cfg.n));
+        scratch.slots = slots;
+        scratch.fanout = fanout;
     }
 
     /// Current simulated time.
@@ -225,13 +312,10 @@ impl<P: Program> Simulator<P> {
         if stop(self) {
             return true;
         }
-        while let Some(Reverse(q)) = self.queue.peek() {
-            if q.at > deadline {
-                return false;
-            }
-            let Reverse(q) = self.queue.pop().expect("peeked");
-            self.now = q.at;
-            self.dispatch(q.event);
+        while let Some((at, event)) = self.queue.pop_at_most(deadline) {
+            self.now = at;
+            self.stats.events_dispatched += 1;
+            self.dispatch(event);
             if stop(self) {
                 return true;
             }
@@ -250,7 +334,8 @@ impl<P: Program> Simulator<P> {
     fn push(&mut self, at: TimePoint, event: Event<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, event }));
+        self.queue.push(at, seq, event);
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
     fn schedule_step(&mut self, p: ProcessId, dt: f64) {
@@ -267,6 +352,12 @@ impl<P: Program> Simulator<P> {
                 sent_at,
                 msg,
             } => self.on_make_ready(dest, from, sent_at, msg),
+            Event::BroadcastReady {
+                from,
+                sent_at,
+                recipients,
+                msg,
+            } => self.on_broadcast_ready(from, sent_at, recipients, msg),
             Event::PeriodStart(idx) => self.on_period_start(idx),
             Event::Recover { p, gen } => self.on_recover_event(p, gen),
         }
@@ -412,14 +503,47 @@ impl<P: Program> Simulator<P> {
         match plan {
             SendPlan::Broadcast(payload) => {
                 self.stats.broadcast_sends += 1;
-                for q in 0..self.cfg.n {
-                    let wire = if self.cfg.clone_fanout {
-                        WireMsg::Owned((*payload).clone())
-                    } else {
-                        WireMsg::Shared(payload.clone())
-                    };
-                    self.transmit(from, ProcessId::new(q), wire);
+                if self.cfg.clone_fanout {
+                    for q in 0..self.cfg.n {
+                        self.transmit(from, ProcessId::new(q), WireMsg::Owned((*payload).clone()));
+                    }
+                    return;
                 }
+                // Pooled path: sample per-destination routing in ascending
+                // destination order — the identical RNG draw sequence to
+                // the clone oracle — then coalesce the survivors of each
+                // distinct delay into one in-flight event with a recipient
+                // mask. Under worst-case delay timing every good-period
+                // destination shares Δ, so a broadcast costs one event.
+                let mut fanout = std::mem::take(&mut self.fanout);
+                debug_assert!(fanout.is_empty());
+                for q in 0..self.cfg.n {
+                    let dest = ProcessId::new(q);
+                    self.stats.transmissions += 1;
+                    let (lost, delay) = self.route(from, dest);
+                    if lost {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    let bits = delay.to_bits();
+                    match fanout.iter_mut().find(|(b, _)| *b == bits) {
+                        Some((_, recipients)) => recipients.insert(dest),
+                        None => fanout.push((bits, ProcessSet::singleton(dest))),
+                    }
+                }
+                let sent_at = self.now;
+                for (bits, recipients) in fanout.drain(..) {
+                    self.push(
+                        sent_at.after(f64::from_bits(bits)),
+                        Event::BroadcastReady {
+                            from,
+                            sent_at,
+                            recipients,
+                            msg: WireMsg::Shared(payload.clone()),
+                        },
+                    );
+                }
+                self.fanout = fanout;
             }
             SendPlan::Unicast(pairs) => {
                 for (q, m) in pairs {
@@ -509,6 +633,36 @@ impl<P: Program> Simulator<P> {
         }
         self.stats.messages.delivered += 1;
         self.slots[dest.index()].buffer.push((from, msg));
+    }
+
+    /// Delivers a coalesced broadcast: per-recipient gating at the shared
+    /// delivery instant, in ascending process order — bit-identical to the
+    /// per-destination events it replaces (their sequence numbers were
+    /// consecutive, so nothing could interleave).
+    fn on_broadcast_ready(
+        &mut self,
+        from: ProcessId,
+        sent_at: TimePoint,
+        recipients: ProcessSet,
+        msg: WireMsg<P::Msg>,
+    ) {
+        // The π0-down purge depends only on the sender and the shared
+        // delivery time, so it gates the whole mask at once.
+        let purge = match *self.schedule.kind_at(self.now) {
+            PeriodKind::Good {
+                pi0,
+                kind: GoodKind::PiDown,
+            } => !pi0.contains(from) && sent_at < self.schedule.at(self.now).start,
+            _ => false,
+        };
+        for dest in recipients.iter() {
+            if purge || self.slots[dest.index()].down {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.stats.messages.delivered += 1;
+            self.slots[dest.index()].buffer.push((from, msg.clone()));
+        }
     }
 
     // ------------------------------------------------------------------

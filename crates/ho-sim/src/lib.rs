@@ -23,12 +23,14 @@ pub mod config;
 pub mod engine;
 pub mod program;
 pub mod schedule;
+pub mod scheduler;
 pub mod stats;
 pub mod time;
 
 pub use config::{BadPeriodConfig, DelayTiming, SimConfig, StepTiming};
-pub use engine::Simulator;
+pub use engine::{SimScratch, Simulator};
 pub use program::{Program, StepKind, WireMsg};
 pub use schedule::{GoodKind, LinkSchedule, Period, PeriodKind, Schedule};
+pub use scheduler::SchedulerKind;
 pub use stats::SimStats;
 pub use time::TimePoint;

@@ -1,0 +1,489 @@
+//! Event-queue backends for the discrete-event engine.
+//!
+//! The engine dispatches strictly in `(time, seq)` order — time first, FIFO
+//! at equal timestamps. Two backends implement that contract:
+//!
+//! * [`SchedulerKind::Heap`] — the original global `BinaryHeap`, `O(log E)`
+//!   per operation. Kept as the equivalence oracle.
+//! * [`SchedulerKind::Wheel`] — a bucketed calendar queue (time wheel):
+//!   a power-of-two ring of buckets, one simulated *day* (a bucket width
+//!   of time) per bucket, with a far-overflow tier for events beyond the
+//!   wheel's horizon. Buckets are intrusive linked lists over one shared
+//!   node arena, so event storage is recycled through a free list and the
+//!   arena only ever grows to the queue's high-water mark. Push is `O(1)`;
+//!   pop scans one bucket. Event days are computed **once at push time**
+//!   in integer arithmetic, so cursor advancement never re-derives a day
+//!   from floating point and the two backends agree bit-for-bit on
+//!   dispatch order.
+//!
+//! Both backends yield the exact global `(time, seq)` minimum on every pop,
+//! so a simulation run is bit-identical under either — the lockstep suite
+//! in `tests/scheduler_equivalence.rs` proves it across the fault zoo.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::TimePoint;
+
+/// Number of buckets on the wheel (one simulated day each). Power of two so
+/// the cursor is a mask, sized so the default horizon (`NBUCKETS × width`)
+/// comfortably covers step gaps, message delays and crash-recovery spans;
+/// anything further lands in the far tier and migrates on wrap.
+const NBUCKETS: usize = 128;
+
+/// Which event-queue backend a [`crate::Simulator`] run uses.
+///
+/// Dispatch order is identical under both — `Heap` survives as the oracle
+/// the lockstep equivalence suite replays against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Global binary heap ordered by `(time, seq)` — the original backend.
+    Heap,
+    /// Bucketed calendar queue with FIFO buckets and a far-overflow tier.
+    #[default]
+    Wheel,
+}
+
+impl SchedulerKind {
+    /// Short lowercase name, used in scenario ids and JSON reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Wheel => "wheel",
+        }
+    }
+
+    /// Both backends, oracle first — the axis the divergence checks sweep.
+    #[must_use]
+    pub fn all() -> [SchedulerKind; 2] {
+        [SchedulerKind::Heap, SchedulerKind::Wheel]
+    }
+}
+
+/// The bucket width the engine derives from its timing config: half the
+/// smallest recurring inter-event gap, so steady-state bucket occupancy
+/// stays near one event per process.
+#[must_use]
+pub(crate) fn wheel_width(phi_minus: f64, delta: f64) -> f64 {
+    (phi_minus.min(delta) * 0.5).max(1e-9)
+}
+
+pub(crate) struct HeapEntry<T> {
+    at: TimePoint,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Arena null index: end of a bucket or free list.
+const NIL: u32 = u32::MAX;
+
+/// An arena node: one pending event on an intrusive singly-linked list
+/// (its day's bucket, the far tier, or the free list).
+struct Node<T> {
+    /// Integer day index, fixed at push time: `floor(at / width)` clamped
+    /// to the cursor. All ordering decisions after the push are integer.
+    day: u64,
+    at: TimePoint,
+    seq: u64,
+    next: u32,
+    /// `None` once popped and the node sits on the free list.
+    item: Option<T>,
+}
+
+/// The calendar queue: `NBUCKETS` bucket lists plus a far tier, all
+/// intrusive lists over one shared node arena. The arena grows to the
+/// queue's global high-water mark and is then permanently warm — a rare
+/// event burst never grows per-bucket storage (there is none), which is
+/// what keeps steady-state rounds allocation-free.
+pub(crate) struct CalendarQueue<T> {
+    arena: Vec<Node<T>>,
+    /// Free-list head: nodes recycled by pops.
+    free: u32,
+    /// Per-bucket list heads, cursor `day & mask`.
+    buckets: Vec<u32>,
+    /// Far-tier list head: events at or beyond `day + NBUCKETS` days.
+    far: u32,
+    far_len: usize,
+    mask: u64,
+    inv_width: f64,
+    /// Current day: every pending near event has `node.day >= day`.
+    day: u64,
+    /// Events currently on the wheel (the buckets).
+    near: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    fn new(width: f64, reserve: usize) -> Self {
+        CalendarQueue {
+            // Steady state holds one step event per process plus in-flight
+            // coalesced broadcasts; start with headroom over n.
+            arena: Vec::with_capacity(reserve.saturating_mul(4)),
+            free: NIL,
+            buckets: vec![NIL; NBUCKETS],
+            far: NIL,
+            far_len: 0,
+            mask: (NBUCKETS - 1) as u64,
+            inv_width: width.recip(),
+            day: 0,
+            near: 0,
+        }
+    }
+
+    fn reset(&mut self, width: f64) {
+        self.arena.clear();
+        self.free = NIL;
+        self.buckets.fill(NIL);
+        self.far = NIL;
+        self.far_len = 0;
+        self.inv_width = width.recip();
+        self.day = 0;
+        self.near = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.near + self.far_len
+    }
+
+    fn alloc(&mut self, day: u64, at: TimePoint, seq: u64, item: T) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            let node = &mut self.arena[i as usize];
+            self.free = node.next;
+            node.day = day;
+            node.at = at;
+            node.seq = seq;
+            node.next = NIL;
+            node.item = Some(item);
+            i
+        } else {
+            self.arena.push(Node {
+                day,
+                at,
+                seq,
+                next: NIL,
+                item: Some(item),
+            });
+            (self.arena.len() - 1) as u32
+        }
+    }
+
+    fn push(&mut self, at: TimePoint, seq: u64, item: T) {
+        // `as u64` truncates toward zero — floor, for non-negative time.
+        // The clamp guards the floating-point edge where an event pushed at
+        // the current instant rounds into an already-passed day; placing it
+        // on the cursor day keeps its true `(at, seq)` key authoritative.
+        let day = ((at.get() * self.inv_width) as u64).max(self.day);
+        let i = self.alloc(day, at, seq, item);
+        if day < self.day + NBUCKETS as u64 {
+            let bucket = (day & self.mask) as usize;
+            self.arena[i as usize].next = self.buckets[bucket];
+            self.buckets[bucket] = i;
+            self.near += 1;
+        } else {
+            self.arena[i as usize].next = self.far;
+            self.far = i;
+            self.far_len += 1;
+        }
+    }
+
+    /// Pops the global `(at, seq)` minimum if its time is `<= deadline`.
+    ///
+    /// Within the cursor bucket only nodes stamped with the current day
+    /// are candidates; the minimum among them *is* the global minimum,
+    /// because a day maps to exactly one bucket and every earlier day has
+    /// been exhausted before the cursor advanced past it.
+    fn pop_at_most(&mut self, deadline: TimePoint) -> Option<(TimePoint, T)> {
+        loop {
+            if self.near == 0 {
+                if self.far_len == 0 {
+                    return None;
+                }
+                // Jump the cursor straight to the earliest far day instead
+                // of spinning the wheel through empty years.
+                let mut jump = u64::MAX;
+                let mut i = self.far;
+                while i != NIL {
+                    let node = &self.arena[i as usize];
+                    jump = jump.min(node.day);
+                    i = node.next;
+                }
+                debug_assert!(jump >= self.day);
+                self.day = jump;
+                self.migrate();
+            }
+            let bucket = (self.day & self.mask) as usize;
+            // Scan the bucket list for the minimal current-day node,
+            // remembering its predecessor for the unlink.
+            let mut best: Option<(TimePoint, u64, u32, u32)> = None;
+            let mut prev = NIL;
+            let mut i = self.buckets[bucket];
+            while i != NIL {
+                let node = &self.arena[i as usize];
+                if node.day == self.day
+                    && best.is_none_or(|(at, seq, _, _)| (node.at, node.seq) < (at, seq))
+                {
+                    best = Some((node.at, node.seq, i, prev));
+                }
+                prev = i;
+                i = node.next;
+            }
+            match best {
+                Some((at, _, i, prev)) => {
+                    if at > deadline {
+                        return None;
+                    }
+                    let next = self.arena[i as usize].next;
+                    if prev == NIL {
+                        self.buckets[bucket] = next;
+                    } else {
+                        self.arena[prev as usize].next = next;
+                    }
+                    let node = &mut self.arena[i as usize];
+                    let item = node.item.take().expect("pending node holds its event");
+                    node.next = self.free;
+                    self.free = i;
+                    self.near -= 1;
+                    return Some((at, item));
+                }
+                None => {
+                    self.day += 1;
+                    if self.day & self.mask == 0 {
+                        // A wheel wrap advances the horizon by a full ring:
+                        // pull newly-reachable far events onto the wheel.
+                        self.migrate();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Relinks far nodes whose day now falls inside the horizon onto the
+    /// wheel. Pure pointer surgery within the arena — never allocates.
+    fn migrate(&mut self) {
+        let horizon = self.day + NBUCKETS as u64;
+        let mut prev = NIL;
+        let mut i = self.far;
+        while i != NIL {
+            let (day, next) = {
+                let node = &self.arena[i as usize];
+                (node.day, node.next)
+            };
+            if day < horizon {
+                if prev == NIL {
+                    self.far = next;
+                } else {
+                    self.arena[prev as usize].next = next;
+                }
+                let bucket = (day & self.mask) as usize;
+                self.arena[i as usize].next = self.buckets[bucket];
+                self.buckets[bucket] = i;
+                self.far_len -= 1;
+                self.near += 1;
+            } else {
+                prev = i;
+            }
+            i = next;
+        }
+    }
+}
+
+/// The engine-facing queue: one of the two backends behind a common API.
+pub(crate) enum EventQueue<T> {
+    Heap(BinaryHeap<Reverse<HeapEntry<T>>>),
+    Wheel(CalendarQueue<T>),
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new(kind: SchedulerKind, width: f64, reserve: usize) -> Self {
+        match kind {
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(reserve)),
+            SchedulerKind::Wheel => EventQueue::Wheel(CalendarQueue::new(width, reserve)),
+        }
+    }
+
+    /// Reuses this queue's allocations for a fresh run: pending entries are
+    /// dropped, bucket and heap storage survives. Falls back to a fresh
+    /// allocation only when the backend kind changes.
+    pub(crate) fn recycle(self, kind: SchedulerKind, width: f64, reserve: usize) -> Self {
+        match (self, kind) {
+            (EventQueue::Heap(mut heap), SchedulerKind::Heap) => {
+                heap.clear();
+                EventQueue::Heap(heap)
+            }
+            (EventQueue::Wheel(mut wheel), SchedulerKind::Wheel) => {
+                wheel.reset(width);
+                EventQueue::Wheel(wheel)
+            }
+            (_, kind) => EventQueue::new(kind, width, reserve),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(heap) => heap.len(),
+            EventQueue::Wheel(wheel) => wheel.len(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: TimePoint, seq: u64, item: T) {
+        match self {
+            EventQueue::Heap(heap) => heap.push(Reverse(HeapEntry { at, seq, item })),
+            EventQueue::Wheel(wheel) => wheel.push(at, seq, item),
+        }
+    }
+
+    /// Pops the earliest event iff its time is `<= deadline`.
+    pub(crate) fn pop_at_most(&mut self, deadline: TimePoint) -> Option<(TimePoint, T)> {
+        match self {
+            EventQueue::Heap(heap) => {
+                if heap.peek().is_some_and(|Reverse(e)| e.at <= deadline) {
+                    let Reverse(e) = heap.pop().expect("peeked");
+                    Some((e.at, e.item))
+                } else {
+                    None
+                }
+            }
+            EventQueue::Wheel(wheel) => wheel.pop_at_most(deadline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const FAR: TimePoint = TimePoint::MAX;
+
+    fn drain(queue: &mut EventQueue<u32>) -> Vec<(TimePoint, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = queue.pop_at_most(FAR) {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_at_equal_timestamps() {
+        for kind in SchedulerKind::all() {
+            let mut queue = EventQueue::new(kind, 0.5, 4);
+            let t = TimePoint::new(3.25);
+            for seq in 0..10u64 {
+                queue.push(t, seq, seq as u32);
+            }
+            let order: Vec<u32> = drain(&mut queue).into_iter().map(|(_, x)| x).collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>(), "{kind:?} keeps FIFO");
+        }
+    }
+
+    #[test]
+    fn far_future_events_jump_the_cursor() {
+        let mut queue = EventQueue::new(SchedulerKind::Wheel, 0.5, 4);
+        queue.push(TimePoint::new(0.1), 0, 1);
+        queue.push(TimePoint::new(10_000.0), 1, 2);
+        queue.push(TimePoint::new(250.0), 2, 3);
+        assert_eq!(queue.len(), 3);
+        let order: Vec<u32> = drain(&mut queue).into_iter().map(|(_, x)| x).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn deadline_is_respected_without_losing_events() {
+        for kind in SchedulerKind::all() {
+            let mut queue = EventQueue::new(kind, 0.5, 4);
+            queue.push(TimePoint::new(1.0), 0, 1);
+            queue.push(TimePoint::new(5.0), 1, 2);
+            assert_eq!(
+                queue.pop_at_most(TimePoint::new(2.0)),
+                Some((TimePoint::new(1.0), 1))
+            );
+            assert_eq!(queue.pop_at_most(TimePoint::new(2.0)), None);
+            assert_eq!(queue.len(), 1, "{kind:?} keeps the late event");
+            assert_eq!(
+                queue.pop_at_most(TimePoint::new(5.0)),
+                Some((TimePoint::new(5.0), 2))
+            );
+        }
+    }
+
+    /// The wheel replays a randomized push/pop trace in exactly the heap's
+    /// order — interleaved pushes only at the current frontier, as in the
+    /// engine (events are only scheduled while dispatching one).
+    #[test]
+    fn wheel_matches_heap_on_random_traces() {
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut heap = EventQueue::new(SchedulerKind::Heap, 0.5, 4);
+            let mut wheel = EventQueue::new(SchedulerKind::Wheel, 0.5, 4);
+            let mut seq = 0u64;
+            let mut now = 0.0f64;
+            let push = |heap: &mut EventQueue<u32>,
+                        wheel: &mut EventQueue<u32>,
+                        rng: &mut SmallRng,
+                        now: f64,
+                        seq: &mut u64| {
+                // Mostly near events, occasionally far beyond the horizon,
+                // with repeated exact timestamps to exercise FIFO.
+                let dt = match rng.gen_range(0u32..10) {
+                    0 => 500.0 + rng.gen_range(0.0..100.0),
+                    1..=3 => 2.0,
+                    _ => rng.gen_range(0.0..8.0),
+                };
+                let at = TimePoint::new(now + dt);
+                heap.push(at, *seq, *seq as u32);
+                wheel.push(at, *seq, *seq as u32);
+                *seq += 1;
+            };
+            for _ in 0..50 {
+                push(&mut heap, &mut wheel, &mut rng, now, &mut seq);
+            }
+            while heap.len() > 0 {
+                let expect = heap.pop_at_most(FAR).expect("non-empty");
+                let got = wheel.pop_at_most(FAR).expect("wheel has the same events");
+                assert_eq!(got, expect, "seed {seed}");
+                now = expect.0.get();
+                // Simulate dispatch-time scheduling at the new frontier.
+                if rng.gen_bool(0.6) {
+                    push(&mut heap, &mut wheel, &mut rng, now, &mut seq);
+                }
+                if seq > 600 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recycle_preserves_order_and_reuses_storage() {
+        for kind in SchedulerKind::all() {
+            let mut queue = EventQueue::new(kind, 0.5, 8);
+            for seq in 0..32u64 {
+                queue.push(TimePoint::new(seq as f64 * 0.3), seq, seq as u32);
+            }
+            queue = queue.recycle(kind, 0.5, 8);
+            assert_eq!(queue.len(), 0, "recycle drops pending events");
+            queue.push(TimePoint::new(1.0), 0, 7);
+            assert_eq!(queue.pop_at_most(FAR), Some((TimePoint::new(1.0), 7)));
+        }
+    }
+}

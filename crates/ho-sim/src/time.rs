@@ -19,6 +19,9 @@ impl TimePoint {
     /// The start of time.
     pub const ZERO: TimePoint = TimePoint(0.0);
 
+    /// The end of time — a deadline no event outlives.
+    pub const MAX: TimePoint = TimePoint(f64::MAX);
+
     /// Creates a time point.
     ///
     /// # Panics

@@ -504,4 +504,43 @@ fn sim_engine_zero_allocations_per_round_in_steady_state() {
         0,
         "Alg3 / always-good / n=8"
     );
+
+    // The calendar wheel with an episodic contact plan gating links
+    // throughout the measured window: scheduled outages make delivery
+    // bursty (dark spells queue timeouts, bright spells flood the wheel),
+    // yet the node arena, bucket lists and per-recipient buffers must all
+    // have reached their high-water marks during warm-up. The plan's
+    // horizon (200 cycles × 5 rounds × 2.0/round = 2000) lies far past the
+    // window, so the link schedule is *active*, not vacuous.
+    let plan = ContactPlan::Episodic {
+        dark: 3,
+        bright: 2,
+        cycles: 200,
+    };
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(13);
+    assert!(matches!(cfg.scheduler, heardof::sim::SchedulerKind::Wheel));
+    let link = heardof::sim::LinkSchedule::new(plan, 13, n, 2.0);
+    assert!(
+        link.horizon() > TimePoint::new(800.0),
+        "plan outlives window"
+    );
+    let schedule =
+        Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown).with_link_schedule(link);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                heardof::core::process::ProcessId::new(p),
+                p as u64 % 3,
+                params.alg2_timeout(),
+            )
+            .with_record_window(SIM_RECORD_WINDOW)
+        })
+        .collect();
+    let sim = Simulator::new(cfg, schedule, programs);
+    assert_eq!(
+        sim_steady_state_allocs(sim, 400.0, 800.0),
+        0,
+        "Alg2 / wheel / episodic contact plan / n=8"
+    );
 }
