@@ -14,19 +14,51 @@
 //! With `--rsm` only the replicated-log grid runs (full size,
 //! per-scenario verdicts embedded) — the fast iteration loop for
 //! service-level tuning.
+//!
+//! `sweep --scenario <id> [PATH]` — single-scenario repro mode, the
+//! command every forensic artifact embeds: reruns exactly one scenario
+//! from any canonical grid with the flight recorder on and prints (or
+//! writes, when PATH is given) the self-contained result document —
+//! verdict, telemetry digest, and the forensic artifact when the run
+//! ends in a violation. Exits 2 when no grid produces the id.
 
 use ho_harness::{rsm_report_json, Json};
 
 fn main() {
     let mut smoke = false;
     let mut rsm_only = false;
+    let mut scenario: Option<String> = None;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--rsm" => rsm_only = true,
+            "--scenario" => {
+                scenario = Some(args.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--scenario needs an id (e.g. uniform_voting/random_loss_0p40/n4/s0)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             _ => path = Some(arg),
         }
+    }
+
+    if let Some(id) = scenario {
+        let Some(doc) = bench::sweep::run_scenario_by_id(&id) else {
+            eprintln!("no canonical grid produces scenario id {id:?}");
+            std::process::exit(2);
+        };
+        let text = format!("{}\n", doc.pretty());
+        if let Some(path) = path {
+            std::fs::write(&path, &text).expect("write repro document");
+            println!("wrote {path}");
+        } else {
+            print!("{text}");
+        }
+        return;
     }
 
     if rsm_only {
@@ -263,6 +295,72 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The telemetry contract: the flight-recorder A/B section
+        // round-trips (event census, measured overhead), the injected
+        // counterexample produced a forensic artifact with a repro line,
+        // and the repro line's scenario lookup reproduces the verdict.
+        let Some(Json::Obj(telemetry)) = map.get("telemetry") else {
+            eprintln!("smoke FAILED: no telemetry section in the report");
+            std::process::exit(1);
+        };
+        match telemetry.get("events_recorded") {
+            Some(Json::UInt(n)) if *n > 0 => {}
+            other => {
+                eprintln!("smoke FAILED: telemetry events_recorded = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        match telemetry.get("overhead_vs_off") {
+            Some(Json::Float(r)) if *r > 0.0 => {}
+            other => {
+                eprintln!("smoke FAILED: telemetry overhead_vs_off = {other:?}");
+                std::process::exit(1);
+            }
+        }
+        if !matches!(telemetry.get("events"), Some(Json::Obj(kinds)) if !kinds.is_empty())
+            || !matches!(telemetry.get("phases"), Some(Json::Obj(phases)) if !phases.is_empty())
+        {
+            eprintln!("smoke FAILED: telemetry event/phase tables missing");
+            std::process::exit(1);
+        }
+        let Some(Json::Obj(forensic)) = telemetry.get("forensic_sample") else {
+            eprintln!("smoke FAILED: no forensic artifact from the counterexample grid");
+            std::process::exit(1);
+        };
+        let (Some(Json::Str(forensic_id)), Some(Json::Str(repro))) =
+            (forensic.get("scenario"), forensic.get("repro"))
+        else {
+            eprintln!("smoke FAILED: forensic artifact missing scenario/repro: {forensic:?}");
+            std::process::exit(1);
+        };
+        if !repro.contains("--scenario") || !repro.contains(forensic_id.as_str()) {
+            eprintln!("smoke FAILED: forensic repro line malformed: {repro:?}");
+            std::process::exit(1);
+        }
+        if !matches!(forensic.get("events"), Some(Json::Arr(events)) if !events.is_empty()) {
+            eprintln!("smoke FAILED: forensic artifact carries no events");
+            std::process::exit(1);
+        }
+        // Execute what the repro line executes, in process: the lookup
+        // must find the id and the rerun must flag the same violation.
+        match bench::sweep::run_scenario_by_id(forensic_id) {
+            Some(Json::Obj(repro_doc)) => {
+                let reproduced = matches!(
+                    repro_doc.get("verdict"),
+                    Some(Json::Obj(v)) if matches!(v.get("violation"), Some(Json::Str(_)))
+                ) && repro_doc.contains_key("forensic");
+                if !reproduced {
+                    eprintln!(
+                        "smoke FAILED: repro of {forensic_id} did not reproduce the violation"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            other => {
+                eprintln!("smoke FAILED: repro lookup of {forensic_id} returned {other:?}");
+                std::process::exit(1);
+            }
+        }
         // The contact-plan layer's contract: disruption-tolerant link
         // schedules stayed safe on every axis, every predicate window
         // landed by the guaranteed-good bound, and the degradation
@@ -317,7 +415,8 @@ fn main() {
             "smoke ok: 0 violations, predicate fields round-trip, cross-check ok, \
              sim layer kept every Alg2/Alg3 promise, rsm layer ordered its logs \
              without a fork, sharded layer kept every shard disjoint, contact \
-             plans degraded gracefully and every predicate window was on time"
+             plans degraded gracefully, every predicate window was on time, and \
+             the forensic repro reproduced its violation"
         );
     }
 }

@@ -23,9 +23,11 @@ use std::time::Instant;
 use ho_core::adversary::Adversary as _;
 use ho_core::{ContactPlan, ContactPlanAdversary, ProcessSet, Round};
 use ho_harness::{
-    chunk_policy_json, default_threads, predicate_totals_json, rsm_report_json, sim_report_json,
-    AdversarySpec, AlgorithmSpec, ChunkPolicy, ImplementationSpec, Json, LinkFaultSpec,
-    PredicateTotals, RsmReport, RsmSweep, SimSweep, Sweep, SweepReport, WorkloadSpec,
+    chunk_policy_json, default_threads, forensic_artifact_json, predicate_totals_json,
+    repro_command, rsm_report_json, rsm_verdict_json, sim_report_json, sim_verdict_json,
+    telemetry_summary_json, verdict_json, AdversarySpec, AlgorithmSpec, ChunkPolicy,
+    ImplementationSpec, Json, LinkFaultSpec, PredicateTotals, RsmReport, RsmSweep, SimSweep, Sweep,
+    SweepReport, TelemetrySummary, WorkloadSpec,
 };
 use ho_predicates::monitor::WindowMonitor;
 use ho_sim::SchedulerKind;
@@ -630,6 +632,110 @@ pub fn sim_scheduler_equivalence(
     ])
 }
 
+/// Every model-layer grid a `--scenario <id>` repro can come from,
+/// in document order: the safe baseline, the `P_nek` counterexamples,
+/// and the contact-plan cells.
+fn all_model_sweeps() -> Vec<Sweep> {
+    let mut sweeps = baseline_sweeps();
+    sweeps.push(pnek_counterexample_sweep());
+    sweeps.push(contact_model_sweep());
+    sweeps
+}
+
+/// The result document of one repro run: which grid layer matched, the
+/// full verdict, and — when the run ended in a violation — the
+/// self-contained forensic artifact.
+fn repro_doc(layer: &str, id: &str, verdict: Json, forensic: Option<Json>) -> Json {
+    let mut map = std::collections::BTreeMap::new();
+    map.insert("scenario".to_owned(), Json::Str(id.to_owned()));
+    map.insert("layer".to_owned(), Json::Str(layer.to_owned()));
+    map.insert("repro".to_owned(), Json::Str(repro_command(id)));
+    map.insert("verdict".to_owned(), verdict);
+    if let Some(f) = forensic {
+        map.insert("forensic".to_owned(), f);
+    }
+    Json::Obj(map)
+}
+
+/// Single-scenario repro mode — what the `repro` line inside every
+/// forensic artifact executes (`cargo run --release -p bench --bin sweep
+/// -- --scenario <id>`).
+///
+/// Looks the id up in every canonical grid (model baseline, `P_nek`
+/// counterexamples, sim layer, rsm layer, sharded rsm, and all four
+/// contact-plan variants), reruns exactly that scenario with the flight
+/// recorder on, and returns a self-contained result document: the
+/// verdict, its telemetry digest, and — when the run ends in a safety
+/// violation — the full forensic artifact with the drained event ring.
+/// Scenarios are deterministic in (grid cell, seed), so the rerun
+/// reproduces the original sweep's verdict bit for bit. Returns `None`
+/// for an id no grid produces.
+#[must_use]
+pub fn run_scenario_by_id(id: &str) -> Option<Json> {
+    if let Some(mut scenario) = all_model_sweeps()
+        .into_iter()
+        .flat_map(|s| s.scenarios())
+        .find(|s| s.id() == id)
+    {
+        scenario.telemetry = true;
+        let v = scenario.run();
+        let forensic = v.forensic_events.as_deref().map(|events| {
+            forensic_artifact_json(
+                id,
+                v.seed,
+                v.violation.as_deref().unwrap_or("violation"),
+                v.telemetry.as_ref(),
+                events,
+            )
+        });
+        return Some(repro_doc("model", id, verdict_json(&v), forensic));
+    }
+
+    if let Some(mut scenario) = [sim_layer_sweep(), contact_sim_sweep()]
+        .into_iter()
+        .flat_map(|s| s.scenarios())
+        .find(|s| s.id() == id)
+    {
+        scenario.telemetry = true;
+        let v = scenario.run();
+        let forensic = v.forensic_events.as_deref().map(|events| {
+            forensic_artifact_json(
+                id,
+                v.seed,
+                v.violation.as_deref().unwrap_or("violation"),
+                v.telemetry.as_ref(),
+                events,
+            )
+        });
+        return Some(repro_doc("sim", id, sim_verdict_json(&v), forensic));
+    }
+
+    let mut rsm_grids = rsm_layer_sweeps();
+    rsm_grids.push(contact_rsm_sweep());
+    rsm_grids.extend(sharded_rsm_sweeps());
+    rsm_grids.push(contact_sharded_sweep());
+    if let Some(mut scenario) = rsm_grids
+        .into_iter()
+        .flat_map(|s| s.scenarios())
+        .find(|s| s.id() == id)
+    {
+        scenario.telemetry = true;
+        let v = scenario.run();
+        let forensic = v.forensic_events.as_deref().map(|events| {
+            forensic_artifact_json(
+                id,
+                v.seed,
+                v.violation.as_deref().unwrap_or("violation"),
+                v.telemetry.as_ref(),
+                events,
+            )
+        });
+        return Some(repro_doc("rsm", id, rsm_verdict_json(&v), forensic));
+    }
+
+    None
+}
+
 /// One timed pass over the whole baseline grid at a fixed worker count.
 struct Pass {
     reports: Vec<SweepReport>,
@@ -651,6 +757,21 @@ fn run_pass(sweeps: &[Sweep], threads: usize) -> Pass {
         threads,
         reports,
     }
+}
+
+/// The fastest of `k` repetitions of a pass. The grids measure in tens
+/// of milliseconds, so a single pass is at the mercy of the scheduler;
+/// the minimum wall across repetitions is the standard estimator for
+/// "what the code costs" on a noisy host.
+fn best_pass(sweeps: &[Sweep], threads: usize, k: usize) -> Pass {
+    let mut best: Option<Pass> = None;
+    for _ in 0..k {
+        let pass = run_pass(sweeps, threads);
+        if best.as_ref().is_none_or(|b| pass.wall < b.wall) {
+            best = Some(pass);
+        }
+    }
+    best.expect("at least one repetition")
 }
 
 impl Pass {
@@ -739,12 +860,19 @@ pub fn run_baseline(smoke: bool) -> Json {
         baseline_sweeps()
     };
 
+    // Untimed warm-up: the whole grid is tens of milliseconds of wall,
+    // so first-touch costs (page faults, lazy allocator arenas) would
+    // dominate a cold first pass and poison every overhead ratio built
+    // on it. All measured passes then start from the same warm state.
+    let _ = run_pass(&sweeps, 1);
     // Single-core pass: the release-over-release comparable number.
-    let single = run_pass(&sweeps, 1);
+    // Best-of-three, same reason: one scheduler hiccup inside a 60 ms
+    // window is tens of percent of noise.
+    let single = best_pass(&sweeps, 1, 3);
     // All-core pass (on a single-core host this measures the same
     // configuration and the efficiency is trivially ~1).
     let threads = default_threads();
-    let multi = run_pass(&sweeps, threads);
+    let multi = best_pass(&sweeps, threads, 3);
     // Near-linear scaling ⇔ efficiency ≈ 1.
     let efficiency = multi.scenarios_per_sec() / (single.scenarios_per_sec() * threads as f64);
 
@@ -754,21 +882,66 @@ pub fn run_baseline(smoke: bool) -> Json {
         .iter()
         .map(|s| s.clone().monitor_predicates(true))
         .collect();
-    let monitored = run_pass(&monitored_sweeps, 1);
+    let monitored = best_pass(&monitored_sweeps, 1, 3);
     let monitor_overhead = single.scenarios_per_sec() / monitored.scenarios_per_sec();
     let mut predicate_totals = PredicateTotals::default();
     for report in &monitored.reports {
         predicate_totals.merge(&report.predicate_totals);
     }
 
+    // Telemetry A/B: the same single-core grid with the flight recorder
+    // and metrics registry on. Off/on passes are *interleaved* — host
+    // load drifts on the tens-of-milliseconds scale these grids measure
+    // in, so pairing adjacent passes and keeping the quietest pair (the
+    // least combined wall) makes the ratio a property of the code rather
+    // than of the moment.
+    let telemetry_sweeps: Vec<Sweep> = sweeps.iter().map(|s| s.clone().telemetry(true)).collect();
+    let mut ab_best: Option<(Pass, Pass)> = None;
+    for _ in 0..3 {
+        let off = run_pass(&sweeps, 1);
+        let on = run_pass(&telemetry_sweeps, 1);
+        if ab_best
+            .as_ref()
+            .is_none_or(|(o, t)| off.wall + on.wall < o.wall + t.wall)
+        {
+            ab_best = Some((off, on));
+        }
+    }
+    let (recorder_off_pass, telemetry_pass) = ab_best.expect("three A/B repetitions ran");
+    let telemetry_overhead =
+        recorder_off_pass.scenarios_per_sec() / telemetry_pass.scenarios_per_sec();
+    let mut telemetry_totals = TelemetrySummary::default();
+    for report in &telemetry_pass.reports {
+        if let Some(t) = &report.telemetry_totals {
+            telemetry_totals.merge(t);
+        }
+    }
+
+    // The counterexample grid runs with the recorder on so every caught
+    // violation drains its ring into a forensic artifact.
     let counterexamples = if smoke {
         pnek_counterexample_sweep().seeds(0..8)
     } else {
         pnek_counterexample_sweep()
     }
     .monitor_predicates(true)
+    .telemetry(true)
     .run();
     let check = predicate_cross_check(&monitored.reports, &counterexamples);
+
+    // One forensic artifact from the first caught violation — the
+    // document's worked example of the on-violation dump, repro line
+    // included.
+    let forensic_sample = counterexamples.verdicts.iter().find_map(|v| {
+        let events = v.forensic_events.as_deref()?;
+        Some(forensic_artifact_json(
+            &v.id(),
+            v.seed,
+            v.violation.as_deref().unwrap_or("violation"),
+            v.telemetry.as_ref(),
+            events,
+        ))
+    });
 
     // The sim layer: the implementation stack under systematic link
     // faults, verdicts checking the delivered predicate. The grid runs
@@ -917,6 +1090,28 @@ pub fn run_baseline(smoke: bool) -> Json {
                     Err(reason) => reason.clone(),
                 }),
             );
+            Json::Obj(map)
+        }),
+        ("telemetry", {
+            // The flight-recorder A/B: the merged event census of the
+            // recorder-on pass, extended with the measured overhead
+            // against the recorder-off single-core pass and the worked
+            // forensic example.
+            let Json::Obj(mut map) = telemetry_summary_json(&telemetry_totals) else {
+                unreachable!("telemetry summaries serialize to an object");
+            };
+            map.insert(
+                "recorder_off_scenarios_per_sec".into(),
+                Json::Float(recorder_off_pass.scenarios_per_sec()),
+            );
+            map.insert(
+                "recorder_on_scenarios_per_sec".into(),
+                Json::Float(telemetry_pass.scenarios_per_sec()),
+            );
+            map.insert("overhead_vs_off".into(), Json::Float(telemetry_overhead));
+            if let Some(f) = forensic_sample {
+                map.insert("forensic_sample".into(), f);
+            }
             Json::Obj(map)
         }),
         ("sim_layer", {
@@ -1313,6 +1508,122 @@ mod tests {
             matches!(predicates.get("p2otr_scenarios"), Some(Json::UInt(n)) if *n > 0),
             "full-delivery cells achieve P2otr"
         );
+        // The telemetry A/B section round-trips: the event census, the
+        // per-phase time table, the measured recorder-on overhead, and a
+        // forensic sample from the counterexample grid whose repro line
+        // names a real scenario.
+        let Some(Json::Obj(telemetry)) = map.get("telemetry") else {
+            panic!("telemetry section missing");
+        };
+        assert!(
+            matches!(telemetry.get("events_recorded"), Some(Json::UInt(n)) if *n > 0),
+            "the recorder-on pass recorded events"
+        );
+        assert!(telemetry.contains_key("events_dropped"));
+        assert!(
+            matches!(telemetry.get("overhead_vs_off"), Some(Json::Float(r)) if *r > 0.0),
+            "recorder overhead measured"
+        );
+        assert!(matches!(
+            telemetry.get("recorder_off_scenarios_per_sec"),
+            Some(Json::Float(_))
+        ));
+        assert!(matches!(
+            telemetry.get("recorder_on_scenarios_per_sec"),
+            Some(Json::Float(_))
+        ));
+        let Some(Json::Obj(kinds)) = telemetry.get("events") else {
+            panic!("event census missing");
+        };
+        assert!(
+            matches!(kinds.get("round_start"), Some(Json::UInt(n)) if *n > 0),
+            "every round records a round_start event"
+        );
+        assert!(
+            matches!(kinds.get("decide"), Some(Json::UInt(n)) if *n > 0),
+            "decisions are recorded"
+        );
+        let Some(Json::Obj(phases)) = telemetry.get("phases") else {
+            panic!("phase table missing");
+        };
+        for phase in ["ho_fill", "send", "deliver", "monitor", "oracle"] {
+            assert!(phases.contains_key(phase), "phase {phase} missing");
+        }
+        let Some(Json::Obj(forensic)) = telemetry.get("forensic_sample") else {
+            panic!("the counterexample grid must yield a forensic artifact");
+        };
+        assert!(
+            matches!(forensic.get("repro"), Some(Json::Str(r)) if r.contains("--scenario")),
+            "the artifact embeds its repro command"
+        );
+        assert!(
+            matches!(forensic.get("violation"), Some(Json::Str(_))),
+            "the artifact names the violation"
+        );
+        assert!(
+            matches!(forensic.get("events"), Some(Json::Arr(e)) if !e.is_empty()),
+            "the artifact carries the drained event ring"
+        );
+    }
+
+    #[test]
+    fn scenario_repro_reproduces_the_sweeps_verdict() {
+        // A violating counterexample's id, looked up through the
+        // `--scenario` repro path, must rerun to the *same* verdict and
+        // carry a self-contained forensic artifact.
+        let report = pnek_counterexample_sweep()
+            .seeds(0..8)
+            .telemetry(true)
+            .run();
+        let victim = report
+            .verdicts
+            .iter()
+            .find(|v| !v.is_safe())
+            .expect("UV violates agreement outside P_nek");
+        let doc = run_scenario_by_id(&victim.id()).expect("counterexample ids are canonical");
+        let Json::Obj(map) = doc else {
+            panic!("repro doc is an object");
+        };
+        assert_eq!(map.get("scenario"), Some(&Json::Str(victim.id())));
+        assert_eq!(map.get("layer"), Some(&Json::Str("model".into())));
+        assert_eq!(
+            map.get("repro"),
+            Some(&Json::Str(ho_harness::repro_command(&victim.id())))
+        );
+        let Some(Json::Obj(verdict)) = map.get("verdict") else {
+            panic!("repro doc embeds the verdict");
+        };
+        assert_eq!(
+            verdict.get("violation"),
+            Some(&Json::Str(
+                victim.violation.clone().expect("victim violated")
+            )),
+            "the rerun reproduces the sweep's verdict"
+        );
+        let Some(Json::Obj(forensic)) = map.get("forensic") else {
+            panic!("a violating rerun must produce a forensic artifact");
+        };
+        assert!(
+            matches!(forensic.get("events"), Some(Json::Arr(e)) if !e.is_empty()),
+            "the artifact carries the drained ring"
+        );
+        assert_eq!(forensic.get("seed"), Some(&Json::UInt(victim.seed)));
+
+        // Unknown ids are rejected, not misattributed.
+        assert!(run_scenario_by_id("model/no_such_adversary/n0/s0").is_none());
+
+        // The same entry point resolves sim- and rsm-layer ids.
+        let sim_id = sim_layer_sweep().scenarios()[0].id();
+        let Some(Json::Obj(sim_doc)) = run_scenario_by_id(&sim_id) else {
+            panic!("sim ids are canonical");
+        };
+        assert_eq!(sim_doc.get("layer"), Some(&Json::Str("sim".into())));
+        assert_eq!(sim_doc.get("scenario"), Some(&Json::Str(sim_id)));
+        let rsm_id = rsm_layer_sweeps()[0].scenarios()[0].id();
+        let Some(Json::Obj(rsm_doc)) = run_scenario_by_id(&rsm_id) else {
+            panic!("rsm ids are canonical");
+        };
+        assert_eq!(rsm_doc.get("layer"), Some(&Json::Str("rsm".into())));
     }
 
     #[test]

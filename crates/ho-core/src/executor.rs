@@ -28,6 +28,7 @@ use crate::observer::{NullObserver, RoundObserver};
 use crate::process::{ProcessId, ProcessSet};
 use crate::round::Round;
 use crate::send_plan::Outbox;
+use crate::telemetry::{Event, EventKind, Phase, Telemetry};
 use crate::trace::{Trace, TraceMode};
 
 /// Message-cost accounting for a run: what the send phase actually
@@ -141,6 +142,10 @@ pub struct RoundExecutor<A: HoAlgorithm> {
     mailboxes: Vec<Mailbox<A::Message>>,
     outbox: Outbox<A::Message>,
     scratch: RoundScratch,
+    // The flight recorder + metrics registry. Off by default: a null
+    // check per record site, zero cost when inactive (the same contract
+    // as RoundObserver). See `crate::telemetry`.
+    telemetry: Telemetry,
 }
 
 impl<A: HoAlgorithm> RoundExecutor<A> {
@@ -206,7 +211,34 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
             mailboxes: (0..n).map(|_| Mailbox::with_capacity(n)).collect(),
             outbox: Outbox::default(),
             scratch,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Installs a [`Telemetry`] handle (flight recorder + metrics). Pass
+    /// [`Telemetry::off`] to disable; an off handle keeps the round loop
+    /// bit-identical and effectively free of telemetry cost.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The executor's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The executor's telemetry handle, mutably — how embedding layers
+    /// (the log driver, the harness) record their own events into the
+    /// same ring.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Removes and returns the telemetry handle (for scratch reuse by
+    /// the next scenario), leaving the executor off.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
     }
 
     /// Recovers the type-independent round buffers for reuse by the next
@@ -296,9 +328,22 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         observer: &mut impl RoundObserver,
     ) -> Result<Round, RunError<A::Value>> {
         let r = self.round.next();
+        let tel_on = self.telemetry.is_on();
+        if tel_on {
+            self.telemetry
+                .record(r.get(), r.get() as f64, Event::ALL, EventKind::RoundStart);
+        }
+        // Phase spans are sampled (see `telemetry::SPAN_SAMPLE_PERIOD`):
+        // rounds run in fractions of a microsecond, so timing every one
+        // would make the clock reads the dominant telemetry cost.
+        let timed = self.telemetry.spans_this_round(r.get());
+        let mut span = if timed { self.telemetry.clock() } else { 0 };
         // The adversary writes into the executor's scratch slice; the
         // universe size is the slice length, so coverage is structural.
         adversary.fill_ho_sets(r, &mut self.scratch.ho);
+        if timed {
+            span = self.telemetry.span(Phase::HoFill, span);
+        }
 
         // Clear last round's mailboxes *before* recollecting plans: this
         // drops the recipients' shared payload references, making the
@@ -312,6 +357,9 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
         // Broadcast payloads are shared, not cloned per destination.
         self.msg_stats.payload_reuses += self.outbox.recollect(&self.alg, r, &self.states);
         self.msg_stats.payload_allocs += self.outbox.payload_allocs();
+        if timed {
+            span = self.telemetry.span(Phase::Send, span);
+        }
         for (p, mb) in self.mailboxes.iter_mut().enumerate() {
             // Unicast deliveries deep-clone per recipient; count them so
             // payload_allocs is the kernel's true construction cost, and
@@ -324,6 +372,9 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
             self.msg_stats.payload_reuses += delivery.recycled;
         }
         self.msg_stats.delivered += self.mailboxes.iter().map(|mb| mb.len() as u64).sum::<u64>();
+        if timed {
+            span = self.telemetry.span(Phase::Deliver, span);
+        }
 
         // Record the effective HO sets — but compute the support sets only
         // when the trace's retention mode stores rows or an observer is
@@ -342,13 +393,34 @@ impl<A: HoAlgorithm> RoundExecutor<A> {
             self.trace
                 .note_round(self.mailboxes.iter().map(Mailbox::len));
         }
+        if timed {
+            span = self.telemetry.span(Phase::Monitor, span);
+        }
 
         // Transition phase: T_p^r.
         for (p, mailbox) in self.mailboxes.iter().enumerate() {
             let pid = ProcessId::new(p);
+            // With telemetry on, note first decisions (the extra
+            // `decision` read is gated so the off path is unchanged).
+            let was_decided = tel_on && self.alg.decision(&self.states[p]).is_some();
             self.alg.transition(r, pid, &mut self.states[p], mailbox);
             let decision = self.alg.decision(&self.states[p]);
-            self.checker.observe(pid, r, decision.as_ref())?;
+            if tel_on && !was_decided && decision.is_some() {
+                self.telemetry
+                    .record(r.get(), r.get() as f64, p as u32, EventKind::Decide);
+            }
+            if let Err(violation) = self.checker.observe(pid, r, decision.as_ref()) {
+                self.telemetry.record(
+                    r.get(),
+                    r.get() as f64,
+                    p as u32,
+                    EventKind::ViolationFlagged,
+                );
+                return Err(violation.into());
+            }
+        }
+        if timed {
+            self.telemetry.span(Phase::Oracle, span);
         }
 
         self.round = r;

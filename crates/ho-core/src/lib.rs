@@ -42,6 +42,7 @@ pub mod process;
 pub mod round;
 pub mod send_plan;
 pub mod sequence;
+pub mod telemetry;
 pub mod trace;
 pub mod translation;
 
@@ -56,5 +57,8 @@ pub use process::{ProcessId, ProcessSet, MAX_PROCESSES};
 pub use round::Round;
 pub use send_plan::{DeliveryStats, Outbox, PlanSlot, PlanSpares, SendPlan};
 pub use sequence::{ProposalSource, RepeatedConsensus};
+pub use telemetry::{
+    Event, EventKind, FlightRecorder, Metrics, Phase, Telemetry, TelemetrySummary,
+};
 pub use trace::{Trace, TraceMode};
 pub use translation::Translated;

@@ -46,8 +46,9 @@ pub use par::{
     ChunkPolicy,
 };
 pub use report::{
-    chunk_policy_json, predicate_totals_json, rsm_report_json, rsm_verdict_json, sim_report_json,
-    JsonFields, MessageTotals, PredicateTotals, SweepReport,
+    chunk_policy_json, forensic_artifact_json, predicate_totals_json, repro_command,
+    rsm_report_json, rsm_verdict_json, sim_report_json, sim_verdict_json, telemetry_event_json,
+    telemetry_summary_json, verdict_json, JsonFields, MessageTotals, PredicateTotals, SweepReport,
 };
 pub use rsm::{RsmCell, RsmCellKey, RsmReport, RsmScenario, RsmSweep, RsmTotals, RsmVerdict};
 pub use scenario::{AdversarySpec, AlgorithmSpec, Scenario, ScenarioScratch, Verdict};
@@ -62,3 +63,6 @@ pub use ho_rsm::WorkloadSpec;
 
 // The contact-plan link schedules (axis values for every sweep layer).
 pub use ho_core::contact::ContactPlan;
+
+// The flight-recorder / metrics types carried by telemetry-on verdicts.
+pub use ho_core::telemetry::{Event, EventKind, Phase, Telemetry, TelemetrySummary};

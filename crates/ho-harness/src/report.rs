@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use ho_core::telemetry::{Event, EventKind, Phase, TelemetrySummary};
 use ho_predicates::monitor::PredicateSummary;
 
 use crate::json::Json;
@@ -183,6 +184,9 @@ pub struct SweepReport {
     pub totals: MessageTotals,
     /// Predicate-statistics totals over the monitored verdicts.
     pub predicate_totals: PredicateTotals,
+    /// Merged telemetry digest over the recorded verdicts (`None` when the
+    /// sweep ran with the recorder off).
+    pub telemetry_totals: Option<TelemetrySummary>,
 }
 
 impl SweepReport {
@@ -208,6 +212,7 @@ impl SweepReport {
         for summary in verdicts.iter().filter_map(|v| v.predicates.as_ref()) {
             predicate_totals.absorb(summary);
         }
+        let telemetry_totals = merge_telemetry(verdicts.iter().map(|v| v.telemetry.as_ref()));
         let wall_seconds = elapsed.as_secs_f64();
         SweepReport {
             scenarios,
@@ -223,6 +228,7 @@ impl SweepReport {
             chunk,
             totals,
             predicate_totals,
+            telemetry_totals,
             verdicts,
         }
     }
@@ -259,17 +265,30 @@ impl SweepReport {
     /// embedded (large) or only the aggregates and the per-cell table.
     #[must_use]
     pub fn to_json(&self, include_verdicts: bool) -> Json {
+        // Per-cell recorder drop counts (telemetry-on sweeps only): ring
+        // wrap is visible truncation and must surface next to the cell it
+        // truncated.
+        let mut dropped_by_cell: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for v in &self.verdicts {
+            if let Some(t) = &v.telemetry {
+                *dropped_by_cell
+                    .entry((v.algorithm.to_owned(), v.adversary.clone()))
+                    .or_default() += t.events_dropped;
+            }
+        }
         let cells: Vec<Json> = self
             .by_cell()
             .into_iter()
             .map(|((alg, adv), (total, decided, violations))| {
-                Json::obj([
-                    ("algorithm", Json::Str(alg)),
-                    ("adversary", Json::Str(adv)),
-                    ("scenarios", Json::UInt(total as u64)),
-                    ("decided", Json::UInt(decided as u64)),
-                    ("violations", Json::UInt(violations as u64)),
-                ])
+                let dropped = dropped_by_cell.get(&(alg.clone(), adv.clone())).copied();
+                JsonFields::new()
+                    .str("algorithm", alg)
+                    .str("adversary", adv)
+                    .uint("scenarios", total as u64)
+                    .uint("decided", decided as u64)
+                    .uint("violations", violations as u64)
+                    .opt_uint("events_dropped", dropped)
+                    .build()
             })
             .collect();
         let mut fields = vec![
@@ -296,6 +315,9 @@ impl SweepReport {
         if self.predicate_totals.monitored > 0 {
             fields.push(("predicates", predicate_totals_json(&self.predicate_totals)));
         }
+        if let Some(t) = &self.telemetry_totals {
+            fields.push(("telemetry", telemetry_summary_json(t)));
+        }
         if include_verdicts {
             fields.push((
                 "verdicts",
@@ -304,6 +326,107 @@ impl SweepReport {
         }
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
+}
+
+/// Merges per-verdict telemetry digests; `None` when no verdict carried
+/// one (recorder-off sweeps add nothing to any report).
+fn merge_telemetry<'a>(
+    summaries: impl Iterator<Item = Option<&'a TelemetrySummary>>,
+) -> Option<TelemetrySummary> {
+    let mut merged: Option<TelemetrySummary> = None;
+    for s in summaries.flatten() {
+        merged
+            .get_or_insert_with(TelemetrySummary::default)
+            .merge(s);
+    }
+    merged
+}
+
+/// The JSON form of one run's [`TelemetrySummary`]: event totals by kind
+/// plus the per-phase time breakdown. Span ticks are raw (`rdtsc` cycles
+/// or nanoseconds, platform-dependent), so the `share` fields — fractions
+/// of the run's total timed ticks — are the unit-agnostic numbers to read.
+#[must_use]
+pub fn telemetry_summary_json(s: &TelemetrySummary) -> Json {
+    let events = Json::Obj(
+        EventKind::names()
+            .iter()
+            .zip(&s.kind_counts)
+            .map(|(name, count)| ((*name).to_owned(), Json::UInt(*count)))
+            .collect(),
+    );
+    let phases = Json::Obj(
+        Phase::all()
+            .iter()
+            .map(|p| {
+                (
+                    p.name().to_owned(),
+                    JsonFields::new()
+                        .uint("ticks", s.phase_ticks[*p as usize])
+                        .uint("spans", s.phase_spans[*p as usize])
+                        .float("share", s.phase_share(*p))
+                        .build(),
+                )
+            })
+            .collect(),
+    );
+    JsonFields::new()
+        .uint("events_recorded", s.events_recorded)
+        .uint("events_dropped", s.events_dropped)
+        .field("events", events)
+        .field("phases", phases)
+        .build()
+}
+
+/// The JSON form of one flight-recorder [`Event`] (a forensic-artifact
+/// row): `process` is `null` for whole-system events, `detail` carries the
+/// kind's scalar (count, queue depth, witness round) when it has one.
+#[must_use]
+pub fn telemetry_event_json(e: &Event) -> Json {
+    JsonFields::new()
+        .uint("round", e.round)
+        .float("time", e.time)
+        .opt_uint(
+            "process",
+            (e.process != Event::ALL).then_some(u64::from(e.process)),
+        )
+        .str("kind", e.kind.name())
+        .opt_uint("detail", e.kind.detail())
+        .build()
+}
+
+/// The exact command that reruns one scenario from the committed grids —
+/// what forensic artifacts embed as their `repro` line.
+#[must_use]
+pub fn repro_command(scenario_id: &str) -> String {
+    format!("cargo run --release -p bench --bin sweep -- --scenario {scenario_id}")
+}
+
+/// A self-contained forensic artifact: the violated scenario, its seed,
+/// the exact repro command, the run's telemetry digest and the drained
+/// flight-recorder ring (the last K events leading up to the violation).
+#[must_use]
+pub fn forensic_artifact_json(
+    scenario_id: &str,
+    seed: u64,
+    violation: &str,
+    telemetry: Option<&TelemetrySummary>,
+    events: &[Event],
+) -> Json {
+    let mut fields = JsonFields::new()
+        .str("scenario", scenario_id)
+        .uint("seed", seed)
+        .str("violation", violation)
+        .str("repro", repro_command(scenario_id));
+    if let Some(t) = telemetry {
+        fields = fields.field("telemetry", telemetry_summary_json(t));
+    }
+    fields
+        .field(
+            "events",
+            Json::Arr(events.iter().map(telemetry_event_json).collect()),
+        )
+        .build()
 }
 
 /// The JSON form of a sim-layer sweep ([`SimReport`](crate::SimReport)) —
@@ -348,6 +471,9 @@ pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -
             ]),
         ),
     ];
+    if let Some(t) = merge_telemetry(report.verdicts.iter().map(|v| v.telemetry.as_ref())) {
+        fields.push(("telemetry", telemetry_summary_json(&t)));
+    }
     if include_verdicts {
         fields.push((
             "verdicts",
@@ -357,8 +483,10 @@ pub fn sim_report_json(report: &crate::sim::SimReport, include_verdicts: bool) -
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
-fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
-    JsonFields::new()
+/// The JSON form of one sim-layer verdict.
+#[must_use]
+pub fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
+    let mut fields = JsonFields::new()
         .str("id", v.id())
         .str("scheduler", v.scheduler.name())
         .bool("achieved", v.achieved)
@@ -375,8 +503,11 @@ fn sim_verdict_json(v: &crate::sim::SimVerdict) -> Json {
         .uint("delivered", v.messages.delivered)
         .uint("payload_allocs", v.messages.payload_allocs)
         .uint("payload_reuses", v.messages.payload_reuses)
-        .uint("wall_nanos", v.wall_nanos)
-        .build()
+        .uint("wall_nanos", v.wall_nanos);
+    if let Some(t) = &v.telemetry {
+        fields = fields.field("telemetry", telemetry_summary_json(t));
+    }
+    fields.build()
 }
 
 /// The JSON form of the work-stealing [`ChunkPolicy`] a sweep ran under.
@@ -388,7 +519,9 @@ pub fn chunk_policy_json(policy: &ChunkPolicy) -> Json {
         .build()
 }
 
-fn verdict_json(v: &Verdict) -> Json {
+/// The JSON form of one model-layer verdict.
+#[must_use]
+pub fn verdict_json(v: &Verdict) -> Json {
     let mut fields = JsonFields::new()
         .str("id", v.id())
         .opt_uint("decided_round", v.decided_round)
@@ -401,6 +534,9 @@ fn verdict_json(v: &Verdict) -> Json {
         .uint("legacy_clones", v.legacy_clones);
     if let Some(p) = &v.predicates {
         fields = fields.field("predicates", predicate_summary_json(p));
+    }
+    if let Some(t) = &v.telemetry {
+        fields = fields.field("telemetry", telemetry_summary_json(t));
     }
     fields.build()
 }
@@ -471,6 +607,7 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
                     .uint("divergent_rounds", cell.divergent_rounds)
                     .uint("dark_rounds", cell.dark_rounds)
                     .uint("worst_catch_up_rounds", cell.worst_catch_up)
+                    .uint("events_dropped", cell.events_dropped)
                     .build()
             },
         )
@@ -501,6 +638,9 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
                 .build(),
         )
         .field("cells", Json::Arr(cells));
+    if let Some(t) = merge_telemetry(report.verdicts.iter().map(|v| v.telemetry.as_ref())) {
+        fields = fields.field("telemetry", telemetry_summary_json(&t));
+    }
     if include_verdicts {
         fields = fields.field(
             "verdicts",
@@ -513,7 +653,7 @@ pub fn rsm_report_json(report: &crate::rsm::RsmReport, include_verdicts: bool) -
 /// The JSON form of one rsm-layer verdict.
 #[must_use]
 pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
-    JsonFields::new()
+    let mut fields = JsonFields::new()
         .str("id", v.id())
         .opt_str("violation", v.violation.clone())
         .uint("rounds", v.rounds_run)
@@ -543,8 +683,11 @@ pub fn rsm_verdict_json(v: &crate::rsm::RsmVerdict) -> Json {
         .uint("payload_allocs", v.payload_allocs)
         .uint("payload_reuses", v.payload_reuses)
         .uint("delivered", v.delivered_messages)
-        .uint("wall_nanos", v.wall_nanos)
-        .build()
+        .uint("wall_nanos", v.wall_nanos);
+    if let Some(t) = &v.telemetry {
+        fields = fields.field("telemetry", telemetry_summary_json(t));
+    }
+    fields.build()
 }
 
 #[cfg(test)]
@@ -563,6 +706,7 @@ mod tests {
                     max_rounds: 20,
                     cooldown_rounds: 0,
                     monitor_predicates: false,
+                    telemetry: false,
                 }
                 .run()
             })

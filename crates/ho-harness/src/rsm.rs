@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use ho_core::adversary::Adversary;
 use ho_core::executor::{RoundScratch, RunError};
+use ho_core::telemetry::{Event, Telemetry, TelemetrySummary};
 use ho_rsm::{shard_seed, FlowControl, RsmConfig, ShardedLogDriver, WorkloadSpec};
 
 use crate::par::{default_threads, par_map_weighted_with_policy, ChunkPolicy};
@@ -51,6 +52,10 @@ pub struct RsmScenario {
     pub seed: u64,
     /// Rounds to run (fixed budget — a log service never "terminates").
     pub rounds: u64,
+    /// Runs the scenario with the flight recorder + metrics registry
+    /// active on the anchor group (shard 0). Recording only observes —
+    /// the verdict is bit-identical to an unrecorded run.
+    pub telemetry: bool,
 }
 
 impl RsmScenario {
@@ -116,6 +121,17 @@ impl RsmScenario {
             self.seed,
             scratches,
         );
+        // The recorder ring lives in the worker scratch and rides the
+        // anchor group (shard 0): reset retains the allocation, so a
+        // telemetry-on batch allocates the ring exactly once per worker.
+        if self.telemetry {
+            let mut telemetry = std::mem::take(&mut scratch.telemetry);
+            if !telemetry.is_on() {
+                telemetry = Telemetry::on();
+            }
+            telemetry.reset();
+            driver.set_telemetry(telemetry);
+        }
         // The executor's consensus checker guards slot 0 online; the
         // applied-log oracle checks the whole log afterwards.
         let mut violation = match driver.run(&mut adversaries, self.rounds) {
@@ -149,6 +165,12 @@ impl RsmScenario {
             ),
             _ => None,
         };
+        // Take the ring back before the driver is consumed; a violated
+        // invariant drains it for the forensic artifact.
+        let telemetry_handle = driver.take_telemetry();
+        let telemetry = telemetry_handle.summary();
+        let forensic_events = (violation.is_some() && telemetry_handle.is_on())
+            .then(|| telemetry_handle.events().copied().collect());
         let verdict = RsmVerdict {
             algorithm: self.algorithm.name(),
             adversary: self.adversary.name(),
@@ -182,7 +204,10 @@ impl RsmScenario {
             payload_reuses: messages.payload_reuses,
             delivered_messages: messages.delivered,
             wall_nanos,
+            telemetry,
+            forensic_events,
         };
+        scratch.telemetry = telemetry_handle;
         scratch.shard_rounds = driver.into_scratches();
         verdict
     }
@@ -264,6 +289,13 @@ pub struct RsmVerdict {
     pub delivered_messages: u64,
     /// Wall-clock nanoseconds for this scenario.
     pub wall_nanos: u64,
+    /// Telemetry digest from the anchor group (`Some` iff the scenario
+    /// ran with the recorder on). A diagnostic — never part of
+    /// equivalence comparisons.
+    pub telemetry: Option<TelemetrySummary>,
+    /// The drained flight-recorder ring, captured only when a
+    /// telemetry-on run violated a log invariant.
+    pub forensic_events: Option<Vec<Event>>,
 }
 
 impl RsmVerdict {
@@ -365,6 +397,7 @@ pub struct RsmSweep {
     leases: Vec<bool>,
     seeds: Vec<u64>,
     rounds: u64,
+    telemetry: bool,
     threads: Option<usize>,
     chunking: ChunkPolicy,
 }
@@ -381,6 +414,7 @@ impl Default for RsmSweep {
             leases: vec![false],
             seeds: (0..5).collect(),
             rounds: 60,
+            telemetry: false,
             threads: None,
             chunking: ChunkPolicy::from_env(),
         }
@@ -460,6 +494,14 @@ impl RsmSweep {
         self
     }
 
+    /// Runs every scenario with the flight recorder + metrics registry
+    /// active (see [`Sweep::telemetry`](crate::Sweep::telemetry)).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Pins the worker count (default: all cores).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -507,6 +549,7 @@ impl RsmSweep {
                                             lease,
                                             seed,
                                             rounds: self.rounds,
+                                            telemetry: self.telemetry,
                                         });
                                     }
                                 }
@@ -608,6 +651,9 @@ pub struct RsmCell {
     pub dark_rounds: u64,
     /// Worst reconnection-to-convergence latency (rounds) in the cell.
     pub worst_catch_up: u64,
+    /// Flight-recorder events lost to ring wrap across the cell's
+    /// scenarios (0 with the recorder off) — truncation is never silent.
+    pub events_dropped: u64,
 }
 
 impl RsmCell {
@@ -750,6 +796,7 @@ impl RsmReport {
             cell.divergent_rounds += v.divergent_rounds;
             cell.dark_rounds += v.dark_rounds;
             cell.worst_catch_up = cell.worst_catch_up.max(v.catch_up_rounds.unwrap_or(0));
+            cell.events_dropped += v.telemetry.map_or(0, |t| t.events_dropped);
         }
         cells
     }
@@ -774,6 +821,7 @@ mod tests {
             lease: false,
             seed: 7,
             rounds: 60,
+            telemetry: false,
         }
     }
 

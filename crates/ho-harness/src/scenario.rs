@@ -9,6 +9,7 @@ use ho_core::contact::{ContactPlan, ContactPlanAdversary};
 use ho_core::executor::{RoundExecutor, RoundScratch, RunError};
 use ho_core::process::ProcessSet;
 use ho_core::round::Round;
+use ho_core::telemetry::{Event, EventKind, Telemetry, TelemetrySummary};
 use ho_core::trace::TraceMode;
 use ho_core::HoAlgorithm;
 use ho_predicates::monitor::{PredicateSummary, ScenarioMonitor};
@@ -195,6 +196,12 @@ pub struct Scenario {
     /// executor's round-observer hook, so the trace still runs in
     /// statistics-only mode — no row is ever retained.
     pub monitor_predicates: bool,
+    /// Whether to run with the flight recorder + metrics registry active
+    /// (see [`ho_core::telemetry`]). Recording only observes the run —
+    /// the verdict is bit-identical either way — and adds a
+    /// [`TelemetrySummary`] to the verdict, plus the drained event ring
+    /// when the run ends in a violation.
+    pub telemetry: bool,
 }
 
 impl Scenario {
@@ -255,6 +262,16 @@ impl Scenario {
             TraceMode::Off,
             std::mem::take(&mut scratch.round),
         );
+        if self.telemetry {
+            // Reuse the worker's ring across scenarios: the first
+            // telemetry-on scenario allocates it, the rest reset it.
+            let mut telemetry = std::mem::take(&mut scratch.telemetry);
+            if !telemetry.is_on() {
+                telemetry = Telemetry::on();
+            }
+            telemetry.reset();
+            exec.set_telemetry(telemetry);
+        }
         let mut bank = self
             .monitor_predicates
             .then(|| ScenarioMonitor::new(self.n));
@@ -279,6 +296,28 @@ impl Scenario {
             }
         }
         let stats = exec.message_stats();
+        let predicates = bank.map(|b| b.summary());
+        let mut telemetry_handle = exec.take_telemetry();
+        if let Some(p) = &predicates {
+            // The model layer's witness: the first round of a P2_otr
+            // window, stamped after the run (the monitor streams, so
+            // there is no per-round hook to catch it live).
+            if let Some(r) = p.first_p2otr {
+                telemetry_handle.record(
+                    r,
+                    r as f64,
+                    Event::ALL,
+                    EventKind::PredicateWitness { witness_round: r },
+                );
+            }
+        }
+        let telemetry = telemetry_handle.summary();
+        // Violations are rare and terminal, so draining the ring into an
+        // owned forensic payload may allocate — it is outside the round
+        // loop and outside the steady-state alloc proof.
+        let forensic_events = (violation.is_some() && telemetry_handle.is_on())
+            .then(|| telemetry_handle.events().copied().collect());
+        scratch.telemetry = telemetry_handle;
         let verdict = Verdict {
             algorithm: self.algorithm.name(),
             adversary: self.adversary.name(),
@@ -293,7 +332,9 @@ impl Scenario {
             payload_reuses: stats.payload_reuses,
             delivered_messages: stats.delivered,
             legacy_clones: stats.legacy_clones(),
-            predicates: bank.map(|b| b.summary()),
+            predicates,
+            telemetry,
+            forensic_events,
             wall_nanos: start.elapsed().as_nanos() as u64,
         };
         // Hand the round buffers back for the next scenario.
@@ -311,6 +352,10 @@ pub struct ScenarioScratch {
     /// Per-shard round buffers for the rsm layer's sharded scenarios
     /// (resized to the scenario's shard count on use).
     pub(crate) shard_rounds: Vec<RoundScratch>,
+    /// The worker's flight-recorder ring, kept warm across scenarios:
+    /// the first telemetry-on scenario allocates it, every later one
+    /// resets and reuses it (off scenarios leave it untouched).
+    pub(crate) telemetry: Telemetry,
 }
 
 /// The outcome of one scenario.
@@ -351,6 +396,14 @@ pub struct Verdict {
     /// [`Scenario::monitor_predicates`] was set): which communication
     /// predicates held, when, and for how long.
     pub predicates: Option<PredicateSummary>,
+    /// The run's telemetry digest (`Some` iff [`Scenario::telemetry`]
+    /// was set): event counts by kind, ring drop count, per-phase time
+    /// breakdown.
+    pub telemetry: Option<TelemetrySummary>,
+    /// The drained flight-recorder ring, present only when the run ended
+    /// in a safety violation with telemetry on — the raw material of the
+    /// forensic artifact.
+    pub forensic_events: Option<Vec<Event>>,
     /// Wall-clock nanoseconds for this scenario.
     pub wall_nanos: u64,
 }
@@ -392,6 +445,7 @@ mod tests {
             max_rounds: 60,
             cooldown_rounds: 0,
             monitor_predicates: false,
+            telemetry: false,
         }
     }
 
@@ -522,6 +576,7 @@ mod tests {
                 max_rounds: 60,
                 cooldown_rounds: 5,
                 monitor_predicates: false,
+                telemetry: false,
             };
             let fresh = s.run();
             let reused = s.run_reusing(&mut scratch);

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use ho_core::contact::ContactPlan;
 use ho_core::executor::MessageStats;
+use ho_core::telemetry::{Event, Telemetry, TelemetrySummary};
 use ho_predicates::bounds::BoundParams;
 use ho_predicates::measure::{
     run_alg2_scenario_with, run_alg3_scenario_with, Scenario as GoodPeriodStart, SimLayerScratch,
@@ -185,6 +186,10 @@ pub struct SimScenario {
     /// Event-scheduler backend the simulator runs on. Dispatch order is
     /// identical under both; the heap survives as the equivalence oracle.
     pub scheduler: SchedulerKind,
+    /// Runs the scenario with the flight recorder + metrics registry
+    /// active. Recording only observes — the verdict is bit-identical to
+    /// an unrecorded run (`tests/telemetry_equivalence.rs` pins this).
+    pub telemetry: bool,
 }
 
 impl SimScenario {
@@ -227,6 +232,16 @@ impl SimScenario {
     #[must_use]
     pub fn run_with(&self, scratch: &mut SimLayerScratch) -> SimVerdict {
         let start = Instant::now();
+        // The recorder ring lives in the scratch: a telemetry-on scenario
+        // reuses the previous scenario's allocation (reset, not realloc),
+        // a telemetry-off scenario must not inherit a stale ring.
+        if self.telemetry {
+            if !scratch.telemetry().is_on() {
+                scratch.set_telemetry(Telemetry::on());
+            }
+        } else if scratch.telemetry().is_on() {
+            scratch.set_telemetry(Telemetry::off());
+        }
         let params = BoundParams::new(self.n, PHI, DELTA);
         let good_start = self.fault.good_period_start(self.seed);
         let outcome: SimMeasurement = match self.implementation {
@@ -274,6 +289,11 @@ impl SimScenario {
         };
         let wall_nanos = start.elapsed().as_nanos() as u64;
         let events_dispatched = outcome.stats.events_dispatched;
+        // Forensics: a broken promise drains the ring (the last K events
+        // leading up to the violation) out of the scratch before the next
+        // scenario resets it.
+        let forensic_events = (violation.is_some() && scratch.telemetry().is_on())
+            .then(|| scratch.telemetry().events().copied().collect());
         SimVerdict {
             implementation: self.implementation.name(),
             fault: self.fault.name(),
@@ -301,6 +321,8 @@ impl SimScenario {
                 f64::INFINITY
             },
             wall_nanos,
+            telemetry: outcome.telemetry,
+            forensic_events,
         }
     }
 }
@@ -354,6 +376,13 @@ pub struct SimVerdict {
     pub events_per_sec: f64,
     /// Wall-clock nanoseconds for this scenario.
     pub wall_nanos: u64,
+    /// Telemetry digest (`Some` iff the scenario ran with the recorder
+    /// on). A diagnostic — never part of equivalence comparisons.
+    pub telemetry: Option<TelemetrySummary>,
+    /// The drained flight-recorder ring, captured only when a
+    /// telemetry-on run broke its promise — the raw material for a
+    /// forensic artifact.
+    pub forensic_events: Option<Vec<Event>>,
 }
 
 impl SimVerdict {
@@ -383,6 +412,7 @@ pub struct SimSweep {
     seeds: Vec<u64>,
     window: u64,
     scheduler: SchedulerKind,
+    telemetry: bool,
     threads: Option<usize>,
     chunking: ChunkPolicy,
 }
@@ -396,6 +426,7 @@ impl Default for SimSweep {
             seeds: (0..5).collect(),
             window: 2,
             scheduler: SchedulerKind::default(),
+            telemetry: false,
             threads: None,
             chunking: ChunkPolicy::from_env(),
         }
@@ -461,6 +492,14 @@ impl SimSweep {
         self
     }
 
+    /// Runs every scenario with the flight recorder + metrics registry
+    /// active (see [`Sweep::telemetry`](crate::Sweep::telemetry)).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Pins the worker count (default: all cores).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -498,6 +537,7 @@ impl SimSweep {
                             seed,
                             window: self.window,
                             scheduler: self.scheduler,
+                            telemetry: self.telemetry,
                         });
                     }
                 }
@@ -784,6 +824,7 @@ mod tests {
             seed: 1,
             window: 2,
             scheduler: SchedulerKind::default(),
+            telemetry: false,
         }
         .run();
         assert!(v.is_ok(), "{:?}", v.violation);

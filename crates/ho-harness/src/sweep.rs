@@ -30,6 +30,7 @@ pub struct Sweep {
     max_rounds: u64,
     cooldown_rounds: u64,
     monitor_predicates: bool,
+    telemetry: bool,
     threads: Option<usize>,
     chunking: ChunkPolicy,
 }
@@ -44,6 +45,7 @@ impl Default for Sweep {
             max_rounds: 100,
             cooldown_rounds: 0,
             monitor_predicates: false,
+            telemetry: false,
             threads: None,
             chunking: ChunkPolicy::from_env(),
         }
@@ -113,6 +115,17 @@ impl Sweep {
         self
     }
 
+    /// Runs every scenario with the flight recorder + metrics registry
+    /// active (see [`ho_core::telemetry`]): each verdict gains a
+    /// `telemetry` digest and, on a violation, the drained event ring.
+    /// Recording only observes the run — verdicts are bit-identical to an
+    /// unrecorded sweep (`tests/telemetry_equivalence.rs` pins this).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Pins the worker count (default: all cores).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -151,6 +164,7 @@ impl Sweep {
                             max_rounds: self.max_rounds,
                             cooldown_rounds: self.cooldown_rounds,
                             monitor_predicates: self.monitor_predicates,
+                            telemetry: self.telemetry,
                         });
                     }
                 }

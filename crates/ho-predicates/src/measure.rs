@@ -14,6 +14,7 @@ use ho_core::algorithms::OneThirdRule;
 use ho_core::contact::ContactPlan;
 use ho_core::executor::MessageStats;
 use ho_core::process::{ProcessId, ProcessSet};
+use ho_core::telemetry::{Event, EventKind, Telemetry, TelemetrySummary};
 use ho_core::translation::Translated;
 use ho_sim::{
     BadPeriodConfig, GoodKind, LinkSchedule, Schedule, SchedulerKind, SimConfig, SimScratch,
@@ -160,6 +161,10 @@ pub struct SimMeasurement {
     pub messages: MessageStats,
     /// Highest round any program entered.
     pub max_round: u64,
+    /// The run's telemetry digest (`Some` iff the scratch carried an
+    /// active [`Telemetry`] handle). The drained event ring stays in the
+    /// scratch for the caller to inspect (forensics on violation).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// Per-worker reusable simulator storage for the sim-layer sweep: one
@@ -170,6 +175,10 @@ pub struct SimMeasurement {
 pub struct SimLayerScratch {
     alg2: SimScratch<Alg2Program<OneThirdRule>>,
     alg3: SimScratch<Alg3Program<OneThirdRule>>,
+    /// The worker's flight-recorder ring (off by default): installed on
+    /// each scenario's [`Simulator`] when active and recovered afterwards,
+    /// so its events stay drainable until the next scenario resets it.
+    telemetry: Telemetry,
 }
 
 impl SimLayerScratch {
@@ -177,6 +186,19 @@ impl SimLayerScratch {
     #[must_use]
     pub fn new() -> Self {
         SimLayerScratch::default()
+    }
+
+    /// Installs (or disables, with [`Telemetry::off`]) the telemetry
+    /// handle every subsequent scenario on this scratch records into.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle, holding the most recent scenario's events
+    /// (each scenario resets it on entry, so drain before the next run).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 }
 
@@ -256,6 +278,10 @@ pub fn run_alg2_scenario_with(
         })
         .collect();
     let mut sim = Simulator::with_scratch(cfg, schedule, programs, &mut scratch.alg2);
+    if scratch.telemetry.is_on() {
+        scratch.telemetry.reset();
+        sim.set_telemetry(std::mem::take(&mut scratch.telemetry));
+    }
 
     let bound = match scenario {
         Scenario::Initial => params.theorem5(x),
@@ -277,6 +303,15 @@ pub fn run_alg2_scenario_with(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
+    let mut telemetry = sim.take_telemetry();
+    if let Some((r, t)) = witness {
+        telemetry.record(
+            r,
+            t,
+            Event::ALL,
+            EventKind::PredicateWitness { witness_round: r },
+        );
+    }
     let out = SimMeasurement {
         measurement: Measurement {
             good_start,
@@ -292,7 +327,9 @@ pub fn run_alg2_scenario_with(
             .map(Alg2Program::round)
             .max()
             .unwrap_or(0),
+        telemetry: telemetry.summary(),
     };
+    scratch.telemetry = telemetry;
     sim.retire(&mut scratch.alg2);
     out
 }
@@ -366,6 +403,10 @@ pub fn run_alg3_scenario_with(
         })
         .collect();
     let mut sim = Simulator::with_scratch(cfg, schedule, programs, &mut scratch.alg3);
+    if scratch.telemetry.is_on() {
+        scratch.telemetry.reset();
+        sim.set_telemetry(std::mem::take(&mut scratch.telemetry));
+    }
 
     let bound = match scenario {
         Scenario::Initial => params.theorem7(x),
@@ -386,6 +427,15 @@ pub fn run_alg3_scenario_with(
         monitor.witness().is_some()
     });
     let witness = monitor.witness();
+    let mut telemetry = sim.take_telemetry();
+    if let Some((r, t)) = witness {
+        telemetry.record(
+            r,
+            t,
+            Event::ALL,
+            EventKind::PredicateWitness { witness_round: r },
+        );
+    }
     let out = SimMeasurement {
         measurement: Measurement {
             good_start,
@@ -401,7 +451,9 @@ pub fn run_alg3_scenario_with(
             .map(Alg3Program::round)
             .max()
             .unwrap_or(0),
+        telemetry: telemetry.summary(),
     };
+    scratch.telemetry = telemetry;
     sim.retire(&mut scratch.alg3);
     out
 }

@@ -10,6 +10,7 @@
 
 use ho_core::adversary::Adversary;
 use ho_core::executor::{MessageStats, RoundExecutor, RoundScratch, RunError};
+use ho_core::telemetry::{Event, EventKind, Telemetry};
 use ho_core::trace::TraceMode;
 use ho_core::HoAlgorithm;
 
@@ -80,6 +81,13 @@ pub struct LogDriver<A: HoAlgorithm<Value = u64>> {
     diverged: bool,
     /// Round at which the last divergence healed.
     last_convergence_round: Option<u64>,
+    /// Service-counter baselines for telemetry diffing: cumulative lease
+    /// takeovers, backfill entries and deferred arrivals after the
+    /// previous round, so [`LogDriver::run`] can record one event per
+    /// round the counter actually moved. Only read when telemetry is on.
+    prev_takeovers: u64,
+    prev_backfill: u64,
+    prev_deferred: u64,
 }
 
 impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
@@ -108,7 +116,30 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
             divergent_rounds: 0,
             diverged: false,
             last_convergence_round: None,
+            prev_takeovers: 0,
+            prev_backfill: 0,
+            prev_deferred: 0,
         }
+    }
+
+    /// Installs a telemetry handle on the underlying executor: round
+    /// phases and `RoundStart`/`Decide` events come from the round loop
+    /// itself, and [`LogDriver::run`] adds the service-level events
+    /// (lease takeovers, backfill, deferred admissions) by diffing the
+    /// replicas' cumulative counters each round.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.exec.set_telemetry(telemetry);
+    }
+
+    /// Read access to the executor's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        self.exec.telemetry()
+    }
+
+    /// Takes the telemetry handle out (an off handle remains).
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        self.exec.take_telemetry()
     }
 
     /// Number of replicas.
@@ -153,8 +184,57 @@ impl<A: HoAlgorithm<Value = u64>> LogDriver<A> {
                 self.diverged = false;
                 self.last_convergence_round = Some(round.get());
             }
+            if self.exec.telemetry().is_on() {
+                self.record_service_events(round.get());
+            }
         }
         Ok(())
+    }
+
+    /// Records the service-level events of the round that just executed
+    /// by diffing the replicas' cumulative flow-control counters against
+    /// the previous round's baselines — one event per kind per round the
+    /// counter moved, so quiet rounds cost nothing in the ring.
+    fn record_service_events(&mut self, round: u64) {
+        let mut takeovers = 0;
+        let mut backfill = 0;
+        let mut deferred = 0;
+        for s in self.exec.states() {
+            takeovers += s.stats().lease_takeovers;
+            backfill += s.stats().backfill_received;
+            deferred += s.workload().deferred();
+        }
+        let time = round as f64;
+        let telemetry = self.exec.telemetry_mut();
+        if takeovers > self.prev_takeovers {
+            telemetry.record(
+                round,
+                time,
+                Event::ALL,
+                EventKind::LeaseTakeover { takeovers },
+            );
+        }
+        if backfill > self.prev_backfill {
+            let entries = backfill - self.prev_backfill;
+            telemetry.record(
+                round,
+                time,
+                Event::ALL,
+                EventKind::BackfillEntry { entries },
+            );
+        }
+        if deferred > self.prev_deferred {
+            let d = deferred - self.prev_deferred;
+            telemetry.record(
+                round,
+                time,
+                Event::ALL,
+                EventKind::DeferredAdmission { deferred: d },
+            );
+        }
+        self.prev_takeovers = takeovers;
+        self.prev_backfill = backfill;
+        self.prev_deferred = deferred;
     }
 
     /// Rounds after which some replica's applied log trailed the longest

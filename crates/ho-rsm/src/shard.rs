@@ -220,6 +220,18 @@ impl<A: HoAlgorithm<Value = u64>> ShardedLogDriver<A> {
         &self.groups[s]
     }
 
+    /// Installs a telemetry handle on shard 0 — the anchor group whose
+    /// stream is bit-identical to the unsharded service, so one ring
+    /// suffices for forensics without multiplying recording cost by `S`.
+    pub fn set_telemetry(&mut self, telemetry: ho_core::telemetry::Telemetry) {
+        self.groups[0].set_telemetry(telemetry);
+    }
+
+    /// Takes shard 0's telemetry handle out (an off handle remains).
+    pub fn take_telemetry(&mut self) -> ho_core::telemetry::Telemetry {
+        self.groups[0].take_telemetry()
+    }
+
     /// Runs `rounds` rounds of every group, shard `s` under
     /// `adversaries[s]` — one independent fault schedule per group.
     ///

@@ -37,6 +37,7 @@
 use ho_core::executor::MessageStats;
 use ho_core::process::{ProcessId, ProcessSet};
 use ho_core::send_plan::SendPlan;
+use ho_core::telemetry::{Event as TelemetryEvent, EventKind, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,6 +138,11 @@ pub struct Simulator<P: Program> {
     seq: u64,
     rng: SmallRng,
     stats: SimStats,
+    /// Flight recorder + metrics (see [`ho_core::telemetry`]): off by
+    /// default — one branch per hook — and installed by the harness via
+    /// [`Simulator::set_telemetry`]. Telemetry only observes the run, so
+    /// recorded and unrecorded executions are bit-identical.
+    telemetry: Telemetry,
 }
 
 impl<P: Program> Simulator<P> {
@@ -200,6 +206,7 @@ impl<P: Program> Simulator<P> {
             now: TimePoint::ZERO,
             seq: 0,
             stats: SimStats::default(),
+            telemetry: Telemetry::off(),
         };
         // Period-start events (skip index 0; it is in force at t = 0).
         let starts: Vec<(usize, TimePoint)> = sim
@@ -306,6 +313,24 @@ impl<P: Program> Simulator<P> {
         &self.schedule
     }
 
+    /// Installs a telemetry handle (recorder + metrics). Pass
+    /// [`Telemetry::off`] to disable recording.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Read access to the telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Takes the telemetry handle out, leaving an off handle behind —
+    /// how the harness recovers the ring for draining and reuse.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
+    }
+
     /// Runs until `stop` returns true (checked after every event) or the
     /// clock passes `deadline`. Returns `true` iff `stop` fired.
     pub fn run_until(&mut self, deadline: TimePoint, mut stop: impl FnMut(&Self) -> bool) -> bool {
@@ -315,6 +340,14 @@ impl<P: Program> Simulator<P> {
         while let Some((at, event)) = self.queue.pop_at_most(deadline) {
             self.now = at;
             self.stats.events_dispatched += 1;
+            self.telemetry.record(
+                0,
+                at.get(),
+                TelemetryEvent::ALL,
+                EventKind::SchedulerDispatch {
+                    queue_depth: self.queue.len() as u64,
+                },
+            );
             self.dispatch(event);
             if stop(self) {
                 return true;
@@ -675,6 +708,8 @@ impl<P: Program> Simulator<P> {
             return;
         }
         self.stats.crashes += 1;
+        self.telemetry
+            .record(0, self.now.get(), p.index() as u32, EventKind::ProcessCrash);
         self.slots[idx].down = true;
         self.slots[idx].forced_down = forced;
         self.slots[idx].step_gen += 1; // invalidate pending steps
@@ -688,6 +723,12 @@ impl<P: Program> Simulator<P> {
             return;
         }
         self.stats.recoveries += 1;
+        self.telemetry.record(
+            0,
+            self.now.get(),
+            p.index() as u32,
+            EventKind::ProcessRecover,
+        );
         self.slots[idx].down = false;
         self.slots[idx].forced_down = false;
         self.slots[idx].step_gen += 1;
@@ -704,6 +745,14 @@ impl<P: Program> Simulator<P> {
     }
 
     fn on_period_start(&mut self, idx: usize) {
+        // A period boundary is where the link/fault regime changes — the
+        // sim-layer analogue of a contact-plan phase change.
+        self.telemetry.record(
+            idx as u64,
+            self.now.get(),
+            TelemetryEvent::ALL,
+            EventKind::ContactPhaseChange,
+        );
         self.apply_period_entry(idx);
     }
 
@@ -908,6 +957,44 @@ mod tests {
         assert!(sim.stats().recoveries > 0, "recoveries follow");
         let total_hooks: u64 = sim.programs().iter().map(|p| p.crashes).sum();
         assert_eq!(total_hooks, sim.stats().crashes);
+    }
+
+    #[test]
+    fn telemetry_records_engine_events() {
+        let n = 2;
+        let cfg = SimConfig::normalized(n, 1.0, 1.0).with_seed(11);
+        let bad = BadPeriodConfig {
+            crash_prob: 0.2,
+            min_down: 1.0,
+            max_down: 3.0,
+            slow_factor: 1.0,
+            extra_delay_factor: 0.0,
+            ..BadPeriodConfig::calm()
+        };
+        let schedule = Schedule::bad_then_good(
+            bad,
+            TimePoint::new(100.0),
+            ProcessSet::full(n),
+            GoodKind::PiDown,
+        );
+        let mut sim = Simulator::new(cfg, schedule, vec![Chatter::default(); n]);
+        sim.set_telemetry(Telemetry::with_capacity(256));
+        sim.run_for(TimePoint::new(200.0));
+        let stats = sim.stats().clone();
+        let telemetry = sim.take_telemetry();
+        assert!(!sim.telemetry().is_on(), "handle taken");
+        let s = telemetry.summary().expect("recorder was on");
+        assert_eq!(
+            s.count(&EventKind::SchedulerDispatch { queue_depth: 0 }),
+            stats.events_dispatched
+        );
+        assert_eq!(s.count(&EventKind::ProcessCrash), stats.crashes);
+        assert_eq!(s.count(&EventKind::ProcessRecover), stats.recoveries);
+        assert_eq!(s.count(&EventKind::ContactPhaseChange), 1, "one boundary");
+        // The ring wrapped (dispatches far exceed its capacity) and the
+        // truncation is counted, not hidden.
+        assert!(s.events_dropped > 0);
+        assert_eq!(s.events_recorded - s.events_dropped, 256);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use heardof::core::executor::RoundExecutor;
 use heardof::core::observer::RoundObserver;
 use heardof::core::process::ProcessSet;
 use heardof::core::round::Round;
+use heardof::core::telemetry::Telemetry;
 use heardof::core::trace::TraceMode;
 use heardof::core::HoAlgorithm;
 use heardof::predicates::monitor::{ScenarioMonitor, WindowMonitor};
@@ -285,6 +286,38 @@ fn zero_allocations_per_round_in_steady_state() {
         "OneThirdRule / RandomLoss / TraceMode::Off + active monitors"
     );
 
+    // The flight recorder and metrics registry ride the hot loop under
+    // the same discipline: with telemetry on — the ring recording every
+    // round, span timers feeding the per-phase histograms — steady state
+    // is still zero. The ring is fixed-capacity, so a long window makes
+    // it wrap; wrap-around overwrites in place, never grows.
+    let mut exec =
+        RoundExecutor::with_trace_mode(OneThirdRule::new(n), values.clone(), TraceMode::Off);
+    exec.set_telemetry(Telemetry::on());
+    let mut adv = RandomLoss::new(0.4, 7);
+    exec.run_observed(&mut adv, 20, &mut heardof::core::observer::NullObserver)
+        .expect("warm-up safe");
+    assert_eq!(
+        allocs_during(|| {
+            exec.run_observed(&mut adv, 300, &mut heardof::core::observer::NullObserver)
+                .expect("steady state safe");
+        }),
+        0,
+        "OneThirdRule / RandomLoss / TraceMode::Off + active flight recorder"
+    );
+    let digest = exec
+        .telemetry()
+        .summary()
+        .expect("telemetry was installed, so a digest exists");
+    assert!(
+        digest.events_recorded > 0,
+        "the recorder was live during the measured window"
+    );
+    assert!(
+        digest.total_ticks() > 0,
+        "the span timers measured the phases"
+    );
+
     // Contrast: the full trace necessarily allocates (every round appends
     // a retained row). This guards against the Off/Window paths silently
     // degrading into Full.
@@ -542,5 +575,43 @@ fn sim_engine_zero_allocations_per_round_in_steady_state() {
         sim_steady_state_allocs(sim, 400.0, 800.0),
         0,
         "Alg2 / wheel / episodic contact plan / n=8"
+    );
+
+    // The system layer keeps the discipline with the flight recorder on:
+    // every scheduler dispatch records an event (so the ring wraps many
+    // times over a 400-time-unit window), and the measured window still
+    // touches the allocator zero times.
+    let cfg = SimConfig::normalized(n, 1.0, 2.0).with_seed(9);
+    let schedule = Schedule::always_good(ProcessSet::full(n), GoodKind::PiDown);
+    let programs: Vec<Alg2Program<OneThirdRule>> = (0..n)
+        .map(|p| {
+            Alg2Program::new(
+                OneThirdRule::new(n),
+                heardof::core::process::ProcessId::new(p),
+                p as u64 % 3,
+                params.alg2_timeout(),
+            )
+            .with_record_window(SIM_RECORD_WINDOW)
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, schedule, programs);
+    sim.set_telemetry(Telemetry::on());
+    sim.run_for(TimePoint::new(400.0));
+    assert_eq!(
+        allocs_during(|| sim.run_for(TimePoint::new(800.0))),
+        0,
+        "Alg2 / always-good / n=8 + active flight recorder"
+    );
+    let digest = sim
+        .telemetry()
+        .summary()
+        .expect("telemetry was installed, so a digest exists");
+    assert!(
+        digest.events_recorded > 0,
+        "the recorder was live during the measured window"
+    );
+    assert!(
+        digest.events_dropped > 0,
+        "per-dispatch events must wrap the ring over a 400-unit window"
     );
 }

@@ -164,6 +164,7 @@ fn lease_off_scenarios_are_bit_identical_to_the_default_driver() {
             lease: false,
             seed,
             rounds: 60,
+            telemetry: false,
         }
         .run();
         assert!(v.is_safe(), "seed {seed}: {:?}", v.violation);

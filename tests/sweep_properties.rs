@@ -131,6 +131,7 @@ fn eventually_good_decides_with_valid_values() {
             max_rounds: 120,
             cooldown_rounds: 0,
             monitor_predicates: false,
+            telemetry: false,
         };
         assert!(
             scenario
